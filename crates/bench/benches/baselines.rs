@@ -1,0 +1,36 @@
+//! Baseline comparison bench: the generalization-based competitors
+//! (Mondrian with the t-closeness constraint, SABRE-style bucketization)
+//! against the paper's fastest algorithm on the same problem.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tclose_baselines::{MondrianTClose, SabreLite};
+use tclose_bench::{data, Problem};
+use tclose_core::{TCloseClusterer, TClosenessFirst};
+
+fn bench_baselines(c: &mut Criterion) {
+    let table = data::census_mcd();
+    let p = Problem::from_table(&table);
+    let mut group = c.benchmark_group("baselines_mcd");
+    group.sample_size(10);
+
+    let methods: Vec<(&str, Box<dyn TCloseClusterer>)> = vec![
+        ("alg3", Box::new(TClosenessFirst::new())),
+        ("mondrian", Box::new(MondrianTClose::new())),
+        ("sabre", Box::new(SabreLite::new())),
+    ];
+    for (name, m) in &methods {
+        for t in [0.05f64, 0.25] {
+            let id = format!("{name}/t{t}");
+            group.bench_with_input(BenchmarkId::from_parameter(id), &t, |b, &t| {
+                let params = Problem::params(2, t);
+                b.iter(|| {
+                    black_box(m.cluster(black_box(&p.rows), black_box(&p.conf), params))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figure 5 regeneration bench: the three algorithms on the
+//! Patient-Discharge data set at k = 2 across t. The paper's figure shows
+//! Algorithm 2 orders of magnitude slower (cubic refinement) and
+//! Algorithm 3 fastest at small t (larger derived clusters ⇒ fewer of
+//! them). A 2,000-record sample keeps Criterion's repeated sampling
+//! tractable; `repro --full --exp fig5` runs the full 23,435 records once.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tclose_bench::{data, Problem};
+use tclose_core::{KAnonymityFirst, MergeAlgorithm, TCloseClusterer, TClosenessFirst};
+
+fn bench_fig5(c: &mut Criterion) {
+    let table = data::patient(2_000);
+    let p = Problem::from_table(&table);
+    let mut group = c.benchmark_group("fig5_runtime_patient2000");
+    group.sample_size(10);
+
+    let algs: Vec<(&str, Box<dyn TCloseClusterer>)> = vec![
+        ("alg1", Box::new(MergeAlgorithm::new())),
+        ("alg2", Box::new(KAnonymityFirst::new())),
+        ("alg3", Box::new(TClosenessFirst::new())),
+    ];
+    for (name, alg) in &algs {
+        for t in [0.05f64, 0.13, 0.25] {
+            let id = format!("{name}/t{t}");
+            group.bench_with_input(BenchmarkId::from_parameter(id), &t, |b, &t| {
+                let params = Problem::params(2, t);
+                b.iter(|| {
+                    black_box(alg.cluster(black_box(&p.rows), black_box(&p.conf), params))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Figure 6 regeneration bench: the full anonymization pipeline (cluster →
+//! aggregate → audit → SSE) for each algorithm on each of the three data
+//! sets at k = 2 — the computation behind every point of the figure.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tclose_bench::data;
+use tclose_core::{Algorithm, Anonymizer};
+use tclose_microdata::Table;
+
+fn bench_fig6(c: &mut Criterion) {
+    let datasets: Vec<(&str, Table)> = vec![
+        ("HCD", data::census_hcd()),
+        ("MCD", data::census_mcd()),
+        ("Patient", data::patient(1_000)),
+    ];
+    let mut group = c.benchmark_group("fig6_pipeline");
+    group.sample_size(10);
+    for (ds_name, table) in &datasets {
+        for (alg_name, alg) in [
+            ("alg1", Algorithm::Merge),
+            ("alg2", Algorithm::KAnonymityFirst),
+            ("alg3", Algorithm::TClosenessFirst),
+        ] {
+            let id = format!("{ds_name}/{alg_name}/t0.13");
+            group.bench_with_input(BenchmarkId::from_parameter(id), &alg, |b, &alg| {
+                b.iter(|| {
+                    let out = Anonymizer::new(2, 0.13)
+                        .algorithm(alg)
+                        .anonymize(black_box(table))
+                        .expect("pipeline succeeds");
+                    black_box(out.report.sse)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figure 7 regeneration bench: the SSE surface sweep — the pipeline on
+//! MCD across the k axis (t fixed at 0.13), one point per k of the paper's
+//! grid, for the algorithm with the strongest k dependence (Algorithm 3,
+//! whose cluster size is max(k, k'(t))) and for Algorithm 1 as contrast.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tclose_bench::data;
+use tclose_core::{Algorithm, Anonymizer};
+
+fn bench_fig7(c: &mut Criterion) {
+    let table = data::census_mcd();
+    let mut group = c.benchmark_group("fig7_surface_mcd");
+    group.sample_size(10);
+    for (alg_name, alg) in [
+        ("alg1", Algorithm::Merge),
+        ("alg3", Algorithm::TClosenessFirst),
+    ] {
+        for k in [2usize, 10, 30] {
+            let id = format!("{alg_name}/k{k}");
+            group.bench_with_input(BenchmarkId::from_parameter(id), &k, |b, &k| {
+                b.iter(|| {
+                    let out = Anonymizer::new(k, 0.13)
+                        .algorithm(alg)
+                        .anonymize(black_box(&table))
+                        .expect("pipeline succeeds");
+                    black_box(out.report.sse)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Micro-benchmarks of the hot kernels: ordered-EMD evaluation (the inner
+//! loop of Algorithms 1–2) and MDAV partitioning (the substrate of
+//! Algorithm 1).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tclose_metrics::emd::{ClusterHistogram, OrderedEmd};
+use tclose_microagg::{Mdav, Microaggregator};
+
+fn bench_emd_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("emd_eval");
+    for m in [100usize, 1_000, 10_000] {
+        let column: Vec<f64> = (0..m).map(|i| i as f64).collect();
+        let emd = OrderedEmd::new(&column);
+        let cluster: Vec<usize> = (0..m).step_by(10).collect();
+        let hist = ClusterHistogram::of_records(&emd, &cluster);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| black_box(emd.emd(black_box(&hist))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_emd_swap(c: &mut Criterion) {
+    let m = 1_080;
+    let column: Vec<f64> = (0..m).map(|i| i as f64).collect();
+    let emd = OrderedEmd::new(&column);
+    let cluster: Vec<usize> = (0..m).step_by(20).collect();
+    let hist = ClusterHistogram::of_records(&emd, &cluster);
+    c.bench_function("emd_after_swap_m1080", |b| {
+        b.iter(|| black_box(emd.emd_after_swap(black_box(&hist), 0, 541)));
+    });
+}
+
+fn bench_mdav(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mdav_partition");
+    group.sample_size(10);
+    for n in [500usize, 1_080, 2_000] {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![(i % 97) as f64, ((i * 31) % 83) as f64])
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(Mdav.partition(black_box(&rows), 5)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_emd_eval, bench_emd_swap, bench_mdav);
+criterion_main!(benches);

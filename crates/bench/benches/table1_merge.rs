@@ -1,0 +1,32 @@
+//! Table 1 regeneration bench: Algorithm 1 (MDAV + merging) on the Census
+//! data set, across representative `(k, t)` cells of the paper's grid for
+//! both the MCD and HCD configurations.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tclose_bench::{data, Problem};
+use tclose_core::{MergeAlgorithm, TCloseClusterer};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_alg1_merge");
+    group.sample_size(10);
+    for (name, table) in [("MCD", data::census_mcd()), ("HCD", data::census_hcd())] {
+        let p = Problem::from_table(&table);
+        for (k, t) in [(2usize, 0.25), (2, 0.09), (10, 0.13), (30, 0.25)] {
+            let id = format!("{name}/k{k}_t{t}");
+            group.bench_with_input(BenchmarkId::from_parameter(id), &(k, t), |b, &(k, t)| {
+                let params = Problem::params(k, t);
+                b.iter(|| {
+                    black_box(MergeAlgorithm::new().cluster(
+                        black_box(&p.rows),
+                        black_box(&p.conf),
+                        params,
+                    ))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

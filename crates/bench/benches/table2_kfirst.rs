@@ -1,0 +1,33 @@
+//! Table 2 regeneration bench: Algorithm 2 (k-anonymity-first with swap
+//! refinement + merge fallback) on the Census data set. The swap loop is
+//! the paper's `O(n³/k)` worst case, so the cells here use the moderate-t
+//! half of the grid where the algorithm operates in its intended regime.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tclose_bench::{data, Problem};
+use tclose_core::{KAnonymityFirst, TCloseClusterer};
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_alg2_kfirst");
+    group.sample_size(10);
+    for (name, table) in [("MCD", data::census_mcd()), ("HCD", data::census_hcd())] {
+        let p = Problem::from_table(&table);
+        for (k, t) in [(2usize, 0.25), (2, 0.13), (10, 0.25)] {
+            let id = format!("{name}/k{k}_t{t}");
+            group.bench_with_input(BenchmarkId::from_parameter(id), &(k, t), |b, &(k, t)| {
+                let params = Problem::params(k, t);
+                b.iter(|| {
+                    black_box(KAnonymityFirst::new().cluster(
+                        black_box(&p.rows),
+                        black_box(&p.conf),
+                        params,
+                    ))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

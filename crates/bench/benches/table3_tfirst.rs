@@ -1,0 +1,33 @@
+//! Table 3 regeneration bench: Algorithm 3 (t-closeness-first) on the
+//! Census data set — including the strict t = 0.01 cell where the derived
+//! cluster size k' = 49 makes the algorithm *faster* (fewer, larger
+//! clusters), the effect the paper highlights in Section 8.2.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tclose_bench::{data, Problem};
+use tclose_core::{TCloseClusterer, TClosenessFirst};
+
+fn bench_table3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_alg3_tfirst");
+    group.sample_size(10);
+    for (name, table) in [("MCD", data::census_mcd()), ("HCD", data::census_hcd())] {
+        let p = Problem::from_table(&table);
+        for (k, t) in [(2usize, 0.01), (2, 0.09), (2, 0.25), (30, 0.25)] {
+            let id = format!("{name}/k{k}_t{t}");
+            group.bench_with_input(BenchmarkId::from_parameter(id), &(k, t), |b, &(k, t)| {
+                let params = Problem::params(k, t);
+                b.iter(|| {
+                    black_box(TClosenessFirst::new().cluster(
+                        black_box(&p.rows),
+                        black_box(&p.conf),
+                        params,
+                    ))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

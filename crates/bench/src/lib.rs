@@ -1,0 +1,86 @@
+//! # tclose-bench
+//!
+//! Criterion benchmarks, one target per paper table/figure plus
+//! micro-benchmarks of the hot kernels:
+//!
+//! | bench target | regenerates |
+//! |---|---|
+//! | `table1_merge`  | Table 1 cells (Alg. 1 cluster formation) |
+//! | `table2_kfirst` | Table 2 cells (Alg. 2 cluster formation) |
+//! | `table3_tfirst` | Table 3 cells (Alg. 3 cluster formation) |
+//! | `fig5_runtime`  | Figure 5 (three algorithms on Patient Discharge) |
+//! | `fig6_sse`      | Figure 6 (end-to-end pipeline per data set) |
+//! | `fig7_surface`  | Figure 7 (SSE surface sweep over k) |
+//! | `baselines`     | baseline comparison (Mondrian, SABRE) |
+//! | `kernels`       | micro: ordered EMD evaluation, MDAV partition |
+//!
+//! Run with `cargo bench -p tclose-bench`. Timings are the deliverable
+//! here; the corresponding *values* (cluster sizes, SSE) are produced by
+//! the `repro` binary in `tclose-eval`.
+
+#![forbid(unsafe_code)]
+
+use tclose_core::{Confidential, TClosenessParams};
+use tclose_microdata::{AttributeRole, NormalizeMethod, Table};
+
+/// A prepared benchmark problem: normalized QI rows plus the fitted
+/// confidential model (what every clusterer consumes).
+pub struct Problem {
+    /// Normalized quasi-identifier row vectors.
+    pub rows: Vec<Vec<f64>>,
+    /// Fitted confidential model.
+    pub conf: Confidential,
+}
+
+impl Problem {
+    /// Builds the problem from any table with roles assigned.
+    pub fn from_table(table: &Table) -> Self {
+        let qi = table.schema().quasi_identifiers();
+        let rows = tclose_core::pipeline::qi_matrix(table, &qi, NormalizeMethod::ZScore)
+            .expect("benchmark tables are all-numeric");
+        let conf = Confidential::from_table(table).expect("confidential attribute present");
+        Problem { rows, conf }
+    }
+
+    /// Convenience: the `(k, t)` parameter pair.
+    pub fn params(k: usize, t: f64) -> TClosenessParams {
+        TClosenessParams::new(k, t).expect("valid benchmark parameters")
+    }
+}
+
+/// The benchmark data sets (kept small enough for Criterion's repeated
+/// sampling; the `repro --full` run covers the paper-scale sizes).
+pub mod data {
+    use super::*;
+    use tclose_datasets::census::census_sized;
+    use tclose_datasets::patient_discharge;
+
+    /// Census-like table at the paper's size (1,080), MCD roles.
+    pub fn census_mcd() -> Table {
+        let mut t = census_sized(42, 1080);
+        t.schema_mut()
+            .set_roles(&[
+                ("FEDTAX", AttributeRole::Confidential),
+                ("FICA", AttributeRole::NonConfidential),
+            ])
+            .expect("census schema");
+        t
+    }
+
+    /// Census-like table, HCD roles.
+    pub fn census_hcd() -> Table {
+        let mut t = census_sized(42, 1080);
+        t.schema_mut()
+            .set_roles(&[
+                ("FEDTAX", AttributeRole::NonConfidential),
+                ("FICA", AttributeRole::Confidential),
+            ])
+            .expect("census schema");
+        t
+    }
+
+    /// Patient-Discharge-like sample for the runtime figure benches.
+    pub fn patient(n: usize) -> Table {
+        patient_discharge(42, n)
+    }
+}

@@ -1,0 +1,125 @@
+//! Tiny dependency-free argument parser for the `tclose` CLI.
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--key value` options
+/// (flags without values store an empty string).
+#[derive(Debug, Clone, Default)]
+pub struct Parsed {
+    /// First positional argument (the subcommand).
+    pub command: String,
+    /// `--key value` options; bare flags map to "".
+    pub options: HashMap<String, String>,
+}
+
+/// Options that are flags (no value follows them).
+const FLAGS: &[&str] = &["help", "report"];
+
+/// Parses an argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<Parsed, String> {
+    let mut parsed = Parsed::default();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(key) = a.strip_prefix("--") {
+            if FLAGS.contains(&key) {
+                parsed.options.insert(key.to_owned(), String::new());
+            } else {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or_else(|| format!("--{key} requires a value"))?;
+                parsed.options.insert(key.to_owned(), v.clone());
+            }
+        } else if parsed.command.is_empty() {
+            parsed.command = a.clone();
+        } else {
+            return Err(format!("unexpected positional argument {a:?}"));
+        }
+        i += 1;
+    }
+    Ok(parsed)
+}
+
+impl Parsed {
+    /// Required string option.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.options
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    /// Optional string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Optional parsed option with default.
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("--{key}: {e}")),
+        }
+    }
+
+    /// True when the flag is present.
+    pub fn flag(&self, key: &str) -> bool {
+        self.options.contains_key(key)
+    }
+
+    /// Comma-separated list option.
+    pub fn get_list(&self, key: &str) -> Vec<String> {
+        self.options
+            .get(key)
+            .map(|v| {
+                v.split(',')
+                    .map(|s| s.trim().to_owned())
+                    .filter(|s| !s.is_empty())
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn parses_command_and_options() {
+        let p = parse(&argv("anonymize --k 5 --t 0.1 --input data.csv --report")).unwrap();
+        assert_eq!(p.command, "anonymize");
+        assert_eq!(p.require("k").unwrap(), "5");
+        assert_eq!(p.get_parsed::<f64>("t", 0.0).unwrap(), 0.1);
+        assert!(p.flag("report"));
+        assert!(!p.flag("verbose"));
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(parse(&argv("anonymize --k")).is_err());
+    }
+
+    #[test]
+    fn unexpected_positional_is_an_error() {
+        assert!(parse(&argv("anonymize extra")).is_err());
+    }
+
+    #[test]
+    fn lists_and_defaults() {
+        let p = parse(&argv("audit --qi age,zip, --seed 9")).unwrap();
+        assert_eq!(p.get_list("qi"), vec!["age", "zip"]);
+        assert_eq!(p.get_parsed::<u64>("seed", 42).unwrap(), 9);
+        assert_eq!(p.get_parsed::<u64>("missing", 42).unwrap(), 42);
+        assert!(p.get_parsed::<u64>("qi", 0).is_err());
+        assert!(p.require("nope").is_err());
+    }
+}

@@ -1,0 +1,224 @@
+//! The `tclose` CLI subcommands, separated from `main` for testability.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+use crate::args::Parsed;
+use tclose_core::{Algorithm, Anonymizer, Confidential};
+use tclose_datasets::{census_hcd, census_mcd, patient_discharge, PATIENT_N};
+use tclose_microdata::csv::{read_csv_auto, write_csv};
+use tclose_microdata::{AttributeRole, Table};
+
+/// Loads a CSV with inferred types and applies role assignments.
+pub fn load_with_roles(path: &Path, qi: &[String], confidential: &[String]) -> Result<Table, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+    let mut table = read_csv_auto(BufReader::new(file)).map_err(|e| e.to_string())?;
+    let mut roles: Vec<(&str, AttributeRole)> = Vec::new();
+    for name in qi {
+        roles.push((name.as_str(), AttributeRole::QuasiIdentifier));
+    }
+    for name in confidential {
+        roles.push((name.as_str(), AttributeRole::Confidential));
+    }
+    table.schema_mut().set_roles(&roles).map_err(|e| e.to_string())?;
+    Ok(table)
+}
+
+/// Writes a table as CSV to `path`.
+pub fn save(table: &Table, path: &Path) -> Result<(), String> {
+    let file = File::create(path).map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+    write_csv(table, BufWriter::new(file)).map_err(|e| e.to_string())
+}
+
+/// Parses the `--algorithm` option.
+pub fn algorithm_by_name(name: &str) -> Result<Algorithm, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "alg1" | "merge" => Ok(Algorithm::Merge),
+        "alg2" | "kfirst" | "k-anonymity-first" => Ok(Algorithm::KAnonymityFirst),
+        "alg3" | "tfirst" | "t-closeness-first" => Ok(Algorithm::TClosenessFirst),
+        other => Err(format!(
+            "unknown algorithm {other:?} (expected alg1|alg2|alg3)"
+        )),
+    }
+}
+
+/// `tclose generate`: writes a synthetic evaluation data set as CSV.
+pub fn cmd_generate(p: &Parsed) -> Result<String, String> {
+    let dataset = p.require("dataset")?;
+    let seed: u64 = p.get_parsed("seed", 42)?;
+    let output = Path::new(p.require("output")?);
+    let table = match dataset {
+        "census-mcd" => census_mcd(seed),
+        "census-hcd" => census_hcd(seed),
+        "patient" => {
+            let n: usize = p.get_parsed("n", PATIENT_N)?;
+            patient_discharge(seed, n)
+        }
+        other => {
+            return Err(format!(
+                "unknown dataset {other:?} (expected census-mcd|census-hcd|patient)"
+            ))
+        }
+    };
+    save(&table, output)?;
+    Ok(format!(
+        "wrote {} records × {} attributes to {}",
+        table.n_rows(),
+        table.n_cols(),
+        output.display()
+    ))
+}
+
+/// `tclose anonymize`: k-anonymous t-close release of a CSV file.
+pub fn cmd_anonymize(p: &Parsed) -> Result<String, String> {
+    let input = Path::new(p.require("input")?);
+    let output = Path::new(p.require("output")?);
+    let qi = p.get_list("qi");
+    let confidential = p.get_list("confidential");
+    if qi.is_empty() {
+        return Err("--qi must list at least one quasi-identifier column".into());
+    }
+    if confidential.is_empty() {
+        return Err("--confidential must list at least one column".into());
+    }
+    let k: usize = p.get_parsed("k", 0)?;
+    if k == 0 {
+        return Err("missing or invalid --k (must be ≥ 1)".into());
+    }
+    let t: f64 = p.get_parsed("t", f64::NAN)?;
+    if !t.is_finite() {
+        return Err("missing or invalid --t (must be in (0, 1])".into());
+    }
+    let algorithm = algorithm_by_name(p.get("algorithm").unwrap_or("alg3"))?;
+
+    let table = load_with_roles(input, &qi, &confidential)?;
+    let out = Anonymizer::new(k, t)
+        .algorithm(algorithm)
+        .anonymize(&table)
+        .map_err(|e| e.to_string())?;
+    save(&out.table.drop_identifiers().map_err(|e| e.to_string())?, output)?;
+
+    let r = &out.report;
+    let mut msg = format!(
+        "released {} records to {}\n\
+         algorithm           {}\n\
+         requested (k, t)    ({}, {})\n\
+         achieved k          {}\n\
+         achieved t (EMD)    {:.5}\n\
+         equivalence classes {} (sizes min {} / mean {:.1} / max {})\n\
+         normalized SSE      {:.6}\n\
+         clustering time     {:?}",
+        r.n_records,
+        output.display(),
+        r.algorithm,
+        r.k_requested,
+        r.t_requested,
+        r.min_cluster_size,
+        r.max_emd,
+        r.n_clusters,
+        r.min_cluster_size,
+        r.mean_cluster_size,
+        r.max_cluster_size,
+        r.sse,
+        r.clustering_time,
+    );
+    if !r.satisfies_request() {
+        msg.push_str("\nwarning: the release does NOT meet the requested levels");
+    }
+    Ok(msg)
+}
+
+/// `tclose audit`: verify the k-anonymity / t-closeness of a released CSV.
+pub fn cmd_audit(p: &Parsed) -> Result<String, String> {
+    let input = Path::new(p.require("input")?);
+    let qi = p.get_list("qi");
+    let confidential = p.get_list("confidential");
+    if qi.is_empty() || confidential.is_empty() {
+        return Err("--qi and --confidential are both required".into());
+    }
+    let table = load_with_roles(input, &qi, &confidential)?;
+    let achieved_k = tclose_core::verify_k_anonymity(&table).map_err(|e| e.to_string())?;
+    let conf = Confidential::from_table(&table).map_err(|e| e.to_string())?;
+    let achieved_t = tclose_core::verify_t_closeness(&table, &conf).map_err(|e| e.to_string())?;
+    let achieved_l = tclose_core::verify_l_diversity(&table).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "audited {} records from {}\nachieved k (min class size) {}\nachieved t (max class EMD)  {:.5}\nachieved l (min distinct)   {}",
+        table.n_rows(),
+        input.display(),
+        achieved_k,
+        achieved_t,
+        achieved_l,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn argv(s: &str) -> crate::args::Parsed {
+        parse(&s.split_whitespace().map(str::to_owned).collect::<Vec<_>>()).unwrap()
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("tclose_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn algorithm_names() {
+        assert_eq!(algorithm_by_name("alg1").unwrap(), Algorithm::Merge);
+        assert_eq!(algorithm_by_name("ALG3").unwrap(), Algorithm::TClosenessFirst);
+        assert!(algorithm_by_name("mystery").is_err());
+    }
+
+    #[test]
+    fn generate_anonymize_audit_round_trip() {
+        let data = tmp("census.csv");
+        let released = tmp("census_anon.csv");
+
+        let msg = cmd_generate(&argv(&format!(
+            "generate --dataset census-mcd --seed 5 --output {}",
+            data.display()
+        )))
+        .unwrap();
+        assert!(msg.contains("1080 records"));
+
+        let msg = cmd_anonymize(&argv(&format!(
+            "anonymize --input {} --output {} --qi TAXINC,POTHVAL --confidential FEDTAX --k 5 --t 0.25 --algorithm alg3",
+            data.display(),
+            released.display()
+        )))
+        .unwrap();
+        assert!(msg.contains("achieved k"), "{msg}");
+        assert!(!msg.contains("warning"), "{msg}");
+
+        let msg = cmd_audit(&argv(&format!(
+            "audit --input {} --qi TAXINC,POTHVAL --confidential FEDTAX",
+            released.display()
+        )))
+        .unwrap();
+        // k ≥ 5 must be visible in the audit line
+        let k_line = msg.lines().find(|l| l.contains("achieved k")).unwrap();
+        let k: usize = k_line.split_whitespace().last().unwrap().parse().unwrap();
+        assert!(k >= 5, "audited k = {k}");
+    }
+
+    #[test]
+    fn anonymize_validates_options() {
+        let e = cmd_anonymize(&argv("anonymize --input x.csv --output y.csv --qi a --confidential c --t 0.1")).unwrap_err();
+        assert!(e.contains("--k"));
+        let e = cmd_anonymize(&argv("anonymize --input x.csv --output y.csv --qi a --confidential c --k 2")).unwrap_err();
+        assert!(e.contains("--t"));
+        let e = cmd_anonymize(&argv("anonymize --input x.csv --output y.csv --confidential c --k 2 --t 0.1")).unwrap_err();
+        assert!(e.contains("--qi"));
+    }
+
+    #[test]
+    fn generate_rejects_unknown_dataset() {
+        let e = cmd_generate(&argv("generate --dataset nope --output /tmp/x.csv")).unwrap_err();
+        assert!(e.contains("unknown dataset"));
+    }
+}

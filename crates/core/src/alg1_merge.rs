@@ -1,0 +1,283 @@
+//! Algorithm 1: standard microaggregation followed by cluster merging.
+//!
+//! The data set is first microaggregated on the quasi-identifiers with any
+//! off-the-shelf algorithm (MDAV by default), producing a k-anonymous
+//! clustering. Then, while any cluster violates t-closeness, the cluster
+//! whose confidential distribution is *farthest* from the global one is
+//! merged with its nearest cluster in quasi-identifier space. In the worst
+//! case everything collapses into a single cluster, whose EMD is zero — so
+//! the algorithm always terminates with a t-close result.
+//!
+//! The merge-partner criterion is the paper's (QI-nearest centroid); an
+//! alternative criterion that picks the partner minimizing the merged EMD
+//! is available for ablation ([`MergePartner::ComplementaryEmd`]).
+
+use crate::confidential::{ClusterHists, Confidential};
+use crate::params::TClosenessParams;
+use crate::TCloseClusterer;
+use tclose_metrics::distance::{centroid, sq_dist};
+use tclose_microagg::{Clustering, Mdav, Microaggregator};
+
+/// How Algorithm 1 chooses the cluster to merge the worst offender with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MergePartner {
+    /// The cluster with the nearest QI centroid (the paper's criterion).
+    #[default]
+    NearestQi,
+    /// The cluster whose union with the offender has the smallest EMD
+    /// (ablation; more EMD evaluations, potentially fewer mergers).
+    ComplementaryEmd,
+}
+
+/// Algorithm 1 of the paper: microaggregation + merging.
+#[derive(Debug, Clone)]
+pub struct MergeAlgorithm<M = Mdav> {
+    base: M,
+    partner: MergePartner,
+}
+
+impl MergeAlgorithm<Mdav> {
+    /// Algorithm 1 over MDAV with the paper's merge criterion.
+    pub fn new() -> Self {
+        MergeAlgorithm { base: Mdav::new(), partner: MergePartner::NearestQi }
+    }
+}
+
+impl Default for MergeAlgorithm<Mdav> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M: Microaggregator> MergeAlgorithm<M> {
+    /// Algorithm 1 over a custom base microaggregation.
+    pub fn with_base(base: M) -> Self {
+        MergeAlgorithm { base, partner: MergePartner::NearestQi }
+    }
+
+    /// Selects the merge-partner criterion (ablation hook).
+    pub fn with_partner(mut self, partner: MergePartner) -> Self {
+        self.partner = partner;
+        self
+    }
+}
+
+impl<M: Microaggregator> TCloseClusterer for MergeAlgorithm<M> {
+    fn cluster(
+        &self,
+        rows: &[Vec<f64>],
+        conf: &Confidential,
+        params: TClosenessParams,
+    ) -> Clustering {
+        let initial = self.base.partition(rows, params.k);
+        merge_until_t_close(rows, conf, params.t, initial, self.partner)
+    }
+
+    fn name(&self) -> &'static str {
+        "Alg1-merge"
+    }
+}
+
+/// The merging phase of Algorithm 1, usable on any starting clustering
+/// (Algorithm 2 reuses it as its t-closeness fallback).
+///
+/// Repeatedly merges the cluster with the greatest EMD into a partner
+/// until every cluster's EMD is ≤ `t` (or one cluster remains).
+pub fn merge_until_t_close(
+    rows: &[Vec<f64>],
+    conf: &Confidential,
+    t: f64,
+    clustering: Clustering,
+    partner: MergePartner,
+) -> Clustering {
+    let n = clustering.n_records();
+    let mut clusters: Vec<Vec<usize>> = clustering.into_clusters();
+    if clusters.is_empty() {
+        return Clustering::new(clusters, n).expect("empty clustering is valid");
+    }
+
+    let mut hists: Vec<ClusterHists> = clusters.iter().map(|c| conf.histograms(c)).collect();
+    let mut emds: Vec<f64> = hists.iter().map(|h| conf.emd_of_hists(h)).collect();
+    let mut centroids: Vec<Vec<f64>> = clusters.iter().map(|c| centroid(rows, c)).collect();
+
+    while clusters.len() > 1 {
+        // The cluster farthest from t-closeness.
+        let (worst, &worst_emd) = emds
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite EMD"))
+            .expect("non-empty");
+        if worst_emd <= t {
+            break;
+        }
+
+        let mate = match partner {
+            MergePartner::NearestQi => {
+                // Nearest centroid in QI space.
+                let mut best = usize::MAX;
+                let mut best_d = f64::INFINITY;
+                for ci in 0..clusters.len() {
+                    if ci == worst {
+                        continue;
+                    }
+                    let d = sq_dist(&centroids[worst], &centroids[ci]);
+                    if d < best_d {
+                        best_d = d;
+                        best = ci;
+                    }
+                }
+                best
+            }
+            MergePartner::ComplementaryEmd => {
+                // Partner minimizing the merged cluster's EMD.
+                let mut best = usize::MAX;
+                let mut best_emd = f64::INFINITY;
+                for ci in 0..clusters.len() {
+                    if ci == worst {
+                        continue;
+                    }
+                    let mut merged = hists[worst].clone();
+                    merged.merge(&hists[ci]);
+                    let e = conf.emd_of_hists(&merged);
+                    if e < best_emd {
+                        best_emd = e;
+                        best = ci;
+                    }
+                }
+                best
+            }
+        };
+        debug_assert!(mate != usize::MAX);
+
+        // Merge `mate` into `worst`, then drop `mate` (swap_remove keeps the
+        // parallel vectors aligned).
+        let (wa, wb) = (clusters[worst].len() as f64, clusters[mate].len() as f64);
+        let merged_centroid: Vec<f64> = centroids[worst]
+            .iter()
+            .zip(&centroids[mate])
+            .map(|(a, b)| (a * wa + b * wb) / (wa + wb))
+            .collect();
+        let moved = std::mem::take(&mut clusters[mate]);
+        clusters[worst].extend(moved);
+        let moved_h = hists[mate].clone();
+        hists[worst].merge(&moved_h);
+        emds[worst] = conf.emd_of_hists(&hists[worst]);
+        centroids[worst] = merged_centroid;
+
+        clusters.swap_remove(mate);
+        hists.swap_remove(mate);
+        emds.swap_remove(mate);
+        centroids.swap_remove(mate);
+    }
+
+    Clustering::new(clusters, n).expect("merging preserves the partition invariant")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tclose_metrics::emd::OrderedEmd;
+
+    /// QI = position on a line; confidential value strongly correlated with
+    /// the QI (the adversarial case for merge-based t-closeness).
+    fn correlated_problem(n: usize) -> (Vec<Vec<f64>>, Confidential) {
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
+        let conf_col: Vec<f64> = (0..n).map(|i| (i as f64) * 10.0).collect();
+        (rows, Confidential::single(OrderedEmd::new(&conf_col)))
+    }
+
+    /// Confidential values independent of the QI.
+    fn independent_problem(n: usize) -> (Vec<Vec<f64>>, Confidential) {
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
+        let conf_col: Vec<f64> = (0..n).map(|i| (i % 5) as f64).collect();
+        (rows, Confidential::single(OrderedEmd::new(&conf_col)))
+    }
+
+    #[test]
+    fn always_returns_t_close_clustering() {
+        for t in [0.02, 0.1, 0.25] {
+            let (rows, conf) = correlated_problem(60);
+            let params = TClosenessParams::new(3, t).unwrap();
+            let c = MergeAlgorithm::new().cluster(&rows, &conf, params);
+            c.check_min_size(3).unwrap();
+            for cl in c.clusters() {
+                assert!(
+                    conf.emd_of_records(cl) <= t + 1e-12,
+                    "cluster violates t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn strict_t_on_correlated_data_forces_large_clusters() {
+        let (rows, conf) = correlated_problem(60);
+        let strict = MergeAlgorithm::new()
+            .cluster(&rows, &conf, TClosenessParams::new(2, 1e-6).unwrap());
+        let loose = MergeAlgorithm::new()
+            .cluster(&rows, &conf, TClosenessParams::new(2, 0.4).unwrap());
+        assert!(
+            strict.mean_size() > loose.mean_size(),
+            "stricter t must force more merging: strict {} vs loose {}",
+            strict.mean_size(),
+            loose.mean_size()
+        );
+    }
+
+    #[test]
+    fn independent_confidential_needs_little_merging() {
+        let (rows, conf) = independent_problem(60);
+        let params = TClosenessParams::new(3, 0.25).unwrap();
+        let c = MergeAlgorithm::new().cluster(&rows, &conf, params);
+        // weak dependence → clusters mostly stay near size k
+        assert!(c.mean_size() <= 6.0, "mean size {}", c.mean_size());
+        c.check_min_size(3).unwrap();
+    }
+
+    #[test]
+    fn worst_case_collapses_to_single_cluster() {
+        // perfectly correlated data and an unattainably small t (below the
+        // Proposition 1 bound for any k < n) → everything merges.
+        let (rows, conf) = correlated_problem(20);
+        let params = TClosenessParams::new(2, 1e-6).unwrap();
+        let c = MergeAlgorithm::new().cluster(&rows, &conf, params);
+        assert_eq!(c.n_clusters(), 1);
+        assert!(conf.emd_of_records(&c.clusters()[0]) < 1e-12);
+    }
+
+    #[test]
+    fn merge_phase_is_identity_when_already_t_close() {
+        let (rows, conf) = independent_problem(30);
+        let base = Mdav.partition(&rows, 5);
+        let merged =
+            merge_until_t_close(&rows, &conf, 1.0, base.clone(), MergePartner::NearestQi);
+        assert_eq!(base, merged);
+    }
+
+    #[test]
+    fn complementary_emd_partner_needs_no_more_mergers() {
+        let (rows, conf) = correlated_problem(48);
+        let params = TClosenessParams::new(2, 0.1).unwrap();
+        let qi = MergeAlgorithm::new().cluster(&rows, &conf, params);
+        let ce = MergeAlgorithm::new()
+            .with_partner(MergePartner::ComplementaryEmd)
+            .cluster(&rows, &conf, params);
+        // picking the EMD-complementary partner can only need fewer or equal
+        // mergers on this monotone data set
+        assert!(ce.n_clusters() >= qi.n_clusters());
+        for cl in ce.clusters() {
+            assert!(conf.emd_of_records(cl) <= 0.1 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let conf = Confidential::single(OrderedEmd::new(&[1.0]));
+        let c = MergeAlgorithm::new().cluster(
+            &[],
+            &conf,
+            TClosenessParams::new(2, 0.1).unwrap(),
+        );
+        assert_eq!(c.n_clusters(), 0);
+    }
+}

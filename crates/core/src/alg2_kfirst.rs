@@ -1,0 +1,325 @@
+//! Algorithm 2: k-anonymity-first t-closeness-aware microaggregation.
+//!
+//! Clusters are formed MDAV-style over the quasi-identifiers (size exactly
+//! `k`), but immediately after a cluster is formed it is *refined*: while
+//! its EMD to the global confidential distribution exceeds `t`, the nearest
+//! unclustered record `y` (in QI space) is considered and — if beneficial —
+//! swapped with the cluster member `y'` whose replacement minimizes the
+//! cluster's EMD. Swapping (rather than adding) keeps the cluster size at
+//! `k`; the swapped-out record returns to the unclustered pool.
+//!
+//! The refinement may exhaust the candidate pool before reaching `t`
+//! (especially for the last clusters), so Algorithm 2 alone cannot
+//! guarantee t-closeness. Per the paper, it is therefore used as the
+//! microaggregation step of Algorithm 1: a final merging pass
+//! ([`merge_until_t_close`]) repairs any violating clusters. The pass is
+//! enabled by default and can be disabled for ablation.
+
+use crate::alg1_merge::{merge_until_t_close, MergePartner};
+use crate::confidential::Confidential;
+use crate::params::TClosenessParams;
+use crate::pool::IndexPool;
+use crate::TCloseClusterer;
+use tclose_metrics::distance::{centroid, farthest_from, k_nearest, sq_dist};
+use tclose_microagg::Clustering;
+
+/// How a freshly formed cluster is refined toward t-closeness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RefineStrategy {
+    /// Swap a member for an outside record (the paper's choice: cluster size
+    /// stays `k`).
+    #[default]
+    Swap,
+    /// Add outside records while they reduce the EMD (the alternative the
+    /// paper discarded because clusters balloon under high QI↔confidential
+    /// correlation; kept for ablation).
+    Add,
+}
+
+/// Algorithm 2 of the paper: k-anonymity-first cluster formation with
+/// EMD-driven refinement.
+#[derive(Debug, Clone, Copy)]
+pub struct KAnonymityFirst {
+    /// Refinement strategy (paper: [`RefineStrategy::Swap`]).
+    pub strategy: RefineStrategy,
+    /// Run the Algorithm 1 merging pass afterwards so the result is
+    /// guaranteed t-close (paper's recommendation). Default `true`.
+    pub ensure_t_closeness: bool,
+}
+
+impl KAnonymityFirst {
+    /// The paper's configuration: swap refinement + merge fallback.
+    pub fn new() -> Self {
+        KAnonymityFirst { strategy: RefineStrategy::Swap, ensure_t_closeness: true }
+    }
+
+    /// Selects the refinement strategy (ablation hook).
+    pub fn with_strategy(mut self, strategy: RefineStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Enables/disables the final merging pass.
+    pub fn with_merge_fallback(mut self, ensure: bool) -> Self {
+        self.ensure_t_closeness = ensure;
+        self
+    }
+}
+
+impl Default for KAnonymityFirst {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TCloseClusterer for KAnonymityFirst {
+    fn cluster(
+        &self,
+        rows: &[Vec<f64>],
+        conf: &Confidential,
+        params: TClosenessParams,
+    ) -> Clustering {
+        assert!(params.k >= 1, "k must be at least 1");
+        let n = rows.len();
+        let mut remaining = IndexPool::full(n);
+        let mut clusters: Vec<Vec<usize>> = Vec::new();
+
+        while !remaining.is_empty() {
+            let xa = centroid(rows, remaining.items());
+            let x0 = farthest_from(rows, remaining.items(), &xa).expect("non-empty");
+            let c = self.generate_cluster(rows, conf, params, x0, &mut remaining);
+            clusters.push(c);
+
+            if !remaining.is_empty() {
+                let x1 = farthest_from(rows, remaining.items(), &rows[x0]).expect("non-empty");
+                let c = self.generate_cluster(rows, conf, params, x1, &mut remaining);
+                clusters.push(c);
+            }
+        }
+
+        let clustering =
+            Clustering::new(clusters, n).expect("cluster generation partitions the records");
+        if self.ensure_t_closeness {
+            merge_until_t_close(rows, conf, params.t, clustering, MergePartner::NearestQi)
+        } else {
+            clustering
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Alg2-kfirst"
+    }
+}
+
+impl KAnonymityFirst {
+    /// `GenerateCluster` of the paper: seed a cluster with the `k` records
+    /// nearest to `seed`, then refine until t-close or candidates exhausted.
+    fn generate_cluster(
+        &self,
+        rows: &[Vec<f64>],
+        conf: &Confidential,
+        params: TClosenessParams,
+        seed: usize,
+        remaining: &mut IndexPool,
+    ) -> Vec<usize> {
+        let k = params.k;
+        // Too few records for two clusters: the tail becomes one cluster.
+        if remaining.len() < 2 * k {
+            let members: Vec<usize> = remaining.items().to_vec();
+            for &r in &members {
+                remaining.remove(r);
+            }
+            return members;
+        }
+
+        let mut members = k_nearest(rows, remaining.items(), &rows[seed], k);
+        for &r in &members {
+            remaining.remove(r);
+        }
+
+        let mut hists = conf.histograms(&members);
+        let mut emd = conf.emd_of_hists(&hists);
+        if emd <= params.t {
+            return members;
+        }
+
+        // Candidate queue: the unclustered records ordered by distance to
+        // the seed. Each candidate is considered once (the paper's
+        // `X' = X' \ {y}`), which guarantees termination; records swapped
+        // *out* stay available for later clusters via `remaining`.
+        let mut queue: Vec<usize> = remaining.items().to_vec();
+        queue.sort_by(|&a, &b| {
+            sq_dist(&rows[a], &rows[seed])
+                .partial_cmp(&sq_dist(&rows[b], &rows[seed]))
+                .expect("finite")
+                .then(a.cmp(&b))
+        });
+
+        for y in queue {
+            if emd <= params.t {
+                break;
+            }
+            // y may have been swapped out by ... no: swapped-out members were
+            // never in this queue (they were removed from `remaining` before
+            // the queue was built). y is always still unclustered here.
+            debug_assert!(remaining.contains(y));
+            match self.strategy {
+                RefineStrategy::Swap => {
+                    // Find the member whose replacement by y helps most.
+                    let mut best_i = usize::MAX;
+                    let mut best_emd = emd;
+                    for (i, &out) in members.iter().enumerate() {
+                        let e = conf.emd_after_swap(&hists, out, y);
+                        if e < best_emd {
+                            best_emd = e;
+                            best_i = i;
+                        }
+                    }
+                    if best_i != usize::MAX {
+                        let out = members[best_i];
+                        hists.remove(conf, out);
+                        hists.add(conf, y);
+                        members[best_i] = y;
+                        remaining.remove(y);
+                        remaining.insert(out);
+                        emd = best_emd;
+                    }
+                }
+                RefineStrategy::Add => {
+                    let mut trial = hists.clone();
+                    trial.add(conf, y);
+                    let e = conf.emd_of_hists(&trial);
+                    if e < emd {
+                        hists = trial;
+                        members.push(y);
+                        remaining.remove(y);
+                        emd = e;
+                    }
+                }
+            }
+        }
+        members
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tclose_metrics::emd::OrderedEmd;
+
+    fn correlated(n: usize) -> (Vec<Vec<f64>>, Confidential) {
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
+        let conf: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        (rows, Confidential::single(OrderedEmd::new(&conf)))
+    }
+
+    fn independent(n: usize) -> (Vec<Vec<f64>>, Confidential) {
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
+        let conf: Vec<f64> = (0..n).map(|i| ((i * 7) % 11) as f64).collect();
+        (rows, Confidential::single(OrderedEmd::new(&conf)))
+    }
+
+    #[test]
+    fn partitions_all_records_with_min_size_k() {
+        for n in [10, 37, 60] {
+            for k in [2, 3, 5] {
+                let (rows, conf) = independent(n);
+                let params = TClosenessParams::new(k, 0.15).unwrap();
+                let c = KAnonymityFirst::new().cluster(&rows, &conf, params);
+                assert_eq!(c.n_records(), n);
+                c.check_min_size(k).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn with_fallback_result_is_t_close() {
+        for t in [0.05, 0.15, 0.25] {
+            let (rows, conf) = correlated(48);
+            let params = TClosenessParams::new(2, t).unwrap();
+            let c = KAnonymityFirst::new().cluster(&rows, &conf, params);
+            for cl in c.clusters() {
+                assert!(conf.emd_of_records(cl) <= t + 1e-12, "t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn swapping_beats_plain_mdav_on_emd() {
+        use tclose_microagg::{Mdav, Microaggregator};
+        let (rows, conf) = correlated(60);
+        let params = TClosenessParams::new(3, 0.10).unwrap();
+        // without fallback, so we observe pure refinement quality
+        let refined = KAnonymityFirst::new()
+            .with_merge_fallback(false)
+            .cluster(&rows, &conf, params);
+        let plain = Mdav.partition(&rows, 3);
+        let worst_refined = refined
+            .clusters()
+            .iter()
+            .map(|c| conf.emd_of_records(c))
+            .fold(0.0, f64::max);
+        let worst_plain =
+            plain.clusters().iter().map(|c| conf.emd_of_records(c)).fold(0.0, f64::max);
+        assert!(
+            worst_refined < worst_plain,
+            "refinement should reduce the worst EMD: {worst_refined} vs {worst_plain}"
+        );
+    }
+
+    #[test]
+    fn cluster_sizes_stay_near_k_with_swap_strategy() {
+        let (rows, conf) = correlated(60);
+        let params = TClosenessParams::new(3, 0.25).unwrap();
+        let c = KAnonymityFirst::new()
+            .with_merge_fallback(false)
+            .cluster(&rows, &conf, params);
+        // swap strategy never grows a cluster beyond the MDAV tail bound
+        assert!(c.max_size() <= 2 * 3 - 1 + 3);
+        c.check_min_size(3).unwrap();
+    }
+
+    #[test]
+    fn add_strategy_grows_clusters_under_correlation() {
+        let (rows, conf) = correlated(60);
+        let params = TClosenessParams::new(3, 0.05).unwrap();
+        let add = KAnonymityFirst::new()
+            .with_strategy(RefineStrategy::Add)
+            .with_merge_fallback(false)
+            .cluster(&rows, &conf, params);
+        let swap = KAnonymityFirst::new()
+            .with_merge_fallback(false)
+            .cluster(&rows, &conf, params);
+        // the paper's motivation for swapping: adding balloons cluster size
+        // when QIs and confidential values are highly correlated
+        assert!(
+            add.mean_size() > swap.mean_size(),
+            "add {} should exceed swap {}",
+            add.mean_size(),
+            swap.mean_size()
+        );
+    }
+
+    #[test]
+    fn loose_t_needs_no_refinement_and_matches_sizes_of_mdav() {
+        let (rows, conf) = independent(40);
+        let params = TClosenessParams::new(4, 1.0).unwrap();
+        let c = KAnonymityFirst::new().cluster(&rows, &conf, params);
+        // t = 1 never constrains → fixed-size clusters like MDAV
+        assert_eq!(c.min_size(), 4);
+        assert!(c.max_size() <= 7);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let conf = Confidential::single(OrderedEmd::new(&[1.0, 2.0]));
+        let params = TClosenessParams::new(3, 0.2).unwrap();
+        let c = KAnonymityFirst::new().cluster(&[], &conf, params);
+        assert_eq!(c.n_clusters(), 0);
+
+        let rows = vec![vec![0.0], vec![1.0]];
+        let c = KAnonymityFirst::new().cluster(&rows, &conf, params);
+        assert_eq!(c.n_clusters(), 1);
+        assert_eq!(c.min_size(), 2);
+    }
+}

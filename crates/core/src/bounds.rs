@@ -1,0 +1,186 @@
+//! The paper's EMD bounds (Propositions 1–2) and the derived cluster-size
+//! formulas (Eqs. 3–4) that power the t-closeness-first algorithm.
+
+/// Proposition 1: lower bound on the EMD between *any* cluster of `k`
+/// records and a data set of `n` records (w.r.t. a rankable confidential
+/// attribute with all-distinct values):
+///
+/// ```text
+/// EMD(C, T) ≥ (n + k)(n − k) / (4 n (n − 1) k)
+/// ```
+///
+/// The bound is tight when `k` divides `n` (cluster values sitting at the
+/// medians of the `k` strata of `n/k` records).
+///
+/// # Panics
+/// Panics unless `1 ≤ k ≤ n` and `n ≥ 2`.
+pub fn emd_lower_bound(n: usize, k: usize) -> f64 {
+    assert!(n >= 2, "the bound needs at least two records");
+    assert!((1..=n).contains(&k), "cluster size must satisfy 1 <= k <= n");
+    let (nf, kf) = (n as f64, k as f64);
+    (nf + kf) * (nf - kf) / (4.0 * nf * (nf - 1.0) * kf)
+}
+
+/// Proposition 2: upper bound on the EMD of a cluster built by taking
+/// exactly one record from each of `k` equal strata of the data set
+/// (records sorted by the confidential attribute, strata of `n/k` records):
+///
+/// ```text
+/// EMD(C, T) ≤ (n − k) / (2 (n − 1) k)
+/// ```
+///
+/// # Panics
+/// Panics unless `1 ≤ k ≤ n` and `n ≥ 2`.
+pub fn emd_upper_bound(n: usize, k: usize) -> f64 {
+    assert!(n >= 2, "the bound needs at least two records");
+    assert!((1..=n).contains(&k), "cluster size must satisfy 1 <= k <= n");
+    let (nf, kf) = (n as f64, k as f64);
+    (nf - kf) / (2.0 * (nf - 1.0) * kf)
+}
+
+/// Equation (3): the minimum cluster size that makes the Proposition 2
+/// bound no larger than `t`, combined with the requested k-anonymity `k`:
+///
+/// ```text
+/// k' = max{ k, ⌈ n / (2(n−1)t + 1) ⌉ }
+/// ```
+///
+/// # Panics
+/// Panics if `t` is not positive and finite, or `k == 0`, or `n == 0`.
+pub fn required_cluster_size(n: usize, k: usize, t: f64) -> usize {
+    assert!(n >= 1 && k >= 1, "n and k must be positive");
+    assert!(t.is_finite() && t > 0.0, "t must be positive and finite");
+    let nf = n as f64;
+    let needed = (nf / (2.0 * (nf - 1.0) * t + 1.0)).ceil() as usize;
+    k.max(needed).min(n)
+}
+
+/// Equation (4): adjust the cluster size upward when `k` does not divide
+/// `n`, so the `r = n mod k` surplus records can be spread one per cluster:
+///
+/// ```text
+/// k ← k + ⌊ (n mod k) / ⌊n/k⌋ ⌋
+/// ```
+///
+/// A final safety loop enforces `n mod k ≤ ⌊n/k⌋` (surplus records ≤ number
+/// of clusters), which Eq. (4) achieves in all observed cases.
+pub fn adjusted_cluster_size(n: usize, k: usize) -> usize {
+    assert!(n >= 1 && k >= 1, "n and k must be positive");
+    let mut k = k.min(n);
+    k += (n % k) / (n / k);
+    k = k.min(n);
+    while n % k > n / k {
+        k += 1;
+    }
+    k.min(n)
+}
+
+/// Convenience: Eq. (3) followed by Eq. (4) — the actual cluster size the
+/// t-closeness-first algorithm uses.
+pub fn tfirst_cluster_size(n: usize, k: usize, t: f64) -> usize {
+    adjusted_cluster_size(n, required_cluster_size(n, k, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_bound_is_positive_and_decreasing_in_k() {
+        let n = 1000;
+        let mut prev = f64::INFINITY;
+        for k in [2, 5, 10, 50, 100] {
+            let b = emd_lower_bound(n, k);
+            assert!(b > 0.0);
+            assert!(b < prev, "bound should decrease with k");
+            prev = b;
+        }
+        // k = n → the only cluster is the whole table → EMD 0
+        assert_eq!(emd_lower_bound(100, 100), 0.0);
+    }
+
+    #[test]
+    fn upper_bound_dominates_lower_bound() {
+        for n in [10, 100, 1080] {
+            for k in [1, 2, 3, 7, n / 2, n] {
+                assert!(
+                    emd_upper_bound(n, k) >= emd_lower_bound(n, k) - 1e-15,
+                    "n={n} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn upper_bound_k1_is_half() {
+        // A singleton cluster can sit at the very end of the range: the
+        // bound is (n−1)/(2(n−1)·1) = 1/2.
+        assert!((emd_upper_bound(1000, 1) - 0.5).abs() < 1e-12);
+    }
+
+    /// The paper's Table 3 for the Census data set (n = 1080): the reported
+    /// minimum cluster sizes at k = 2 per t value.
+    #[test]
+    fn required_sizes_match_paper_table3() {
+        let n = 1080;
+        let cases = [
+            (0.01, 49), // via Eq. 4: ⌈1080/22.58⌉ = 48, then 48 + ⌊24/22⌋ = 49
+            (0.05, 10),
+            (0.09, 6),
+            (0.13, 4),
+            (0.17, 3),
+            (0.21, 3),
+            (0.25, 2),
+        ];
+        for (t, expect) in cases {
+            let k = tfirst_cluster_size(n, 2, t);
+            assert_eq!(k, expect, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn requested_k_dominates_when_larger() {
+        // Table 3 row k = 15: cluster size is max(15, k'(t)) for t ≥ 0.05.
+        let n = 1080;
+        assert_eq!(tfirst_cluster_size(n, 15, 0.05), 15);
+        assert_eq!(tfirst_cluster_size(n, 15, 0.25), 15);
+        assert_eq!(tfirst_cluster_size(n, 15, 0.01), 49);
+        // k = 30, every t ≥ 0.05 keeps 30 (1080 % 30 == 0)
+        assert_eq!(tfirst_cluster_size(n, 30, 0.05), 30);
+    }
+
+    #[test]
+    fn adjustment_bounds_surplus_by_cluster_count() {
+        for n in [7, 10, 11, 13, 17, 23, 100, 1080, 23435] {
+            for k in 1..=20.min(n) {
+                let adj = adjusted_cluster_size(n, k);
+                assert!(adj >= k);
+                assert!(
+                    n % adj <= n / adj,
+                    "n={n} k={k} adj={adj}: surplus {} > clusters {}",
+                    n % adj,
+                    n / adj
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn required_size_caps_at_n() {
+        // Tiny t forces the single-cluster regime.
+        assert_eq!(required_cluster_size(100, 2, 1e-9), 100);
+        assert_eq!(adjusted_cluster_size(100, 100), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_t_panics() {
+        required_cluster_size(10, 2, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= k <= n")]
+    fn oversized_k_panics() {
+        emd_upper_bound(10, 11);
+    }
+}

@@ -1,0 +1,270 @@
+//! The confidential-attribute model shared by all algorithms.
+//!
+//! A [`Confidential`] bundles one fitted [`OrderedEmd`] evaluator per
+//! confidential attribute. A cluster satisfies t-closeness when its EMD to
+//! the global distribution is ≤ t **for every confidential attribute**, so
+//! the cluster-level quantity the algorithms track is the *maximum* EMD
+//! across attributes.
+//!
+//! Numeric and ordinal-categorical attributes are supported (both admit the
+//! ranking the ordered EMD requires — see Section 7 of the paper). Nominal
+//! attributes would need a semantic distance (the paper's future work) and
+//! are rejected with a clear error.
+
+use crate::error::{Error, Result};
+use tclose_metrics::emd::{ClusterHistogram, OrderedEmd};
+use tclose_microdata::{AttributeKind, Table};
+
+/// Fitted evaluators for all confidential attributes of a table.
+#[derive(Debug, Clone)]
+pub struct Confidential {
+    emds: Vec<OrderedEmd>,
+    n: usize,
+}
+
+impl Confidential {
+    /// Fits evaluators on every attribute of `table` whose role is
+    /// [`Confidential`](tclose_microdata::AttributeRole::Confidential).
+    ///
+    /// Errors when the table is empty, has no confidential attribute, or a
+    /// confidential attribute is nominal.
+    pub fn from_table(table: &Table) -> Result<Self> {
+        if table.is_empty() {
+            return Err(Error::Microdata(tclose_microdata::Error::EmptyTable));
+        }
+        let conf_attrs = table.schema().confidential();
+        if conf_attrs.is_empty() {
+            return Err(Error::UnsupportedData(
+                "the schema declares no confidential attribute".into(),
+            ));
+        }
+        let mut emds = Vec::with_capacity(conf_attrs.len());
+        for a in conf_attrs {
+            let attr = table.schema().attribute(a)?;
+            match attr.kind {
+                AttributeKind::Numeric => {
+                    emds.push(OrderedEmd::new(table.numeric_column(a)?));
+                }
+                AttributeKind::OrdinalCategorical => {
+                    emds.push(OrderedEmd::from_codes(table.categorical_column(a)?));
+                }
+                AttributeKind::NominalCategorical => {
+                    return Err(Error::UnsupportedData(format!(
+                        "confidential attribute {:?} is nominal; the ordered EMD needs a \
+                         rankable attribute (numeric or ordinal)",
+                        attr.name
+                    )));
+                }
+            }
+        }
+        Ok(Confidential { n: table.n_rows(), emds })
+    }
+
+    /// Model over a single pre-fitted evaluator (handy in tests and when the
+    /// caller works with raw columns).
+    pub fn single(emd: OrderedEmd) -> Self {
+        Confidential { n: emd.n(), emds: vec![emd] }
+    }
+
+    /// Number of records of the fitting table.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of confidential attributes.
+    pub fn n_attributes(&self) -> usize {
+        self.emds.len()
+    }
+
+    /// The fitted per-attribute evaluators.
+    pub fn emds(&self) -> &[OrderedEmd] {
+        &self.emds
+    }
+
+    /// The first (primary) evaluator — the one the t-closeness-first
+    /// algorithm stratifies on.
+    pub fn primary(&self) -> &OrderedEmd {
+        &self.emds[0]
+    }
+
+    /// Maximum EMD across confidential attributes for a cluster of records.
+    pub fn emd_of_records(&self, records: &[usize]) -> f64 {
+        self.emds
+            .iter()
+            .map(|e| e.emd_of_records(records))
+            .fold(0.0, f64::max)
+    }
+
+    /// Builds one histogram per attribute for the given records.
+    pub fn histograms(&self, records: &[usize]) -> ClusterHists {
+        ClusterHists {
+            hists: self
+                .emds
+                .iter()
+                .map(|e| ClusterHistogram::of_records(e, records))
+                .collect(),
+        }
+    }
+
+    /// Maximum EMD across attributes for incrementally maintained
+    /// histograms.
+    pub fn emd_of_hists(&self, hists: &ClusterHists) -> f64 {
+        self.emds
+            .iter()
+            .zip(&hists.hists)
+            .map(|(e, h)| e.emd(h))
+            .fold(0.0, f64::max)
+    }
+
+    /// Maximum EMD across attributes after hypothetically swapping record
+    /// `out` for record `inn` (pure — does not mutate `hists`).
+    pub fn emd_after_swap(&self, hists: &ClusterHists, out: usize, inn: usize) -> f64 {
+        self.emds
+            .iter()
+            .zip(&hists.hists)
+            .map(|(e, h)| e.emd_after_swap(h, out, inn))
+            .fold(0.0, f64::max)
+    }
+}
+
+/// One [`ClusterHistogram`] per confidential attribute, kept in sync by the
+/// incremental algorithms.
+#[derive(Debug, Clone)]
+pub struct ClusterHists {
+    hists: Vec<ClusterHistogram>,
+}
+
+impl ClusterHists {
+    /// Records one addition to the cluster.
+    pub fn add(&mut self, conf: &Confidential, record: usize) {
+        for (h, e) in self.hists.iter_mut().zip(&conf.emds) {
+            h.add(e.bin_of(record));
+        }
+    }
+
+    /// Records one removal from the cluster.
+    pub fn remove(&mut self, conf: &Confidential, record: usize) {
+        for (h, e) in self.hists.iter_mut().zip(&conf.emds) {
+            h.remove(e.bin_of(record));
+        }
+    }
+
+    /// Merges another cluster's histograms into this one.
+    pub fn merge(&mut self, other: &ClusterHists) {
+        for (a, b) in self.hists.iter_mut().zip(&other.hists) {
+            a.merge(b);
+        }
+    }
+
+    /// Current cluster size (identical across attributes by construction).
+    pub fn size(&self) -> usize {
+        self.hists.first().map(ClusterHistogram::size).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tclose_microdata::{AttributeDef, AttributeRole, Schema, Value};
+
+    fn two_conf_table() -> Table {
+        let schema = Schema::new(vec![
+            AttributeDef::numeric("qi", AttributeRole::QuasiIdentifier),
+            AttributeDef::numeric("c1", AttributeRole::Confidential),
+            AttributeDef::ordinal("c2", AttributeRole::Confidential, ["a", "b", "c", "d"]),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema);
+        for i in 0..8u32 {
+            t.push_row(&[
+                Value::Number(i as f64),
+                Value::Number((i % 4) as f64 * 10.0),
+                Value::Category(i % 4),
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn fits_numeric_and_ordinal_confidential_attributes() {
+        let t = two_conf_table();
+        let conf = Confidential::from_table(&t).unwrap();
+        assert_eq!(conf.n_attributes(), 2);
+        assert_eq!(conf.n(), 8);
+        assert_eq!(conf.primary().m(), 4);
+    }
+
+    #[test]
+    fn rejects_empty_no_confidential_and_nominal() {
+        let schema = Schema::new(vec![AttributeDef::numeric(
+            "qi",
+            AttributeRole::QuasiIdentifier,
+        )])
+        .unwrap();
+        let empty = Table::new(schema.clone());
+        assert!(Confidential::from_table(&empty).is_err());
+
+        let mut no_conf = Table::new(schema);
+        no_conf.push_row(&[Value::Number(1.0)]).unwrap();
+        assert!(matches!(
+            Confidential::from_table(&no_conf),
+            Err(Error::UnsupportedData(_))
+        ));
+
+        let schema = Schema::new(vec![AttributeDef::nominal(
+            "diag",
+            AttributeRole::Confidential,
+            ["flu", "cold"],
+        )])
+        .unwrap();
+        let mut nominal = Table::new(schema);
+        nominal.push_row(&[Value::Category(0)]).unwrap();
+        assert!(matches!(
+            Confidential::from_table(&nominal),
+            Err(Error::UnsupportedData(_))
+        ));
+    }
+
+    #[test]
+    fn max_emd_across_attributes() {
+        let t = two_conf_table();
+        let conf = Confidential::from_table(&t).unwrap();
+        // records {0,4} share c1 = 0 and c2 = 'a' → both attributes deviate
+        let max_emd = conf.emd_of_records(&[0, 4]);
+        let e1 = conf.emds()[0].emd_of_records(&[0, 4]);
+        let e2 = conf.emds()[1].emd_of_records(&[0, 4]);
+        assert!((max_emd - e1.max(e2)).abs() < 1e-12);
+        assert!(max_emd > 0.0);
+        // a perfectly representative cluster has EMD 0 on both
+        assert!(conf.emd_of_records(&[0, 1, 2, 3]) < 1e-12);
+    }
+
+    #[test]
+    fn incremental_hists_match_batch() {
+        let t = two_conf_table();
+        let conf = Confidential::from_table(&t).unwrap();
+        let mut h = conf.histograms(&[0, 1]);
+        assert_eq!(h.size(), 2);
+        let batch = conf.emd_of_records(&[0, 1]);
+        assert!((conf.emd_of_hists(&h) - batch).abs() < 1e-12);
+
+        // swap preview is pure, applying add/remove matches it
+        let preview = conf.emd_after_swap(&h, 0, 5);
+        h.remove(&conf, 0);
+        h.add(&conf, 5);
+        assert!((conf.emd_of_hists(&h) - preview).abs() < 1e-12);
+        assert!((conf.emd_of_hists(&h) - conf.emd_of_records(&[1, 5])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_hists() {
+        let t = two_conf_table();
+        let conf = Confidential::from_table(&t).unwrap();
+        let mut a = conf.histograms(&[0, 1, 2, 3]);
+        let b = conf.histograms(&[4, 5, 6, 7]);
+        a.merge(&b);
+        assert_eq!(a.size(), 8);
+        assert!(conf.emd_of_hists(&a) < 1e-12);
+    }
+}

@@ -1,0 +1,56 @@
+//! Privacy parameters shared by all algorithms.
+
+use crate::error::{Error, Result};
+
+/// The `(k, t)` pair every algorithm in this crate takes.
+///
+/// * `k ≥ 2` — minimum equivalence-class size (k-anonymity level). `k = 1`
+///   is accepted for experimentation but offers no anonymity.
+/// * `t ∈ (0, 1]` — maximum Earth Mover's Distance between any class's
+///   confidential distribution and the global one. The ordered EMD is
+///   normalized, so `t = 1` never constrains and small `t` is strict.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TClosenessParams {
+    /// Minimum cluster (equivalence class) size.
+    pub k: usize,
+    /// t-closeness threshold.
+    pub t: f64,
+}
+
+impl TClosenessParams {
+    /// Validates and constructs the parameter pair.
+    pub fn new(k: usize, t: f64) -> Result<Self> {
+        if k == 0 {
+            return Err(Error::InvalidParams("k must be at least 1".into()));
+        }
+        if !t.is_finite() || t <= 0.0 || t > 1.0 {
+            return Err(Error::InvalidParams(format!(
+                "t must lie in (0, 1], got {t}"
+            )));
+        }
+        Ok(TClosenessParams { k, t })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_params_accepted() {
+        let p = TClosenessParams::new(3, 0.1).unwrap();
+        assert_eq!(p.k, 3);
+        assert_eq!(p.t, 0.1);
+        assert!(TClosenessParams::new(1, 1.0).is_ok());
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(TClosenessParams::new(0, 0.1).is_err());
+        assert!(TClosenessParams::new(2, 0.0).is_err());
+        assert!(TClosenessParams::new(2, -0.3).is_err());
+        assert!(TClosenessParams::new(2, 1.5).is_err());
+        assert!(TClosenessParams::new(2, f64::NAN).is_err());
+        assert!(TClosenessParams::new(2, f64::INFINITY).is_err());
+    }
+}

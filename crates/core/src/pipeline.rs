@@ -1,0 +1,444 @@
+//! The end-to-end anonymization pipeline.
+//!
+//! [`Anonymizer`] wires everything together: it validates parameters,
+//! embeds the quasi-identifiers as normalized vectors, fits the
+//! confidential model, runs the selected clustering algorithm, applies the
+//! aggregation step, and audits the released table — returning the masked
+//! table together with an [`AnonymizationReport`].
+
+use std::time::{Duration, Instant};
+
+use crate::alg1_merge::{MergeAlgorithm, MergePartner};
+use crate::alg2_kfirst::{KAnonymityFirst, RefineStrategy};
+use crate::alg3_tfirst::{ExtraPlacement, TClosenessFirst};
+use crate::confidential::Confidential;
+use crate::error::{Error, Result};
+use crate::params::TClosenessParams;
+use crate::verify::{verify_k_anonymity, verify_t_closeness};
+use crate::TCloseClusterer;
+use tclose_metrics::sse::normalized_sse;
+use tclose_microagg::{aggregate_columns, Clustering, VMdav};
+use tclose_microdata::{stats, AttributeKind, NormalizeMethod, Table};
+
+/// Which of the paper's algorithms (or variants) to run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Algorithm {
+    /// Algorithm 1: MDAV microaggregation + cluster merging.
+    Merge,
+    /// Algorithm 1 over V-MDAV with extension factor γ (ablation).
+    MergeVMdav {
+        /// V-MDAV extension gain factor.
+        gamma: f64,
+    },
+    /// Algorithm 1 with the EMD-complementary merge partner (ablation).
+    MergeComplementary,
+    /// Algorithm 2: k-anonymity-first with swap refinement + merge fallback.
+    KAnonymityFirst,
+    /// Algorithm 2 without the merge fallback (ablation; may violate t).
+    KAnonymityFirstNoFallback,
+    /// Algorithm 2 with the *add* refinement strategy (ablation).
+    KAnonymityFirstAdd,
+    /// Algorithm 3: t-closeness-first stratified microaggregation.
+    TClosenessFirst,
+    /// Algorithm 3 with tail surplus placement (ablation).
+    TClosenessFirstTail,
+}
+
+impl Algorithm {
+    /// Short name used in reports and experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Merge => "Alg1-merge",
+            Algorithm::MergeVMdav { .. } => "Alg1-merge(V-MDAV)",
+            Algorithm::MergeComplementary => "Alg1-merge(EMD-partner)",
+            Algorithm::KAnonymityFirst => "Alg2-kfirst",
+            Algorithm::KAnonymityFirstNoFallback => "Alg2-kfirst(no-fallback)",
+            Algorithm::KAnonymityFirstAdd => "Alg2-kfirst(add)",
+            Algorithm::TClosenessFirst => "Alg3-tfirst",
+            Algorithm::TClosenessFirstTail => "Alg3-tfirst(tail)",
+        }
+    }
+}
+
+/// Outcome summary of one anonymization run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnonymizationReport {
+    /// Algorithm that produced the release.
+    pub algorithm: &'static str,
+    /// Requested k-anonymity level.
+    pub k_requested: usize,
+    /// Requested t-closeness level.
+    pub t_requested: f64,
+    /// Number of records.
+    pub n_records: usize,
+    /// Number of equivalence classes produced.
+    pub n_clusters: usize,
+    /// Smallest class size — the *achieved* k (audited on the release).
+    pub min_cluster_size: usize,
+    /// Mean class size.
+    pub mean_cluster_size: f64,
+    /// Largest class size.
+    pub max_cluster_size: usize,
+    /// Largest class-to-table EMD — the *achieved* t (audited).
+    pub max_emd: f64,
+    /// Normalized SSE over the quasi-identifiers (Eq. 5).
+    pub sse: f64,
+    /// Wall-clock time of the clustering step.
+    pub clustering_time: Duration,
+}
+
+impl AnonymizationReport {
+    /// True when the audited release satisfies both requested levels.
+    pub fn satisfies_request(&self) -> bool {
+        self.min_cluster_size >= self.k_requested.min(self.n_records)
+            && self.max_emd <= self.t_requested + 1e-9
+    }
+}
+
+/// A released table plus the clustering and audit report behind it.
+#[derive(Debug, Clone)]
+pub struct Anonymized {
+    /// The masked (released) table: quasi-identifiers aggregated, all other
+    /// attributes untouched.
+    pub table: Table,
+    /// The clustering the algorithm produced.
+    pub clustering: Clustering,
+    /// The audit report.
+    pub report: AnonymizationReport,
+}
+
+/// Builder-style front door to the library.
+///
+/// ```
+/// use tclose_core::{Anonymizer, Algorithm};
+/// # use tclose_microdata::{AttributeDef, AttributeRole, Schema, Table, Value};
+/// # let schema = Schema::new(vec![
+/// #     AttributeDef::numeric("age", AttributeRole::QuasiIdentifier),
+/// #     AttributeDef::numeric("wage", AttributeRole::Confidential),
+/// # ]).unwrap();
+/// # let mut table = Table::new(schema);
+/// # for i in 0..20 {
+/// #     table.push_row(&[Value::Number(i as f64), Value::Number((i % 5) as f64)]).unwrap();
+/// # }
+/// let out = Anonymizer::new(2, 0.2)
+///     .algorithm(Algorithm::Merge)
+///     .anonymize(&table)
+///     .unwrap();
+/// assert!(out.report.min_cluster_size >= 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Anonymizer {
+    k: usize,
+    t: f64,
+    algorithm: Algorithm,
+    normalize: NormalizeMethod,
+}
+
+impl Anonymizer {
+    /// An anonymizer for the given `(k, t)` pair, defaulting to the paper's
+    /// best algorithm (t-closeness-first) and z-score QI normalization.
+    pub fn new(k: usize, t: f64) -> Self {
+        Anonymizer { k, t, algorithm: Algorithm::TClosenessFirst, normalize: NormalizeMethod::ZScore }
+    }
+
+    /// Selects the algorithm.
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Selects the quasi-identifier normalization for distance computation.
+    pub fn normalization(mut self, method: NormalizeMethod) -> Self {
+        self.normalize = method;
+        self
+    }
+
+    /// Runs the full pipeline on `table`.
+    pub fn anonymize(&self, table: &Table) -> Result<Anonymized> {
+        let params = TClosenessParams::new(self.k, self.t)?;
+        if table.is_empty() {
+            return Err(Error::Microdata(tclose_microdata::Error::EmptyTable));
+        }
+        let qi = table.schema().quasi_identifiers();
+        if qi.is_empty() {
+            return Err(Error::UnsupportedData(
+                "the schema declares no quasi-identifier attribute".into(),
+            ));
+        }
+
+        let rows = qi_matrix(table, &qi, self.normalize)?;
+        let conf = Confidential::from_table(table)?;
+
+        let started = Instant::now();
+        let clustering = self.run_clusterer(&rows, &conf, params);
+        let clustering_time = started.elapsed();
+
+        clustering
+            .check_min_size(params.k.min(table.n_rows()))
+            .map_err(Error::Clustering)?;
+
+        let released = aggregate_columns(table, &qi, &clustering)?;
+
+        // Audit the *release*, not the clustering: the report's achieved
+        // levels are what an external auditor would measure.
+        let achieved_k = verify_k_anonymity(&released)?;
+        let achieved_t = verify_t_closeness(&released, &conf)?;
+        let sse = normalized_sse(table, &released, &qi)?;
+
+        let report = AnonymizationReport {
+            algorithm: self.algorithm.name(),
+            k_requested: params.k,
+            t_requested: params.t,
+            n_records: table.n_rows(),
+            n_clusters: clustering.n_clusters(),
+            min_cluster_size: achieved_k,
+            mean_cluster_size: clustering.mean_size(),
+            max_cluster_size: clustering.max_size(),
+            max_emd: achieved_t,
+            sse,
+            clustering_time,
+        };
+        Ok(Anonymized { table: released, clustering, report })
+    }
+
+    fn run_clusterer(
+        &self,
+        rows: &[Vec<f64>],
+        conf: &Confidential,
+        params: TClosenessParams,
+    ) -> Clustering {
+        match self.algorithm {
+            Algorithm::Merge => MergeAlgorithm::new().cluster(rows, conf, params),
+            Algorithm::MergeVMdav { gamma } => {
+                MergeAlgorithm::with_base(VMdav::new(gamma)).cluster(rows, conf, params)
+            }
+            Algorithm::MergeComplementary => MergeAlgorithm::new()
+                .with_partner(MergePartner::ComplementaryEmd)
+                .cluster(rows, conf, params),
+            Algorithm::KAnonymityFirst => {
+                KAnonymityFirst::new().cluster(rows, conf, params)
+            }
+            Algorithm::KAnonymityFirstNoFallback => KAnonymityFirst::new()
+                .with_merge_fallback(false)
+                .cluster(rows, conf, params),
+            Algorithm::KAnonymityFirstAdd => KAnonymityFirst::new()
+                .with_strategy(RefineStrategy::Add)
+                .cluster(rows, conf, params),
+            Algorithm::TClosenessFirst => {
+                TClosenessFirst::new().cluster(rows, conf, params)
+            }
+            Algorithm::TClosenessFirstTail => TClosenessFirst::new()
+                .with_extras(ExtraPlacement::Tail)
+                .cluster(rows, conf, params),
+        }
+    }
+}
+
+/// Embeds the quasi-identifiers as normalized `f64` vectors. Numeric
+/// attributes use their values; ordinal categorical attributes use their
+/// code (code order is semantic order); nominal QIs are rejected — they
+/// have no meaningful embedding, and the paper's algorithms assume a metric
+/// QI space.
+///
+/// Exposed so external harnesses (the experiment runner, baselines) can
+/// feed custom [`TCloseClusterer`](crate::TCloseClusterer) implementations
+/// with exactly the same record embedding the pipeline uses.
+pub fn qi_matrix(table: &Table, qi: &[usize], method: NormalizeMethod) -> Result<Vec<Vec<f64>>> {
+    let mut cols: Vec<Vec<f64>> = Vec::with_capacity(qi.len());
+    for &a in qi {
+        let attr = table.schema().attribute(a)?;
+        let raw: Vec<f64> = match attr.kind {
+            AttributeKind::Numeric => table.numeric_column(a)?.to_vec(),
+            AttributeKind::OrdinalCategorical => {
+                table.categorical_column(a)?.iter().map(|&c| c as f64).collect()
+            }
+            AttributeKind::NominalCategorical => {
+                return Err(Error::UnsupportedData(format!(
+                    "quasi-identifier {:?} is nominal; microaggregation needs a metric \
+                     QI space (numeric or ordinal attributes)",
+                    attr.name
+                )));
+            }
+        };
+        let normalized = match method {
+            NormalizeMethod::ZScore => {
+                let m = stats::mean(&raw);
+                let s = stats::std_dev(&raw);
+                let s = if s > 0.0 { s } else { 1.0 };
+                raw.iter().map(|x| (x - m) / s).collect()
+            }
+            NormalizeMethod::MinMax => {
+                let lo = stats::min(&raw).unwrap_or(0.0);
+                let r = stats::range(&raw);
+                let r = if r > 0.0 { r } else { 1.0 };
+                raw.iter().map(|x| (x - lo) / r).collect()
+            }
+            NormalizeMethod::None => raw,
+        };
+        cols.push(normalized);
+    }
+    let n = table.n_rows();
+    Ok((0..n)
+        .map(|r| cols.iter().map(|c| c[r]).collect())
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tclose_microdata::{AttributeDef, AttributeRole, Schema, Value};
+
+    fn demo_table(n: usize) -> Table {
+        let schema = Schema::new(vec![
+            AttributeDef::numeric("age", AttributeRole::QuasiIdentifier),
+            AttributeDef::numeric("zip", AttributeRole::QuasiIdentifier),
+            AttributeDef::numeric("wage", AttributeRole::Confidential),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema);
+        for i in 0..n {
+            t.push_row(&[
+                Value::Number(20.0 + (i % 40) as f64),
+                Value::Number(1000.0 + (i * 37 % 100) as f64),
+                Value::Number(((i * 13) % 17) as f64 * 100.0),
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn every_algorithm_produces_a_valid_release() {
+        let table = demo_table(60);
+        for alg in [
+            Algorithm::Merge,
+            Algorithm::MergeVMdav { gamma: 0.2 },
+            Algorithm::MergeComplementary,
+            Algorithm::KAnonymityFirst,
+            Algorithm::KAnonymityFirstNoFallback,
+            Algorithm::KAnonymityFirstAdd,
+            Algorithm::TClosenessFirst,
+            Algorithm::TClosenessFirstTail,
+        ] {
+            let out = Anonymizer::new(3, 0.2).algorithm(alg).anonymize(&table).unwrap();
+            assert_eq!(out.table.n_rows(), 60);
+            assert!(
+                out.report.min_cluster_size >= 3,
+                "{}: min size {}",
+                alg.name(),
+                out.report.min_cluster_size
+            );
+            // confidential column untouched
+            assert_eq!(
+                out.table.numeric_column(2).unwrap(),
+                table.numeric_column(2).unwrap()
+            );
+            assert!(out.report.sse >= 0.0);
+        }
+    }
+
+    #[test]
+    fn guaranteeing_algorithms_achieve_t() {
+        let table = demo_table(60);
+        for alg in [Algorithm::Merge, Algorithm::KAnonymityFirst, Algorithm::TClosenessFirst] {
+            let out = Anonymizer::new(2, 0.15).algorithm(alg).anonymize(&table).unwrap();
+            assert!(
+                out.report.max_emd <= 0.15 + 1e-9,
+                "{}: achieved t {}",
+                alg.name(),
+                out.report.max_emd
+            );
+            assert!(out.report.satisfies_request());
+        }
+    }
+
+    #[test]
+    fn report_reflects_audited_release() {
+        let table = demo_table(40);
+        let out = Anonymizer::new(4, 0.25).anonymize(&table).unwrap();
+        // re-audit independently
+        let conf = Confidential::from_table(&table).unwrap();
+        assert_eq!(verify_k_anonymity(&out.table).unwrap(), out.report.min_cluster_size);
+        let t = verify_t_closeness(&out.table, &conf).unwrap();
+        assert!((t - out.report.max_emd).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        let table = demo_table(10);
+        assert!(matches!(
+            Anonymizer::new(0, 0.1).anonymize(&table),
+            Err(Error::InvalidParams(_))
+        ));
+        assert!(matches!(
+            Anonymizer::new(2, 0.0).anonymize(&table),
+            Err(Error::InvalidParams(_))
+        ));
+
+        let empty = Table::new(table.schema().clone());
+        assert!(Anonymizer::new(2, 0.1).anonymize(&empty).is_err());
+
+        // no QI
+        let schema = Schema::new(vec![AttributeDef::numeric(
+            "wage",
+            AttributeRole::Confidential,
+        )])
+        .unwrap();
+        let mut no_qi = Table::new(schema);
+        no_qi.push_row(&[Value::Number(1.0)]).unwrap();
+        assert!(matches!(
+            Anonymizer::new(2, 0.1).anonymize(&no_qi),
+            Err(Error::UnsupportedData(_))
+        ));
+
+        // nominal QI
+        let schema = Schema::new(vec![
+            AttributeDef::nominal("city", AttributeRole::QuasiIdentifier, ["x", "y"]),
+            AttributeDef::numeric("wage", AttributeRole::Confidential),
+        ])
+        .unwrap();
+        let mut nominal_qi = Table::new(schema);
+        nominal_qi.push_row(&[Value::Category(0), Value::Number(1.0)]).unwrap();
+        nominal_qi.push_row(&[Value::Category(1), Value::Number(2.0)]).unwrap();
+        assert!(matches!(
+            Anonymizer::new(2, 0.5).anonymize(&nominal_qi),
+            Err(Error::UnsupportedData(_))
+        ));
+    }
+
+    #[test]
+    fn ordinal_qi_is_supported() {
+        let schema = Schema::new(vec![
+            AttributeDef::ordinal(
+                "edu",
+                AttributeRole::QuasiIdentifier,
+                ["primary", "secondary", "bachelor", "master"],
+            ),
+            AttributeDef::numeric("wage", AttributeRole::Confidential),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema);
+        for i in 0..16u32 {
+            t.push_row(&[Value::Category(i % 4), Value::Number((i % 8) as f64)]).unwrap();
+        }
+        let out = Anonymizer::new(2, 0.3).anonymize(&t).unwrap();
+        assert!(out.report.min_cluster_size >= 2);
+    }
+
+    #[test]
+    fn k_larger_than_n_yields_single_class() {
+        let table = demo_table(5);
+        let out = Anonymizer::new(10, 0.5).anonymize(&table).unwrap();
+        assert_eq!(out.report.n_clusters, 1);
+        assert_eq!(out.report.min_cluster_size, 5);
+    }
+
+    #[test]
+    fn normalization_options_run() {
+        let table = demo_table(30);
+        for m in [NormalizeMethod::ZScore, NormalizeMethod::MinMax, NormalizeMethod::None] {
+            let out = Anonymizer::new(3, 0.3).normalization(m).anonymize(&table).unwrap();
+            assert!(out.report.min_cluster_size >= 3);
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! O(1)-removal pool of record indices.
+//!
+//! The clustering algorithms repeatedly scan the unassigned records and
+//! remove individual ones. A plain `Vec<usize>` makes removal by value
+//! `O(n)`; `IndexPool` keeps a position map so removal is `O(1)` while the
+//! contents stay iterable as a slice.
+
+/// A set of record indices supporting O(1) membership test, O(1) removal by
+/// value and iteration as a slice.
+#[derive(Debug, Clone)]
+pub(crate) struct IndexPool {
+    items: Vec<usize>,
+    /// `pos[r]` is the index of `r` inside `items`, or `usize::MAX`.
+    pos: Vec<usize>,
+}
+
+impl IndexPool {
+    /// Pool containing `0..n`.
+    pub fn full(n: usize) -> Self {
+        IndexPool { items: (0..n).collect(), pos: (0..n).collect() }
+    }
+
+    /// The live indices (unspecified order).
+    pub fn items(&self) -> &[usize] {
+        &self.items
+    }
+
+    /// Number of live indices.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no indices remain.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// True when `r` is still in the pool.
+    pub fn contains(&self, r: usize) -> bool {
+        self.pos[r] != usize::MAX
+    }
+
+    /// Removes `r` from the pool.
+    ///
+    /// # Panics
+    /// Panics if `r` is not in the pool (double removal is a caller bug).
+    pub fn remove(&mut self, r: usize) {
+        let p = self.pos[r];
+        assert!(p != usize::MAX, "record {r} is not in the pool");
+        let last = *self.items.last().expect("non-empty");
+        self.items.swap_remove(p);
+        self.pos[r] = usize::MAX;
+        if last != r {
+            self.pos[last] = p;
+        }
+    }
+
+    /// Re-inserts a previously removed record.
+    ///
+    /// # Panics
+    /// Panics if `r` is already in the pool.
+    pub fn insert(&mut self, r: usize) {
+        assert!(self.pos[r] == usize::MAX, "record {r} is already in the pool");
+        self.pos[r] = self.items.len();
+        self.items.push(r);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remove_insert_round_trip() {
+        let mut p = IndexPool::full(5);
+        assert_eq!(p.len(), 5);
+        p.remove(2);
+        assert!(!p.contains(2));
+        assert_eq!(p.len(), 4);
+        p.remove(4);
+        p.remove(0);
+        let mut live: Vec<usize> = p.items().to_vec();
+        live.sort_unstable();
+        assert_eq!(live, vec![1, 3]);
+        p.insert(2);
+        assert!(p.contains(2));
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn drain_everything() {
+        let mut p = IndexPool::full(4);
+        for r in 0..4 {
+            p.remove(r);
+        }
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the pool")]
+    fn double_remove_panics() {
+        let mut p = IndexPool::full(2);
+        p.remove(1);
+        p.remove(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already in the pool")]
+    fn double_insert_panics() {
+        let mut p = IndexPool::full(2);
+        p.insert(1);
+    }
+}

@@ -1,0 +1,173 @@
+//! Independent verifiers for the two privacy models.
+//!
+//! These functions check a *released table* (not the clustering the
+//! algorithm claims to have used): equivalence classes are recomputed from
+//! the actual quasi-identifier values, exactly as an auditor — or an
+//! intruder — would see them.
+
+use crate::confidential::Confidential;
+use crate::error::{Error, Result};
+use std::collections::HashMap;
+use tclose_microdata::{AttributeKind, Table};
+
+/// Groups the records of `table` into equivalence classes: maximal sets of
+/// records sharing every quasi-identifier value. Classes are returned in
+/// first-appearance order.
+pub fn equivalence_classes(table: &Table) -> Result<Vec<Vec<usize>>> {
+    let qi = table.schema().quasi_identifiers();
+    if qi.is_empty() {
+        return Err(Error::UnsupportedData(
+            "the schema declares no quasi-identifier attribute".into(),
+        ));
+    }
+    // Key each record by the exact bit patterns of its QI values. Numeric
+    // aggregation copies centroids bit-for-bit, so exact matching is right.
+    let mut classes: Vec<Vec<usize>> = Vec::new();
+    let mut index: HashMap<Vec<u64>, usize> = HashMap::new();
+    for r in 0..table.n_rows() {
+        let mut key = Vec::with_capacity(qi.len());
+        for &a in &qi {
+            let attr = table.schema().attribute(a)?;
+            match attr.kind {
+                AttributeKind::Numeric => {
+                    key.push(table.numeric_column(a)?[r].to_bits());
+                }
+                _ => key.push(u64::from(table.categorical_column(a)?[r])),
+            }
+        }
+        match index.get(&key) {
+            Some(&ci) => classes[ci].push(r),
+            None => {
+                index.insert(key, classes.len());
+                classes.push(vec![r]);
+            }
+        }
+    }
+    Ok(classes)
+}
+
+/// Audits k-anonymity of a released table: returns the size of its
+/// smallest equivalence class (the achieved `k`).
+pub fn verify_k_anonymity(table: &Table) -> Result<usize> {
+    if table.is_empty() {
+        return Err(Error::Microdata(tclose_microdata::Error::EmptyTable));
+    }
+    let classes = equivalence_classes(table)?;
+    Ok(classes.iter().map(Vec::len).min().unwrap_or(0))
+}
+
+/// Audits t-closeness of a released table: returns the maximum EMD between
+/// any equivalence class's confidential distribution and the global one
+/// (the achieved `t`).
+///
+/// `conf` must be fitted on the same confidential columns the table carries
+/// (microaggregation leaves them untouched, so fitting on either the
+/// original or the released table is equivalent).
+pub fn verify_t_closeness(table: &Table, conf: &Confidential) -> Result<f64> {
+    if table.n_rows() != conf.n() {
+        return Err(Error::UnsupportedData(format!(
+            "confidential model fitted on {} records, table has {}",
+            conf.n(),
+            table.n_rows()
+        )));
+    }
+    let classes = equivalence_classes(table)?;
+    Ok(classes
+        .iter()
+        .map(|c| conf.emd_of_records(c))
+        .fold(0.0, f64::max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tclose_microdata::{AttributeDef, AttributeRole, Schema, Value};
+
+    fn released_table() -> Table {
+        // Two equivalence classes: (30, "a") ×3 and (40, "b") ×2.
+        let schema = Schema::new(vec![
+            AttributeDef::numeric("age", AttributeRole::QuasiIdentifier),
+            AttributeDef::nominal("city", AttributeRole::QuasiIdentifier, ["a", "b"]),
+            AttributeDef::numeric("wage", AttributeRole::Confidential),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema);
+        for (age, city, wage) in [
+            (30.0, 0u32, 10.0),
+            (30.0, 0, 20.0),
+            (30.0, 0, 30.0),
+            (40.0, 1, 10.0),
+            (40.0, 1, 30.0),
+        ] {
+            t.push_row(&[Value::Number(age), Value::Category(city), Value::Number(wage)])
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn classes_group_identical_qi_tuples() {
+        let t = released_table();
+        let classes = equivalence_classes(&t).unwrap();
+        assert_eq!(classes, vec![vec![0, 1, 2], vec![3, 4]]);
+    }
+
+    #[test]
+    fn k_anonymity_is_min_class_size() {
+        let t = released_table();
+        assert_eq!(verify_k_anonymity(&t).unwrap(), 2);
+    }
+
+    #[test]
+    fn distinct_qi_rows_are_1_anonymous() {
+        let schema = Schema::new(vec![
+            AttributeDef::numeric("x", AttributeRole::QuasiIdentifier),
+            AttributeDef::numeric("c", AttributeRole::Confidential),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema);
+        for i in 0..4 {
+            t.push_row(&[Value::Number(i as f64), Value::Number(0.0)]).unwrap();
+        }
+        assert_eq!(verify_k_anonymity(&t).unwrap(), 1);
+    }
+
+    #[test]
+    fn t_closeness_audit_matches_manual_emd() {
+        let t = released_table();
+        let conf = Confidential::from_table(&t).unwrap();
+        let audit = verify_t_closeness(&t, &conf).unwrap();
+        let manual = conf
+            .emd_of_records(&[0, 1, 2])
+            .max(conf.emd_of_records(&[3, 4]));
+        assert!((audit - manual).abs() < 1e-12);
+        assert!(audit > 0.0);
+    }
+
+    #[test]
+    fn errors_on_degenerate_inputs() {
+        let schema = Schema::new(vec![AttributeDef::numeric(
+            "c",
+            AttributeRole::Confidential,
+        )])
+        .unwrap();
+        let mut no_qi = Table::new(schema);
+        no_qi.push_row(&[Value::Number(1.0)]).unwrap();
+        assert!(equivalence_classes(&no_qi).is_err());
+
+        let empty = Table::new(
+            Schema::new(vec![
+                AttributeDef::numeric("q", AttributeRole::QuasiIdentifier),
+                AttributeDef::numeric("c", AttributeRole::Confidential),
+            ])
+            .unwrap(),
+        );
+        assert!(verify_k_anonymity(&empty).is_err());
+
+        // conf model size mismatch
+        let t = released_table();
+        let conf = Confidential::from_table(&t).unwrap();
+        let smaller = t.take_rows(&[0, 1]).unwrap();
+        assert!(verify_t_closeness(&smaller, &conf).is_err());
+    }
+}

@@ -1,0 +1,289 @@
+//! The Census-like evaluation data set (CASC "Census" stand-in).
+//!
+//! The original file (1,080 records, distributed for the EU CASC project)
+//! is no longer available, so we generate a statistical stand-in with the
+//! properties the paper's evaluation depends on:
+//!
+//! * exactly **1,080 records** with four positive, income-shaped numeric
+//!   attributes: `TAXINC`, `POTHVAL` (quasi-identifiers), `FEDTAX`, `FICA`;
+//! * multiple correlation between the QIs and `FEDTAX` ≈ **0.52** (the
+//!   *moderately correlated* MCD configuration);
+//! * multiple correlation between the QIs and `FICA` ≈ **0.92** (the
+//!   *highly correlated* HCD configuration).
+//!
+//! The generator draws the two QIs from a single-factor Gaussian model
+//! (sharing an "income level" factor) and then builds each confidential
+//! attribute as `ρ · q + √(1−ρ²) · ε`, where `q` is the *standardized QI
+//! composite* `(z₁+z₂)/‖·‖`. By symmetry `q` is the best linear predictor
+//! direction, so the multiple correlation of the confidential attribute on
+//! the QIs equals `ρ` exactly in the latent space; the mildly skewed
+//! monotone marginals attenuate it by only a few percent (verified by
+//! tests).
+
+use crate::synthetic::{factor_mix, income_marginal, normal_vec, numeric_table, round_to};
+use tclose_microdata::stats;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tclose_microdata::{AttributeRole, Table};
+
+/// Number of records in the Census data set (as in the paper).
+pub const CENSUS_N: usize = 1080;
+
+/// Latent loading of each quasi-identifier on the shared income factor.
+const QI_LOADING: f64 = 0.75;
+/// Confidential loading on the QI composite for MCD (target R ≈ 0.52;
+/// slightly above to absorb marginal attenuation).
+const MCD_LOADING: f64 = 0.545;
+/// Confidential loading on the QI composite for HCD (target R ≈ 0.92).
+const HCD_LOADING: f64 = 0.95;
+
+/// Generates the full 4-attribute Census-like table:
+/// `TAXINC`, `POTHVAL` as quasi-identifiers and **both** `FEDTAX` and
+/// `FICA` as confidential attributes.
+///
+/// Most callers want [`census_mcd`] or [`census_hcd`], which keep a single
+/// confidential attribute like the paper's two configurations.
+pub fn census_table(seed: u64) -> Table {
+    census_sized(seed, CENSUS_N)
+}
+
+/// Census generator with a configurable record count (scalability tests).
+pub fn census_sized(seed: u64, n: usize) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let factor = normal_vec(&mut rng, n);
+
+    let taxinc_z = factor_mix(&factor, &normal_vec(&mut rng, n), QI_LOADING);
+    let pothval_z = factor_mix(&factor, &normal_vec(&mut rng, n), QI_LOADING);
+
+    // Standardized QI composite: (z₁+z₂) has variance 2(1+w) with
+    // w = corr(z₁,z₂) = QI_LOADING².
+    let w = QI_LOADING * QI_LOADING;
+    let norm = (2.0 * (1.0 + w)).sqrt();
+    let qi_composite: Vec<f64> = taxinc_z
+        .iter()
+        .zip(&pothval_z)
+        .map(|(a, b)| (a + b) / norm)
+        .collect();
+
+    let fedtax_z = factor_mix(&qi_composite, &normal_vec(&mut rng, n), MCD_LOADING);
+    let fica_z = factor_mix(&qi_composite, &normal_vec(&mut rng, n), HCD_LOADING);
+
+    // Income-shaped positive marginals, rounded to whole dollars like the
+    // original file.
+    let taxinc = round_to(&income_marginal(&taxinc_z, 32_000.0, 0.45, 0.0), 1.0);
+    let pothval = round_to(&income_marginal(&pothval_z, 14_000.0, 0.50, 0.0), 1.0);
+    let fedtax = round_to(&income_marginal(&fedtax_z, 5_200.0, 0.45, 0.0), 1.0);
+    let fica = round_to(&income_marginal(&fica_z, 2_400.0, 0.40, 0.0), 1.0);
+
+    numeric_table(
+        &["TAXINC", "POTHVAL", "FEDTAX", "FICA"],
+        vec![taxinc, pothval, fedtax, fica],
+        2,
+    )
+}
+
+/// The **MCD** (moderately correlated) configuration: QIs `TAXINC`,
+/// `POTHVAL`; confidential `FEDTAX` (R ≈ 0.52); `FICA` demoted to
+/// non-confidential.
+pub fn census_mcd(seed: u64) -> Table {
+    let mut t = census_table(seed);
+    t.schema_mut()
+        .set_roles(&[
+            ("FEDTAX", AttributeRole::Confidential),
+            ("FICA", AttributeRole::NonConfidential),
+        ])
+        .expect("census schema has these attributes");
+    t
+}
+
+/// The **HCD** (highly correlated) configuration: QIs `TAXINC`, `POTHVAL`;
+/// confidential `FICA` (R ≈ 0.92); `FEDTAX` demoted to non-confidential.
+pub fn census_hcd(seed: u64) -> Table {
+    let mut t = census_table(seed);
+    t.schema_mut()
+        .set_roles(&[
+            ("FEDTAX", AttributeRole::NonConfidential),
+            ("FICA", AttributeRole::Confidential),
+        ])
+        .expect("census schema has these attributes");
+    t
+}
+
+/// Tie-structured Census variant: same latent model, but the confidential
+/// marginals carry the atoms real tax data has — `FEDTAX` is
+/// zero-inflated (≈25% of filers owe nothing) and follows $100 tax-table
+/// steps; `FICA` is capped at the wage-base limit (≈12% of records at the
+/// cap) in $50 steps.
+///
+/// Value ties change the t-closeness landscape substantially: the EMD is
+/// computed over *distinct-value* bins, so atoms let moderate clusters
+/// reach small EMD (they share the atom mass with the global distribution)
+/// — which is how the original Census file supports the gentle cluster-size
+/// gradient of the paper's Table 1. The distinct-valued default
+/// ([`census_table`]) is kept for Table 3, whose by-construction guarantee
+/// assumes distinct values. `EXPERIMENTS.md` reports both.
+pub fn census_tied(seed: u64) -> Table {
+    let t = census_table(seed);
+    let fed = t.numeric_column_by_name("FEDTAX").expect("census schema");
+    // Zero-inflate: shift down by the ~25th percentile and clamp at 0,
+    // then snap to $100 tax-table steps.
+    let shift = stats::quantile(fed, 0.25).expect("non-empty");
+    let fed: Vec<f64> = fed.iter().map(|&v| (v - shift).max(0.0)).collect();
+    let fed = round_to(&fed, 100.0);
+    // Cap FICA at the ~88th percentile (wage-base limit), $50 steps.
+    let fica = t.numeric_column_by_name("FICA").expect("census schema");
+    let cap = stats::quantile(fica, 0.88).expect("non-empty");
+    let fica: Vec<f64> = fica.iter().map(|&v| v.min(cap)).collect();
+    let fica = round_to(&fica, 50.0);
+
+    let taxinc = t.numeric_column_by_name("TAXINC").expect("census schema").to_vec();
+    let pothval = t.numeric_column_by_name("POTHVAL").expect("census schema").to_vec();
+    numeric_table(
+        &["TAXINC", "POTHVAL", "FEDTAX", "FICA"],
+        vec![taxinc, pothval, fed, fica],
+        2,
+    )
+}
+
+/// Tie-structured MCD configuration (confidential `FEDTAX`).
+pub fn census_tied_mcd(seed: u64) -> Table {
+    let mut t = census_tied(seed);
+    t.schema_mut()
+        .set_roles(&[
+            ("FEDTAX", AttributeRole::Confidential),
+            ("FICA", AttributeRole::NonConfidential),
+        ])
+        .expect("census schema has these attributes");
+    t
+}
+
+/// Tie-structured HCD configuration (confidential `FICA`).
+pub fn census_tied_hcd(seed: u64) -> Table {
+    let mut t = census_tied(seed);
+    t.schema_mut()
+        .set_roles(&[
+            ("FEDTAX", AttributeRole::NonConfidential),
+            ("FICA", AttributeRole::Confidential),
+        ])
+        .expect("census schema has these attributes");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::multiple_correlation;
+
+    #[test]
+    fn shape_matches_the_paper() {
+        let t = census_table(1);
+        assert_eq!(t.n_rows(), CENSUS_N);
+        assert_eq!(t.n_cols(), 4);
+        assert_eq!(t.schema().quasi_identifiers(), vec![0, 1]);
+    }
+
+    #[test]
+    fn mcd_correlation_is_moderate() {
+        let t = census_mcd(1);
+        let qi1 = t.numeric_column_by_name("TAXINC").unwrap();
+        let qi2 = t.numeric_column_by_name("POTHVAL").unwrap();
+        let conf = t.numeric_column_by_name("FEDTAX").unwrap();
+        let r = multiple_correlation(conf, &[qi1, qi2]);
+        assert!((r - 0.52).abs() < 0.08, "MCD multiple correlation {r}, want ≈0.52");
+    }
+
+    #[test]
+    fn hcd_correlation_is_high() {
+        let t = census_hcd(1);
+        let qi1 = t.numeric_column_by_name("TAXINC").unwrap();
+        let qi2 = t.numeric_column_by_name("POTHVAL").unwrap();
+        let conf = t.numeric_column_by_name("FICA").unwrap();
+        let r = multiple_correlation(conf, &[qi1, qi2]);
+        assert!((r - 0.92).abs() < 0.05, "HCD multiple correlation {r}, want ≈0.92");
+    }
+
+    #[test]
+    fn calibration_holds_across_seeds() {
+        for seed in [2, 3, 17, 99] {
+            let t = census_table(seed);
+            let qi1 = t.numeric_column(0).unwrap();
+            let qi2 = t.numeric_column(1).unwrap();
+            let fed = t.numeric_column(2).unwrap();
+            let fica = t.numeric_column(3).unwrap();
+            let r_mcd = multiple_correlation(fed, &[qi1, qi2]);
+            let r_hcd = multiple_correlation(fica, &[qi1, qi2]);
+            assert!((0.40..0.64).contains(&r_mcd), "seed {seed}: MCD R {r_mcd}");
+            assert!((0.85..0.97).contains(&r_hcd), "seed {seed}: HCD R {r_hcd}");
+            assert!(r_hcd > r_mcd + 0.2, "HCD must be clearly higher than MCD");
+        }
+    }
+
+    #[test]
+    fn roles_differ_between_configurations() {
+        let mcd = census_mcd(1);
+        let hcd = census_hcd(1);
+        assert_eq!(mcd.schema().confidential(), vec![2]);
+        assert_eq!(hcd.schema().confidential(), vec![3]);
+        // the underlying data is identical — only roles change
+        assert_eq!(
+            mcd.numeric_column(0).unwrap(),
+            hcd.numeric_column(0).unwrap()
+        );
+    }
+
+    #[test]
+    fn values_are_positive_and_income_like() {
+        let t = census_table(5);
+        for c in 0..4 {
+            let col = t.numeric_column(c).unwrap();
+            assert!(col.iter().all(|&v| v >= 0.0));
+            // skew: mean above median for a right-skewed marginal
+            let mean = tclose_microdata::stats::mean(col);
+            let median = stats::quantile(col, 0.5).unwrap();
+            assert!(mean > median, "column {c} should be right-skewed");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(census_table(7), census_table(7));
+        assert_ne!(census_table(7), census_table(8));
+    }
+
+    #[test]
+    fn tied_variant_has_atoms_and_steps() {
+        let t = census_tied(1);
+        let fed = t.numeric_column_by_name("FEDTAX").unwrap();
+        let zeros = fed.iter().filter(|&&v| v == 0.0).count();
+        assert!(
+            (150..=400).contains(&zeros),
+            "FEDTAX zero-inflation off: {zeros} zeros"
+        );
+        assert!(fed.iter().all(|v| (v % 100.0).abs() < 1e-9));
+
+        let fica = t.numeric_column_by_name("FICA").unwrap();
+        let max = fica.iter().cloned().fold(f64::MIN, f64::max);
+        let at_cap = fica.iter().filter(|&&v| (v - max).abs() < 1e-9).count();
+        assert!(at_cap >= 80, "FICA cap atom too small: {at_cap}");
+        assert!(fica.iter().all(|v| (v % 50.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn tied_variant_keeps_correlation_bands() {
+        let t = census_tied(1);
+        let qi1 = t.numeric_column_by_name("TAXINC").unwrap();
+        let qi2 = t.numeric_column_by_name("POTHVAL").unwrap();
+        let fed = t.numeric_column_by_name("FEDTAX").unwrap();
+        let fica = t.numeric_column_by_name("FICA").unwrap();
+        let r_mcd = multiple_correlation(fed, &[qi1, qi2]);
+        let r_hcd = multiple_correlation(fica, &[qi1, qi2]);
+        assert!((0.38..0.62).contains(&r_mcd), "tied MCD R {r_mcd}");
+        assert!((0.80..0.97).contains(&r_hcd), "tied HCD R {r_hcd}");
+    }
+
+    #[test]
+    fn tied_roles() {
+        assert_eq!(census_tied_mcd(1).schema().confidential(), vec![2]);
+        assert_eq!(census_tied_hcd(1).schema().confidential(), vec![3]);
+    }
+}

@@ -1,0 +1,33 @@
+//! # tclose-datasets
+//!
+//! Synthetic evaluation data sets reproducing the *statistical conditions*
+//! of the paper's test data, which is no longer publicly distributed:
+//!
+//! * [`census`] — a 1,080-record data set shaped after the CASC "Census"
+//!   file: quasi-identifiers `TAXINC` and `POTHVAL`, confidential
+//!   candidates `FEDTAX` (moderately correlated with the QIs, R ≈ 0.52 —
+//!   the **MCD** configuration) and `FICA` (highly correlated, R ≈ 0.92 —
+//!   the **HCD** configuration).
+//! * [`patient`] — a Patient-Discharge-like data set (default 23,435
+//!   records, 7 quasi-identifiers, one confidential hospital-charge
+//!   attribute with weak QI correlation R ≈ 0.129).
+//! * [`synthetic`] — the underlying generator toolkit (single-factor
+//!   Gaussian latents, monotone income-shaped marginals) plus generic
+//!   uniform/clustered generators for stress tests.
+//! * [`calibration`] — the multiple correlation coefficient used to verify
+//!   that generated data hits the paper's reported correlation levels.
+//!
+//! All generators are deterministic given a seed (`StdRng`), so every
+//! experiment in the harness is exactly reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibration;
+pub mod census;
+pub mod patient;
+pub mod synthetic;
+
+pub use calibration::multiple_correlation;
+pub use census::{census_hcd, census_mcd, census_table, census_tied_hcd, census_tied_mcd, CENSUS_N};
+pub use patient::{patient_discharge, PATIENT_N};

@@ -1,0 +1,157 @@
+//! The Patient-Discharge-like evaluation data set.
+//!
+//! Stand-in for the 2010 Californian OSHPD Patient Discharge data (Cedars
+//! Sinai Medical Center subset: 23,435 complete records after cleaning)
+//! used in the paper's scalability and utility experiments. The original is
+//! no longer publicly downloadable; the generator reproduces the properties
+//! the experiments depend on:
+//!
+//! * **23,435 records** by default (configurable for quicker runs);
+//! * **7 quasi-identifier attributes** of mixed character: age, zip-code
+//!   region, admission day-of-year, sex, length of stay, severity score and
+//!   payer category (all numeric/ordinal-coded so they embed in the metric
+//!   QI space);
+//! * **one confidential attribute**: the amount charged for the stay,
+//!   right-skewed and rounded to $100 (hospital charge masters quote
+//!   rounded amounts; rounding also keeps the EMD histogram compact);
+//! * weak QI↔charge multiple correlation ≈ **0.129** — charges depend
+//!   mostly on factors invisible in the QIs.
+
+use crate::synthetic::{factor_mix, normal_vec, numeric_table, round_to, std_normal};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tclose_microdata::Table;
+
+/// Number of records of the paper's cleaned Patient Discharge subset.
+pub const PATIENT_N: usize = 23_435;
+
+/// Charge loading on the stay-severity factor (target R ≈ 0.129).
+const CHARGE_LOADING: f64 = 0.135;
+
+/// Generates the Patient-Discharge-like table with `n` records.
+///
+/// Use [`PATIENT_N`] for the paper's full size; experiments that only need
+/// the qualitative shape can pass a smaller `n` (the generator's
+/// correlation structure is size-independent).
+pub fn patient_discharge(seed: u64, n: usize) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // A mild "clinical intensity" factor ties stay length and severity
+    // together; most QIs are independent demographics.
+    let intensity = normal_vec(&mut rng, n);
+
+    let mut age = Vec::with_capacity(n);
+    let mut zip = Vec::with_capacity(n);
+    let mut admission_day = Vec::with_capacity(n);
+    let mut sex = Vec::with_capacity(n);
+    let mut stay_days = Vec::with_capacity(n);
+    let mut severity = Vec::with_capacity(n);
+    let mut payer = Vec::with_capacity(n);
+
+    #[allow(clippy::needless_range_loop)] // several parallel columns are filled per record
+    for i in 0..n {
+        // Age 18–99, mildly older-skewed (hospital population).
+        let a: f64 = 18.0 + 82.0 * rng.gen::<f64>().powf(0.8);
+        age.push(a.floor());
+        // Zip region: 90000–96199 (California-like), coarse 25-zip blocks.
+        zip.push(90_000.0 + (rng.gen_range(0u32..248) * 25) as f64);
+        // Admission day of year.
+        admission_day.push(rng.gen_range(1u32..=365) as f64);
+        // Sex as 0/1 code.
+        sex.push(if rng.gen_bool(0.54) { 1.0 } else { 0.0 });
+        // Stay length: 1–120 days, right-skewed, longer under intensity.
+        let s = (1.0 + (0.9 * intensity[i] + 0.8 * std_normal(&mut rng)).exp() * 2.0).min(120.0);
+        stay_days.push(s.round().max(1.0));
+        // Severity score 1–4, driven by the same factor.
+        let sev = 1.0 + ((intensity[i] + 2.0) / 4.0 * 3.0).clamp(0.0, 3.0);
+        severity.push(sev.round());
+        // Payer category 0–4 (ordinal-coded).
+        payer.push(rng.gen_range(0u32..5) as f64);
+    }
+
+    // Charges: right-skewed, weakly tied to the intensity factor so the
+    // QI↔charge multiple correlation lands near 0.129, rounded to $100.
+    let charge_noise = normal_vec(&mut rng, n);
+    let charge_z = factor_mix(&intensity, &charge_noise, CHARGE_LOADING);
+    let charge: Vec<f64> = charge_z
+        .iter()
+        .map(|&z| 18_000.0 * (0.8 * z).exp() + 1_500.0)
+        .collect();
+    let charge = round_to(&charge, 100.0);
+
+    numeric_table(
+        &["AGE", "ZIP", "ADMISSION_DAY", "SEX", "STAY_DAYS", "SEVERITY", "PAYER", "CHARGE"],
+        vec![age, zip, admission_day, sex, stay_days, severity, payer, charge],
+        7,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::multiple_correlation;
+
+    #[test]
+    fn shape_matches_the_paper() {
+        let t = patient_discharge(1, 2_000);
+        assert_eq!(t.n_rows(), 2_000);
+        assert_eq!(t.n_cols(), 8);
+        assert_eq!(t.schema().quasi_identifiers().len(), 7);
+        assert_eq!(t.schema().confidential(), vec![7]);
+    }
+
+    #[test]
+    fn charge_correlation_is_weak() {
+        let t = patient_discharge(1, 12_000);
+        let conf = t.numeric_column(7).unwrap();
+        let qis: Vec<&[f64]> = (0..7).map(|c| t.numeric_column(c).unwrap()).collect();
+        let r = multiple_correlation(conf, &qis);
+        assert!((r - 0.129).abs() < 0.05, "multiple correlation {r}, want ≈0.129");
+    }
+
+    #[test]
+    fn attribute_ranges_are_sane() {
+        let t = patient_discharge(3, 5_000);
+        let age = t.numeric_column(0).unwrap();
+        assert!(age.iter().all(|&a| (18.0..100.0).contains(&a)));
+        let day = t.numeric_column(2).unwrap();
+        assert!(day.iter().all(|&d| (1.0..=365.0).contains(&d)));
+        let sex = t.numeric_column(3).unwrap();
+        assert!(sex.iter().all(|&s| s == 0.0 || s == 1.0));
+        let sev = t.numeric_column(5).unwrap();
+        assert!(sev.iter().all(|&s| (1.0..=4.0).contains(&s)));
+        let stay = t.numeric_column(4).unwrap();
+        assert!(stay.iter().all(|&s| (1.0..=120.0).contains(&s)));
+        let charge = t.numeric_column(7).unwrap();
+        assert!(charge.iter().all(|&c| c > 0.0 && (c % 100.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn charges_are_right_skewed() {
+        let t = patient_discharge(5, 8_000);
+        let charge = t.numeric_column(7).unwrap();
+        let mean = tclose_microdata::stats::mean(charge);
+        let median = tclose_microdata::stats::quantile(charge, 0.5).unwrap();
+        assert!(mean > 1.1 * median, "mean {mean} vs median {median}");
+    }
+
+    #[test]
+    fn rounding_keeps_emd_domain_compact() {
+        let t = patient_discharge(2, 20_000);
+        let charge = t.numeric_column(7).unwrap();
+        let mut uniq = charge.to_vec();
+        uniq.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        uniq.dedup();
+        assert!(
+            uniq.len() < 4_000,
+            "charge domain has {} distinct values; EMD cost depends on this",
+            uniq.len()
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(patient_discharge(9, 500), patient_discharge(9, 500));
+        assert_ne!(patient_discharge(9, 500), patient_discharge(10, 500));
+    }
+}

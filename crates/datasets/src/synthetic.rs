@@ -1,0 +1,188 @@
+//! Generator toolkit: Gaussian latents, monotone marginal shapes, and
+//! generic stress-test data sets.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tclose_microdata::{AttributeDef, AttributeRole, Schema, Table, Value};
+
+/// A standard-normal sample via Box–Muller (avoids pulling in
+/// `rand_distr`; two uniforms per normal, second discarded for simplicity).
+pub fn std_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// `n` i.i.d. standard normals.
+pub fn normal_vec(rng: &mut StdRng, n: usize) -> Vec<f64> {
+    (0..n).map(|_| std_normal(rng)).collect()
+}
+
+/// Mixes a shared factor with idiosyncratic noise: `loading·f + √(1−loading²)·e`.
+///
+/// With standard-normal `f` and `e`, the result is standard normal with
+/// correlation `loading` to the factor.
+///
+/// # Panics
+/// Panics unless `|loading| ≤ 1`.
+pub fn factor_mix(factor: &[f64], noise: &[f64], loading: f64) -> Vec<f64> {
+    assert!(loading.abs() <= 1.0, "factor loading must be in [-1, 1]");
+    assert_eq!(factor.len(), noise.len());
+    let resid = (1.0 - loading * loading).sqrt();
+    factor
+        .iter()
+        .zip(noise)
+        .map(|(f, e)| loading * f + resid * e)
+        .collect()
+}
+
+/// Income-shaped marginal: a right-skewed, strictly increasing transform of
+/// a standard-normal latent — `scale · exp(sigma·z) + shift`. Keeping
+/// `sigma` moderate (≤ 0.5) preserves most of the latent Pearson
+/// correlation structure.
+pub fn income_marginal(z: &[f64], scale: f64, sigma: f64, shift: f64) -> Vec<f64> {
+    z.iter().map(|&v| scale * (sigma * v).exp() + shift).collect()
+}
+
+/// Rounds values to a granularity (e.g. charges to $100). Rounding bounds
+/// the number of distinct values, which bounds the EMD histogram size.
+pub fn round_to(values: &[f64], granularity: f64) -> Vec<f64> {
+    assert!(granularity > 0.0);
+    values.iter().map(|v| (v / granularity).round() * granularity).collect()
+}
+
+/// Builds an all-numeric table from named columns, with the first
+/// `n_quasi` columns as quasi-identifiers and the rest confidential.
+pub fn numeric_table(names: &[&str], columns: Vec<Vec<f64>>, n_quasi: usize) -> Table {
+    assert_eq!(names.len(), columns.len());
+    assert!(n_quasi <= names.len());
+    let attrs: Vec<AttributeDef> = names
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let role = if i < n_quasi {
+                AttributeRole::QuasiIdentifier
+            } else {
+                AttributeRole::Confidential
+            };
+            AttributeDef::numeric(*name, role)
+        })
+        .collect();
+    let schema = Schema::new(attrs).expect("valid generated schema");
+    let mut t = Table::new(schema);
+    let n = columns.first().map(Vec::len).unwrap_or(0);
+    for r in 0..n {
+        let row: Vec<Value> = columns.iter().map(|c| Value::Number(c[r])).collect();
+        t.push_row(&row).expect("generated rows are valid");
+    }
+    t
+}
+
+/// Uniform random table: `n` records, `qi_dims` uniform QIs in `[0, 1)` and
+/// one uniform confidential attribute — a correlation-free stress test.
+pub fn uniform_table(seed: u64, n: usize, qi_dims: usize) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut columns: Vec<Vec<f64>> = Vec::with_capacity(qi_dims + 1);
+    for _ in 0..qi_dims + 1 {
+        columns.push((0..n).map(|_| rng.gen::<f64>()).collect());
+    }
+    let names: Vec<String> = (0..qi_dims)
+        .map(|i| format!("qi{i}"))
+        .chain(std::iter::once("conf".to_owned()))
+        .collect();
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    numeric_table(&name_refs, columns, qi_dims)
+}
+
+/// Blob-clustered table: `n` records around `n_blobs` well-separated QI
+/// centers (confidential attribute uniform) — exercises variable-size
+/// microaggregation.
+pub fn clustered_table(seed: u64, n: usize, n_blobs: usize) -> Table {
+    assert!(n_blobs >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut qi1 = Vec::with_capacity(n);
+    let mut qi2 = Vec::with_capacity(n);
+    let mut conf = Vec::with_capacity(n);
+    for i in 0..n {
+        let blob = (i % n_blobs) as f64;
+        qi1.push(blob * 100.0 + std_normal(&mut rng));
+        qi2.push(blob * -50.0 + std_normal(&mut rng));
+        conf.push(rng.gen_range(0.0..1000.0));
+    }
+    numeric_table(&["qi1", "qi2", "conf"], vec![qi1, qi2, conf], 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tclose_microdata::stats::{correlation, mean, std_dev};
+
+    #[test]
+    fn std_normal_has_right_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let xs = normal_vec(&mut rng, 20_000);
+        assert!(mean(&xs).abs() < 0.03, "mean {}", mean(&xs));
+        assert!((std_dev(&xs) - 1.0).abs() < 0.03, "std {}", std_dev(&xs));
+    }
+
+    #[test]
+    fn factor_mix_hits_target_correlation() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let f = normal_vec(&mut rng, 20_000);
+        let e = normal_vec(&mut rng, 20_000);
+        for loading in [0.0, 0.3, 0.7, 0.95] {
+            let x = factor_mix(&f, &e, loading);
+            let r = correlation(&f, &x);
+            assert!((r - loading).abs() < 0.03, "loading {loading}: got {r}");
+            assert!((std_dev(&x) - 1.0).abs() < 0.03);
+        }
+    }
+
+    #[test]
+    fn income_marginal_is_monotone_and_positive() {
+        let z = [-3.0, -1.0, 0.0, 1.0, 3.0];
+        let y = income_marginal(&z, 1000.0, 0.4, 0.0);
+        for w in y.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(y.iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn round_to_reduces_distinct_values() {
+        let vals: Vec<f64> = (0..1000).map(|i| i as f64 * 0.377).collect();
+        let rounded = round_to(&vals, 10.0);
+        let mut uniq = rounded.clone();
+        uniq.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        uniq.dedup();
+        assert!(uniq.len() < 60);
+        assert!(rounded.iter().all(|v| (v % 10.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn generated_tables_have_expected_shape() {
+        let t = uniform_table(3, 50, 3);
+        assert_eq!(t.n_rows(), 50);
+        assert_eq!(t.schema().quasi_identifiers().len(), 3);
+        assert_eq!(t.schema().confidential().len(), 1);
+
+        let c = clustered_table(4, 60, 3);
+        assert_eq!(c.n_rows(), 60);
+        assert_eq!(c.schema().quasi_identifiers(), vec![0, 1]);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = uniform_table(42, 20, 2);
+        let b = uniform_table(42, 20, 2);
+        let c = uniform_table(43, 20, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "loading")]
+    fn out_of_range_loading_panics() {
+        factor_mix(&[0.0], &[0.0], 1.5);
+    }
+}

@@ -1,0 +1,100 @@
+//! Figure 5: run time (log₁₀ seconds) of the three algorithms as a
+//! function of t, with k = 2, on the Patient-Discharge data set.
+
+use crate::render::{fmt_f, Grid};
+use crate::{Context, Dataset};
+use tclose_core::Algorithm;
+use tclose_microdata::Table;
+
+use super::run_cell;
+
+/// One runtime measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeCell {
+    /// Algorithm measured.
+    pub algorithm: &'static str,
+    /// t level.
+    pub t: f64,
+    /// Clustering wall time in seconds.
+    pub seconds: f64,
+}
+
+/// The three algorithms of Figure 5.
+pub fn fig5_algorithms() -> [Algorithm; 3] {
+    [Algorithm::Merge, Algorithm::KAnonymityFirst, Algorithm::TClosenessFirst]
+}
+
+/// Raw runtime sweep: every algorithm × every t at fixed `k`.
+///
+/// Cells run sequentially (not in parallel) so the timings are not
+/// distorted by core contention.
+pub fn runtime_cells(table: &Table, k: usize, ts: &[f64]) -> Vec<RuntimeCell> {
+    let mut out = Vec::new();
+    for alg in fig5_algorithms() {
+        for &t in ts {
+            let r = run_cell(table, alg, k, t);
+            out.push(RuntimeCell {
+                algorithm: alg.name(),
+                t,
+                seconds: r.clustering_time.as_secs_f64(),
+            });
+        }
+    }
+    out
+}
+
+/// Renders Figure 5 as a grid: rows = algorithm, columns = t, cell =
+/// seconds (the paper plots log₁₀; raw seconds keep the CSV useful).
+pub fn fig5_grid(ctx: &Context) -> Grid {
+    let table = Dataset::Patient.table(ctx);
+    let ts = ctx.t_grid_figures();
+    let cells = runtime_cells(&table, 2, &ts);
+
+    let mut headers: Vec<String> = vec!["algorithm".into()];
+    headers.extend(ts.iter().map(|t| format!("t={t}")));
+    let mut grid = Grid {
+        title: format!(
+            "Figure 5 — run time in seconds, k=2, Patient Discharge (n={})",
+            table.n_rows()
+        ),
+        headers,
+        rows: Vec::new(),
+    };
+    for alg in fig5_algorithms() {
+        let mut row = vec![alg.name().to_owned()];
+        for &t in &ts {
+            let c = cells
+                .iter()
+                .find(|c| c.algorithm == alg.name() && (c.t - t).abs() < 1e-12)
+                .expect("cell computed");
+            row.push(fmt_f(c.seconds, 4));
+        }
+        grid.push_row(row);
+    }
+    grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::test_support::small_mcd;
+
+    #[test]
+    fn runtime_cells_cover_the_sweep() {
+        let t = small_mcd(80);
+        let cells = runtime_cells(&t, 2, &[0.1, 0.25]);
+        assert_eq!(cells.len(), 6); // 3 algorithms × 2 t values
+        assert!(cells.iter().all(|c| c.seconds >= 0.0));
+        let names: std::collections::HashSet<&str> =
+            cells.iter().map(|c| c.algorithm).collect();
+        assert_eq!(names.len(), 3);
+    }
+
+    #[test]
+    fn fig5_grid_has_three_algorithm_rows() {
+        let ctx = Context { seed: 5, patient_n: 150, quick: true };
+        let g = fig5_grid(&ctx);
+        assert_eq!(g.rows.len(), 3);
+        assert!(g.title.contains("n=150"));
+    }
+}

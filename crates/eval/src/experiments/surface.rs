@@ -1,0 +1,98 @@
+//! Figure 7: normalized SSE of each algorithm over the whole `(k, t)` grid
+//! on the MCD data set.
+
+use crate::render::{fmt_f, Grid};
+use crate::runner::parallel_map;
+use crate::{Context, Dataset};
+use tclose_core::Algorithm;
+use tclose_microdata::Table;
+
+use super::run_cell;
+
+/// One surface point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurfaceCell {
+    /// Requested k.
+    pub k: usize,
+    /// Requested t.
+    pub t: f64,
+    /// Normalized SSE (Eq. 5).
+    pub sse: f64,
+}
+
+/// Raw SSE surface for one algorithm.
+pub fn surface_cells(table: &Table, alg: Algorithm, ks: &[usize], ts: &[f64]) -> Vec<SurfaceCell> {
+    let jobs: Vec<(usize, f64)> = ks
+        .iter()
+        .flat_map(|&k| ts.iter().map(move |&t| (k, t)))
+        .collect();
+    parallel_map(jobs, |&(k, t)| {
+        let r = run_cell(table, alg, k, t);
+        SurfaceCell { k, t, sse: r.sse }
+    })
+}
+
+/// Renders one Figure 7 panel (one algorithm): rows = k, columns = t.
+pub fn fig7_grid(ctx: &Context, alg: Algorithm) -> Grid {
+    let table = Dataset::Mcd.table(ctx);
+    let ks = ctx.k_grid();
+    let ts = ctx.t_grid_figures();
+    let cells = surface_cells(&table, alg, &ks, &ts);
+
+    let mut headers: Vec<String> = vec!["k".into()];
+    headers.extend(ts.iter().map(|t| format!("t={t}")));
+    let mut grid = Grid {
+        title: format!("Figure 7 — normalized SSE surface, {} on MCD", alg.name()),
+        headers,
+        rows: Vec::new(),
+    };
+    for &k in &ks {
+        let mut row = vec![format!("{k}")];
+        for &t in &ts {
+            let c = cells
+                .iter()
+                .find(|c| c.k == k && (c.t - t).abs() < 1e-12)
+                .expect("cell computed");
+            row.push(fmt_f(c.sse, 5));
+        }
+        grid.push_row(row);
+    }
+    grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::test_support::small_mcd;
+
+    #[test]
+    fn surface_covers_the_grid() {
+        let t = small_mcd(90);
+        let cells = surface_cells(&t, Algorithm::TClosenessFirst, &[2, 5], &[0.1, 0.25]);
+        assert_eq!(cells.len(), 4);
+        assert!(cells.iter().all(|c| c.sse.is_finite()));
+    }
+
+    #[test]
+    fn alg3_sse_grows_with_k() {
+        // Figure 7's salient feature: Algorithm 3's SSE rises with k
+        // because its cluster size is exactly max(k, k'(t)).
+        let t = small_mcd(120);
+        let cells = surface_cells(&t, Algorithm::TClosenessFirst, &[2, 10], &[0.25]);
+        let at = |k: usize| cells.iter().find(|c| c.k == k).unwrap().sse;
+        assert!(
+            at(10) >= at(2),
+            "SSE at k=10 ({}) should be >= SSE at k=2 ({})",
+            at(10),
+            at(2)
+        );
+    }
+
+    #[test]
+    fn fig7_grid_shape() {
+        let ctx = Context { seed: 8, patient_n: 100, quick: true };
+        let g = fig7_grid(&ctx, Algorithm::TClosenessFirst);
+        assert_eq!(g.rows.len(), ctx.k_grid().len());
+        assert!(g.title.contains("Alg3"));
+    }
+}

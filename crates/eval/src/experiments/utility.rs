@@ -1,0 +1,107 @@
+//! Figure 6: normalized SSE of the three algorithms as a function of t
+//! (k = 2) on the HCD, MCD and Patient-Discharge data sets.
+
+use crate::render::{fmt_f, Grid};
+use crate::runner::parallel_map;
+use crate::{Context, Dataset};
+use tclose_core::Algorithm;
+use tclose_microdata::Table;
+
+use super::run_cell;
+use super::runtime::fig5_algorithms;
+
+/// One utility measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SseCell {
+    /// Algorithm measured.
+    pub algorithm: &'static str,
+    /// t level.
+    pub t: f64,
+    /// Normalized SSE over the quasi-identifiers (Eq. 5).
+    pub sse: f64,
+}
+
+/// Raw SSE sweep: every Figure 6 algorithm × every t at fixed `k`.
+pub fn sse_cells(table: &Table, k: usize, ts: &[f64]) -> Vec<SseCell> {
+    let jobs: Vec<(Algorithm, f64)> = fig5_algorithms()
+        .into_iter()
+        .flat_map(|a| ts.iter().map(move |&t| (a, t)))
+        .collect();
+    parallel_map(jobs, |&(alg, t)| {
+        let r = run_cell(table, alg, k, t);
+        SseCell { algorithm: alg.name(), t, sse: r.sse }
+    })
+}
+
+/// Renders one Figure 6 panel (one data set): rows = algorithm, columns =
+/// t, cells = normalized SSE.
+pub fn fig6_grid(ctx: &Context, dataset: Dataset) -> Grid {
+    let table = dataset.table(ctx);
+    let ts = ctx.t_grid_figures();
+    let cells = sse_cells(&table, 2, &ts);
+
+    let mut headers: Vec<String> = vec!["algorithm".into()];
+    headers.extend(ts.iter().map(|t| format!("t={t}")));
+    let mut grid = Grid {
+        title: format!(
+            "Figure 6 — normalized SSE, k=2, {} (n={})",
+            dataset.name(),
+            table.n_rows()
+        ),
+        headers,
+        rows: Vec::new(),
+    };
+    for alg in fig5_algorithms() {
+        let mut row = vec![alg.name().to_owned()];
+        for &t in &ts {
+            let c = cells
+                .iter()
+                .find(|c| c.algorithm == alg.name() && (c.t - t).abs() < 1e-12)
+                .expect("cell computed");
+            row.push(fmt_f(c.sse, 5));
+        }
+        grid.push_row(row);
+    }
+    grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::test_support::small_mcd;
+
+    #[test]
+    fn sse_is_finite_nonnegative_for_all_cells() {
+        let t = small_mcd(90);
+        let cells = sse_cells(&t, 2, &[0.1, 0.25]);
+        assert_eq!(cells.len(), 6);
+        for c in &cells {
+            assert!(c.sse.is_finite() && c.sse >= 0.0, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn alg3_is_never_worse_than_alg1_in_aggregate() {
+        // The paper's headline result. On small data single cells can tie
+        // or flip, so compare the sums over the sweep.
+        let t = small_mcd(120);
+        let cells = sse_cells(&t, 2, &[0.05, 0.1, 0.2]);
+        let total = |name: &str| -> f64 {
+            cells.iter().filter(|c| c.algorithm == name).map(|c| c.sse).sum()
+        };
+        let alg1 = total("Alg1-merge");
+        let alg3 = total("Alg3-tfirst");
+        assert!(
+            alg3 <= alg1 + 1e-9,
+            "Alg3 total SSE {alg3} should not exceed Alg1 total {alg1}"
+        );
+    }
+
+    #[test]
+    fn fig6_grid_shape() {
+        let ctx = Context { seed: 6, patient_n: 120, quick: true };
+        let g = fig6_grid(&ctx, Dataset::Patient);
+        assert_eq!(g.rows.len(), 3);
+        assert!(g.title.contains("Patient"));
+    }
+}

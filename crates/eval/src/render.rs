@@ -1,0 +1,161 @@
+//! Plain-text table rendering and CSV export for experiment results.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A rendered result grid: a title, column headers and string cells.
+#[derive(Debug, Clone, Default)]
+pub struct Grid {
+    /// Title printed above the table.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells; ragged rows are padded when rendering.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Grid {
+    /// New grid with a title and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Grid {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Renders as an aligned ASCII table.
+    pub fn to_ascii(&self) -> String {
+        let n_cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; n_cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "## {}", self.title);
+        }
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                let _ = write!(line, "| {cell:>w$} ", w = w);
+            }
+            line.push('|');
+            line
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
+        let sep: String = widths
+            .iter()
+            .map(|w| format!("|{}", "-".repeat(w + 2)))
+            .collect::<String>()
+            + "|";
+        let _ = writeln!(out, "{sep}");
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Renders as CSV (RFC-4180 quoting for cells containing separators).
+    pub fn to_csv(&self) -> String {
+        let quote = |s: &str| {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_owned()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to `dir/<slug>.csv`, creating `dir`.
+    pub fn save_csv(&self, dir: &Path, slug: &str) -> io::Result<()> {
+        fs::create_dir_all(dir)?;
+        fs::write(dir.join(format!("{slug}.csv")), self.to_csv())
+    }
+}
+
+/// Formats a float with `digits` decimal places, trimming negative zero.
+pub fn fmt_f(x: f64, digits: usize) -> String {
+    let s = format!("{x:.digits$}");
+    if s.starts_with("-0.") && s[1..].parse::<f64>() == Ok(0.0) {
+        s[1..].to_owned()
+    } else {
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Grid {
+        let mut g = Grid::new("demo", &["k", "value"]);
+        g.push_row(vec!["2".into(), "0.51".into()]);
+        g.push_row(vec!["10".into(), "1,234".into()]);
+        g
+    }
+
+    #[test]
+    fn ascii_is_aligned() {
+        let a = grid().to_ascii();
+        assert!(a.contains("## demo"));
+        let lines: Vec<&str> = a.lines().collect();
+        // title, header, separator, two rows
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    fn csv_quotes_separators() {
+        let c = grid().to_csv();
+        assert!(c.contains("\"1,234\""));
+        assert!(c.starts_with("k,value"));
+    }
+
+    #[test]
+    fn save_csv_writes_file() {
+        let dir = std::env::temp_dir().join("tclose_eval_render_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        grid().save_csv(&dir, "demo").unwrap();
+        let content = std::fs::read_to_string(dir.join("demo.csv")).unwrap();
+        assert!(content.contains("0.51"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f(1.23456, 3), "1.235");
+        assert_eq!(fmt_f(-0.0001, 2), "0.00");
+        assert_eq!(fmt_f(2.0, 0), "2");
+    }
+}

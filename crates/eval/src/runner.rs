@@ -1,0 +1,73 @@
+//! Minimal parallel map over experiment cells using scoped threads.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Applies `f` to every item of `inputs` on all available cores, returning
+/// outputs in input order. Falls back to sequential execution for tiny
+/// inputs where thread spin-up would dominate.
+pub fn parallel_map<I, O, F>(inputs: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send + Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let n = inputs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if workers <= 1 || n <= 2 {
+        return inputs.iter().map(&f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = f(&inputs[i]);
+                *slots[i].lock().expect("no poisoned slot") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("no poisoned slot").expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let inputs: Vec<usize> = (0..100).collect();
+        let out = parallel_map(inputs, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let out: Vec<usize> = parallel_map(Vec::<usize>::new(), |&x| x);
+        assert!(out.is_empty());
+        assert_eq!(parallel_map(vec![7], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn heavy_closure_runs_on_all_items() {
+        let out = parallel_map((0..17).collect::<Vec<u64>>(), |&x| {
+            // small spin to exercise actual parallelism
+            (0..1000u64).fold(x, |a, b| a.wrapping_add(b))
+        });
+        assert_eq!(out.len(), 17);
+    }
+}

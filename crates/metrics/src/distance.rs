@@ -1,0 +1,150 @@
+//! Record-space distances and geometric helpers.
+//!
+//! All microaggregation algorithms operate on records embedded as
+//! `Vec<f64>` vectors (normalized quasi-identifier projections — see
+//! [`tclose_microdata::Normalizer`]). The helpers here are deliberately
+//! simple and allocation-free on the hot path: squared Euclidean distance,
+//! centroids, nearest/farthest point queries over index subsets.
+
+/// Squared Euclidean distance between two equally long vectors.
+///
+/// Squared distance preserves the `argmin`/`argmax` of the true distance and
+/// avoids the square root on the hot path.
+#[inline]
+pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
+}
+
+/// Euclidean distance.
+#[inline]
+pub fn dist(a: &[f64], b: &[f64]) -> f64 {
+    sq_dist(a, b).sqrt()
+}
+
+/// Component-wise mean of the rows at `indices`.
+///
+/// Returns the zero vector of the right dimension for an empty selection so
+/// callers do not need a special case (the paper's algorithms never query
+/// the centroid of an empty set on a live path).
+pub fn centroid(rows: &[Vec<f64>], indices: &[usize]) -> Vec<f64> {
+    let dim = rows.first().map(Vec::len).unwrap_or(0);
+    let mut c = vec![0.0; dim];
+    if indices.is_empty() {
+        return c;
+    }
+    for &i in indices {
+        for (acc, x) in c.iter_mut().zip(&rows[i]) {
+            *acc += x;
+        }
+    }
+    let n = indices.len() as f64;
+    for acc in &mut c {
+        *acc /= n;
+    }
+    c
+}
+
+/// Index (into `indices`' *values*) of the record farthest from `point`.
+///
+/// Ties break toward the earliest index for determinism. `None` when
+/// `indices` is empty.
+pub fn farthest_from(rows: &[Vec<f64>], indices: &[usize], point: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for &i in indices {
+        let d = sq_dist(&rows[i], point);
+        match best {
+            Some((_, bd)) if d <= bd => {}
+            _ => best = Some((i, d)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Index of the record nearest to `point` among `indices`.
+pub fn nearest_to(rows: &[Vec<f64>], indices: &[usize], point: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for &i in indices {
+        let d = sq_dist(&rows[i], point);
+        match best {
+            Some((_, bd)) if d >= bd => {}
+            _ => best = Some((i, d)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// The `count` indices among `indices` nearest to `point`, ascending by
+/// distance (ties by index). `count` may exceed `indices.len()`, in which
+/// case all indices are returned sorted by distance.
+pub fn k_nearest(rows: &[Vec<f64>], indices: &[usize], point: &[f64], count: usize) -> Vec<usize> {
+    let mut with_d: Vec<(usize, f64)> =
+        indices.iter().map(|&i| (i, sq_dist(&rows[i], point))).collect();
+    // Partial selection would do, but a full sort keeps ties deterministic
+    // and the selection is not the bottleneck of any algorithm here.
+    with_d.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
+    with_d.truncate(count);
+    with_d.into_iter().map(|(i, _)| i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<Vec<f64>> {
+        vec![
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 2.0],
+            vec![5.0, 5.0],
+        ]
+    }
+
+    #[test]
+    fn distances() {
+        assert_eq!(sq_dist(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(dist(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(sq_dist(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn centroid_of_subset() {
+        let r = rows();
+        assert_eq!(centroid(&r, &[0, 1]), vec![0.5, 0.0]);
+        assert_eq!(centroid(&r, &[3]), vec![5.0, 5.0]);
+        assert_eq!(centroid(&r, &[]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn farthest_and_nearest() {
+        let r = rows();
+        let all = [0, 1, 2, 3];
+        assert_eq!(farthest_from(&r, &all, &[0.0, 0.0]), Some(3));
+        assert_eq!(nearest_to(&r, &all, &[4.9, 5.2]), Some(3));
+        assert_eq!(nearest_to(&r, &[1, 2], &[0.0, 0.0]), Some(1));
+        assert_eq!(farthest_from(&r, &[], &[0.0, 0.0]), None);
+        assert_eq!(nearest_to(&r, &[], &[0.0, 0.0]), None);
+    }
+
+    #[test]
+    fn ties_break_to_earliest_index() {
+        let r = vec![vec![1.0], vec![-1.0], vec![1.0]];
+        // records 0 and 1 are equidistant from origin; 0 wins
+        assert_eq!(nearest_to(&r, &[0, 1, 2], &[0.0]), Some(0));
+        assert_eq!(farthest_from(&r, &[0, 1, 2], &[0.0]), Some(0));
+    }
+
+    #[test]
+    fn k_nearest_orders_and_truncates() {
+        let r = rows();
+        let all = [0, 1, 2, 3];
+        assert_eq!(k_nearest(&r, &all, &[0.0, 0.0], 2), vec![0, 1]);
+        assert_eq!(k_nearest(&r, &all, &[0.0, 0.0], 10), vec![0, 1, 2, 3]);
+        assert_eq!(k_nearest(&r, &all, &[0.0, 0.0], 0), Vec::<usize>::new());
+    }
+}

@@ -1,0 +1,402 @@
+//! Earth Mover's Distance (EMD) for t-closeness.
+//!
+//! For a numerical (or ordinal) confidential attribute taking the distinct
+//! sorted values `v₁ < v₂ < … < v_m` in the data set, the ground distance
+//! between values is the *ordered distance* `|i − j| / (m − 1)` and the EMD
+//! between two distributions `P`, `Q` over those values reduces to the
+//! closed form (Li et al., ICDE 2007):
+//!
+//! ```text
+//! EMD(P, Q) = (1 / (m−1)) · Σᵢ | Σ_{j ≤ i} (p_j − q_j) |
+//! ```
+//!
+//! t-Closeness compares, for every equivalence class `C` of the anonymized
+//! table, the distribution of the confidential attribute within `C` against
+//! its distribution over the whole table `T`. [`OrderedEmd`] is fitted once
+//! on the whole attribute column (fixing the value domain and the global
+//! distribution `Q`) and then evaluates `EMD(C, T)` for arbitrary clusters,
+//! either from a set of record indices or incrementally through a
+//! [`ClusterHistogram`] — the work-horse of the k-anonymity-first algorithm,
+//! which repeatedly tries single-record swaps.
+
+use std::collections::HashMap;
+
+/// Fitted ordered-EMD evaluator for one confidential attribute.
+#[derive(Debug, Clone)]
+pub struct OrderedEmd {
+    /// Distinct attribute values, ascending. `values.len() == m`.
+    values: Vec<f64>,
+    /// Bin (index into `values`) of every record of the fitting column.
+    record_bins: Vec<u32>,
+    /// Number of records per bin over the whole data set.
+    global_counts: Vec<u32>,
+    /// Total number of records.
+    n: usize,
+}
+
+impl OrderedEmd {
+    /// Fits the evaluator on the confidential attribute column of the whole
+    /// data set (one entry per record).
+    ///
+    /// # Panics
+    /// Panics if `column` is empty or contains non-finite values.
+    pub fn new(column: &[f64]) -> Self {
+        assert!(!column.is_empty(), "EMD requires a non-empty attribute column");
+        assert!(
+            column.iter().all(|x| x.is_finite()),
+            "EMD requires finite attribute values"
+        );
+        let mut values: Vec<f64> = column.to_vec();
+        values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        values.dedup();
+
+        // Map each record to its bin via binary search on the dense domain.
+        let record_bins: Vec<u32> = column
+            .iter()
+            .map(|x| {
+                values
+                    .binary_search_by(|v| v.partial_cmp(x).expect("finite"))
+                    .expect("every record value is in the domain") as u32
+            })
+            .collect();
+
+        let mut global_counts = vec![0u32; values.len()];
+        for &b in &record_bins {
+            global_counts[b as usize] += 1;
+        }
+        OrderedEmd { values, record_bins, global_counts, n: column.len() }
+    }
+
+    /// Fits the evaluator from pre-computed ranks (used for ordinal
+    /// categorical attributes where `column[r]` is the category code and
+    /// code order is the semantic order).
+    pub fn from_codes(codes: &[u32]) -> Self {
+        let as_f64: Vec<f64> = codes.iter().map(|&c| c as f64).collect();
+        Self::new(&as_f64)
+    }
+
+    /// Number of distinct values `m` in the domain.
+    pub fn m(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of records the evaluator was fitted on.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The sorted distinct values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Bin index of record `r` of the fitting column.
+    pub fn bin_of(&self, r: usize) -> usize {
+        self.record_bins[r] as usize
+    }
+
+    /// Global distribution (probability of each bin over the data set).
+    pub fn global_distribution(&self) -> Vec<f64> {
+        self.global_counts.iter().map(|&c| c as f64 / self.n as f64).collect()
+    }
+
+    /// `EMD(C, T)` for the cluster given by record indices (duplicates
+    /// would bias the distribution and are the caller's responsibility).
+    pub fn emd_of_records(&self, records: &[usize]) -> f64 {
+        let mut hist = ClusterHistogram::empty(self.m());
+        for &r in records {
+            hist.add(self.bin_of(r));
+        }
+        self.emd(&hist)
+    }
+
+    /// `EMD(C, T)` for a cluster histogram maintained incrementally.
+    ///
+    /// Cost `O(m)`. Empty clusters have EMD 0 by convention.
+    pub fn emd(&self, cluster: &ClusterHistogram) -> f64 {
+        debug_assert_eq!(cluster.counts.len(), self.m(), "histogram fitted on another domain");
+        let m = self.m();
+        if m <= 1 || cluster.size == 0 {
+            return 0.0;
+        }
+        let cn = cluster.size as f64;
+        let tn = self.n as f64;
+        let mut cum = 0.0f64;
+        let mut total = 0.0f64;
+        // The i = m term contributes |cum_m| = 0 for true distributions; we
+        // include all m terms to match the formula literally.
+        for i in 0..m {
+            cum += cluster.counts[i] as f64 / cn - self.global_counts[i] as f64 / tn;
+            total += cum.abs();
+        }
+        total / (m as f64 - 1.0)
+    }
+
+    /// EMD between two explicit distributions over this domain, by the same
+    /// ordered ground distance. Both slices must have length `m` and sum to
+    /// 1 (up to rounding).
+    pub fn emd_between(&self, p: &[f64], q: &[f64]) -> f64 {
+        assert_eq!(p.len(), self.m());
+        assert_eq!(q.len(), self.m());
+        let m = self.m();
+        if m <= 1 {
+            return 0.0;
+        }
+        let mut cum = 0.0;
+        let mut total = 0.0;
+        for i in 0..m {
+            cum += p[i] - q[i];
+            total += cum.abs();
+        }
+        total / (m as f64 - 1.0)
+    }
+
+    /// The EMD obtained after hypothetically swapping record `out` for
+    /// record `inn` in `cluster`, without mutating it. `O(m)`.
+    pub fn emd_after_swap(&self, cluster: &ClusterHistogram, out: usize, inn: usize) -> f64 {
+        let bin_out = self.bin_of(out);
+        let bin_in = self.bin_of(inn);
+        if bin_out == bin_in {
+            return self.emd(cluster);
+        }
+        let mut scratch = cluster.clone();
+        scratch.remove(bin_out);
+        scratch.add(bin_in);
+        self.emd(&scratch)
+    }
+}
+
+/// Incrementally maintained histogram of a cluster over an [`OrderedEmd`]
+/// domain. Cheap to clone (one `Vec<u32>`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterHistogram {
+    counts: Vec<u32>,
+    size: usize,
+}
+
+impl ClusterHistogram {
+    /// Empty histogram over a domain with `m` bins.
+    pub fn empty(m: usize) -> Self {
+        ClusterHistogram { counts: vec![0; m], size: 0 }
+    }
+
+    /// Histogram of the given records under `emd`'s domain.
+    pub fn of_records(emd: &OrderedEmd, records: &[usize]) -> Self {
+        let mut h = Self::empty(emd.m());
+        for &r in records {
+            h.add(emd.bin_of(r));
+        }
+        h
+    }
+
+    /// Number of records currently in the cluster.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Per-bin record counts.
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Adds one record falling in `bin`.
+    pub fn add(&mut self, bin: usize) {
+        self.counts[bin] += 1;
+        self.size += 1;
+    }
+
+    /// Removes one record falling in `bin`.
+    ///
+    /// # Panics
+    /// Panics if the bin is already empty (histogram underflow indicates a
+    /// caller bookkeeping bug).
+    pub fn remove(&mut self, bin: usize) {
+        assert!(self.counts[bin] > 0, "histogram underflow in bin {bin}");
+        self.counts[bin] -= 1;
+        self.size -= 1;
+    }
+
+    /// Merges another histogram into this one (cluster union).
+    pub fn merge(&mut self, other: &ClusterHistogram) {
+        assert_eq!(self.counts.len(), other.counts.len(), "merging incompatible histograms");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += *b;
+        }
+        self.size += other.size;
+    }
+}
+
+/// EMD with *equal* ground distance (distance 1 between any two distinct
+/// categories) for nominal attributes, which reduces to total variation
+/// distance: `EMD = ½ Σᵢ |pᵢ − qᵢ|`.
+///
+/// `p_counts` / `q_counts` are per-category record counts of the cluster and
+/// of the whole data set; categories are matched by key.
+pub fn nominal_emd(p_counts: &HashMap<u32, u32>, q_counts: &HashMap<u32, u32>) -> f64 {
+    let pn: u32 = p_counts.values().sum();
+    let qn: u32 = q_counts.values().sum();
+    if pn == 0 || qn == 0 {
+        return 0.0;
+    }
+    let mut keys: Vec<u32> = p_counts.keys().chain(q_counts.keys()).copied().collect();
+    keys.sort_unstable();
+    keys.dedup();
+    let mut total = 0.0;
+    for k in keys {
+        let p = *p_counts.get(&k).unwrap_or(&0) as f64 / pn as f64;
+        let q = *q_counts.get(&k).unwrap_or(&0) as f64 / qn as f64;
+        total += (p - q).abs();
+    }
+    total / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn whole_dataset_has_zero_emd() {
+        let col = vec![3.0, 1.0, 2.0, 2.0, 5.0];
+        let emd = OrderedEmd::new(&col);
+        let all: Vec<usize> = (0..col.len()).collect();
+        assert!(emd.emd_of_records(&all) < EPS);
+    }
+
+    #[test]
+    fn singleton_cluster_emd_matches_hand_computation() {
+        // T = {1,2,3,4}; C = {1}. p = (1,0,0,0), q = (¼,¼,¼,¼).
+        // cum = (¾, ½, ¼, 0) → Σ|cum| = 1.5 → EMD = 1.5/3 = 0.5
+        let emd = OrderedEmd::new(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((emd.emd_of_records(&[0]) - 0.5).abs() < EPS);
+        // symmetric extreme record gives the same distance
+        assert!((emd.emd_of_records(&[3]) - 0.5).abs() < EPS);
+        // middle records are closer to the global distribution
+        assert!(emd.emd_of_records(&[1]) < 0.5);
+    }
+
+    #[test]
+    fn spread_cluster_beats_contiguous_cluster() {
+        let col: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let emd = OrderedEmd::new(&col);
+        // spread: one record from each third vs contiguous block
+        let spread = emd.emd_of_records(&[1, 5, 9]);
+        let block = emd.emd_of_records(&[0, 1, 2]);
+        assert!(spread < block, "spread {spread} should be < block {block}");
+    }
+
+    #[test]
+    fn duplicated_values_collapse_bins() {
+        let emd = OrderedEmd::new(&[7.0, 7.0, 7.0]);
+        assert_eq!(emd.m(), 1);
+        assert_eq!(emd.emd_of_records(&[0]), 0.0);
+    }
+
+    #[test]
+    fn incremental_histogram_matches_batch() {
+        let col = vec![0.0, 1.0, 1.0, 2.0, 3.0, 4.0, 4.0, 5.0];
+        let emd = OrderedEmd::new(&col);
+        let records = [0, 3, 5, 7];
+        let batch = emd.emd_of_records(&records);
+
+        let mut h = ClusterHistogram::empty(emd.m());
+        for &r in &records {
+            h.add(emd.bin_of(r));
+        }
+        assert!((emd.emd(&h) - batch).abs() < EPS);
+
+        // remove + add keeps it consistent with a fresh histogram
+        h.remove(emd.bin_of(0));
+        h.add(emd.bin_of(1));
+        let expect = emd.emd_of_records(&[1, 3, 5, 7]);
+        assert!((emd.emd(&h) - expect).abs() < EPS);
+    }
+
+    #[test]
+    fn emd_after_swap_is_pure() {
+        let col = vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        let emd = OrderedEmd::new(&col);
+        let h = ClusterHistogram::of_records(&emd, &[0, 1]);
+        let before = emd.emd(&h);
+        let hypothetical = emd.emd_after_swap(&h, 0, 5);
+        // cluster {1,5} is more spread than {0,1}
+        assert!(hypothetical < before);
+        // h itself unchanged
+        assert!((emd.emd(&h) - before).abs() < EPS);
+        // same-bin swap is a no-op
+        assert!((emd.emd_after_swap(&h, 0, 0) - before).abs() < EPS);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let col = vec![0.0, 1.0, 2.0, 3.0];
+        let emd = OrderedEmd::new(&col);
+        let mut a = ClusterHistogram::of_records(&emd, &[0, 1]);
+        let b = ClusterHistogram::of_records(&emd, &[2, 3]);
+        a.merge(&b);
+        assert_eq!(a.size(), 4);
+        assert!(emd.emd(&a) < EPS); // union == whole data set
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn histogram_underflow_panics() {
+        let mut h = ClusterHistogram::empty(3);
+        h.remove(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_column_panics() {
+        OrderedEmd::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_column_panics() {
+        OrderedEmd::new(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn emd_between_explicit_distributions() {
+        let emd = OrderedEmd::new(&[1.0, 2.0, 3.0]);
+        let p = [1.0, 0.0, 0.0];
+        let q = [0.0, 0.0, 1.0];
+        // all mass moves distance (2/2)=1 → EMD = 1
+        assert!((emd.emd_between(&p, &q) - 1.0).abs() < EPS);
+        assert!(emd.emd_between(&p, &p) < EPS);
+    }
+
+    #[test]
+    fn emd_is_bounded_by_one() {
+        let col: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let emd = OrderedEmd::new(&col);
+        for cluster in [vec![0], vec![99], vec![0, 99], (0..50).collect::<Vec<_>>()] {
+            let d = emd.emd_of_records(&cluster);
+            assert!((0.0..=1.0).contains(&d), "EMD {d} out of [0,1]");
+        }
+    }
+
+    #[test]
+    fn from_codes_matches_numeric_domain() {
+        let codes = [0u32, 2, 1, 2, 0];
+        let emd = OrderedEmd::from_codes(&codes);
+        assert_eq!(emd.m(), 3);
+        let d = emd.emd_of_records(&[0, 4]); // two records with code 0
+        assert!(d > 0.0);
+    }
+
+    #[test]
+    fn nominal_emd_is_total_variation() {
+        let mut p = HashMap::new();
+        p.insert(0u32, 2u32); // cluster: 2×A
+        let mut q = HashMap::new();
+        q.insert(0u32, 2u32); // dataset: 2×A, 2×B
+        q.insert(1u32, 2u32);
+        // p = (1,0), q = (.5,.5) → TV = .5
+        assert!((nominal_emd(&p, &q) - 0.5).abs() < EPS);
+        assert_eq!(nominal_emd(&HashMap::new(), &q), 0.0);
+        assert!((nominal_emd(&q, &q)).abs() < EPS);
+    }
+}

@@ -1,0 +1,30 @@
+//! # tclose-metrics
+//!
+//! Distances and utility/privacy metrics for microdata anonymization:
+//!
+//! * [`emd`] — the Earth Mover's Distance with the *ordered* ground distance
+//!   used by t-closeness (Li et al. 2007, Soria-Comas et al. 2016), with an
+//!   incremental evaluator for algorithms that mutate clusters record by
+//!   record; plus the equal-ground-distance EMD for nominal attributes.
+//! * [`distance`] — record-space distances (squared Euclidean over
+//!   normalized quasi-identifier vectors) and centroid/extreme-point helpers
+//!   shared by all microaggregation algorithms.
+//! * [`sse`] — the paper's utility metric: normalized Sum of Squared Errors
+//!   (Eq. 5) between an original and an anonymized table.
+//! * [`loss`] — additional utility diagnostics (mean/variance/correlation
+//!   preservation).
+//! * [`risk`] — disclosure-risk estimators (distance-based record linkage,
+//!   within-class confidential variance ratio).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distance;
+pub mod emd;
+pub mod loss;
+pub mod risk;
+pub mod sse;
+
+pub use distance::{centroid, dist, farthest_from, nearest_to, sq_dist};
+pub use emd::{nominal_emd, ClusterHistogram, OrderedEmd};
+pub use sse::{normalized_sse, sse_absolute};

@@ -1,0 +1,154 @@
+//! Disclosure-risk estimators.
+//!
+//! Two complementary risks are quantified:
+//!
+//! * **Identity disclosure** — can an intruder who knows a subject's
+//!   quasi-identifiers locate that subject's record in the release?
+//!   [`record_linkage_risk`] performs distance-based record linkage, the
+//!   standard empirical re-identification attack in the SDC literature
+//!   (Winkler et al. 2002): link each original record to its nearest
+//!   anonymized record; with ties (as k-anonymity produces by design) a
+//!   correct link among `s` equidistant candidates counts `1/s`.
+//!   For a k-anonymous release the risk is at most `1/k`.
+//!
+//! * **Attribute disclosure** — even without re-identification, learning
+//!   the equivalence class of a subject reveals the within-class
+//!   distribution of the confidential attribute.
+//!   [`attribute_disclosure_risk`] reports `1 − within/global` variance
+//!   ratio: 1 when every class is constant (full disclosure), near 0 when
+//!   classes mirror the global spread (what t-closeness enforces).
+
+use crate::distance::sq_dist;
+use tclose_microdata::stats;
+
+/// Distance-based record-linkage re-identification risk.
+///
+/// `original` and `anonymized` are row-major matrices over the *same*
+/// normalized quasi-identifier space, with record `j` of each referring to
+/// the same subject. Returns the expected fraction of correct links in
+/// `[0, 1]`.
+///
+/// # Panics
+/// Panics if the matrices have different lengths or are empty.
+pub fn record_linkage_risk(original: &[Vec<f64>], anonymized: &[Vec<f64>]) -> f64 {
+    assert_eq!(original.len(), anonymized.len(), "tables must pair records one-to-one");
+    assert!(!original.is_empty(), "record linkage requires at least one record");
+    let n = original.len();
+    let mut expected_links = 0.0;
+    for (j, orig) in original.iter().enumerate() {
+        // Find the minimum distance and the tie set achieving it.
+        let mut best = f64::INFINITY;
+        let mut ties = 0usize;
+        let mut hit = false;
+        for (i, anon) in anonymized.iter().enumerate() {
+            let d = sq_dist(orig, anon);
+            if d < best - 1e-12 {
+                best = d;
+                ties = 1;
+                hit = i == j;
+            } else if (d - best).abs() <= 1e-12 {
+                ties += 1;
+                if i == j {
+                    hit = true;
+                }
+            }
+        }
+        if hit {
+            expected_links += 1.0 / ties as f64;
+        }
+    }
+    expected_links / n as f64
+}
+
+/// Attribute-disclosure risk of a partition w.r.t. one confidential column.
+///
+/// `clusters` is a partition of record indices; `confidential` holds the
+/// attribute value per record. Returns
+/// `1 − (record-weighted mean within-cluster variance) / (global variance)`,
+/// clamped to `[0, 1]`; 0 when the global variance is zero (nothing to
+/// disclose).
+pub fn attribute_disclosure_risk(confidential: &[f64], clusters: &[Vec<usize>]) -> f64 {
+    let global_var = stats::population_variance(confidential);
+    if global_var <= 0.0 {
+        return 0.0;
+    }
+    let mut weighted = 0.0;
+    let mut total = 0usize;
+    for c in clusters {
+        if c.is_empty() {
+            continue;
+        }
+        let vals: Vec<f64> = c.iter().map(|&r| confidential[r]).collect();
+        weighted += stats::population_variance(&vals) * c.len() as f64;
+        total += c.len();
+    }
+    if total == 0 {
+        return 0.0;
+    }
+    let within = weighted / total as f64;
+    (1.0 - within / global_var).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmasked_release_has_full_linkage_risk() {
+        let rows = vec![vec![0.0], vec![1.0], vec![2.0]];
+        assert!((record_linkage_risk(&rows, &rows) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_anonymous_release_caps_risk_at_one_over_k() {
+        // Two clusters of k=2: anonymized QIs are cluster centroids.
+        let orig = vec![vec![0.0], vec![1.0], vec![10.0], vec![11.0]];
+        let anon = vec![vec![0.5], vec![0.5], vec![10.5], vec![10.5]];
+        let risk = record_linkage_risk(&orig, &anon);
+        assert!((risk - 0.5).abs() < 1e-12, "risk {risk} should be exactly 1/k = 0.5");
+    }
+
+    #[test]
+    fn wrong_links_score_zero() {
+        // Every original record is nearest to the *other* record's mask.
+        let orig = vec![vec![0.0], vec![10.0]];
+        let anon = vec![vec![9.0], vec![1.0]];
+        assert_eq!(record_linkage_risk(&orig, &anon), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one-to-one")]
+    fn mismatched_lengths_panic() {
+        record_linkage_risk(&[vec![0.0]], &[]);
+    }
+
+    #[test]
+    fn constant_clusters_fully_disclose() {
+        let conf = [1.0, 1.0, 5.0, 5.0];
+        let clusters = vec![vec![0, 1], vec![2, 3]];
+        assert!((attribute_disclosure_risk(&conf, &clusters) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn globally_representative_clusters_disclose_little() {
+        // Each cluster contains one low and one high value → within-variance
+        // equals global variance.
+        let conf = [0.0, 10.0, 0.0, 10.0];
+        let clusters = vec![vec![0, 1], vec![2, 3]];
+        assert!(attribute_disclosure_risk(&conf, &clusters) < 1e-12);
+    }
+
+    #[test]
+    fn constant_attribute_has_no_risk() {
+        let conf = [3.0, 3.0, 3.0];
+        let clusters = vec![vec![0, 1, 2]];
+        assert_eq!(attribute_disclosure_risk(&conf, &clusters), 0.0);
+    }
+
+    #[test]
+    fn empty_clusters_are_skipped() {
+        let conf = [0.0, 10.0];
+        let clusters = vec![vec![], vec![0, 1]];
+        assert!(attribute_disclosure_risk(&conf, &clusters) < 1e-12);
+    }
+}

@@ -1,0 +1,178 @@
+//! The aggregation step: replacing cluster members' attribute values by a
+//! cluster representative.
+//!
+//! For numerical attributes the representative is the **mean** (it minimizes
+//! within-cluster SSE for any given partition); for ordinal categorical
+//! attributes the **median** category; for nominal categorical attributes
+//! the **mode** (plurality, ties to the smallest code for determinism).
+
+use crate::cluster::Clustering;
+use tclose_microdata::{AttributeKind, Error, Result, Table, Value};
+
+/// Representative ("centroid") value of one attribute over one cluster.
+///
+/// # Panics
+/// Panics if `cluster` is empty (clusterings validated by
+/// [`Clustering::new`] never contain empty clusters).
+pub fn cluster_centroid_value(table: &Table, attr: usize, cluster: &[usize]) -> Result<Value> {
+    assert!(!cluster.is_empty(), "centroid of an empty cluster is undefined");
+    let kind = table.schema().attribute(attr)?.kind;
+    match kind {
+        AttributeKind::Numeric => {
+            let col = table.numeric_column(attr)?;
+            let sum: f64 = cluster.iter().map(|&r| col[r]).sum();
+            Ok(Value::Number(sum / cluster.len() as f64))
+        }
+        AttributeKind::OrdinalCategorical => {
+            let col = table.categorical_column(attr)?;
+            let mut codes: Vec<u32> = cluster.iter().map(|&r| col[r]).collect();
+            codes.sort_unstable();
+            // Lower median keeps the representative an existing category.
+            Ok(Value::Category(codes[(codes.len() - 1) / 2]))
+        }
+        AttributeKind::NominalCategorical => {
+            let col = table.categorical_column(attr)?;
+            let n_cats = table.schema().attribute(attr)?.dictionary.len();
+            let mut counts = vec![0u32; n_cats];
+            for &r in cluster {
+                counts[col[r] as usize] += 1;
+            }
+            let mode = counts
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+                .map(|(c, _)| c as u32)
+                .ok_or(Error::EmptyTable)?;
+            Ok(Value::Category(mode))
+        }
+    }
+}
+
+/// Applies the aggregation step: returns a copy of `table` in which, for
+/// every cluster of `clustering` and every attribute in `attrs`, each
+/// member's value is replaced by the cluster representative.
+///
+/// Attributes *not* listed in `attrs` (typically the confidential ones) are
+/// left untouched — this is precisely how microaggregation attains
+/// k-anonymity over the quasi-identifiers while preserving the confidential
+/// data (Domingo-Ferrer & Torra 2005).
+pub fn aggregate_columns(table: &Table, attrs: &[usize], clustering: &Clustering) -> Result<Table> {
+    if clustering.n_records() != table.n_rows() {
+        return Err(Error::RowMismatch {
+            detail: format!(
+                "clustering covers {} records but the table has {}",
+                clustering.n_records(),
+                table.n_rows()
+            ),
+        });
+    }
+    let mut out = table.clone();
+    for cluster in clustering.clusters() {
+        for &a in attrs {
+            let rep = cluster_centroid_value(table, a, cluster)?;
+            for &r in cluster {
+                match &rep {
+                    Value::Number(x) => out.set_numeric(a, r, *x)?,
+                    Value::Category(c) => out.set_category(a, r, *c)?,
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tclose_microdata::{AttributeDef, AttributeRole, Schema};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            AttributeDef::numeric("x", AttributeRole::QuasiIdentifier),
+            AttributeDef::ordinal("edu", AttributeRole::QuasiIdentifier, ["lo", "mid", "hi"]),
+            AttributeDef::nominal("job", AttributeRole::QuasiIdentifier, ["a", "b", "c"]),
+            AttributeDef::numeric("salary", AttributeRole::Confidential),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema);
+        let rows = [
+            (1.0, 0u32, 0u32, 100.0),
+            (3.0, 1, 0, 200.0),
+            (5.0, 2, 1, 300.0),
+            (7.0, 2, 1, 400.0),
+        ];
+        for (x, e, j, s) in rows {
+            t.push_row(&[
+                Value::Number(x),
+                Value::Category(e),
+                Value::Category(j),
+                Value::Number(s),
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn numeric_centroid_is_mean() {
+        let t = table();
+        let v = cluster_centroid_value(&t, 0, &[0, 1]).unwrap();
+        assert_eq!(v, Value::Number(2.0));
+    }
+
+    #[test]
+    fn ordinal_centroid_is_lower_median() {
+        let t = table();
+        assert_eq!(cluster_centroid_value(&t, 1, &[0, 1, 2]).unwrap(), Value::Category(1));
+        // even cluster: lower median
+        assert_eq!(cluster_centroid_value(&t, 1, &[0, 1, 2, 3]).unwrap(), Value::Category(1));
+    }
+
+    #[test]
+    fn nominal_centroid_is_mode_with_deterministic_ties() {
+        let t = table();
+        // cluster {0,1,2,3}: codes [0,0,1,1] → tie, smallest code wins
+        assert_eq!(cluster_centroid_value(&t, 2, &[0, 1, 2, 3]).unwrap(), Value::Category(0));
+        assert_eq!(cluster_centroid_value(&t, 2, &[2, 3]).unwrap(), Value::Category(1));
+    }
+
+    #[test]
+    fn aggregate_masks_only_selected_attributes() {
+        let t = table();
+        let clustering = Clustering::new(vec![vec![0, 1], vec![2, 3]], 4).unwrap();
+        let anon = aggregate_columns(&t, &[0, 1, 2], &clustering).unwrap();
+        // QIs are shared within clusters
+        assert_eq!(anon.numeric_column(0).unwrap(), &[2.0, 2.0, 6.0, 6.0]);
+        assert_eq!(anon.categorical_column(1).unwrap(), &[0, 0, 2, 2]);
+        assert_eq!(anon.categorical_column(2).unwrap(), &[0, 0, 1, 1]);
+        // confidential attribute untouched
+        assert_eq!(anon.numeric_column(3).unwrap(), &[100.0, 200.0, 300.0, 400.0]);
+        // original table untouched
+        assert_eq!(t.numeric_column(0).unwrap(), &[1.0, 3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn aggregation_preserves_attribute_totals() {
+        // The mean representative preserves per-cluster (hence global) sums.
+        let t = table();
+        let clustering = Clustering::new(vec![vec![0, 2], vec![1, 3]], 4).unwrap();
+        let anon = aggregate_columns(&t, &[0], &clustering).unwrap();
+        let orig_sum: f64 = t.numeric_column(0).unwrap().iter().sum();
+        let anon_sum: f64 = anon.numeric_column(0).unwrap().iter().sum();
+        assert!((orig_sum - anon_sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clustering_table_size_mismatch_errors() {
+        let t = table();
+        let clustering = Clustering::new(vec![vec![0, 1]], 2).unwrap();
+        assert!(aggregate_columns(&t, &[0], &clustering).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty cluster")]
+    fn empty_cluster_centroid_panics() {
+        let t = table();
+        let _ = cluster_centroid_value(&t, 0, &[]);
+    }
+}

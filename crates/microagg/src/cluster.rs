@@ -1,0 +1,227 @@
+//! The clustering (partition) model shared by all algorithms.
+
+use std::fmt;
+
+/// Errors raised when validating a [`Clustering`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusteringError {
+    /// Some record index appears in no cluster.
+    MissingRecord(usize),
+    /// Some record index appears in more than one cluster (or twice in one).
+    DuplicateRecord(usize),
+    /// A record index is ≥ the declared number of records.
+    OutOfRange(usize),
+    /// A cluster is smaller than the required minimum size.
+    UndersizedCluster {
+        /// Index of the offending cluster.
+        cluster: usize,
+        /// Its size.
+        size: usize,
+        /// The required minimum.
+        min: usize,
+    },
+    /// The clustering contains an empty cluster.
+    EmptyCluster(usize),
+}
+
+impl fmt::Display for ClusteringError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusteringError::MissingRecord(r) => write!(f, "record {r} is not in any cluster"),
+            ClusteringError::DuplicateRecord(r) => {
+                write!(f, "record {r} appears in more than one cluster")
+            }
+            ClusteringError::OutOfRange(r) => write!(f, "record index {r} is out of range"),
+            ClusteringError::UndersizedCluster { cluster, size, min } => {
+                write!(f, "cluster {cluster} has {size} records, fewer than the minimum {min}")
+            }
+            ClusteringError::EmptyCluster(c) => write!(f, "cluster {c} is empty"),
+        }
+    }
+}
+
+impl std::error::Error for ClusteringError {}
+
+/// A partition of the records `0..n` into non-empty clusters.
+///
+/// Invariant (checked by [`Clustering::new`]): every record index in
+/// `0..n` appears in exactly one cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    clusters: Vec<Vec<usize>>,
+    n: usize,
+}
+
+impl Clustering {
+    /// Builds a clustering, validating that `clusters` partitions `0..n`.
+    pub fn new(clusters: Vec<Vec<usize>>, n: usize) -> Result<Self, ClusteringError> {
+        let mut seen = vec![false; n];
+        for (ci, c) in clusters.iter().enumerate() {
+            if c.is_empty() {
+                return Err(ClusteringError::EmptyCluster(ci));
+            }
+            for &r in c {
+                if r >= n {
+                    return Err(ClusteringError::OutOfRange(r));
+                }
+                if seen[r] {
+                    return Err(ClusteringError::DuplicateRecord(r));
+                }
+                seen[r] = true;
+            }
+        }
+        if let Some(r) = seen.iter().position(|&s| !s) {
+            return Err(ClusteringError::MissingRecord(r));
+        }
+        Ok(Clustering { clusters, n })
+    }
+
+    /// Additionally checks that every cluster has at least `min` records.
+    pub fn check_min_size(&self, min: usize) -> Result<(), ClusteringError> {
+        for (ci, c) in self.clusters.iter().enumerate() {
+            if c.len() < min {
+                return Err(ClusteringError::UndersizedCluster {
+                    cluster: ci,
+                    size: c.len(),
+                    min,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The clusters, each a list of record indices.
+    pub fn clusters(&self) -> &[Vec<usize>] {
+        &self.clusters
+    }
+
+    /// Consumes the clustering, returning the raw clusters.
+    pub fn into_clusters(self) -> Vec<Vec<usize>> {
+        self.clusters
+    }
+
+    /// Number of records in the partitioned data set.
+    pub fn n_records(&self) -> usize {
+        self.n
+    }
+
+    /// Number of clusters.
+    pub fn n_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Size of the smallest cluster (0 for an empty clustering).
+    pub fn min_size(&self) -> usize {
+        self.clusters.iter().map(Vec::len).min().unwrap_or(0)
+    }
+
+    /// Size of the largest cluster.
+    pub fn max_size(&self) -> usize {
+        self.clusters.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Mean cluster size.
+    pub fn mean_size(&self) -> f64 {
+        if self.clusters.is_empty() {
+            return 0.0;
+        }
+        self.n as f64 / self.clusters.len() as f64
+    }
+
+    /// `assignment()[r]` is the cluster index of record `r`.
+    pub fn assignment(&self) -> Vec<usize> {
+        let mut a = vec![0usize; self.n];
+        for (ci, c) in self.clusters.iter().enumerate() {
+            for &r in c {
+                a[r] = ci;
+            }
+        }
+        a
+    }
+
+    /// Merges cluster `b` into cluster `a` (removing `b`).
+    ///
+    /// # Panics
+    /// Panics if `a == b` or either index is out of range.
+    pub fn merge(&mut self, a: usize, b: usize) {
+        assert_ne!(a, b, "cannot merge a cluster with itself");
+        let moved = std::mem::take(&mut self.clusters[b]);
+        self.clusters[a].extend(moved);
+        self.clusters.swap_remove(b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_partition_accepted() {
+        let c = Clustering::new(vec![vec![0, 2], vec![1, 3]], 4).unwrap();
+        assert_eq!(c.n_clusters(), 2);
+        assert_eq!(c.n_records(), 4);
+        assert_eq!(c.min_size(), 2);
+        assert_eq!(c.max_size(), 2);
+        assert_eq!(c.mean_size(), 2.0);
+        assert_eq!(c.assignment(), vec![0, 1, 0, 1]);
+        assert!(c.check_min_size(2).is_ok());
+        assert!(matches!(
+            c.check_min_size(3),
+            Err(ClusteringError::UndersizedCluster { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_partitions_rejected() {
+        assert_eq!(
+            Clustering::new(vec![vec![0], vec![0, 1]], 2),
+            Err(ClusteringError::DuplicateRecord(0))
+        );
+        assert_eq!(
+            Clustering::new(vec![vec![0]], 2),
+            Err(ClusteringError::MissingRecord(1))
+        );
+        assert_eq!(
+            Clustering::new(vec![vec![0, 5]], 2),
+            Err(ClusteringError::OutOfRange(5))
+        );
+        assert_eq!(
+            Clustering::new(vec![vec![0, 1], vec![]], 2),
+            Err(ClusteringError::EmptyCluster(1))
+        );
+    }
+
+    #[test]
+    fn empty_partition_of_zero_records() {
+        let c = Clustering::new(vec![], 0).unwrap();
+        assert_eq!(c.n_clusters(), 0);
+        assert_eq!(c.min_size(), 0);
+        assert_eq!(c.mean_size(), 0.0);
+    }
+
+    #[test]
+    fn merge_combines_clusters() {
+        let mut c = Clustering::new(vec![vec![0], vec![1], vec![2, 3]], 4).unwrap();
+        c.merge(0, 1);
+        assert_eq!(c.n_clusters(), 2);
+        // still a valid partition
+        let rebuilt = Clustering::new(c.clusters().to_vec(), 4).unwrap();
+        assert_eq!(rebuilt.n_records(), 4);
+        let sizes: Vec<usize> = c.clusters().iter().map(Vec::len).collect();
+        assert!(sizes.contains(&2));
+    }
+
+    #[test]
+    #[should_panic(expected = "itself")]
+    fn merge_with_itself_panics() {
+        let mut c = Clustering::new(vec![vec![0], vec![1]], 2).unwrap();
+        c.merge(0, 0);
+    }
+
+    #[test]
+    fn error_messages() {
+        let e = ClusteringError::UndersizedCluster { cluster: 1, size: 2, min: 3 };
+        assert!(e.to_string().contains("cluster 1"));
+        assert!(ClusteringError::MissingRecord(7).to_string().contains('7'));
+    }
+}

@@ -1,0 +1,57 @@
+//! # tclose-microagg
+//!
+//! Microaggregation substrate for statistical disclosure control.
+//!
+//! *Microaggregation* (Defays & Nanopoulos 1992; Domingo-Ferrer & Mateo-Sanz
+//! 2002) masks microdata in two steps:
+//!
+//! 1. **Partition** the records into clusters of at least `k` similar
+//!    records (similarity over the quasi-identifier space);
+//! 2. **Aggregate** each cluster: replace every member's quasi-identifiers
+//!    with a cluster representative (mean / median / mode).
+//!
+//! Applied to the quasi-identifier projection this yields a k-anonymous data
+//! set (Domingo-Ferrer & Torra 2005). Optimal multivariate partitioning is
+//! NP-hard (Oganian & Domingo-Ferrer 2001), so practical systems use
+//! heuristics:
+//!
+//! * [`Mdav`] — the fixed-size MDAV-generic heuristic, `O(n²/k)`;
+//! * [`VMdav`] — variable-size V-MDAV with extension gain factor γ;
+//! * [`univariate::optimal_univariate`] — the exact `O(nk)` dynamic program
+//!   for a single attribute (Hansen–Mukherjee), used as a test oracle and
+//!   for one-dimensional workloads.
+//!
+//! The [`Clustering`] type is the common currency between partitioning,
+//! aggregation ([`aggregate`]) and the t-closeness algorithms built on top
+//! (crate `tclose-core`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod cluster;
+pub mod mdav;
+pub mod univariate;
+pub mod vmdav;
+
+pub use aggregate::{aggregate_columns, cluster_centroid_value};
+pub use cluster::{Clustering, ClusteringError};
+pub use mdav::Mdav;
+pub use vmdav::VMdav;
+
+/// A microaggregation partitioning strategy over normalized record vectors.
+///
+/// Implementations receive the records as row-major `f64` vectors (typically
+/// the normalized quasi-identifier projection) and must return a partition
+/// in which **every cluster has at least `k` records** (for `n ≥ k`).
+pub trait Microaggregator {
+    /// Partitions `rows` into clusters of ≥ `k` records.
+    ///
+    /// # Panics
+    /// Implementations may panic if `k == 0`. If `n < k` the whole data set
+    /// becomes a single cluster.
+    fn partition(&self, rows: &[Vec<f64>], k: usize) -> Clustering;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+}

@@ -1,0 +1,165 @@
+//! MDAV-generic: Maximum Distance to Average Vector microaggregation.
+//!
+//! The fixed-size heuristic of Domingo-Ferrer & Torra (2005). Repeatedly:
+//! take the record `x_r` farthest from the centroid of the unassigned
+//! records, cluster it with its `k−1` nearest unassigned neighbours; then
+//! take the record `x_s` farthest from `x_r` and do the same. The tail is
+//! handled so that every cluster ends up with between `k` and `2k−1`
+//! records. Cost `O(n²/k)` distance evaluations.
+
+use crate::cluster::Clustering;
+use crate::Microaggregator;
+use tclose_metrics::distance::{centroid, farthest_from, k_nearest};
+
+/// The MDAV-generic fixed-size microaggregation heuristic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Mdav;
+
+impl Mdav {
+    /// Convenience constructor.
+    pub fn new() -> Self {
+        Mdav
+    }
+}
+
+impl Microaggregator for Mdav {
+    fn partition(&self, rows: &[Vec<f64>], k: usize) -> Clustering {
+        assert!(k >= 1, "k must be at least 1");
+        let n = rows.len();
+        let mut remaining: Vec<usize> = (0..n).collect();
+        let mut clusters: Vec<Vec<usize>> = Vec::with_capacity(n / k.max(1) + 1);
+
+        while remaining.len() >= 3 * k {
+            let c = centroid(rows, &remaining);
+            let xr = farthest_from(rows, &remaining, &c).expect("non-empty");
+            take_cluster(rows, &mut remaining, xr, k, &mut clusters);
+            if remaining.is_empty() {
+                break;
+            }
+            let xs = farthest_from(rows, &remaining, &rows[xr]).expect("non-empty");
+            take_cluster(rows, &mut remaining, xs, k, &mut clusters);
+        }
+
+        if remaining.len() >= 2 * k {
+            // Between 2k and 3k−1 left: one cluster around the extreme
+            // record, the rest (≥ k) forms the final cluster.
+            let c = centroid(rows, &remaining);
+            let xr = farthest_from(rows, &remaining, &c).expect("non-empty");
+            take_cluster(rows, &mut remaining, xr, k, &mut clusters);
+            clusters.push(std::mem::take(&mut remaining));
+        } else if !remaining.is_empty() {
+            // Fewer than 2k left (including the n < k corner): one cluster.
+            clusters.push(std::mem::take(&mut remaining));
+        }
+
+        Clustering::new(clusters, n).expect("MDAV produces a valid partition")
+    }
+
+    fn name(&self) -> &'static str {
+        "MDAV"
+    }
+}
+
+/// Removes the `k` records nearest to `seed` (including `seed` itself) from
+/// `remaining` and pushes them as a new cluster.
+fn take_cluster(
+    rows: &[Vec<f64>],
+    remaining: &mut Vec<usize>,
+    seed: usize,
+    k: usize,
+    clusters: &mut Vec<Vec<usize>>,
+) {
+    let members = k_nearest(rows, remaining, &rows[seed], k);
+    debug_assert!(members.contains(&seed));
+    remaining.retain(|r| !members.contains(r));
+    clusters.push(members);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|i| vec![i as f64, (i * i % 17) as f64]).collect()
+    }
+
+    #[test]
+    fn all_cluster_sizes_in_k_to_2k_minus_1() {
+        for n in [6, 7, 10, 23, 50, 101] {
+            for k in [2, 3, 5] {
+                if n < k {
+                    continue;
+                }
+                let c = Mdav.partition(&grid(n), k);
+                assert_eq!(c.n_records(), n);
+                c.check_min_size(k).unwrap();
+                assert!(
+                    c.max_size() < 2 * k || c.n_clusters() == 1,
+                    "n={n} k={k}: max size {} exceeds 2k-1",
+                    c.max_size()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn n_smaller_than_k_yields_single_cluster() {
+        let c = Mdav.partition(&grid(3), 5);
+        assert_eq!(c.n_clusters(), 1);
+        assert_eq!(c.min_size(), 3);
+    }
+
+    #[test]
+    fn n_equal_k_yields_single_cluster() {
+        let c = Mdav.partition(&grid(4), 4);
+        assert_eq!(c.n_clusters(), 1);
+    }
+
+    #[test]
+    fn k_divides_n_gives_perfectly_balanced_clusters() {
+        let c = Mdav.partition(&grid(12), 3);
+        assert_eq!(c.n_clusters(), 4);
+        assert_eq!(c.min_size(), 3);
+        assert_eq!(c.max_size(), 3);
+    }
+
+    #[test]
+    fn clusters_group_spatially_close_records() {
+        // Two well-separated blobs of 3: MDAV must not mix them.
+        let rows = vec![
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![0.0, 0.1],
+            vec![100.0, 100.0],
+            vec![100.1, 100.0],
+            vec![100.0, 100.1],
+        ];
+        let c = Mdav.partition(&rows, 3);
+        assert_eq!(c.n_clusters(), 2);
+        for cluster in c.clusters() {
+            let lows = cluster.iter().filter(|&&r| r < 3).count();
+            assert!(lows == 0 || lows == 3, "blobs were mixed: {cluster:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let rows = grid(40);
+        let a = Mdav.partition(&rows, 4);
+        let b = Mdav.partition(&rows, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn k_zero_panics() {
+        Mdav.partition(&grid(5), 0);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_clustering() {
+        let c = Mdav.partition(&[], 2);
+        assert_eq!(c.n_clusters(), 0);
+        assert_eq!(c.n_records(), 0);
+    }
+}

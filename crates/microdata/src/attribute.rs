@@ -1,0 +1,258 @@
+//! Attribute definitions: kinds, disclosure roles and category dictionaries.
+
+use std::collections::HashMap;
+
+/// Disclosure-oriented classification of an attribute (Hundepool et al.,
+/// *Statistical Disclosure Control*, 2012).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttributeRole {
+    /// Unambiguously identifies the subject; removed before release.
+    Identifier,
+    /// May identify the subject in combination with other QIs; perturbed by
+    /// the anonymization algorithms.
+    QuasiIdentifier,
+    /// Sensitive value protected by t-closeness; released unmodified.
+    Confidential,
+    /// Neither identifying nor sensitive; released unmodified.
+    NonConfidential,
+}
+
+impl AttributeRole {
+    /// Parse from the strings used in CLI/CSV sidecar configuration.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "id" | "identifier" => Some(AttributeRole::Identifier),
+            "qi" | "quasi" | "quasi-identifier" | "quasi_identifier" => {
+                Some(AttributeRole::QuasiIdentifier)
+            }
+            "confidential" | "sensitive" | "c" => Some(AttributeRole::Confidential),
+            "other" | "non-confidential" | "nonconfidential" | "non_confidential" => {
+                Some(AttributeRole::NonConfidential)
+            }
+            _ => None,
+        }
+    }
+
+    /// Canonical lowercase name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AttributeRole::Identifier => "identifier",
+            AttributeRole::QuasiIdentifier => "quasi-identifier",
+            AttributeRole::Confidential => "confidential",
+            AttributeRole::NonConfidential => "non-confidential",
+        }
+    }
+}
+
+/// Storage/semantics kind of an attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttributeKind {
+    /// Continuous or integer-valued numeric attribute stored as `f64`.
+    Numeric,
+    /// Categorical attribute whose categories have a meaningful total order
+    /// (e.g. education level). Dictionary code order *is* the semantic order.
+    OrdinalCategorical,
+    /// Categorical attribute with no meaningful order (e.g. diagnosis).
+    NominalCategorical,
+}
+
+impl AttributeKind {
+    /// Short lowercase name used in error messages.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AttributeKind::Numeric => "numeric",
+            AttributeKind::OrdinalCategorical => "ordinal",
+            AttributeKind::NominalCategorical => "nominal",
+        }
+    }
+
+    /// True for either categorical kind.
+    pub fn is_categorical(&self) -> bool {
+        !matches!(self, AttributeKind::Numeric)
+    }
+}
+
+/// Bidirectional mapping between category labels and dense `u32` codes.
+///
+/// For [`AttributeKind::OrdinalCategorical`] attributes the insertion order
+/// of labels defines the semantic order of the categories.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Dictionary {
+    labels: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Dictionary {
+    /// Empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from an ordered list of labels; duplicates are collapsed to the
+    /// first occurrence.
+    pub fn from_labels<I, S>(labels: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut d = Self::new();
+        for l in labels {
+            d.intern(&l.into());
+        }
+        d
+    }
+
+    /// Returns the code for `label`, inserting it if absent.
+    pub fn intern(&mut self, label: &str) -> u32 {
+        if let Some(&c) = self.index.get(label) {
+            return c;
+        }
+        let code = self.labels.len() as u32;
+        self.labels.push(label.to_owned());
+        self.index.insert(label.to_owned(), code);
+        code
+    }
+
+    /// Code of an existing label.
+    pub fn code(&self, label: &str) -> Option<u32> {
+        self.index.get(label).copied()
+    }
+
+    /// Label of an existing code.
+    pub fn label(&self, code: u32) -> Option<&str> {
+        self.labels.get(code as usize).map(String::as_str)
+    }
+
+    /// Number of distinct categories.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when no categories have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// All labels in code order.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+}
+
+/// Full definition of one attribute: name, kind, role and (for categorical
+/// attributes) the category dictionary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributeDef {
+    /// Human-readable unique attribute name.
+    pub name: String,
+    /// Storage/semantics kind.
+    pub kind: AttributeKind,
+    /// Disclosure role.
+    pub role: AttributeRole,
+    /// Category dictionary; empty for numeric attributes.
+    pub dictionary: Dictionary,
+}
+
+impl AttributeDef {
+    /// Numeric attribute with the given role.
+    pub fn numeric(name: impl Into<String>, role: AttributeRole) -> Self {
+        AttributeDef {
+            name: name.into(),
+            kind: AttributeKind::Numeric,
+            role,
+            dictionary: Dictionary::new(),
+        }
+    }
+
+    /// Ordinal categorical attribute; `labels` must be given in semantic
+    /// (ascending) order.
+    pub fn ordinal<I, S>(name: impl Into<String>, role: AttributeRole, labels: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        AttributeDef {
+            name: name.into(),
+            kind: AttributeKind::OrdinalCategorical,
+            role,
+            dictionary: Dictionary::from_labels(labels),
+        }
+    }
+
+    /// Nominal categorical attribute.
+    pub fn nominal<I, S>(name: impl Into<String>, role: AttributeRole, labels: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        AttributeDef {
+            name: name.into(),
+            kind: AttributeKind::NominalCategorical,
+            role,
+            dictionary: Dictionary::from_labels(labels),
+        }
+    }
+
+    /// Replaces the role, builder-style.
+    pub fn with_role(mut self, role: AttributeRole) -> Self {
+        self.role = role;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn role_parsing_round_trips() {
+        for role in [
+            AttributeRole::Identifier,
+            AttributeRole::QuasiIdentifier,
+            AttributeRole::Confidential,
+            AttributeRole::NonConfidential,
+        ] {
+            assert_eq!(AttributeRole::parse(role.name()), Some(role));
+        }
+        assert_eq!(AttributeRole::parse("QI"), Some(AttributeRole::QuasiIdentifier));
+        assert_eq!(AttributeRole::parse("sensitive"), Some(AttributeRole::Confidential));
+        assert_eq!(AttributeRole::parse("???"), None);
+    }
+
+    #[test]
+    fn dictionary_interning_is_stable() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.intern("low"), 0);
+        assert_eq!(d.intern("mid"), 1);
+        assert_eq!(d.intern("low"), 0);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.label(1), Some("mid"));
+        assert_eq!(d.code("mid"), Some(1));
+        assert_eq!(d.code("high"), None);
+        assert_eq!(d.label(9), None);
+    }
+
+    #[test]
+    fn from_labels_collapses_duplicates() {
+        let d = Dictionary::from_labels(["a", "b", "a", "c"]);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.code("c"), Some(2));
+    }
+
+    #[test]
+    fn attribute_constructors() {
+        let a = AttributeDef::numeric("age", AttributeRole::QuasiIdentifier);
+        assert_eq!(a.kind, AttributeKind::Numeric);
+        assert!(a.dictionary.is_empty());
+
+        let o = AttributeDef::ordinal("edu", AttributeRole::Confidential, ["primary", "phd"]);
+        assert_eq!(o.kind, AttributeKind::OrdinalCategorical);
+        assert_eq!(o.dictionary.len(), 2);
+        assert!(o.kind.is_categorical());
+
+        let n = AttributeDef::nominal("job", AttributeRole::NonConfidential, ["nurse"]);
+        assert_eq!(n.kind, AttributeKind::NominalCategorical);
+        let n = n.with_role(AttributeRole::Confidential);
+        assert_eq!(n.role, AttributeRole::Confidential);
+    }
+}

@@ -1,0 +1,147 @@
+//! Columnar storage for a single attribute.
+
+use crate::value::Value;
+
+/// Native storage of one attribute's values for all records.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// Numeric attribute: one `f64` per record.
+    F64(Vec<f64>),
+    /// Categorical attribute: one dictionary code per record.
+    Cat(Vec<u32>),
+}
+
+impl Column {
+    /// Empty column of the appropriate storage for `categorical`.
+    pub fn empty(categorical: bool) -> Self {
+        if categorical {
+            Column::Cat(Vec::new())
+        } else {
+            Column::F64(Vec::new())
+        }
+    }
+
+    /// Number of stored values.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::F64(v) => v.len(),
+            Column::Cat(v) => v.len(),
+        }
+    }
+
+    /// True when no values are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Short lowercase name used in error messages.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Column::F64(_) => "numeric",
+            Column::Cat(_) => "categorical",
+        }
+    }
+
+    /// Dynamically-typed read of position `i`; `None` when out of bounds.
+    pub fn get(&self, i: usize) -> Option<Value> {
+        match self {
+            Column::F64(v) => v.get(i).map(|&x| Value::Number(x)),
+            Column::Cat(v) => v.get(i).map(|&c| Value::Category(c)),
+        }
+    }
+
+    /// Appends a dynamically-typed value; `false` when the kinds mismatch.
+    #[must_use]
+    pub fn push(&mut self, value: &Value) -> bool {
+        match (self, value) {
+            (Column::F64(v), Value::Number(x)) => {
+                v.push(*x);
+                true
+            }
+            (Column::Cat(v), Value::Category(c)) => {
+                v.push(*c);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Borrow as numeric slice; `None` for categorical columns.
+    pub fn as_f64(&self) -> Option<&[f64]> {
+        match self {
+            Column::F64(v) => Some(v),
+            Column::Cat(_) => None,
+        }
+    }
+
+    /// Mutable borrow as numeric vector; `None` for categorical columns.
+    pub fn as_f64_mut(&mut self) -> Option<&mut Vec<f64>> {
+        match self {
+            Column::F64(v) => Some(v),
+            Column::Cat(_) => None,
+        }
+    }
+
+    /// Borrow as categorical code slice; `None` for numeric columns.
+    pub fn as_cat(&self) -> Option<&[u32]> {
+        match self {
+            Column::F64(_) => None,
+            Column::Cat(v) => Some(v),
+        }
+    }
+
+    /// Mutable borrow as categorical code vector; `None` for numeric columns.
+    pub fn as_cat_mut(&mut self) -> Option<&mut Vec<u32>> {
+        match self {
+            Column::F64(_) => None,
+            Column::Cat(v) => Some(v),
+        }
+    }
+
+    /// New column containing only the positions in `rows`, in that order.
+    pub fn take(&self, rows: &[usize]) -> Column {
+        match self {
+            Column::F64(v) => Column::F64(rows.iter().map(|&r| v[r]).collect()),
+            Column::Cat(v) => Column::Cat(rows.iter().map(|&r| v[r]).collect()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get_respect_kinds() {
+        let mut c = Column::empty(false);
+        assert!(c.push(&Value::Number(1.0)));
+        assert!(!c.push(&Value::Category(0)));
+        assert_eq!(c.get(0), Some(Value::Number(1.0)));
+        assert_eq!(c.get(1), None);
+        assert_eq!(c.len(), 1);
+
+        let mut c = Column::empty(true);
+        assert!(c.push(&Value::Category(7)));
+        assert!(!c.push(&Value::Number(0.0)));
+        assert_eq!(c.get(0), Some(Value::Category(7)));
+    }
+
+    #[test]
+    fn typed_borrows() {
+        let c = Column::F64(vec![1.0, 2.0]);
+        assert_eq!(c.as_f64(), Some(&[1.0, 2.0][..]));
+        assert!(c.as_cat().is_none());
+        let c = Column::Cat(vec![3, 4]);
+        assert_eq!(c.as_cat(), Some(&[3, 4][..]));
+        assert!(c.as_f64().is_none());
+    }
+
+    #[test]
+    fn take_reorders_and_repeats() {
+        let c = Column::F64(vec![10.0, 20.0, 30.0]);
+        assert_eq!(c.take(&[2, 0, 2]), Column::F64(vec![30.0, 10.0, 30.0]));
+        let c = Column::Cat(vec![5, 6]);
+        assert_eq!(c.take(&[1]), Column::Cat(vec![6]));
+        assert_eq!(c.take(&[]).len(), 0);
+    }
+}

@@ -1,0 +1,387 @@
+//! Minimal, dependency-free CSV reading and writing.
+//!
+//! Supports RFC-4180-style quoting (fields containing commas, quotes or
+//! newlines are wrapped in `"`, embedded quotes doubled). Two ingestion
+//! modes are provided:
+//!
+//! * [`read_csv`] — parse against a known [`Schema`]; categorical labels not
+//!   yet in the attribute dictionary are interned on the fly.
+//! * [`read_csv_auto`] — infer each column's kind (numeric if every value
+//!   parses as `f64`, nominal otherwise); all roles default to
+//!   [`AttributeRole::NonConfidential`] and should be assigned afterwards via
+//!   [`Schema::set_roles`].
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::attribute::{AttributeDef, AttributeKind, AttributeRole};
+use crate::error::{Error, Result};
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::value::Value;
+
+/// Splits one CSV record that is known to be fully contained in `line`.
+fn split_line(line: &str, lineno: usize) -> Result<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        cur.push('"');
+                        chars.next();
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => cur.push(c),
+            }
+        } else {
+            match c {
+                '"' => {
+                    if cur.is_empty() {
+                        in_quotes = true;
+                    } else {
+                        return Err(Error::Csv {
+                            line: lineno,
+                            detail: "quote inside unquoted field".into(),
+                        });
+                    }
+                }
+                ',' => {
+                    fields.push(std::mem::take(&mut cur));
+                }
+                _ => cur.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(Error::Csv { line: lineno, detail: "unterminated quoted field".into() });
+    }
+    fields.push(cur);
+    Ok(fields)
+}
+
+/// Quotes a field if needed for RFC-4180 output.
+fn quote_field(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r')
+    {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Formats a numeric cell without trailing `.0` noise for integral values.
+fn format_number(x: f64) -> String {
+    if x.fract() == 0.0 && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+/// Writes `table` as CSV (header + one line per record).
+///
+/// Categorical cells are written as their dictionary labels.
+pub fn write_csv<W: Write>(table: &Table, mut w: W) -> Result<()> {
+    let header: Vec<String> =
+        table.schema().attributes().iter().map(|a| quote_field(&a.name)).collect();
+    writeln!(w, "{}", header.join(","))?;
+    for r in 0..table.n_rows() {
+        let mut fields = Vec::with_capacity(table.n_cols());
+        for c in 0..table.n_cols() {
+            let attr = table.schema().attribute(c)?;
+            let v = table.column(c)?.get(r).expect("in-bounds");
+            let s = match v {
+                Value::Number(x) => format_number(x),
+                Value::Category(code) => attr
+                    .dictionary
+                    .label(code)
+                    .map(str::to_owned)
+                    .ok_or(Error::UnknownCategory { attribute: attr.name.clone(), code })?,
+            };
+            fields.push(quote_field(&s));
+        }
+        writeln!(w, "{}", fields.join(","))?;
+    }
+    Ok(())
+}
+
+/// Serializes `table` to a CSV string.
+pub fn to_csv_string(table: &Table) -> Result<String> {
+    let mut buf = Vec::new();
+    write_csv(table, &mut buf)?;
+    String::from_utf8(buf).map_err(|e| Error::Io(e.to_string()))
+}
+
+/// Reads CSV against a known schema.
+///
+/// The header must contain exactly the schema's attribute names in order.
+/// Categorical labels missing from the dictionary are interned.
+pub fn read_csv<R: Read>(reader: R, schema: Schema) -> Result<Table> {
+    let mut schema = schema;
+    let buf = BufReader::new(reader);
+    let mut lines = buf.lines().enumerate();
+
+    let (_, header) = lines.next().ok_or(Error::Csv {
+        line: 1,
+        detail: "empty input: missing header".into(),
+    })?;
+    let header = header.map_err(Error::from)?;
+    let names = split_line(header.trim_end_matches('\r'), 1)?;
+    if names.len() != schema.n_attributes() {
+        return Err(Error::Csv {
+            line: 1,
+            detail: format!(
+                "header has {} columns but the schema has {}",
+                names.len(),
+                schema.n_attributes()
+            ),
+        });
+    }
+    for (i, name) in names.iter().enumerate() {
+        let want = &schema.attribute(i)?.name;
+        if name != want {
+            return Err(Error::Csv {
+                line: 1,
+                detail: format!("header column {i} is {name:?}, expected {want:?}"),
+            });
+        }
+    }
+
+    let mut columns: Vec<Vec<Value>> = vec![Vec::new(); schema.n_attributes()];
+    for (idx, line) in lines {
+        let lineno = idx + 1;
+        let line = line.map_err(Error::from)?;
+        let line = line.trim_end_matches('\r');
+        if line.is_empty() {
+            continue;
+        }
+        let fields = split_line(line, lineno)?;
+        if fields.len() != schema.n_attributes() {
+            return Err(Error::Csv {
+                line: lineno,
+                detail: format!(
+                    "record has {} fields, expected {}",
+                    fields.len(),
+                    schema.n_attributes()
+                ),
+            });
+        }
+        for (i, field) in fields.iter().enumerate() {
+            let kind = schema.attribute(i)?.kind;
+            let v = match kind {
+                AttributeKind::Numeric => {
+                    let x: f64 = field.trim().parse().map_err(|_| Error::Csv {
+                        line: lineno,
+                        detail: format!("cannot parse {field:?} as a number (column {i})"),
+                    })?;
+                    Value::Number(x)
+                }
+                AttributeKind::OrdinalCategorical | AttributeKind::NominalCategorical => {
+                    let code = schema.attribute_mut(i)?.dictionary.intern(field);
+                    Value::Category(code)
+                }
+            };
+            columns[i].push(v);
+        }
+    }
+
+    let mut table = Table::new(schema);
+    let n = columns.first().map(Vec::len).unwrap_or(0);
+    for r in 0..n {
+        let row: Vec<Value> = columns.iter().map(|c| c[r].clone()).collect();
+        table.push_row(&row).map_err(|e| Error::Csv {
+            line: r + 2,
+            detail: e.to_string(),
+        })?;
+    }
+    Ok(table)
+}
+
+/// Reads CSV inferring each column's kind from its values.
+///
+/// A column is numeric when every non-empty field parses as `f64`; otherwise
+/// it is nominal categorical. Roles default to non-confidential.
+pub fn read_csv_auto<R: Read>(reader: R) -> Result<Table> {
+    let buf = BufReader::new(reader);
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut names: Option<Vec<String>> = None;
+    for (idx, line) in buf.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.map_err(Error::from)?;
+        let line = line.trim_end_matches('\r');
+        if line.is_empty() {
+            continue;
+        }
+        let fields = split_line(line, lineno)?;
+        match &names {
+            None => names = Some(fields),
+            Some(h) => {
+                if fields.len() != h.len() {
+                    return Err(Error::Csv {
+                        line: lineno,
+                        detail: format!("record has {} fields, expected {}", fields.len(), h.len()),
+                    });
+                }
+                rows.push(fields);
+            }
+        }
+    }
+    let names = names.ok_or(Error::Csv { line: 1, detail: "empty input: missing header".into() })?;
+
+    let n_cols = names.len();
+    let mut is_numeric = vec![true; n_cols];
+    for row in &rows {
+        for (i, field) in row.iter().enumerate() {
+            if is_numeric[i] && field.trim().parse::<f64>().is_err() {
+                is_numeric[i] = false;
+            }
+        }
+    }
+
+    let attrs: Vec<AttributeDef> = names
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            if is_numeric[i] {
+                AttributeDef::numeric(name.clone(), AttributeRole::NonConfidential)
+            } else {
+                AttributeDef::nominal(name.clone(), AttributeRole::NonConfidential, Vec::<String>::new())
+            }
+        })
+        .collect();
+    let mut schema = Schema::new(attrs)?;
+
+    let mut table_rows: Vec<Vec<Value>> = Vec::with_capacity(rows.len());
+    for (r, row) in rows.iter().enumerate() {
+        let mut vals = Vec::with_capacity(n_cols);
+        for (i, field) in row.iter().enumerate() {
+            if is_numeric[i] {
+                let x: f64 = field.trim().parse().map_err(|_| Error::Csv {
+                    line: r + 2,
+                    detail: format!("cannot parse {field:?} as a number"),
+                })?;
+                vals.push(Value::Number(x));
+            } else {
+                let code = schema.attribute_mut(i)?.dictionary.intern(field);
+                vals.push(Value::Category(code));
+            }
+        }
+        table_rows.push(vals);
+    }
+
+    let mut table = Table::new(schema);
+    for row in &table_rows {
+        table.push_row(row)?;
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_schema() -> Schema {
+        Schema::new(vec![
+            AttributeDef::numeric("age", AttributeRole::QuasiIdentifier),
+            AttributeDef::nominal("city", AttributeRole::QuasiIdentifier, Vec::<String>::new()),
+            AttributeDef::numeric("income", AttributeRole::Confidential),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip_with_quoting() {
+        let mut t = Table::new(
+            Schema::new(vec![
+                AttributeDef::numeric("x", AttributeRole::QuasiIdentifier),
+                AttributeDef::nominal("label", AttributeRole::Confidential, ["a,b", "q\"q", "plain"]),
+            ])
+            .unwrap(),
+        );
+        t.push_row(&[Value::Number(1.5), Value::Category(0)]).unwrap();
+        t.push_row(&[Value::Number(2.0), Value::Category(1)]).unwrap();
+        t.push_row(&[Value::Number(-3.0), Value::Category(2)]).unwrap();
+
+        let s = to_csv_string(&t).unwrap();
+        assert!(s.contains("\"a,b\""));
+        assert!(s.contains("\"q\"\"q\""));
+
+        let schema2 = Schema::new(vec![
+            AttributeDef::numeric("x", AttributeRole::QuasiIdentifier),
+            AttributeDef::nominal("label", AttributeRole::Confidential, Vec::<String>::new()),
+        ])
+        .unwrap();
+        let t2 = read_csv(s.as_bytes(), schema2).unwrap();
+        assert_eq!(t2.n_rows(), 3);
+        assert_eq!(t2.numeric_column(0).unwrap(), &[1.5, 2.0, -3.0]);
+        let dict = &t2.schema().attribute(1).unwrap().dictionary;
+        assert_eq!(dict.label(0), Some("a,b"));
+        assert_eq!(dict.label(1), Some("q\"q"));
+    }
+
+    #[test]
+    fn read_csv_validates_header() {
+        let bad_count = "age,city\n1,x,2\n";
+        assert!(read_csv(bad_count.as_bytes(), demo_schema()).is_err());
+        let bad_name = "age,town,income\n1,x,2\n";
+        assert!(read_csv(bad_name.as_bytes(), demo_schema()).is_err());
+        let empty = "";
+        assert!(read_csv(empty.as_bytes(), demo_schema()).is_err());
+    }
+
+    #[test]
+    fn read_csv_reports_bad_number_with_line() {
+        let data = "age,city,income\n30,rome,100\nxx,paris,200\n";
+        let err = read_csv(data.as_bytes(), demo_schema()).unwrap_err();
+        match err {
+            Error::Csv { line, .. } => assert_eq!(line, 3),
+            other => panic!("expected CSV error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn read_csv_skips_blank_lines() {
+        let data = "age,city,income\n30,rome,100\n\n31,paris,200\n\n";
+        let t = read_csv(data.as_bytes(), demo_schema()).unwrap();
+        assert_eq!(t.n_rows(), 2);
+    }
+
+    #[test]
+    fn auto_inference() {
+        let data = "a,b,c\n1,x,0.5\n2,y,1.5\n3,x,2.5\n";
+        let t = read_csv_auto(data.as_bytes()).unwrap();
+        assert!(t.schema().is_numeric(0));
+        assert!(!t.schema().is_numeric(1));
+        assert!(t.schema().is_numeric(2));
+        assert_eq!(t.n_rows(), 3);
+        assert_eq!(t.categorical_column(1).unwrap(), &[0, 1, 0]);
+    }
+
+    #[test]
+    fn auto_inference_mixed_column_becomes_nominal() {
+        let data = "a\n1\ntwo\n3\n";
+        let t = read_csv_auto(data.as_bytes()).unwrap();
+        assert!(!t.schema().is_numeric(0));
+        assert_eq!(t.categorical_column(0).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn split_line_errors() {
+        assert!(split_line("\"unterminated", 1).is_err());
+        assert!(split_line("ab\"cd", 1).is_err());
+        assert_eq!(split_line("a,,b", 1).unwrap(), vec!["a", "", "b"]);
+        assert_eq!(split_line("", 1).unwrap(), vec![""]);
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(format_number(3.0), "3");
+        assert_eq!(format_number(3.25), "3.25");
+        assert_eq!(format_number(-7.0), "-7");
+    }
+}

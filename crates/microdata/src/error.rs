@@ -1,0 +1,133 @@
+//! Error handling for the microdata model.
+
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised by microdata construction, access and I/O.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A schema was constructed with zero attributes or duplicate names.
+    InvalidSchema(String),
+    /// A row had the wrong number of values or a value of the wrong kind.
+    RowMismatch {
+        /// Explanation of what did not line up.
+        detail: String,
+    },
+    /// An attribute index was out of bounds.
+    ColumnOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// Number of columns in the table.
+        n_cols: usize,
+    },
+    /// A row index was out of bounds.
+    RowOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// Number of rows in the table.
+        n_rows: usize,
+    },
+    /// The requested attribute name does not exist.
+    UnknownAttribute(String),
+    /// A column had a different type than the operation requires.
+    TypeMismatch {
+        /// Attribute name.
+        attribute: String,
+        /// What the caller expected.
+        expected: &'static str,
+        /// What the column actually is.
+        actual: &'static str,
+    },
+    /// A numeric value was NaN or infinite where finiteness is required.
+    NonFiniteValue {
+        /// Attribute name.
+        attribute: String,
+        /// Row index of the offending value.
+        row: usize,
+    },
+    /// A categorical code was not present in the attribute dictionary.
+    UnknownCategory {
+        /// Attribute name.
+        attribute: String,
+        /// The unknown code.
+        code: u32,
+    },
+    /// CSV parsing failed.
+    Csv {
+        /// 1-based line number of the failure.
+        line: usize,
+        /// Explanation.
+        detail: String,
+    },
+    /// Underlying I/O failure (message only, to keep the error `Clone`).
+    Io(String),
+    /// The operation requires a non-empty table.
+    EmptyTable,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidSchema(d) => write!(f, "invalid schema: {d}"),
+            Error::RowMismatch { detail } => write!(f, "row does not match schema: {detail}"),
+            Error::ColumnOutOfBounds { index, n_cols } => {
+                write!(f, "column index {index} out of bounds (table has {n_cols} columns)")
+            }
+            Error::RowOutOfBounds { index, n_rows } => {
+                write!(f, "row index {index} out of bounds (table has {n_rows} rows)")
+            }
+            Error::UnknownAttribute(name) => write!(f, "unknown attribute {name:?}"),
+            Error::TypeMismatch { attribute, expected, actual } => write!(
+                f,
+                "attribute {attribute:?} is {actual} but the operation requires {expected}"
+            ),
+            Error::NonFiniteValue { attribute, row } => {
+                write!(f, "non-finite value in attribute {attribute:?} at row {row}")
+            }
+            Error::UnknownCategory { attribute, code } => {
+                write!(f, "code {code} is not in the dictionary of attribute {attribute:?}")
+            }
+            Error::Csv { line, detail } => write!(f, "CSV error at line {line}: {detail}"),
+            Error::Io(msg) => write!(f, "I/O error: {msg}"),
+            Error::EmptyTable => write!(f, "operation requires a non-empty table"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::ColumnOutOfBounds { index: 7, n_cols: 3 };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains('3'));
+
+        let e = Error::TypeMismatch {
+            attribute: "age".into(),
+            expected: "numeric",
+            actual: "categorical",
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("age") && msg.contains("numeric") && msg.contains("categorical"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)));
+        assert!(e.to_string().contains("gone"));
+    }
+}

@@ -1,0 +1,189 @@
+//! Descriptive statistics over numeric slices.
+//!
+//! These helpers are used by normalization, data-set calibration and the
+//! utility metrics. All of them operate on plain `&[f64]` so they compose
+//! with both column borrows and scratch buffers.
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance (divides by `n`); `0.0` for slices shorter than 2.
+pub fn population_variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    population_variance(xs).sqrt()
+}
+
+/// Smallest element; `None` for an empty slice.
+pub fn min(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().reduce(f64::min)
+}
+
+/// Largest element; `None` for an empty slice.
+pub fn max(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().reduce(f64::max)
+}
+
+/// `max − min`; `0.0` for an empty slice.
+pub fn range(xs: &[f64]) -> f64 {
+    match (min(xs), max(xs)) {
+        (Some(lo), Some(hi)) => hi - lo,
+        _ => 0.0,
+    }
+}
+
+/// Pearson correlation coefficient between two equally long slices.
+///
+/// Returns `0.0` when either slice is constant (the coefficient is undefined
+/// there, and 0 is the conventional neutral choice for calibration code).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn correlation(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "correlation requires equally long slices");
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return 0.0;
+    }
+    sxy / (sxx.sqrt() * syy.sqrt())
+}
+
+/// Ranks of the elements (average rank for ties), 0-based.
+///
+/// Used to build rank-order statistics and Spearman correlations.
+pub fn ranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("finite values"));
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    correlation(&ranks(xs), &ranks(ys))
+}
+
+/// Sample `p`-quantile (linear interpolation), `p ∈ [0,1]`.
+///
+/// Returns `None` for an empty slice.
+pub fn quantile(xs: &[f64], p: f64) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let p = p.clamp(0.0, 1.0);
+    let pos = p * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn mean_variance_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < EPS);
+        assert_eq!(population_variance(&[5.0]), 0.0);
+        assert!((population_variance(&[2.0, 4.0]) - 1.0).abs() < EPS);
+        assert!((std_dev(&[2.0, 4.0]) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn min_max_range() {
+        assert_eq!(min(&[]), None);
+        assert_eq!(max(&[]), None);
+        assert_eq!(range(&[]), 0.0);
+        assert_eq!(min(&[3.0, -1.0, 2.0]), Some(-1.0));
+        assert_eq!(max(&[3.0, -1.0, 2.0]), Some(3.0));
+        assert_eq!(range(&[3.0, -1.0, 2.0]), 4.0);
+    }
+
+    #[test]
+    fn correlation_basics() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((correlation(&x, &y) - 1.0).abs() < EPS);
+        let yneg = [8.0, 6.0, 4.0, 2.0];
+        assert!((correlation(&x, &yneg) + 1.0).abs() < EPS);
+        let konst = [5.0; 4];
+        assert_eq!(correlation(&x, &konst), 0.0);
+        assert_eq!(correlation(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equally long")]
+    fn correlation_length_mismatch_panics() {
+        correlation(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn ranks_with_ties() {
+        // values:  10 20 20 30 → ranks 0, 1.5, 1.5, 3
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![0.0, 1.5, 1.5, 3.0]);
+    }
+
+    #[test]
+    fn spearman_monotone_transform_invariance() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y: Vec<f64> = x.iter().map(|v: &f64| v.exp()).collect(); // monotone
+        assert!((spearman(&x, &y) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn quantiles() {
+        assert_eq!(quantile(&[], 0.5), None);
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        assert_eq!(quantile(&xs, 1.0), Some(4.0));
+        assert!((quantile(&xs, 0.5).unwrap() - 2.5).abs() < EPS);
+        // out-of-range p is clamped
+        assert_eq!(quantile(&xs, 2.0), Some(4.0));
+    }
+}

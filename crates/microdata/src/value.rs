@@ -1,0 +1,107 @@
+//! Dynamically-typed cell values.
+
+use std::fmt;
+
+/// A single cell of a microdata table.
+///
+/// `Value` is the dynamically-typed interface used when building tables row
+/// by row or reading CSV files; internally tables store columns in their
+/// native representation (see [`crate::Column`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A numerical (continuous or integer-valued) measurement.
+    Number(f64),
+    /// A dictionary code referring to a category of the owning attribute.
+    Category(u32),
+}
+
+impl Value {
+    /// Returns the numeric payload, if this is a [`Value::Number`].
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Number(x) => Some(*x),
+            Value::Category(_) => None,
+        }
+    }
+
+    /// Returns the categorical code, if this is a [`Value::Category`].
+    pub fn as_category(&self) -> Option<u32> {
+        match self {
+            Value::Number(_) => None,
+            Value::Category(c) => Some(*c),
+        }
+    }
+
+    /// Short, lowercase name of the value's kind (used in error messages).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Value::Number(_) => "numeric",
+            Value::Category(_) => "categorical",
+        }
+    }
+
+    /// True when the value is a finite number or any category.
+    pub fn is_finite(&self) -> bool {
+        match self {
+            Value::Number(x) => x.is_finite(),
+            Value::Category(_) => true,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Number(x) => write!(f, "{x}"),
+            Value::Category(c) => write!(f, "#{c}"),
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Number(x)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(x: i64) -> Self {
+        Value::Number(x as f64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(c: u32) -> Self {
+        Value::Category(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Number(2.5).as_number(), Some(2.5));
+        assert_eq!(Value::Number(2.5).as_category(), None);
+        assert_eq!(Value::Category(3).as_category(), Some(3));
+        assert_eq!(Value::Category(3).as_number(), None);
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(Value::Number(0.0).is_finite());
+        assert!(!Value::Number(f64::NAN).is_finite());
+        assert!(!Value::Number(f64::INFINITY).is_finite());
+        assert!(Value::Category(9).is_finite());
+    }
+
+    #[test]
+    fn conversions_and_display() {
+        assert_eq!(Value::from(3.0), Value::Number(3.0));
+        assert_eq!(Value::from(4i64), Value::Number(4.0));
+        assert_eq!(Value::from(5u32), Value::Category(5));
+        assert_eq!(Value::Number(1.5).to_string(), "1.5");
+        assert_eq!(Value::Category(2).to_string(), "#2");
+    }
+}

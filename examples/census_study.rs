@@ -1,0 +1,62 @@
+//! The paper's Census study in miniature: compare the three algorithms on
+//! the MCD (moderately correlated) and HCD (highly correlated) data sets —
+//! cluster sizes and utility, the substance of Tables 1–3 and Figure 6.
+//!
+//! ```text
+//! cargo run --release --example census_study
+//! ```
+
+use tclose::core::{Algorithm, Anonymizer};
+use tclose::datasets::{census_hcd, census_mcd};
+use tclose::metrics::risk::record_linkage_risk;
+use tclose::microdata::NormalizeMethod;
+
+fn main() {
+    let datasets = [("MCD (R≈0.52)", census_mcd(42)), ("HCD (R≈0.92)", census_hcd(42))];
+    let algorithms = [
+        ("Alg1 merge", Algorithm::Merge),
+        ("Alg2 k-first", Algorithm::KAnonymityFirst),
+        ("Alg3 t-first", Algorithm::TClosenessFirst),
+    ];
+
+    for (ds_name, table) in &datasets {
+        println!("== {ds_name}: n = {}, k = 2, t = 0.13 ==", table.n_rows());
+        println!(
+            "{:<14} {:>8} {:>10} {:>10} {:>10} {:>12} {:>10}",
+            "algorithm", "classes", "mean size", "max EMD", "SSE", "linkage", "time"
+        );
+        for (label, alg) in &algorithms {
+            let out = Anonymizer::new(2, 0.13)
+                .algorithm(*alg)
+                .anonymize(table)
+                .expect("anonymization succeeds");
+            let r = &out.report;
+
+            // Empirical re-identification attack: distance-based record
+            // linkage over the normalized QI space. k-anonymity caps this
+            // at 1/k = 0.5.
+            let qi = table.schema().quasi_identifiers();
+            let orig = tclose::core::pipeline::qi_matrix(table, &qi, NormalizeMethod::ZScore)
+                .expect("numeric QIs");
+            let anon = tclose::core::pipeline::qi_matrix(&out.table, &qi, NormalizeMethod::ZScore)
+                .expect("numeric QIs");
+            let linkage = record_linkage_risk(&orig, &anon);
+            assert!(linkage <= 0.5 + 1e-9, "k-anonymity caps linkage at 1/k");
+
+            println!(
+                "{:<14} {:>8} {:>10.1} {:>10.4} {:>10.6} {:>12.4} {:>9.0?}",
+                label,
+                r.n_clusters,
+                r.mean_cluster_size,
+                r.max_emd,
+                r.sse,
+                linkage,
+                r.clustering_time,
+            );
+        }
+        println!();
+    }
+
+    println!("reading: Alg3 ≤ Alg2 ≤ Alg1 in SSE; the gap narrows on HCD, where");
+    println!("QI-homogeneous clusters fight the t-closeness constraint (Sec. 8.3).");
+}

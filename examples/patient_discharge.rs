@@ -1,0 +1,51 @@
+//! Hospital-release scenario: anonymize a Patient-Discharge-like data set
+//! (7 quasi-identifiers, confidential charges) and show how the derived
+//! cluster size of the t-closeness-first algorithm adapts to t — the
+//! mechanism behind its Figure 5 runtime advantage.
+//!
+//! ```text
+//! cargo run --release --example patient_discharge
+//! ```
+
+use tclose::core::bounds::tfirst_cluster_size;
+use tclose::core::{Algorithm, Anonymizer};
+use tclose::datasets::patient_discharge;
+
+fn main() {
+    // 4,000-record sample; pass PATIENT_N (23,435) for the paper's size.
+    let table = patient_discharge(42, 4_000);
+    let n = table.n_rows();
+    println!(
+        "patient discharge sample: n = {n}, {} QIs, confidential = CHARGE\n",
+        table.schema().quasi_identifiers().len()
+    );
+
+    // The analytic heart of Algorithm 3 (Eqs. 3–4): the cluster size that
+    // guarantees t-closeness, before any clustering happens.
+    println!("derived cluster size k'(t) for k = 2 (Proposition 2 → Eq. 3–4):");
+    for t in [0.01, 0.02, 0.05, 0.09, 0.13, 0.25] {
+        println!("  t = {t:<5} → k' = {}", tfirst_cluster_size(n, 2, t));
+    }
+    println!();
+
+    println!(
+        "{:<8} {:>10} {:>10} {:>11} {:>11} {:>10}",
+        "t", "classes", "min size", "max EMD", "SSE", "time"
+    );
+    for t in [0.05, 0.13, 0.25] {
+        let out = Anonymizer::new(2, t)
+            .algorithm(Algorithm::TClosenessFirst)
+            .anonymize(&table)
+            .expect("anonymization succeeds");
+        let r = &out.report;
+        assert!(r.max_emd <= t + 1e-9, "guaranteed by construction");
+        println!(
+            "{:<8} {:>10} {:>10} {:>11.4} {:>11.6} {:>9.0?}",
+            t, r.n_clusters, r.min_cluster_size, r.max_emd, r.sse, r.clustering_time
+        );
+    }
+
+    println!("\ncharges are released untouched; an analyst can still compute exact");
+    println!("charge statistics per equivalence class, while no class narrows the");
+    println!("charge distribution by more than EMD t.");
+}

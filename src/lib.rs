@@ -1,0 +1,36 @@
+//! # tclose — k-anonymous t-closeness through microaggregation
+//!
+//! Umbrella crate re-exporting the full public API of the workspace:
+//!
+//! * [`microdata`] — the microdata model (tables, schemas, roles, CSV).
+//! * [`metrics`] — distances and metrics (ordered EMD, SSE, disclosure risk).
+//! * [`microagg`] — microaggregation substrate (MDAV, V-MDAV, aggregation).
+//! * [`core`] — the paper's contribution: Algorithms 1–3, bounds, verifiers.
+//! * [`datasets`] — synthetic evaluation data sets (Census MCD/HCD, Patient).
+//! * [`baselines`] — generalization-based baselines (Mondrian, SABRE).
+//! * [`eval`] — the experiment harness regenerating every table and figure.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system map.
+
+pub use tclose_baselines as baselines;
+pub use tclose_core as core;
+pub use tclose_datasets as datasets;
+pub use tclose_eval as eval;
+pub use tclose_metrics as metrics;
+pub use tclose_microagg as microagg;
+pub use tclose_microdata as microdata;
+
+// Flat re-exports of the most common entry points so applications can write
+// `use tclose::prelude::*;`.
+pub mod prelude {
+    //! One-line import of the types used by virtually every application.
+    pub use tclose_core::{
+        Algorithm, AnonymizationReport, Anonymizer, MergeAlgorithm, KAnonymityFirst,
+        TClosenessFirst, TClosenessParams,
+    };
+    pub use tclose_metrics::{emd::OrderedEmd, sse::normalized_sse};
+    pub use tclose_microagg::{Clustering, Mdav, Microaggregator, VMdav};
+    pub use tclose_microdata::{
+        AttributeDef, AttributeKind, AttributeRole, Schema, Table, Value,
+    };
+}

@@ -1,0 +1,191 @@
+//! Failure injection and degenerate-input behaviour across the stack:
+//! everything a hostile or careless caller can throw at the pipeline must
+//! produce a clean error or a well-defined degenerate result — never a
+//! panic, never a silently wrong release.
+
+use tclose::core::{Algorithm, Anonymizer, Error};
+use tclose::microdata::csv::read_csv;
+use tclose::microdata::{AttributeDef, AttributeRole, Schema, Table, Value};
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        AttributeDef::numeric("qi1", AttributeRole::QuasiIdentifier),
+        AttributeDef::numeric("qi2", AttributeRole::QuasiIdentifier),
+        AttributeDef::numeric("conf", AttributeRole::Confidential),
+    ])
+    .unwrap()
+}
+
+fn table_with(rows: &[(f64, f64, f64)]) -> Table {
+    let mut t = Table::new(schema());
+    for &(a, b, c) in rows {
+        t.push_row(&[Value::Number(a), Value::Number(b), Value::Number(c)]).unwrap();
+    }
+    t
+}
+
+const ALL_ALGORITHMS: [Algorithm; 8] = [
+    Algorithm::Merge,
+    Algorithm::MergeVMdav { gamma: 0.2 },
+    Algorithm::MergeComplementary,
+    Algorithm::KAnonymityFirst,
+    Algorithm::KAnonymityFirstNoFallback,
+    Algorithm::KAnonymityFirstAdd,
+    Algorithm::TClosenessFirst,
+    Algorithm::TClosenessFirstTail,
+];
+
+#[test]
+fn empty_table_is_a_clean_error_for_every_algorithm() {
+    let empty = Table::new(schema());
+    for alg in ALL_ALGORITHMS {
+        let err = Anonymizer::new(2, 0.2).algorithm(alg).anonymize(&empty).unwrap_err();
+        assert!(matches!(err, Error::Microdata(_)), "{}: {err}", alg.name());
+    }
+}
+
+#[test]
+fn single_record_table_releases_one_singleton_class() {
+    let t = table_with(&[(1.0, 2.0, 3.0)]);
+    for alg in [Algorithm::Merge, Algorithm::KAnonymityFirst, Algorithm::TClosenessFirst] {
+        let out = Anonymizer::new(2, 0.2).algorithm(alg).anonymize(&t).unwrap();
+        assert_eq!(out.report.n_clusters, 1);
+        assert_eq!(out.report.min_cluster_size, 1);
+        // the single class is the whole table, so its EMD is exactly 0
+        assert_eq!(out.report.max_emd, 0.0);
+    }
+}
+
+#[test]
+fn constant_confidential_attribute_is_trivially_t_close() {
+    let rows: Vec<(f64, f64, f64)> =
+        (0..30).map(|i| (i as f64, (i * 3 % 7) as f64, 42.0)).collect();
+    let t = table_with(&rows);
+    for alg in [Algorithm::Merge, Algorithm::KAnonymityFirst, Algorithm::TClosenessFirst] {
+        let out = Anonymizer::new(3, 0.05).algorithm(alg).anonymize(&t).unwrap();
+        assert_eq!(out.report.max_emd, 0.0, "{}", alg.name());
+        assert!(out.report.min_cluster_size >= 3);
+    }
+}
+
+#[test]
+fn constant_quasi_identifiers_still_release() {
+    // All records identical in QI space: any partition is QI-valid; the
+    // algorithms must not divide by zero in normalization.
+    let rows: Vec<(f64, f64, f64)> = (0..24).map(|i| (5.0, 7.0, i as f64)).collect();
+    let t = table_with(&rows);
+    for alg in [Algorithm::Merge, Algorithm::TClosenessFirst] {
+        let out = Anonymizer::new(4, 0.25).algorithm(alg).anonymize(&t).unwrap();
+        assert!(out.report.min_cluster_size >= 4, "{}", alg.name());
+        assert!(out.report.max_emd <= 0.25 + 1e-9);
+    }
+}
+
+#[test]
+fn duplicate_records_are_handled() {
+    // 10 copies of each of 3 distinct records.
+    let mut rows = Vec::new();
+    for _ in 0..10 {
+        rows.push((1.0, 1.0, 10.0));
+        rows.push((2.0, 2.0, 20.0));
+        rows.push((3.0, 3.0, 30.0));
+    }
+    let t = table_with(&rows);
+    let out = Anonymizer::new(5, 0.3).anonymize(&t).unwrap();
+    assert_eq!(out.report.n_records, 30);
+    assert!(out.report.min_cluster_size >= 5);
+}
+
+#[test]
+fn extreme_t_values_behave() {
+    let rows: Vec<(f64, f64, f64)> =
+        (0..40).map(|i| (i as f64, (i * i % 13) as f64, (i % 11) as f64)).collect();
+    let t = table_with(&rows);
+
+    // t = 1 never constrains → pure k-anonymous microaggregation.
+    let loose = Anonymizer::new(4, 1.0).anonymize(&t).unwrap();
+    assert!(loose.report.min_cluster_size >= 4);
+
+    // near-zero t forces the single-cluster release (EMD 0).
+    let strict = Anonymizer::new(4, 1e-12).anonymize(&t).unwrap();
+    assert_eq!(strict.report.n_clusters, 1);
+    assert_eq!(strict.report.max_emd, 0.0);
+}
+
+#[test]
+fn invalid_parameters_are_rejected_before_any_work() {
+    let t = table_with(&[(1.0, 2.0, 3.0), (4.0, 5.0, 6.0)]);
+    for (k, tt) in [(0usize, 0.1f64), (2, 0.0), (2, -1.0), (2, 1.5), (2, f64::NAN)] {
+        let err = Anonymizer::new(k, tt).anonymize(&t).unwrap_err();
+        assert!(matches!(err, Error::InvalidParams(_)), "k={k} t={tt}: {err}");
+    }
+}
+
+#[test]
+fn non_finite_values_cannot_enter_a_table() {
+    let mut t = Table::new(schema());
+    for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        let err = t
+            .push_row(&[Value::Number(bad), Value::Number(0.0), Value::Number(0.0)])
+            .unwrap_err();
+        assert!(matches!(err, tclose::microdata::Error::NonFiniteValue { .. }));
+    }
+    assert!(t.is_empty(), "no partial rows may survive");
+}
+
+#[test]
+fn malformed_csv_is_rejected_with_line_numbers() {
+    let cases = [
+        ("qi1,qi2\n1,2\n", "header has 2 columns"),     // wrong arity
+        ("qi1,qi2,conf\n1,2\n", "record has 2 fields"), // ragged record
+        ("qi1,qi2,conf\n1,x,3\n", "cannot parse"),      // non-numeric
+        ("qi1,qi2,conf\n\"unterminated,2,3\n", "unterminated"),
+    ];
+    for (input, expect) in cases {
+        let err = read_csv(input.as_bytes(), schema()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains(expect), "input {input:?}: got {msg:?}");
+    }
+}
+
+#[test]
+fn missing_roles_produce_actionable_errors() {
+    // no confidential attribute
+    let s = Schema::new(vec![AttributeDef::numeric("qi1", AttributeRole::QuasiIdentifier)])
+        .unwrap();
+    let mut t = Table::new(s);
+    t.push_row(&[Value::Number(1.0)]).unwrap();
+    let err = Anonymizer::new(2, 0.2).anonymize(&t).unwrap_err();
+    assert!(err.to_string().contains("confidential"), "{err}");
+
+    // no quasi-identifier
+    let s = Schema::new(vec![AttributeDef::numeric("conf", AttributeRole::Confidential)])
+        .unwrap();
+    let mut t = Table::new(s);
+    t.push_row(&[Value::Number(1.0)]).unwrap();
+    let err = Anonymizer::new(2, 0.2).anonymize(&t).unwrap_err();
+    assert!(err.to_string().contains("quasi-identifier"), "{err}");
+}
+
+#[test]
+fn identifiers_are_droppable_and_never_leak_via_release_helper() {
+    let s = Schema::new(vec![
+        AttributeDef::numeric("ssn", AttributeRole::Identifier),
+        AttributeDef::numeric("qi", AttributeRole::QuasiIdentifier),
+        AttributeDef::numeric("conf", AttributeRole::Confidential),
+    ])
+    .unwrap();
+    let mut t = Table::new(s);
+    for i in 0..10 {
+        t.push_row(&[
+            Value::Number(900_000_000.0 + i as f64),
+            Value::Number((i % 3) as f64),
+            Value::Number(i as f64),
+        ])
+        .unwrap();
+    }
+    let out = Anonymizer::new(2, 0.5).anonymize(&t).unwrap();
+    let released = out.table.drop_identifiers().unwrap();
+    assert_eq!(released.n_cols(), 2);
+    assert!(released.schema().index_of("ssn").is_err());
+}

@@ -1,0 +1,120 @@
+//! Integration of the generalization baselines with the core pipeline
+//! components: guarantees, comparability, and the paper's Section 3–4
+//! claims measured end to end.
+
+use tclose::baselines::{generalize_columns, MondrianTClose, SabreLite};
+use tclose::core::pipeline::qi_matrix;
+use tclose::core::{Confidential, TCloseClusterer, TClosenessFirst, TClosenessParams};
+use tclose::datasets::census::census_sized;
+use tclose::metrics::sse::normalized_sse;
+use tclose::microagg::aggregate_columns;
+use tclose::microdata::{AttributeRole, NormalizeMethod, Table};
+
+fn mcd(n: usize) -> Table {
+    let mut t = census_sized(23, n);
+    t.schema_mut()
+        .set_roles(&[
+            ("FEDTAX", AttributeRole::Confidential),
+            ("FICA", AttributeRole::NonConfidential),
+        ])
+        .unwrap();
+    t
+}
+
+struct Prepared {
+    table: Table,
+    rows: Vec<Vec<f64>>,
+    conf: Confidential,
+}
+
+fn prepare(n: usize) -> Prepared {
+    let table = mcd(n);
+    let qi = table.schema().quasi_identifiers();
+    let rows = qi_matrix(&table, &qi, NormalizeMethod::ZScore).unwrap();
+    let conf = Confidential::from_table(&table).unwrap();
+    Prepared { table, rows, conf }
+}
+
+#[test]
+fn mondrian_guarantees_both_models() {
+    let p = prepare(200);
+    for (k, t) in [(2usize, 0.1), (5, 0.2), (3, 0.3)] {
+        let params = TClosenessParams::new(k, t).unwrap();
+        let c = MondrianTClose::new().cluster(&p.rows, &p.conf, params);
+        c.check_min_size(k).unwrap();
+        for cl in c.clusters() {
+            assert!(p.conf.emd_of_records(cl) <= t + 1e-9, "k={k} t={t}");
+        }
+    }
+}
+
+#[test]
+fn sabre_respects_k_and_stays_near_t() {
+    let p = prepare(200);
+    for (k, t) in [(2usize, 0.1), (4, 0.2)] {
+        let params = TClosenessParams::new(k, t).unwrap();
+        let c = SabreLite::new().cluster(&p.rows, &p.conf, params);
+        c.check_min_size(k).unwrap();
+        assert_eq!(c.n_records(), 200);
+        for cl in c.clusters() {
+            assert!(
+                p.conf.emd_of_records(cl) <= 2.0 * t + 1e-9,
+                "k={k} t={t}: SABRE class EMD {}",
+                p.conf.emd_of_records(cl)
+            );
+        }
+    }
+}
+
+#[test]
+fn microaggregation_release_beats_generalization_release() {
+    // Same clustering, two release styles: centroid vs range-midpoint.
+    // On skewed income data the midpoint is dragged by within-class
+    // outliers — Section 4's core utility argument.
+    let p = prepare(240);
+    let qi = p.table.schema().quasi_identifiers();
+    let params = TClosenessParams::new(3, 0.2).unwrap();
+    let clustering = MondrianTClose::new().cluster(&p.rows, &p.conf, params);
+
+    let centroids = aggregate_columns(&p.table, &qi, &clustering).unwrap();
+    let midpoints = generalize_columns(&p.table, &qi, &clustering).unwrap();
+    let sse_centroid = normalized_sse(&p.table, &centroids, &qi).unwrap();
+    let sse_midpoint = normalized_sse(&p.table, &midpoints, &qi).unwrap();
+    assert!(
+        sse_centroid <= sse_midpoint + 1e-12,
+        "centroid release {sse_centroid} should beat midpoint release {sse_midpoint}"
+    );
+}
+
+#[test]
+fn tfirst_produces_smaller_or_equal_classes_than_sabre() {
+    // Section 3: SABRE's greedy buckets ≥ the analytic minimum ⇒ larger
+    // classes than the t-closeness-first construction.
+    let p = prepare(240);
+    let params = TClosenessParams::new(2, 0.05).unwrap();
+    let sabre = SabreLite::new().cluster(&p.rows, &p.conf, params);
+    let tfirst = TClosenessFirst::new().cluster(&p.rows, &p.conf, params);
+    assert!(
+        tfirst.mean_size() <= sabre.mean_size() + 1e-9,
+        "t-first mean {} vs SABRE mean {}",
+        tfirst.mean_size(),
+        sabre.mean_size()
+    );
+}
+
+#[test]
+fn mondrian_k_only_variant_is_finer_but_unsafe() {
+    let p = prepare(200);
+    let params = TClosenessParams::new(2, 0.05).unwrap();
+    let strict = MondrianTClose::new().cluster(&p.rows, &p.conf, params);
+    let k_only = MondrianTClose::k_anonymity_only().cluster(&p.rows, &p.conf, params);
+    // ignoring t allows more splits…
+    assert!(k_only.n_clusters() >= strict.n_clusters());
+    // …but loses the t-closeness guarantee on this data
+    let worst = k_only
+        .clusters()
+        .iter()
+        .map(|c| p.conf.emd_of_records(c))
+        .fold(0.0, f64::max);
+    assert!(worst > 0.05, "k-only Mondrian should violate t here (worst {worst})");
+}

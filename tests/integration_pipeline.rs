@@ -1,0 +1,187 @@
+//! Cross-crate integration: every algorithm on every evaluation data set,
+//! verifying the released tables end to end (k-anonymity, t-closeness,
+//! partition integrity, confidential preservation, SSE ordering).
+
+use tclose::core::{
+    verify_k_anonymity, verify_t_closeness, Algorithm, Anonymizer, Confidential,
+};
+use tclose::datasets::census::census_sized;
+use tclose::datasets::{census_tied_mcd, patient_discharge};
+use tclose::microdata::{AttributeRole, Table};
+
+fn small_mcd(n: usize) -> Table {
+    let mut t = census_sized(11, n);
+    t.schema_mut()
+        .set_roles(&[
+            ("FEDTAX", AttributeRole::Confidential),
+            ("FICA", AttributeRole::NonConfidential),
+        ])
+        .unwrap();
+    t
+}
+
+fn small_hcd(n: usize) -> Table {
+    let mut t = census_sized(11, n);
+    t.schema_mut()
+        .set_roles(&[
+            ("FEDTAX", AttributeRole::NonConfidential),
+            ("FICA", AttributeRole::Confidential),
+        ])
+        .unwrap();
+    t
+}
+
+fn datasets() -> Vec<(&'static str, Table)> {
+    vec![
+        ("mcd", small_mcd(150)),
+        ("hcd", small_hcd(150)),
+        ("patient", patient_discharge(11, 150)),
+        ("tied", {
+            let mut t = census_tied_mcd(11);
+            t = t.take_rows(&(0..150).collect::<Vec<_>>()).unwrap();
+            t
+        }),
+    ]
+}
+
+#[test]
+fn all_algorithms_produce_verified_releases_on_all_datasets() {
+    let algorithms = [
+        Algorithm::Merge,
+        Algorithm::KAnonymityFirst,
+        Algorithm::TClosenessFirst,
+    ];
+    for (ds_name, table) in datasets() {
+        for alg in algorithms {
+            let out = Anonymizer::new(3, 0.25)
+                .algorithm(alg)
+                .anonymize(&table)
+                .unwrap_or_else(|e| panic!("{ds_name}/{}: {e}", alg.name()));
+
+            // released table has the same shape
+            assert_eq!(out.table.n_rows(), table.n_rows());
+            assert_eq!(out.table.n_cols(), table.n_cols());
+
+            // independent audits
+            let k = verify_k_anonymity(&out.table).unwrap();
+            assert!(k >= 3, "{ds_name}/{}: audited k = {k}", alg.name());
+            let conf = Confidential::from_table(&table).unwrap();
+            let t = verify_t_closeness(&out.table, &conf).unwrap();
+            assert!(
+                t <= 0.25 + 1e-9,
+                "{ds_name}/{}: audited t = {t}",
+                alg.name()
+            );
+
+            // confidential attributes byte-identical to the original
+            for &c in &table.schema().confidential() {
+                assert_eq!(
+                    out.table.numeric_column(c).unwrap(),
+                    table.numeric_column(c).unwrap(),
+                    "{ds_name}/{}: confidential column {c} was perturbed",
+                    alg.name()
+                );
+            }
+
+            // the clustering behind the release is a true partition
+            assert_eq!(out.clustering.n_records(), table.n_rows());
+            let mut seen = vec![false; table.n_rows()];
+            for cluster in out.clustering.clusters() {
+                for &r in cluster {
+                    assert!(!seen[r], "record {r} in two clusters");
+                    seen[r] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "some record missing from the partition");
+        }
+    }
+}
+
+#[test]
+fn sse_ordering_matches_the_paper_headline() {
+    // Figure 6: the earlier t-closeness enters the clustering, the better
+    // the utility — Alg3 ≤ Alg1 in SSE (aggregated over a t sweep). On
+    // census-like data this holds across the whole sweep; on the
+    // weak-correlation patient data the claim belongs to the strict-t
+    // regime (at loose t on a tiny sample both algorithms are near-optimal
+    // and the ordering is noise), so patient is asserted at t = 0.05 below.
+    for (ds_name, table) in [("mcd", small_mcd(150)), ("hcd", small_hcd(150))] {
+        let mut totals = std::collections::HashMap::new();
+        for alg in [Algorithm::Merge, Algorithm::KAnonymityFirst, Algorithm::TClosenessFirst] {
+            let mut sum = 0.0;
+            for t in [0.10, 0.17, 0.25] {
+                let out = Anonymizer::new(2, t).algorithm(alg).anonymize(&table).unwrap();
+                sum += out.report.sse;
+            }
+            totals.insert(alg.name(), sum);
+        }
+        let alg1 = totals["Alg1-merge"];
+        let alg3 = totals["Alg3-tfirst"];
+        assert!(
+            alg3 <= alg1 + 1e-9,
+            "{ds_name}: Alg3 total SSE {alg3} > Alg1 total {alg1}"
+        );
+    }
+
+    // Sample large enough for the asymptotic regime the paper reports
+    // (at n ≈ 150 the two algorithms are statistically tied on this data).
+    let patient = patient_discharge(11, 800);
+    let strict = |alg| {
+        Anonymizer::new(2, 0.05)
+            .algorithm(alg)
+            .anonymize(&patient)
+            .unwrap()
+            .report
+            .sse
+    };
+    let alg1 = strict(Algorithm::Merge);
+    let alg3 = strict(Algorithm::TClosenessFirst);
+    assert!(alg3 <= alg1 + 1e-9, "patient strict-t: Alg3 {alg3} > Alg1 {alg1}");
+}
+
+#[test]
+fn stricter_parameters_cost_more_utility() {
+    let table = small_mcd(150);
+    // stricter t (same k) ⇒ SSE can only grow (weakly) for Alg3, whose
+    // cluster size is a deterministic function of t.
+    let loose = Anonymizer::new(2, 0.25).anonymize(&table).unwrap().report.sse;
+    let strict = Anonymizer::new(2, 0.05).anonymize(&table).unwrap().report.sse;
+    assert!(strict >= loose - 1e-12, "strict {strict} vs loose {loose}");
+
+    // larger k (same t) ⇒ larger clusters ⇒ more SSE for Alg3.
+    let small_k = Anonymizer::new(2, 0.25).anonymize(&table).unwrap().report.sse;
+    let large_k = Anonymizer::new(25, 0.25).anonymize(&table).unwrap().report.sse;
+    assert!(large_k >= small_k - 1e-12, "k=25 {large_k} vs k=2 {small_k}");
+}
+
+#[test]
+fn mean_preservation_of_microaggregation() {
+    // Centroid aggregation preserves every QI's global mean exactly —
+    // one of Section 4's utility arguments for microaggregation.
+    let table = small_mcd(120);
+    for alg in [Algorithm::Merge, Algorithm::TClosenessFirst] {
+        let out = Anonymizer::new(4, 0.2).algorithm(alg).anonymize(&table).unwrap();
+        for &q in &table.schema().quasi_identifiers() {
+            let orig: f64 = table.numeric_column(q).unwrap().iter().sum();
+            let anon: f64 = out.table.numeric_column(q).unwrap().iter().sum();
+            assert!(
+                (orig - anon).abs() / orig.abs().max(1.0) < 1e-9,
+                "{}: attribute {q} mean drifted",
+                alg.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn report_times_and_sizes_are_consistent() {
+    let table = small_mcd(100);
+    let out = Anonymizer::new(5, 0.2).anonymize(&table).unwrap();
+    let r = &out.report;
+    assert_eq!(r.n_records, 100);
+    assert_eq!(r.n_clusters, out.clustering.n_clusters());
+    assert!(r.min_cluster_size <= r.max_cluster_size);
+    assert!(r.mean_cluster_size >= r.min_cluster_size as f64 - 1e-9);
+    assert!(r.mean_cluster_size <= r.max_cluster_size as f64 + 1e-9);
+    assert!(r.satisfies_request());
+}

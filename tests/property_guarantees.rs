@@ -1,0 +1,177 @@
+//! Property-based tests (proptest) of the core invariants, across random
+//! data sets, parameters and seeds.
+
+use proptest::prelude::*;
+use tclose::core::bounds::{emd_lower_bound, emd_upper_bound, tfirst_cluster_size};
+use tclose::core::{Confidential, MergeAlgorithm, TCloseClusterer, TClosenessFirst, TClosenessParams};
+use tclose::metrics::emd::{ClusterHistogram, OrderedEmd};
+use tclose::microagg::{Clustering, Mdav, Microaggregator, VMdav};
+
+/// Strategy: a finite confidential column of 4–120 values in a small range
+/// (guaranteeing plenty of ties sometimes) or a wide one (mostly distinct).
+fn conf_column() -> impl Strategy<Value = Vec<f64>> {
+    prop_oneof![
+        proptest::collection::vec((0u32..8).prop_map(|v| v as f64), 4..120),
+        proptest::collection::vec((-1e6f64..1e6).prop_map(|v| (v * 100.0).round() / 100.0), 4..120),
+    ]
+}
+
+/// Strategy: QI rows of the same length as a paired confidential column.
+fn problem() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>)> {
+    conf_column().prop_flat_map(|conf| {
+        let n = conf.len();
+        (
+            proptest::collection::vec(
+                proptest::collection::vec(-100.0f64..100.0, 2),
+                n..=n,
+            ),
+            Just(conf),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn emd_is_in_unit_interval_for_any_subset((_rows, conf) in problem(), mask in proptest::collection::vec(any::<bool>(), 4..120)) {
+        let emd = OrderedEmd::new(&conf);
+        let records: Vec<usize> = (0..conf.len())
+            .filter(|&r| *mask.get(r).unwrap_or(&false))
+            .collect();
+        let d = emd.emd_of_records(&records);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&d), "EMD {d} out of range");
+    }
+
+    #[test]
+    fn emd_of_full_population_is_zero((_rows, conf) in problem()) {
+        let emd = OrderedEmd::new(&conf);
+        let all: Vec<usize> = (0..conf.len()).collect();
+        prop_assert!(emd.emd_of_records(&all) < 1e-9);
+    }
+
+    #[test]
+    fn incremental_histogram_equals_batch((_rows, conf) in problem(), picks in proptest::collection::vec(any::<proptest::sample::Index>(), 1..20)) {
+        let emd = OrderedEmd::new(&conf);
+        let records: Vec<usize> = picks.iter().map(|i| i.index(conf.len())).collect();
+        let mut hist = ClusterHistogram::empty(emd.m());
+        for &r in &records {
+            hist.add(emd.bin_of(r));
+        }
+        let batch = emd.emd_of_records(&records);
+        prop_assert!((emd.emd(&hist) - batch).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proposition1_lower_bounds_every_cluster((_rows, conf) in problem(), k in 2usize..8) {
+        // Only valid when values are all distinct (the proposition's
+        // setting); skip tied instances.
+        let mut sorted = conf.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.dedup();
+        prop_assume!(sorted.len() == conf.len());
+        prop_assume!(conf.len() >= 2 * k);
+
+        let emd = OrderedEmd::new(&conf);
+        let bound = emd_lower_bound(conf.len(), k);
+        // any k-subset must respect the bound; try a few deterministic ones
+        let n = conf.len();
+        for start in 0..3.min(n - k) {
+            let cluster: Vec<usize> = (start..start + k).collect();
+            let d = emd.emd_of_records(&cluster);
+            prop_assert!(d >= bound - 1e-9, "EMD {d} below Prop. 1 bound {bound}");
+        }
+    }
+
+    #[test]
+    fn mdav_and_vmdav_respect_size_bounds((rows, _conf) in problem(), k in 1usize..6) {
+        let n = rows.len();
+        let c = Mdav.partition(&rows, k);
+        prop_assert_eq!(c.n_records(), n);
+        c.check_min_size(k.min(n)).unwrap();
+        if c.n_clusters() > 1 {
+            prop_assert!(c.max_size() < 2 * k);
+        }
+
+        let v = VMdav::new(0.3).partition(&rows, k);
+        prop_assert_eq!(v.n_records(), n);
+        v.check_min_size(k.min(n)).unwrap();
+    }
+
+    #[test]
+    fn merge_algorithm_always_attains_t((rows, conf) in problem(), k in 1usize..5, t in 0.02f64..0.5) {
+        let model = Confidential::single(OrderedEmd::new(&conf));
+        let params = TClosenessParams::new(k, t).unwrap();
+        let c = MergeAlgorithm::new().cluster(&rows, &model, params);
+        prop_assert_eq!(c.n_records(), rows.len());
+        c.check_min_size(k.min(rows.len())).unwrap();
+        for cl in c.clusters() {
+            prop_assert!(model.emd_of_records(cl) <= t + 1e-9);
+        }
+    }
+
+    #[test]
+    fn tfirst_always_attains_t_with_fallback((rows, conf) in problem(), k in 1usize..5, t in 0.02f64..0.5) {
+        let model = Confidential::single(OrderedEmd::new(&conf));
+        let params = TClosenessParams::new(k, t).unwrap();
+        let c = TClosenessFirst::new().cluster(&rows, &model, params);
+        prop_assert_eq!(c.n_records(), rows.len());
+        c.check_min_size(k.min(rows.len())).unwrap();
+        for cl in c.clusters() {
+            prop_assert!(model.emd_of_records(cl) <= t + 1e-9);
+        }
+    }
+
+    #[test]
+    fn tfirst_unchecked_meets_t_on_distinct_divisible_instances(seed in 0u64..1000, k in 2usize..5) {
+        // all-distinct values, n a multiple of every candidate k': the
+        // strict regime of Proposition 2.
+        let n = 120usize;
+        let conf: Vec<f64> = (0..n).map(|i| ((i as u64 * 7919 + seed) % 100_000) as f64 + (i as f64) * 1e-3).collect();
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![((i as u64 * 104_729 + seed) % 1000) as f64]).collect();
+        let t = 0.2f64;
+        let k_eff = tfirst_cluster_size(n, k, t);
+        prop_assume!(n.is_multiple_of(k_eff));
+        let model = Confidential::single(OrderedEmd::new(&conf));
+        let params = TClosenessParams::new(k, t).unwrap();
+        let c = TClosenessFirst::unchecked().cluster(&rows, &model, params);
+        for cl in c.clusters() {
+            let d = model.emd_of_records(cl);
+            prop_assert!(d <= t + 1e-9, "EMD {d} > t with k_eff {k_eff}");
+            prop_assert!(d <= emd_upper_bound(n, k_eff) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn clustering_partition_validation_catches_corruption(n in 2usize..40) {
+        let clusters: Vec<Vec<usize>> = vec![(0..n).collect()];
+        let c = Clustering::new(clusters, n).unwrap();
+        prop_assert_eq!(c.n_clusters(), 1);
+        // corrupt: drop one record
+        let bad: Vec<Vec<usize>> = vec![(1..n).collect()];
+        prop_assert!(Clustering::new(bad, n).is_err());
+        // corrupt: duplicate one record
+        let mut dup: Vec<usize> = (0..n).collect();
+        dup.push(0);
+        prop_assert!(Clustering::new(vec![dup], n).is_err());
+    }
+
+    #[test]
+    fn csv_round_trip_preserves_numeric_tables(values in proptest::collection::vec((-1e9f64..1e9).prop_map(|v| (v * 1000.0).round() / 1000.0), 1..60)) {
+        use tclose::microdata::csv::{read_csv_auto, to_csv_string};
+        use tclose::microdata::{AttributeDef, AttributeRole, Schema, Table, Value};
+        let schema = Schema::new(vec![
+            AttributeDef::numeric("x", AttributeRole::QuasiIdentifier),
+        ]).unwrap();
+        let mut t = Table::new(schema);
+        for &v in &values {
+            t.push_row(&[Value::Number(v)]).unwrap();
+        }
+        let s = to_csv_string(&t).unwrap();
+        let back = read_csv_auto(s.as_bytes()).unwrap();
+        prop_assert_eq!(back.n_rows(), t.n_rows());
+        for (a, b) in t.numeric_column(0).unwrap().iter().zip(back.numeric_column(0).unwrap()) {
+            prop_assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+}
