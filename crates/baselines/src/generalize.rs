@@ -20,7 +20,11 @@ use tclose_microdata::{AttributeKind, Error, Result, Table};
 /// range-midpoint (numeric) or kept as is for categorical attributes, for
 /// which range recoding has no numeric counterpart (categorical
 /// generalization hierarchies are out of scope for the numeric baselines).
-pub fn generalize_columns(table: &Table, attrs: &[usize], clustering: &Clustering) -> Result<Table> {
+pub fn generalize_columns(
+    table: &Table,
+    attrs: &[usize],
+    clustering: &Clustering,
+) -> Result<Table> {
     if clustering.n_records() != table.n_rows() {
         return Err(Error::RowMismatch {
             detail: format!(
@@ -37,8 +41,14 @@ pub fn generalize_columns(table: &Table, attrs: &[usize], clustering: &Clusterin
                 continue;
             }
             let col = table.numeric_column(a)?;
-            let lo = cluster.iter().map(|&r| col[r]).fold(f64::INFINITY, f64::min);
-            let hi = cluster.iter().map(|&r| col[r]).fold(f64::NEG_INFINITY, f64::max);
+            let lo = cluster
+                .iter()
+                .map(|&r| col[r])
+                .fold(f64::INFINITY, f64::min);
+            let hi = cluster
+                .iter()
+                .map(|&r| col[r])
+                .fold(f64::NEG_INFINITY, f64::max);
             let mid = (lo + hi) / 2.0;
             for &r in cluster {
                 out.set_numeric(a, r, mid)?;

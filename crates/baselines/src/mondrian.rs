@@ -99,8 +99,14 @@ impl MondrianTClose {
         // remaining dimensions as fallbacks.
         let mut dims: Vec<(usize, f64)> = (0..dim_count)
             .map(|d| {
-                let lo = records.iter().map(|&r| rows[r][d]).fold(f64::INFINITY, f64::min);
-                let hi = records.iter().map(|&r| rows[r][d]).fold(f64::NEG_INFINITY, f64::max);
+                let lo = records
+                    .iter()
+                    .map(|&r| rows[r][d])
+                    .fold(f64::INFINITY, f64::min);
+                let hi = records
+                    .iter()
+                    .map(|&r| rows[r][d])
+                    .fold(f64::NEG_INFINITY, f64::max);
                 (d, hi - lo)
             })
             .collect();
@@ -112,7 +118,10 @@ impl MondrianTClose {
             }
             let mut sorted: Vec<usize> = records.to_vec();
             sorted.sort_by(|&a, &b| {
-                rows[a][d].partial_cmp(&rows[b][d]).expect("finite").then(a.cmp(&b))
+                rows[a][d]
+                    .partial_cmp(&rows[b][d])
+                    .expect("finite")
+                    .then(a.cmp(&b))
             });
             // Median split on *values*: records equal to the median value
             // must land on one side (strict partitioning).
@@ -172,10 +181,10 @@ mod tests {
     #[test]
     fn stricter_t_yields_fewer_classes() {
         let (rows, conf) = problem(100);
-        let strict = MondrianTClose::new()
-            .cluster(&rows, &conf, TClosenessParams::new(2, 0.03).unwrap());
-        let loose = MondrianTClose::new()
-            .cluster(&rows, &conf, TClosenessParams::new(2, 0.4).unwrap());
+        let strict =
+            MondrianTClose::new().cluster(&rows, &conf, TClosenessParams::new(2, 0.03).unwrap());
+        let loose =
+            MondrianTClose::new().cluster(&rows, &conf, TClosenessParams::new(2, 0.4).unwrap());
         assert!(strict.n_clusters() <= loose.n_clusters());
     }
 

@@ -85,7 +85,11 @@ impl TCloseClusterer for SabreLite {
         // A class needs ≥ 1 record from every bucket plus the k-anonymity
         // floor; the number of classes follows from the smallest bucket
         // (proportional quotas must put ≥ 1 of its records in every class).
-        let min_bucket = buckets.iter().map(Vec::len).min().expect("at least one bucket");
+        let min_bucket = buckets
+            .iter()
+            .map(Vec::len)
+            .min()
+            .expect("at least one bucket");
         let class_size_floor = params.k.max(b);
         let n_classes = (n / class_size_floor).min(min_bucket).max(1);
 
@@ -180,7 +184,9 @@ mod tests {
     use tclose_metrics::emd::OrderedEmd;
 
     fn problem(n: usize) -> (Vec<Vec<f64>>, Confidential) {
-        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![(i % 13) as f64, (i % 7) as f64]).collect();
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![(i % 13) as f64, (i % 7) as f64])
+            .collect();
         let conf: Vec<f64> = (0..n).map(|i| ((i * 17) % 101) as f64).collect();
         (rows, Confidential::single(OrderedEmd::new(&conf)))
     }
@@ -222,7 +228,8 @@ mod tests {
             let params = TClosenessParams::new(k, t).unwrap();
             let c = SabreLite::new().cluster(&rows, &conf, params);
             assert_eq!(c.n_records(), 120);
-            c.check_min_size(k).unwrap_or_else(|e| panic!("k={k} t={t}: {e}"));
+            c.check_min_size(k)
+                .unwrap_or_else(|e| panic!("k={k} t={t}: {e}"));
         }
     }
 

@@ -23,9 +23,7 @@ fn bench_baselines(c: &mut Criterion) {
             let id = format!("{name}/t{t}");
             group.bench_with_input(BenchmarkId::from_parameter(id), &t, |b, &t| {
                 let params = Problem::params(2, t);
-                b.iter(|| {
-                    black_box(m.cluster(black_box(&p.rows), black_box(&p.conf), params))
-                });
+                b.iter(|| black_box(m.cluster(black_box(&p.rows), black_box(&p.conf), params)));
             });
         }
     }

@@ -25,9 +25,7 @@ fn bench_fig5(c: &mut Criterion) {
             let id = format!("{name}/t{t}");
             group.bench_with_input(BenchmarkId::from_parameter(id), &t, |b, &t| {
                 let params = Problem::params(2, t);
-                b.iter(|| {
-                    black_box(alg.cluster(black_box(&p.rows), black_box(&p.conf), params))
-                });
+                b.iter(|| black_box(alg.cluster(black_box(&p.rows), black_box(&p.conf), params)));
             });
         }
     }

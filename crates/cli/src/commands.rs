@@ -11,7 +11,11 @@ use tclose_microdata::csv::{read_csv_auto, write_csv};
 use tclose_microdata::{AttributeRole, Table};
 
 /// Loads a CSV with inferred types and applies role assignments.
-pub fn load_with_roles(path: &Path, qi: &[String], confidential: &[String]) -> Result<Table, String> {
+pub fn load_with_roles(
+    path: &Path,
+    qi: &[String],
+    confidential: &[String],
+) -> Result<Table, String> {
     let file = File::open(path).map_err(|e| format!("cannot open {}: {e}", path.display()))?;
     let mut table = read_csv_auto(BufReader::new(file)).map_err(|e| e.to_string())?;
     let mut roles: Vec<(&str, AttributeRole)> = Vec::new();
@@ -21,7 +25,10 @@ pub fn load_with_roles(path: &Path, qi: &[String], confidential: &[String]) -> R
     for name in confidential {
         roles.push((name.as_str(), AttributeRole::Confidential));
     }
-    table.schema_mut().set_roles(&roles).map_err(|e| e.to_string())?;
+    table
+        .schema_mut()
+        .set_roles(&roles)
+        .map_err(|e| e.to_string())?;
     Ok(table)
 }
 
@@ -97,7 +104,10 @@ pub fn cmd_anonymize(p: &Parsed) -> Result<String, String> {
         .algorithm(algorithm)
         .anonymize(&table)
         .map_err(|e| e.to_string())?;
-    save(&out.table.drop_identifiers().map_err(|e| e.to_string())?, output)?;
+    save(
+        &out.table.drop_identifiers().map_err(|e| e.to_string())?,
+        output,
+    )?;
 
     let r = &out.report;
     let mut msg = format!(
@@ -170,7 +180,10 @@ mod tests {
     #[test]
     fn algorithm_names() {
         assert_eq!(algorithm_by_name("alg1").unwrap(), Algorithm::Merge);
-        assert_eq!(algorithm_by_name("ALG3").unwrap(), Algorithm::TClosenessFirst);
+        assert_eq!(
+            algorithm_by_name("ALG3").unwrap(),
+            Algorithm::TClosenessFirst
+        );
         assert!(algorithm_by_name("mystery").is_err());
     }
 
@@ -208,11 +221,20 @@ mod tests {
 
     #[test]
     fn anonymize_validates_options() {
-        let e = cmd_anonymize(&argv("anonymize --input x.csv --output y.csv --qi a --confidential c --t 0.1")).unwrap_err();
+        let e = cmd_anonymize(&argv(
+            "anonymize --input x.csv --output y.csv --qi a --confidential c --t 0.1",
+        ))
+        .unwrap_err();
         assert!(e.contains("--k"));
-        let e = cmd_anonymize(&argv("anonymize --input x.csv --output y.csv --qi a --confidential c --k 2")).unwrap_err();
+        let e = cmd_anonymize(&argv(
+            "anonymize --input x.csv --output y.csv --qi a --confidential c --k 2",
+        ))
+        .unwrap_err();
         assert!(e.contains("--t"));
-        let e = cmd_anonymize(&argv("anonymize --input x.csv --output y.csv --confidential c --k 2 --t 0.1")).unwrap_err();
+        let e = cmd_anonymize(&argv(
+            "anonymize --input x.csv --output y.csv --confidential c --k 2 --t 0.1",
+        ))
+        .unwrap_err();
         assert!(e.contains("--qi"));
     }
 

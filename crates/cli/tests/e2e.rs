@@ -1,0 +1,128 @@
+//! End-to-end tests spawning the real `tclose` binary, driving the CSV
+//! round-trip in `tclose_microdata::csv` on the tiny fixture checked into
+//! the repository's `tests/fixtures/` directory.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn tclose(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_tclose"))
+        .args(args)
+        .output()
+        .expect("failed to spawn the tclose binary")
+}
+
+fn fixture() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/tiny.csv")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("tclose_cli_e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn help_flag_prints_usage_and_exits_zero() {
+    let out = tclose(&["--help"]);
+    assert!(out.status.success(), "--help exited {:?}", out.status);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for needle in ["usage:", "generate", "anonymize", "audit", "alg3"] {
+        assert!(
+            stdout.contains(needle),
+            "help output missing {needle:?}:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn no_arguments_also_prints_usage() {
+    let out = tclose(&[]);
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout).unwrap().contains("usage:"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage_on_stderr() {
+    let out = tclose(&["frobnicate"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown command"), "{stderr}");
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn anonymize_then_audit_round_trips_the_fixture() {
+    let released = tmp("tiny_anon.csv");
+    let fixture = fixture();
+    assert!(fixture.exists(), "fixture missing at {}", fixture.display());
+
+    let out = tclose(&[
+        "anonymize",
+        "--input",
+        fixture.to_str().unwrap(),
+        "--output",
+        released.to_str().unwrap(),
+        "--qi",
+        "age,zip",
+        "--confidential",
+        "income",
+        "--k",
+        "3",
+        "--t",
+        "0.45",
+    ]);
+    let stdout = String::from_utf8(out.stdout.clone()).unwrap();
+    let stderr = String::from_utf8(out.stderr.clone()).unwrap();
+    assert!(
+        out.status.success(),
+        "anonymize failed:\n{stdout}\n{stderr}"
+    );
+    assert!(stdout.contains("released 12 records"), "{stdout}");
+    assert!(!stdout.contains("warning"), "{stdout}");
+
+    // The released file is a well-formed CSV with the same header and row
+    // count (the microdata::csv round-trip, through the real binary).
+    let text = std::fs::read_to_string(&released).unwrap();
+    let mut lines = text.lines();
+    assert_eq!(lines.next(), Some("age,zip,income"));
+    assert_eq!(lines.count(), 12);
+
+    let out = tclose(&[
+        "audit",
+        "--input",
+        released.to_str().unwrap(),
+        "--qi",
+        "age,zip",
+        "--confidential",
+        "income",
+    ]);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(out.status.success(), "audit failed:\n{stdout}");
+    let k_line = stdout.lines().find(|l| l.contains("achieved k")).unwrap();
+    let k: usize = k_line.split_whitespace().last().unwrap().parse().unwrap();
+    assert!(k >= 3, "audited k = {k}\n{stdout}");
+}
+
+#[test]
+fn anonymize_rejects_missing_input_file() {
+    let out = tclose(&[
+        "anonymize",
+        "--input",
+        "/nonexistent/nope.csv",
+        "--output",
+        tmp("never.csv").to_str().unwrap(),
+        "--qi",
+        "age",
+        "--confidential",
+        "income",
+        "--k",
+        "2",
+        "--t",
+        "0.3",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("cannot open"));
+}

@@ -39,7 +39,10 @@ pub struct MergeAlgorithm<M = Mdav> {
 impl MergeAlgorithm<Mdav> {
     /// Algorithm 1 over MDAV with the paper's merge criterion.
     pub fn new() -> Self {
-        MergeAlgorithm { base: Mdav::new(), partner: MergePartner::NearestQi }
+        MergeAlgorithm {
+            base: Mdav::new(),
+            partner: MergePartner::NearestQi,
+        }
     }
 }
 
@@ -52,7 +55,10 @@ impl Default for MergeAlgorithm<Mdav> {
 impl<M: Microaggregator> MergeAlgorithm<M> {
     /// Algorithm 1 over a custom base microaggregation.
     pub fn with_base(base: M) -> Self {
-        MergeAlgorithm { base, partner: MergePartner::NearestQi }
+        MergeAlgorithm {
+            base,
+            partner: MergePartner::NearestQi,
+        }
     }
 
     /// Selects the merge-partner criterion (ablation hook).
@@ -212,10 +218,10 @@ mod tests {
     #[test]
     fn strict_t_on_correlated_data_forces_large_clusters() {
         let (rows, conf) = correlated_problem(60);
-        let strict = MergeAlgorithm::new()
-            .cluster(&rows, &conf, TClosenessParams::new(2, 1e-6).unwrap());
-        let loose = MergeAlgorithm::new()
-            .cluster(&rows, &conf, TClosenessParams::new(2, 0.4).unwrap());
+        let strict =
+            MergeAlgorithm::new().cluster(&rows, &conf, TClosenessParams::new(2, 1e-6).unwrap());
+        let loose =
+            MergeAlgorithm::new().cluster(&rows, &conf, TClosenessParams::new(2, 0.4).unwrap());
         assert!(
             strict.mean_size() > loose.mean_size(),
             "stricter t must force more merging: strict {} vs loose {}",
@@ -249,8 +255,7 @@ mod tests {
     fn merge_phase_is_identity_when_already_t_close() {
         let (rows, conf) = independent_problem(30);
         let base = Mdav.partition(&rows, 5);
-        let merged =
-            merge_until_t_close(&rows, &conf, 1.0, base.clone(), MergePartner::NearestQi);
+        let merged = merge_until_t_close(&rows, &conf, 1.0, base.clone(), MergePartner::NearestQi);
         assert_eq!(base, merged);
     }
 
@@ -273,11 +278,7 @@ mod tests {
     #[test]
     fn empty_input() {
         let conf = Confidential::single(OrderedEmd::new(&[1.0]));
-        let c = MergeAlgorithm::new().cluster(
-            &[],
-            &conf,
-            TClosenessParams::new(2, 0.1).unwrap(),
-        );
+        let c = MergeAlgorithm::new().cluster(&[], &conf, TClosenessParams::new(2, 0.1).unwrap());
         assert_eq!(c.n_clusters(), 0);
     }
 }

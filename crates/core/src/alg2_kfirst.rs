@@ -50,7 +50,10 @@ pub struct KAnonymityFirst {
 impl KAnonymityFirst {
     /// The paper's configuration: swap refinement + merge fallback.
     pub fn new() -> Self {
-        KAnonymityFirst { strategy: RefineStrategy::Swap, ensure_t_closeness: true }
+        KAnonymityFirst {
+            strategy: RefineStrategy::Swap,
+            ensure_t_closeness: true,
+        }
     }
 
     /// Selects the refinement strategy (ablation hook).
@@ -259,8 +262,11 @@ mod tests {
             .iter()
             .map(|c| conf.emd_of_records(c))
             .fold(0.0, f64::max);
-        let worst_plain =
-            plain.clusters().iter().map(|c| conf.emd_of_records(c)).fold(0.0, f64::max);
+        let worst_plain = plain
+            .clusters()
+            .iter()
+            .map(|c| conf.emd_of_records(c))
+            .fold(0.0, f64::max);
         assert!(
             worst_refined < worst_plain,
             "refinement should reduce the worst EMD: {worst_refined} vs {worst_plain}"

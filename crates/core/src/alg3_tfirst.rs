@@ -71,7 +71,10 @@ pub struct TClosenessFirst {
 
 impl Default for TClosenessFirst {
     fn default() -> Self {
-        TClosenessFirst { extras: ExtraPlacement::Central, verify_fallback: true }
+        TClosenessFirst {
+            extras: ExtraPlacement::Central,
+            verify_fallback: true,
+        }
     }
 }
 
@@ -85,7 +88,10 @@ impl TClosenessFirst {
     /// guarantee then only holds for effectively-distinct confidential
     /// values (ablation hook).
     pub fn unchecked() -> Self {
-        TClosenessFirst { extras: ExtraPlacement::Central, verify_fallback: false }
+        TClosenessFirst {
+            extras: ExtraPlacement::Central,
+            verify_fallback: false,
+        }
     }
 
     /// Selects the surplus placement (ablation hook).
@@ -298,7 +304,11 @@ mod tests {
             let k_eff = TClosenessFirst::effective_cluster_size(61, params);
             let c = TClosenessFirst::unchecked().cluster(&rows, &conf, params);
             assert_eq!(c.n_records(), 61);
-            assert!(c.min_size() >= k_eff, "min {} < k_eff {k_eff}", c.min_size());
+            assert!(
+                c.min_size() >= k_eff,
+                "min {} < k_eff {k_eff}",
+                c.min_size()
+            );
             assert!(c.max_size() <= k_eff + 1, "max {} > k_eff+1", c.max_size());
         }
     }
@@ -329,11 +339,20 @@ mod tests {
         // exceed t by a few percent, which the checked default would
         // merge-repair).
         let (rows, conf) = correlated(1080);
-        for (k, t, expect) in [(2usize, 0.01, 49usize), (2, 0.05, 10), (2, 0.25, 2), (10, 0.09, 10)] {
+        for (k, t, expect) in [
+            (2usize, 0.01, 49usize),
+            (2, 0.05, 10),
+            (2, 0.25, 2),
+            (10, 0.09, 10),
+        ] {
             let params = TClosenessParams::new(k, t).unwrap();
             let c = TClosenessFirst::unchecked().cluster(&rows, &conf, params);
             assert_eq!(c.min_size(), expect, "k={k} t={t}");
-            assert!(c.max_size() <= expect + 1, "k={k} t={t}: max {}", c.max_size());
+            assert!(
+                c.max_size() <= expect + 1,
+                "k={k} t={t}: max {}",
+                c.max_size()
+            );
             if 1080 % expect == 0 {
                 assert_eq!(c.max_size(), expect, "k={k} t={t}");
             }
@@ -351,7 +370,10 @@ mod tests {
         let mut central_sum = 0.0;
         let mut tail_sum = 0.0;
         let worst = |c: &Clustering, conf: &Confidential| {
-            c.clusters().iter().map(|cl| conf.emd_of_records(cl)).fold(0.0, f64::max)
+            c.clusters()
+                .iter()
+                .map(|cl| conf.emd_of_records(cl))
+                .fold(0.0, f64::max)
         };
         for n in (31..120).step_by(10) {
             let rows: Vec<Vec<f64>> = vec![vec![0.0]; n];
@@ -389,7 +411,13 @@ mod tests {
         // should not straddle the blobs more than the stratification forces.
         let n = 40;
         let rows: Vec<Vec<f64>> = (0..n)
-            .map(|i| if i % 2 == 0 { vec![0.0 + (i / 2) as f64 * 0.01] } else { vec![1000.0 + (i / 2) as f64 * 0.01] })
+            .map(|i| {
+                if i % 2 == 0 {
+                    vec![0.0 + (i / 2) as f64 * 0.01]
+                } else {
+                    vec![1000.0 + (i / 2) as f64 * 0.01]
+                }
+            })
             .collect();
         // confidential value independent of blob membership
         let conf_col: Vec<f64> = (0..n).map(|i| ((i / 2) % 10) as f64).collect();

@@ -16,7 +16,10 @@
 /// Panics unless `1 ≤ k ≤ n` and `n ≥ 2`.
 pub fn emd_lower_bound(n: usize, k: usize) -> f64 {
     assert!(n >= 2, "the bound needs at least two records");
-    assert!((1..=n).contains(&k), "cluster size must satisfy 1 <= k <= n");
+    assert!(
+        (1..=n).contains(&k),
+        "cluster size must satisfy 1 <= k <= n"
+    );
     let (nf, kf) = (n as f64, k as f64);
     (nf + kf) * (nf - kf) / (4.0 * nf * (nf - 1.0) * kf)
 }
@@ -33,7 +36,10 @@ pub fn emd_lower_bound(n: usize, k: usize) -> f64 {
 /// Panics unless `1 ≤ k ≤ n` and `n ≥ 2`.
 pub fn emd_upper_bound(n: usize, k: usize) -> f64 {
     assert!(n >= 2, "the bound needs at least two records");
-    assert!((1..=n).contains(&k), "cluster size must satisfy 1 <= k <= n");
+    assert!(
+        (1..=n).contains(&k),
+        "cluster size must satisfy 1 <= k <= n"
+    );
     let (nf, kf) = (n as f64, k as f64);
     (nf - kf) / (2.0 * (nf - 1.0) * kf)
 }

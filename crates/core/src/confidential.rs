@@ -43,10 +43,22 @@ impl Confidential {
             let attr = table.schema().attribute(a)?;
             match attr.kind {
                 AttributeKind::Numeric => {
-                    emds.push(OrderedEmd::new(table.numeric_column(a)?));
+                    emds.push(OrderedEmd::try_new(table.numeric_column(a)?).map_err(|e| {
+                        Error::UnsupportedData(format!(
+                            "confidential attribute {:?}: {e}",
+                            attr.name
+                        ))
+                    })?);
                 }
                 AttributeKind::OrdinalCategorical => {
-                    emds.push(OrderedEmd::from_codes(table.categorical_column(a)?));
+                    emds.push(
+                        OrderedEmd::try_from_codes(table.categorical_column(a)?).map_err(|e| {
+                            Error::UnsupportedData(format!(
+                                "confidential attribute {:?}: {e}",
+                                attr.name
+                            ))
+                        })?,
+                    );
                 }
                 AttributeKind::NominalCategorical => {
                     return Err(Error::UnsupportedData(format!(
@@ -57,13 +69,19 @@ impl Confidential {
                 }
             }
         }
-        Ok(Confidential { n: table.n_rows(), emds })
+        Ok(Confidential {
+            n: table.n_rows(),
+            emds,
+        })
     }
 
     /// Model over a single pre-fitted evaluator (handy in tests and when the
     /// caller works with raw columns).
     pub fn single(emd: OrderedEmd) -> Self {
-        Confidential { n: emd.n(), emds: vec![emd] }
+        Confidential {
+            n: emd.n(),
+            emds: vec![emd],
+        }
     }
 
     /// Number of records of the fitting table.

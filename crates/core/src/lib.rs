@@ -62,8 +62,8 @@ pub mod confidential;
 pub mod error;
 pub mod models;
 pub mod params;
-mod pool;
 pub mod pipeline;
+mod pool;
 pub mod verify;
 
 pub use alg1_merge::MergeAlgorithm;
@@ -71,9 +71,9 @@ pub use alg2_kfirst::{KAnonymityFirst, RefineStrategy};
 pub use alg3_tfirst::TClosenessFirst;
 pub use confidential::Confidential;
 pub use error::{Error, Result};
-pub use params::TClosenessParams;
-pub use pipeline::{Algorithm, Anonymized, AnonymizationReport, Anonymizer};
 pub use models::{verify_l_diversity, verify_p_sensitive};
+pub use params::TClosenessParams;
+pub use pipeline::{Algorithm, AnonymizationReport, Anonymized, Anonymizer};
 pub use verify::{equivalence_classes, verify_k_anonymity, verify_t_closeness};
 
 /// A t-closeness-aware clustering algorithm over normalized QI vectors.

@@ -116,7 +116,8 @@ mod tests {
         .unwrap();
         let mut t = Table::new(schema);
         for code in [0u32, 1, 1, 2] {
-            t.push_row(&[Value::Number(1.0), Value::Category(code)]).unwrap();
+            t.push_row(&[Value::Number(1.0), Value::Category(code)])
+                .unwrap();
         }
         assert_eq!(verify_l_diversity(&t).unwrap(), 3);
     }
@@ -145,16 +146,16 @@ mod tests {
             .unwrap();
         let l = verify_l_diversity(&out.table).unwrap();
         // k'(0.05) = ⌈120/12.9⌉ = 10 distinct-valued strata → ≥ 10 values
-        assert!(l >= 10, "strict t-closeness produced only {l}-diverse classes");
+        assert!(
+            l >= 10,
+            "strict t-closeness produced only {l}-diverse classes"
+        );
     }
 
     #[test]
     fn diversity_does_not_imply_t_closeness() {
         // Two distinct extreme values per class: 2-diverse, terrible EMD.
-        let t = release(&[
-            (1.0, &[0.0, 1.0]),
-            (2.0, &[999.0, 1000.0]),
-        ]);
+        let t = release(&[(1.0, &[0.0, 1.0]), (2.0, &[999.0, 1000.0])]);
         assert_eq!(verify_l_diversity(&t).unwrap(), 2);
         let conf = crate::Confidential::from_table(&t).unwrap();
         let achieved_t = crate::verify::verify_t_closeness(&t, &conf).unwrap();

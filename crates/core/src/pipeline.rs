@@ -138,7 +138,12 @@ impl Anonymizer {
     /// An anonymizer for the given `(k, t)` pair, defaulting to the paper's
     /// best algorithm (t-closeness-first) and z-score QI normalization.
     pub fn new(k: usize, t: f64) -> Self {
-        Anonymizer { k, t, algorithm: Algorithm::TClosenessFirst, normalize: NormalizeMethod::ZScore }
+        Anonymizer {
+            k,
+            t,
+            algorithm: Algorithm::TClosenessFirst,
+            normalize: NormalizeMethod::ZScore,
+        }
     }
 
     /// Selects the algorithm.
@@ -198,7 +203,11 @@ impl Anonymizer {
             sse,
             clustering_time,
         };
-        Ok(Anonymized { table: released, clustering, report })
+        Ok(Anonymized {
+            table: released,
+            clustering,
+            report,
+        })
     }
 
     fn run_clusterer(
@@ -215,18 +224,14 @@ impl Anonymizer {
             Algorithm::MergeComplementary => MergeAlgorithm::new()
                 .with_partner(MergePartner::ComplementaryEmd)
                 .cluster(rows, conf, params),
-            Algorithm::KAnonymityFirst => {
-                KAnonymityFirst::new().cluster(rows, conf, params)
-            }
+            Algorithm::KAnonymityFirst => KAnonymityFirst::new().cluster(rows, conf, params),
             Algorithm::KAnonymityFirstNoFallback => KAnonymityFirst::new()
                 .with_merge_fallback(false)
                 .cluster(rows, conf, params),
             Algorithm::KAnonymityFirstAdd => KAnonymityFirst::new()
                 .with_strategy(RefineStrategy::Add)
                 .cluster(rows, conf, params),
-            Algorithm::TClosenessFirst => {
-                TClosenessFirst::new().cluster(rows, conf, params)
-            }
+            Algorithm::TClosenessFirst => TClosenessFirst::new().cluster(rows, conf, params),
             Algorithm::TClosenessFirstTail => TClosenessFirst::new()
                 .with_extras(ExtraPlacement::Tail)
                 .cluster(rows, conf, params),
@@ -249,9 +254,11 @@ pub fn qi_matrix(table: &Table, qi: &[usize], method: NormalizeMethod) -> Result
         let attr = table.schema().attribute(a)?;
         let raw: Vec<f64> = match attr.kind {
             AttributeKind::Numeric => table.numeric_column(a)?.to_vec(),
-            AttributeKind::OrdinalCategorical => {
-                table.categorical_column(a)?.iter().map(|&c| c as f64).collect()
-            }
+            AttributeKind::OrdinalCategorical => table
+                .categorical_column(a)?
+                .iter()
+                .map(|&c| c as f64)
+                .collect(),
             AttributeKind::NominalCategorical => {
                 return Err(Error::UnsupportedData(format!(
                     "quasi-identifier {:?} is nominal; microaggregation needs a metric \
@@ -320,7 +327,10 @@ mod tests {
             Algorithm::TClosenessFirst,
             Algorithm::TClosenessFirstTail,
         ] {
-            let out = Anonymizer::new(3, 0.2).algorithm(alg).anonymize(&table).unwrap();
+            let out = Anonymizer::new(3, 0.2)
+                .algorithm(alg)
+                .anonymize(&table)
+                .unwrap();
             assert_eq!(out.table.n_rows(), 60);
             assert!(
                 out.report.min_cluster_size >= 3,
@@ -340,8 +350,15 @@ mod tests {
     #[test]
     fn guaranteeing_algorithms_achieve_t() {
         let table = demo_table(60);
-        for alg in [Algorithm::Merge, Algorithm::KAnonymityFirst, Algorithm::TClosenessFirst] {
-            let out = Anonymizer::new(2, 0.15).algorithm(alg).anonymize(&table).unwrap();
+        for alg in [
+            Algorithm::Merge,
+            Algorithm::KAnonymityFirst,
+            Algorithm::TClosenessFirst,
+        ] {
+            let out = Anonymizer::new(2, 0.15)
+                .algorithm(alg)
+                .anonymize(&table)
+                .unwrap();
             assert!(
                 out.report.max_emd <= 0.15 + 1e-9,
                 "{}: achieved t {}",
@@ -358,7 +375,10 @@ mod tests {
         let out = Anonymizer::new(4, 0.25).anonymize(&table).unwrap();
         // re-audit independently
         let conf = Confidential::from_table(&table).unwrap();
-        assert_eq!(verify_k_anonymity(&out.table).unwrap(), out.report.min_cluster_size);
+        assert_eq!(
+            verify_k_anonymity(&out.table).unwrap(),
+            out.report.min_cluster_size
+        );
         let t = verify_t_closeness(&out.table, &conf).unwrap();
         assert!((t - out.report.max_emd).abs() < 1e-12);
     }
@@ -398,8 +418,12 @@ mod tests {
         ])
         .unwrap();
         let mut nominal_qi = Table::new(schema);
-        nominal_qi.push_row(&[Value::Category(0), Value::Number(1.0)]).unwrap();
-        nominal_qi.push_row(&[Value::Category(1), Value::Number(2.0)]).unwrap();
+        nominal_qi
+            .push_row(&[Value::Category(0), Value::Number(1.0)])
+            .unwrap();
+        nominal_qi
+            .push_row(&[Value::Category(1), Value::Number(2.0)])
+            .unwrap();
         assert!(matches!(
             Anonymizer::new(2, 0.5).anonymize(&nominal_qi),
             Err(Error::UnsupportedData(_))
@@ -419,7 +443,8 @@ mod tests {
         .unwrap();
         let mut t = Table::new(schema);
         for i in 0..16u32 {
-            t.push_row(&[Value::Category(i % 4), Value::Number((i % 8) as f64)]).unwrap();
+            t.push_row(&[Value::Category(i % 4), Value::Number((i % 8) as f64)])
+                .unwrap();
         }
         let out = Anonymizer::new(2, 0.3).anonymize(&t).unwrap();
         assert!(out.report.min_cluster_size >= 2);
@@ -436,8 +461,15 @@ mod tests {
     #[test]
     fn normalization_options_run() {
         let table = demo_table(30);
-        for m in [NormalizeMethod::ZScore, NormalizeMethod::MinMax, NormalizeMethod::None] {
-            let out = Anonymizer::new(3, 0.3).normalization(m).anonymize(&table).unwrap();
+        for m in [
+            NormalizeMethod::ZScore,
+            NormalizeMethod::MinMax,
+            NormalizeMethod::None,
+        ] {
+            let out = Anonymizer::new(3, 0.3)
+                .normalization(m)
+                .anonymize(&table)
+                .unwrap();
             assert!(out.report.min_cluster_size >= 3);
         }
     }

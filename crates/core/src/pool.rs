@@ -17,7 +17,10 @@ pub(crate) struct IndexPool {
 impl IndexPool {
     /// Pool containing `0..n`.
     pub fn full(n: usize) -> Self {
-        IndexPool { items: (0..n).collect(), pos: (0..n).collect() }
+        IndexPool {
+            items: (0..n).collect(),
+            pos: (0..n).collect(),
+        }
     }
 
     /// The live indices (unspecified order).
@@ -60,7 +63,10 @@ impl IndexPool {
     /// # Panics
     /// Panics if `r` is already in the pool.
     pub fn insert(&mut self, r: usize) {
-        assert!(self.pos[r] == usize::MAX, "record {r} is already in the pool");
+        assert!(
+            self.pos[r] == usize::MAX,
+            "record {r} is already in the pool"
+        );
         self.pos[r] = self.items.len();
         self.items.push(r);
     }

@@ -99,8 +99,12 @@ mod tests {
             (40.0, 1, 10.0),
             (40.0, 1, 30.0),
         ] {
-            t.push_row(&[Value::Number(age), Value::Category(city), Value::Number(wage)])
-                .unwrap();
+            t.push_row(&[
+                Value::Number(age),
+                Value::Category(city),
+                Value::Number(wage),
+            ])
+            .unwrap();
         }
         t
     }
@@ -127,7 +131,8 @@ mod tests {
         .unwrap();
         let mut t = Table::new(schema);
         for i in 0..4 {
-            t.push_row(&[Value::Number(i as f64), Value::Number(0.0)]).unwrap();
+            t.push_row(&[Value::Number(i as f64), Value::Number(0.0)])
+                .unwrap();
         }
         assert_eq!(verify_k_anonymity(&t).unwrap(), 1);
     }
@@ -142,6 +147,94 @@ mod tests {
             .max(conf.emd_of_records(&[3, 4]));
         assert!((audit - manual).abs() < 1e-12);
         assert!(audit > 0.0);
+    }
+
+    #[test]
+    fn t_closeness_is_zero_when_every_class_mirrors_the_population() {
+        // Both classes carry the same {10, 30} confidential distribution as
+        // the population, so the audited t must be exactly 0.
+        let schema = Schema::new(vec![
+            AttributeDef::numeric("age", AttributeRole::QuasiIdentifier),
+            AttributeDef::numeric("wage", AttributeRole::Confidential),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema);
+        for (age, wage) in [(30.0, 10.0), (30.0, 30.0), (40.0, 10.0), (40.0, 30.0)] {
+            t.push_row(&[Value::Number(age), Value::Number(wage)])
+                .unwrap();
+        }
+        let conf = Confidential::from_table(&t).unwrap();
+        assert!(verify_t_closeness(&t, &conf).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn t_closeness_flags_a_concentrated_class() {
+        // One class holds only the lowest confidential value, the other only
+        // the highest: each is maximally far from the 50/50 population, so
+        // the audit must report the singleton-vs-population EMD (here 0.5).
+        let schema = Schema::new(vec![
+            AttributeDef::numeric("age", AttributeRole::QuasiIdentifier),
+            AttributeDef::numeric("wage", AttributeRole::Confidential),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema);
+        for (age, wage) in [(30.0, 10.0), (30.0, 10.0), (40.0, 30.0), (40.0, 30.0)] {
+            t.push_row(&[Value::Number(age), Value::Number(wage)])
+                .unwrap();
+        }
+        let conf = Confidential::from_table(&t).unwrap();
+        let audited = verify_t_closeness(&t, &conf).unwrap();
+        // m = 2 bins; a pure class vs the 50/50 global: |1 - 0.5| = 0.5.
+        assert!((audited - 0.5).abs() < 1e-12, "audited t = {audited}");
+    }
+
+    #[test]
+    fn t_closeness_reports_the_worst_class() {
+        // The large class {0..3} spans the whole wage range; the small class
+        // {4, 5} holds only the top value and must dominate the audit.
+        // (Classes of *equal* size that partition the table always tie —
+        // their deviations from the population are mirror images.)
+        let schema = Schema::new(vec![
+            AttributeDef::numeric("age", AttributeRole::QuasiIdentifier),
+            AttributeDef::numeric("wage", AttributeRole::Confidential),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema);
+        for (age, wage) in [
+            (30.0, 10.0),
+            (30.0, 20.0),
+            (30.0, 30.0),
+            (30.0, 40.0),
+            (40.0, 40.0),
+            (40.0, 40.0),
+        ] {
+            t.push_row(&[Value::Number(age), Value::Number(wage)])
+                .unwrap();
+        }
+        let conf = Confidential::from_table(&t).unwrap();
+        let audited = verify_t_closeness(&t, &conf).unwrap();
+        let worst = conf.emd_of_records(&[4, 5]);
+        let mild = conf.emd_of_records(&[0, 1, 2, 3]);
+        assert!(mild < worst);
+        assert!((audited - worst).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_category_confidential_is_trivially_t_close() {
+        // A constant confidential column reveals nothing: t must audit to 0
+        // regardless of how the classes slice the table.
+        let schema = Schema::new(vec![
+            AttributeDef::numeric("age", AttributeRole::QuasiIdentifier),
+            AttributeDef::numeric("wage", AttributeRole::Confidential),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema);
+        for age in [30.0, 30.0, 40.0, 50.0] {
+            t.push_row(&[Value::Number(age), Value::Number(7.0)])
+                .unwrap();
+        }
+        let conf = Confidential::from_table(&t).unwrap();
+        assert_eq!(verify_t_closeness(&t, &conf).unwrap(), 0.0);
     }
 
     #[test]

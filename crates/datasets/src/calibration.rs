@@ -58,11 +58,7 @@ pub fn multiple_correlation(y: &[f64], xs: &[&[f64]]) -> f64 {
 
     // ŷ on centered predictors, then correlate with y.
     let yhat: Vec<f64> = (0..n)
-        .map(|r| {
-            (0..p)
-                .map(|i| beta[i] * (xs[i][r] - mx[i]))
-                .sum::<f64>()
-        })
+        .map(|r| (0..p).map(|i| beta[i] * (xs[i][r] - mx[i])).sum::<f64>())
         .collect();
     correlation(y, &yhat).abs()
 }
@@ -74,7 +70,12 @@ fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
     for col in 0..p {
         // pivot
         let pivot = (col..p)
-            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite"))
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .expect("finite")
+            })
             .expect("non-empty");
         a.swap(col, pivot);
         b.swap(col, pivot);
@@ -97,7 +98,11 @@ fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
         for (k, xk) in x.iter().enumerate().take(p).skip(col + 1) {
             acc -= a[col][k] * xk;
         }
-        x[col] = if a[col][col].abs() < 1e-30 { 0.0 } else { acc / a[col][col] };
+        x[col] = if a[col][col].abs() < 1e-30 {
+            0.0
+        } else {
+            acc / a[col][col]
+        };
     }
     x
 }
@@ -119,7 +124,11 @@ mod tests {
     fn perfect_linear_combination_gives_one() {
         let x1 = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
         let x2 = [0.0, 1.0, 0.0, 1.0, 0.0, 1.0];
-        let y: Vec<f64> = x1.iter().zip(&x2).map(|(a, b)| 2.0 * a - 3.0 * b + 7.0).collect();
+        let y: Vec<f64> = x1
+            .iter()
+            .zip(&x2)
+            .map(|(a, b)| 2.0 * a - 3.0 * b + 7.0)
+            .collect();
         let r = multiple_correlation(&y, &[&x1, &x2]);
         assert!(r > 1.0 - 1e-9, "R = {r}");
     }

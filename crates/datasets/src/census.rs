@@ -21,9 +21,9 @@
 //! tests).
 
 use crate::synthetic::{factor_mix, income_marginal, normal_vec, numeric_table, round_to};
-use tclose_microdata::stats;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use tclose_microdata::stats;
 use tclose_microdata::{AttributeRole, Table};
 
 /// Number of records in the Census data set (as in the paper).
@@ -136,8 +136,14 @@ pub fn census_tied(seed: u64) -> Table {
     let fica: Vec<f64> = fica.iter().map(|&v| v.min(cap)).collect();
     let fica = round_to(&fica, 50.0);
 
-    let taxinc = t.numeric_column_by_name("TAXINC").expect("census schema").to_vec();
-    let pothval = t.numeric_column_by_name("POTHVAL").expect("census schema").to_vec();
+    let taxinc = t
+        .numeric_column_by_name("TAXINC")
+        .expect("census schema")
+        .to_vec();
+    let pothval = t
+        .numeric_column_by_name("POTHVAL")
+        .expect("census schema")
+        .to_vec();
     numeric_table(
         &["TAXINC", "POTHVAL", "FEDTAX", "FICA"],
         vec![taxinc, pothval, fed, fica],
@@ -189,7 +195,10 @@ mod tests {
         let qi2 = t.numeric_column_by_name("POTHVAL").unwrap();
         let conf = t.numeric_column_by_name("FEDTAX").unwrap();
         let r = multiple_correlation(conf, &[qi1, qi2]);
-        assert!((r - 0.52).abs() < 0.08, "MCD multiple correlation {r}, want ≈0.52");
+        assert!(
+            (r - 0.52).abs() < 0.08,
+            "MCD multiple correlation {r}, want ≈0.52"
+        );
     }
 
     #[test]
@@ -199,7 +208,10 @@ mod tests {
         let qi2 = t.numeric_column_by_name("POTHVAL").unwrap();
         let conf = t.numeric_column_by_name("FICA").unwrap();
         let r = multiple_correlation(conf, &[qi1, qi2]);
-        assert!((r - 0.92).abs() < 0.05, "HCD multiple correlation {r}, want ≈0.92");
+        assert!(
+            (r - 0.92).abs() < 0.05,
+            "HCD multiple correlation {r}, want ≈0.92"
+        );
     }
 
     #[test]

@@ -29,5 +29,7 @@ pub mod patient;
 pub mod synthetic;
 
 pub use calibration::multiple_correlation;
-pub use census::{census_hcd, census_mcd, census_table, census_tied_hcd, census_tied_mcd, CENSUS_N};
+pub use census::{
+    census_hcd, census_mcd, census_table, census_tied_hcd, census_tied_mcd, CENSUS_N,
+};
 pub use patient::{patient_discharge, PATIENT_N};

@@ -80,8 +80,26 @@ pub fn patient_discharge(seed: u64, n: usize) -> Table {
     let charge = round_to(&charge, 100.0);
 
     numeric_table(
-        &["AGE", "ZIP", "ADMISSION_DAY", "SEX", "STAY_DAYS", "SEVERITY", "PAYER", "CHARGE"],
-        vec![age, zip, admission_day, sex, stay_days, severity, payer, charge],
+        &[
+            "AGE",
+            "ZIP",
+            "ADMISSION_DAY",
+            "SEX",
+            "STAY_DAYS",
+            "SEVERITY",
+            "PAYER",
+            "CHARGE",
+        ],
+        vec![
+            age,
+            zip,
+            admission_day,
+            sex,
+            stay_days,
+            severity,
+            payer,
+            charge,
+        ],
         7,
     )
 }
@@ -106,7 +124,10 @@ mod tests {
         let conf = t.numeric_column(7).unwrap();
         let qis: Vec<&[f64]> = (0..7).map(|c| t.numeric_column(c).unwrap()).collect();
         let r = multiple_correlation(conf, &qis);
-        assert!((r - 0.129).abs() < 0.05, "multiple correlation {r}, want ≈0.129");
+        assert!(
+            (r - 0.129).abs() < 0.05,
+            "multiple correlation {r}, want ≈0.129"
+        );
     }
 
     #[test]

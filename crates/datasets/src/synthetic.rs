@@ -41,14 +41,19 @@ pub fn factor_mix(factor: &[f64], noise: &[f64], loading: f64) -> Vec<f64> {
 /// `sigma` moderate (≤ 0.5) preserves most of the latent Pearson
 /// correlation structure.
 pub fn income_marginal(z: &[f64], scale: f64, sigma: f64, shift: f64) -> Vec<f64> {
-    z.iter().map(|&v| scale * (sigma * v).exp() + shift).collect()
+    z.iter()
+        .map(|&v| scale * (sigma * v).exp() + shift)
+        .collect()
 }
 
 /// Rounds values to a granularity (e.g. charges to $100). Rounding bounds
 /// the number of distinct values, which bounds the EMD histogram size.
 pub fn round_to(values: &[f64], granularity: f64) -> Vec<f64> {
     assert!(granularity > 0.0);
-    values.iter().map(|v| (v / granularity).round() * granularity).collect()
+    values
+        .iter()
+        .map(|v| (v / granularity).round() * granularity)
+        .collect()
 }
 
 /// Builds an all-numeric table from named columns, with the first

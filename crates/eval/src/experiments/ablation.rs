@@ -37,10 +37,22 @@ pub fn ablation_variants() -> Vec<(&'static str, &'static str, Algorithm)> {
         ("refine", "swap (paper)", Algorithm::KAnonymityFirst),
         ("refine", "add", Algorithm::KAnonymityFirstAdd),
         ("merge-partner", "QI-nearest (paper)", Algorithm::Merge),
-        ("merge-partner", "EMD-complementary", Algorithm::MergeComplementary),
+        (
+            "merge-partner",
+            "EMD-complementary",
+            Algorithm::MergeComplementary,
+        ),
         ("base-microagg", "MDAV (paper)", Algorithm::Merge),
-        ("base-microagg", "V-MDAV γ=0.2", Algorithm::MergeVMdav { gamma: 0.2 }),
-        ("base-microagg", "V-MDAV γ=1.1", Algorithm::MergeVMdav { gamma: 1.1 }),
+        (
+            "base-microagg",
+            "V-MDAV γ=0.2",
+            Algorithm::MergeVMdav { gamma: 0.2 },
+        ),
+        (
+            "base-microagg",
+            "V-MDAV γ=1.1",
+            Algorithm::MergeVMdav { gamma: 1.1 },
+        ),
         ("extras", "central (paper)", Algorithm::TClosenessFirst),
         ("extras", "tail", Algorithm::TClosenessFirstTail),
     ]
@@ -124,7 +136,11 @@ mod tests {
         let t = small_hcd(120);
         let cells = ablation_cells(&t, 2, &[0.25]);
         let size_of = |variant: &str| {
-            cells.iter().find(|c| c.variant == variant).unwrap().mean_size
+            cells
+                .iter()
+                .find(|c| c.variant == variant)
+                .unwrap()
+                .mean_size
         };
         assert!(
             size_of("swap (paper)") <= size_of("add") + 1e-9,
@@ -136,7 +152,11 @@ mod tests {
 
     #[test]
     fn grid_lists_every_variant() {
-        let ctx = Context { seed: 9, patient_n: 100, quick: true };
+        let ctx = Context {
+            seed: 9,
+            patient_n: 100,
+            quick: true,
+        };
         let g = ablation_grid(&ctx, Dataset::Mcd);
         assert_eq!(g.rows.len(), ablation_variants().len());
     }

@@ -32,12 +32,7 @@ pub struct BaselineCell {
 }
 
 /// Runs one generalization baseline end to end.
-fn run_baseline(
-    table: &Table,
-    clusterer: &dyn TCloseClusterer,
-    k: usize,
-    t: f64,
-) -> BaselineCell {
+fn run_baseline(table: &Table, clusterer: &dyn TCloseClusterer, k: usize, t: f64) -> BaselineCell {
     let qi = table.schema().quasi_identifiers();
     let rows = qi_matrix(table, &qi, NormalizeMethod::ZScore).expect("metric QI space");
     let conf = Confidential::from_table(table).expect("confidential attribute present");
@@ -69,7 +64,11 @@ pub fn baseline_cells(table: &Table, k: usize, ts: &[f64]) -> Vec<BaselineCell> 
     }
     let mut jobs = Vec::new();
     for &t in ts {
-        for alg in [Algorithm::Merge, Algorithm::KAnonymityFirst, Algorithm::TClosenessFirst] {
+        for alg in [
+            Algorithm::Merge,
+            Algorithm::KAnonymityFirst,
+            Algorithm::TClosenessFirst,
+        ] {
             jobs.push(Job::Core(alg, t));
         }
         jobs.push(Job::Mondrian(t));
@@ -154,7 +153,12 @@ mod tests {
         let cells = baseline_cells(&t, 2, &[0.2]);
         for c in &cells {
             if c.method == "Mondrian-t" || c.method == "Alg3-tfirst" || c.method == "Alg1-merge" {
-                assert!(c.achieved_t <= 0.2 + 1e-9, "{}: achieved {}", c.method, c.achieved_t);
+                assert!(
+                    c.achieved_t <= 0.2 + 1e-9,
+                    "{}: achieved {}",
+                    c.method,
+                    c.achieved_t
+                );
             }
         }
     }
@@ -167,7 +171,11 @@ mod tests {
         let t = small_mcd(120);
         let cells = baseline_cells(&t, 2, &[0.1, 0.2]);
         let total = |name: &str| -> f64 {
-            cells.iter().filter(|c| c.method == name).map(|c| c.sse).sum()
+            cells
+                .iter()
+                .filter(|c| c.method == name)
+                .map(|c| c.sse)
+                .sum()
         };
         let best_micro = total("Alg3-tfirst");
         let mondrian = total("Mondrian-t");

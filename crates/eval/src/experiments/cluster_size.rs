@@ -30,7 +30,12 @@ pub fn size_cells(table: &Table, alg: Algorithm, ks: &[usize], ts: &[f64]) -> Ve
         .collect();
     parallel_map(cells, |&(k, t)| {
         let r = run_cell(table, alg, k, t);
-        SizeCell { k, t, min_size: r.min_cluster_size, avg_size: r.mean_cluster_size }
+        SizeCell {
+            k,
+            t,
+            min_size: r.min_cluster_size,
+            avg_size: r.mean_cluster_size,
+        }
     })
 }
 
@@ -110,7 +115,11 @@ mod tests {
 
     #[test]
     fn grid_renders_paper_layout() {
-        let ctx = Context { seed: 3, patient_n: 200, quick: true };
+        let ctx = Context {
+            seed: 3,
+            patient_n: 200,
+            quick: true,
+        };
         // use the real (small) ctx grids but a cheap algorithm/dataset combo
         let g = size_grid(&ctx, Algorithm::TClosenessFirst, Dataset::Mcd);
         assert!(g.title.contains("Table 3"));

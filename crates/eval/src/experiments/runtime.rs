@@ -21,7 +21,11 @@ pub struct RuntimeCell {
 
 /// The three algorithms of Figure 5.
 pub fn fig5_algorithms() -> [Algorithm; 3] {
-    [Algorithm::Merge, Algorithm::KAnonymityFirst, Algorithm::TClosenessFirst]
+    [
+        Algorithm::Merge,
+        Algorithm::KAnonymityFirst,
+        Algorithm::TClosenessFirst,
+    ]
 }
 
 /// Raw runtime sweep: every algorithm × every t at fixed `k`.
@@ -85,14 +89,17 @@ mod tests {
         let cells = runtime_cells(&t, 2, &[0.1, 0.25]);
         assert_eq!(cells.len(), 6); // 3 algorithms × 2 t values
         assert!(cells.iter().all(|c| c.seconds >= 0.0));
-        let names: std::collections::HashSet<&str> =
-            cells.iter().map(|c| c.algorithm).collect();
+        let names: std::collections::HashSet<&str> = cells.iter().map(|c| c.algorithm).collect();
         assert_eq!(names.len(), 3);
     }
 
     #[test]
     fn fig5_grid_has_three_algorithm_rows() {
-        let ctx = Context { seed: 5, patient_n: 150, quick: true };
+        let ctx = Context {
+            seed: 5,
+            patient_n: 150,
+            quick: true,
+        };
         let g = fig5_grid(&ctx);
         assert_eq!(g.rows.len(), 3);
         assert!(g.title.contains("n=150"));

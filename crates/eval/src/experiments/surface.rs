@@ -90,7 +90,11 @@ mod tests {
 
     #[test]
     fn fig7_grid_shape() {
-        let ctx = Context { seed: 8, patient_n: 100, quick: true };
+        let ctx = Context {
+            seed: 8,
+            patient_n: 100,
+            quick: true,
+        };
         let g = fig7_grid(&ctx, Algorithm::TClosenessFirst);
         assert_eq!(g.rows.len(), ctx.k_grid().len());
         assert!(g.title.contains("Alg3"));

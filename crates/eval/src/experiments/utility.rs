@@ -29,7 +29,11 @@ pub fn sse_cells(table: &Table, k: usize, ts: &[f64]) -> Vec<SseCell> {
         .collect();
     parallel_map(jobs, |&(alg, t)| {
         let r = run_cell(table, alg, k, t);
-        SseCell { algorithm: alg.name(), t, sse: r.sse }
+        SseCell {
+            algorithm: alg.name(),
+            t,
+            sse: r.sse,
+        }
     })
 }
 
@@ -87,7 +91,11 @@ mod tests {
         let t = small_mcd(120);
         let cells = sse_cells(&t, 2, &[0.05, 0.1, 0.2]);
         let total = |name: &str| -> f64 {
-            cells.iter().filter(|c| c.algorithm == name).map(|c| c.sse).sum()
+            cells
+                .iter()
+                .filter(|c| c.algorithm == name)
+                .map(|c| c.sse)
+                .sum()
         };
         let alg1 = total("Alg1-merge");
         let alg3 = total("Alg3-tfirst");
@@ -99,7 +107,11 @@ mod tests {
 
     #[test]
     fn fig6_grid_shape() {
-        let ctx = Context { seed: 6, patient_n: 120, quick: true };
+        let ctx = Context {
+            seed: 6,
+            patient_n: 120,
+            quick: true,
+        };
         let g = fig6_grid(&ctx, Dataset::Patient);
         assert_eq!(g.rows.len(), 3);
         assert!(g.title.contains("Patient"));

@@ -32,7 +32,9 @@ pub mod experiments;
 pub mod render;
 pub mod runner;
 
-use tclose_datasets::{census_hcd, census_mcd, census_tied_hcd, census_tied_mcd, patient_discharge};
+use tclose_datasets::{
+    census_hcd, census_mcd, census_tied_hcd, census_tied_mcd, patient_discharge,
+};
 use tclose_microdata::Table;
 
 /// Shared configuration for all experiments.
@@ -48,14 +50,22 @@ pub struct Context {
 
 impl Default for Context {
     fn default() -> Self {
-        Context { seed: 42, patient_n: 2_000, quick: true }
+        Context {
+            seed: 42,
+            patient_n: 2_000,
+            quick: true,
+        }
     }
 }
 
 impl Context {
     /// The paper's full-scale configuration.
     pub fn full() -> Self {
-        Context { seed: 42, patient_n: tclose_datasets::PATIENT_N, quick: false }
+        Context {
+            seed: 42,
+            patient_n: tclose_datasets::PATIENT_N,
+            quick: false,
+        }
     }
 
     /// The paper's k grid for Tables 1–3.
@@ -130,7 +140,11 @@ mod tests {
 
     #[test]
     fn datasets_materialize() {
-        let ctx = Context { seed: 1, patient_n: 300, quick: true };
+        let ctx = Context {
+            seed: 1,
+            patient_n: 300,
+            quick: true,
+        };
         assert_eq!(Dataset::Mcd.table(&ctx).n_rows(), 1080);
         assert_eq!(Dataset::Hcd.table(&ctx).n_rows(), 1080);
         assert_eq!(Dataset::Patient.table(&ctx).n_rows(), 300);

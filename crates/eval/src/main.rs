@@ -39,7 +39,9 @@ fn parse_args() -> Result<Args, String> {
     while i < argv.len() {
         let take_value = |i: &mut usize| -> Result<String, String> {
             *i += 1;
-            argv.get(*i).cloned().ok_or_else(|| format!("{} needs a value", argv[*i - 1]))
+            argv.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{} needs a value", argv[*i - 1]))
         };
         match argv[i].as_str() {
             "--exp" => {
@@ -75,7 +77,11 @@ fn parse_args() -> Result<Args, String> {
     if let Some(n) = patient_override {
         ctx.patient_n = n;
     }
-    Ok(Args { experiments, ctx, out })
+    Ok(Args {
+        experiments,
+        ctx,
+        out,
+    })
 }
 
 const HELP: &str = "repro — regenerate the paper's tables and figures
@@ -95,6 +101,19 @@ fn wants(experiments: &[String], name: &str) -> bool {
     experiments.iter().any(|e| e == name || e == "all")
 }
 
+/// Every experiment slug `main` dispatches on.
+const KNOWN_EXPERIMENTS: &[&str] = &[
+    "table1",
+    "table2",
+    "table3",
+    "fig5",
+    "fig6",
+    "fig7",
+    "baselines",
+    "ablation",
+    "all",
+];
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -103,6 +122,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if args.experiments.is_empty() {
+        eprintln!("error: --exp lists no experiments\n{HELP}");
+        return ExitCode::FAILURE;
+    }
+    if let Some(unknown) = args
+        .experiments
+        .iter()
+        .find(|e| !KNOWN_EXPERIMENTS.contains(&e.as_str()))
+    {
+        eprintln!("error: unknown experiment {unknown:?}\n{HELP}");
+        return ExitCode::FAILURE;
+    }
     let ctx = args.ctx;
     eprintln!(
         "# repro: seed={} patient_n={} mode={}",
@@ -121,9 +152,18 @@ fn main() -> ExitCode {
             // Both the distinct-valued data (exercises Table 3's exact
             // construction) and the tie-structured variant (matches the
             // original file's cluster-size gradient; see EXPERIMENTS.md).
-            for ds in [Dataset::Mcd, Dataset::Hcd, Dataset::TiedMcd, Dataset::TiedHcd] {
+            for ds in [
+                Dataset::Mcd,
+                Dataset::Hcd,
+                Dataset::TiedMcd,
+                Dataset::TiedHcd,
+            ] {
                 let grid = cluster_size::size_grid(&ctx, alg, ds);
-                emit(grid, &format!("{slug}_{}", ds.name().to_lowercase()), &args.out);
+                emit(
+                    grid,
+                    &format!("{slug}_{}", ds.name().to_lowercase()),
+                    &args.out,
+                );
             }
         }
     }
@@ -135,12 +175,20 @@ fn main() -> ExitCode {
     if wants(&args.experiments, "fig6") {
         for ds in [Dataset::Hcd, Dataset::Mcd, Dataset::Patient] {
             let grid = utility::fig6_grid(&ctx, ds);
-            emit(grid, &format!("fig6_sse_{}", ds.name().to_lowercase()), &args.out);
+            emit(
+                grid,
+                &format!("fig6_sse_{}", ds.name().to_lowercase()),
+                &args.out,
+            );
         }
     }
 
     if wants(&args.experiments, "fig7") {
-        for alg in [Algorithm::Merge, Algorithm::KAnonymityFirst, Algorithm::TClosenessFirst] {
+        for alg in [
+            Algorithm::Merge,
+            Algorithm::KAnonymityFirst,
+            Algorithm::TClosenessFirst,
+        ] {
             let grid = surface::fig7_grid(&ctx, alg);
             let slug = match alg {
                 Algorithm::Merge => "fig7_surface_alg1",
@@ -154,14 +202,22 @@ fn main() -> ExitCode {
     if wants(&args.experiments, "baselines") {
         for ds in [Dataset::Mcd, Dataset::Hcd] {
             let grid = baseline_cmp::baselines_grid(&ctx, ds);
-            emit(grid, &format!("baselines_{}", ds.name().to_lowercase()), &args.out);
+            emit(
+                grid,
+                &format!("baselines_{}", ds.name().to_lowercase()),
+                &args.out,
+            );
         }
     }
 
     if wants(&args.experiments, "ablation") {
         for ds in [Dataset::Mcd, Dataset::Hcd] {
             let grid = ablation::ablation_grid(&ctx, ds);
-            emit(grid, &format!("ablation_{}", ds.name().to_lowercase()), &args.out);
+            emit(
+                grid,
+                &format!("ablation_{}", ds.name().to_lowercase()),
+                &args.out,
+            );
         }
     }
 

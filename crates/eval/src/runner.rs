@@ -40,7 +40,11 @@ where
     });
     slots
         .into_iter()
-        .map(|s| s.into_inner().expect("no poisoned slot").expect("every slot filled"))
+        .map(|s| {
+            s.into_inner()
+                .expect("no poisoned slot")
+                .expect("every slot filled")
+        })
         .collect()
 }
 

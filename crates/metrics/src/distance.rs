@@ -83,8 +83,10 @@ pub fn nearest_to(rows: &[Vec<f64>], indices: &[usize], point: &[f64]) -> Option
 /// distance (ties by index). `count` may exceed `indices.len()`, in which
 /// case all indices are returned sorted by distance.
 pub fn k_nearest(rows: &[Vec<f64>], indices: &[usize], point: &[f64], count: usize) -> Vec<usize> {
-    let mut with_d: Vec<(usize, f64)> =
-        indices.iter().map(|&i| (i, sq_dist(&rows[i], point))).collect();
+    let mut with_d: Vec<(usize, f64)> = indices
+        .iter()
+        .map(|&i| (i, sq_dist(&rows[i], point)))
+        .collect();
     // Partial selection would do, but a full sort keeps ties deterministic
     // and the selection is not the bottleneck of any algorithm here.
     with_d.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));

@@ -20,6 +20,66 @@
 //! which repeatedly tries single-record swaps.
 
 use std::collections::HashMap;
+use std::fmt;
+
+/// Errors from fitting or evaluating an EMD over a confidential attribute.
+///
+/// The panicking entry points ([`OrderedEmd::new`], [`ClusterHistogram::remove`])
+/// are kept for callers holding data already validated upstream; the `try_*`
+/// variants surface the same conditions as values for callers handling
+/// untrusted input (CSV files, CLI arguments).
+#[derive(Debug, Clone, PartialEq)]
+pub enum EmdError {
+    /// The confidential attribute column has no records, so no distribution
+    /// can be fitted.
+    EmptyColumn,
+    /// The column contains a NaN or infinite value at the given index.
+    NonFinite {
+        /// Record index of the offending value.
+        index: usize,
+        /// The offending value itself.
+        value: f64,
+    },
+    /// Two distributions compared under one domain have different lengths.
+    DomainMismatch {
+        /// Domain size `m` the evaluator was fitted on.
+        expected: usize,
+        /// Length of the distribution actually supplied.
+        got: usize,
+    },
+    /// A record was removed from a histogram bin that is already empty.
+    Underflow {
+        /// The bin that would have gone negative.
+        bin: usize,
+    },
+}
+
+impl fmt::Display for EmdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmdError::EmptyColumn => {
+                write!(f, "EMD requires a non-empty attribute column")
+            }
+            EmdError::NonFinite { index, value } => {
+                write!(
+                    f,
+                    "EMD requires finite attribute values; record {index} is {value}"
+                )
+            }
+            EmdError::DomainMismatch { expected, got } => {
+                write!(
+                    f,
+                    "distribution has {got} bins but the domain has {expected}"
+                )
+            }
+            EmdError::Underflow { bin } => {
+                write!(f, "histogram underflow in bin {bin}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EmdError {}
 
 /// Fitted ordered-EMD evaluator for one confidential attribute.
 #[derive(Debug, Clone)]
@@ -39,13 +99,29 @@ impl OrderedEmd {
     /// data set (one entry per record).
     ///
     /// # Panics
-    /// Panics if `column` is empty or contains non-finite values.
+    /// Panics if `column` is empty or contains non-finite values. Use
+    /// [`OrderedEmd::try_new`] to handle those cases as errors instead.
     pub fn new(column: &[f64]) -> Self {
-        assert!(!column.is_empty(), "EMD requires a non-empty attribute column");
-        assert!(
-            column.iter().all(|x| x.is_finite()),
-            "EMD requires finite attribute values"
-        );
+        match Self::try_new(column) {
+            Ok(emd) => emd,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`OrderedEmd::new`] for untrusted input.
+    ///
+    /// Returns [`EmdError::EmptyColumn`] for an empty column and
+    /// [`EmdError::NonFinite`] when any value is NaN or infinite. A
+    /// single-category column (all records share one value) is *valid*:
+    /// the fitted domain has `m == 1` and every cluster's EMD is 0, i.e.
+    /// t-closeness holds trivially — the attribute reveals nothing.
+    pub fn try_new(column: &[f64]) -> Result<Self, EmdError> {
+        if column.is_empty() {
+            return Err(EmdError::EmptyColumn);
+        }
+        if let Some((index, &value)) = column.iter().enumerate().find(|(_, x)| !x.is_finite()) {
+            return Err(EmdError::NonFinite { index, value });
+        }
         let mut values: Vec<f64> = column.to_vec();
         values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         values.dedup();
@@ -64,15 +140,30 @@ impl OrderedEmd {
         for &b in &record_bins {
             global_counts[b as usize] += 1;
         }
-        OrderedEmd { values, record_bins, global_counts, n: column.len() }
+        Ok(OrderedEmd {
+            values,
+            record_bins,
+            global_counts,
+            n: column.len(),
+        })
     }
 
     /// Fits the evaluator from pre-computed ranks (used for ordinal
     /// categorical attributes where `column[r]` is the category code and
     /// code order is the semantic order).
+    ///
+    /// # Panics
+    /// Panics if `codes` is empty; use [`OrderedEmd::try_from_codes`] to
+    /// handle that case as an error instead.
     pub fn from_codes(codes: &[u32]) -> Self {
         let as_f64: Vec<f64> = codes.iter().map(|&c| c as f64).collect();
         Self::new(&as_f64)
+    }
+
+    /// Fallible variant of [`OrderedEmd::from_codes`] for untrusted input.
+    pub fn try_from_codes(codes: &[u32]) -> Result<Self, EmdError> {
+        let as_f64: Vec<f64> = codes.iter().map(|&c| c as f64).collect();
+        Self::try_new(&as_f64)
     }
 
     /// Number of distinct values `m` in the domain.
@@ -97,7 +188,10 @@ impl OrderedEmd {
 
     /// Global distribution (probability of each bin over the data set).
     pub fn global_distribution(&self) -> Vec<f64> {
-        self.global_counts.iter().map(|&c| c as f64 / self.n as f64).collect()
+        self.global_counts
+            .iter()
+            .map(|&c| c as f64 / self.n as f64)
+            .collect()
     }
 
     /// `EMD(C, T)` for the cluster given by record indices (duplicates
@@ -114,7 +208,11 @@ impl OrderedEmd {
     ///
     /// Cost `O(m)`. Empty clusters have EMD 0 by convention.
     pub fn emd(&self, cluster: &ClusterHistogram) -> f64 {
-        debug_assert_eq!(cluster.counts.len(), self.m(), "histogram fitted on another domain");
+        debug_assert_eq!(
+            cluster.counts.len(),
+            self.m(),
+            "histogram fitted on another domain"
+        );
         let m = self.m();
         if m <= 1 || cluster.size == 0 {
             return 0.0;
@@ -135,9 +233,33 @@ impl OrderedEmd {
     /// EMD between two explicit distributions over this domain, by the same
     /// ordered ground distance. Both slices must have length `m` and sum to
     /// 1 (up to rounding).
+    ///
+    /// # Panics
+    /// Panics on a length mismatch; use [`OrderedEmd::try_emd_between`] to
+    /// handle it as an error instead.
     pub fn emd_between(&self, p: &[f64], q: &[f64]) -> f64 {
-        assert_eq!(p.len(), self.m());
-        assert_eq!(q.len(), self.m());
+        match self.try_emd_between(p, q) {
+            Ok(d) => d,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`OrderedEmd::emd_between`]: returns
+    /// [`EmdError::DomainMismatch`] instead of panicking when either
+    /// distribution's length differs from the fitted domain size `m`.
+    pub fn try_emd_between(&self, p: &[f64], q: &[f64]) -> Result<f64, EmdError> {
+        for dist in [p, q] {
+            if dist.len() != self.m() {
+                return Err(EmdError::DomainMismatch {
+                    expected: self.m(),
+                    got: dist.len(),
+                });
+            }
+        }
+        Ok(self.emd_between_unchecked(p, q))
+    }
+
+    fn emd_between_unchecked(&self, p: &[f64], q: &[f64]) -> f64 {
         let m = self.m();
         if m <= 1 {
             return 0.0;
@@ -177,7 +299,10 @@ pub struct ClusterHistogram {
 impl ClusterHistogram {
     /// Empty histogram over a domain with `m` bins.
     pub fn empty(m: usize) -> Self {
-        ClusterHistogram { counts: vec![0; m], size: 0 }
+        ClusterHistogram {
+            counts: vec![0; m],
+            size: 0,
+        }
     }
 
     /// Histogram of the given records under `emd`'s domain.
@@ -209,16 +334,33 @@ impl ClusterHistogram {
     ///
     /// # Panics
     /// Panics if the bin is already empty (histogram underflow indicates a
-    /// caller bookkeeping bug).
+    /// caller bookkeeping bug). Use [`ClusterHistogram::try_remove`] when
+    /// the bookkeeping is driven by untrusted input.
     pub fn remove(&mut self, bin: usize) {
-        assert!(self.counts[bin] > 0, "histogram underflow in bin {bin}");
+        if let Err(e) = self.try_remove(bin) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible variant of [`ClusterHistogram::remove`]: returns
+    /// [`EmdError::Underflow`] instead of panicking when `bin` is empty.
+    /// A bin outside the domain holds no records, so it too is an underflow.
+    pub fn try_remove(&mut self, bin: usize) -> Result<(), EmdError> {
+        if self.counts.get(bin).is_none_or(|&c| c == 0) {
+            return Err(EmdError::Underflow { bin });
+        }
         self.counts[bin] -= 1;
         self.size -= 1;
+        Ok(())
     }
 
     /// Merges another histogram into this one (cluster union).
     pub fn merge(&mut self, other: &ClusterHistogram) {
-        assert_eq!(self.counts.len(), other.counts.len(), "merging incompatible histograms");
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "merging incompatible histograms"
+        );
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += *b;
         }
@@ -356,6 +498,89 @@ mod tests {
     #[should_panic(expected = "finite")]
     fn nan_column_panics() {
         OrderedEmd::new(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn try_new_reports_edge_cases_as_errors() {
+        assert_eq!(OrderedEmd::try_new(&[]).unwrap_err(), EmdError::EmptyColumn);
+        match OrderedEmd::try_new(&[1.0, f64::NAN, 3.0]).unwrap_err() {
+            EmdError::NonFinite { index, value } => {
+                assert_eq!(index, 1);
+                assert!(value.is_nan());
+            }
+            other => panic!("expected NonFinite, got {other:?}"),
+        }
+        assert!(matches!(
+            OrderedEmd::try_new(&[0.0, f64::INFINITY]).unwrap_err(),
+            EmdError::NonFinite { index: 1, .. }
+        ));
+        assert_eq!(
+            OrderedEmd::try_from_codes(&[]).unwrap_err(),
+            EmdError::EmptyColumn
+        );
+    }
+
+    #[test]
+    fn try_new_accepts_single_category_as_trivially_close() {
+        // One distinct sensitive value: every cluster matches the global
+        // distribution exactly, so t-closeness holds for free.
+        let emd = OrderedEmd::try_new(&[5.0; 7]).unwrap();
+        assert_eq!(emd.m(), 1);
+        assert_eq!(emd.emd_of_records(&[0, 3]), 0.0);
+        assert_eq!(emd.try_emd_between(&[1.0], &[1.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn try_emd_between_rejects_domain_mismatch() {
+        let emd = OrderedEmd::new(&[1.0, 2.0, 3.0]);
+        assert_eq!(
+            emd.try_emd_between(&[0.5, 0.5], &[0.3, 0.3, 0.4])
+                .unwrap_err(),
+            EmdError::DomainMismatch {
+                expected: 3,
+                got: 2
+            }
+        );
+        assert_eq!(
+            emd.try_emd_between(&[0.5, 0.2, 0.3], &[1.0]).unwrap_err(),
+            EmdError::DomainMismatch {
+                expected: 3,
+                got: 1
+            }
+        );
+    }
+
+    #[test]
+    fn try_remove_reports_underflow() {
+        let mut h = ClusterHistogram::empty(3);
+        h.add(1);
+        assert_eq!(h.try_remove(0).unwrap_err(), EmdError::Underflow { bin: 0 });
+        // out-of-domain bins hold no records: underflow, not a panic
+        assert_eq!(h.try_remove(9).unwrap_err(), EmdError::Underflow { bin: 9 });
+        assert!(h.try_remove(1).is_ok());
+        assert_eq!(h.size(), 0);
+    }
+
+    #[test]
+    fn emd_errors_display_readably() {
+        let msgs = [
+            EmdError::EmptyColumn.to_string(),
+            EmdError::NonFinite {
+                index: 4,
+                value: f64::NAN,
+            }
+            .to_string(),
+            EmdError::DomainMismatch {
+                expected: 3,
+                got: 2,
+            }
+            .to_string(),
+            EmdError::Underflow { bin: 9 }.to_string(),
+        ];
+        assert!(msgs[0].contains("non-empty"));
+        assert!(msgs[1].contains("record 4"));
+        assert!(msgs[2].contains("2 bins"));
+        assert!(msgs[3].contains("bin 9"));
     }
 
     #[test]

@@ -26,5 +26,5 @@ pub mod risk;
 pub mod sse;
 
 pub use distance::{centroid, dist, farthest_from, nearest_to, sq_dist};
-pub use emd::{nominal_emd, ClusterHistogram, OrderedEmd};
+pub use emd::{nominal_emd, ClusterHistogram, EmdError, OrderedEmd};
 pub use sse::{normalized_sse, sse_absolute};

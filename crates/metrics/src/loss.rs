@@ -23,7 +23,11 @@ pub struct UtilityReport {
 }
 
 /// Computes a [`UtilityReport`] over the numeric attributes at `attrs`.
-pub fn utility_report(original: &Table, anonymized: &Table, attrs: &[usize]) -> Result<UtilityReport> {
+pub fn utility_report(
+    original: &Table,
+    anonymized: &Table,
+    attrs: &[usize],
+) -> Result<UtilityReport> {
     let mut mean_err = 0.0;
     let mut var_err = 0.0;
     let mut var_terms = 0usize;
@@ -57,8 +61,16 @@ pub fn utility_report(original: &Table, anonymized: &Table, attrs: &[usize]) -> 
     let m = attrs.len().max(1) as f64;
     Ok(UtilityReport {
         mean_error: mean_err / m,
-        variance_error: if var_terms > 0 { var_err / var_terms as f64 } else { 0.0 },
-        correlation_error: if corr_terms > 0 { corr_err / corr_terms as f64 } else { 0.0 },
+        variance_error: if var_terms > 0 {
+            var_err / var_terms as f64
+        } else {
+            0.0
+        },
+        correlation_error: if corr_terms > 0 {
+            corr_err / corr_terms as f64
+        } else {
+            0.0
+        },
         n_attributes: attrs.len(),
     })
 }

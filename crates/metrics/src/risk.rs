@@ -31,8 +31,15 @@ use tclose_microdata::stats;
 /// # Panics
 /// Panics if the matrices have different lengths or are empty.
 pub fn record_linkage_risk(original: &[Vec<f64>], anonymized: &[Vec<f64>]) -> f64 {
-    assert_eq!(original.len(), anonymized.len(), "tables must pair records one-to-one");
-    assert!(!original.is_empty(), "record linkage requires at least one record");
+    assert_eq!(
+        original.len(),
+        anonymized.len(),
+        "tables must pair records one-to-one"
+    );
+    assert!(
+        !original.is_empty(),
+        "record linkage requires at least one record"
+    );
     let n = original.len();
     let mut expected_links = 0.0;
     for (j, orig) in original.iter().enumerate() {
@@ -105,7 +112,10 @@ mod tests {
         let orig = vec![vec![0.0], vec![1.0], vec![10.0], vec![11.0]];
         let anon = vec![vec![0.5], vec![0.5], vec![10.5], vec![10.5]];
         let risk = record_linkage_risk(&orig, &anon);
-        assert!((risk - 0.5).abs() < 1e-12, "risk {risk} should be exactly 1/k = 0.5");
+        assert!(
+            (risk - 0.5).abs() < 1e-12,
+            "risk {risk} should be exactly 1/k = 0.5"
+        );
     }
 
     #[test]

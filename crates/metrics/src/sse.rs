@@ -181,6 +181,9 @@ mod tests {
         assert!(normalized_sse(&a, &b, &[0]).is_err());
         assert!(normalized_sse(&a, &a, &[9]).is_err());
         let empty = numeric_table(&[]);
-        assert!(matches!(normalized_sse(&empty, &empty, &[0]), Err(Error::EmptyTable)));
+        assert!(matches!(
+            normalized_sse(&empty, &empty, &[0]),
+            Err(Error::EmptyTable)
+        ));
     }
 }

@@ -15,7 +15,10 @@ use tclose_microdata::{AttributeKind, Error, Result, Table, Value};
 /// Panics if `cluster` is empty (clusterings validated by
 /// [`Clustering::new`] never contain empty clusters).
 pub fn cluster_centroid_value(table: &Table, attr: usize, cluster: &[usize]) -> Result<Value> {
-    assert!(!cluster.is_empty(), "centroid of an empty cluster is undefined");
+    assert!(
+        !cluster.is_empty(),
+        "centroid of an empty cluster is undefined"
+    );
     let kind = table.schema().attribute(attr)?.kind;
     match kind {
         AttributeKind::Numeric => {
@@ -123,17 +126,29 @@ mod tests {
     #[test]
     fn ordinal_centroid_is_lower_median() {
         let t = table();
-        assert_eq!(cluster_centroid_value(&t, 1, &[0, 1, 2]).unwrap(), Value::Category(1));
+        assert_eq!(
+            cluster_centroid_value(&t, 1, &[0, 1, 2]).unwrap(),
+            Value::Category(1)
+        );
         // even cluster: lower median
-        assert_eq!(cluster_centroid_value(&t, 1, &[0, 1, 2, 3]).unwrap(), Value::Category(1));
+        assert_eq!(
+            cluster_centroid_value(&t, 1, &[0, 1, 2, 3]).unwrap(),
+            Value::Category(1)
+        );
     }
 
     #[test]
     fn nominal_centroid_is_mode_with_deterministic_ties() {
         let t = table();
         // cluster {0,1,2,3}: codes [0,0,1,1] → tie, smallest code wins
-        assert_eq!(cluster_centroid_value(&t, 2, &[0, 1, 2, 3]).unwrap(), Value::Category(0));
-        assert_eq!(cluster_centroid_value(&t, 2, &[2, 3]).unwrap(), Value::Category(1));
+        assert_eq!(
+            cluster_centroid_value(&t, 2, &[0, 1, 2, 3]).unwrap(),
+            Value::Category(0)
+        );
+        assert_eq!(
+            cluster_centroid_value(&t, 2, &[2, 3]).unwrap(),
+            Value::Category(1)
+        );
     }
 
     #[test]
@@ -146,7 +161,10 @@ mod tests {
         assert_eq!(anon.categorical_column(1).unwrap(), &[0, 0, 2, 2]);
         assert_eq!(anon.categorical_column(2).unwrap(), &[0, 0, 1, 1]);
         // confidential attribute untouched
-        assert_eq!(anon.numeric_column(3).unwrap(), &[100.0, 200.0, 300.0, 400.0]);
+        assert_eq!(
+            anon.numeric_column(3).unwrap(),
+            &[100.0, 200.0, 300.0, 400.0]
+        );
         // original table untouched
         assert_eq!(t.numeric_column(0).unwrap(), &[1.0, 3.0, 5.0, 7.0]);
     }

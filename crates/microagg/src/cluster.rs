@@ -33,7 +33,10 @@ impl fmt::Display for ClusteringError {
             }
             ClusteringError::OutOfRange(r) => write!(f, "record index {r} is out of range"),
             ClusteringError::UndersizedCluster { cluster, size, min } => {
-                write!(f, "cluster {cluster} has {size} records, fewer than the minimum {min}")
+                write!(
+                    f,
+                    "cluster {cluster} has {size} records, fewer than the minimum {min}"
+                )
             }
             ClusteringError::EmptyCluster(c) => write!(f, "cluster {c} is empty"),
         }
@@ -220,7 +223,11 @@ mod tests {
 
     #[test]
     fn error_messages() {
-        let e = ClusteringError::UndersizedCluster { cluster: 1, size: 2, min: 3 };
+        let e = ClusteringError::UndersizedCluster {
+            cluster: 1,
+            size: 2,
+            min: 3,
+        };
         assert!(e.to_string().contains("cluster 1"));
         assert!(ClusteringError::MissingRecord(7).to_string().contains('7'));
     }

@@ -80,7 +80,9 @@ mod tests {
     use super::*;
 
     fn grid(n: usize) -> Vec<Vec<f64>> {
-        (0..n).map(|i| vec![i as f64, (i * i % 17) as f64]).collect()
+        (0..n)
+            .map(|i| vec![i as f64, (i * i % 17) as f64])
+            .collect()
     }
 
     #[test]

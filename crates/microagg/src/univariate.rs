@@ -32,7 +32,10 @@ fn group_sse(prefix: &[f64], prefix_sq: &[f64], lo: usize, hi: usize) -> f64 {
 /// Panics if `k == 0` or any value is non-finite.
 pub fn optimal_univariate(values: &[f64], k: usize) -> (Clustering, f64) {
     assert!(k >= 1, "k must be at least 1");
-    assert!(values.iter().all(|x| x.is_finite()), "values must be finite");
+    assert!(
+        values.iter().all(|x| x.is_finite()),
+        "values must be finite"
+    );
     let n = values.len();
     if n == 0 {
         return (Clustering::new(vec![], 0).expect("valid"), 0.0);
@@ -153,7 +156,9 @@ mod tests {
 
     #[test]
     fn optimum_never_worse_than_mdav() {
-        let vals: Vec<f64> = (0..60).map(|i| ((i * 13 % 47) as f64).sqrt() * 10.0).collect();
+        let vals: Vec<f64> = (0..60)
+            .map(|i| ((i * 13 % 47) as f64).sqrt() * 10.0)
+            .collect();
         let rows: Vec<Vec<f64>> = vals.iter().map(|&v| vec![v]).collect();
         for k in [2, 3, 5] {
             let (_, opt_sse) = optimal_univariate(&vals, k);

@@ -33,7 +33,10 @@ impl VMdav {
     /// # Panics
     /// Panics if γ is negative or non-finite.
     pub fn new(gamma: f64) -> Self {
-        assert!(gamma.is_finite() && gamma >= 0.0, "gamma must be finite and non-negative");
+        assert!(
+            gamma.is_finite() && gamma >= 0.0,
+            "gamma must be finite and non-negative"
+        );
         VMdav { gamma }
     }
 }
@@ -97,8 +100,7 @@ impl Microaggregator for VMdav {
         // Fewer than k unassigned records: each joins the cluster whose
         // centroid is nearest.
         if !remaining.is_empty() {
-            let centroids: Vec<Vec<f64>> =
-                clusters.iter().map(|c| centroid(rows, c)).collect();
+            let centroids: Vec<Vec<f64>> = clusters.iter().map(|c| centroid(rows, c)).collect();
             for r in remaining {
                 let mut best = 0usize;
                 let mut best_d = f64::INFINITY;

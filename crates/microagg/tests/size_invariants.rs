@@ -1,0 +1,127 @@
+//! Cluster-size invariant sweep for the microaggregation substrate.
+//!
+//! MDAV's defining guarantee (and the premise of every bound in the paper)
+//! is that whenever `n >= k`, every cluster has between `k` and `2k - 1`
+//! records — the fixed-size variant additionally pins all but at most one
+//! cluster to exactly `k`. This sweep checks the `[k, 2k-1]` window over a
+//! grid of (n, k) pairs and several adversarial data shapes: heavy
+//! duplication, collinear points, well-separated blobs, and random clouds.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tclose_microagg::{Clustering, Mdav, Microaggregator, VMdav};
+
+/// Asserts the full invariant set for one partition of `n` records.
+fn assert_size_invariants(c: &Clustering, n: usize, k: usize, label: &str) {
+    assert_eq!(c.n_records(), n, "{label}: records lost or duplicated");
+    if n == 0 {
+        assert_eq!(c.n_clusters(), 0, "{label}");
+        return;
+    }
+    if n < 2 * k {
+        // Too few records for two clusters: everything in one.
+        assert_eq!(c.n_clusters(), 1, "{label}: expected a single cluster");
+        assert_eq!(c.min_size(), n, "{label}");
+        return;
+    }
+    c.check_min_size(k)
+        .unwrap_or_else(|e| panic!("{label}: min-size violated: {e:?}"));
+    assert!(
+        c.min_size() >= k,
+        "{label}: cluster of {} records < k = {k}",
+        c.min_size()
+    );
+    assert!(
+        c.max_size() < 2 * k,
+        "{label}: cluster of {} records > 2k-1 = {}",
+        c.max_size(),
+        2 * k - 1
+    );
+    // Partition sanity: every record appears exactly once.
+    let mut seen = vec![false; n];
+    for cluster in c.clusters() {
+        for &r in cluster {
+            assert!(!seen[r], "{label}: record {r} in two clusters");
+            seen[r] = true;
+        }
+    }
+    assert!(seen.iter().all(|&s| s), "{label}: some record unassigned");
+}
+
+fn shapes(rng: &mut StdRng, n: usize) -> Vec<(&'static str, Vec<Vec<f64>>)> {
+    vec![
+        (
+            "random-cloud",
+            (0..n)
+                .map(|_| vec![rng.gen_range(-50.0f64..50.0), rng.gen_range(-50.0f64..50.0)])
+                .collect(),
+        ),
+        (
+            "heavy-duplicates",
+            (0..n)
+                .map(|_| vec![rng.gen_range(0u32..4) as f64, 0.0])
+                .collect(),
+        ),
+        (
+            "collinear",
+            (0..n).map(|i| vec![i as f64, 2.0 * i as f64]).collect(),
+        ),
+        (
+            "two-blobs",
+            (0..n)
+                .map(|i| {
+                    let off = if i % 2 == 0 { 0.0 } else { 1000.0 };
+                    vec![off + rng.gen_range(0.0f64..1.0), off]
+                })
+                .collect(),
+        ),
+    ]
+}
+
+#[test]
+fn mdav_clusters_stay_within_k_and_2k_minus_1() {
+    let mut rng = StdRng::seed_from_u64(0x3DA5);
+    for n in [1usize, 2, 5, 9, 10, 11, 23, 60, 121] {
+        for k in [1usize, 2, 3, 5, 8] {
+            for (shape, rows) in shapes(&mut rng, n) {
+                let c = Mdav.partition(&rows, k);
+                assert_size_invariants(&c, n, k, &format!("mdav {shape} n={n} k={k}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn vmdav_respects_min_size_and_variable_upper_window() {
+    let mut rng = StdRng::seed_from_u64(0x3DA6);
+    for n in [5usize, 10, 23, 60, 121] {
+        for k in [2usize, 3, 5] {
+            for gamma in [0.0, 0.3, 1.0] {
+                for (shape, rows) in shapes(&mut rng, n) {
+                    let c = VMdav::new(gamma).partition(&rows, k);
+                    let label = format!("vmdav({gamma}) {shape} n={n} k={k}");
+                    assert_eq!(c.n_records(), n, "{label}");
+                    c.check_min_size(k.min(n))
+                        .unwrap_or_else(|e| panic!("{label}: {e:?}"));
+                    // V-MDAV may extend clusters, but never beyond 2k-1.
+                    if c.n_clusters() > 1 {
+                        assert!(c.max_size() < 2 * k, "{label}: max size {}", c.max_size());
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn mdav_exact_k_when_k_divides_n() {
+    for (n, k) in [(12usize, 3usize), (25, 5), (64, 8), (120, 2)] {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![(i * 7 % 31) as f64, i as f64])
+            .collect();
+        let c = Mdav.partition(&rows, k);
+        assert_eq!(c.n_clusters(), n / k);
+        assert_eq!(c.min_size(), k);
+        assert_eq!(c.max_size(), k);
+    }
+}

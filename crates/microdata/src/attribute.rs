@@ -214,8 +214,14 @@ mod tests {
         ] {
             assert_eq!(AttributeRole::parse(role.name()), Some(role));
         }
-        assert_eq!(AttributeRole::parse("QI"), Some(AttributeRole::QuasiIdentifier));
-        assert_eq!(AttributeRole::parse("sensitive"), Some(AttributeRole::Confidential));
+        assert_eq!(
+            AttributeRole::parse("QI"),
+            Some(AttributeRole::QuasiIdentifier)
+        );
+        assert_eq!(
+            AttributeRole::parse("sensitive"),
+            Some(AttributeRole::Confidential)
+        );
         assert_eq!(AttributeRole::parse("???"), None);
     }
 

@@ -58,7 +58,10 @@ fn split_line(line: &str, lineno: usize) -> Result<Vec<String>> {
         }
     }
     if in_quotes {
-        return Err(Error::Csv { line: lineno, detail: "unterminated quoted field".into() });
+        return Err(Error::Csv {
+            line: lineno,
+            detail: "unterminated quoted field".into(),
+        });
     }
     fields.push(cur);
     Ok(fields)
@@ -66,8 +69,7 @@ fn split_line(line: &str, lineno: usize) -> Result<Vec<String>> {
 
 /// Quotes a field if needed for RFC-4180 output.
 fn quote_field(field: &str) -> String {
-    if field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r')
-    {
+    if field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r') {
         format!("\"{}\"", field.replace('"', "\"\""))
     } else {
         field.to_owned()
@@ -87,8 +89,12 @@ fn format_number(x: f64) -> String {
 ///
 /// Categorical cells are written as their dictionary labels.
 pub fn write_csv<W: Write>(table: &Table, mut w: W) -> Result<()> {
-    let header: Vec<String> =
-        table.schema().attributes().iter().map(|a| quote_field(&a.name)).collect();
+    let header: Vec<String> = table
+        .schema()
+        .attributes()
+        .iter()
+        .map(|a| quote_field(&a.name))
+        .collect();
     writeln!(w, "{}", header.join(","))?;
     for r in 0..table.n_rows() {
         let mut fields = Vec::with_capacity(table.n_cols());
@@ -97,11 +103,12 @@ pub fn write_csv<W: Write>(table: &Table, mut w: W) -> Result<()> {
             let v = table.column(c)?.get(r).expect("in-bounds");
             let s = match v {
                 Value::Number(x) => format_number(x),
-                Value::Category(code) => attr
-                    .dictionary
-                    .label(code)
-                    .map(str::to_owned)
-                    .ok_or(Error::UnknownCategory { attribute: attr.name.clone(), code })?,
+                Value::Category(code) => attr.dictionary.label(code).map(str::to_owned).ok_or(
+                    Error::UnknownCategory {
+                        attribute: attr.name.clone(),
+                        code,
+                    },
+                )?,
             };
             fields.push(quote_field(&s));
         }
@@ -231,7 +238,10 @@ pub fn read_csv_auto<R: Read>(reader: R) -> Result<Table> {
             }
         }
     }
-    let names = names.ok_or(Error::Csv { line: 1, detail: "empty input: missing header".into() })?;
+    let names = names.ok_or(Error::Csv {
+        line: 1,
+        detail: "empty input: missing header".into(),
+    })?;
 
     let n_cols = names.len();
     let mut is_numeric = vec![true; n_cols];
@@ -250,7 +260,11 @@ pub fn read_csv_auto<R: Read>(reader: R) -> Result<Table> {
             if is_numeric[i] {
                 AttributeDef::numeric(name.clone(), AttributeRole::NonConfidential)
             } else {
-                AttributeDef::nominal(name.clone(), AttributeRole::NonConfidential, Vec::<String>::new())
+                AttributeDef::nominal(
+                    name.clone(),
+                    AttributeRole::NonConfidential,
+                    Vec::<String>::new(),
+                )
             }
         })
         .collect();
@@ -299,13 +313,20 @@ mod tests {
         let mut t = Table::new(
             Schema::new(vec![
                 AttributeDef::numeric("x", AttributeRole::QuasiIdentifier),
-                AttributeDef::nominal("label", AttributeRole::Confidential, ["a,b", "q\"q", "plain"]),
+                AttributeDef::nominal(
+                    "label",
+                    AttributeRole::Confidential,
+                    ["a,b", "q\"q", "plain"],
+                ),
             ])
             .unwrap(),
         );
-        t.push_row(&[Value::Number(1.5), Value::Category(0)]).unwrap();
-        t.push_row(&[Value::Number(2.0), Value::Category(1)]).unwrap();
-        t.push_row(&[Value::Number(-3.0), Value::Category(2)]).unwrap();
+        t.push_row(&[Value::Number(1.5), Value::Category(0)])
+            .unwrap();
+        t.push_row(&[Value::Number(2.0), Value::Category(1)])
+            .unwrap();
+        t.push_row(&[Value::Number(-3.0), Value::Category(2)])
+            .unwrap();
 
         let s = to_csv_string(&t).unwrap();
         assert!(s.contains("\"a,b\""));

@@ -73,21 +73,37 @@ impl fmt::Display for Error {
             Error::InvalidSchema(d) => write!(f, "invalid schema: {d}"),
             Error::RowMismatch { detail } => write!(f, "row does not match schema: {detail}"),
             Error::ColumnOutOfBounds { index, n_cols } => {
-                write!(f, "column index {index} out of bounds (table has {n_cols} columns)")
+                write!(
+                    f,
+                    "column index {index} out of bounds (table has {n_cols} columns)"
+                )
             }
             Error::RowOutOfBounds { index, n_rows } => {
-                write!(f, "row index {index} out of bounds (table has {n_rows} rows)")
+                write!(
+                    f,
+                    "row index {index} out of bounds (table has {n_rows} rows)"
+                )
             }
             Error::UnknownAttribute(name) => write!(f, "unknown attribute {name:?}"),
-            Error::TypeMismatch { attribute, expected, actual } => write!(
+            Error::TypeMismatch {
+                attribute,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "attribute {attribute:?} is {actual} but the operation requires {expected}"
             ),
             Error::NonFiniteValue { attribute, row } => {
-                write!(f, "non-finite value in attribute {attribute:?} at row {row}")
+                write!(
+                    f,
+                    "non-finite value in attribute {attribute:?} at row {row}"
+                )
             }
             Error::UnknownCategory { attribute, code } => {
-                write!(f, "code {code} is not in the dictionary of attribute {attribute:?}")
+                write!(
+                    f,
+                    "code {code} is not in the dictionary of attribute {attribute:?}"
+                )
             }
             Error::Csv { line, detail } => write!(f, "CSV error at line {line}: {detail}"),
             Error::Io(msg) => write!(f, "I/O error: {msg}"),
@@ -110,7 +126,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = Error::ColumnOutOfBounds { index: 7, n_cols: 3 };
+        let e = Error::ColumnOutOfBounds {
+            index: 7,
+            n_cols: 3,
+        };
         assert!(e.to_string().contains('7'));
         assert!(e.to_string().contains('3'));
 

@@ -54,7 +54,11 @@ impl Normalizer {
             };
             params.push((shift, scale));
         }
-        Ok(Normalizer { method, params, attributes: attributes.to_vec() })
+        Ok(Normalizer {
+            method,
+            params,
+            attributes: attributes.to_vec(),
+        })
     }
 
     /// The method this normalizer applies.
@@ -90,7 +94,10 @@ impl Normalizer {
         let mut out = Vec::with_capacity(n);
         for r in 0..n {
             out.push(
-                cols.iter().enumerate().map(|(i, c)| self.transform_value(i, c[r])).collect(),
+                cols.iter()
+                    .enumerate()
+                    .map(|(i, c)| self.transform_value(i, c[r]))
+                    .collect(),
             );
         }
         Ok(out)
@@ -136,7 +143,10 @@ mod tests {
         let t = table();
         let nz = Normalizer::fit(&t, &[0], NormalizeMethod::MinMax).unwrap();
         let m = nz.transform(&t).unwrap();
-        assert_eq!(m.iter().map(|r| r[0]).collect::<Vec<_>>(), vec![0.0, 0.5, 1.0]);
+        assert_eq!(
+            m.iter().map(|r| r[0]).collect::<Vec<_>>(),
+            vec![0.0, 0.5, 1.0]
+        );
     }
 
     #[test]
@@ -144,13 +154,20 @@ mod tests {
         let t = table();
         let nz = Normalizer::fit(&t, &[0], NormalizeMethod::None).unwrap();
         let m = nz.transform(&t).unwrap();
-        assert_eq!(m.iter().map(|r| r[0]).collect::<Vec<_>>(), vec![0.0, 2.0, 4.0]);
+        assert_eq!(
+            m.iter().map(|r| r[0]).collect::<Vec<_>>(),
+            vec![0.0, 2.0, 4.0]
+        );
     }
 
     #[test]
     fn inverse_round_trips() {
         let t = table();
-        for method in [NormalizeMethod::ZScore, NormalizeMethod::MinMax, NormalizeMethod::None] {
+        for method in [
+            NormalizeMethod::ZScore,
+            NormalizeMethod::MinMax,
+            NormalizeMethod::None,
+        ] {
             let nz = Normalizer::fit(&t, &[0], method).unwrap();
             for x in [-3.0, 0.0, 2.5, 4.0] {
                 let z = nz.transform_value(0, x);

@@ -16,14 +16,21 @@ impl Schema {
     /// Builds a schema, validating non-emptiness and name uniqueness.
     pub fn new(attributes: Vec<AttributeDef>) -> Result<Self> {
         if attributes.is_empty() {
-            return Err(Error::InvalidSchema("schema must have at least one attribute".into()));
+            return Err(Error::InvalidSchema(
+                "schema must have at least one attribute".into(),
+            ));
         }
         for (i, a) in attributes.iter().enumerate() {
             if a.name.is_empty() {
-                return Err(Error::InvalidSchema(format!("attribute {i} has an empty name")));
+                return Err(Error::InvalidSchema(format!(
+                    "attribute {i} has an empty name"
+                )));
             }
             if attributes[..i].iter().any(|b| b.name == a.name) {
-                return Err(Error::InvalidSchema(format!("duplicate attribute name {:?}", a.name)));
+                return Err(Error::InvalidSchema(format!(
+                    "duplicate attribute name {:?}",
+                    a.name
+                )));
             }
         }
         Ok(Schema { attributes })
@@ -51,7 +58,9 @@ impl Schema {
     /// dictionaries).
     pub(crate) fn attribute_mut(&mut self, index: usize) -> Result<&mut AttributeDef> {
         let n_cols = self.attributes.len();
-        self.attributes.get_mut(index).ok_or(Error::ColumnOutOfBounds { index, n_cols })
+        self.attributes
+            .get_mut(index)
+            .ok_or(Error::ColumnOutOfBounds { index, n_cols })
     }
 
     /// Column index of the attribute called `name`.
@@ -165,9 +174,12 @@ mod tests {
     #[test]
     fn set_roles() {
         let mut s = demo();
-        s.set_roles(&[("hobby", AttributeRole::Confidential)]).unwrap();
+        s.set_roles(&[("hobby", AttributeRole::Confidential)])
+            .unwrap();
         assert_eq!(s.confidential(), vec![3, 4]);
-        assert!(s.set_roles(&[("ghost", AttributeRole::Identifier)]).is_err());
+        assert!(s
+            .set_roles(&[("ghost", AttributeRole::Identifier)])
+            .is_err());
     }
 
     #[test]

@@ -52,7 +52,11 @@ pub fn range(xs: &[f64]) -> f64 {
 /// # Panics
 /// Panics if the slices have different lengths.
 pub fn correlation(xs: &[f64], ys: &[f64]) -> f64 {
-    assert_eq!(xs.len(), ys.len(), "correlation requires equally long slices");
+    assert_eq!(
+        xs.len(),
+        ys.len(),
+        "correlation requires equally long slices"
+    );
     if xs.len() < 2 {
         return 0.0;
     }

@@ -27,7 +27,11 @@ impl Table {
             .iter()
             .map(|a| Column::empty(a.kind.is_categorical()))
             .collect();
-        Table { schema, columns, n_rows: 0 }
+        Table {
+            schema,
+            columns,
+            n_rows: 0,
+        }
     }
 
     /// Builds a table directly from columns (must all have equal length and
@@ -66,17 +70,27 @@ impl Table {
             }
             if let Column::F64(v) = c {
                 if let Some(row) = v.iter().position(|x| !x.is_finite()) {
-                    return Err(Error::NonFiniteValue { attribute: attr.name.clone(), row });
+                    return Err(Error::NonFiniteValue {
+                        attribute: attr.name.clone(),
+                        row,
+                    });
                 }
             }
             if let Column::Cat(v) = c {
                 let n_cats = attr.dictionary.len() as u32;
                 if let Some(&code) = v.iter().find(|&&code| code >= n_cats) {
-                    return Err(Error::UnknownCategory { attribute: attr.name.clone(), code });
+                    return Err(Error::UnknownCategory {
+                        attribute: attr.name.clone(),
+                        code,
+                    });
                 }
             }
         }
-        Ok(Table { schema, columns, n_rows })
+        Ok(Table {
+            schema,
+            columns,
+            n_rows,
+        })
     }
 
     /// The table's schema.
@@ -168,7 +182,11 @@ impl Table {
     pub fn numeric_column(&self, index: usize) -> Result<&[f64]> {
         let col = self.column(index)?;
         col.as_f64().ok_or_else(|| Error::TypeMismatch {
-            attribute: self.schema.attribute(index).map(|a| a.name.clone()).unwrap_or_default(),
+            attribute: self
+                .schema
+                .attribute(index)
+                .map(|a| a.name.clone())
+                .unwrap_or_default(),
             expected: "numeric",
             actual: col.kind_name(),
         })
@@ -178,7 +196,11 @@ impl Table {
     pub fn categorical_column(&self, index: usize) -> Result<&[u32]> {
         let col = self.column(index)?;
         col.as_cat().ok_or_else(|| Error::TypeMismatch {
-            attribute: self.schema.attribute(index).map(|a| a.name.clone()).unwrap_or_default(),
+            attribute: self
+                .schema
+                .attribute(index)
+                .map(|a| a.name.clone())
+                .unwrap_or_default(),
             expected: "categorical",
             actual: col.kind_name(),
         })
@@ -192,16 +214,26 @@ impl Table {
     /// Dynamically-typed copy of record `row`.
     pub fn row(&self, row: usize) -> Result<Vec<Value>> {
         if row >= self.n_rows {
-            return Err(Error::RowOutOfBounds { index: row, n_rows: self.n_rows });
+            return Err(Error::RowOutOfBounds {
+                index: row,
+                n_rows: self.n_rows,
+            });
         }
-        Ok(self.columns.iter().map(|c| c.get(row).expect("validated length")).collect())
+        Ok(self
+            .columns
+            .iter()
+            .map(|c| c.get(row).expect("validated length"))
+            .collect())
     }
 
     /// Overwrites one numeric cell (used by the aggregation step that
     /// replaces quasi-identifiers with cluster centroids).
     pub fn set_numeric(&mut self, col: usize, row: usize, value: f64) -> Result<()> {
         if row >= self.n_rows {
-            return Err(Error::RowOutOfBounds { index: row, n_rows: self.n_rows });
+            return Err(Error::RowOutOfBounds {
+                index: row,
+                n_rows: self.n_rows,
+            });
         }
         if !value.is_finite() {
             return Err(Error::NonFiniteValue {
@@ -211,8 +243,10 @@ impl Table {
         }
         let name = self.schema.attribute(col)?.name.clone();
         let n_cols = self.columns.len();
-        let column =
-            self.columns.get_mut(col).ok_or(Error::ColumnOutOfBounds { index: col, n_cols })?;
+        let column = self
+            .columns
+            .get_mut(col)
+            .ok_or(Error::ColumnOutOfBounds { index: col, n_cols })?;
         match column.as_f64_mut() {
             Some(v) => {
                 v[row] = value;
@@ -229,16 +263,24 @@ impl Table {
     /// Overwrites one categorical cell.
     pub fn set_category(&mut self, col: usize, row: usize, code: u32) -> Result<()> {
         if row >= self.n_rows {
-            return Err(Error::RowOutOfBounds { index: row, n_rows: self.n_rows });
+            return Err(Error::RowOutOfBounds {
+                index: row,
+                n_rows: self.n_rows,
+            });
         }
         let attr = self.schema.attribute(col)?;
         if code as usize >= attr.dictionary.len() {
-            return Err(Error::UnknownCategory { attribute: attr.name.clone(), code });
+            return Err(Error::UnknownCategory {
+                attribute: attr.name.clone(),
+                code,
+            });
         }
         let name = attr.name.clone();
         let n_cols = self.columns.len();
-        let column =
-            self.columns.get_mut(col).ok_or(Error::ColumnOutOfBounds { index: col, n_cols })?;
+        let column = self
+            .columns
+            .get_mut(col)
+            .ok_or(Error::ColumnOutOfBounds { index: col, n_cols })?;
         match column.as_cat_mut() {
             Some(v) => {
                 v[row] = code;
@@ -259,17 +301,28 @@ impl Table {
         for &i in indices {
             columns.push(self.column(i)?.clone());
         }
-        Ok(Table { schema, columns, n_rows: self.n_rows })
+        Ok(Table {
+            schema,
+            columns,
+            n_rows: self.n_rows,
+        })
     }
 
     /// New table with only the records at `rows`, in that order (repeats
     /// allowed — useful for bootstrap sampling).
     pub fn take_rows(&self, rows: &[usize]) -> Result<Table> {
         if let Some(&bad) = rows.iter().find(|&&r| r >= self.n_rows) {
-            return Err(Error::RowOutOfBounds { index: bad, n_rows: self.n_rows });
+            return Err(Error::RowOutOfBounds {
+                index: bad,
+                n_rows: self.n_rows,
+            });
         }
         let columns = self.columns.iter().map(|c| c.take(rows)).collect();
-        Ok(Table { schema: self.schema.clone(), columns, n_rows: rows.len() })
+        Ok(Table {
+            schema: self.schema.clone(),
+            columns,
+            n_rows: rows.len(),
+        })
     }
 
     /// Row-major matrix of the numeric attributes at `indices` — the record
@@ -306,7 +359,10 @@ impl Table {
 
     /// True when every attribute is numeric.
     pub fn all_numeric(&self) -> bool {
-        self.schema.attributes().iter().all(|a| a.kind == AttributeKind::Numeric)
+        self.schema
+            .attributes()
+            .iter()
+            .all(|a| a.kind == AttributeKind::Numeric)
     }
 }
 
@@ -326,9 +382,24 @@ mod tests {
 
     fn demo() -> Table {
         let mut t = Table::new(schema());
-        t.push_row(&[Value::Number(30.0), Value::Number(100.0), Value::Category(0)]).unwrap();
-        t.push_row(&[Value::Number(40.0), Value::Number(200.0), Value::Category(1)]).unwrap();
-        t.push_row(&[Value::Number(50.0), Value::Number(300.0), Value::Category(0)]).unwrap();
+        t.push_row(&[
+            Value::Number(30.0),
+            Value::Number(100.0),
+            Value::Category(0),
+        ])
+        .unwrap();
+        t.push_row(&[
+            Value::Number(40.0),
+            Value::Number(200.0),
+            Value::Category(1),
+        ])
+        .unwrap();
+        t.push_row(&[
+            Value::Number(50.0),
+            Value::Number(300.0),
+            Value::Category(0),
+        ])
+        .unwrap();
         t
     }
 
@@ -344,7 +415,11 @@ mod tests {
             Err(Error::TypeMismatch { .. })
         ));
         assert!(matches!(
-            t.push_row(&[Value::Number(f64::NAN), Value::Number(1.0), Value::Category(0)]),
+            t.push_row(&[
+                Value::Number(f64::NAN),
+                Value::Number(1.0),
+                Value::Category(0)
+            ]),
             Err(Error::NonFiniteValue { .. })
         ));
         assert!(matches!(
@@ -367,7 +442,11 @@ mod tests {
         assert!(t.categorical_column(0).is_err());
         assert_eq!(
             t.row(1).unwrap(),
-            vec![Value::Number(40.0), Value::Number(200.0), Value::Category(1)]
+            vec![
+                Value::Number(40.0),
+                Value::Number(200.0),
+                Value::Category(1)
+            ]
         );
         assert!(t.row(3).is_err());
         assert_eq!(t.numeric_column_by_name("income").unwrap()[2], 300.0);
@@ -390,7 +469,10 @@ mod tests {
     fn numeric_rows_matrix() {
         let t = demo();
         let m = t.numeric_rows(&[0, 1]).unwrap();
-        assert_eq!(m, vec![vec![30.0, 100.0], vec![40.0, 200.0], vec![50.0, 300.0]]);
+        assert_eq!(
+            m,
+            vec![vec![30.0, 100.0], vec![40.0, 200.0], vec![50.0, 300.0]]
+        );
         assert!(t.numeric_rows(&[2]).is_err());
     }
 
@@ -458,7 +540,8 @@ mod tests {
         let mut s = schema();
         s.set_roles(&[("age", AttributeRole::Identifier)]).unwrap();
         let mut t = Table::new(s);
-        t.push_row(&[Value::Number(1.0), Value::Number(2.0), Value::Category(1)]).unwrap();
+        t.push_row(&[Value::Number(1.0), Value::Number(2.0), Value::Category(1)])
+            .unwrap();
         let released = t.drop_identifiers().unwrap();
         assert_eq!(released.n_cols(), 2);
         assert_eq!(released.schema().attribute(0).unwrap().name, "income");

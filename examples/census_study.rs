@@ -12,7 +12,10 @@ use tclose::metrics::risk::record_linkage_risk;
 use tclose::microdata::NormalizeMethod;
 
 fn main() {
-    let datasets = [("MCD (R≈0.52)", census_mcd(42)), ("HCD (R≈0.92)", census_hcd(42))];
+    let datasets = [
+        ("MCD (R≈0.52)", census_mcd(42)),
+        ("HCD (R≈0.92)", census_hcd(42)),
+    ];
     let algorithms = [
         ("Alg1 merge", Algorithm::Merge),
         ("Alg2 k-first", Algorithm::KAnonymityFirst),

@@ -37,9 +37,14 @@ fn main() {
         .expect("columns exist");
 
     // 3. …releases a k = 5, t = 0.15 version…
-    let out = Anonymizer::new(5, 0.15).anonymize(&table).expect("anonymization succeeds");
-    std::fs::write(&output_path, to_csv_string(&out.table).expect("serializable"))
-        .expect("write release");
+    let out = Anonymizer::new(5, 0.15)
+        .anonymize(&table)
+        .expect("anonymization succeeds");
+    std::fs::write(
+        &output_path,
+        to_csv_string(&out.table).expect("serializable"),
+    )
+    .expect("write release");
     println!(
         "released {} records: {} classes, achieved k = {}, achieved t = {:.4}",
         out.report.n_records,

@@ -13,7 +13,13 @@ use tclose::microdata::{AttributeDef, AttributeRole, Schema, Table, Value};
 
 fn main() {
     let age_brackets = ["18-29", "30-44", "45-59", "60-74", "75+"];
-    let education = ["primary", "secondary", "vocational", "bachelor", "postgraduate"];
+    let education = [
+        "primary",
+        "secondary",
+        "vocational",
+        "bachelor",
+        "postgraduate",
+    ];
     let income = ["<20k", "20-35k", "35-50k", "50-80k", "80-120k", ">120k"];
 
     let schema = Schema::new(vec![
@@ -26,18 +32,27 @@ fn main() {
     // A deterministic pseudo-population: income loosely follows education.
     let mut table = Table::new(schema);
     for i in 0..300u32 {
-        let age = (i * 7 % 5) as u32;
-        let edu = (i * 13 % 5) as u32;
+        let age = i * 7 % 5;
+        let edu = i * 13 % 5;
         let noise = (i * 31 % 6) as i32 - 2;
         let inc = ((edu as i32 + noise).clamp(0, 5)) as u32;
         table
-            .push_row(&[Value::Category(age), Value::Category(edu), Value::Category(inc)])
+            .push_row(&[
+                Value::Category(age),
+                Value::Category(edu),
+                Value::Category(inc),
+            ])
             .expect("row matches schema");
     }
 
-    println!("survey: n = {}, ordinal QIs + ordinal confidential\n", table.n_rows());
+    println!(
+        "survey: n = {}, ordinal QIs + ordinal confidential\n",
+        table.n_rows()
+    );
 
-    let out = Anonymizer::new(4, 0.2).anonymize(&table).expect("anonymization succeeds");
+    let out = Anonymizer::new(4, 0.2)
+        .anonymize(&table)
+        .expect("anonymization succeeds");
     let r = &out.report;
     println!("released with Algorithm 3 at (k = 4, t = 0.2):");
     println!("  classes            {}", r.n_clusters);
@@ -54,12 +69,25 @@ fn main() {
 
     // The aggregation step replaced each class's QI codes by the class
     // *median* category — still a real category, never an invented value.
-    let dict = &out.table.schema().attribute(0).expect("age attribute").dictionary;
-    let released_ages: std::collections::BTreeSet<u32> =
-        out.table.categorical_column(0).expect("ordinal column").iter().copied().collect();
+    let dict = &out
+        .table
+        .schema()
+        .attribute(0)
+        .expect("age attribute")
+        .dictionary;
+    let released_ages: std::collections::BTreeSet<u32> = out
+        .table
+        .categorical_column(0)
+        .expect("ordinal column")
+        .iter()
+        .copied()
+        .collect();
     println!(
         "\nreleased age brackets (all are genuine categories): {:?}",
-        released_ages.iter().map(|&c| dict.label(c).unwrap()).collect::<Vec<_>>()
+        released_ages
+            .iter()
+            .map(|&c| dict.label(c).unwrap())
+            .collect::<Vec<_>>()
     );
 
     // Confidential income brackets are untouched record by record.

@@ -31,7 +31,10 @@ fn main() {
     // 3. Release with each algorithm: k = 3 (each subject hidden among ≥ 3)
     //    and t = 0.2 (every class's wage distribution within EMD 0.2 of the
     //    global one).
-    println!("requested: k = 3, t = 0.20 on n = {} records\n", table.n_rows());
+    println!(
+        "requested: k = 3, t = 0.20 on n = {} records\n",
+        table.n_rows()
+    );
     println!(
         "{:<28} {:>9} {:>9} {:>10} {:>10}",
         "algorithm", "classes", "min size", "max EMD", "SSE"
@@ -50,12 +53,17 @@ fn main() {
             "{:<28} {:>9} {:>9} {:>10.4} {:>10.6}",
             r.algorithm, r.n_clusters, r.min_cluster_size, r.max_emd, r.sse
         );
-        assert!(r.satisfies_request(), "release must meet the requested levels");
+        assert!(
+            r.satisfies_request(),
+            "release must meet the requested levels"
+        );
     }
 
     // 4. Inspect one release: quasi-identifiers are shared within classes,
     //    wages are untouched.
-    let released = Anonymizer::new(3, 0.2).anonymize(&table).expect("anonymization succeeds");
+    let released = Anonymizer::new(3, 0.2)
+        .anonymize(&table)
+        .expect("anonymization succeeds");
     println!("\nfirst three released records (QIs aggregated, wage intact):");
     for r in 0..3 {
         let row = released.table.row(r).expect("in bounds");

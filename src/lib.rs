@@ -25,12 +25,10 @@ pub use tclose_microdata as microdata;
 pub mod prelude {
     //! One-line import of the types used by virtually every application.
     pub use tclose_core::{
-        Algorithm, AnonymizationReport, Anonymizer, MergeAlgorithm, KAnonymityFirst,
+        Algorithm, AnonymizationReport, Anonymizer, KAnonymityFirst, MergeAlgorithm,
         TClosenessFirst, TClosenessParams,
     };
     pub use tclose_metrics::{emd::OrderedEmd, sse::normalized_sse};
     pub use tclose_microagg::{Clustering, Mdav, Microaggregator, VMdav};
-    pub use tclose_microdata::{
-        AttributeDef, AttributeKind, AttributeRole, Schema, Table, Value,
-    };
+    pub use tclose_microdata::{AttributeDef, AttributeKind, AttributeRole, Schema, Table, Value};
 }

@@ -19,7 +19,8 @@ fn schema() -> Schema {
 fn table_with(rows: &[(f64, f64, f64)]) -> Table {
     let mut t = Table::new(schema());
     for &(a, b, c) in rows {
-        t.push_row(&[Value::Number(a), Value::Number(b), Value::Number(c)]).unwrap();
+        t.push_row(&[Value::Number(a), Value::Number(b), Value::Number(c)])
+            .unwrap();
     }
     t
 }
@@ -39,7 +40,10 @@ const ALL_ALGORITHMS: [Algorithm; 8] = [
 fn empty_table_is_a_clean_error_for_every_algorithm() {
     let empty = Table::new(schema());
     for alg in ALL_ALGORITHMS {
-        let err = Anonymizer::new(2, 0.2).algorithm(alg).anonymize(&empty).unwrap_err();
+        let err = Anonymizer::new(2, 0.2)
+            .algorithm(alg)
+            .anonymize(&empty)
+            .unwrap_err();
         assert!(matches!(err, Error::Microdata(_)), "{}: {err}", alg.name());
     }
 }
@@ -47,8 +51,15 @@ fn empty_table_is_a_clean_error_for_every_algorithm() {
 #[test]
 fn single_record_table_releases_one_singleton_class() {
     let t = table_with(&[(1.0, 2.0, 3.0)]);
-    for alg in [Algorithm::Merge, Algorithm::KAnonymityFirst, Algorithm::TClosenessFirst] {
-        let out = Anonymizer::new(2, 0.2).algorithm(alg).anonymize(&t).unwrap();
+    for alg in [
+        Algorithm::Merge,
+        Algorithm::KAnonymityFirst,
+        Algorithm::TClosenessFirst,
+    ] {
+        let out = Anonymizer::new(2, 0.2)
+            .algorithm(alg)
+            .anonymize(&t)
+            .unwrap();
         assert_eq!(out.report.n_clusters, 1);
         assert_eq!(out.report.min_cluster_size, 1);
         // the single class is the whole table, so its EMD is exactly 0
@@ -58,11 +69,19 @@ fn single_record_table_releases_one_singleton_class() {
 
 #[test]
 fn constant_confidential_attribute_is_trivially_t_close() {
-    let rows: Vec<(f64, f64, f64)> =
-        (0..30).map(|i| (i as f64, (i * 3 % 7) as f64, 42.0)).collect();
+    let rows: Vec<(f64, f64, f64)> = (0..30)
+        .map(|i| (i as f64, (i * 3 % 7) as f64, 42.0))
+        .collect();
     let t = table_with(&rows);
-    for alg in [Algorithm::Merge, Algorithm::KAnonymityFirst, Algorithm::TClosenessFirst] {
-        let out = Anonymizer::new(3, 0.05).algorithm(alg).anonymize(&t).unwrap();
+    for alg in [
+        Algorithm::Merge,
+        Algorithm::KAnonymityFirst,
+        Algorithm::TClosenessFirst,
+    ] {
+        let out = Anonymizer::new(3, 0.05)
+            .algorithm(alg)
+            .anonymize(&t)
+            .unwrap();
         assert_eq!(out.report.max_emd, 0.0, "{}", alg.name());
         assert!(out.report.min_cluster_size >= 3);
     }
@@ -75,7 +94,10 @@ fn constant_quasi_identifiers_still_release() {
     let rows: Vec<(f64, f64, f64)> = (0..24).map(|i| (5.0, 7.0, i as f64)).collect();
     let t = table_with(&rows);
     for alg in [Algorithm::Merge, Algorithm::TClosenessFirst] {
-        let out = Anonymizer::new(4, 0.25).algorithm(alg).anonymize(&t).unwrap();
+        let out = Anonymizer::new(4, 0.25)
+            .algorithm(alg)
+            .anonymize(&t)
+            .unwrap();
         assert!(out.report.min_cluster_size >= 4, "{}", alg.name());
         assert!(out.report.max_emd <= 0.25 + 1e-9);
     }
@@ -98,8 +120,9 @@ fn duplicate_records_are_handled() {
 
 #[test]
 fn extreme_t_values_behave() {
-    let rows: Vec<(f64, f64, f64)> =
-        (0..40).map(|i| (i as f64, (i * i % 13) as f64, (i % 11) as f64)).collect();
+    let rows: Vec<(f64, f64, f64)> = (0..40)
+        .map(|i| (i as f64, (i * i % 13) as f64, (i % 11) as f64))
+        .collect();
     let t = table_with(&rows);
 
     // t = 1 never constrains → pure k-anonymous microaggregation.
@@ -115,9 +138,18 @@ fn extreme_t_values_behave() {
 #[test]
 fn invalid_parameters_are_rejected_before_any_work() {
     let t = table_with(&[(1.0, 2.0, 3.0), (4.0, 5.0, 6.0)]);
-    for (k, tt) in [(0usize, 0.1f64), (2, 0.0), (2, -1.0), (2, 1.5), (2, f64::NAN)] {
+    for (k, tt) in [
+        (0usize, 0.1f64),
+        (2, 0.0),
+        (2, -1.0),
+        (2, 1.5),
+        (2, f64::NAN),
+    ] {
         let err = Anonymizer::new(k, tt).anonymize(&t).unwrap_err();
-        assert!(matches!(err, Error::InvalidParams(_)), "k={k} t={tt}: {err}");
+        assert!(
+            matches!(err, Error::InvalidParams(_)),
+            "k={k} t={tt}: {err}"
+        );
     }
 }
 
@@ -128,7 +160,10 @@ fn non_finite_values_cannot_enter_a_table() {
         let err = t
             .push_row(&[Value::Number(bad), Value::Number(0.0), Value::Number(0.0)])
             .unwrap_err();
-        assert!(matches!(err, tclose::microdata::Error::NonFiniteValue { .. }));
+        assert!(matches!(
+            err,
+            tclose::microdata::Error::NonFiniteValue { .. }
+        ));
     }
     assert!(t.is_empty(), "no partial rows may survive");
 }
@@ -136,9 +171,9 @@ fn non_finite_values_cannot_enter_a_table() {
 #[test]
 fn malformed_csv_is_rejected_with_line_numbers() {
     let cases = [
-        ("qi1,qi2\n1,2\n", "header has 2 columns"),     // wrong arity
+        ("qi1,qi2\n1,2\n", "header has 2 columns"), // wrong arity
         ("qi1,qi2,conf\n1,2\n", "record has 2 fields"), // ragged record
-        ("qi1,qi2,conf\n1,x,3\n", "cannot parse"),      // non-numeric
+        ("qi1,qi2,conf\n1,x,3\n", "cannot parse"),  // non-numeric
         ("qi1,qi2,conf\n\"unterminated,2,3\n", "unterminated"),
     ];
     for (input, expect) in cases {
@@ -151,16 +186,22 @@ fn malformed_csv_is_rejected_with_line_numbers() {
 #[test]
 fn missing_roles_produce_actionable_errors() {
     // no confidential attribute
-    let s = Schema::new(vec![AttributeDef::numeric("qi1", AttributeRole::QuasiIdentifier)])
-        .unwrap();
+    let s = Schema::new(vec![AttributeDef::numeric(
+        "qi1",
+        AttributeRole::QuasiIdentifier,
+    )])
+    .unwrap();
     let mut t = Table::new(s);
     t.push_row(&[Value::Number(1.0)]).unwrap();
     let err = Anonymizer::new(2, 0.2).anonymize(&t).unwrap_err();
     assert!(err.to_string().contains("confidential"), "{err}");
 
     // no quasi-identifier
-    let s = Schema::new(vec![AttributeDef::numeric("conf", AttributeRole::Confidential)])
-        .unwrap();
+    let s = Schema::new(vec![AttributeDef::numeric(
+        "conf",
+        AttributeRole::Confidential,
+    )])
+    .unwrap();
     let mut t = Table::new(s);
     t.push_row(&[Value::Number(1.0)]).unwrap();
     let err = Anonymizer::new(2, 0.2).anonymize(&t).unwrap_err();

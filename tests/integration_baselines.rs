@@ -116,5 +116,8 @@ fn mondrian_k_only_variant_is_finer_but_unsafe() {
         .iter()
         .map(|c| p.conf.emd_of_records(c))
         .fold(0.0, f64::max);
-    assert!(worst > 0.05, "k-only Mondrian should violate t here (worst {worst})");
+    assert!(
+        worst > 0.05,
+        "k-only Mondrian should violate t here (worst {worst})"
+    );
 }

@@ -2,9 +2,7 @@
 //! verifying the released tables end to end (k-anonymity, t-closeness,
 //! partition integrity, confidential preservation, SSE ordering).
 
-use tclose::core::{
-    verify_k_anonymity, verify_t_closeness, Algorithm, Anonymizer, Confidential,
-};
+use tclose::core::{verify_k_anonymity, verify_t_closeness, Algorithm, Anonymizer, Confidential};
 use tclose::datasets::census::census_sized;
 use tclose::datasets::{census_tied_mcd, patient_discharge};
 use tclose::microdata::{AttributeRole, Table};
@@ -92,7 +90,10 @@ fn all_algorithms_produce_verified_releases_on_all_datasets() {
                     seen[r] = true;
                 }
             }
-            assert!(seen.iter().all(|&s| s), "some record missing from the partition");
+            assert!(
+                seen.iter().all(|&s| s),
+                "some record missing from the partition"
+            );
         }
     }
 }
@@ -107,10 +108,17 @@ fn sse_ordering_matches_the_paper_headline() {
     // and the ordering is noise), so patient is asserted at t = 0.05 below.
     for (ds_name, table) in [("mcd", small_mcd(150)), ("hcd", small_hcd(150))] {
         let mut totals = std::collections::HashMap::new();
-        for alg in [Algorithm::Merge, Algorithm::KAnonymityFirst, Algorithm::TClosenessFirst] {
+        for alg in [
+            Algorithm::Merge,
+            Algorithm::KAnonymityFirst,
+            Algorithm::TClosenessFirst,
+        ] {
             let mut sum = 0.0;
             for t in [0.10, 0.17, 0.25] {
-                let out = Anonymizer::new(2, t).algorithm(alg).anonymize(&table).unwrap();
+                let out = Anonymizer::new(2, t)
+                    .algorithm(alg)
+                    .anonymize(&table)
+                    .unwrap();
                 sum += out.report.sse;
             }
             totals.insert(alg.name(), sum);
@@ -136,7 +144,10 @@ fn sse_ordering_matches_the_paper_headline() {
     };
     let alg1 = strict(Algorithm::Merge);
     let alg3 = strict(Algorithm::TClosenessFirst);
-    assert!(alg3 <= alg1 + 1e-9, "patient strict-t: Alg3 {alg3} > Alg1 {alg1}");
+    assert!(
+        alg3 <= alg1 + 1e-9,
+        "patient strict-t: Alg3 {alg3} > Alg1 {alg1}"
+    );
 }
 
 #[test]
@@ -144,14 +155,33 @@ fn stricter_parameters_cost_more_utility() {
     let table = small_mcd(150);
     // stricter t (same k) ⇒ SSE can only grow (weakly) for Alg3, whose
     // cluster size is a deterministic function of t.
-    let loose = Anonymizer::new(2, 0.25).anonymize(&table).unwrap().report.sse;
-    let strict = Anonymizer::new(2, 0.05).anonymize(&table).unwrap().report.sse;
+    let loose = Anonymizer::new(2, 0.25)
+        .anonymize(&table)
+        .unwrap()
+        .report
+        .sse;
+    let strict = Anonymizer::new(2, 0.05)
+        .anonymize(&table)
+        .unwrap()
+        .report
+        .sse;
     assert!(strict >= loose - 1e-12, "strict {strict} vs loose {loose}");
 
     // larger k (same t) ⇒ larger clusters ⇒ more SSE for Alg3.
-    let small_k = Anonymizer::new(2, 0.25).anonymize(&table).unwrap().report.sse;
-    let large_k = Anonymizer::new(25, 0.25).anonymize(&table).unwrap().report.sse;
-    assert!(large_k >= small_k - 1e-12, "k=25 {large_k} vs k=2 {small_k}");
+    let small_k = Anonymizer::new(2, 0.25)
+        .anonymize(&table)
+        .unwrap()
+        .report
+        .sse;
+    let large_k = Anonymizer::new(25, 0.25)
+        .anonymize(&table)
+        .unwrap()
+        .report
+        .sse;
+    assert!(
+        large_k >= small_k - 1e-12,
+        "k=25 {large_k} vs k=2 {small_k}"
+    );
 }
 
 #[test]
@@ -160,7 +190,10 @@ fn mean_preservation_of_microaggregation() {
     // one of Section 4's utility arguments for microaggregation.
     let table = small_mcd(120);
     for alg in [Algorithm::Merge, Algorithm::TClosenessFirst] {
-        let out = Anonymizer::new(4, 0.2).algorithm(alg).anonymize(&table).unwrap();
+        let out = Anonymizer::new(4, 0.2)
+            .algorithm(alg)
+            .anonymize(&table)
+            .unwrap();
         for &q in &table.schema().quasi_identifiers() {
             let orig: f64 = table.numeric_column(q).unwrap().iter().sum();
             let anon: f64 = out.table.numeric_column(q).unwrap().iter().sum();

@@ -1,76 +1,104 @@
-//! Property-based tests (proptest) of the core invariants, across random
-//! data sets, parameters and seeds.
+//! Property-based tests of the core invariants, across random data sets,
+//! parameters and seeds.
+//!
+//! Cases are drawn from a seeded [`StdRng`] rather than `proptest` (the
+//! build is offline — see the root `Cargo.toml`), so every run exercises
+//! the identical case set; a failure message includes the case number,
+//! which is enough to reproduce locally.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use tclose::core::bounds::{emd_lower_bound, emd_upper_bound, tfirst_cluster_size};
-use tclose::core::{Confidential, MergeAlgorithm, TCloseClusterer, TClosenessFirst, TClosenessParams};
+use tclose::core::{
+    Confidential, MergeAlgorithm, TCloseClusterer, TClosenessFirst, TClosenessParams,
+};
 use tclose::metrics::emd::{ClusterHistogram, OrderedEmd};
 use tclose::microagg::{Clustering, Mdav, Microaggregator, VMdav};
 
-/// Strategy: a finite confidential column of 4–120 values in a small range
-/// (guaranteeing plenty of ties sometimes) or a wide one (mostly distinct).
-fn conf_column() -> impl Strategy<Value = Vec<f64>> {
-    prop_oneof![
-        proptest::collection::vec((0u32..8).prop_map(|v| v as f64), 4..120),
-        proptest::collection::vec((-1e6f64..1e6).prop_map(|v| (v * 100.0).round() / 100.0), 4..120),
-    ]
-}
+/// Number of random cases per property (mirrors proptest's default-ish 48).
+const CASES: u64 = 48;
 
-/// Strategy: QI rows of the same length as a paired confidential column.
-fn problem() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>)> {
-    conf_column().prop_flat_map(|conf| {
-        let n = conf.len();
-        (
-            proptest::collection::vec(
-                proptest::collection::vec(-100.0f64..100.0, 2),
-                n..=n,
-            ),
-            Just(conf),
-        )
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn emd_is_in_unit_interval_for_any_subset((_rows, conf) in problem(), mask in proptest::collection::vec(any::<bool>(), 4..120)) {
-        let emd = OrderedEmd::new(&conf);
-        let records: Vec<usize> = (0..conf.len())
-            .filter(|&r| *mask.get(r).unwrap_or(&false))
-            .collect();
-        let d = emd.emd_of_records(&records);
-        prop_assert!((0.0..=1.0 + 1e-12).contains(&d), "EMD {d} out of range");
+/// A finite confidential column of 4–120 values: small-range (guaranteeing
+/// plenty of ties) half the time, wide and mostly distinct otherwise.
+fn conf_column(rng: &mut StdRng) -> Vec<f64> {
+    let n = rng.gen_range(4usize..120);
+    if rng.gen_bool(0.5) {
+        (0..n).map(|_| rng.gen_range(0u32..8) as f64).collect()
+    } else {
+        (0..n)
+            .map(|_| (rng.gen_range(-1e6f64..1e6) * 100.0).round() / 100.0)
+            .collect()
     }
+}
 
-    #[test]
-    fn emd_of_full_population_is_zero((_rows, conf) in problem()) {
+/// QI rows of the same length as a paired confidential column.
+fn problem(rng: &mut StdRng) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let conf = conf_column(rng);
+    let rows = (0..conf.len())
+        .map(|_| (0..2).map(|_| rng.gen_range(-100.0f64..100.0)).collect())
+        .collect();
+    (rows, conf)
+}
+
+#[test]
+fn emd_is_in_unit_interval_for_any_subset() {
+    let mut rng = StdRng::seed_from_u64(0xE3D1);
+    for case in 0..CASES {
+        let (_rows, conf) = problem(&mut rng);
+        let emd = OrderedEmd::new(&conf);
+        let records: Vec<usize> = (0..conf.len()).filter(|_| rng.gen_bool(0.5)).collect();
+        let d = emd.emd_of_records(&records);
+        assert!(
+            (0.0..=1.0 + 1e-12).contains(&d),
+            "case {case}: EMD {d} out of range"
+        );
+    }
+}
+
+#[test]
+fn emd_of_full_population_is_zero() {
+    let mut rng = StdRng::seed_from_u64(0xE3D2);
+    for case in 0..CASES {
+        let (_rows, conf) = problem(&mut rng);
         let emd = OrderedEmd::new(&conf);
         let all: Vec<usize> = (0..conf.len()).collect();
-        prop_assert!(emd.emd_of_records(&all) < 1e-9);
+        assert!(emd.emd_of_records(&all) < 1e-9, "case {case}");
     }
+}
 
-    #[test]
-    fn incremental_histogram_equals_batch((_rows, conf) in problem(), picks in proptest::collection::vec(any::<proptest::sample::Index>(), 1..20)) {
+#[test]
+fn incremental_histogram_equals_batch() {
+    let mut rng = StdRng::seed_from_u64(0xE3D3);
+    for case in 0..CASES {
+        let (_rows, conf) = problem(&mut rng);
         let emd = OrderedEmd::new(&conf);
-        let records: Vec<usize> = picks.iter().map(|i| i.index(conf.len())).collect();
+        let n_picks = rng.gen_range(1usize..20);
+        let records: Vec<usize> = (0..n_picks)
+            .map(|_| rng.gen_range(0usize..conf.len()))
+            .collect();
         let mut hist = ClusterHistogram::empty(emd.m());
         for &r in &records {
             hist.add(emd.bin_of(r));
         }
         let batch = emd.emd_of_records(&records);
-        prop_assert!((emd.emd(&hist) - batch).abs() < 1e-12);
+        assert!((emd.emd(&hist) - batch).abs() < 1e-12, "case {case}");
     }
+}
 
-    #[test]
-    fn proposition1_lower_bounds_every_cluster((_rows, conf) in problem(), k in 2usize..8) {
+#[test]
+fn proposition1_lower_bounds_every_cluster() {
+    let mut rng = StdRng::seed_from_u64(0xE3D4);
+    for case in 0..CASES {
+        let (_rows, conf) = problem(&mut rng);
+        let k = rng.gen_range(2usize..8);
         // Only valid when values are all distinct (the proposition's
         // setting); skip tied instances.
         let mut sorted = conf.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
         sorted.dedup();
-        prop_assume!(sorted.len() == conf.len());
-        prop_assume!(conf.len() >= 2 * k);
+        if sorted.len() != conf.len() || conf.len() < 2 * k {
+            continue;
+        }
 
         let emd = OrderedEmd::new(&conf);
         let bound = emd_lower_bound(conf.len(), k);
@@ -79,99 +107,153 @@ proptest! {
         for start in 0..3.min(n - k) {
             let cluster: Vec<usize> = (start..start + k).collect();
             let d = emd.emd_of_records(&cluster);
-            prop_assert!(d >= bound - 1e-9, "EMD {d} below Prop. 1 bound {bound}");
+            assert!(
+                d >= bound - 1e-9,
+                "case {case}: EMD {d} below Prop. 1 bound {bound}"
+            );
         }
     }
+}
 
-    #[test]
-    fn mdav_and_vmdav_respect_size_bounds((rows, _conf) in problem(), k in 1usize..6) {
+#[test]
+fn mdav_and_vmdav_respect_size_bounds() {
+    let mut rng = StdRng::seed_from_u64(0xE3D5);
+    for case in 0..CASES {
+        let (rows, _conf) = problem(&mut rng);
+        let k = rng.gen_range(1usize..6);
         let n = rows.len();
         let c = Mdav.partition(&rows, k);
-        prop_assert_eq!(c.n_records(), n);
+        assert_eq!(c.n_records(), n, "case {case}");
         c.check_min_size(k.min(n)).unwrap();
         if c.n_clusters() > 1 {
-            prop_assert!(c.max_size() < 2 * k);
+            assert!(c.max_size() < 2 * k, "case {case}");
         }
 
         let v = VMdav::new(0.3).partition(&rows, k);
-        prop_assert_eq!(v.n_records(), n);
+        assert_eq!(v.n_records(), n, "case {case}");
         v.check_min_size(k.min(n)).unwrap();
     }
+}
 
-    #[test]
-    fn merge_algorithm_always_attains_t((rows, conf) in problem(), k in 1usize..5, t in 0.02f64..0.5) {
+#[test]
+fn merge_algorithm_always_attains_t() {
+    let mut rng = StdRng::seed_from_u64(0xE3D6);
+    for case in 0..CASES {
+        let (rows, conf) = problem(&mut rng);
+        let k = rng.gen_range(1usize..5);
+        let t = rng.gen_range(0.02f64..0.5);
         let model = Confidential::single(OrderedEmd::new(&conf));
         let params = TClosenessParams::new(k, t).unwrap();
         let c = MergeAlgorithm::new().cluster(&rows, &model, params);
-        prop_assert_eq!(c.n_records(), rows.len());
+        assert_eq!(c.n_records(), rows.len(), "case {case}");
         c.check_min_size(k.min(rows.len())).unwrap();
         for cl in c.clusters() {
-            prop_assert!(model.emd_of_records(cl) <= t + 1e-9);
+            let d = model.emd_of_records(cl);
+            assert!(d <= t + 1e-9, "case {case}: EMD {d} > t {t}");
         }
     }
+}
 
-    #[test]
-    fn tfirst_always_attains_t_with_fallback((rows, conf) in problem(), k in 1usize..5, t in 0.02f64..0.5) {
+#[test]
+fn tfirst_always_attains_t_with_fallback() {
+    let mut rng = StdRng::seed_from_u64(0xE3D7);
+    for case in 0..CASES {
+        let (rows, conf) = problem(&mut rng);
+        let k = rng.gen_range(1usize..5);
+        let t = rng.gen_range(0.02f64..0.5);
         let model = Confidential::single(OrderedEmd::new(&conf));
         let params = TClosenessParams::new(k, t).unwrap();
         let c = TClosenessFirst::new().cluster(&rows, &model, params);
-        prop_assert_eq!(c.n_records(), rows.len());
+        assert_eq!(c.n_records(), rows.len(), "case {case}");
         c.check_min_size(k.min(rows.len())).unwrap();
         for cl in c.clusters() {
-            prop_assert!(model.emd_of_records(cl) <= t + 1e-9);
+            let d = model.emd_of_records(cl);
+            assert!(d <= t + 1e-9, "case {case}: EMD {d} > t {t}");
         }
     }
+}
 
-    #[test]
-    fn tfirst_unchecked_meets_t_on_distinct_divisible_instances(seed in 0u64..1000, k in 2usize..5) {
+#[test]
+fn tfirst_unchecked_meets_t_on_distinct_divisible_instances() {
+    let mut rng = StdRng::seed_from_u64(0xE3D8);
+    for case in 0..CASES {
+        let seed = rng.gen_range(0u64..1000);
+        let k = rng.gen_range(2usize..5);
         // all-distinct values, n a multiple of every candidate k': the
         // strict regime of Proposition 2.
         let n = 120usize;
-        let conf: Vec<f64> = (0..n).map(|i| ((i as u64 * 7919 + seed) % 100_000) as f64 + (i as f64) * 1e-3).collect();
-        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![((i as u64 * 104_729 + seed) % 1000) as f64]).collect();
+        let conf: Vec<f64> = (0..n)
+            .map(|i| ((i as u64 * 7919 + seed) % 100_000) as f64 + (i as f64) * 1e-3)
+            .collect();
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![((i as u64 * 104_729 + seed) % 1000) as f64])
+            .collect();
         let t = 0.2f64;
         let k_eff = tfirst_cluster_size(n, k, t);
-        prop_assume!(n.is_multiple_of(k_eff));
+        if !n.is_multiple_of(k_eff) {
+            continue;
+        }
         let model = Confidential::single(OrderedEmd::new(&conf));
         let params = TClosenessParams::new(k, t).unwrap();
         let c = TClosenessFirst::unchecked().cluster(&rows, &model, params);
         for cl in c.clusters() {
             let d = model.emd_of_records(cl);
-            prop_assert!(d <= t + 1e-9, "EMD {d} > t with k_eff {k_eff}");
-            prop_assert!(d <= emd_upper_bound(n, k_eff) + 1e-9);
+            assert!(d <= t + 1e-9, "case {case}: EMD {d} > t with k_eff {k_eff}");
+            assert!(d <= emd_upper_bound(n, k_eff) + 1e-9, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn clustering_partition_validation_catches_corruption(n in 2usize..40) {
+#[test]
+fn clustering_partition_validation_catches_corruption() {
+    let mut rng = StdRng::seed_from_u64(0xE3D9);
+    for case in 0..CASES {
+        let n = rng.gen_range(2usize..40);
         let clusters: Vec<Vec<usize>> = vec![(0..n).collect()];
         let c = Clustering::new(clusters, n).unwrap();
-        prop_assert_eq!(c.n_clusters(), 1);
+        assert_eq!(c.n_clusters(), 1, "case {case}");
         // corrupt: drop one record
         let bad: Vec<Vec<usize>> = vec![(1..n).collect()];
-        prop_assert!(Clustering::new(bad, n).is_err());
+        assert!(Clustering::new(bad, n).is_err(), "case {case}");
         // corrupt: duplicate one record
         let mut dup: Vec<usize> = (0..n).collect();
         dup.push(0);
-        prop_assert!(Clustering::new(vec![dup], n).is_err());
+        assert!(Clustering::new(vec![dup], n).is_err(), "case {case}");
     }
+}
 
-    #[test]
-    fn csv_round_trip_preserves_numeric_tables(values in proptest::collection::vec((-1e9f64..1e9).prop_map(|v| (v * 1000.0).round() / 1000.0), 1..60)) {
-        use tclose::microdata::csv::{read_csv_auto, to_csv_string};
-        use tclose::microdata::{AttributeDef, AttributeRole, Schema, Table, Value};
-        let schema = Schema::new(vec![
-            AttributeDef::numeric("x", AttributeRole::QuasiIdentifier),
-        ]).unwrap();
+#[test]
+fn csv_round_trip_preserves_numeric_tables() {
+    use tclose::microdata::csv::{read_csv_auto, to_csv_string};
+    use tclose::microdata::{AttributeDef, AttributeRole, Schema, Table, Value};
+    let mut rng = StdRng::seed_from_u64(0xE3DA);
+    for case in 0..CASES {
+        let n = rng.gen_range(1usize..60);
+        let values: Vec<f64> = (0..n)
+            .map(|_| (rng.gen_range(-1e9f64..1e9) * 1000.0).round() / 1000.0)
+            .collect();
+        let schema = Schema::new(vec![AttributeDef::numeric(
+            "x",
+            AttributeRole::QuasiIdentifier,
+        )])
+        .unwrap();
         let mut t = Table::new(schema);
         for &v in &values {
             t.push_row(&[Value::Number(v)]).unwrap();
         }
         let s = to_csv_string(&t).unwrap();
         let back = read_csv_auto(s.as_bytes()).unwrap();
-        prop_assert_eq!(back.n_rows(), t.n_rows());
-        for (a, b) in t.numeric_column(0).unwrap().iter().zip(back.numeric_column(0).unwrap()) {
-            prop_assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0), "{a} vs {b}");
+        assert_eq!(back.n_rows(), t.n_rows(), "case {case}");
+        for (a, b) in t
+            .numeric_column(0)
+            .unwrap()
+            .iter()
+            .zip(back.numeric_column(0).unwrap())
+        {
+            assert!(
+                (a - b).abs() <= 1e-9 * a.abs().max(1.0),
+                "case {case}: {a} vs {b}"
+            );
         }
     }
 }
