@@ -15,7 +15,7 @@
 //! coarse granularity, outlier sensitivity, discretized numeric values.
 
 use tclose_core::{Confidential, TCloseClusterer, TClosenessParams};
-use tclose_microagg::Clustering;
+use tclose_microagg::{Clustering, Matrix};
 
 /// Mondrian k-anonymity with the t-closeness split constraint.
 #[derive(Debug, Clone, Copy, Default)]
@@ -38,19 +38,14 @@ impl MondrianTClose {
 }
 
 impl TCloseClusterer for MondrianTClose {
-    fn cluster(
-        &self,
-        rows: &[Vec<f64>],
-        conf: &Confidential,
-        params: TClosenessParams,
-    ) -> Clustering {
-        let n = rows.len();
+    fn cluster(&self, m: &Matrix, conf: &Confidential, params: TClosenessParams) -> Clustering {
+        let n = m.n_rows();
         if n == 0 {
             return Clustering::new(vec![], 0).expect("empty clustering is valid");
         }
         let mut classes: Vec<Vec<usize>> = Vec::new();
         let all: Vec<usize> = (0..n).collect();
-        self.split_recursive(rows, conf, params, all, &mut classes);
+        self.split_recursive(m, conf, params, all, &mut classes);
         Clustering::new(classes, n).expect("Mondrian partitions the records")
     }
 
@@ -66,15 +61,15 @@ impl TCloseClusterer for MondrianTClose {
 impl MondrianTClose {
     fn split_recursive(
         &self,
-        rows: &[Vec<f64>],
+        m: &Matrix,
         conf: &Confidential,
         params: TClosenessParams,
         records: Vec<usize>,
         out: &mut Vec<Vec<usize>>,
     ) {
-        if let Some((left, right)) = self.try_split(rows, conf, params, &records) {
-            self.split_recursive(rows, conf, params, left, out);
-            self.split_recursive(rows, conf, params, right, out);
+        if let Some((left, right)) = self.try_split(m, conf, params, &records) {
+            self.split_recursive(m, conf, params, left, out);
+            self.split_recursive(m, conf, params, right, out);
         } else {
             out.push(records);
         }
@@ -84,7 +79,7 @@ impl MondrianTClose {
     /// admits one.
     fn try_split(
         &self,
-        rows: &[Vec<f64>],
+        m: &Matrix,
         conf: &Confidential,
         params: TClosenessParams,
         records: &[usize],
@@ -92,7 +87,7 @@ impl MondrianTClose {
         if records.len() < 2 * params.k {
             return None;
         }
-        let dim_count = rows.first().map(Vec::len).unwrap_or(0);
+        let dim_count = m.n_cols();
 
         // Dimensions ordered by descending value range over this class —
         // Mondrian's "choose the widest attribute" heuristic, with the
@@ -101,11 +96,11 @@ impl MondrianTClose {
             .map(|d| {
                 let lo = records
                     .iter()
-                    .map(|&r| rows[r][d])
+                    .map(|&r| m.get(r, d))
                     .fold(f64::INFINITY, f64::min);
                 let hi = records
                     .iter()
-                    .map(|&r| rows[r][d])
+                    .map(|&r| m.get(r, d))
                     .fold(f64::NEG_INFINITY, f64::max);
                 (d, hi - lo)
             })
@@ -118,15 +113,15 @@ impl MondrianTClose {
             }
             let mut sorted: Vec<usize> = records.to_vec();
             sorted.sort_by(|&a, &b| {
-                rows[a][d]
-                    .partial_cmp(&rows[b][d])
+                m.get(a, d)
+                    .partial_cmp(&m.get(b, d))
                     .expect("finite")
                     .then(a.cmp(&b))
             });
             // Median split on *values*: records equal to the median value
             // must land on one side (strict partitioning).
-            let mid_value = rows[sorted[sorted.len() / 2]][d];
-            let split_at = sorted.partition_point(|&r| rows[r][d] < mid_value);
+            let mid_value = m.get(sorted[sorted.len() / 2], d);
+            let split_at = sorted.partition_point(|&r| m.get(r, d) < mid_value);
             let (lo, hi) = sorted.split_at(split_at);
             if lo.len() < params.k || hi.len() < params.k {
                 continue;
@@ -147,12 +142,15 @@ mod tests {
     use super::*;
     use tclose_metrics::emd::OrderedEmd;
 
-    fn problem(n: usize) -> (Vec<Vec<f64>>, Confidential) {
+    fn problem(n: usize) -> (Matrix, Confidential) {
         let rows: Vec<Vec<f64>> = (0..n)
             .map(|i| vec![(i % 10) as f64, (i / 10) as f64])
             .collect();
         let conf: Vec<f64> = (0..n).map(|i| ((i * 13) % 23) as f64).collect();
-        (rows, Confidential::single(OrderedEmd::new(&conf)))
+        (
+            Matrix::from_rows(&rows),
+            Confidential::single(OrderedEmd::new(&conf)),
+        )
     }
 
     #[test]
@@ -193,7 +191,7 @@ mod tests {
         // Perfectly correlated conf: with tiny t the t-aware variant cannot
         // split at all, while the k-only variant splits down to size k.
         let n = 64;
-        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
+        let rows = Matrix::from_rows(&(0..n).map(|i| vec![i as f64]).collect::<Vec<_>>());
         let conf = Confidential::single(OrderedEmd::new(
             &(0..n).map(|i| i as f64).collect::<Vec<_>>(),
         ));
@@ -207,7 +205,7 @@ mod tests {
     #[test]
     fn median_ties_do_not_break_partitioning() {
         // Heavily tied dimension values.
-        let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![(i % 2) as f64]).collect();
+        let rows = Matrix::from_rows(&(0..40).map(|i| vec![(i % 2) as f64]).collect::<Vec<_>>());
         let conf = Confidential::single(OrderedEmd::new(
             &(0..40).map(|i| (i % 4) as f64).collect::<Vec<_>>(),
         ));
@@ -221,10 +219,10 @@ mod tests {
     fn small_and_empty_inputs() {
         let conf = Confidential::single(OrderedEmd::new(&[1.0, 2.0, 3.0]));
         let params = TClosenessParams::new(2, 0.2).unwrap();
-        let c = MondrianTClose::new().cluster(&[], &conf, params);
+        let c = MondrianTClose::new().cluster(&Matrix::from_rows(&[]), &conf, params);
         assert_eq!(c.n_clusters(), 0);
 
-        let rows = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let rows = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]);
         let c = MondrianTClose::new().cluster(&rows, &conf, params);
         assert_eq!(c.n_clusters(), 1); // 3 < 2k → no split
     }

@@ -20,8 +20,8 @@
 //! loss").
 
 use tclose_core::{Confidential, TCloseClusterer, TClosenessParams};
-use tclose_metrics::distance::{centroid, farthest_from, sq_dist};
-use tclose_microagg::Clustering;
+use tclose_metrics::distance::{centroid_ids, farthest_from_ids, sq_dist};
+use tclose_microagg::{Clustering, Matrix, Parallelism};
 
 /// The SABRE-style bucketize-and-redistribute baseline.
 #[derive(Debug, Clone, Copy, Default)]
@@ -68,13 +68,9 @@ impl SabreLite {
 }
 
 impl TCloseClusterer for SabreLite {
-    fn cluster(
-        &self,
-        rows: &[Vec<f64>],
-        conf: &Confidential,
-        params: TClosenessParams,
-    ) -> Clustering {
-        let n = rows.len();
+    fn cluster(&self, m: &Matrix, conf: &Confidential, params: TClosenessParams) -> Clustering {
+        let par = Parallelism::auto();
+        let n = m.n_rows();
         if n == 0 {
             return Clustering::new(vec![], 0).expect("empty clustering is valid");
         }
@@ -119,8 +115,8 @@ impl TCloseClusterer for SabreLite {
             if live.is_empty() {
                 break;
             }
-            let center = centroid(rows, &live);
-            let seed = farthest_from(rows, &live, &center).expect("non-empty");
+            let center = centroid_ids(m, &live, par);
+            let seed = farthest_from_ids(m, &live, &center, par).expect("non-empty");
             let mut class = Vec::new();
             for (bi, pool) in bucket_pools.iter_mut().enumerate() {
                 let want = if class_idx + 1 == n_classes {
@@ -132,7 +128,7 @@ impl TCloseClusterer for SabreLite {
                     let mut best_pos = 0usize;
                     let mut best_d = f64::INFINITY;
                     for (pos, &r) in pool.iter().enumerate() {
-                        let d = sq_dist(&rows[r], &rows[seed]);
+                        let d = sq_dist(m.row(r), m.row(seed));
                         if d < best_d {
                             best_d = d;
                             best_pos = pos;
@@ -151,14 +147,14 @@ impl TCloseClusterer for SabreLite {
             if classes.len() == 1 {
                 break;
             }
-            let small_centroid = centroid(rows, &classes[small]);
+            let small_centroid = centroid_ids(m, &classes[small], par);
             let mut best = usize::MAX;
             let mut best_d = f64::INFINITY;
             for (ci, c) in classes.iter().enumerate() {
                 if ci == small {
                     continue;
                 }
-                let d = sq_dist(&small_centroid, &centroid(rows, c));
+                let d = sq_dist(&small_centroid, &centroid_ids(m, c, par));
                 if d < best_d {
                     best_d = d;
                     best = ci;
@@ -183,12 +179,16 @@ mod tests {
     use tclose_core::bounds::required_cluster_size;
     use tclose_metrics::emd::OrderedEmd;
 
-    fn problem(n: usize) -> (Vec<Vec<f64>>, Confidential) {
+    fn problem(n: usize) -> (Matrix, Confidential) {
         let rows: Vec<Vec<f64>> = (0..n)
             .map(|i| vec![(i % 13) as f64, (i % 7) as f64])
             .collect();
-        let conf: Vec<f64> = (0..n).map(|i| ((i * 17) % 101) as f64).collect();
-        (rows, Confidential::single(OrderedEmd::new(&conf)))
+        (
+            Matrix::from_rows(&rows),
+            Confidential::single(OrderedEmd::new(
+                &(0..n).map(|i| ((i * 17) % 101) as f64).collect::<Vec<_>>(),
+            )),
+        )
     }
 
     #[test]
@@ -267,7 +267,7 @@ mod tests {
     fn empty_input() {
         let conf = Confidential::single(OrderedEmd::new(&[1.0]));
         let params = TClosenessParams::new(2, 0.1).unwrap();
-        let c = SabreLite::new().cluster(&[], &conf, params);
+        let c = SabreLite::new().cluster(&Matrix::from_rows(&[]), &conf, params);
         assert_eq!(c.n_clusters(), 0);
     }
 }

@@ -1,0 +1,100 @@
+//! Flat-matrix kernel benchmark: the seed boxed-rows MDAV versus the flat
+//! [`Matrix`] kernel single-threaded, and the flat kernel's scaling with
+//! scoped-thread worker count, on 10k–100k synthetic rows.
+//!
+//! Numbers from this bench are recorded and interpreted in
+//! `docs/PERFORMANCE.md`. The `seed_boxed` target reproduces the seed
+//! implementation verbatim (per-record `Vec<f64>` allocations, pointer-
+//! chasing scans via the boxed-rows helpers of `tclose-metrics`), so the
+//! flat-vs-seed comparison isolates the representation change from the
+//! parallelism change.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tclose_metrics::distance::{centroid, farthest_from, k_nearest};
+use tclose_microagg::{mdav_partition, Clustering, Matrix, Parallelism};
+
+/// Deterministic synthetic rows (no RNG: same values in every run).
+fn synthetic_rows(n: usize, dims: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| {
+            (0..dims)
+                .map(|j| ((i * 2654435761 + j * 40503) % 100_003) as f64 * 1e-3)
+                .collect()
+        })
+        .collect()
+}
+
+/// The seed MDAV implementation over boxed rows, kept verbatim as the
+/// benchmark baseline.
+fn mdav_seed(rows: &[Vec<f64>], k: usize) -> Clustering {
+    let n = rows.len();
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut clusters: Vec<Vec<usize>> = Vec::with_capacity(n / k.max(1) + 1);
+    fn take(
+        rows: &[Vec<f64>],
+        remaining: &mut Vec<usize>,
+        seed: usize,
+        k: usize,
+        clusters: &mut Vec<Vec<usize>>,
+    ) {
+        let members = k_nearest(rows, remaining, &rows[seed], k);
+        remaining.retain(|r| !members.contains(r));
+        clusters.push(members);
+    }
+    while remaining.len() >= 3 * k {
+        let c = centroid(rows, &remaining);
+        let xr = farthest_from(rows, &remaining, &c).expect("non-empty");
+        take(rows, &mut remaining, xr, k, &mut clusters);
+        if remaining.is_empty() {
+            break;
+        }
+        let xs = farthest_from(rows, &remaining, &rows[xr]).expect("non-empty");
+        take(rows, &mut remaining, xs, k, &mut clusters);
+    }
+    if remaining.len() >= 2 * k {
+        let c = centroid(rows, &remaining);
+        let xr = farthest_from(rows, &remaining, &c).expect("non-empty");
+        take(rows, &mut remaining, xr, k, &mut clusters);
+        clusters.push(std::mem::take(&mut remaining));
+    } else if !remaining.is_empty() {
+        clusters.push(std::mem::take(&mut remaining));
+    }
+    Clustering::new(clusters, n).expect("valid partition")
+}
+
+/// Seed boxed path vs flat single-thread at n = 10k (the representation
+/// effect in isolation).
+fn bench_flat_vs_seed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mdav_flat_vs_seed");
+    group.sample_size(10);
+    let (n, dims, k) = (10_000usize, 4usize, 50usize);
+    let rows = synthetic_rows(n, dims);
+    let m = Matrix::from_rows(&rows);
+    group.bench_function(BenchmarkId::new("seed_boxed", n), |b| {
+        b.iter(|| black_box(mdav_seed(black_box(&rows), k)));
+    });
+    group.bench_function(BenchmarkId::new("flat_1thread", n), |b| {
+        b.iter(|| black_box(mdav_partition(black_box(&m), k, Parallelism::sequential())));
+    });
+    group.finish();
+}
+
+/// Flat kernel with 1/2/4/8 workers at 10k, 50k and 100k rows (the
+/// thread-scaling effect; identical clusterings by construction).
+fn bench_thread_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mdav_thread_scaling");
+    group.sample_size(10);
+    for (n, k) in [(10_000usize, 50usize), (50_000, 250), (100_000, 500)] {
+        let m = Matrix::from_rows(&synthetic_rows(n, 4));
+        for workers in [1usize, 2, 4, 8] {
+            let id = format!("n{n}/w{workers}");
+            group.bench_with_input(BenchmarkId::from_parameter(id), &workers, |b, &w| {
+                b.iter(|| black_box(mdav_partition(black_box(&m), k, Parallelism::workers(w))));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flat_vs_seed, bench_thread_scaling);
+criterion_main!(benches);

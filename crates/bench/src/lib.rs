@@ -13,21 +13,24 @@
 //! | `fig7_surface`  | Figure 7 (SSE surface sweep over k) |
 //! | `baselines`     | baseline comparison (Mondrian, SABRE) |
 //! | `kernels`       | micro: ordered EMD evaluation, MDAV partition |
+//! | `flat_scaling`  | flat kernel vs seed path + thread scaling (`docs/PERFORMANCE.md`) |
 //!
 //! Run with `cargo bench -p tclose-bench`. Timings are the deliverable
 //! here; the corresponding *values* (cluster sizes, SSE) are produced by
 //! the `repro` binary in `tclose-eval`.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use tclose_core::{Confidential, TClosenessParams};
+use tclose_microagg::Matrix;
 use tclose_microdata::{AttributeRole, NormalizeMethod, Table};
 
-/// A prepared benchmark problem: normalized QI rows plus the fitted
-/// confidential model (what every clusterer consumes).
+/// A prepared benchmark problem: the flat normalized QI matrix plus the
+/// fitted confidential model (what every clusterer consumes).
 pub struct Problem {
-    /// Normalized quasi-identifier row vectors.
-    pub rows: Vec<Vec<f64>>,
+    /// Normalized quasi-identifier records, flat row-major.
+    pub rows: Matrix,
     /// Fitted confidential model.
     pub conf: Confidential,
 }

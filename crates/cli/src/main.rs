@@ -12,6 +12,10 @@
 //! k-anonymous t-close version of the input (quasi-identifiers replaced by
 //! cluster centroids, confidential columns untouched) and prints an audit
 //! report; `audit` re-checks any released file independently.
+//!
+//! The three `--algorithm` choices are Algorithms 1–3 of the source paper
+//! (Soria-Comas et al., ICDE 2016): microaggregation + merging,
+//! k-anonymity-first refinement, and t-closeness-first stratification.
 
 mod args;
 mod commands;

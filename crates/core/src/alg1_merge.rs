@@ -15,8 +15,8 @@
 use crate::confidential::{ClusterHists, Confidential};
 use crate::params::TClosenessParams;
 use crate::TCloseClusterer;
-use tclose_metrics::distance::{centroid, sq_dist};
-use tclose_microagg::{Clustering, Mdav, Microaggregator};
+use tclose_metrics::distance::{centroid_ids, sq_dist};
+use tclose_microagg::{Clustering, Matrix, Mdav, Microaggregator, Parallelism};
 
 /// How Algorithm 1 chooses the cluster to merge the worst offender with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -34,6 +34,7 @@ pub enum MergePartner {
 pub struct MergeAlgorithm<M = Mdav> {
     base: M,
     partner: MergePartner,
+    par: Parallelism,
 }
 
 impl MergeAlgorithm<Mdav> {
@@ -42,6 +43,7 @@ impl MergeAlgorithm<Mdav> {
         MergeAlgorithm {
             base: Mdav::new(),
             partner: MergePartner::NearestQi,
+            par: Parallelism::auto(),
         }
     }
 }
@@ -58,6 +60,7 @@ impl<M: Microaggregator> MergeAlgorithm<M> {
         MergeAlgorithm {
             base,
             partner: MergePartner::NearestQi,
+            par: Parallelism::auto(),
         }
     }
 
@@ -66,17 +69,22 @@ impl<M: Microaggregator> MergeAlgorithm<M> {
         self.partner = partner;
         self
     }
+
+    /// Pins the worker count of the merge phase's centroid scans (the
+    /// base microaggregation keeps its own policy). The clustering never
+    /// depends on this — only wall-clock time does. Useful to avoid
+    /// thread oversubscription when many clusterings run concurrently
+    /// (e.g. under the experiment harness's `parallel_map`).
+    pub fn with_parallelism(mut self, par: Parallelism) -> Self {
+        self.par = par;
+        self
+    }
 }
 
 impl<M: Microaggregator> TCloseClusterer for MergeAlgorithm<M> {
-    fn cluster(
-        &self,
-        rows: &[Vec<f64>],
-        conf: &Confidential,
-        params: TClosenessParams,
-    ) -> Clustering {
-        let initial = self.base.partition(rows, params.k);
-        merge_until_t_close(rows, conf, params.t, initial, self.partner)
+    fn cluster(&self, m: &Matrix, conf: &Confidential, params: TClosenessParams) -> Clustering {
+        let initial = self.base.partition_matrix(m, params.k);
+        merge_until_t_close_with(m, conf, params.t, initial, self.partner, self.par)
     }
 
     fn name(&self) -> &'static str {
@@ -90,11 +98,24 @@ impl<M: Microaggregator> TCloseClusterer for MergeAlgorithm<M> {
 /// Repeatedly merges the cluster with the greatest EMD into a partner
 /// until every cluster's EMD is ≤ `t` (or one cluster remains).
 pub fn merge_until_t_close(
-    rows: &[Vec<f64>],
+    m: &Matrix,
     conf: &Confidential,
     t: f64,
     clustering: Clustering,
     partner: MergePartner,
+) -> Clustering {
+    merge_until_t_close_with(m, conf, t, clustering, partner, Parallelism::auto())
+}
+
+/// [`merge_until_t_close`] with an explicit worker count for the centroid
+/// scans (the result never depends on it).
+pub fn merge_until_t_close_with(
+    m: &Matrix,
+    conf: &Confidential,
+    t: f64,
+    clustering: Clustering,
+    partner: MergePartner,
+    par: Parallelism,
 ) -> Clustering {
     let n = clustering.n_records();
     let mut clusters: Vec<Vec<usize>> = clustering.into_clusters();
@@ -104,7 +125,7 @@ pub fn merge_until_t_close(
 
     let mut hists: Vec<ClusterHists> = clusters.iter().map(|c| conf.histograms(c)).collect();
     let mut emds: Vec<f64> = hists.iter().map(|h| conf.emd_of_hists(h)).collect();
-    let mut centroids: Vec<Vec<f64>> = clusters.iter().map(|c| centroid(rows, c)).collect();
+    let mut centroids: Vec<Vec<f64>> = clusters.iter().map(|c| centroid_ids(m, c, par)).collect();
 
     while clusters.len() > 1 {
         // The cluster farthest from t-closeness.
@@ -186,17 +207,23 @@ mod tests {
 
     /// QI = position on a line; confidential value strongly correlated with
     /// the QI (the adversarial case for merge-based t-closeness).
-    fn correlated_problem(n: usize) -> (Vec<Vec<f64>>, Confidential) {
+    fn correlated_problem(n: usize) -> (Matrix, Confidential) {
         let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
         let conf_col: Vec<f64> = (0..n).map(|i| (i as f64) * 10.0).collect();
-        (rows, Confidential::single(OrderedEmd::new(&conf_col)))
+        (
+            Matrix::from_rows(&rows),
+            Confidential::single(OrderedEmd::new(&conf_col)),
+        )
     }
 
     /// Confidential values independent of the QI.
-    fn independent_problem(n: usize) -> (Vec<Vec<f64>>, Confidential) {
+    fn independent_problem(n: usize) -> (Matrix, Confidential) {
         let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
         let conf_col: Vec<f64> = (0..n).map(|i| (i % 5) as f64).collect();
-        (rows, Confidential::single(OrderedEmd::new(&conf_col)))
+        (
+            Matrix::from_rows(&rows),
+            Confidential::single(OrderedEmd::new(&conf_col)),
+        )
     }
 
     #[test]
@@ -254,7 +281,7 @@ mod tests {
     #[test]
     fn merge_phase_is_identity_when_already_t_close() {
         let (rows, conf) = independent_problem(30);
-        let base = Mdav.partition(&rows, 5);
+        let base = Mdav.partition_matrix(&rows, 5);
         let merged = merge_until_t_close(&rows, &conf, 1.0, base.clone(), MergePartner::NearestQi);
         assert_eq!(base, merged);
     }
@@ -278,7 +305,11 @@ mod tests {
     #[test]
     fn empty_input() {
         let conf = Confidential::single(OrderedEmd::new(&[1.0]));
-        let c = MergeAlgorithm::new().cluster(&[], &conf, TClosenessParams::new(2, 0.1).unwrap());
+        let c = MergeAlgorithm::new().cluster(
+            &Matrix::from_rows(&[]),
+            &conf,
+            TClosenessParams::new(2, 0.1).unwrap(),
+        );
         assert_eq!(c.n_clusters(), 0);
     }
 }

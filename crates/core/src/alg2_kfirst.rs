@@ -12,16 +12,17 @@
 //! (especially for the last clusters), so Algorithm 2 alone cannot
 //! guarantee t-closeness. Per the paper, it is therefore used as the
 //! microaggregation step of Algorithm 1: a final merging pass
-//! ([`merge_until_t_close`]) repairs any violating clusters. The pass is
+//! ([`crate::alg1_merge::merge_until_t_close`]) repairs any violating
+//! clusters. The pass is
 //! enabled by default and can be disabled for ablation.
 
-use crate::alg1_merge::{merge_until_t_close, MergePartner};
+use crate::alg1_merge::{merge_until_t_close_with, MergePartner};
 use crate::confidential::Confidential;
 use crate::params::TClosenessParams;
 use crate::pool::IndexPool;
 use crate::TCloseClusterer;
-use tclose_metrics::distance::{centroid, farthest_from, k_nearest, sq_dist};
-use tclose_microagg::Clustering;
+use tclose_metrics::distance::{centroid_ids, farthest_from_ids, k_nearest_ids, sq_dist};
+use tclose_microagg::{Clustering, Matrix, Parallelism};
 
 /// How a freshly formed cluster is refined toward t-closeness.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -45,6 +46,7 @@ pub struct KAnonymityFirst {
     /// Run the Algorithm 1 merging pass afterwards so the result is
     /// guaranteed t-close (paper's recommendation). Default `true`.
     pub ensure_t_closeness: bool,
+    par: Parallelism,
 }
 
 impl KAnonymityFirst {
@@ -53,6 +55,7 @@ impl KAnonymityFirst {
         KAnonymityFirst {
             strategy: RefineStrategy::Swap,
             ensure_t_closeness: true,
+            par: Parallelism::auto(),
         }
     }
 
@@ -67,6 +70,13 @@ impl KAnonymityFirst {
         self.ensure_t_closeness = ensure;
         self
     }
+
+    /// Pins the worker count of the QI scans. The clustering never depends
+    /// on this — only wall-clock time does.
+    pub fn with_parallelism(mut self, par: Parallelism) -> Self {
+        self.par = par;
+        self
+    }
 }
 
 impl Default for KAnonymityFirst {
@@ -76,26 +86,23 @@ impl Default for KAnonymityFirst {
 }
 
 impl TCloseClusterer for KAnonymityFirst {
-    fn cluster(
-        &self,
-        rows: &[Vec<f64>],
-        conf: &Confidential,
-        params: TClosenessParams,
-    ) -> Clustering {
+    fn cluster(&self, m: &Matrix, conf: &Confidential, params: TClosenessParams) -> Clustering {
         assert!(params.k >= 1, "k must be at least 1");
-        let n = rows.len();
+        let par = self.par;
+        let n = m.n_rows();
         let mut remaining = IndexPool::full(n);
         let mut clusters: Vec<Vec<usize>> = Vec::new();
 
         while !remaining.is_empty() {
-            let xa = centroid(rows, remaining.items());
-            let x0 = farthest_from(rows, remaining.items(), &xa).expect("non-empty");
-            let c = self.generate_cluster(rows, conf, params, x0, &mut remaining);
+            let xa = centroid_ids(m, remaining.items(), par);
+            let x0 = farthest_from_ids(m, remaining.items(), &xa, par).expect("non-empty");
+            let c = self.generate_cluster(m, conf, params, x0, &mut remaining, par);
             clusters.push(c);
 
             if !remaining.is_empty() {
-                let x1 = farthest_from(rows, remaining.items(), &rows[x0]).expect("non-empty");
-                let c = self.generate_cluster(rows, conf, params, x1, &mut remaining);
+                let x1 =
+                    farthest_from_ids(m, remaining.items(), m.row(x0), par).expect("non-empty");
+                let c = self.generate_cluster(m, conf, params, x1, &mut remaining, par);
                 clusters.push(c);
             }
         }
@@ -103,7 +110,7 @@ impl TCloseClusterer for KAnonymityFirst {
         let clustering =
             Clustering::new(clusters, n).expect("cluster generation partitions the records");
         if self.ensure_t_closeness {
-            merge_until_t_close(rows, conf, params.t, clustering, MergePartner::NearestQi)
+            merge_until_t_close_with(m, conf, params.t, clustering, MergePartner::NearestQi, par)
         } else {
             clustering
         }
@@ -119,11 +126,12 @@ impl KAnonymityFirst {
     /// nearest to `seed`, then refine until t-close or candidates exhausted.
     fn generate_cluster(
         &self,
-        rows: &[Vec<f64>],
+        m: &Matrix,
         conf: &Confidential,
         params: TClosenessParams,
         seed: usize,
         remaining: &mut IndexPool,
+        par: Parallelism,
     ) -> Vec<usize> {
         let k = params.k;
         // Too few records for two clusters: the tail becomes one cluster.
@@ -135,7 +143,7 @@ impl KAnonymityFirst {
             return members;
         }
 
-        let mut members = k_nearest(rows, remaining.items(), &rows[seed], k);
+        let mut members = k_nearest_ids(m, remaining.items(), m.row(seed), k, par);
         for &r in &members {
             remaining.remove(r);
         }
@@ -152,8 +160,8 @@ impl KAnonymityFirst {
         // *out* stay available for later clusters via `remaining`.
         let mut queue: Vec<usize> = remaining.items().to_vec();
         queue.sort_by(|&a, &b| {
-            sq_dist(&rows[a], &rows[seed])
-                .partial_cmp(&sq_dist(&rows[b], &rows[seed]))
+            sq_dist(m.row(a), m.row(seed))
+                .partial_cmp(&sq_dist(m.row(b), m.row(seed)))
                 .expect("finite")
                 .then(a.cmp(&b))
         });
@@ -210,16 +218,22 @@ mod tests {
     use super::*;
     use tclose_metrics::emd::OrderedEmd;
 
-    fn correlated(n: usize) -> (Vec<Vec<f64>>, Confidential) {
+    fn correlated(n: usize) -> (Matrix, Confidential) {
         let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
         let conf: Vec<f64> = (0..n).map(|i| i as f64).collect();
-        (rows, Confidential::single(OrderedEmd::new(&conf)))
+        (
+            Matrix::from_rows(&rows),
+            Confidential::single(OrderedEmd::new(&conf)),
+        )
     }
 
-    fn independent(n: usize) -> (Vec<Vec<f64>>, Confidential) {
+    fn independent(n: usize) -> (Matrix, Confidential) {
         let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
         let conf: Vec<f64> = (0..n).map(|i| ((i * 7) % 11) as f64).collect();
-        (rows, Confidential::single(OrderedEmd::new(&conf)))
+        (
+            Matrix::from_rows(&rows),
+            Confidential::single(OrderedEmd::new(&conf)),
+        )
     }
 
     #[test]
@@ -256,7 +270,7 @@ mod tests {
         let refined = KAnonymityFirst::new()
             .with_merge_fallback(false)
             .cluster(&rows, &conf, params);
-        let plain = Mdav.partition(&rows, 3);
+        let plain = Mdav.partition_matrix(&rows, 3);
         let worst_refined = refined
             .clusters()
             .iter()
@@ -320,10 +334,10 @@ mod tests {
     fn empty_and_tiny_inputs() {
         let conf = Confidential::single(OrderedEmd::new(&[1.0, 2.0]));
         let params = TClosenessParams::new(3, 0.2).unwrap();
-        let c = KAnonymityFirst::new().cluster(&[], &conf, params);
+        let c = KAnonymityFirst::new().cluster(&Matrix::from_rows(&[]), &conf, params);
         assert_eq!(c.n_clusters(), 0);
 
-        let rows = vec![vec![0.0], vec![1.0]];
+        let rows = Matrix::from_rows(&[vec![0.0], vec![1.0]]);
         let c = KAnonymityFirst::new().cluster(&rows, &conf, params);
         assert_eq!(c.n_clusters(), 1);
         assert_eq!(c.min_size(), 2);

@@ -44,8 +44,8 @@ use crate::confidential::Confidential;
 use crate::params::TClosenessParams;
 use crate::pool::IndexPool;
 use crate::TCloseClusterer;
-use tclose_metrics::distance::{centroid, farthest_from, sq_dist};
-use tclose_microagg::Clustering;
+use tclose_metrics::distance::{centroid_ids, farthest_from_ids, sq_dist};
+use tclose_microagg::{Clustering, Matrix, Parallelism};
 
 /// Where the `n mod k'` surplus records are placed (ablation hook).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -67,6 +67,7 @@ pub struct TClosenessFirst {
     /// Verify the construction and merge-repair violations caused by tied
     /// confidential values (see the module docs). Default `true`.
     pub verify_fallback: bool,
+    par: Parallelism,
 }
 
 impl Default for TClosenessFirst {
@@ -74,6 +75,7 @@ impl Default for TClosenessFirst {
         TClosenessFirst {
             extras: ExtraPlacement::Central,
             verify_fallback: true,
+            par: Parallelism::auto(),
         }
     }
 }
@@ -91,12 +93,20 @@ impl TClosenessFirst {
         TClosenessFirst {
             extras: ExtraPlacement::Central,
             verify_fallback: false,
+            par: Parallelism::auto(),
         }
     }
 
     /// Selects the surplus placement (ablation hook).
     pub fn with_extras(mut self, extras: ExtraPlacement) -> Self {
         self.extras = extras;
+        self
+    }
+
+    /// Pins the worker count of the QI scans. The clustering never depends
+    /// on this — only wall-clock time does.
+    pub fn with_parallelism(mut self, par: Parallelism) -> Self {
+        self.par = par;
         self
     }
 
@@ -108,13 +118,9 @@ impl TClosenessFirst {
 }
 
 impl TCloseClusterer for TClosenessFirst {
-    fn cluster(
-        &self,
-        rows: &[Vec<f64>],
-        conf: &Confidential,
-        params: TClosenessParams,
-    ) -> Clustering {
-        let n = rows.len();
+    fn cluster(&self, m: &Matrix, conf: &Confidential, params: TClosenessParams) -> Clustering {
+        let par = self.par;
+        let n = m.n_rows();
         if n == 0 {
             return Clustering::new(vec![], 0).expect("empty clustering is valid");
         }
@@ -159,19 +165,20 @@ impl TCloseClusterer for TClosenessFirst {
         let mut clusters: Vec<Vec<usize>> = Vec::with_capacity(base);
 
         while !remaining.is_empty() {
-            let xa = centroid(rows, remaining.items());
-            let x0 = farthest_from(rows, remaining.items(), &xa).expect("non-empty");
+            let xa = centroid_ids(m, remaining.items(), par);
+            let x0 = farthest_from_ids(m, remaining.items(), &xa, par).expect("non-empty");
             clusters.push(build_cluster(
-                rows,
+                m,
                 x0,
                 &mut strata,
                 &mut extras_left,
                 &mut remaining,
             ));
             if !remaining.is_empty() {
-                let x1 = farthest_from(rows, remaining.items(), &rows[x0]).expect("non-empty");
+                let x1 =
+                    farthest_from_ids(m, remaining.items(), m.row(x0), par).expect("non-empty");
                 clusters.push(build_cluster(
-                    rows,
+                    m,
                     x1,
                     &mut strata,
                     &mut extras_left,
@@ -185,12 +192,13 @@ impl TCloseClusterer for TClosenessFirst {
         if self.verify_fallback {
             // One EMD pass; merges only fire when value ties broke the
             // Proposition 2 bound (never on all-distinct data).
-            crate::alg1_merge::merge_until_t_close(
-                rows,
+            crate::alg1_merge::merge_until_t_close_with(
+                m,
                 conf,
                 params.t,
                 clustering,
                 crate::alg1_merge::MergePartner::NearestQi,
+                par,
             )
         } else {
             clustering
@@ -206,7 +214,7 @@ impl TCloseClusterer for TClosenessFirst {
 /// stratum, plus at most one surplus record from a stratum that still holds
 /// extras.
 fn build_cluster(
-    rows: &[Vec<f64>],
+    m: &Matrix,
     seed: usize,
     strata: &mut [Vec<usize>],
     extras_left: &mut [usize],
@@ -218,11 +226,11 @@ fn build_cluster(
         if stratum.is_empty() {
             continue;
         }
-        take_nearest(rows, seed, stratum, remaining, &mut cluster);
+        take_nearest(m, seed, stratum, remaining, &mut cluster);
         // Take a second record when this stratum still holds surplus records
         // and this cluster has not absorbed one yet.
         if !extra_taken && extras_left[s] > 0 && !stratum.is_empty() {
-            take_nearest(rows, seed, stratum, remaining, &mut cluster);
+            take_nearest(m, seed, stratum, remaining, &mut cluster);
             extras_left[s] -= 1;
             extra_taken = true;
         }
@@ -232,7 +240,7 @@ fn build_cluster(
 
 /// Moves the record of `stratum` nearest to `rows[seed]` into `cluster`.
 fn take_nearest(
-    rows: &[Vec<f64>],
+    m: &Matrix,
     seed: usize,
     stratum: &mut Vec<usize>,
     remaining: &mut IndexPool,
@@ -241,7 +249,7 @@ fn take_nearest(
     let mut best_pos = 0usize;
     let mut best_d = f64::INFINITY;
     for (pos, &r) in stratum.iter().enumerate() {
-        let d = sq_dist(&rows[r], &rows[seed]);
+        let d = sq_dist(m.row(r), m.row(seed));
         if d < best_d {
             best_d = d;
             best_pos = pos;
@@ -258,10 +266,13 @@ mod tests {
     use crate::bounds::emd_upper_bound;
     use tclose_metrics::emd::OrderedEmd;
 
-    fn correlated(n: usize) -> (Vec<Vec<f64>>, Confidential) {
+    fn correlated(n: usize) -> (Matrix, Confidential) {
         let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64, (i % 7) as f64]).collect();
         let conf: Vec<f64> = (0..n).map(|i| i as f64).collect();
-        (rows, Confidential::single(OrderedEmd::new(&conf)))
+        (
+            Matrix::from_rows(&rows),
+            Confidential::single(OrderedEmd::new(&conf)),
+        )
     }
 
     #[test]
@@ -376,7 +387,7 @@ mod tests {
                 .fold(0.0, f64::max)
         };
         for n in (31..120).step_by(10) {
-            let rows: Vec<Vec<f64>> = vec![vec![0.0]; n];
+            let rows = Matrix::from_rows(&vec![vec![0.0]; n]);
             let conf_col: Vec<f64> = (0..n).map(|i| i as f64).collect();
             let conf = Confidential::single(OrderedEmd::new(&conf_col));
             let params = TClosenessParams::new(3, 0.2).unwrap();
@@ -419,6 +430,7 @@ mod tests {
                 }
             })
             .collect();
+        let rows = Matrix::from_rows(&rows);
         // confidential value independent of blob membership
         let conf_col: Vec<f64> = (0..n).map(|i| ((i / 2) % 10) as f64).collect();
         let conf = Confidential::single(OrderedEmd::new(&conf_col));
@@ -441,10 +453,26 @@ mod tests {
     }
 
     #[test]
+    fn pinned_parallelism_matches_default() {
+        use tclose_microagg::Parallelism;
+        let (rows, conf) = correlated(60);
+        let params = TClosenessParams::new(3, 0.2).unwrap();
+        let default = TClosenessFirst::new().cluster(&rows, &conf, params);
+        let pinned = TClosenessFirst::new()
+            .with_parallelism(Parallelism::sequential())
+            .cluster(&rows, &conf, params);
+        let wide = TClosenessFirst::new()
+            .with_parallelism(Parallelism::workers(8))
+            .cluster(&rows, &conf, params);
+        assert_eq!(default, pinned);
+        assert_eq!(default, wide);
+    }
+
+    #[test]
     fn empty_input() {
         let conf = Confidential::single(OrderedEmd::new(&[1.0]));
         let params = TClosenessParams::new(2, 0.1).unwrap();
-        let c = TClosenessFirst::new().cluster(&[], &conf, params);
+        let c = TClosenessFirst::new().cluster(&Matrix::from_rows(&[]), &conf, params);
         assert_eq!(c.n_clusters(), 0);
     }
 }

@@ -78,15 +78,17 @@ pub use verify::{equivalence_classes, verify_k_anonymity, verify_t_closeness};
 
 /// A t-closeness-aware clustering algorithm over normalized QI vectors.
 ///
-/// Implementations partition the records `0..rows.len()` into clusters of at
-/// least `params.k` records, attempting (or guaranteeing — see each
-/// implementation) a maximum cluster-to-table EMD of `params.t` for the
-/// confidential model `conf`.
+/// Implementations receive the records as a flat row-major
+/// [`Matrix`](tclose_microagg::Matrix) (the representation every hot kernel
+/// scans — see `docs/PERFORMANCE.md`) and partition the records
+/// `0..m.n_rows()` into clusters of at least `params.k` records, attempting
+/// (or guaranteeing — see each implementation) a maximum cluster-to-table
+/// EMD of `params.t` for the confidential model `conf`.
 pub trait TCloseClusterer {
     /// Produces the clustering.
     fn cluster(
         &self,
-        rows: &[Vec<f64>],
+        m: &tclose_microagg::Matrix,
         conf: &Confidential,
         params: TClosenessParams,
     ) -> tclose_microagg::Clustering;

@@ -17,7 +17,7 @@ use crate::params::TClosenessParams;
 use crate::verify::{verify_k_anonymity, verify_t_closeness};
 use crate::TCloseClusterer;
 use tclose_metrics::sse::normalized_sse;
-use tclose_microagg::{aggregate_columns, Clustering, VMdav};
+use tclose_microagg::{aggregate_columns, Clustering, Matrix, VMdav};
 use tclose_microdata::{stats, AttributeKind, NormalizeMethod, Table};
 
 /// Which of the paper's algorithms (or variants) to run.
@@ -171,11 +171,11 @@ impl Anonymizer {
             ));
         }
 
-        let rows = qi_matrix(table, &qi, self.normalize)?;
+        let m = qi_matrix(table, &qi, self.normalize)?;
         let conf = Confidential::from_table(table)?;
 
         let started = Instant::now();
-        let clustering = self.run_clusterer(&rows, &conf, params);
+        let clustering = self.run_clusterer(&m, &conf, params);
         let clustering_time = started.elapsed();
 
         clustering
@@ -212,43 +212,43 @@ impl Anonymizer {
 
     fn run_clusterer(
         &self,
-        rows: &[Vec<f64>],
+        m: &Matrix,
         conf: &Confidential,
         params: TClosenessParams,
     ) -> Clustering {
         match self.algorithm {
-            Algorithm::Merge => MergeAlgorithm::new().cluster(rows, conf, params),
+            Algorithm::Merge => MergeAlgorithm::new().cluster(m, conf, params),
             Algorithm::MergeVMdav { gamma } => {
-                MergeAlgorithm::with_base(VMdav::new(gamma)).cluster(rows, conf, params)
+                MergeAlgorithm::with_base(VMdav::new(gamma)).cluster(m, conf, params)
             }
             Algorithm::MergeComplementary => MergeAlgorithm::new()
                 .with_partner(MergePartner::ComplementaryEmd)
-                .cluster(rows, conf, params),
-            Algorithm::KAnonymityFirst => KAnonymityFirst::new().cluster(rows, conf, params),
+                .cluster(m, conf, params),
+            Algorithm::KAnonymityFirst => KAnonymityFirst::new().cluster(m, conf, params),
             Algorithm::KAnonymityFirstNoFallback => KAnonymityFirst::new()
                 .with_merge_fallback(false)
-                .cluster(rows, conf, params),
+                .cluster(m, conf, params),
             Algorithm::KAnonymityFirstAdd => KAnonymityFirst::new()
                 .with_strategy(RefineStrategy::Add)
-                .cluster(rows, conf, params),
-            Algorithm::TClosenessFirst => TClosenessFirst::new().cluster(rows, conf, params),
+                .cluster(m, conf, params),
+            Algorithm::TClosenessFirst => TClosenessFirst::new().cluster(m, conf, params),
             Algorithm::TClosenessFirstTail => TClosenessFirst::new()
                 .with_extras(ExtraPlacement::Tail)
-                .cluster(rows, conf, params),
+                .cluster(m, conf, params),
         }
     }
 }
 
-/// Embeds the quasi-identifiers as normalized `f64` vectors. Numeric
-/// attributes use their values; ordinal categorical attributes use their
-/// code (code order is semantic order); nominal QIs are rejected — they
-/// have no meaningful embedding, and the paper's algorithms assume a metric
-/// QI space.
+/// Embeds the quasi-identifiers as a flat row-major [`Matrix`] of
+/// normalized `f64` vectors. Numeric attributes use their values; ordinal
+/// categorical attributes use their code (code order is semantic order);
+/// nominal QIs are rejected — they have no meaningful embedding, and the
+/// paper's algorithms assume a metric QI space.
 ///
 /// Exposed so external harnesses (the experiment runner, baselines) can
-/// feed custom [`TCloseClusterer`](crate::TCloseClusterer) implementations
+/// feed custom [`TCloseClusterer`] implementations
 /// with exactly the same record embedding the pipeline uses.
-pub fn qi_matrix(table: &Table, qi: &[usize], method: NormalizeMethod) -> Result<Vec<Vec<f64>>> {
+pub fn qi_matrix(table: &Table, qi: &[usize], method: NormalizeMethod) -> Result<Matrix> {
     let mut cols: Vec<Vec<f64>> = Vec::with_capacity(qi.len());
     for &a in qi {
         let attr = table.schema().attribute(a)?;
@@ -284,10 +284,17 @@ pub fn qi_matrix(table: &Table, qi: &[usize], method: NormalizeMethod) -> Result
         };
         cols.push(normalized);
     }
+    // Interleave the normalized columns into one contiguous row-major
+    // buffer — the layout every hot kernel scans.
     let n = table.n_rows();
-    Ok((0..n)
-        .map(|r| cols.iter().map(|c| c[r]).collect())
-        .collect())
+    let width = cols.len();
+    let mut data = vec![0.0; n * width];
+    for (j, col) in cols.iter().enumerate() {
+        for (r, &x) in col.iter().enumerate() {
+            data[r * width + j] = x;
+        }
+    }
+    Ok(Matrix::new(data, n, width))
 }
 
 #[cfg(test)]

@@ -1,52 +1,15 @@
-//! Minimal parallel map over experiment cells using scoped threads.
+//! Parallel experiment-cell execution.
+//!
+//! The heavy lifting lives in [`tclose_parallel::parallel_map`], the
+//! scoped-thread map this module originally housed; it moved next to the
+//! microaggregation kernels' block utilities so every crate can use it.
+//! Dispatch is dynamic (one cell at a time off a shared counter), which is
+//! what keeps heterogeneous experiment grids balanced: an Algorithm-1 cell
+//! can cost orders of magnitude more than an Algorithm-3 cell (Fig. 5).
+//! The re-export keeps `crate::runner::parallel_map` as the experiment
+//! harness's spelling.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-/// Applies `f` to every item of `inputs` on all available cores, returning
-/// outputs in input order. Falls back to sequential execution for tiny
-/// inputs where thread spin-up would dominate.
-pub fn parallel_map<I, O, F>(inputs: Vec<I>, f: F) -> Vec<O>
-where
-    I: Send + Sync,
-    O: Send,
-    F: Fn(&I) -> O + Sync,
-{
-    let n = inputs.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n);
-    if workers <= 1 || n <= 2 {
-        return inputs.iter().map(&f).collect();
-    }
-
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let out = f(&inputs[i]);
-                *slots[i].lock().expect("no poisoned slot") = Some(out);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|s| {
-            s.into_inner()
-                .expect("no poisoned slot")
-                .expect("every slot filled")
-        })
-        .collect()
-}
+pub use tclose_parallel::parallel_map;
 
 #[cfg(test)]
 mod tests {

@@ -1,10 +1,23 @@
 //! Record-space distances and geometric helpers.
 //!
 //! All microaggregation algorithms operate on records embedded as
-//! `Vec<f64>` vectors (normalized quasi-identifier projections — see
-//! [`tclose_microdata::Normalizer`]). The helpers here are deliberately
-//! simple and allocation-free on the hot path: squared Euclidean distance,
-//! centroids, nearest/farthest point queries over index subsets.
+//! normalized quasi-identifier vectors (see [`tclose_microdata::Normalizer`]).
+//! Two kernel families live here:
+//!
+//! * The **flat kernels** (`*_ids`) over a contiguous [`Matrix`] — the hot
+//!   path of MDAV / V-MDAV and Algorithms 1–3. Each scan walks fixed-size
+//!   blocks of the index list ([`tclose_parallel::map_blocks`]) and can
+//!   distribute whole blocks over scoped threads; because the block
+//!   structure never depends on the worker count, every kernel returns
+//!   bit-identical results for 1 or N workers. Ties in the extreme-point
+//!   and k-nearest queries break toward the **lowest row index**, which
+//!   makes the parallel reduction order-free.
+//! * The **boxed-rows helpers** over `&[Vec<f64>]` — the seed
+//!   representation, kept as the compatibility/reference path (and as the
+//!   baseline of the `flat_scaling` benchmark).
+
+use crate::matrix::{Matrix, RowIndex};
+use tclose_parallel::{map_blocks, Parallelism};
 
 /// Squared Euclidean distance between two equally long vectors.
 ///
@@ -25,6 +38,204 @@ pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
 #[inline]
 pub fn dist(a: &[f64], b: &[f64]) -> f64 {
     sq_dist(a, b).sqrt()
+}
+
+/// Fully unrolled squared distance for a compile-time dimension; the
+/// `try_into` conversions are length checks that vanish after inlining.
+#[inline(always)]
+fn sq_dist_fixed<const D: usize>(a: &[f64], b: &[f64]) -> f64 {
+    let a: &[f64; D] = a.try_into().expect("dimension mismatch");
+    let b: &[f64; D] = b.try_into().expect("dimension mismatch");
+    let mut acc = 0.0;
+    let mut j = 0;
+    while j < D {
+        let d = a[j] - b[j];
+        acc += d * d;
+        j += 1;
+    }
+    acc
+}
+
+/// Squared distance with the inner loop specialised (unrolled, no bounds
+/// checks) for the low dimensions every QI embedding in practice has.
+/// The flat kernels call this; its dispatch branch is perfectly predicted
+/// since a scan never changes dimension.
+#[inline(always)]
+fn sq_dist_dim(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    match a.len() {
+        1 => sq_dist_fixed::<1>(a, b),
+        2 => sq_dist_fixed::<2>(a, b),
+        3 => sq_dist_fixed::<3>(a, b),
+        4 => sq_dist_fixed::<4>(a, b),
+        5 => sq_dist_fixed::<5>(a, b),
+        6 => sq_dist_fixed::<6>(a, b),
+        7 => sq_dist_fixed::<7>(a, b),
+        8 => sq_dist_fixed::<8>(a, b),
+        _ => sq_dist(a, b),
+    }
+}
+
+/// Component-wise mean of the matrix rows at `ids`, reduced over fixed
+/// blocks (bit-identical for any worker count).
+///
+/// Returns the zero vector of the matrix's width for an empty selection so
+/// callers do not need a special case.
+pub fn centroid_ids<I: RowIndex>(m: &Matrix, ids: &[I], par: Parallelism) -> Vec<f64> {
+    let dim = m.n_cols();
+    let mut c = vec![0.0; dim];
+    if ids.is_empty() {
+        return c;
+    }
+    let workers = par.effective(ids.len(), tclose_parallel::BLOCK);
+    let partials = map_blocks(ids.len(), workers, |r| {
+        let mut acc = vec![0.0; dim];
+        for &id in &ids[r] {
+            for (a, x) in acc.iter_mut().zip(m.row(id)) {
+                *a += x;
+            }
+        }
+        acc
+    });
+    for p in &partials {
+        for (a, x) in c.iter_mut().zip(p) {
+            *a += x;
+        }
+    }
+    let n = ids.len() as f64;
+    for a in &mut c {
+        *a /= n;
+    }
+    c
+}
+
+/// The id among `ids` whose row is farthest from `point` (ties toward the
+/// lowest row index). `None` when `ids` is empty.
+pub fn farthest_from_ids<I: RowIndex>(
+    m: &Matrix,
+    ids: &[I],
+    point: &[f64],
+    par: Parallelism,
+) -> Option<I> {
+    extreme_ids(m, ids, point, par, true)
+}
+
+/// The id among `ids` whose row is nearest to `point` (ties toward the
+/// lowest row index). `None` when `ids` is empty.
+pub fn nearest_to_ids<I: RowIndex>(
+    m: &Matrix,
+    ids: &[I],
+    point: &[f64],
+    par: Parallelism,
+) -> Option<I> {
+    extreme_ids(m, ids, point, par, false)
+}
+
+/// Shared argmax/argmin scan. Per-block winners are reduced in block
+/// order; the (distance, row-index) comparison is associative, so the
+/// result is independent of both blocking and worker count.
+fn extreme_ids<I: RowIndex>(
+    m: &Matrix,
+    ids: &[I],
+    point: &[f64],
+    par: Parallelism,
+    farthest: bool,
+) -> Option<I> {
+    let beats = |d: f64, i: usize, bd: f64, bi: usize| -> bool {
+        if d != bd {
+            if farthest {
+                d > bd
+            } else {
+                d < bd
+            }
+        } else {
+            i < bi
+        }
+    };
+    let workers = par.effective(ids.len(), tclose_parallel::BLOCK);
+    let partials = map_blocks(ids.len(), workers, |r| {
+        let mut best: Option<(I, f64)> = None;
+        for &id in &ids[r] {
+            let d = sq_dist_dim(m.row(id), point);
+            match best {
+                Some((bid, bd)) if !beats(d, id.row_index(), bd, bid.row_index()) => {}
+                _ => best = Some((id, d)),
+            }
+        }
+        best
+    });
+    let mut best: Option<(I, f64)> = None;
+    for cand in partials.into_iter().flatten() {
+        match best {
+            Some((bid, bd)) if !beats(cand.1, cand.0.row_index(), bd, bid.row_index()) => {}
+            _ => best = Some(cand),
+        }
+    }
+    best.map(|(id, _)| id)
+}
+
+/// The `count` ids among `ids` nearest to `point`, ascending by distance
+/// (ties toward the lowest row index). Distances are computed in parallel
+/// over fixed blocks; the final selection sort is sequential. `count` may
+/// exceed `ids.len()`, in which case all ids are returned sorted.
+pub fn k_nearest_ids<I: RowIndex>(
+    m: &Matrix,
+    ids: &[I],
+    point: &[f64],
+    count: usize,
+    par: Parallelism,
+) -> Vec<I> {
+    let workers = par.effective(ids.len(), tclose_parallel::BLOCK);
+    let mut with_d: Vec<(f64, I)> = map_blocks(ids.len(), workers, |r| {
+        ids[r]
+            .iter()
+            .map(|&id| (sq_dist_dim(m.row(id), point), id))
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    let cmp = |a: &(f64, I), b: &(f64, I)| {
+        a.0.partial_cmp(&b.0)
+            .expect("finite")
+            .then(a.1.row_index().cmp(&b.1.row_index()))
+    };
+    // O(n) selection of the `count` smallest under the total order
+    // (distance, row index), then an O(k log k) sort of just that prefix —
+    // same result as a full sort + truncate, without the n log n cost that
+    // dominated the seed implementation.
+    let cut = count.min(with_d.len());
+    if cut == 0 {
+        return Vec::new();
+    }
+    if cut < with_d.len() {
+        with_d.select_nth_unstable_by(cut - 1, cmp);
+        with_d.truncate(cut);
+    }
+    with_d.sort_unstable_by(cmp);
+    with_d.into_iter().map(|(_, id)| id).collect()
+}
+
+/// The smallest squared distance from `point` to any row at `ids`, skipping
+/// the row `exclude`. `f64::INFINITY` when nothing qualifies. Exact-min
+/// reduction is associative, so blocking never changes the result.
+pub fn min_sq_dist_excluding<I: RowIndex>(
+    m: &Matrix,
+    ids: &[I],
+    point: &[f64],
+    exclude: usize,
+    par: Parallelism,
+) -> f64 {
+    let workers = par.effective(ids.len(), tclose_parallel::BLOCK);
+    map_blocks(ids.len(), workers, |r| {
+        ids[r]
+            .iter()
+            .filter(|id| id.row_index() != exclude)
+            .map(|&id| sq_dist_dim(m.row(id), point))
+            .fold(f64::INFINITY, f64::min)
+    })
+    .into_iter()
+    .fold(f64::INFINITY, f64::min)
 }
 
 /// Component-wise mean of the rows at `indices`.
@@ -148,5 +359,87 @@ mod tests {
         assert_eq!(k_nearest(&r, &all, &[0.0, 0.0], 2), vec![0, 1]);
         assert_eq!(k_nearest(&r, &all, &[0.0, 0.0], 10), vec![0, 1, 2, 3]);
         assert_eq!(k_nearest(&r, &all, &[0.0, 0.0], 0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn flat_kernels_match_boxed_helpers() {
+        let r = rows();
+        let m = Matrix::from_rows(&r);
+        let all: Vec<usize> = (0..4).collect();
+        let par = Parallelism::sequential();
+        assert_eq!(centroid_ids(&m, &all, par), centroid(&r, &all));
+        assert_eq!(
+            farthest_from_ids(&m, &all, &[0.0, 0.0], par),
+            farthest_from(&r, &all, &[0.0, 0.0])
+        );
+        assert_eq!(
+            nearest_to_ids(&m, &all, &[4.9, 5.2], par),
+            nearest_to(&r, &all, &[4.9, 5.2])
+        );
+        assert_eq!(
+            k_nearest_ids(&m, &all, &[0.0, 0.0], 3, par),
+            k_nearest(&r, &all, &[0.0, 0.0], 3)
+        );
+        assert_eq!(centroid_ids(&m, &[] as &[usize], par), vec![0.0, 0.0]);
+        assert_eq!(
+            farthest_from_ids(&m, &[] as &[usize], &[0.0, 0.0], par),
+            None
+        );
+    }
+
+    #[test]
+    fn flat_kernels_are_worker_count_invariant() {
+        // Large enough for several blocks; all reductions must be
+        // bit-identical across worker counts.
+        let n = 3 * tclose_parallel::BLOCK + 211;
+        let data: Vec<f64> = (0..2 * n)
+            .map(|i| ((i * 2654435761_usize) % 100_003) as f64 * 1e-2)
+            .collect();
+        let m = Matrix::from_flat(data, 2);
+        let ids: Vec<crate::matrix::RowId> = m.row_ids().collect();
+        let point = [17.0, 202.5];
+        let seq = Parallelism::sequential();
+        let c0 = centroid_ids(&m, &ids, seq);
+        let f0 = farthest_from_ids(&m, &ids, &point, seq);
+        let k0 = k_nearest_ids(&m, &ids, &point, 100, seq);
+        let d0 = min_sq_dist_excluding(&m, &ids, &point, 5, seq);
+        for w in [2usize, 4, 8] {
+            let par = Parallelism::workers(w);
+            let c = centroid_ids(&m, &ids, par);
+            assert!(
+                c.iter().zip(&c0).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "centroid differs at {w} workers"
+            );
+            assert_eq!(farthest_from_ids(&m, &ids, &point, par), f0);
+            assert_eq!(k_nearest_ids(&m, &ids, &point, 100, par), k0);
+            assert_eq!(
+                min_sq_dist_excluding(&m, &ids, &point, 5, par).to_bits(),
+                d0.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn flat_extreme_ties_break_to_lowest_row_index() {
+        let m = Matrix::from_rows(&[vec![1.0], vec![-1.0], vec![1.0]]);
+        let ids = [2usize, 0, 1]; // scrambled: tie-break is by row index, not position
+        let par = Parallelism::sequential();
+        assert_eq!(nearest_to_ids(&m, &ids, &[0.0], par), Some(0));
+        assert_eq!(farthest_from_ids(&m, &ids, &[0.0], par), Some(0));
+    }
+
+    #[test]
+    fn min_sq_dist_excluding_skips_the_excluded_row() {
+        let m = Matrix::from_rows(&[vec![0.0], vec![3.0], vec![10.0]]);
+        let ids = [0usize, 1, 2];
+        let par = Parallelism::sequential();
+        // excluding row 0 the nearest is row 1 at distance 2.9² = 8.41
+        assert!((min_sq_dist_excluding(&m, &ids, &[0.1], 0, par) - 8.41).abs() < 1e-12);
+        // excluding an absent row changes nothing: nearest is row 0 at 0.01
+        assert!((min_sq_dist_excluding(&m, &ids, &[0.1], 9, par) - 0.01).abs() < 1e-12);
+        assert_eq!(
+            min_sq_dist_excluding(&m, &[0usize], &[0.1], 0, par),
+            f64::INFINITY
+        );
     }
 }

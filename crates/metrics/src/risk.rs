@@ -19,36 +19,38 @@
 //!   classes mirror the global spread (what t-closeness enforces).
 
 use crate::distance::sq_dist;
+use crate::matrix::Matrix;
 use tclose_microdata::stats;
 
 /// Distance-based record-linkage re-identification risk.
 ///
-/// `original` and `anonymized` are row-major matrices over the *same*
-/// normalized quasi-identifier space, with record `j` of each referring to
-/// the same subject. Returns the expected fraction of correct links in
-/// `[0, 1]`.
+/// `original` and `anonymized` are flat [`Matrix`] embeddings over the
+/// *same* normalized quasi-identifier space, with record `j` of each
+/// referring to the same subject. Returns the expected fraction of correct
+/// links in `[0, 1]`.
 ///
 /// # Panics
-/// Panics if the matrices have different lengths or are empty.
-pub fn record_linkage_risk(original: &[Vec<f64>], anonymized: &[Vec<f64>]) -> f64 {
+/// Panics if the matrices have different row counts or are empty.
+pub fn record_linkage_risk(original: &Matrix, anonymized: &Matrix) -> f64 {
     assert_eq!(
-        original.len(),
-        anonymized.len(),
+        original.n_rows(),
+        anonymized.n_rows(),
         "tables must pair records one-to-one"
     );
     assert!(
         !original.is_empty(),
         "record linkage requires at least one record"
     );
-    let n = original.len();
+    let n = original.n_rows();
     let mut expected_links = 0.0;
-    for (j, orig) in original.iter().enumerate() {
+    for j in 0..n {
+        let orig = original.row(j);
         // Find the minimum distance and the tie set achieving it.
         let mut best = f64::INFINITY;
         let mut ties = 0usize;
         let mut hit = false;
-        for (i, anon) in anonymized.iter().enumerate() {
-            let d = sq_dist(orig, anon);
+        for i in 0..n {
+            let d = sq_dist(orig, anonymized.row(i));
             if d < best - 1e-12 {
                 best = d;
                 ties = 1;
@@ -102,15 +104,15 @@ mod tests {
 
     #[test]
     fn unmasked_release_has_full_linkage_risk() {
-        let rows = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let rows = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]);
         assert!((record_linkage_risk(&rows, &rows) - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn k_anonymous_release_caps_risk_at_one_over_k() {
         // Two clusters of k=2: anonymized QIs are cluster centroids.
-        let orig = vec![vec![0.0], vec![1.0], vec![10.0], vec![11.0]];
-        let anon = vec![vec![0.5], vec![0.5], vec![10.5], vec![10.5]];
+        let orig = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![10.0], vec![11.0]]);
+        let anon = Matrix::from_rows(&[vec![0.5], vec![0.5], vec![10.5], vec![10.5]]);
         let risk = record_linkage_risk(&orig, &anon);
         assert!(
             (risk - 0.5).abs() < 1e-12,
@@ -121,15 +123,15 @@ mod tests {
     #[test]
     fn wrong_links_score_zero() {
         // Every original record is nearest to the *other* record's mask.
-        let orig = vec![vec![0.0], vec![10.0]];
-        let anon = vec![vec![9.0], vec![1.0]];
+        let orig = Matrix::from_rows(&[vec![0.0], vec![10.0]]);
+        let anon = Matrix::from_rows(&[vec![9.0], vec![1.0]]);
         assert_eq!(record_linkage_risk(&orig, &anon), 0.0);
     }
 
     #[test]
     #[should_panic(expected = "one-to-one")]
     fn mismatched_lengths_panic() {
-        record_linkage_risk(&[vec![0.0]], &[]);
+        record_linkage_risk(&Matrix::from_rows(&[vec![0.0]]), &Matrix::from_rows(&[]));
     }
 
     #[test]

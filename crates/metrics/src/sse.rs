@@ -12,8 +12,33 @@
 //! anonymized value of one attribute. For numeric attributes we normalize by
 //! the attribute's range *in the original table*; categorical attributes
 //! contribute 0 when equal and 1 otherwise.
+//!
+//! Numeric accumulation runs as a chunked loop over fixed-size blocks
+//! (parallelised with scoped threads on long columns); the block structure
+//! is worker-count independent, so the reported SSE is deterministic on any
+//! machine.
 
 use tclose_microdata::{stats, AttributeKind, Error, Result, Table};
+use tclose_parallel::{map_blocks, Parallelism};
+
+/// Scaled sum of squared errors of one numeric column, accumulated over
+/// the fixed block structure of [`map_blocks`] so the result is
+/// bit-identical for any worker count (and parallel on long columns).
+fn column_sq_err(orig: &[f64], anon: &[f64], scale: f64) -> f64 {
+    let workers = Parallelism::auto().effective(orig.len(), tclose_parallel::BLOCK);
+    map_blocks(orig.len(), workers, |r| {
+        orig[r.clone()]
+            .iter()
+            .zip(&anon[r])
+            .map(|(x, y)| {
+                let ned = (x - y) / scale;
+                ned * ned
+            })
+            .sum::<f64>()
+    })
+    .iter()
+    .sum()
+}
 
 /// Normalized SSE (Eq. 5 of the paper) over the attributes at `attrs`.
 ///
@@ -41,10 +66,7 @@ pub fn normalized_sse(original: &Table, anonymized: &Table, attrs: &[usize]) -> 
                 let anon = anonymized.numeric_column(a)?;
                 let range = stats::range(orig);
                 let scale = if range > 0.0 { range } else { 1.0 };
-                for (x, y) in orig.iter().zip(anon) {
-                    let ned = (x - y) / scale;
-                    total += ned * ned;
-                }
+                total += column_sq_err(orig, anon, scale);
             }
             AttributeKind::OrdinalCategorical | AttributeKind::NominalCategorical => {
                 let orig = original.categorical_column(a)?;
@@ -72,10 +94,7 @@ pub fn sse_absolute(original: &Table, anonymized: &Table, attrs: &[usize]) -> Re
             AttributeKind::Numeric => {
                 let orig = original.numeric_column(a)?;
                 let anon = anonymized.numeric_column(a)?;
-                for (x, y) in orig.iter().zip(anon) {
-                    let d = x - y;
-                    total += d * d;
-                }
+                total += column_sq_err(orig, anon, 1.0);
             }
             _ => {
                 let orig = original.categorical_column(a)?;

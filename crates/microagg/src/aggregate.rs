@@ -5,6 +5,10 @@
 //! within-cluster SSE for any given partition); for ordinal categorical
 //! attributes the **median** category; for nominal categorical attributes
 //! the **mode** (plurality, ties to the smallest code for determinism).
+//!
+//! Aggregation runs over the columnar [`Table`], not the flat QI matrix:
+//! it is `O(n)` per attribute and visits each value once, so it is never
+//! the bottleneck the partitioning kernels are (cf. `docs/PERFORMANCE.md`).
 
 use crate::cluster::Clustering;
 use tclose_microdata::{AttributeKind, Error, Result, Table, Value};

@@ -1,4 +1,10 @@
 //! The clustering (partition) model shared by all algorithms.
+//!
+//! Clusters store plain `usize` record indices — the lingua franca of the
+//! layers above (aggregation, verification, reports). The flat kernels of
+//! `tclose-metrics` accept these lists directly through the `RowIndex`
+//! trait, so no conversion from the typed `RowId` space is needed when,
+//! e.g., Algorithm 1 recomputes a merged cluster's centroid.
 
 use std::fmt;
 

@@ -23,7 +23,22 @@
 //!
 //! The [`Clustering`] type is the common currency between partitioning,
 //! aggregation ([`aggregate`]) and the t-closeness algorithms built on top
-//! (crate `tclose-core`).
+//! (crate `tclose-core`, Algorithms 1–3 of Soria-Comas et al., ICDE 2016 —
+//! all three run MDAV-style scans as their inner loop, so this crate is
+//! where the paper's Fig. 5 runtime is won or lost).
+//!
+//! ## Record representation and parallelism
+//!
+//! Records live in a flat row-major [`Matrix`] (contiguous `f64` buffer,
+//! typed [`RowId`] indices — re-exported from `tclose-metrics`). The hot
+//! kernels — farthest-record scan, k-nearest gathering, centroid update —
+//! are chunked loops over that buffer, optionally spread over scoped
+//! threads ([`tclose_parallel::Parallelism`]). Reductions always follow the
+//! fixed block structure of `tclose_parallel::map_blocks`, so a partition
+//! computed with 8 workers is **byte-identical** to the sequential one
+//! (ties break toward the lowest `RowId`); `tests/determinism.rs` pins
+//! this. The boxed-rows entry point [`Microaggregator::partition`] remains
+//! as a convenience that copies into a matrix first.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,21 +51,31 @@ pub mod vmdav;
 
 pub use aggregate::{aggregate_columns, cluster_centroid_value};
 pub use cluster::{Clustering, ClusteringError};
-pub use mdav::Mdav;
-pub use vmdav::VMdav;
+pub use mdav::{mdav_partition, Mdav};
+pub use vmdav::{vmdav_partition, VMdav};
+
+pub use tclose_metrics::matrix::{Matrix, RowId, RowIndex};
+pub use tclose_parallel::Parallelism;
 
 /// A microaggregation partitioning strategy over normalized record vectors.
 ///
-/// Implementations receive the records as row-major `f64` vectors (typically
-/// the normalized quasi-identifier projection) and must return a partition
-/// in which **every cluster has at least `k` records** (for `n ≥ k`).
+/// Implementations receive the records as a flat row-major [`Matrix`]
+/// (typically the normalized quasi-identifier projection) and must return a
+/// partition in which **every cluster has at least `k` records** (for
+/// `n ≥ k`).
 pub trait Microaggregator {
-    /// Partitions `rows` into clusters of ≥ `k` records.
+    /// Partitions the rows of `m` into clusters of ≥ `k` records.
     ///
     /// # Panics
     /// Implementations may panic if `k == 0`. If `n < k` the whole data set
     /// becomes a single cluster.
-    fn partition(&self, rows: &[Vec<f64>], k: usize) -> Clustering;
+    fn partition_matrix(&self, m: &Matrix, k: usize) -> Clustering;
+
+    /// Boxed-rows convenience: copies `rows` into a [`Matrix`] and calls
+    /// [`Microaggregator::partition_matrix`].
+    fn partition(&self, rows: &[Vec<f64>], k: usize) -> Clustering {
+        self.partition_matrix(&Matrix::from_rows(rows), k)
+    }
 
     /// Human-readable name for reports.
     fn name(&self) -> &'static str;

@@ -6,12 +6,23 @@
 //! take the record `x_s` farthest from `x_r` and do the same. The tail is
 //! handled so that every cluster ends up with between `k` and `2k−1`
 //! records. Cost `O(n²/k)` distance evaluations.
+//!
+//! Every scan (centroid, farthest record, k-nearest gathering) is a flat
+//! kernel over the contiguous [`Matrix`] buffer and can run on scoped
+//! threads; see [`mdav_partition`] for the explicit-parallelism entry
+//! point. Results are byte-identical for any worker count.
 
 use crate::cluster::Clustering;
 use crate::Microaggregator;
-use tclose_metrics::distance::{centroid, farthest_from, k_nearest};
+use tclose_metrics::distance::{centroid_ids, farthest_from_ids, k_nearest_ids};
+use tclose_metrics::matrix::{Matrix, RowId};
+use tclose_parallel::Parallelism;
 
 /// The MDAV-generic fixed-size microaggregation heuristic.
+///
+/// The unit struct partitions with [`Parallelism::auto`]; call
+/// [`mdav_partition`] directly to pin the worker count (the clustering is
+/// identical either way — only wall-clock time changes).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Mdav;
 
@@ -23,36 +34,8 @@ impl Mdav {
 }
 
 impl Microaggregator for Mdav {
-    fn partition(&self, rows: &[Vec<f64>], k: usize) -> Clustering {
-        assert!(k >= 1, "k must be at least 1");
-        let n = rows.len();
-        let mut remaining: Vec<usize> = (0..n).collect();
-        let mut clusters: Vec<Vec<usize>> = Vec::with_capacity(n / k.max(1) + 1);
-
-        while remaining.len() >= 3 * k {
-            let c = centroid(rows, &remaining);
-            let xr = farthest_from(rows, &remaining, &c).expect("non-empty");
-            take_cluster(rows, &mut remaining, xr, k, &mut clusters);
-            if remaining.is_empty() {
-                break;
-            }
-            let xs = farthest_from(rows, &remaining, &rows[xr]).expect("non-empty");
-            take_cluster(rows, &mut remaining, xs, k, &mut clusters);
-        }
-
-        if remaining.len() >= 2 * k {
-            // Between 2k and 3k−1 left: one cluster around the extreme
-            // record, the rest (≥ k) forms the final cluster.
-            let c = centroid(rows, &remaining);
-            let xr = farthest_from(rows, &remaining, &c).expect("non-empty");
-            take_cluster(rows, &mut remaining, xr, k, &mut clusters);
-            clusters.push(std::mem::take(&mut remaining));
-        } else if !remaining.is_empty() {
-            // Fewer than 2k left (including the n < k corner): one cluster.
-            clusters.push(std::mem::take(&mut remaining));
-        }
-
-        Clustering::new(clusters, n).expect("MDAV produces a valid partition")
+    fn partition_matrix(&self, m: &Matrix, k: usize) -> Clustering {
+        mdav_partition(m, k, Parallelism::auto())
     }
 
     fn name(&self) -> &'static str {
@@ -60,19 +43,67 @@ impl Microaggregator for Mdav {
     }
 }
 
+/// MDAV partition of the rows of `m` with minimum cluster size `k`, using
+/// up to `par` worker threads for the flat scans.
+///
+/// The clustering does not depend on `par`: all kernels reduce over a
+/// fixed block structure and break ties toward the lowest [`RowId`].
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn mdav_partition(m: &Matrix, k: usize, par: Parallelism) -> Clustering {
+    assert!(k >= 1, "k must be at least 1");
+    let n = m.n_rows();
+    let mut remaining: Vec<RowId> = m.row_ids().collect();
+    // Membership mask shared across take_cluster calls: O(n) removal of a
+    // freshly gathered cluster instead of O(n·k) `contains` scans.
+    let mut taken = vec![false; n];
+    let mut clusters: Vec<Vec<usize>> = Vec::with_capacity(n / k.max(1) + 1);
+
+    while remaining.len() >= 3 * k {
+        let c = centroid_ids(m, &remaining, par);
+        let xr = farthest_from_ids(m, &remaining, &c, par).expect("non-empty");
+        take_cluster(m, &mut remaining, &mut taken, xr, k, par, &mut clusters);
+        if remaining.is_empty() {
+            break;
+        }
+        let xs = farthest_from_ids(m, &remaining, m.row(xr), par).expect("non-empty");
+        take_cluster(m, &mut remaining, &mut taken, xs, k, par, &mut clusters);
+    }
+
+    if remaining.len() >= 2 * k {
+        // Between 2k and 3k−1 left: one cluster around the extreme
+        // record, the rest (≥ k) forms the final cluster.
+        let c = centroid_ids(m, &remaining, par);
+        let xr = farthest_from_ids(m, &remaining, &c, par).expect("non-empty");
+        take_cluster(m, &mut remaining, &mut taken, xr, k, par, &mut clusters);
+        clusters.push(remaining.drain(..).map(RowId::index).collect());
+    } else if !remaining.is_empty() {
+        // Fewer than 2k left (including the n < k corner): one cluster.
+        clusters.push(remaining.drain(..).map(RowId::index).collect());
+    }
+
+    Clustering::new(clusters, n).expect("MDAV produces a valid partition")
+}
+
 /// Removes the `k` records nearest to `seed` (including `seed` itself) from
 /// `remaining` and pushes them as a new cluster.
 fn take_cluster(
-    rows: &[Vec<f64>],
-    remaining: &mut Vec<usize>,
-    seed: usize,
+    m: &Matrix,
+    remaining: &mut Vec<RowId>,
+    taken: &mut [bool],
+    seed: RowId,
     k: usize,
+    par: Parallelism,
     clusters: &mut Vec<Vec<usize>>,
 ) {
-    let members = k_nearest(rows, remaining, &rows[seed], k);
+    let members = k_nearest_ids(m, remaining, m.row(seed), k, par);
     debug_assert!(members.contains(&seed));
-    remaining.retain(|r| !members.contains(r));
-    clusters.push(members);
+    for &id in &members {
+        taken[id.index()] = true;
+    }
+    remaining.retain(|r| !taken[r.index()]);
+    clusters.push(members.into_iter().map(RowId::index).collect());
 }
 
 #[cfg(test)]
@@ -150,6 +181,17 @@ mod tests {
         let a = Mdav.partition(&rows, 4);
         let b = Mdav.partition(&rows, 4);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn matrix_and_boxed_entry_points_agree() {
+        let rows = grid(37);
+        let m = Matrix::from_rows(&rows);
+        assert_eq!(Mdav.partition(&rows, 4), Mdav.partition_matrix(&m, 4));
+        assert_eq!(
+            Mdav.partition_matrix(&m, 4),
+            mdav_partition(&m, 4, Parallelism::sequential())
+        );
     }
 
     #[test]

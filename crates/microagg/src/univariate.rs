@@ -8,7 +8,11 @@
 //!
 //! This module serves as the exact oracle against which the multivariate
 //! heuristics are sanity-checked in one dimension, and as a fast path for
-//! genuinely univariate workloads.
+//! genuinely univariate workloads. It operates on a plain `&[f64]` column
+//! (a one-column flat matrix *is* its contiguous buffer, so callers with a
+//! `Matrix` can pass `m.data()` directly when `n_cols == 1`); its
+//! prefix-sum DP is already `O(nk)` sequential and cache-linear, so it
+//! needs none of the scan parallelism of the MDAV path.
 
 use crate::cluster::Clustering;
 

@@ -15,12 +15,24 @@
 //! record. γ = 0 degenerates to fixed-size clusters; larger γ yields more
 //! size adaptivity (the authors recommend γ ≈ 0.2 for scattered data,
 //! γ ≈ 1.1 for clustered data).
+//!
+//! Like MDAV, every scan — including the candidate search of the extension
+//! phase — runs as a flat kernel over the contiguous [`Matrix`] buffer;
+//! [`vmdav_partition`] exposes the worker count, and the clustering is
+//! byte-identical for any choice of it.
 
 use crate::cluster::Clustering;
 use crate::Microaggregator;
-use tclose_metrics::distance::{centroid, farthest_from, k_nearest, sq_dist};
+use tclose_metrics::distance::{
+    centroid_ids, farthest_from_ids, k_nearest_ids, min_sq_dist_excluding, sq_dist,
+};
+use tclose_metrics::matrix::{Matrix, RowId};
+use tclose_parallel::{map_blocks, Parallelism};
 
 /// The V-MDAV variable-size microaggregation heuristic.
+///
+/// Partitions with [`Parallelism::auto`]; call [`vmdav_partition`] to pin
+/// the worker count explicitly.
 #[derive(Debug, Clone, Copy)]
 pub struct VMdav {
     /// Extension gain factor γ ≥ 0.
@@ -49,73 +61,8 @@ impl Default for VMdav {
 }
 
 impl Microaggregator for VMdav {
-    fn partition(&self, rows: &[Vec<f64>], k: usize) -> Clustering {
-        assert!(k >= 1, "k must be at least 1");
-        let n = rows.len();
-        if n == 0 {
-            return Clustering::new(vec![], 0).expect("empty partition is valid");
-        }
-        if n < 2 * k {
-            return Clustering::new(vec![(0..n).collect()], n).expect("single cluster");
-        }
-
-        let all: Vec<usize> = (0..n).collect();
-        let global_centroid = centroid(rows, &all);
-        let mut remaining: Vec<usize> = all;
-        let mut clusters: Vec<Vec<usize>> = Vec::new();
-
-        while remaining.len() >= k {
-            let seed =
-                farthest_from(rows, &remaining, &global_centroid).expect("non-empty remaining");
-            let mut members = k_nearest(rows, &remaining, &rows[seed], k);
-            remaining.retain(|r| !members.contains(r));
-
-            // Extension phase: absorb near records while the gain criterion
-            // holds and the cluster stays below 2k − 1 records. Keep at
-            // least k unassigned so the leftover handling stays simple and
-            // no final under-sized cluster can appear.
-            while members.len() < 2 * k - 1 && remaining.len() > k {
-                let (cand_pos, d_in) = match nearest_to_cluster(rows, &remaining, &members) {
-                    Some(x) => x,
-                    None => break,
-                };
-                let cand = remaining[cand_pos];
-                let d_out = remaining
-                    .iter()
-                    .filter(|&&r| r != cand)
-                    .map(|&r| sq_dist(&rows[cand], &rows[r]))
-                    .fold(f64::INFINITY, f64::min);
-                // Compare true distances; sq_dist is monotone so compare
-                // square roots to honour the published criterion d_in < γ·d_out.
-                if d_in.sqrt() < self.gamma * d_out.sqrt() {
-                    members.push(cand);
-                    remaining.swap_remove(cand_pos);
-                } else {
-                    break;
-                }
-            }
-            clusters.push(members);
-        }
-
-        // Fewer than k unassigned records: each joins the cluster whose
-        // centroid is nearest.
-        if !remaining.is_empty() {
-            let centroids: Vec<Vec<f64>> = clusters.iter().map(|c| centroid(rows, c)).collect();
-            for r in remaining {
-                let mut best = 0usize;
-                let mut best_d = f64::INFINITY;
-                for (ci, c) in centroids.iter().enumerate() {
-                    let d = sq_dist(&rows[r], c);
-                    if d < best_d {
-                        best_d = d;
-                        best = ci;
-                    }
-                }
-                clusters[best].push(r);
-            }
-        }
-
-        Clustering::new(clusters, n).expect("V-MDAV produces a valid partition")
+    fn partition_matrix(&self, m: &Matrix, k: usize) -> Clustering {
+        vmdav_partition(m, k, self.gamma, Parallelism::auto())
     }
 
     fn name(&self) -> &'static str {
@@ -123,22 +70,119 @@ impl Microaggregator for VMdav {
     }
 }
 
+/// V-MDAV partition of the rows of `m` with minimum cluster size `k` and
+/// gain factor `gamma`, using up to `par` worker threads for the flat
+/// scans. The clustering does not depend on `par`.
+///
+/// # Panics
+/// Panics if `k == 0` or `gamma` is negative or non-finite.
+pub fn vmdav_partition(m: &Matrix, k: usize, gamma: f64, par: Parallelism) -> Clustering {
+    assert!(k >= 1, "k must be at least 1");
+    assert!(
+        gamma.is_finite() && gamma >= 0.0,
+        "gamma must be finite and non-negative"
+    );
+    let n = m.n_rows();
+    if n == 0 {
+        return Clustering::new(vec![], 0).expect("empty partition is valid");
+    }
+    if n < 2 * k {
+        return Clustering::new(vec![(0..n).collect()], n).expect("single cluster");
+    }
+
+    let all: Vec<RowId> = m.row_ids().collect();
+    let global_centroid = centroid_ids(m, &all, par);
+    let mut remaining = all;
+    let mut clusters: Vec<Vec<usize>> = Vec::new();
+    // Assignment mask shared across iterations (records never return).
+    let mut taken = vec![false; n];
+
+    while remaining.len() >= k {
+        let seed =
+            farthest_from_ids(m, &remaining, &global_centroid, par).expect("non-empty remaining");
+        let mut members = k_nearest_ids(m, &remaining, m.row(seed), k, par);
+        for &id in &members {
+            taken[id.index()] = true;
+        }
+        remaining.retain(|r| !taken[r.index()]);
+
+        // Extension phase: absorb near records while the gain criterion
+        // holds and the cluster stays below 2k − 1 records. Keep at
+        // least k unassigned so the leftover handling stays simple and
+        // no final under-sized cluster can appear.
+        while members.len() < 2 * k - 1 && remaining.len() > k {
+            let (cand_pos, d_in) = match nearest_to_cluster(m, &remaining, &members, par) {
+                Some(x) => x,
+                None => break,
+            };
+            let cand = remaining[cand_pos];
+            let d_out = min_sq_dist_excluding(m, &remaining, m.row(cand), cand.index(), par);
+            // Compare true distances; sq_dist is monotone so compare
+            // square roots to honour the published criterion d_in < γ·d_out.
+            if d_in.sqrt() < gamma * d_out.sqrt() {
+                members.push(cand);
+                remaining.swap_remove(cand_pos);
+            } else {
+                break;
+            }
+        }
+        clusters.push(members.into_iter().map(RowId::index).collect());
+    }
+
+    // Fewer than k unassigned records: each joins the cluster whose
+    // centroid is nearest.
+    if !remaining.is_empty() {
+        let centroids: Vec<Vec<f64>> = clusters.iter().map(|c| centroid_ids(m, c, par)).collect();
+        for r in remaining {
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for (ci, c) in centroids.iter().enumerate() {
+                let d = sq_dist(m.row(r), c);
+                if d < best_d {
+                    best_d = d;
+                    best = ci;
+                }
+            }
+            clusters[best].push(r.index());
+        }
+    }
+
+    Clustering::new(clusters, n).expect("V-MDAV produces a valid partition")
+}
+
 /// Position in `remaining` of the record with the smallest squared distance
 /// to any member of `members`, together with that squared distance.
+///
+/// The candidate scan runs blocked over `remaining` (parallelisable); ties
+/// break toward the earliest position, reduced in block order, so the
+/// result never depends on the worker count.
 fn nearest_to_cluster(
-    rows: &[Vec<f64>],
-    remaining: &[usize],
-    members: &[usize],
+    m: &Matrix,
+    remaining: &[RowId],
+    members: &[RowId],
+    par: Parallelism,
 ) -> Option<(usize, f64)> {
+    let workers = par.effective(remaining.len(), tclose_parallel::BLOCK);
+    let partials = map_blocks(remaining.len(), workers, |range| {
+        let mut best: Option<(usize, f64)> = None;
+        for pos in range {
+            let row = m.row(remaining[pos]);
+            let d = members
+                .iter()
+                .map(|&mb| sq_dist(row, m.row(mb)))
+                .fold(f64::INFINITY, f64::min);
+            match best {
+                Some((_, bd)) if d >= bd => {}
+                _ => best = Some((pos, d)),
+            }
+        }
+        best
+    });
     let mut best: Option<(usize, f64)> = None;
-    for (pos, &r) in remaining.iter().enumerate() {
-        let d = members
-            .iter()
-            .map(|&m| sq_dist(&rows[r], &rows[m]))
-            .fold(f64::INFINITY, f64::min);
+    for cand in partials.into_iter().flatten() {
         match best {
-            Some((_, bd)) if d >= bd => {}
-            _ => best = Some((pos, d)),
+            Some((_, bd)) if cand.1 >= bd => {}
+            _ => best = Some(cand),
         }
     }
     best
@@ -213,6 +257,16 @@ mod tests {
         assert_eq!(
             VMdav::default().partition(&rows, 3),
             VMdav::default().partition(&rows, 3)
+        );
+    }
+
+    #[test]
+    fn matrix_and_boxed_entry_points_agree() {
+        let rows = line(29);
+        let m = Matrix::from_rows(&rows);
+        assert_eq!(
+            VMdav::new(0.4).partition(&rows, 3),
+            vmdav_partition(&m, 3, 0.4, Parallelism::sequential())
         );
     }
 }

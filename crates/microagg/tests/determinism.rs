@@ -1,0 +1,75 @@
+//! Parallel microaggregation must be *byte-identical* to sequential.
+//!
+//! The flat kernels reduce over a fixed block structure (see
+//! `tclose-parallel`), so the worker count can only change wall-clock
+//! time, never the clustering. These tests pin that contract on seeded
+//! synthetic data large enough that multi-worker scans genuinely engage
+//! (several `BLOCK`-sized chunks per scan).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tclose_microagg::{mdav_partition, vmdav_partition, Matrix, Parallelism};
+
+/// Seeded synthetic rows: two mild Gaussian-ish blobs plus jitter, enough
+/// structure that MDAV makes non-trivial choices.
+fn synthetic(seed: u64, n: usize, dims: usize) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = Vec::with_capacity(n * dims);
+    for i in 0..n {
+        let blob = if i % 2 == 0 { 0.0 } else { 50.0 };
+        for _ in 0..dims {
+            data.push(blob + rng.gen_range(-10.0f64..10.0));
+        }
+    }
+    Matrix::new(data, n, dims)
+}
+
+#[test]
+fn mdav_parallel_matches_sequential_exactly() {
+    let m = synthetic(0xD15C, 12_000, 2);
+    let k = 100;
+    let seq = mdav_partition(&m, k, Parallelism::sequential());
+    seq.check_min_size(k).unwrap();
+    for workers in [2usize, 8] {
+        let par = mdav_partition(&m, k, Parallelism::workers(workers));
+        assert_eq!(
+            seq, par,
+            "MDAV with {workers} workers diverged from sequential"
+        );
+    }
+}
+
+#[test]
+fn vmdav_parallel_matches_sequential_exactly() {
+    let m = synthetic(0xD15D, 9_000, 2);
+    let (k, gamma) = (90, 0.5);
+    let seq = vmdav_partition(&m, k, gamma, Parallelism::sequential());
+    seq.check_min_size(k).unwrap();
+    for workers in [2usize, 4] {
+        let par = vmdav_partition(&m, k, gamma, Parallelism::workers(workers));
+        assert_eq!(
+            seq, par,
+            "V-MDAV with {workers} workers diverged from sequential"
+        );
+    }
+}
+
+#[test]
+fn auto_parallelism_matches_sequential_exactly() {
+    // Whatever the host's core count, the default entry point must agree
+    // with the pinned sequential run.
+    let m = synthetic(0xD15E, 6_000, 3);
+    let seq = mdav_partition(&m, 60, Parallelism::sequential());
+    let auto = mdav_partition(&m, 60, Parallelism::auto());
+    assert_eq!(seq, auto);
+}
+
+#[test]
+fn worker_count_does_not_leak_into_small_inputs() {
+    // Tiny inputs take the sequential fast path regardless; results still
+    // agree with an (over-provisioned) parallel request.
+    let m = synthetic(0xD15F, 200, 2);
+    let seq = mdav_partition(&m, 5, Parallelism::sequential());
+    let par = mdav_partition(&m, 5, Parallelism::workers(16));
+    assert_eq!(seq, par);
+}

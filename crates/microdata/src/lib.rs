@@ -16,6 +16,12 @@
 //!   within-group distribution.
 //! * **Non-confidential attributes** — everything else; released as is.
 //!
+//! This is the attribute taxonomy of Section 2 of the source paper
+//! (Soria-Comas et al., ICDE 2016) and of the SDC literature it builds on
+//! (Samarati 2001; Domingo-Ferrer & Torra 2005); every layer above —
+//! metrics (EMD), microaggregation (MDAV/V-MDAV), Algorithms 1–3 — speaks
+//! this vocabulary.
+//!
 //! The central type is [`Table`]: a typed, columnar container with O(1)
 //! column access, row views, projections and CSV I/O. Columns are either
 //! numerical (`f64`) or categorical (dictionary-encoded `u32` codes, ordinal

@@ -2,6 +2,10 @@
 //! CLI — load a CSV, assign roles, anonymize, write the release, and audit
 //! it back from disk as an external reviewer would.
 //!
+//! Reproduces the data-release workflow the paper assumes throughout
+//! (Section 2): a data controller masks the quasi-identifiers of a
+//! microdata file and publishes it; any recipient can re-verify (k, t).
+//!
 //! ```text
 //! cargo run --release --example csv_workflow
 //! ```

@@ -1,8 +1,10 @@
 //! Ordinal-data scenario: a satisfaction survey where both the
 //! quasi-identifiers (age bracket, education level) and the confidential
-//! attribute (income bracket) are *ordinal categorical*. Exercises the
-//! ordinal code-space embedding, the ordered EMD over category ranks, and
-//! the median-based aggregation operator.
+//! attribute (income bracket) are *ordinal categorical*.
+//!
+//! Reproduces the ordered-EMD treatment of categorical confidential
+//! attributes (Section 2.2, following Li et al. 2007): EMD over category
+//! ranks, ordinal code-space embedding, median-based aggregation.
 //!
 //! ```text
 //! cargo run --release --example ordinal_survey

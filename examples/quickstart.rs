@@ -1,6 +1,10 @@
 //! Quickstart: anonymize a small microdata set with all three algorithms
 //! and audit the results.
 //!
+//! Reproduces the paper's core workflow (Section 5 setup in miniature):
+//! choose (k, t), run Algorithms 1–3 over the quasi-identifiers, release
+//! centroids, and verify the achieved k-anonymity and t-closeness.
+//!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```

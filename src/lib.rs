@@ -2,15 +2,20 @@
 //!
 //! Umbrella crate re-exporting the full public API of the workspace:
 //!
+//! * [`parallel`] — scoped-thread substrate (balanced chunking, parallel
+//!   map, deterministic fixed-block reductions).
 //! * [`microdata`] — the microdata model (tables, schemas, roles, CSV).
-//! * [`metrics`] — distances and metrics (ordered EMD, SSE, disclosure risk).
-//! * [`microagg`] — microaggregation substrate (MDAV, V-MDAV, aggregation).
+//! * [`metrics`] — distances and metrics (flat record [`metrics::Matrix`],
+//!   ordered EMD, SSE, disclosure risk).
+//! * [`microagg`] — microaggregation substrate (MDAV, V-MDAV, aggregation)
+//!   over the flat matrix, byte-identical under any worker count.
 //! * [`core`] — the paper's contribution: Algorithms 1–3, bounds, verifiers.
 //! * [`datasets`] — synthetic evaluation data sets (Census MCD/HCD, Patient).
 //! * [`baselines`] — generalization-based baselines (Mondrian, SABRE).
 //! * [`eval`] — the experiment harness regenerating every table and figure.
 //!
-//! See `README.md` for a quickstart and `DESIGN.md` for the system map.
+//! See `README.md` for a quickstart, `DESIGN.md` for the system map, and
+//! `docs/PERFORMANCE.md` for the hot-path layout and thread-scaling model.
 
 pub use tclose_baselines as baselines;
 pub use tclose_core as core;
@@ -19,6 +24,7 @@ pub use tclose_eval as eval;
 pub use tclose_metrics as metrics;
 pub use tclose_microagg as microagg;
 pub use tclose_microdata as microdata;
+pub use tclose_parallel as parallel;
 
 // Flat re-exports of the most common entry points so applications can write
 // `use tclose::prelude::*;`.
@@ -29,6 +35,8 @@ pub mod prelude {
         TClosenessFirst, TClosenessParams,
     };
     pub use tclose_metrics::{emd::OrderedEmd, sse::normalized_sse};
-    pub use tclose_microagg::{Clustering, Mdav, Microaggregator, VMdav};
+    pub use tclose_microagg::{
+        Clustering, Matrix, Mdav, Microaggregator, Parallelism, RowId, VMdav,
+    };
     pub use tclose_microdata::{AttributeDef, AttributeKind, AttributeRole, Schema, Table, Value};
 }

@@ -7,7 +7,7 @@ use tclose::core::pipeline::qi_matrix;
 use tclose::core::{Confidential, TCloseClusterer, TClosenessFirst, TClosenessParams};
 use tclose::datasets::census::census_sized;
 use tclose::metrics::sse::normalized_sse;
-use tclose::microagg::aggregate_columns;
+use tclose::microagg::{aggregate_columns, Matrix};
 use tclose::microdata::{AttributeRole, NormalizeMethod, Table};
 
 fn mcd(n: usize) -> Table {
@@ -23,7 +23,7 @@ fn mcd(n: usize) -> Table {
 
 struct Prepared {
     table: Table,
-    rows: Vec<Vec<f64>>,
+    rows: Matrix,
     conf: Confidential,
 }
 

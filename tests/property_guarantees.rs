@@ -13,7 +13,7 @@ use tclose::core::{
     Confidential, MergeAlgorithm, TCloseClusterer, TClosenessFirst, TClosenessParams,
 };
 use tclose::metrics::emd::{ClusterHistogram, OrderedEmd};
-use tclose::microagg::{Clustering, Mdav, Microaggregator, VMdav};
+use tclose::microagg::{Clustering, Matrix, Mdav, Microaggregator, VMdav};
 
 /// Number of random cases per property (mirrors proptest's default-ish 48).
 const CASES: u64 = 48;
@@ -144,7 +144,8 @@ fn merge_algorithm_always_attains_t() {
         let t = rng.gen_range(0.02f64..0.5);
         let model = Confidential::single(OrderedEmd::new(&conf));
         let params = TClosenessParams::new(k, t).unwrap();
-        let c = MergeAlgorithm::new().cluster(&rows, &model, params);
+        let m = Matrix::from_rows(&rows);
+        let c = MergeAlgorithm::new().cluster(&m, &model, params);
         assert_eq!(c.n_records(), rows.len(), "case {case}");
         c.check_min_size(k.min(rows.len())).unwrap();
         for cl in c.clusters() {
@@ -163,7 +164,8 @@ fn tfirst_always_attains_t_with_fallback() {
         let t = rng.gen_range(0.02f64..0.5);
         let model = Confidential::single(OrderedEmd::new(&conf));
         let params = TClosenessParams::new(k, t).unwrap();
-        let c = TClosenessFirst::new().cluster(&rows, &model, params);
+        let m = Matrix::from_rows(&rows);
+        let c = TClosenessFirst::new().cluster(&m, &model, params);
         assert_eq!(c.n_records(), rows.len(), "case {case}");
         c.check_min_size(k.min(rows.len())).unwrap();
         for cl in c.clusters() {
@@ -195,7 +197,7 @@ fn tfirst_unchecked_meets_t_on_distinct_divisible_instances() {
         }
         let model = Confidential::single(OrderedEmd::new(&conf));
         let params = TClosenessParams::new(k, t).unwrap();
-        let c = TClosenessFirst::unchecked().cluster(&rows, &model, params);
+        let c = TClosenessFirst::unchecked().cluster(&Matrix::from_rows(&rows), &model, params);
         for cl in c.clusters() {
             let d = model.emd_of_records(cl);
             assert!(d <= t + 1e-9, "case {case}: EMD {d} > t with k_eff {k_eff}");
