@@ -1,0 +1,92 @@
+//! Shard-scaling benchmark: monolithic in-memory anonymization versus the
+//! two-pass sharded streaming engine at several shard sizes, on synthetic
+//! patient-discharge data.
+//!
+//! Reported alongside each sharded cell is the **rows-resident proxy**:
+//! the peak number of records the engine holds in memory at once
+//! (`workers × shard_rows` during pass 2, versus `n` for the monolithic
+//! pipeline). Numbers from this bench are recorded and interpreted in the
+//! shard-scaling section of `docs/PERFORMANCE.md`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tclose_core::Anonymizer;
+use tclose_datasets::patient_discharge;
+use tclose_microdata::csv::write_csv;
+use tclose_microdata::AttributeRole;
+use tclose_parallel::Parallelism;
+use tclose_stream::ShardedAnonymizer;
+
+const N: usize = 20_000;
+const K: usize = 5;
+const T: f64 = 0.3;
+const WORKERS: usize = 4;
+
+fn qi() -> Vec<String> {
+    vec!["AGE".into(), "ZIP".into(), "STAY_DAYS".into()]
+}
+
+fn confidential() -> Vec<String> {
+    vec!["CHARGE".into()]
+}
+
+/// Writes the benchmark input once and returns its path.
+fn input_file() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("tclose_shard_scaling_bench");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("patient_{N}.csv"));
+    if !path.exists() {
+        let table = patient_discharge(42, N);
+        write_csv(&table, std::fs::File::create(&path).unwrap()).unwrap();
+    }
+    path
+}
+
+fn bench_shard_scaling(c: &mut Criterion) {
+    let input = input_file();
+    let dir = input.parent().unwrap().to_path_buf();
+    let mut group = c.benchmark_group("shard_scaling");
+
+    // Monolithic baseline: whole-file load + single-shard pipeline.
+    // Rows resident: all N.
+    group.bench_function(BenchmarkId::new("monolithic", N), |b| {
+        b.iter(|| {
+            let mut table =
+                tclose_microdata::csv::read_csv_auto(std::fs::File::open(&input).unwrap()).unwrap();
+            table
+                .schema_mut()
+                .set_roles(&[
+                    ("AGE", AttributeRole::QuasiIdentifier),
+                    ("ZIP", AttributeRole::QuasiIdentifier),
+                    ("STAY_DAYS", AttributeRole::QuasiIdentifier),
+                    ("CHARGE", AttributeRole::Confidential),
+                ])
+                .unwrap();
+            let out = Anonymizer::new(K, T).anonymize(&table).unwrap();
+            black_box(out.report.max_emd)
+        })
+    });
+
+    // Sharded engine at the shard sizes of docs/PERFORMANCE.md. Rows
+    // resident during pass 2: WORKERS × shard_rows.
+    for shard_rows in [2_500usize, 5_000, 10_000] {
+        let resident = WORKERS * shard_rows;
+        group.bench_function(
+            BenchmarkId::new(format!("sharded_resident_{resident}"), shard_rows),
+            |b| {
+                let output = dir.join(format!("out_{shard_rows}.csv"));
+                b.iter(|| {
+                    let report = ShardedAnonymizer::new(K, T)
+                        .shard_rows(shard_rows)
+                        .with_parallelism(Parallelism::workers(WORKERS))
+                        .anonymize_file(&input, &output, &qi(), &confidential())
+                        .unwrap();
+                    black_box(report.max_emd)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shard_scaling);
+criterion_main!(benches);

@@ -14,6 +14,7 @@
 //! | `baselines`     | baseline comparison (Mondrian, SABRE) |
 //! | `kernels`       | micro: ordered EMD evaluation, MDAV partition |
 //! | `flat_scaling`  | flat kernel vs seed path + thread scaling (`docs/PERFORMANCE.md`) |
+//! | `shard_scaling` | monolithic vs sharded streaming engine + rows-resident proxy (`docs/PERFORMANCE.md`) |
 //!
 //! Run with `cargo bench -p tclose-bench`. Timings are the deliverable
 //! here; the corresponding *values* (cluster sizes, SSE) are produced by

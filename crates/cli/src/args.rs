@@ -13,7 +13,7 @@ pub struct Parsed {
 }
 
 /// Options that are flags (no value follows them).
-const FLAGS: &[&str] = &["help", "report"];
+const FLAGS: &[&str] = &["help", "report", "stream"];
 
 /// Parses an argument vector (without the program name).
 pub fn parse(args: &[String]) -> Result<Parsed, String> {

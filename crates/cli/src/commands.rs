@@ -9,6 +9,8 @@ use tclose_core::{Algorithm, Anonymizer, Confidential};
 use tclose_datasets::{census_hcd, census_mcd, patient_discharge, PATIENT_N};
 use tclose_microdata::csv::{read_csv_auto, write_csv};
 use tclose_microdata::{AttributeRole, Table};
+use tclose_parallel::Parallelism;
+use tclose_stream::{ShardedAnonymizer, DEFAULT_SHARD_ROWS};
 
 /// Loads a CSV with inferred types and applies role assignments.
 pub fn load_with_roles(
@@ -36,6 +38,27 @@ pub fn load_with_roles(
 pub fn save(table: &Table, path: &Path) -> Result<(), String> {
     let file = File::create(path).map_err(|e| format!("cannot create {}: {e}", path.display()))?;
     write_csv(table, BufWriter::new(file)).map_err(|e| e.to_string())
+}
+
+/// Parses the `--workers` option: `None` leaves the default (one worker
+/// per core), `Some(n)` pins the thread count end-to-end.
+pub fn parse_workers(p: &Parsed) -> Result<Option<Parallelism>, String> {
+    match p.get("workers") {
+        None => Ok(None),
+        Some(v) => {
+            let n: usize = v
+                .parse()
+                .map_err(|e| format!("--workers: {e}"))
+                .and_then(|n| {
+                    if n == 0 {
+                        Err("--workers must be at least 1".into())
+                    } else {
+                        Ok(n)
+                    }
+                })?;
+            Ok(Some(Parallelism::workers(n)))
+        }
+    }
 }
 
 /// Parses the `--algorithm` option.
@@ -98,12 +121,28 @@ pub fn cmd_anonymize(p: &Parsed) -> Result<String, String> {
         return Err("missing or invalid --t (must be in (0, 1])".into());
     }
     let algorithm = algorithm_by_name(p.get("algorithm").unwrap_or("alg3"))?;
+    let workers = parse_workers(p)?;
+
+    if p.flag("stream") {
+        return cmd_anonymize_stream(
+            p,
+            input,
+            output,
+            &qi,
+            &confidential,
+            k,
+            t,
+            algorithm,
+            workers,
+        );
+    }
 
     let table = load_with_roles(input, &qi, &confidential)?;
-    let out = Anonymizer::new(k, t)
-        .algorithm(algorithm)
-        .anonymize(&table)
-        .map_err(|e| e.to_string())?;
+    let mut anonymizer = Anonymizer::new(k, t).algorithm(algorithm);
+    if let Some(par) = workers {
+        anonymizer = anonymizer.with_parallelism(par);
+    }
+    let out = anonymizer.anonymize(&table).map_err(|e| e.to_string())?;
     save(
         &out.table.drop_identifiers().map_err(|e| e.to_string())?,
         output,
@@ -139,6 +178,63 @@ pub fn cmd_anonymize(p: &Parsed) -> Result<String, String> {
     Ok(msg)
 }
 
+/// `tclose anonymize --stream`: the two-pass sharded out-of-core engine.
+#[allow(clippy::too_many_arguments)]
+fn cmd_anonymize_stream(
+    p: &Parsed,
+    input: &Path,
+    output: &Path,
+    qi: &[String],
+    confidential: &[String],
+    k: usize,
+    t: f64,
+    algorithm: Algorithm,
+    workers: Option<Parallelism>,
+) -> Result<String, String> {
+    let shard_rows: usize = p.get_parsed("shard-size", DEFAULT_SHARD_ROWS)?;
+    let mut engine = ShardedAnonymizer::new(k, t)
+        .algorithm(algorithm)
+        .shard_rows(shard_rows);
+    if let Some(par) = workers {
+        engine = engine.with_parallelism(par);
+    }
+    let r = engine
+        .anonymize_file(input, output, qi, confidential)
+        .map_err(|e| e.to_string())?;
+
+    let mut msg = format!(
+        "released {} records to {} (streaming, {} shards × ≤{} rows)\n\
+         algorithm           {}\n\
+         requested (k, t)    ({}, {})\n\
+         achieved k          {} (worst shard)\n\
+         achieved t (EMD)    {:.5} (worst shard, vs global distribution)\n\
+         equivalence classes {} (sizes min {} / mean {:.1} / max {})\n\
+         normalized SSE      {:.6}\n\
+         fit pass            {:?}\n\
+         anonymize pass      {:?}",
+        r.n_records,
+        output.display(),
+        r.n_shards,
+        r.shard_rows,
+        r.algorithm,
+        r.k_requested,
+        r.t_requested,
+        r.min_cluster_size,
+        r.max_emd,
+        r.n_clusters,
+        r.min_cluster_size,
+        r.mean_cluster_size,
+        r.max_cluster_size,
+        r.sse,
+        r.fit_time,
+        r.apply_time,
+    );
+    if !r.satisfies_request() {
+        msg.push_str("\nwarning: the release does NOT meet the requested levels");
+    }
+    Ok(msg)
+}
+
 /// `tclose audit`: verify the k-anonymity / t-closeness of a released CSV.
 pub fn cmd_audit(p: &Parsed) -> Result<String, String> {
     let input = Path::new(p.require("input")?);
@@ -147,10 +243,12 @@ pub fn cmd_audit(p: &Parsed) -> Result<String, String> {
     if qi.is_empty() || confidential.is_empty() {
         return Err("--qi and --confidential are both required".into());
     }
+    let par = parse_workers(p)?.unwrap_or_else(Parallelism::auto);
     let table = load_with_roles(input, &qi, &confidential)?;
     let achieved_k = tclose_core::verify_k_anonymity(&table).map_err(|e| e.to_string())?;
     let conf = Confidential::from_table(&table).map_err(|e| e.to_string())?;
-    let achieved_t = tclose_core::verify_t_closeness(&table, &conf).map_err(|e| e.to_string())?;
+    let achieved_t =
+        tclose_core::verify_t_closeness_with(&table, &conf, par).map_err(|e| e.to_string())?;
     let achieved_l = tclose_core::verify_l_diversity(&table).map_err(|e| e.to_string())?;
     Ok(format!(
         "audited {} records from {}\nachieved k (min class size) {}\nachieved t (max class EMD)  {:.5}\nachieved l (min distinct)   {}",
@@ -242,5 +340,71 @@ mod tests {
     fn generate_rejects_unknown_dataset() {
         let e = cmd_generate(&argv("generate --dataset nope --output /tmp/x.csv")).unwrap_err();
         assert!(e.contains("unknown dataset"));
+    }
+
+    #[test]
+    fn workers_option_parses_and_validates() {
+        assert!(parse_workers(&argv("audit")).unwrap().is_none());
+        assert_eq!(
+            parse_workers(&argv("audit --workers 4")).unwrap(),
+            Some(Parallelism::workers(4))
+        );
+        assert!(parse_workers(&argv("audit --workers 0")).is_err());
+        assert!(parse_workers(&argv("audit --workers nope")).is_err());
+    }
+
+    #[test]
+    fn pinned_workers_do_not_change_the_release() {
+        let data = tmp("census_workers.csv");
+        cmd_generate(&argv(&format!(
+            "generate --dataset census-mcd --seed 7 --output {}",
+            data.display()
+        )))
+        .unwrap();
+
+        let mut outputs = Vec::new();
+        for workers in [1usize, 4] {
+            let released = tmp(&format!("census_anon_w{workers}.csv"));
+            cmd_anonymize(&argv(&format!(
+                "anonymize --input {} --output {} --qi TAXINC,POTHVAL --confidential FEDTAX \
+                 --k 4 --t 0.3 --workers {workers}",
+                data.display(),
+                released.display()
+            )))
+            .unwrap();
+            outputs.push(std::fs::read(&released).unwrap());
+        }
+        assert_eq!(outputs[0], outputs[1], "release differs across --workers");
+    }
+
+    #[test]
+    fn streaming_anonymize_round_trips_and_audits() {
+        let data = tmp("census_stream.csv");
+        let released = tmp("census_stream_anon.csv");
+        cmd_generate(&argv(&format!(
+            "generate --dataset census-mcd --seed 11 --output {}",
+            data.display()
+        )))
+        .unwrap();
+
+        let msg = cmd_anonymize(&argv(&format!(
+            "anonymize --input {} --output {} --qi TAXINC,POTHVAL --confidential FEDTAX \
+             --k 5 --t 0.25 --stream --shard-size 300 --workers 2",
+            data.display(),
+            released.display()
+        )))
+        .unwrap();
+        assert!(msg.contains("streaming"), "{msg}");
+        assert!(msg.contains("shards"), "{msg}");
+        assert!(!msg.contains("warning"), "{msg}");
+
+        let msg = cmd_audit(&argv(&format!(
+            "audit --input {} --qi TAXINC,POTHVAL --confidential FEDTAX --workers 2",
+            released.display()
+        )))
+        .unwrap();
+        let k_line = msg.lines().find(|l| l.contains("achieved k")).unwrap();
+        let k: usize = k_line.split_whitespace().last().unwrap().parse().unwrap();
+        assert!(k >= 5, "audited k = {k}");
     }
 }

@@ -5,13 +5,20 @@
 //!                  [--seed N] [--n N]
 //! tclose anonymize --input FILE --output FILE --qi COLS --confidential COLS
 //!                  --k N --t F [--algorithm alg1|alg2|alg3] [--report]
-//! tclose audit     --input FILE --qi COLS --confidential COLS
+//!                  [--workers N] [--stream] [--shard-size N]
+//! tclose audit     --input FILE --qi COLS --confidential COLS [--workers N]
 //! ```
 //!
 //! `COLS` are comma-separated column names. `anonymize` releases a
 //! k-anonymous t-close version of the input (quasi-identifiers replaced by
 //! cluster centroids, confidential columns untouched) and prints an audit
 //! report; `audit` re-checks any released file independently.
+//!
+//! `--stream` switches to the two-pass sharded engine (`tclose-stream`):
+//! pass 1 accumulates the global fit in bounded memory, pass 2 anonymizes
+//! shards of `--shard-size` records in parallel and appends them to the
+//! output in input order. `--workers` pins the thread count end-to-end;
+//! output is identical for any value.
 //!
 //! The three `--algorithm` choices are Algorithms 1–3 of the source paper
 //! (Soria-Comas et al., ICDE 2016): microaggregation + merging,
@@ -27,13 +34,19 @@ const HELP: &str = "tclose — k-anonymous t-closeness through microaggregation
 usage:
   tclose generate  --dataset census-mcd|census-hcd|patient --output FILE [--seed N] [--n N]
   tclose anonymize --input FILE --output FILE --qi COLS --confidential COLS \\
-                   --k N --t F [--algorithm alg1|alg2|alg3]
-  tclose audit     --input FILE --qi COLS --confidential COLS
+                   --k N --t F [--algorithm alg1|alg2|alg3] \\
+                   [--workers N] [--stream] [--shard-size N]
+  tclose audit     --input FILE --qi COLS --confidential COLS [--workers N]
 
 algorithms:
   alg1  microaggregation + merging          (guaranteed t-close)
   alg2  k-anonymity-first refinement        (guaranteed via merge fallback)
-  alg3  t-closeness-first stratification    (guaranteed by construction; default)";
+  alg3  t-closeness-first stratification    (guaranteed by construction; default)
+
+scaling:
+  --workers N     pin the thread count (default: one per core; output identical)
+  --stream        two-pass sharded engine: bounded memory, any file size
+  --shard-size N  records per shard in --stream mode (default 10000)";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();

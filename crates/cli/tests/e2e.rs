@@ -105,6 +105,75 @@ fn anonymize_then_audit_round_trips_the_fixture() {
 }
 
 #[test]
+fn streaming_anonymize_is_worker_invariant_end_to_end() {
+    // generate a dataset big enough for several shards, stream it with
+    // different worker counts and require byte-identical releases.
+    let data = tmp("patient_stream.csv");
+    let out = tclose(&[
+        "generate",
+        "--dataset",
+        "patient",
+        "--n",
+        "2500",
+        "--seed",
+        "3",
+        "--output",
+        data.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+
+    let mut releases = Vec::new();
+    for workers in ["1", "4"] {
+        let released = tmp(&format!("patient_stream_anon_w{workers}.csv"));
+        let out = tclose(&[
+            "anonymize",
+            "--input",
+            data.to_str().unwrap(),
+            "--output",
+            released.to_str().unwrap(),
+            "--qi",
+            "AGE,STAY_DAYS",
+            "--confidential",
+            "CHARGE",
+            "--k",
+            "4",
+            "--t",
+            "0.3",
+            "--stream",
+            "--shard-size",
+            "600",
+            "--workers",
+            workers,
+        ]);
+        let stdout = String::from_utf8(out.stdout.clone()).unwrap();
+        let stderr = String::from_utf8(out.stderr.clone()).unwrap();
+        assert!(out.status.success(), "stream failed:\n{stdout}\n{stderr}");
+        assert!(stdout.contains("streaming"), "{stdout}");
+        releases.push(std::fs::read(&released).unwrap());
+    }
+    assert_eq!(releases[0], releases[1], "--workers changed the release");
+
+    // and the streamed release audits clean through the real binary
+    let released = tmp("patient_stream_anon_w1.csv");
+    let out = tclose(&[
+        "audit",
+        "--input",
+        released.to_str().unwrap(),
+        "--qi",
+        "AGE,STAY_DAYS",
+        "--confidential",
+        "CHARGE",
+        "--workers",
+        "2",
+    ]);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(out.status.success(), "audit failed:\n{stdout}");
+    let k_line = stdout.lines().find(|l| l.contains("achieved k")).unwrap();
+    let k: usize = k_line.split_whitespace().last().unwrap().parse().unwrap();
+    assert!(k >= 4, "audited k = {k}\n{stdout}");
+}
+
+#[test]
 fn anonymize_rejects_missing_input_file() {
     let out = tclose(&[
         "anonymize",

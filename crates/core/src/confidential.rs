@@ -84,9 +84,84 @@ impl Confidential {
         }
     }
 
-    /// Number of records of the fitting table.
+    /// Model over pre-fitted evaluators, one per confidential attribute in
+    /// schema order — the entry point of the streaming fit, whose
+    /// evaluators come from merged
+    /// [`DomainAccumulator`](tclose_metrics::emd::DomainAccumulator)s
+    /// rather than a whole in-memory table.
+    ///
+    /// All evaluators must agree on the global record count.
+    pub fn from_emds(emds: Vec<OrderedEmd>) -> Result<Self> {
+        let n = match emds.first() {
+            None => {
+                return Err(Error::UnsupportedData(
+                    "the confidential model needs at least one attribute".into(),
+                ))
+            }
+            Some(e) => e.n(),
+        };
+        if let Some(bad) = emds.iter().find(|e| e.n() != n) {
+            return Err(Error::UnsupportedData(format!(
+                "confidential evaluators disagree on the global record count \
+                 ({n} vs {})",
+                bad.n()
+            )));
+        }
+        Ok(Confidential { n, emds })
+    }
+
+    /// A copy of this model whose per-record bins cover the confidential
+    /// columns of `table` — typically one shard of the fitting data —
+    /// keeping the global domains and distributions frozen.
+    ///
+    /// `table`'s schema must declare the same number of confidential
+    /// attributes, in the same order and of the same kinds, as the model
+    /// was fitted on. Errors when a shard value was never seen by the
+    /// global fit.
+    pub fn rebind(&self, table: &Table) -> Result<Self> {
+        let conf_attrs = table.schema().confidential();
+        if conf_attrs.len() != self.emds.len() {
+            return Err(Error::UnsupportedData(format!(
+                "table declares {} confidential attributes but the model was \
+                 fitted on {}",
+                conf_attrs.len(),
+                self.emds.len()
+            )));
+        }
+        let mut emds = Vec::with_capacity(self.emds.len());
+        for (emd, &a) in self.emds.iter().zip(&conf_attrs) {
+            let attr = table.schema().attribute(a)?;
+            let bound = match attr.kind {
+                AttributeKind::Numeric => emd.rebind(table.numeric_column(a)?),
+                AttributeKind::OrdinalCategorical => emd.rebind_codes(table.categorical_column(a)?),
+                AttributeKind::NominalCategorical => {
+                    return Err(Error::UnsupportedData(format!(
+                        "confidential attribute {:?} is nominal; the ordered EMD \
+                         needs a rankable attribute (numeric or ordinal)",
+                        attr.name
+                    )));
+                }
+            };
+            emds.push(bound.map_err(|e| {
+                Error::UnsupportedData(format!("confidential attribute {:?}: {e}", attr.name))
+            })?);
+        }
+        Ok(Confidential { n: self.n, emds })
+    }
+
+    /// Number of records of the *global* fitting data — the denominator of
+    /// every global distribution, not the currently bound working set (see
+    /// [`Confidential::n_bound`]).
     pub fn n(&self) -> usize {
         self.n
+    }
+
+    /// Number of records currently bound for per-record evaluation: the
+    /// fitting table's size for a model from
+    /// [`Confidential::from_table`], the shard size after
+    /// [`Confidential::rebind`].
+    pub fn n_bound(&self) -> usize {
+        self.emds.first().map(OrderedEmd::n_bound).unwrap_or(0)
     }
 
     /// Number of confidential attributes.
@@ -211,6 +286,46 @@ mod tests {
         assert_eq!(conf.n_attributes(), 2);
         assert_eq!(conf.n(), 8);
         assert_eq!(conf.primary().m(), 4);
+    }
+
+    #[test]
+    fn rebind_to_a_shard_keeps_the_global_distribution() {
+        let t = two_conf_table();
+        let conf = Confidential::from_table(&t).unwrap();
+        assert_eq!(conf.n_bound(), 8);
+
+        // shard = rows {0, 4, 5}: same global denominators, local bins
+        let shard = t.take_rows(&[0, 4, 5]).unwrap();
+        let bound = conf.rebind(&shard).unwrap();
+        assert_eq!(bound.n(), 8, "global n frozen");
+        assert_eq!(bound.n_bound(), 3);
+        // shard-local records {0,1} are fit records {0,4}
+        let d = bound.emd_of_records(&[0, 1]);
+        assert!((d - conf.emd_of_records(&[0, 4])).abs() < 1e-12);
+        // histograms work in shard space too
+        let h = bound.histograms(&[0, 1]);
+        assert!((bound.emd_of_hists(&h) - d).abs() < 1e-12);
+
+        // rebinding the whole table reproduces the model
+        let same = conf.rebind(&t).unwrap();
+        assert_eq!(same.n_bound(), 8);
+        for records in [vec![0usize, 4], vec![1, 2, 3]] {
+            assert!((same.emd_of_records(&records) - conf.emd_of_records(&records)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn from_emds_validates_agreement() {
+        let a = OrderedEmd::new(&[1.0, 2.0, 3.0]);
+        let b = OrderedEmd::new(&[1.0, 2.0]);
+        assert!(Confidential::from_emds(vec![]).is_err());
+        assert!(matches!(
+            Confidential::from_emds(vec![a.clone(), b]),
+            Err(Error::UnsupportedData(_))
+        ));
+        let ok = Confidential::from_emds(vec![a.clone(), a]).unwrap();
+        assert_eq!(ok.n(), 3);
+        assert_eq!(ok.n_attributes(), 2);
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub mod alg3_tfirst;
 pub mod bounds;
 pub mod confidential;
 pub mod error;
+pub mod fit;
 pub mod models;
 pub mod params;
 pub mod pipeline;
@@ -71,10 +72,13 @@ pub use alg2_kfirst::{KAnonymityFirst, RefineStrategy};
 pub use alg3_tfirst::TClosenessFirst;
 pub use confidential::Confidential;
 pub use error::{Error, Result};
+pub use fit::{FittedAnonymizer, GlobalFit, QiEmbedding};
 pub use models::{verify_l_diversity, verify_p_sensitive};
 pub use params::TClosenessParams;
 pub use pipeline::{Algorithm, AnonymizationReport, Anonymized, Anonymizer};
-pub use verify::{equivalence_classes, verify_k_anonymity, verify_t_closeness};
+pub use verify::{
+    equivalence_classes, verify_k_anonymity, verify_t_closeness, verify_t_closeness_with,
+};
 
 /// A t-closeness-aware clustering algorithm over normalized QI vectors.
 ///

@@ -6,19 +6,18 @@
 //! aggregation step, and audits the released table — returning the masked
 //! table together with an [`AnonymizationReport`].
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crate::alg1_merge::{MergeAlgorithm, MergePartner};
 use crate::alg2_kfirst::{KAnonymityFirst, RefineStrategy};
 use crate::alg3_tfirst::{ExtraPlacement, TClosenessFirst};
 use crate::confidential::Confidential;
-use crate::error::{Error, Result};
+use crate::error::Result;
+use crate::fit::{FittedAnonymizer, GlobalFit, QiEmbedding};
 use crate::params::TClosenessParams;
-use crate::verify::{verify_k_anonymity, verify_t_closeness};
 use crate::TCloseClusterer;
-use tclose_metrics::sse::normalized_sse;
-use tclose_microagg::{aggregate_columns, Clustering, Matrix, VMdav};
-use tclose_microdata::{stats, AttributeKind, NormalizeMethod, Table};
+use tclose_microagg::{Clustering, Matrix, Parallelism, VMdav};
+use tclose_microdata::{NormalizeMethod, Table};
 
 /// Which of the paper's algorithms (or variants) to run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -132,6 +131,7 @@ pub struct Anonymizer {
     t: f64,
     algorithm: Algorithm,
     normalize: NormalizeMethod,
+    par: Option<Parallelism>,
 }
 
 impl Anonymizer {
@@ -143,6 +143,7 @@ impl Anonymizer {
             t,
             algorithm: Algorithm::TClosenessFirst,
             normalize: NormalizeMethod::ZScore,
+            par: None,
         }
     }
 
@@ -158,83 +159,76 @@ impl Anonymizer {
         self
     }
 
-    /// Runs the full pipeline on `table`.
-    pub fn anonymize(&self, table: &Table) -> Result<Anonymized> {
-        let params = TClosenessParams::new(self.k, self.t)?;
-        if table.is_empty() {
-            return Err(Error::Microdata(tclose_microdata::Error::EmptyTable));
-        }
-        let qi = table.schema().quasi_identifiers();
-        if qi.is_empty() {
-            return Err(Error::UnsupportedData(
-                "the schema declares no quasi-identifier attribute".into(),
-            ));
-        }
-
-        let m = qi_matrix(table, &qi, self.normalize)?;
-        let conf = Confidential::from_table(table)?;
-
-        let started = Instant::now();
-        let clustering = self.run_clusterer(&m, &conf, params);
-        let clustering_time = started.elapsed();
-
-        clustering
-            .check_min_size(params.k.min(table.n_rows()))
-            .map_err(Error::Clustering)?;
-
-        let released = aggregate_columns(table, &qi, &clustering)?;
-
-        // Audit the *release*, not the clustering: the report's achieved
-        // levels are what an external auditor would measure.
-        let achieved_k = verify_k_anonymity(&released)?;
-        let achieved_t = verify_t_closeness(&released, &conf)?;
-        let sse = normalized_sse(table, &released, &qi)?;
-
-        let report = AnonymizationReport {
-            algorithm: self.algorithm.name(),
-            k_requested: params.k,
-            t_requested: params.t,
-            n_records: table.n_rows(),
-            n_clusters: clustering.n_clusters(),
-            min_cluster_size: achieved_k,
-            mean_cluster_size: clustering.mean_size(),
-            max_cluster_size: clustering.max_size(),
-            max_emd: achieved_t,
-            sse,
-            clustering_time,
-        };
-        Ok(Anonymized {
-            table: released,
-            clustering,
-            report,
-        })
+    /// Pins the thread-count policy of the clustering kernels and audits
+    /// (default: one worker per core). Results are identical for any
+    /// worker count — every parallel reduction follows the fixed block
+    /// structure of `tclose-parallel`.
+    pub fn with_parallelism(mut self, par: Parallelism) -> Self {
+        self.par = Some(par);
+        self
     }
 
-    fn run_clusterer(
-        &self,
+    /// Runs the fit pass only: computes the frozen global state (QI
+    /// normalization statistics, ordered-EMD domains and global
+    /// confidential distributions) and returns an anonymizer bound to it,
+    /// ready to [`apply_shard`](FittedAnonymizer::apply_shard) to any
+    /// record subset.
+    pub fn fit(&self, table: &Table) -> Result<FittedAnonymizer> {
+        let params = TClosenessParams::new(self.k, self.t)?;
+        let fit = GlobalFit::fit(table, self.normalize)?;
+        Ok(FittedAnonymizer::new(fit, params, self.algorithm, self.par))
+    }
+
+    /// Wraps an already computed [`GlobalFit`] (e.g. assembled from
+    /// streaming accumulators via [`GlobalFit::from_parts`]) with this
+    /// anonymizer's parameters.
+    pub fn with_fit(&self, fit: GlobalFit) -> Result<FittedAnonymizer> {
+        let params = TClosenessParams::new(self.k, self.t)?;
+        Ok(FittedAnonymizer::new(fit, params, self.algorithm, self.par))
+    }
+
+    /// Runs the full pipeline on `table`: fit, then apply to the whole
+    /// table as a single shard.
+    pub fn anonymize(&self, table: &Table) -> Result<Anonymized> {
+        self.fit(table)?.apply_shard(table)
+    }
+
+    pub(crate) fn run_clusterer(
+        algorithm: Algorithm,
+        par: Option<Parallelism>,
         m: &Matrix,
         conf: &Confidential,
         params: TClosenessParams,
     ) -> Clustering {
-        match self.algorithm {
-            Algorithm::Merge => MergeAlgorithm::new().cluster(m, conf, params),
+        // `None` leaves every algorithm on its default (auto) parallelism —
+        // the exact construction the fused pipeline always used.
+        macro_rules! run {
+            ($builder:expr) => {
+                match par {
+                    None => $builder.cluster(m, conf, params),
+                    Some(p) => $builder.with_parallelism(p).cluster(m, conf, params),
+                }
+            };
+        }
+        match algorithm {
+            Algorithm::Merge => run!(MergeAlgorithm::new()),
             Algorithm::MergeVMdav { gamma } => {
-                MergeAlgorithm::with_base(VMdav::new(gamma)).cluster(m, conf, params)
+                run!(MergeAlgorithm::with_base(VMdav::new(gamma)))
             }
-            Algorithm::MergeComplementary => MergeAlgorithm::new()
-                .with_partner(MergePartner::ComplementaryEmd)
-                .cluster(m, conf, params),
-            Algorithm::KAnonymityFirst => KAnonymityFirst::new().cluster(m, conf, params),
-            Algorithm::KAnonymityFirstNoFallback => KAnonymityFirst::new()
-                .with_merge_fallback(false)
-                .cluster(m, conf, params),
-            Algorithm::KAnonymityFirstAdd => KAnonymityFirst::new()
-                .with_strategy(RefineStrategy::Add)
-                .cluster(m, conf, params),
-            Algorithm::TClosenessFirst => TClosenessFirst::new().cluster(m, conf, params),
-            Algorithm::TClosenessFirstTail => TClosenessFirst::new()
-                .with_extras(ExtraPlacement::Tail)
-                .cluster(m, conf, params),
+            Algorithm::MergeComplementary => {
+                run!(MergeAlgorithm::new().with_partner(MergePartner::ComplementaryEmd))
+            }
+            Algorithm::KAnonymityFirst => run!(KAnonymityFirst::new()),
+            Algorithm::KAnonymityFirstNoFallback => {
+                run!(KAnonymityFirst::new().with_merge_fallback(false))
+            }
+            Algorithm::KAnonymityFirstAdd => {
+                run!(KAnonymityFirst::new().with_strategy(RefineStrategy::Add))
+            }
+            Algorithm::TClosenessFirst => run!(TClosenessFirst::new()),
+            Algorithm::TClosenessFirstTail => {
+                run!(TClosenessFirst::new().with_extras(ExtraPlacement::Tail))
+            }
         }
     }
 }
@@ -249,57 +243,14 @@ impl Anonymizer {
 /// feed custom [`TCloseClusterer`] implementations
 /// with exactly the same record embedding the pipeline uses.
 pub fn qi_matrix(table: &Table, qi: &[usize], method: NormalizeMethod) -> Result<Matrix> {
-    let mut cols: Vec<Vec<f64>> = Vec::with_capacity(qi.len());
-    for &a in qi {
-        let attr = table.schema().attribute(a)?;
-        let raw: Vec<f64> = match attr.kind {
-            AttributeKind::Numeric => table.numeric_column(a)?.to_vec(),
-            AttributeKind::OrdinalCategorical => table
-                .categorical_column(a)?
-                .iter()
-                .map(|&c| c as f64)
-                .collect(),
-            AttributeKind::NominalCategorical => {
-                return Err(Error::UnsupportedData(format!(
-                    "quasi-identifier {:?} is nominal; microaggregation needs a metric \
-                     QI space (numeric or ordinal attributes)",
-                    attr.name
-                )));
-            }
-        };
-        let normalized = match method {
-            NormalizeMethod::ZScore => {
-                let m = stats::mean(&raw);
-                let s = stats::std_dev(&raw);
-                let s = if s > 0.0 { s } else { 1.0 };
-                raw.iter().map(|x| (x - m) / s).collect()
-            }
-            NormalizeMethod::MinMax => {
-                let lo = stats::min(&raw).unwrap_or(0.0);
-                let r = stats::range(&raw);
-                let r = if r > 0.0 { r } else { 1.0 };
-                raw.iter().map(|x| (x - lo) / r).collect()
-            }
-            NormalizeMethod::None => raw,
-        };
-        cols.push(normalized);
-    }
-    // Interleave the normalized columns into one contiguous row-major
-    // buffer — the layout every hot kernel scans.
-    let n = table.n_rows();
-    let width = cols.len();
-    let mut data = vec![0.0; n * width];
-    for (j, col) in cols.iter().enumerate() {
-        for (r, &x) in col.iter().enumerate() {
-            data[r * width + j] = x;
-        }
-    }
-    Ok(Matrix::new(data, n, width))
+    QiEmbedding::fit(table, qi, method)?.embed(table, qi)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::Error;
+    use crate::verify::{verify_k_anonymity, verify_t_closeness};
     use tclose_microdata::{AttributeDef, AttributeRole, Schema, Value};
 
     fn demo_table(n: usize) -> Table {

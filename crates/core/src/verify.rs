@@ -9,6 +9,7 @@ use crate::confidential::Confidential;
 use crate::error::{Error, Result};
 use std::collections::HashMap;
 use tclose_microdata::{AttributeKind, Table};
+use tclose_parallel::{parallel_map_with, Parallelism};
 
 /// Groups the records of `table` into equivalence classes: maximal sets of
 /// records sharing every quasi-identifier value. Classes are returned in
@@ -60,21 +61,34 @@ pub fn verify_k_anonymity(table: &Table) -> Result<usize> {
 /// any equivalence class's confidential distribution and the global one
 /// (the achieved `t`).
 ///
-/// `conf` must be fitted on the same confidential columns the table carries
-/// (microaggregation leaves them untouched, so fitting on either the
-/// original or the released table is equivalent).
+/// `conf` must be *bound* to the rows of `table`: either fitted directly on
+/// its confidential columns ([`Confidential::from_table`] — microaggregation
+/// leaves them untouched, so fitting on the original or the released table
+/// is equivalent), or rebound to this record subset via
+/// [`Confidential::rebind`] when auditing one shard against a global fit.
 pub fn verify_t_closeness(table: &Table, conf: &Confidential) -> Result<f64> {
-    if table.n_rows() != conf.n() {
+    verify_t_closeness_with(table, conf, Parallelism::auto())
+}
+
+/// [`verify_t_closeness`] with an explicit thread-count policy for the
+/// per-class EMD evaluations (the CLI's `--workers` lands here). The
+/// result is identical for any worker count: classes are evaluated
+/// independently and reduced in class order.
+pub fn verify_t_closeness_with(
+    table: &Table,
+    conf: &Confidential,
+    par: Parallelism,
+) -> Result<f64> {
+    if table.n_rows() != conf.n_bound() {
         return Err(Error::UnsupportedData(format!(
-            "confidential model fitted on {} records, table has {}",
-            conf.n(),
+            "confidential model is bound to {} records, table has {}",
+            conf.n_bound(),
             table.n_rows()
         )));
     }
     let classes = equivalence_classes(table)?;
-    Ok(classes
-        .iter()
-        .map(|c| conf.emd_of_records(c))
+    Ok(parallel_map_with(classes, par, |c| conf.emd_of_records(c))
+        .into_iter()
         .fold(0.0, f64::max))
 }
 
@@ -235,6 +249,29 @@ mod tests {
         }
         let conf = Confidential::from_table(&t).unwrap();
         assert_eq!(verify_t_closeness(&t, &conf).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn t_closeness_audit_is_worker_count_invariant() {
+        let t = released_table();
+        let conf = Confidential::from_table(&t).unwrap();
+        let seq = verify_t_closeness_with(&t, &conf, Parallelism::sequential()).unwrap();
+        for w in [2usize, 4, 8] {
+            let par = verify_t_closeness_with(&t, &conf, Parallelism::workers(w)).unwrap();
+            assert_eq!(seq.to_bits(), par.to_bits(), "workers={w}");
+        }
+    }
+
+    #[test]
+    fn shard_audit_through_rebind() {
+        // Audit one shard of a release against the *global* confidential
+        // model: rebinding keeps the global distribution as the reference.
+        let t = released_table();
+        let conf = Confidential::from_table(&t).unwrap();
+        let shard = t.take_rows(&[0, 1, 2]).unwrap(); // first class only
+        let bound = conf.rebind(&shard).unwrap();
+        let audited = verify_t_closeness(&shard, &bound).unwrap();
+        assert!((audited - conf.emd_of_records(&[0, 1, 2])).abs() < 1e-12);
     }
 
     #[test]

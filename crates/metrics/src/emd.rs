@@ -52,6 +52,20 @@ pub enum EmdError {
         /// The bin that would have gone negative.
         bin: usize,
     },
+    /// A domain supplied to [`OrderedEmd::try_from_global`] is not strictly
+    /// ascending at the given position.
+    UnsortedDomain {
+        /// Index of the first out-of-order value.
+        index: usize,
+    },
+    /// A value being bound to a fitted domain is not one of its distinct
+    /// values (the global fit never saw it).
+    ValueNotInDomain {
+        /// Record index of the offending value.
+        index: usize,
+        /// The offending value itself.
+        value: f64,
+    },
 }
 
 impl fmt::Display for EmdError {
@@ -74,6 +88,18 @@ impl fmt::Display for EmdError {
             }
             EmdError::Underflow { bin } => {
                 write!(f, "histogram underflow in bin {bin}")
+            }
+            EmdError::UnsortedDomain { index } => {
+                write!(
+                    f,
+                    "domain values must be strictly ascending (index {index})"
+                )
+            }
+            EmdError::ValueNotInDomain { index, value } => {
+                write!(
+                    f,
+                    "record {index} has value {value} which the fitted domain never saw"
+                )
             }
         }
     }
@@ -166,14 +192,101 @@ impl OrderedEmd {
         Self::try_new(&as_f64)
     }
 
+    /// Rebuilds a fitted evaluator from a frozen global state: the sorted
+    /// distinct `values` and the per-bin `global_counts` of the *whole*
+    /// data set (as accumulated by a [`DomainAccumulator`] or taken from
+    /// another evaluator). The result has no bound records — call
+    /// [`OrderedEmd::rebind`] to attach a working set.
+    ///
+    /// Errors on an empty or unsorted/duplicated domain, non-finite values,
+    /// a length mismatch between `values` and `global_counts`, or an empty
+    /// bin (a domain value the global distribution never saw).
+    pub fn try_from_global(values: Vec<f64>, global_counts: Vec<u32>) -> Result<Self, EmdError> {
+        if values.is_empty() {
+            return Err(EmdError::EmptyColumn);
+        }
+        if let Some((index, &value)) = values.iter().enumerate().find(|(_, x)| !x.is_finite()) {
+            return Err(EmdError::NonFinite { index, value });
+        }
+        if let Some(index) = values.windows(2).position(|w| w[0] >= w[1]) {
+            return Err(EmdError::UnsortedDomain { index: index + 1 });
+        }
+        if global_counts.len() != values.len() {
+            return Err(EmdError::DomainMismatch {
+                expected: values.len(),
+                got: global_counts.len(),
+            });
+        }
+        if let Some(bin) = global_counts.iter().position(|&c| c == 0) {
+            return Err(EmdError::Underflow { bin });
+        }
+        let n = global_counts.iter().map(|&c| c as usize).sum();
+        Ok(OrderedEmd {
+            values,
+            record_bins: Vec::new(),
+            global_counts,
+            n,
+        })
+    }
+
+    /// A copy of this evaluator whose per-record bins cover `column`
+    /// instead of the fitting column, keeping the global domain and
+    /// distribution frozen.
+    ///
+    /// This is the fit/apply split: fit once on the whole data set, rebind
+    /// to any record subset (a shard) and evaluate cluster-to-*table* EMDs
+    /// there. Errors when a value is non-finite or was never seen by the
+    /// global fit ([`EmdError::ValueNotInDomain`]).
+    pub fn rebind(&self, column: &[f64]) -> Result<OrderedEmd, EmdError> {
+        let mut record_bins = Vec::with_capacity(column.len());
+        for (index, &value) in column.iter().enumerate() {
+            if !value.is_finite() {
+                return Err(EmdError::NonFinite { index, value });
+            }
+            let bin = self
+                .values
+                .binary_search_by(|v| v.partial_cmp(&value).expect("finite"))
+                .map_err(|_| EmdError::ValueNotInDomain { index, value })?;
+            record_bins.push(bin as u32);
+        }
+        Ok(OrderedEmd {
+            values: self.values.clone(),
+            record_bins,
+            global_counts: self.global_counts.clone(),
+            n: self.n,
+        })
+    }
+
+    /// [`OrderedEmd::rebind`] for ordinal category codes.
+    pub fn rebind_codes(&self, codes: &[u32]) -> Result<OrderedEmd, EmdError> {
+        let as_f64: Vec<f64> = codes.iter().map(|&c| c as f64).collect();
+        self.rebind(&as_f64)
+    }
+
     /// Number of distinct values `m` in the domain.
     pub fn m(&self) -> usize {
         self.values.len()
     }
 
-    /// Number of records the evaluator was fitted on.
+    /// Number of records the evaluator was fitted on — the denominator of
+    /// the global distribution, *not* the bound working set (see
+    /// [`OrderedEmd::n_bound`]).
     pub fn n(&self) -> usize {
         self.n
+    }
+
+    /// Number of records currently bound for per-record evaluation
+    /// ([`OrderedEmd::bin_of`]). Equal to [`OrderedEmd::n`] for an
+    /// evaluator fitted directly on a column; the shard size after
+    /// [`OrderedEmd::rebind`]; 0 after [`OrderedEmd::try_from_global`].
+    pub fn n_bound(&self) -> usize {
+        self.record_bins.len()
+    }
+
+    /// Per-bin record counts of the whole data set (the frozen global
+    /// state next to [`OrderedEmd::values`]).
+    pub fn global_counts(&self) -> &[u32] {
+        &self.global_counts
     }
 
     /// The sorted distinct values.
@@ -285,6 +398,115 @@ impl OrderedEmd {
         scratch.remove(bin_out);
         scratch.add(bin_in);
         self.emd(&scratch)
+    }
+}
+
+/// Mergeable accumulator of a confidential attribute's *global* value
+/// distribution, for fitting an [`OrderedEmd`] without ever holding the
+/// whole column in memory.
+///
+/// Feed it one shard at a time (or accumulate shards independently and
+/// [`DomainAccumulator::merge`] them — the result is order-independent),
+/// then [`DomainAccumulator::finalize`] into an evaluator carrying the
+/// frozen domain and global distribution. The finalized evaluator has no
+/// bound records; [`OrderedEmd::rebind`] attaches each working set.
+///
+/// Values are keyed by their exact bit pattern while accumulating; equal
+/// values that compare `==` under distinct bit patterns (`-0.0` vs `0.0`)
+/// are collapsed into one bin at finalization, matching
+/// [`OrderedEmd::try_new`]'s `sort + dedup` semantics.
+#[derive(Debug, Clone, Default)]
+pub struct DomainAccumulator {
+    counts: HashMap<u64, u32>,
+    n: usize,
+}
+
+impl DomainAccumulator {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of records accumulated so far.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// True when no record has been accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Accumulates a single value. `index` is the record's absolute index,
+    /// used only to report the position of a non-finite value.
+    pub fn add(&mut self, value: f64, index: usize) -> Result<(), EmdError> {
+        if !value.is_finite() {
+            return Err(EmdError::NonFinite { index, value });
+        }
+        *self.counts.entry(value.to_bits()).or_insert(0) += 1;
+        self.n += 1;
+        Ok(())
+    }
+
+    /// Accumulates one shard of the column. `index_offset` is the absolute
+    /// index of the shard's first record, used only to report the true
+    /// position of a non-finite value.
+    pub fn add_column(&mut self, column: &[f64], index_offset: usize) -> Result<(), EmdError> {
+        if let Some((i, &value)) = column.iter().enumerate().find(|(_, x)| !x.is_finite()) {
+            return Err(EmdError::NonFinite {
+                index: index_offset + i,
+                value,
+            });
+        }
+        for &x in column {
+            *self.counts.entry(x.to_bits()).or_insert(0) += 1;
+        }
+        self.n += column.len();
+        Ok(())
+    }
+
+    /// Accumulates one shard of ordinal category codes.
+    pub fn add_codes(&mut self, codes: &[u32]) {
+        for &c in codes {
+            *self.counts.entry((c as f64).to_bits()).or_insert(0) += 1;
+        }
+        self.n += codes.len();
+    }
+
+    /// Merges another accumulator into this one (disjoint shard union).
+    pub fn merge(&mut self, other: &DomainAccumulator) {
+        for (&bits, &c) in &other.counts {
+            *self.counts.entry(bits).or_insert(0) += c;
+        }
+        self.n += other.n;
+    }
+
+    /// Freezes the accumulated distribution into an [`OrderedEmd`] with no
+    /// bound records. Errors with [`EmdError::EmptyColumn`] when nothing
+    /// was accumulated.
+    pub fn finalize(&self) -> Result<OrderedEmd, EmdError> {
+        if self.n == 0 {
+            return Err(EmdError::EmptyColumn);
+        }
+        let mut pairs: Vec<(f64, u32)> = self
+            .counts
+            .iter()
+            .map(|(&bits, &c)| (f64::from_bits(bits), c))
+            .collect();
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        // Collapse ==-equal values with distinct bit patterns (-0.0 / 0.0).
+        let mut values: Vec<f64> = Vec::with_capacity(pairs.len());
+        let mut global_counts: Vec<u32> = Vec::with_capacity(pairs.len());
+        for (v, c) in pairs {
+            match values.last() {
+                Some(&last) if last == v => *global_counts.last_mut().expect("non-empty") += c,
+                _ => {
+                    values.push(v);
+                    global_counts.push(c);
+                }
+            }
+        }
+        OrderedEmd::try_from_global(values, global_counts)
     }
 }
 
@@ -610,6 +832,143 @@ mod tests {
         assert_eq!(emd.m(), 3);
         let d = emd.emd_of_records(&[0, 4]); // two records with code 0
         assert!(d > 0.0);
+    }
+
+    #[test]
+    fn rebind_freezes_global_state_and_rebins_locally() {
+        let col = vec![0.0, 1.0, 1.0, 2.0, 3.0, 4.0, 4.0, 5.0];
+        let emd = OrderedEmd::new(&col);
+        // Rebinding to the fitting column reproduces the evaluator exactly.
+        let same = emd.rebind(&col).unwrap();
+        assert_eq!(same.n(), emd.n());
+        assert_eq!(same.n_bound(), emd.n_bound());
+        for r in 0..col.len() {
+            assert_eq!(same.bin_of(r), emd.bin_of(r));
+        }
+        assert_eq!(same.emd_of_records(&[0, 3]), emd.emd_of_records(&[0, 3]));
+
+        // Rebinding to a shard: local indices, global denominator.
+        let shard = [1.0, 4.0, 5.0];
+        let bound = emd.rebind(&shard).unwrap();
+        assert_eq!(bound.n(), 8, "global n frozen");
+        assert_eq!(bound.n_bound(), 3);
+        // shard record 2 (value 5.0) sits in the same bin as fit record 7
+        assert_eq!(bound.bin_of(2), emd.bin_of(7));
+        let d_shard = bound.emd_of_records(&[0, 1, 2]);
+        let d_fit = emd.emd_of_records(&[1, 5, 7]);
+        assert!((d_shard - d_fit).abs() < EPS);
+
+        // Unknown and non-finite values are rejected with their index.
+        assert_eq!(
+            emd.rebind(&[1.0, 9.0]).unwrap_err(),
+            EmdError::ValueNotInDomain {
+                index: 1,
+                value: 9.0
+            }
+        );
+        assert!(matches!(
+            emd.rebind(&[f64::NAN]).unwrap_err(),
+            EmdError::NonFinite { index: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn try_from_global_validates() {
+        let emd = OrderedEmd::try_from_global(vec![1.0, 2.0, 4.0], vec![2, 1, 1]).unwrap();
+        assert_eq!(emd.n(), 4);
+        assert_eq!(emd.n_bound(), 0);
+        assert_eq!(emd.m(), 3);
+        // matches a directly fitted evaluator on the same data
+        let direct = OrderedEmd::new(&[1.0, 1.0, 2.0, 4.0]);
+        assert_eq!(emd.values(), direct.values());
+        assert_eq!(emd.global_counts(), direct.global_counts());
+
+        assert_eq!(
+            OrderedEmd::try_from_global(vec![], vec![]).unwrap_err(),
+            EmdError::EmptyColumn
+        );
+        assert_eq!(
+            OrderedEmd::try_from_global(vec![2.0, 1.0], vec![1, 1]).unwrap_err(),
+            EmdError::UnsortedDomain { index: 1 }
+        );
+        assert_eq!(
+            OrderedEmd::try_from_global(vec![1.0, 2.0], vec![1]).unwrap_err(),
+            EmdError::DomainMismatch {
+                expected: 2,
+                got: 1
+            }
+        );
+        assert_eq!(
+            OrderedEmd::try_from_global(vec![1.0, 2.0], vec![1, 0]).unwrap_err(),
+            EmdError::Underflow { bin: 1 }
+        );
+        assert!(matches!(
+            OrderedEmd::try_from_global(vec![1.0, f64::NAN], vec![1, 1]).unwrap_err(),
+            EmdError::NonFinite { index: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn domain_accumulator_matches_monolithic_fit() {
+        let col: Vec<f64> = (0..200).map(|i| ((i * 7) % 23) as f64).collect();
+        let direct = OrderedEmd::new(&col);
+
+        // Shard-by-shard accumulation...
+        let mut acc = DomainAccumulator::new();
+        for shard in col.chunks(17) {
+            acc.add_column(shard, 0).unwrap();
+        }
+        // ...and independent accumulators merged out of order.
+        let mut parts: Vec<DomainAccumulator> = col
+            .chunks(31)
+            .map(|shard| {
+                let mut a = DomainAccumulator::new();
+                a.add_column(shard, 0).unwrap();
+                a
+            })
+            .collect();
+        parts.reverse();
+        let mut merged = DomainAccumulator::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+
+        for fitted in [acc.finalize().unwrap(), merged.finalize().unwrap()] {
+            assert_eq!(fitted.values(), direct.values());
+            assert_eq!(fitted.global_counts(), direct.global_counts());
+            assert_eq!(fitted.n(), direct.n());
+            // rebind + evaluate agrees with the monolithic evaluator
+            let bound = fitted.rebind(&col).unwrap();
+            let records = [0usize, 5, 44, 199];
+            assert!((bound.emd_of_records(&records) - direct.emd_of_records(&records)).abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn domain_accumulator_edge_cases() {
+        assert!(DomainAccumulator::new().is_empty());
+        assert_eq!(
+            DomainAccumulator::new().finalize().unwrap_err(),
+            EmdError::EmptyColumn
+        );
+        // non-finite reported at its absolute index
+        let mut acc = DomainAccumulator::new();
+        assert!(matches!(
+            acc.add_column(&[1.0, f64::INFINITY], 100).unwrap_err(),
+            EmdError::NonFinite { index: 101, .. }
+        ));
+        // -0.0 and 0.0 collapse into one bin
+        let mut acc = DomainAccumulator::new();
+        acc.add_column(&[-0.0, 0.0, 1.0], 0).unwrap();
+        let emd = acc.finalize().unwrap();
+        assert_eq!(emd.m(), 2);
+        assert_eq!(emd.global_counts(), &[2, 1]);
+        // codes accumulate like their f64 casts
+        let mut acc = DomainAccumulator::new();
+        acc.add_codes(&[0, 2, 2]);
+        assert_eq!(acc.n(), 3);
+        let emd = acc.finalize().unwrap();
+        assert_eq!(emd.values(), &[0.0, 2.0]);
     }
 
     #[test]

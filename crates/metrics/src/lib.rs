@@ -37,6 +37,6 @@ pub mod sse;
 
 pub use distance::{centroid, dist, farthest_from, nearest_to, sq_dist};
 pub use distance::{centroid_ids, farthest_from_ids, k_nearest_ids, nearest_to_ids};
-pub use emd::{nominal_emd, ClusterHistogram, EmdError, OrderedEmd};
+pub use emd::{nominal_emd, ClusterHistogram, DomainAccumulator, EmdError, OrderedEmd};
 pub use matrix::{Matrix, RowId, RowIndex};
 pub use sse::{normalized_sse, sse_absolute};

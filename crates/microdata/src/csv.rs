@@ -1,7 +1,7 @@
 //! Minimal, dependency-free CSV reading and writing.
 //!
 //! Supports RFC-4180-style quoting (fields containing commas, quotes or
-//! newlines are wrapped in `"`, embedded quotes doubled). Two ingestion
+//! newlines are wrapped in `"`, embedded quotes doubled). Three ingestion
 //! modes are provided:
 //!
 //! * [`read_csv`] — parse against a known [`Schema`]; categorical labels not
@@ -10,8 +10,17 @@
 //!   parses as `f64`, nominal otherwise); all roles default to
 //!   [`AttributeRole::NonConfidential`] and should be assigned afterwards via
 //!   [`Schema::set_roles`].
+//! * [`CsvChunks`] — the bounded-memory path: an iterator of [`Table`]
+//!   shards of at most `chunk_rows` records each, parsed against an
+//!   explicit schema. Paired with [`CsvAppendWriter`] (header once, then
+//!   shard-by-shard appends) it is the I/O substrate of the streaming
+//!   anonymization engine.
+//!
+//! Every parse error carries the 1-based line number of the offending
+//! record in the *file* (blank lines and the header included), so a
+//! malformed cell deep in a multi-gigabyte export is locatable.
 
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{BufRead, BufReader, Lines, Read, Write};
 
 use crate::attribute::{AttributeDef, AttributeKind, AttributeRole};
 use crate::error::{Error, Result};
@@ -85,17 +94,8 @@ fn format_number(x: f64) -> String {
     }
 }
 
-/// Writes `table` as CSV (header + one line per record).
-///
-/// Categorical cells are written as their dictionary labels.
-pub fn write_csv<W: Write>(table: &Table, mut w: W) -> Result<()> {
-    let header: Vec<String> = table
-        .schema()
-        .attributes()
-        .iter()
-        .map(|a| quote_field(&a.name))
-        .collect();
-    writeln!(w, "{}", header.join(","))?;
+/// Writes the data rows of `table` (no header) as CSV.
+fn write_rows<W: Write>(table: &Table, w: &mut W) -> Result<()> {
     for r in 0..table.n_rows() {
         let mut fields = Vec::with_capacity(table.n_cols());
         for c in 0..table.n_cols() {
@@ -117,28 +117,149 @@ pub fn write_csv<W: Write>(table: &Table, mut w: W) -> Result<()> {
     Ok(())
 }
 
-/// Serializes `table` to a CSV string.
-pub fn to_csv_string(table: &Table) -> Result<String> {
-    let mut buf = Vec::new();
-    write_csv(table, &mut buf)?;
-    String::from_utf8(buf).map_err(|e| Error::Io(e.to_string()))
+/// Writes `table` as CSV (header + one line per record).
+///
+/// Categorical cells are written as their dictionary labels.
+pub fn write_csv<W: Write>(table: &Table, mut w: W) -> Result<()> {
+    let header: Vec<String> = table
+        .schema()
+        .attributes()
+        .iter()
+        .map(|a| quote_field(&a.name))
+        .collect();
+    writeln!(w, "{}", header.join(","))?;
+    write_rows(table, &mut w)
 }
 
-/// Reads CSV against a known schema.
+/// Incremental CSV writer for shard-by-shard output: the header is written
+/// once at construction, then each [`CsvAppendWriter::append`] adds the
+/// data rows of one table, so an arbitrarily large release can be written
+/// holding only one shard in memory.
 ///
-/// The header must contain exactly the schema's attribute names in order.
-/// Categorical labels missing from the dictionary are interned.
-pub fn read_csv<R: Read>(reader: R, schema: Schema) -> Result<Table> {
-    let mut schema = schema;
-    let buf = BufReader::new(reader);
-    let mut lines = buf.lines().enumerate();
+/// Every appended table must carry the same attribute names, in order, as
+/// the schema the writer was opened with (dictionaries may differ — cells
+/// are written as labels).
+#[derive(Debug)]
+pub struct CsvAppendWriter<W: Write> {
+    w: W,
+    names: Vec<String>,
+    n_rows: usize,
+}
 
-    let (_, header) = lines.next().ok_or(Error::Csv {
-        line: 1,
-        detail: "empty input: missing header".into(),
-    })?;
-    let header = header.map_err(Error::from)?;
-    let names = split_line(header.trim_end_matches('\r'), 1)?;
+impl<W: Write> CsvAppendWriter<W> {
+    /// Opens the writer and emits the header row for `schema`.
+    pub fn new(mut w: W, schema: &Schema) -> Result<Self> {
+        let names: Vec<String> = schema.attributes().iter().map(|a| a.name.clone()).collect();
+        let header: Vec<String> = names.iter().map(|n| quote_field(n)).collect();
+        writeln!(w, "{}", header.join(","))?;
+        Ok(CsvAppendWriter {
+            w,
+            names,
+            n_rows: 0,
+        })
+    }
+
+    /// Appends the data rows of `table` (no header).
+    pub fn append(&mut self, table: &Table) -> Result<()> {
+        let got: Vec<&String> = table
+            .schema()
+            .attributes()
+            .iter()
+            .map(|a| &a.name)
+            .collect();
+        if got.len() != self.names.len() || got.iter().zip(&self.names).any(|(a, b)| *a != b) {
+            return Err(Error::RowMismatch {
+                detail: format!(
+                    "appended table columns {:?} do not match the writer header {:?}",
+                    got, self.names
+                ),
+            });
+        }
+        write_rows(table, &mut self.w)?;
+        self.n_rows += table.n_rows();
+        Ok(())
+    }
+
+    /// Total number of data rows written so far.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn finish(mut self) -> Result<W> {
+        self.w.flush()?;
+        Ok(self.w)
+    }
+}
+
+/// Iterator over the raw records of a CSV stream: the header row is read
+/// and validated for well-formedness at construction, then each `next()`
+/// yields one `(line_number, fields)` pair — 1-based *file* line numbers
+/// (header and blank lines included), the substrate of every error this
+/// module reports. Blank lines are skipped; ragged records (field count ≠
+/// header count) error out with their line number.
+#[derive(Debug)]
+pub struct CsvRecords<R: Read> {
+    lines: std::iter::Enumerate<Lines<BufReader<R>>>,
+    header: Vec<String>,
+}
+
+impl<R: Read> CsvRecords<R> {
+    /// Opens the stream and consumes its header row.
+    pub fn new(reader: R) -> Result<Self> {
+        let mut lines = BufReader::new(reader).lines().enumerate();
+        let (_, first) = lines.next().ok_or(Error::Csv {
+            line: 1,
+            detail: "empty input: missing header".into(),
+        })?;
+        let first = first.map_err(Error::from)?;
+        let header = split_line(first.trim_end_matches('\r'), 1)?;
+        Ok(CsvRecords { lines, header })
+    }
+
+    /// The header fields (column names).
+    pub fn header(&self) -> &[String] {
+        &self.header
+    }
+}
+
+impl<R: Read> Iterator for CsvRecords<R> {
+    type Item = Result<(usize, Vec<String>)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let (idx, line) = self.lines.next()?;
+            let lineno = idx + 1;
+            let line = match line {
+                Ok(l) => l,
+                Err(e) => return Some(Err(e.into())),
+            };
+            let line = line.trim_end_matches('\r');
+            if line.is_empty() {
+                continue;
+            }
+            let fields = match split_line(line, lineno) {
+                Ok(f) => f,
+                Err(e) => return Some(Err(e)),
+            };
+            if fields.len() != self.header.len() {
+                return Some(Err(Error::Csv {
+                    line: lineno,
+                    detail: format!(
+                        "record has {} fields, expected {}",
+                        fields.len(),
+                        self.header.len()
+                    ),
+                }));
+            }
+            return Some(Ok((lineno, fields)));
+        }
+    }
+}
+
+/// Checks that the header names exactly match the schema's attribute
+/// names, in order.
+fn validate_header(names: &[String], schema: &Schema) -> Result<()> {
     if names.len() != schema.n_attributes() {
         return Err(Error::Csv {
             line: 1,
@@ -158,51 +279,161 @@ pub fn read_csv<R: Read>(reader: R, schema: Schema) -> Result<Table> {
             });
         }
     }
+    Ok(())
+}
 
-    let mut columns: Vec<Vec<Value>> = vec![Vec::new(); schema.n_attributes()];
-    for (idx, line) in lines {
-        let lineno = idx + 1;
-        let line = line.map_err(Error::from)?;
-        let line = line.trim_end_matches('\r');
-        if line.is_empty() {
-            continue;
-        }
-        let fields = split_line(line, lineno)?;
-        if fields.len() != schema.n_attributes() {
-            return Err(Error::Csv {
-                line: lineno,
-                detail: format!(
-                    "record has {} fields, expected {}",
-                    fields.len(),
-                    schema.n_attributes()
-                ),
-            });
-        }
-        for (i, field) in fields.iter().enumerate() {
-            let kind = schema.attribute(i)?.kind;
-            let v = match kind {
-                AttributeKind::Numeric => {
-                    let x: f64 = field.trim().parse().map_err(|_| Error::Csv {
+/// Parses one raw record against `schema` (interning unseen categorical
+/// labels), reporting any failure at the record's file line.
+fn parse_record(schema: &mut Schema, fields: &[String], lineno: usize) -> Result<Vec<Value>> {
+    let mut row = Vec::with_capacity(fields.len());
+    for (i, field) in fields.iter().enumerate() {
+        let kind = schema.attribute(i)?.kind;
+        let v = match kind {
+            AttributeKind::Numeric => {
+                let x: f64 = field.trim().parse().map_err(|_| Error::Csv {
+                    line: lineno,
+                    detail: format!("cannot parse {field:?} as a number (column {i})"),
+                })?;
+                if !x.is_finite() {
+                    return Err(Error::Csv {
                         line: lineno,
-                        detail: format!("cannot parse {field:?} as a number (column {i})"),
-                    })?;
-                    Value::Number(x)
+                        detail: format!("non-finite number {field:?} (column {i})"),
+                    });
                 }
-                AttributeKind::OrdinalCategorical | AttributeKind::NominalCategorical => {
-                    let code = schema.attribute_mut(i)?.dictionary.intern(field);
-                    Value::Category(code)
-                }
-            };
-            columns[i].push(v);
+                Value::Number(x)
+            }
+            AttributeKind::OrdinalCategorical | AttributeKind::NominalCategorical => {
+                let code = schema.attribute_mut(i)?.dictionary.intern(field);
+                Value::Category(code)
+            }
+        };
+        row.push(v);
+    }
+    Ok(row)
+}
+
+/// Bounded-memory chunked CSV reader: an iterator of [`Table`] shards of at
+/// most `chunk_rows` records each, parsed against an explicit [`Schema`]
+/// (the fast path — no inference pass, values land directly in typed
+/// columns).
+///
+/// Categorical labels not yet in a dictionary are interned in file order as
+/// they appear, so codes are consistent *across* chunks of one pass; each
+/// yielded table carries a schema snapshot whose dictionaries cover every
+/// label seen so far. After a parse error the iterator fuses (yields
+/// `None` forever).
+#[derive(Debug)]
+pub struct CsvChunks<R: Read> {
+    records: CsvRecords<R>,
+    schema: Schema,
+    chunk_rows: usize,
+    rows_read: usize,
+    done: bool,
+}
+
+impl<R: Read> CsvChunks<R> {
+    /// Opens the stream, validating the header against `schema`.
+    ///
+    /// `chunk_rows` is the maximum number of records per yielded table and
+    /// must be at least 1.
+    pub fn new(reader: R, schema: Schema, chunk_rows: usize) -> Result<Self> {
+        if chunk_rows == 0 {
+            return Err(Error::InvalidSchema("chunk_rows must be at least 1".into()));
         }
+        let records = CsvRecords::new(reader)?;
+        validate_header(records.header(), &schema)?;
+        Ok(CsvChunks {
+            records,
+            schema,
+            chunk_rows,
+            rows_read: 0,
+            done: false,
+        })
+    }
+
+    /// The schema as of the last yielded chunk (dictionaries grow as labels
+    /// are interned).
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Total number of data records yielded so far.
+    pub fn rows_read(&self) -> usize {
+        self.rows_read
+    }
+}
+
+impl<R: Read> Iterator for CsvChunks<R> {
+    type Item = Result<Table>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let mut rows: Vec<(usize, Vec<Value>)> = Vec::new();
+        while rows.len() < self.chunk_rows {
+            match self.records.next() {
+                None => break,
+                Some(Err(e)) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+                Some(Ok((lineno, fields))) => {
+                    match parse_record(&mut self.schema, &fields, lineno) {
+                        Ok(row) => rows.push((lineno, row)),
+                        Err(e) => {
+                            self.done = true;
+                            return Some(Err(e));
+                        }
+                    }
+                }
+            }
+        }
+        if rows.is_empty() {
+            self.done = true;
+            return None;
+        }
+        self.rows_read += rows.len();
+        let mut table = Table::new(self.schema.clone());
+        for (lineno, row) in &rows {
+            if let Err(e) = table.push_row(row) {
+                self.done = true;
+                return Some(Err(Error::Csv {
+                    line: *lineno,
+                    detail: e.to_string(),
+                }));
+            }
+        }
+        Some(Ok(table))
+    }
+}
+
+/// Serializes `table` to a CSV string.
+pub fn to_csv_string(table: &Table) -> Result<String> {
+    let mut buf = Vec::new();
+    write_csv(table, &mut buf)?;
+    String::from_utf8(buf).map_err(|e| Error::Io(e.to_string()))
+}
+
+/// Reads CSV against a known schema.
+///
+/// The header must contain exactly the schema's attribute names in order.
+/// Categorical labels missing from the dictionary are interned.
+pub fn read_csv<R: Read>(reader: R, schema: Schema) -> Result<Table> {
+    let mut schema = schema;
+    let records = CsvRecords::new(reader)?;
+    validate_header(records.header(), &schema)?;
+
+    let mut rows: Vec<(usize, Vec<Value>)> = Vec::new();
+    for record in records {
+        let (lineno, fields) = record?;
+        rows.push((lineno, parse_record(&mut schema, &fields, lineno)?));
     }
 
     let mut table = Table::new(schema);
-    let n = columns.first().map(Vec::len).unwrap_or(0);
-    for r in 0..n {
-        let row: Vec<Value> = columns.iter().map(|c| c[r].clone()).collect();
-        table.push_row(&row).map_err(|e| Error::Csv {
-            line: r + 2,
+    for (lineno, row) in &rows {
+        table.push_row(row).map_err(|e| Error::Csv {
+            line: *lineno,
             detail: e.to_string(),
         })?;
     }
@@ -214,38 +445,16 @@ pub fn read_csv<R: Read>(reader: R, schema: Schema) -> Result<Table> {
 /// A column is numeric when every non-empty field parses as `f64`; otherwise
 /// it is nominal categorical. Roles default to non-confidential.
 pub fn read_csv_auto<R: Read>(reader: R) -> Result<Table> {
-    let buf = BufReader::new(reader);
-    let mut rows: Vec<Vec<String>> = Vec::new();
-    let mut names: Option<Vec<String>> = None;
-    for (idx, line) in buf.lines().enumerate() {
-        let lineno = idx + 1;
-        let line = line.map_err(Error::from)?;
-        let line = line.trim_end_matches('\r');
-        if line.is_empty() {
-            continue;
-        }
-        let fields = split_line(line, lineno)?;
-        match &names {
-            None => names = Some(fields),
-            Some(h) => {
-                if fields.len() != h.len() {
-                    return Err(Error::Csv {
-                        line: lineno,
-                        detail: format!("record has {} fields, expected {}", fields.len(), h.len()),
-                    });
-                }
-                rows.push(fields);
-            }
-        }
+    let records = CsvRecords::new(reader)?;
+    let names = records.header().to_vec();
+    let mut rows: Vec<(usize, Vec<String>)> = Vec::new();
+    for record in records {
+        rows.push(record?);
     }
-    let names = names.ok_or(Error::Csv {
-        line: 1,
-        detail: "empty input: missing header".into(),
-    })?;
 
     let n_cols = names.len();
     let mut is_numeric = vec![true; n_cols];
-    for row in &rows {
+    for (_, row) in &rows {
         for (i, field) in row.iter().enumerate() {
             if is_numeric[i] && field.trim().parse::<f64>().is_err() {
                 is_numeric[i] = false;
@@ -270,27 +479,17 @@ pub fn read_csv_auto<R: Read>(reader: R) -> Result<Table> {
         .collect();
     let mut schema = Schema::new(attrs)?;
 
-    let mut table_rows: Vec<Vec<Value>> = Vec::with_capacity(rows.len());
-    for (r, row) in rows.iter().enumerate() {
-        let mut vals = Vec::with_capacity(n_cols);
-        for (i, field) in row.iter().enumerate() {
-            if is_numeric[i] {
-                let x: f64 = field.trim().parse().map_err(|_| Error::Csv {
-                    line: r + 2,
-                    detail: format!("cannot parse {field:?} as a number"),
-                })?;
-                vals.push(Value::Number(x));
-            } else {
-                let code = schema.attribute_mut(i)?.dictionary.intern(field);
-                vals.push(Value::Category(code));
-            }
-        }
-        table_rows.push(vals);
+    let mut table_rows: Vec<(usize, Vec<Value>)> = Vec::with_capacity(rows.len());
+    for (lineno, row) in &rows {
+        table_rows.push((*lineno, parse_record(&mut schema, row, *lineno)?));
     }
 
     let mut table = Table::new(schema);
-    for row in &table_rows {
-        table.push_row(row)?;
+    for (lineno, row) in &table_rows {
+        table.push_row(row).map_err(|e| Error::Csv {
+            line: *lineno,
+            detail: e.to_string(),
+        })?;
     }
     Ok(table)
 }
@@ -389,6 +588,152 @@ mod tests {
         let t = read_csv_auto(data.as_bytes()).unwrap();
         assert!(!t.schema().is_numeric(0));
         assert_eq!(t.categorical_column(0).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn chunked_reader_matches_whole_file_read() {
+        // 7 rows, chunk size 3 → shards of 3/3/1; concatenation == read_csv.
+        let mut data = String::from("age,city,income\n");
+        for i in 0..7 {
+            data.push_str(&format!("{},c{},{}\n", 20 + i, i % 3, 100 * i));
+        }
+        let whole = read_csv(data.as_bytes(), demo_schema()).unwrap();
+
+        let mut chunks = CsvChunks::new(data.as_bytes(), demo_schema(), 3).unwrap();
+        let shards: Vec<Table> = chunks.by_ref().map(|c| c.unwrap()).collect();
+        assert_eq!(
+            shards.iter().map(Table::n_rows).collect::<Vec<_>>(),
+            vec![3, 3, 1]
+        );
+        assert_eq!(chunks.rows_read(), 7);
+
+        // codes are interned consistently across chunks: rebuild and compare
+        let mut offset = 0;
+        for shard in &shards {
+            for c in 0..whole.n_cols() {
+                for r in 0..shard.n_rows() {
+                    assert_eq!(
+                        shard.column(c).unwrap().get(r),
+                        whole.column(c).unwrap().get(offset + r)
+                    );
+                }
+            }
+            offset += shard.n_rows();
+        }
+        // final chunk's schema dictionary covers every label
+        assert_eq!(
+            shards
+                .last()
+                .unwrap()
+                .schema()
+                .attribute(1)
+                .unwrap()
+                .dictionary
+                .len(),
+            3
+        );
+    }
+
+    #[test]
+    fn chunked_reader_reports_malformed_input_with_line_numbers() {
+        // ragged row on file line 4 (blank line 3 must not shift it)
+        let ragged = "age,city,income\n30,rome,100\n\n31,paris\n";
+        let mut chunks = CsvChunks::new(ragged.as_bytes(), demo_schema(), 10).unwrap();
+        assert_eq!(
+            chunks.next().unwrap().unwrap_err(),
+            Error::Csv {
+                line: 4,
+                detail: "record has 2 fields, expected 3".into(),
+            }
+        );
+        // the iterator fuses after an error
+        assert!(chunks.next().is_none());
+
+        // non-finite numeric ("inf" parses as f64 but is not valid microdata)
+        let nonfinite = "age,city,income\n30,rome,100\n31,lyon,inf\n";
+        let mut chunks = CsvChunks::new(nonfinite.as_bytes(), demo_schema(), 10).unwrap();
+        match chunks.next().unwrap().unwrap_err() {
+            Error::Csv { line, detail } => {
+                assert_eq!(line, 3);
+                assert!(detail.contains("non-finite"), "{detail}");
+            }
+            other => panic!("expected CSV error, got {other}"),
+        }
+
+        // a chunk boundary before the bad record still delivers the good chunk
+        let late = "age,city,income\n30,rome,100\n31,lyon,200\n32,oslo,nan\n";
+        let mut chunks = CsvChunks::new(late.as_bytes(), demo_schema(), 2).unwrap();
+        assert_eq!(chunks.next().unwrap().unwrap().n_rows(), 2);
+        match chunks.next().unwrap().unwrap_err() {
+            Error::Csv { line, .. } => assert_eq!(line, 4),
+            other => panic!("expected CSV error, got {other}"),
+        }
+
+        // empty input: no header
+        assert_eq!(
+            CsvChunks::new("".as_bytes(), demo_schema(), 10).unwrap_err(),
+            Error::Csv {
+                line: 1,
+                detail: "empty input: missing header".into(),
+            }
+        );
+        // header only: zero chunks, not an error
+        let mut chunks = CsvChunks::new("age,city,income\n".as_bytes(), demo_schema(), 10).unwrap();
+        assert!(chunks.next().is_none());
+        assert_eq!(chunks.rows_read(), 0);
+        // header mismatch
+        assert!(CsvChunks::new("a,b\n1,2\n".as_bytes(), demo_schema(), 10).is_err());
+        // zero chunk size rejected
+        assert!(CsvChunks::new("age,city,income\n".as_bytes(), demo_schema(), 0).is_err());
+    }
+
+    #[test]
+    fn append_writer_round_trips_shards() {
+        let data = "age,city,income\n30,rome,100\n31,paris,200\n32,rome,300\n";
+        let shards: Vec<Table> = CsvChunks::new(data.as_bytes(), demo_schema(), 2)
+            .unwrap()
+            .map(|c| c.unwrap())
+            .collect();
+
+        let mut w = CsvAppendWriter::new(Vec::new(), shards[0].schema()).unwrap();
+        for s in &shards {
+            w.append(s).unwrap();
+        }
+        assert_eq!(w.n_rows(), 3);
+        let bytes = w.finish().unwrap();
+        let merged = read_csv(bytes.as_slice(), demo_schema()).unwrap();
+        let whole = read_csv(data.as_bytes(), demo_schema()).unwrap();
+        assert_eq!(merged.n_rows(), 3);
+        assert_eq!(
+            merged.numeric_column(0).unwrap(),
+            whole.numeric_column(0).unwrap()
+        );
+        assert_eq!(
+            merged.categorical_column(1).unwrap(),
+            whole.categorical_column(1).unwrap()
+        );
+
+        // mismatched columns are rejected
+        let other = read_csv_auto("x\n1\n".as_bytes()).unwrap();
+        let mut w = CsvAppendWriter::new(Vec::new(), shards[0].schema()).unwrap();
+        assert!(matches!(w.append(&other), Err(Error::RowMismatch { .. })));
+    }
+
+    #[test]
+    fn read_csv_line_numbers_survive_blank_lines() {
+        // blank line 2: the bad record sits on file line 4 and must say so
+        let data = "age,city,income\n\n30,rome,100\nxx,paris,200\n";
+        match read_csv(data.as_bytes(), demo_schema()).unwrap_err() {
+            Error::Csv { line, .. } => assert_eq!(line, 4),
+            other => panic!("expected CSV error, got {other}"),
+        }
+        match read_csv_auto("a\n\n1\n\nnan\n".as_bytes()).unwrap_err() {
+            Error::Csv { line, detail } => {
+                assert_eq!(line, 5);
+                assert!(detail.contains("non-finite"), "{detail}");
+            }
+            other => panic!("expected CSV error, got {other}"),
+        }
     }
 
     #[test]

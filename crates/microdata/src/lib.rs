@@ -61,6 +61,6 @@ pub use column::Column;
 pub use error::{Error, Result};
 pub use normalize::{NormalizeMethod, Normalizer};
 pub use schema::Schema;
-pub use stats::{correlation, mean, population_variance, range, std_dev};
+pub use stats::{correlation, mean, population_variance, range, std_dev, RunningStats};
 pub use table::Table;
 pub use value::Value;

@@ -44,6 +44,125 @@ pub fn range(xs: &[f64]) -> f64 {
     }
 }
 
+/// Mergeable streaming moments of one numeric attribute: count, mean,
+/// variance (via Welford's M2), min and max.
+///
+/// This is the building block of the out-of-core fit: each shard is folded
+/// in with [`RunningStats::add_column`] (or accumulated independently and
+/// combined with [`RunningStats::merge`], Chan et al.'s pairwise update),
+/// and the final moments parameterize the frozen normalization the
+/// streaming engine applies shard by shard. Merging is exact in the counts
+/// and algebraically equivalent to one pass in the moments; the floating-
+/// point result depends on the shard structure (not on which thread folded
+/// which shard), so a fixed shard size keeps it deterministic.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunningStats {
+    count: usize,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Folds one value in (Welford's online update).
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Folds a whole shard in, value by value.
+    pub fn add_column(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.push(x);
+        }
+    }
+
+    /// Combines two accumulators covering disjoint record sets.
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of values folded in.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Arithmetic mean; `0.0` when empty (matching [`mean`]).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (divides by `n`); `0.0` for fewer than 2 values
+    /// (matching [`population_variance`]).
+    pub fn population_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            // Guard the tiny negative M2 a cancellation-heavy merge can leave.
+            (self.m2 / self.count as f64).max(0.0)
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Smallest value; `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest value; `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// `max − min`; `0.0` when empty (matching [`range`]).
+    pub fn range(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max - self.min
+        }
+    }
+}
+
 /// Pearson correlation coefficient between two equally long slices.
 ///
 /// Returns `0.0` when either slice is constant (the coefficient is undefined
@@ -146,6 +265,70 @@ mod tests {
         assert_eq!(min(&[3.0, -1.0, 2.0]), Some(-1.0));
         assert_eq!(max(&[3.0, -1.0, 2.0]), Some(3.0));
         assert_eq!(range(&[3.0, -1.0, 2.0]), 4.0);
+    }
+
+    #[test]
+    fn running_stats_match_batch_helpers() {
+        let xs: Vec<f64> = (0..500)
+            .map(|i| ((i * 37) % 101) as f64 * 0.25 - 7.0)
+            .collect();
+        let mut rs = RunningStats::new();
+        rs.add_column(&xs);
+        assert_eq!(rs.count(), xs.len());
+        assert!((rs.mean() - mean(&xs)).abs() < 1e-9);
+        assert!((rs.population_variance() - population_variance(&xs)).abs() < 1e-9);
+        assert!((rs.std_dev() - std_dev(&xs)).abs() < 1e-9);
+        assert_eq!(rs.min(), min(&xs));
+        assert_eq!(rs.max(), max(&xs));
+        assert!((rs.range() - range(&xs)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn running_stats_merge_equals_single_pass() {
+        let xs: Vec<f64> = (0..997).map(|i| ((i * 13) % 37) as f64 - 11.5).collect();
+        let mut whole = RunningStats::new();
+        whole.add_column(&xs);
+        for chunk_size in [1usize, 7, 100, 996, 2000] {
+            let mut merged = RunningStats::new();
+            for shard in xs.chunks(chunk_size) {
+                let mut part = RunningStats::new();
+                part.add_column(shard);
+                merged.merge(&part);
+            }
+            assert_eq!(merged.count(), whole.count());
+            assert!((merged.mean() - whole.mean()).abs() < 1e-9);
+            assert!(
+                (merged.population_variance() - whole.population_variance()).abs() < 1e-9,
+                "chunk={chunk_size}"
+            );
+            assert_eq!(merged.min(), whole.min());
+            assert_eq!(merged.max(), whole.max());
+        }
+    }
+
+    #[test]
+    fn running_stats_empty_and_merge_identities() {
+        let empty = RunningStats::new();
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty.mean(), 0.0);
+        assert_eq!(empty.population_variance(), 0.0);
+        assert_eq!(empty.min(), None);
+        assert_eq!(empty.max(), None);
+        assert_eq!(empty.range(), 0.0);
+
+        let mut one = RunningStats::new();
+        one.push(3.5);
+        assert_eq!(one.population_variance(), 0.0);
+
+        // merging with empty on either side is the identity
+        let mut a = RunningStats::new();
+        a.add_column(&[1.0, 2.0]);
+        let before = a;
+        a.merge(&RunningStats::new());
+        assert_eq!(a, before);
+        let mut b = RunningStats::new();
+        b.merge(&before);
+        assert_eq!(b, before);
     }
 
     #[test]

@@ -139,12 +139,33 @@ where
     O: Send,
     F: Fn(&I) -> O + Sync,
 {
+    parallel_map_with(inputs, Parallelism::auto(), f)
+}
+
+/// [`parallel_map`] with an explicit thread-count policy.
+///
+/// The worker count only decides *who* computes each item, never the
+/// result: outputs are returned in input order and each item is computed
+/// independently, so `sequential()` and `workers(16)` produce identical
+/// output vectors. This is the entry point callers expose to end users
+/// (e.g. the CLI's `--workers`).
+pub fn parallel_map_with<I, O, F>(inputs: Vec<I>, par: Parallelism, f: F) -> Vec<O>
+where
+    I: Send + Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
     let n = inputs.len();
     if n == 0 {
         return Vec::new();
     }
-    let workers = Parallelism::auto().effective(n, 1);
-    if workers <= 1 || n <= 2 {
+    // `effective` caps workers at n, so a single item (or an explicitly
+    // sequential policy) short-circuits below. Two items with two workers
+    // DO spawn: items may be arbitrarily expensive (e.g. whole anonymization
+    // shards), and thread spin-up is negligible against anything that
+    // benefits from this function at all.
+    let workers = par.effective(n, 1);
+    if workers <= 1 {
         return inputs.iter().map(&f).collect();
     }
 
@@ -272,6 +293,16 @@ mod tests {
         let inputs: Vec<usize> = (0..1000).collect();
         let out = parallel_map(inputs, |&x| x * 2);
         assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_with_is_worker_count_invariant() {
+        let inputs: Vec<usize> = (0..257).collect();
+        let seq = parallel_map_with(inputs.clone(), Parallelism::sequential(), |&x| x * 3 + 1);
+        for w in [2usize, 4, 16] {
+            let par = parallel_map_with(inputs.clone(), Parallelism::workers(w), |&x| x * 3 + 1);
+            assert_eq!(seq, par, "workers={w}");
+        }
     }
 
     #[test]

@@ -1,0 +1,529 @@
+//! Pass 1: one streaming scan of the input accumulating the global fit.
+//!
+//! Two paths produce the same [`GlobalFit`]:
+//!
+//! * [`fit_auto`] — no schema known up front. Scans raw records, infers
+//!   each column's kind over the *whole* file (a column is numeric when
+//!   every value parses as `f64`), requires quasi-identifier and
+//!   confidential columns to be numeric, and accumulates
+//!   [`RunningStats`] / [`DomainAccumulator`]s as it goes. Memory is
+//!   bounded by the number of *distinct* values per column (the EMD
+//!   domain is that set anyway), never by the record count.
+//! * [`fit_with_schema`] — the explicit-schema fast path: records are
+//!   parsed straight into typed columns through
+//!   [`CsvChunks`](tclose_microdata::csv::CsvChunks) (supporting ordinal
+//!   QI/confidential attributes, which inference cannot produce) and the
+//!   accumulators are fed whole columns at a time.
+
+use std::collections::HashSet;
+use std::io::Read;
+
+use crate::error::{Error, Result};
+use tclose_core::{Confidential, GlobalFit, QiEmbedding};
+use tclose_metrics::emd::DomainAccumulator;
+use tclose_microdata::csv::{CsvChunks, CsvRecords};
+use tclose_microdata::{
+    AttributeDef, AttributeKind, AttributeRole, NormalizeMethod, RunningStats, Schema,
+};
+
+/// Role of a column during the inference scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ScanRole {
+    Qi,
+    Confidential,
+    Other,
+}
+
+/// Per-column accumulation state of the inference scan.
+struct ColumnScan {
+    name: String,
+    role: ScanRole,
+    /// Still true while every value parsed as `f64` (pass-through columns
+    /// only; QI/confidential columns error out on the first failure).
+    numeric: bool,
+    /// Line of the first value that parsed as a non-finite `f64` ("inf",
+    /// "nan"). If the column *ends up* numeric this is a hard error —
+    /// matching the in-memory reader, which also rejects non-finite cells
+    /// of numeric columns — while a column that turns nominal absorbs the
+    /// value as a label in both modes.
+    first_non_finite: Option<usize>,
+    /// Distinct labels in first-appearance order — becomes the dictionary
+    /// if the column ends up nominal.
+    labels: Vec<String>,
+    seen: HashSet<String>,
+    stats: RunningStats,
+    domain: DomainAccumulator,
+}
+
+impl ColumnScan {
+    fn new(name: &str, role: ScanRole) -> Self {
+        ColumnScan {
+            name: name.to_owned(),
+            role,
+            numeric: true,
+            first_non_finite: None,
+            labels: Vec::new(),
+            seen: HashSet::new(),
+            stats: RunningStats::new(),
+            domain: DomainAccumulator::new(),
+        }
+    }
+
+    fn scan(&mut self, field: &str, row: usize, lineno: usize) -> Result<()> {
+        let parsed = field.trim().parse::<f64>().ok();
+        let finite = parsed.filter(|x| x.is_finite());
+        match self.role {
+            ScanRole::Qi => {
+                let x = finite.ok_or_else(|| Error::Data {
+                    line: Some(lineno),
+                    detail: format!(
+                        "quasi-identifier {:?} has non-numeric or non-finite value \
+                         {field:?}; the streaming fit needs finite numeric \
+                         quasi-identifiers (or an explicit schema with ordinal \
+                         attributes)",
+                        self.name
+                    ),
+                })?;
+                self.stats.push(x);
+            }
+            ScanRole::Confidential => {
+                let x = finite.ok_or_else(|| Error::Data {
+                    line: Some(lineno),
+                    detail: format!(
+                        "confidential attribute {:?} has non-numeric or non-finite \
+                         value {field:?}; the ordered EMD needs a rankable attribute",
+                        self.name
+                    ),
+                })?;
+                self.domain.add(x, row).map_err(|e| Error::Data {
+                    line: Some(lineno),
+                    detail: e.to_string(),
+                })?;
+            }
+            ScanRole::Other => {
+                match parsed {
+                    None => self.numeric = false,
+                    Some(x) if !x.is_finite() && self.first_non_finite.is_none() => {
+                        self.first_non_finite = Some(lineno);
+                    }
+                    Some(_) => {}
+                }
+                // Collect the dictionary unconditionally: the column may
+                // stop looking numeric at any later record, and interning
+                // order must be first-appearance order either way.
+                if !self.seen.contains(field) {
+                    self.seen.insert(field.to_owned());
+                    self.labels.push(field.to_owned());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Post-scan validation of a pass-through column: a column that ends
+    /// numeric must be finite throughout (parity with `read_csv_auto`).
+    fn check_finite(&self) -> Result<()> {
+        if self.role == ScanRole::Other && self.numeric {
+            if let Some(line) = self.first_non_finite {
+                return Err(Error::Data {
+                    line: Some(line),
+                    detail: format!("non-finite number in numeric column {:?}", self.name),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Resolves each header column's scan role from the requested QI /
+/// confidential name lists (confidential wins when a name is listed twice,
+/// mirroring sequential `Schema::set_roles` assignment).
+fn resolve_roles(
+    header: &[String],
+    qi: &[String],
+    confidential: &[String],
+) -> Result<Vec<ScanRole>> {
+    for name in qi.iter().chain(confidential) {
+        if !header.contains(name) {
+            return Err(Error::Config(format!(
+                "column {name:?} is not in the input header {header:?}"
+            )));
+        }
+    }
+    Ok(header
+        .iter()
+        .map(|name| {
+            if confidential.contains(name) {
+                ScanRole::Confidential
+            } else if qi.contains(name) {
+                ScanRole::Qi
+            } else {
+                ScanRole::Other
+            }
+        })
+        .collect())
+}
+
+/// Streaming fit with column-kind inference (no schema known up front).
+///
+/// Returns the assembled [`GlobalFit`]; its schema carries the inferred
+/// kinds, the requested roles and complete dictionaries, ready to drive
+/// the pass-2 chunked re-read.
+pub fn fit_auto<R: Read>(
+    reader: R,
+    qi: &[String],
+    confidential: &[String],
+    normalize: NormalizeMethod,
+) -> Result<GlobalFit> {
+    if qi.is_empty() {
+        return Err(Error::Config(
+            "at least one quasi-identifier column is required".into(),
+        ));
+    }
+    if confidential.is_empty() {
+        return Err(Error::Config(
+            "at least one confidential column is required".into(),
+        ));
+    }
+    let records = CsvRecords::new(reader)?;
+    let roles = resolve_roles(records.header(), qi, confidential)?;
+    let mut cols: Vec<ColumnScan> = records
+        .header()
+        .iter()
+        .zip(&roles)
+        .map(|(name, &role)| ColumnScan::new(name, role))
+        .collect();
+
+    let mut n = 0usize;
+    for record in records {
+        let (lineno, fields) = record?;
+        for (col, field) in cols.iter_mut().zip(&fields) {
+            col.scan(field, n, lineno)?;
+        }
+        n += 1;
+    }
+    if n == 0 {
+        return Err(Error::Data {
+            line: None,
+            detail: "input has a header but no data records".into(),
+        });
+    }
+    for col in &cols {
+        col.check_finite()?;
+    }
+
+    let attrs: Vec<AttributeDef> = cols
+        .iter()
+        .map(|c| match c.role {
+            ScanRole::Qi => AttributeDef::numeric(c.name.clone(), AttributeRole::QuasiIdentifier),
+            ScanRole::Confidential => {
+                AttributeDef::numeric(c.name.clone(), AttributeRole::Confidential)
+            }
+            ScanRole::Other if c.numeric => {
+                AttributeDef::numeric(c.name.clone(), AttributeRole::NonConfidential)
+            }
+            ScanRole::Other => AttributeDef::nominal(
+                c.name.clone(),
+                AttributeRole::NonConfidential,
+                c.labels.clone(),
+            ),
+        })
+        .collect();
+    let schema = Schema::new(attrs)?;
+
+    let stats: Vec<RunningStats> = cols
+        .iter()
+        .filter(|c| c.role == ScanRole::Qi)
+        .map(|c| c.stats)
+        .collect();
+    let embedding = QiEmbedding::from_stats(normalize, &stats);
+    let emds = cols
+        .iter()
+        .filter(|c| c.role == ScanRole::Confidential)
+        .map(|c| {
+            c.domain.finalize().map_err(|e| Error::Data {
+                line: None,
+                detail: format!("confidential attribute {:?}: {e}", c.name),
+            })
+        })
+        .collect::<Result<Vec<_>>>()?;
+    let conf = Confidential::from_emds(emds)?;
+    Ok(GlobalFit::from_parts(schema, embedding, conf, n)?)
+}
+
+/// Streaming fit against an explicit schema (roles already assigned):
+/// records are parsed in typed chunks of `chunk_rows`, and whole columns
+/// are folded into the accumulators at a time.
+pub fn fit_with_schema<R: Read>(
+    reader: R,
+    schema: Schema,
+    normalize: NormalizeMethod,
+    chunk_rows: usize,
+) -> Result<GlobalFit> {
+    let qi = schema.quasi_identifiers();
+    let conf_attrs = schema.confidential();
+    if qi.is_empty() {
+        return Err(Error::Config(
+            "the schema declares no quasi-identifier attribute".into(),
+        ));
+    }
+    if conf_attrs.is_empty() {
+        return Err(Error::Config(
+            "the schema declares no confidential attribute".into(),
+        ));
+    }
+
+    let mut chunks = CsvChunks::new(reader, schema, chunk_rows)?;
+    let mut stats: Vec<RunningStats> = vec![RunningStats::new(); qi.len()];
+    let mut domains: Vec<DomainAccumulator> = vec![DomainAccumulator::new(); conf_attrs.len()];
+    let mut offset = 0usize;
+    for chunk in chunks.by_ref() {
+        let chunk = chunk?;
+        for (rs, &a) in stats.iter_mut().zip(&qi) {
+            match chunk.schema().attribute(a)?.kind {
+                AttributeKind::Numeric => rs.add_column(chunk.numeric_column(a)?),
+                AttributeKind::OrdinalCategorical => {
+                    for &c in chunk.categorical_column(a)? {
+                        rs.push(c as f64);
+                    }
+                }
+                AttributeKind::NominalCategorical => {
+                    return Err(Error::Data {
+                        line: None,
+                        detail: format!(
+                            "quasi-identifier {:?} is nominal; microaggregation needs \
+                             a metric QI space",
+                            chunk.schema().attribute(a)?.name
+                        ),
+                    });
+                }
+            }
+        }
+        for (acc, &a) in domains.iter_mut().zip(&conf_attrs) {
+            let added = match chunk.schema().attribute(a)?.kind {
+                AttributeKind::Numeric => acc.add_column(chunk.numeric_column(a)?, offset),
+                AttributeKind::OrdinalCategorical => {
+                    acc.add_codes(chunk.categorical_column(a)?);
+                    Ok(())
+                }
+                AttributeKind::NominalCategorical => {
+                    return Err(Error::Data {
+                        line: None,
+                        detail: format!(
+                            "confidential attribute {:?} is nominal; the ordered EMD \
+                             needs a rankable attribute",
+                            chunk.schema().attribute(a)?.name
+                        ),
+                    });
+                }
+            };
+            added.map_err(|e| Error::Data {
+                line: None,
+                detail: format!(
+                    "confidential attribute {:?}: {e}",
+                    chunk
+                        .schema()
+                        .attribute(a)
+                        .map(|x| x.name.clone())
+                        .unwrap_or_default()
+                ),
+            })?;
+        }
+        offset += chunk.n_rows();
+    }
+    if offset == 0 {
+        return Err(Error::Data {
+            line: None,
+            detail: "input has a header but no data records".into(),
+        });
+    }
+
+    let embedding = QiEmbedding::from_stats(normalize, &stats);
+    let emds = domains
+        .iter()
+        .map(|d| {
+            d.finalize().map_err(|e| Error::Data {
+                line: None,
+                detail: e.to_string(),
+            })
+        })
+        .collect::<Result<Vec<_>>>()?;
+    let conf = Confidential::from_emds(emds)?;
+    // The post-pass schema carries every dictionary label the file uses.
+    let schema = chunks.schema().clone();
+    Ok(GlobalFit::from_parts(schema, embedding, conf, offset)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CSV: &str = "age,city,wage\n\
+                       30,rome,100\n\
+                       34,paris,200\n\
+                       41,rome,100\n\
+                       29,oslo,300\n";
+
+    fn names(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn fit_auto_accumulates_stats_and_domain() {
+        let fit = fit_auto(
+            CSV.as_bytes(),
+            &names(&["age"]),
+            &names(&["wage"]),
+            NormalizeMethod::ZScore,
+        )
+        .unwrap();
+        assert_eq!(fit.n_records(), 4);
+        assert_eq!(fit.qi(), &[0]);
+        assert_eq!(fit.confidential().n(), 4);
+        assert_eq!(fit.confidential().primary().m(), 3); // {100, 200, 300}
+                                                         // city inferred nominal with first-appearance dictionary
+        let city = fit.schema().attribute(1).unwrap();
+        assert_eq!(city.kind, AttributeKind::NominalCategorical);
+        assert_eq!(city.dictionary.labels(), &["rome", "paris", "oslo"]);
+        // z-score params match the batch statistics
+        let (shift, scale) = fit.embedding().params()[0];
+        let ages = [30.0, 34.0, 41.0, 29.0];
+        assert!((shift - tclose_microdata::mean(&ages)).abs() < 1e-9);
+        assert!((scale - tclose_microdata::std_dev(&ages)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_auto_rejects_bad_inputs_with_context() {
+        // unknown column
+        assert!(matches!(
+            fit_auto(
+                CSV.as_bytes(),
+                &names(&["nope"]),
+                &names(&["wage"]),
+                NormalizeMethod::ZScore
+            ),
+            Err(Error::Config(_))
+        ));
+        // empty role lists
+        assert!(matches!(
+            fit_auto(
+                CSV.as_bytes(),
+                &[],
+                &names(&["wage"]),
+                NormalizeMethod::ZScore
+            ),
+            Err(Error::Config(_))
+        ));
+        // non-numeric QI errors at its line
+        match fit_auto(
+            CSV.as_bytes(),
+            &names(&["city"]),
+            &names(&["wage"]),
+            NormalizeMethod::ZScore,
+        ) {
+            Err(Error::Data { line, detail }) => {
+                assert_eq!(line, Some(2));
+                assert!(detail.contains("city"), "{detail}");
+            }
+            other => panic!("expected Data error, got {other:?}"),
+        }
+        // header only
+        assert!(matches!(
+            fit_auto(
+                "a,b\n".as_bytes(),
+                &names(&["a"]),
+                &names(&["b"]),
+                NormalizeMethod::ZScore
+            ),
+            Err(Error::Data { line: None, .. })
+        ));
+        // empty file
+        assert!(matches!(
+            fit_auto(
+                "".as_bytes(),
+                &names(&["a"]),
+                &names(&["b"]),
+                NormalizeMethod::ZScore
+            ),
+            Err(Error::Microdata(_))
+        ));
+    }
+
+    #[test]
+    fn non_finite_passthrough_matches_the_in_memory_reader() {
+        // A numeric-looking pass-through column containing "inf" fails in
+        // both ingestion modes (parity with read_csv_auto + parse_record)…
+        let data = "age,extra,wage\n30,1.5,100\n31,inf,200\n32,2.5,100\n";
+        assert!(tclose_microdata::csv::read_csv_auto(data.as_bytes()).is_err());
+        match fit_auto(
+            data.as_bytes(),
+            &names(&["age"]),
+            &names(&["wage"]),
+            NormalizeMethod::ZScore,
+        ) {
+            Err(Error::Data { line, detail }) => {
+                assert_eq!(line, Some(3));
+                assert!(detail.contains("non-finite"), "{detail}");
+            }
+            other => panic!("expected Data error, got {other:?}"),
+        }
+
+        // …while a mixed column (text + "inf") goes nominal in both.
+        let mixed = "age,extra,wage\n30,x,100\n31,inf,200\n32,y,100\n";
+        assert!(tclose_microdata::csv::read_csv_auto(mixed.as_bytes()).is_ok());
+        let fit = fit_auto(
+            mixed.as_bytes(),
+            &names(&["age"]),
+            &names(&["wage"]),
+            NormalizeMethod::ZScore,
+        )
+        .unwrap();
+        assert_eq!(
+            fit.schema().attribute(1).unwrap().kind,
+            AttributeKind::NominalCategorical
+        );
+        assert_eq!(
+            fit.schema().attribute(1).unwrap().dictionary.labels(),
+            &["x", "inf", "y"]
+        );
+    }
+
+    #[test]
+    fn fit_with_schema_matches_fit_auto_on_numeric_data() {
+        let auto = fit_auto(
+            CSV.as_bytes(),
+            &names(&["age"]),
+            &names(&["wage"]),
+            NormalizeMethod::ZScore,
+        )
+        .unwrap();
+        let mut schema = tclose_microdata::csv::read_csv_auto(CSV.as_bytes())
+            .unwrap()
+            .schema()
+            .clone();
+        schema
+            .set_roles(&[
+                ("age", AttributeRole::QuasiIdentifier),
+                ("wage", AttributeRole::Confidential),
+            ])
+            .unwrap();
+        for chunk_rows in [1usize, 3, 100] {
+            let fitted = fit_with_schema(
+                CSV.as_bytes(),
+                schema.clone(),
+                NormalizeMethod::ZScore,
+                chunk_rows,
+            )
+            .unwrap();
+            assert_eq!(fitted.n_records(), auto.n_records());
+            assert_eq!(
+                fitted.confidential().primary().values(),
+                auto.confidential().primary().values()
+            );
+            assert_eq!(
+                fitted.confidential().primary().global_counts(),
+                auto.confidential().primary().global_counts()
+            );
+        }
+    }
+}

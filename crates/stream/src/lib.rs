@@ -1,0 +1,545 @@
+//! # tclose-stream
+//!
+//! Sharded, bounded-memory anonymization of CSV files that never fit in
+//! RAM — the out-of-core engine on top of the fit/apply split of
+//! `tclose-core`.
+//!
+//! ## How it works
+//!
+//! The paper's algorithms (Soria-Comas et al., ICDE 2016) need *global*
+//! knowledge exactly once: the quasi-identifier normalization statistics
+//! and the ordered-EMD domain + global confidential distribution (Li et
+//! al., ICDE 2007). Everything else — clustering, aggregation,
+//! verification — is local to a working set. The engine therefore makes
+//! **two passes** over the input file:
+//!
+//! 1. **Fit** — one streaming scan accumulating mergeable statistics
+//!    ([`RunningStats`](tclose_microdata::RunningStats) per QI,
+//!    [`DomainAccumulator`](tclose_metrics::emd::DomainAccumulator) per
+//!    confidential attribute) into a frozen
+//!    [`GlobalFit`]. Memory is bounded by the
+//!    number of *distinct* values per column, never the record count.
+//! 2. **Apply** — re-read the file in shards of `shard_rows` records
+//!    through [`CsvChunks`], anonymize
+//!    up to `workers` shards concurrently with
+//!    [`FittedAnonymizer::apply_shard`](tclose_core::FittedAnonymizer),
+//!    and append the masked shards to the output **in input order**
+//!    through [`CsvAppendWriter`].
+//!    Peak residency is `O(workers × shard_rows)` records.
+//!
+//! Every shard is audited against the **global** confidential
+//! distribution, so each released equivalence class is t-close in the
+//! sense that matters. Because the ordered EMD is jointly convex, classes
+//! that collide across shards in the merged release only move closer to
+//! the global distribution — the per-shard audits soundly bound the merged
+//! file (see [`StreamReport`]).
+//!
+//! Output is **invariant to the worker count** at a fixed shard size: the
+//! fit pass is a sequential scan, shards are deterministic functions of
+//! the frozen fit, and writes are ordered.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use tclose_stream::ShardedAnonymizer;
+//!
+//! let report = ShardedAnonymizer::new(5, 0.25)
+//!     .shard_rows(10_000)
+//!     .anonymize_file(
+//!         "census.csv".as_ref(),
+//!         "census_anon.csv".as_ref(),
+//!         &["AGE".into(), "ZIP".into()],
+//!         &["WAGE".into()],
+//!     )
+//!     .unwrap();
+//! assert!(report.satisfies_request());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod fit_pass;
+mod report;
+
+pub use error::{Error, Result};
+pub use fit_pass::{fit_auto, fit_with_schema};
+pub use report::StreamReport;
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+use std::time::Instant;
+
+use tclose_core::{Algorithm, AnonymizationReport, Anonymizer, FittedAnonymizer, GlobalFit};
+use tclose_microdata::csv::{CsvAppendWriter, CsvChunks};
+use tclose_microdata::{AttributeRole, NormalizeMethod, Schema, Table};
+use tclose_parallel::{parallel_map_with, Parallelism};
+
+/// Default shard size (records per shard) when none is configured.
+pub const DEFAULT_SHARD_ROWS: usize = 10_000;
+
+/// Builder-style front door of the streaming engine, mirroring
+/// [`Anonymizer`] plus the sharding knobs.
+#[derive(Debug, Clone)]
+pub struct ShardedAnonymizer {
+    k: usize,
+    t: f64,
+    algorithm: Algorithm,
+    normalize: NormalizeMethod,
+    shard_rows: usize,
+    par: Parallelism,
+    schema: Option<Schema>,
+}
+
+impl ShardedAnonymizer {
+    /// An engine for the given `(k, t)` pair with the paper's default
+    /// algorithm (t-closeness-first), z-score normalization,
+    /// [`DEFAULT_SHARD_ROWS`] records per shard and one worker per core.
+    pub fn new(k: usize, t: f64) -> Self {
+        ShardedAnonymizer {
+            k,
+            t,
+            algorithm: Algorithm::TClosenessFirst,
+            normalize: NormalizeMethod::ZScore,
+            shard_rows: DEFAULT_SHARD_ROWS,
+            par: Parallelism::auto(),
+            schema: None,
+        }
+    }
+
+    /// Selects the algorithm.
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Selects the quasi-identifier normalization.
+    pub fn normalization(mut self, method: NormalizeMethod) -> Self {
+        self.normalize = method;
+        self
+    }
+
+    /// Sets the shard size (maximum records per shard). A ragged final
+    /// chunk smaller than `max(2k, shard_rows / 2)` is merged into its
+    /// predecessor so no shard is ever too small to carry the privacy
+    /// guarantees.
+    pub fn shard_rows(mut self, rows: usize) -> Self {
+        self.shard_rows = rows;
+        self
+    }
+
+    /// Pins the worker count for pass 2 (shard-level parallelism **and**
+    /// the kernels inside each shard). Output is identical for any value.
+    pub fn with_parallelism(mut self, par: Parallelism) -> Self {
+        self.par = par;
+        self
+    }
+
+    /// Supplies an explicit schema (kinds + roles + dictionaries) instead
+    /// of inferring column kinds from the data — the fast path, and the
+    /// only way to stream ordinal QI / confidential attributes.
+    pub fn with_schema(mut self, schema: Schema) -> Self {
+        self.schema = Some(schema);
+        self
+    }
+
+    /// Runs the fit pass only (pass 1) and returns the frozen global
+    /// state, e.g. to apply the same fit to several files.
+    pub fn fit_file(
+        &self,
+        input: &Path,
+        qi: &[String],
+        confidential: &[String],
+    ) -> Result<GlobalFit> {
+        let file = open(input)?;
+        match &self.schema {
+            Some(schema) => {
+                let mut schema = schema.clone();
+                apply_roles(&mut schema, qi, confidential)?;
+                fit_pass::fit_with_schema(
+                    BufReader::new(file),
+                    schema,
+                    self.normalize,
+                    self.shard_rows,
+                )
+            }
+            None => fit_pass::fit_auto(BufReader::new(file), qi, confidential, self.normalize),
+        }
+    }
+
+    /// Anonymizes `input` into `output` with the two-pass sharded engine.
+    ///
+    /// `qi` / `confidential` name the quasi-identifier and confidential
+    /// columns (a name in both lists is treated as confidential, matching
+    /// sequential role assignment). Identifier columns of an explicit
+    /// schema are dropped from the release.
+    pub fn anonymize_file(
+        &self,
+        input: &Path,
+        output: &Path,
+        qi: &[String],
+        confidential: &[String],
+    ) -> Result<StreamReport> {
+        if self.shard_rows == 0 {
+            return Err(Error::Config("shard size must be at least 1".into()));
+        }
+
+        let fit_started = Instant::now();
+        let fit = self.fit_file(input, qi, confidential)?;
+        let fit_time = fit_started.elapsed();
+
+        let apply_started = Instant::now();
+        // Parallelism is spent *across* shards (parallel_map_with below);
+        // inside each shard the kernels run sequentially so `workers`
+        // shards never oversubscribe the machine. Either split yields
+        // bit-identical output — kernels are worker-count independent.
+        let fitted = Anonymizer::new(self.k, self.t)
+            .algorithm(self.algorithm)
+            .normalization(self.normalize)
+            .with_parallelism(Parallelism::sequential())
+            .with_fit(fit)?;
+
+        let reports = self.apply_file(&fitted, input, output)?;
+        let apply_time = apply_started.elapsed();
+        Ok(StreamReport::merge(
+            reports,
+            self.shard_rows,
+            fit_time,
+            apply_time,
+        ))
+    }
+
+    /// Pass 2: chunked re-read, parallel per-shard anonymization, ordered
+    /// appends.
+    fn apply_file(
+        &self,
+        fitted: &FittedAnonymizer,
+        input: &Path,
+        output: &Path,
+    ) -> Result<Vec<AnonymizationReport>> {
+        let schema = fitted.global_fit().schema().clone();
+        let reader = BufReader::new(open(input)?);
+        let chunks = CsvChunks::new(reader, schema.clone(), self.shard_rows)?;
+        // Never hand a too-small final shard to the clusterer: below
+        // max(2k, shard/2) records it merges into its predecessor.
+        let tail_min = (2 * self.k).max(self.shard_rows / 2);
+        let mut shards = MergeTail::new(chunks, self.shard_rows, tail_min);
+
+        let release_schema = released_schema(&schema)?;
+        let out = File::create(output)
+            .map_err(|e| Error::Io(format!("cannot create {}: {e}", output.display())))?;
+        let mut writer = CsvAppendWriter::new(BufWriter::new(out), &release_schema)?;
+
+        // Process up to `workers` shards at a time: bounded residency,
+        // input-order writes.
+        let workers = self.par.worker_count().max(1);
+        let mut reports = Vec::new();
+        loop {
+            let mut batch: Vec<Table> = Vec::with_capacity(workers);
+            while batch.len() < workers {
+                match shards.next()? {
+                    Some(t) => batch.push(t),
+                    None => break,
+                }
+            }
+            if batch.is_empty() {
+                break;
+            }
+            let outs = parallel_map_with(batch, self.par, |shard| fitted.apply_shard(shard));
+            for anon in outs {
+                let anon = anon?;
+                writer.append(&anon.table.drop_identifiers()?)?;
+                reports.push(anon.report);
+            }
+        }
+        if reports.is_empty() {
+            return Err(Error::Data {
+                line: None,
+                detail: "input has a header but no data records".into(),
+            });
+        }
+        writer.finish()?;
+        Ok(reports)
+    }
+}
+
+/// One-chunk-lookahead adapter merging a too-small final chunk into its
+/// predecessor. Every chunk before the last has exactly `chunk_rows`
+/// records, so a short chunk is always the last one.
+struct MergeTail<R: std::io::Read> {
+    chunks: CsvChunks<R>,
+    pending: Option<Table>,
+    chunk_rows: usize,
+    tail_min: usize,
+    started: bool,
+}
+
+impl<R: std::io::Read> MergeTail<R> {
+    fn new(chunks: CsvChunks<R>, chunk_rows: usize, tail_min: usize) -> Self {
+        MergeTail {
+            chunks,
+            pending: None,
+            chunk_rows,
+            tail_min,
+            started: false,
+        }
+    }
+
+    fn next(&mut self) -> Result<Option<Table>> {
+        let mut current = match self.pending.take() {
+            Some(t) => t,
+            None => {
+                if self.started {
+                    return Ok(None);
+                }
+                match self.chunks.next() {
+                    None => return Ok(None),
+                    Some(c) => c?,
+                }
+            }
+        };
+        self.started = true;
+        match self.chunks.next() {
+            None => Ok(Some(current)),
+            Some(next) => {
+                let next = next?;
+                // A chunk shorter than `chunk_rows` is necessarily the
+                // final one (all earlier chunks are full).
+                if next.n_rows() < self.chunk_rows && next.n_rows() < self.tail_min {
+                    // `next` is the ragged tail — fold it into `current`.
+                    current = concat(&current, &next)?;
+                    // Drain (the iterator is exhausted; this keeps the
+                    // invariant that `pending == None` means done).
+                    debug_assert!(self.chunks.next().is_none());
+                    Ok(Some(current))
+                } else {
+                    self.pending = Some(next);
+                    Ok(Some(current))
+                }
+            }
+        }
+    }
+}
+
+/// Concatenates two chunks (the second one's schema may carry a larger
+/// dictionary — it wins).
+fn concat(a: &Table, b: &Table) -> Result<Table> {
+    let mut out = Table::new(b.schema().clone());
+    for row in a.rows().chain(b.rows()) {
+        out.push_row(&row)?;
+    }
+    Ok(out)
+}
+
+/// The release schema: every non-identifier attribute, in order.
+fn released_schema(schema: &Schema) -> Result<Schema> {
+    let keep: Vec<usize> = (0..schema.n_attributes())
+        .filter(|&i| {
+            schema
+                .attribute(i)
+                .map(|a| a.role != AttributeRole::Identifier)
+                .unwrap_or(true)
+        })
+        .collect();
+    Ok(schema.project(&keep)?)
+}
+
+/// Applies QI / confidential roles by column name (confidential wins on a
+/// double listing).
+fn apply_roles(schema: &mut Schema, qi: &[String], confidential: &[String]) -> Result<()> {
+    let mut roles: Vec<(&str, AttributeRole)> = Vec::new();
+    for name in qi {
+        roles.push((name.as_str(), AttributeRole::QuasiIdentifier));
+    }
+    for name in confidential {
+        roles.push((name.as_str(), AttributeRole::Confidential));
+    }
+    schema
+        .set_roles(&roles)
+        .map_err(|e| Error::Config(e.to_string()))
+}
+
+fn open(path: &Path) -> Result<File> {
+    File::open(path).map_err(|e| Error::Io(format!("cannot open {}: {e}", path.display())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use tclose_core::{verify_k_anonymity, verify_t_closeness, Confidential};
+    use tclose_microdata::csv::read_csv_auto;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("tclose_stream_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    /// A deterministic synthetic file: `n` rows, numeric QIs, one
+    /// confidential column with a small domain, one nominal pass-through.
+    fn write_input(path: &Path, n: usize) {
+        let mut f = std::fs::File::create(path).unwrap();
+        writeln!(f, "age,zip,dept,wage").unwrap();
+        for i in 0..n {
+            writeln!(
+                f,
+                "{},{},d{},{}",
+                20 + (i * 7) % 50,
+                1000 + (i * 37) % 200,
+                i % 4,
+                100 * ((i * 13) % 11)
+            )
+            .unwrap();
+        }
+    }
+
+    fn qi() -> Vec<String> {
+        vec!["age".into(), "zip".into()]
+    }
+
+    fn conf() -> Vec<String> {
+        vec!["wage".into()]
+    }
+
+    #[test]
+    fn streaming_release_passes_global_audits() {
+        let input = tmp("audit_in.csv");
+        let output = tmp("audit_out.csv");
+        write_input(&input, 700);
+
+        let report = ShardedAnonymizer::new(4, 0.3)
+            .shard_rows(200)
+            .anonymize_file(&input, &output, &qi(), &conf())
+            .unwrap();
+        assert_eq!(report.n_records, 700);
+        // 700 = 3 shards of 200 + tail 100 ≥ max(8, 100) → 4 shards
+        assert_eq!(report.n_shards, 4);
+        assert!(report.satisfies_request());
+        assert!(report.min_cluster_size >= 4);
+        assert!(report.max_emd <= 0.3 + 1e-9);
+
+        // independent audit of the merged release
+        let mut released = read_csv_auto(std::fs::File::open(&output).unwrap()).unwrap();
+        released
+            .schema_mut()
+            .set_roles(&[
+                ("age", AttributeRole::QuasiIdentifier),
+                ("zip", AttributeRole::QuasiIdentifier),
+                ("wage", AttributeRole::Confidential),
+            ])
+            .unwrap();
+        assert_eq!(released.n_rows(), 700);
+        assert!(verify_k_anonymity(&released).unwrap() >= 4);
+        let conf_model = Confidential::from_table(&released).unwrap();
+        assert!(verify_t_closeness(&released, &conf_model).unwrap() <= 0.3 + 1e-9);
+    }
+
+    #[test]
+    fn output_is_invariant_to_worker_count() {
+        let input = tmp("workers_in.csv");
+        write_input(&input, 500);
+        let mut outputs = Vec::new();
+        for workers in [1usize, 2, 8] {
+            let output = tmp(&format!("workers_out_{workers}.csv"));
+            let report = ShardedAnonymizer::new(3, 0.35)
+                .shard_rows(120)
+                .with_parallelism(Parallelism::workers(workers))
+                .anonymize_file(&input, &output, &qi(), &conf())
+                .unwrap();
+            assert_eq!(report.n_records, 500);
+            outputs.push(std::fs::read(&output).unwrap());
+        }
+        assert_eq!(outputs[0], outputs[1], "1 vs 2 workers");
+        assert_eq!(outputs[0], outputs[2], "1 vs 8 workers");
+    }
+
+    #[test]
+    fn ragged_tail_merges_into_its_predecessor() {
+        let input = tmp("tail_in.csv");
+        let output = tmp("tail_out.csv");
+        // 205 rows at shard 100: tail of 5 < max(2k, 50) merges → 2 shards
+        write_input(&input, 205);
+        let report = ShardedAnonymizer::new(3, 0.4)
+            .shard_rows(100)
+            .anonymize_file(&input, &output, &qi(), &conf())
+            .unwrap();
+        assert_eq!(report.n_shards, 2);
+        assert_eq!(report.shards[0].n_records, 100);
+        assert_eq!(report.shards[1].n_records, 105);
+        assert!(report.satisfies_request());
+    }
+
+    #[test]
+    fn single_small_input_is_one_shard() {
+        let input = tmp("small_in.csv");
+        let output = tmp("small_out.csv");
+        write_input(&input, 30);
+        let report = ShardedAnonymizer::new(3, 0.5)
+            .shard_rows(1000)
+            .anonymize_file(&input, &output, &qi(), &conf())
+            .unwrap();
+        assert_eq!(report.n_shards, 1);
+        assert_eq!(report.n_records, 30);
+    }
+
+    #[test]
+    fn engine_rejects_degenerate_configs() {
+        let input = tmp("cfg_in.csv");
+        let output = tmp("cfg_out.csv");
+        write_input(&input, 20);
+        let eng = ShardedAnonymizer::new(3, 0.4);
+        assert!(matches!(
+            eng.clone()
+                .shard_rows(0)
+                .anonymize_file(&input, &output, &qi(), &conf()),
+            Err(Error::Config(_))
+        ));
+        assert!(matches!(
+            eng.anonymize_file(&input, &output, &[], &conf()),
+            Err(Error::Config(_))
+        ));
+        // header-only input
+        let empty = tmp("cfg_empty.csv");
+        std::fs::write(&empty, "age,zip,dept,wage\n").unwrap();
+        assert!(matches!(
+            ShardedAnonymizer::new(3, 0.4).anonymize_file(&empty, &output, &qi(), &conf()),
+            Err(Error::Data { .. })
+        ));
+        // missing file
+        assert!(matches!(
+            ShardedAnonymizer::new(3, 0.4).anonymize_file(
+                &tmp("does_not_exist.csv"),
+                &output,
+                &qi(),
+                &conf()
+            ),
+            Err(Error::Io(_))
+        ));
+    }
+
+    #[test]
+    fn explicit_schema_path_supports_identifier_drop() {
+        let input = tmp("schema_in.csv");
+        let output = tmp("schema_out.csv");
+        write_input(&input, 120);
+        // infer a schema once, then declare dept an identifier
+        let mut schema = read_csv_auto(std::fs::File::open(&input).unwrap())
+            .unwrap()
+            .schema()
+            .clone();
+        schema
+            .set_roles(&[("dept", AttributeRole::Identifier)])
+            .unwrap();
+        let report = ShardedAnonymizer::new(3, 0.4)
+            .shard_rows(50)
+            .with_schema(schema)
+            .anonymize_file(&input, &output, &qi(), &conf())
+            .unwrap();
+        assert!(report.satisfies_request());
+        let released = read_csv_auto(std::fs::File::open(&output).unwrap()).unwrap();
+        assert_eq!(released.n_cols(), 3, "identifier column dropped");
+        assert!(released.schema().index_of("dept").is_err());
+    }
+}

@@ -9,7 +9,10 @@
 //!   ordered EMD, SSE, disclosure risk).
 //! * [`microagg`] — microaggregation substrate (MDAV, V-MDAV, aggregation)
 //!   over the flat matrix, byte-identical under any worker count.
-//! * [`core`] — the paper's contribution: Algorithms 1–3, bounds, verifiers.
+//! * [`core`] — the paper's contribution: Algorithms 1–3, bounds, verifiers,
+//!   and the fit/apply split (`GlobalFit` / `FittedAnonymizer`).
+//! * [`stream`] — the sharded streaming engine: two-pass, bounded-memory
+//!   anonymization of CSV files that never fit in RAM.
 //! * [`datasets`] — synthetic evaluation data sets (Census MCD/HCD, Patient).
 //! * [`baselines`] — generalization-based baselines (Mondrian, SABRE).
 //! * [`eval`] — the experiment harness regenerating every table and figure.
@@ -25,18 +28,20 @@ pub use tclose_metrics as metrics;
 pub use tclose_microagg as microagg;
 pub use tclose_microdata as microdata;
 pub use tclose_parallel as parallel;
+pub use tclose_stream as stream;
 
 // Flat re-exports of the most common entry points so applications can write
 // `use tclose::prelude::*;`.
 pub mod prelude {
     //! One-line import of the types used by virtually every application.
     pub use tclose_core::{
-        Algorithm, AnonymizationReport, Anonymizer, KAnonymityFirst, MergeAlgorithm,
-        TClosenessFirst, TClosenessParams,
+        Algorithm, AnonymizationReport, Anonymizer, FittedAnonymizer, GlobalFit, KAnonymityFirst,
+        MergeAlgorithm, TClosenessFirst, TClosenessParams,
     };
     pub use tclose_metrics::{emd::OrderedEmd, sse::normalized_sse};
     pub use tclose_microagg::{
         Clustering, Matrix, Mdav, Microaggregator, Parallelism, RowId, VMdav,
     };
     pub use tclose_microdata::{AttributeDef, AttributeKind, AttributeRole, Schema, Table, Value};
+    pub use tclose_stream::{ShardedAnonymizer, StreamReport};
 }
