@@ -20,17 +20,27 @@
 //! loss").
 
 use tclose_core::{Confidential, TCloseClusterer, TClosenessParams};
-use tclose_metrics::distance::{centroid_ids, farthest_from_ids, sq_dist};
-use tclose_microagg::{Clustering, Matrix, Parallelism};
+use tclose_metrics::distance::{centroid_ids, sq_dist};
+use tclose_microagg::{Clustering, Matrix, NeighborBackend, NeighborSet, Parallelism};
 
 /// The SABRE-style bucketize-and-redistribute baseline.
 #[derive(Debug, Clone, Copy, Default)]
-pub struct SabreLite;
+pub struct SabreLite {
+    backend: NeighborBackend,
+}
 
 impl SabreLite {
-    /// Convenience constructor.
+    /// Convenience constructor (automatic neighbor-search backend).
     pub fn new() -> Self {
-        SabreLite
+        SabreLite::default()
+    }
+
+    /// Selects the neighbor-search backend of the per-class seed queries
+    /// (default [`NeighborBackend::Auto`]). Backends are exact — the
+    /// classes never depend on this.
+    pub fn with_backend(mut self, backend: NeighborBackend) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// Phase 1: greedy buckets over the confidential ranks. Returns record
@@ -107,6 +117,9 @@ impl TCloseClusterer for SabreLite {
         // Phase 2: assemble classes QI-aware, like the paper's algorithms —
         // seed each class at the record farthest from the centroid of what
         // remains, then draw its quota of QI-nearest records per bucket.
+        // The seed query goes through the neighbor backend; per-bucket
+        // draws stay flat scans (buckets are small and shrink fast).
+        let mut search = NeighborSet::new(m, self.backend, par);
         let mut bucket_pools: Vec<Vec<usize>> = buckets;
         let mut classes: Vec<Vec<usize>> = Vec::with_capacity(n_classes);
         #[allow(clippy::needless_range_loop)] // class_idx also selects the quota column
@@ -116,7 +129,7 @@ impl TCloseClusterer for SabreLite {
                 break;
             }
             let center = centroid_ids(m, &live, par);
-            let seed = farthest_from_ids(m, &live, &center, par).expect("non-empty");
+            let seed = search.farthest_from(&live, &center).expect("non-empty");
             let mut class = Vec::new();
             for (bi, pool) in bucket_pools.iter_mut().enumerate() {
                 let want = if class_idx + 1 == n_classes {
@@ -134,7 +147,9 @@ impl TCloseClusterer for SabreLite {
                             best_pos = pos;
                         }
                     }
-                    class.push(pool.swap_remove(best_pos));
+                    let drawn = pool.swap_remove(best_pos);
+                    search.remove(drawn);
+                    class.push(drawn);
                 }
             }
             classes.push(class);
@@ -261,6 +276,21 @@ mod tests {
             sabre.mean_size(),
             tfirst.mean_size()
         );
+    }
+
+    #[test]
+    fn backends_produce_identical_classes() {
+        let (rows, conf) = problem(200);
+        for (k, t) in [(2usize, 0.08), (5, 0.2)] {
+            let params = TClosenessParams::new(k, t).unwrap();
+            let flat = SabreLite::new()
+                .with_backend(NeighborBackend::FlatScan)
+                .cluster(&rows, &conf, params);
+            let kd = SabreLite::new()
+                .with_backend(NeighborBackend::KdTree)
+                .cluster(&rows, &conf, params);
+            assert_eq!(flat, kd, "k={k} t={t}");
+        }
     }
 
     #[test]

@@ -1,0 +1,90 @@
+//! Neighbor-backend benchmark: MDAV partitioning with the flat-scan
+//! kernels versus the `tclose-index` kd-tree, single-threaded, across
+//! data sizes (1k / 10k / 100k rows) and dimensionalities (2 / 4 / 8).
+//!
+//! Numbers from this bench are recorded and interpreted in
+//! `docs/PERFORMANCE.md` (the "index scaling" and "backend crossover"
+//! tables). Both backends produce byte-identical partitions — pinned by
+//! `tests/backend_equivalence.rs` — so the comparison is purely about
+//! wall-clock time. `k` scales as `n / 200` (matching `flat_scaling`), so
+//! every configuration does the same ~200-cluster outer loop and the rows
+//! differ only in the per-query scan/prune cost.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tclose_microagg::{mdav_partition_with, Matrix, NeighborBackend, Parallelism};
+
+/// Deterministic synthetic rows (no RNG: same values in every run).
+fn synthetic_matrix(n: usize, dims: usize) -> Matrix {
+    let data: Vec<f64> = (0..n * dims)
+        .map(|i| ((i * 2654435761 + (i % dims) * 40503) % 100_003) as f64 * 1e-3)
+        .collect();
+    Matrix::new(data, n, dims)
+}
+
+fn cluster_k(n: usize) -> usize {
+    (n / 200).max(5)
+}
+
+/// Flat scan vs kd-tree at n ∈ {1k, 10k, 100k} × dims ∈ {2, 4, 8},
+/// single-threaded (the acceptance configuration of the `tclose-index`
+/// subsystem: ≥ 3× at n = 100k, dims ≤ 4).
+fn bench_index_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_scaling");
+    group.sample_size(10);
+    for n in [1_000usize, 10_000, 100_000] {
+        for dims in [2usize, 4, 8] {
+            let m = synthetic_matrix(n, dims);
+            let k = cluster_k(n);
+            for (name, backend) in [
+                ("flat", NeighborBackend::FlatScan),
+                ("kdtree", NeighborBackend::KdTree),
+            ] {
+                let id = format!("mdav_{name}/n{n}_d{dims}");
+                group.bench_with_input(BenchmarkId::from_parameter(id), &backend, |b, &be| {
+                    b.iter(|| {
+                        black_box(mdav_partition_with(
+                            black_box(&m),
+                            k,
+                            Parallelism::sequential(),
+                            be,
+                        ))
+                    });
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+/// Where the kd-tree overtakes the flat scan: both backends at dims = 4
+/// over a fine n sweep around the `Auto` threshold
+/// (`tclose_index::AUTO_MIN_ROWS`). Used to justify/recalibrate that
+/// constant — `docs/PERFORMANCE.md` records the measured crossover.
+fn bench_backend_crossover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend_crossover");
+    group.sample_size(10);
+    for n in [512usize, 1_024, 2_048, 4_096, 8_192, 16_384] {
+        let m = synthetic_matrix(n, 4);
+        let k = cluster_k(n);
+        for (name, backend) in [
+            ("flat", NeighborBackend::FlatScan),
+            ("kdtree", NeighborBackend::KdTree),
+        ] {
+            let id = format!("{name}/n{n}");
+            group.bench_with_input(BenchmarkId::from_parameter(id), &backend, |b, &be| {
+                b.iter(|| {
+                    black_box(mdav_partition_with(
+                        black_box(&m),
+                        k,
+                        Parallelism::sequential(),
+                        be,
+                    ))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_scaling, bench_backend_crossover);
+criterion_main!(benches);

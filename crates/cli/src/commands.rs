@@ -5,7 +5,7 @@ use std::io::{BufReader, BufWriter};
 use std::path::Path;
 
 use crate::args::Parsed;
-use tclose_core::{Algorithm, Anonymizer, Confidential};
+use tclose_core::{Algorithm, Anonymizer, Confidential, NeighborBackend};
 use tclose_datasets::{census_hcd, census_mcd, patient_discharge, PATIENT_N};
 use tclose_microdata::csv::{read_csv_auto, write_csv};
 use tclose_microdata::{AttributeRole, Table};
@@ -58,6 +58,16 @@ pub fn parse_workers(p: &Parsed) -> Result<Option<Parallelism>, String> {
                 })?;
             Ok(Some(Parallelism::workers(n)))
         }
+    }
+}
+
+/// Parses the `--backend` option: the neighbor-search backend of the
+/// clustering hot path. The release is identical for any choice (both
+/// backends are exact); only wall-clock time changes.
+pub fn parse_backend(p: &Parsed) -> Result<NeighborBackend, String> {
+    match p.get("backend") {
+        None => Ok(NeighborBackend::Auto),
+        Some(v) => v.parse().map_err(|e| format!("--backend: {e}")),
     }
 }
 
@@ -122,6 +132,7 @@ pub fn cmd_anonymize(p: &Parsed) -> Result<String, String> {
     }
     let algorithm = algorithm_by_name(p.get("algorithm").unwrap_or("alg3"))?;
     let workers = parse_workers(p)?;
+    let backend = parse_backend(p)?;
 
     if p.flag("stream") {
         return cmd_anonymize_stream(
@@ -134,11 +145,14 @@ pub fn cmd_anonymize(p: &Parsed) -> Result<String, String> {
             t,
             algorithm,
             workers,
+            backend,
         );
     }
 
     let table = load_with_roles(input, &qi, &confidential)?;
-    let mut anonymizer = Anonymizer::new(k, t).algorithm(algorithm);
+    let mut anonymizer = Anonymizer::new(k, t)
+        .algorithm(algorithm)
+        .with_backend(backend);
     if let Some(par) = workers {
         anonymizer = anonymizer.with_parallelism(par);
     }
@@ -190,11 +204,13 @@ fn cmd_anonymize_stream(
     t: f64,
     algorithm: Algorithm,
     workers: Option<Parallelism>,
+    backend: NeighborBackend,
 ) -> Result<String, String> {
     let shard_rows: usize = p.get_parsed("shard-size", DEFAULT_SHARD_ROWS)?;
     let mut engine = ShardedAnonymizer::new(k, t)
         .algorithm(algorithm)
-        .shard_rows(shard_rows);
+        .shard_rows(shard_rows)
+        .with_backend(backend);
     if let Some(par) = workers {
         engine = engine.with_parallelism(par);
     }
@@ -351,6 +367,47 @@ mod tests {
         );
         assert!(parse_workers(&argv("audit --workers 0")).is_err());
         assert!(parse_workers(&argv("audit --workers nope")).is_err());
+    }
+
+    #[test]
+    fn backend_option_parses_and_validates() {
+        assert_eq!(
+            parse_backend(&argv("anonymize")).unwrap(),
+            NeighborBackend::Auto
+        );
+        assert_eq!(
+            parse_backend(&argv("anonymize --backend flat")).unwrap(),
+            NeighborBackend::FlatScan
+        );
+        assert_eq!(
+            parse_backend(&argv("anonymize --backend kdtree")).unwrap(),
+            NeighborBackend::KdTree
+        );
+        assert!(parse_backend(&argv("anonymize --backend ball-tree")).is_err());
+    }
+
+    #[test]
+    fn explicit_backends_produce_identical_releases() {
+        let data = tmp("census_backend.csv");
+        cmd_generate(&argv(&format!(
+            "generate --dataset census-mcd --seed 13 --output {}",
+            data.display()
+        )))
+        .unwrap();
+
+        let mut outputs = Vec::new();
+        for backend in ["flat", "kdtree"] {
+            let released = tmp(&format!("census_anon_{backend}.csv"));
+            cmd_anonymize(&argv(&format!(
+                "anonymize --input {} --output {} --qi TAXINC,POTHVAL --confidential FEDTAX \
+                 --k 4 --t 0.3 --backend {backend}",
+                data.display(),
+                released.display()
+            )))
+            .unwrap();
+            outputs.push(std::fs::read(&released).unwrap());
+        }
+        assert_eq!(outputs[0], outputs[1], "release differs across --backend");
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //!                  [--seed N] [--n N]
 //! tclose anonymize --input FILE --output FILE --qi COLS --confidential COLS
 //!                  --k N --t F [--algorithm alg1|alg2|alg3] [--report]
-//!                  [--workers N] [--stream] [--shard-size N]
+//!                  [--workers N] [--backend auto|flat|kdtree]
+//!                  [--stream] [--shard-size N]
 //! tclose audit     --input FILE --qi COLS --confidential COLS [--workers N]
 //! ```
 //!
@@ -18,7 +19,10 @@
 //! pass 1 accumulates the global fit in bounded memory, pass 2 anonymizes
 //! shards of `--shard-size` records in parallel and appends them to the
 //! output in input order. `--workers` pins the thread count end-to-end;
-//! output is identical for any value.
+//! output is identical for any value. `--backend` selects the
+//! neighbor-search backend of the clustering hot path (flat scans or a
+//! kd-tree; both exact, so the release never depends on the choice —
+//! `auto` picks per record set).
 //!
 //! The three `--algorithm` choices are Algorithms 1–3 of the source paper
 //! (Soria-Comas et al., ICDE 2016): microaggregation + merging,
@@ -35,7 +39,8 @@ usage:
   tclose generate  --dataset census-mcd|census-hcd|patient --output FILE [--seed N] [--n N]
   tclose anonymize --input FILE --output FILE --qi COLS --confidential COLS \\
                    --k N --t F [--algorithm alg1|alg2|alg3] \\
-                   [--workers N] [--stream] [--shard-size N]
+                   [--workers N] [--backend auto|flat|kdtree] \\
+                   [--stream] [--shard-size N]
   tclose audit     --input FILE --qi COLS --confidential COLS [--workers N]
 
 algorithms:
@@ -45,6 +50,8 @@ algorithms:
 
 scaling:
   --workers N     pin the thread count (default: one per core; output identical)
+  --backend B     neighbor search: auto|flat|kdtree (exact either way, so the
+                  output is identical; auto picks per record set)
   --stream        two-pass sharded engine: bounded memory, any file size
   --shard-size N  records per shard in --stream mode (default 10000)";
 

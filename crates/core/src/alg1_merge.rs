@@ -16,7 +16,7 @@ use crate::confidential::{ClusterHists, Confidential};
 use crate::params::TClosenessParams;
 use crate::TCloseClusterer;
 use tclose_metrics::distance::{centroid_ids, sq_dist};
-use tclose_microagg::{Clustering, Matrix, Mdav, Microaggregator, Parallelism};
+use tclose_microagg::{Clustering, Matrix, Mdav, Microaggregator, NeighborBackend, Parallelism};
 
 /// How Algorithm 1 chooses the cluster to merge the worst offender with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -35,6 +35,7 @@ pub struct MergeAlgorithm<M = Mdav> {
     base: M,
     partner: MergePartner,
     par: Parallelism,
+    backend: NeighborBackend,
 }
 
 impl MergeAlgorithm<Mdav> {
@@ -44,6 +45,7 @@ impl MergeAlgorithm<Mdav> {
             base: Mdav::new(),
             partner: MergePartner::NearestQi,
             par: Parallelism::auto(),
+            backend: NeighborBackend::Auto,
         }
     }
 }
@@ -61,6 +63,7 @@ impl<M: Microaggregator> MergeAlgorithm<M> {
             base,
             partner: MergePartner::NearestQi,
             par: Parallelism::auto(),
+            backend: NeighborBackend::Auto,
         }
     }
 
@@ -79,11 +82,19 @@ impl<M: Microaggregator> MergeAlgorithm<M> {
         self.par = par;
         self
     }
+
+    /// Selects the neighbor-search backend of the base microaggregation
+    /// (default [`NeighborBackend::Auto`]). Backends are exact — the
+    /// clustering never depends on this, only wall-clock time does.
+    pub fn with_backend(mut self, backend: NeighborBackend) -> Self {
+        self.backend = backend;
+        self
+    }
 }
 
 impl<M: Microaggregator> TCloseClusterer for MergeAlgorithm<M> {
     fn cluster(&self, m: &Matrix, conf: &Confidential, params: TClosenessParams) -> Clustering {
-        let initial = self.base.partition_matrix(m, params.k);
+        let initial = self.base.partition_matrix_with(m, params.k, self.backend);
         merge_until_t_close_with(m, conf, params.t, initial, self.partner, self.par)
     }
 

@@ -21,8 +21,8 @@ use crate::confidential::Confidential;
 use crate::params::TClosenessParams;
 use crate::pool::IndexPool;
 use crate::TCloseClusterer;
-use tclose_metrics::distance::{centroid_ids, farthest_from_ids, k_nearest_ids, sq_dist};
-use tclose_microagg::{Clustering, Matrix, Parallelism};
+use tclose_metrics::distance::{centroid_ids, sq_dist};
+use tclose_microagg::{Clustering, Matrix, NeighborBackend, NeighborSet, Parallelism};
 
 /// How a freshly formed cluster is refined toward t-closeness.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -47,6 +47,7 @@ pub struct KAnonymityFirst {
     /// guaranteed t-close (paper's recommendation). Default `true`.
     pub ensure_t_closeness: bool,
     par: Parallelism,
+    backend: NeighborBackend,
 }
 
 impl KAnonymityFirst {
@@ -56,6 +57,7 @@ impl KAnonymityFirst {
             strategy: RefineStrategy::Swap,
             ensure_t_closeness: true,
             par: Parallelism::auto(),
+            backend: NeighborBackend::Auto,
         }
     }
 
@@ -77,6 +79,14 @@ impl KAnonymityFirst {
         self.par = par;
         self
     }
+
+    /// Selects the neighbor-search backend of the seed-selection and
+    /// k-nearest queries (default [`NeighborBackend::Auto`]). Backends are
+    /// exact — the clustering never depends on this.
+    pub fn with_backend(mut self, backend: NeighborBackend) -> Self {
+        self.backend = backend;
+        self
+    }
 }
 
 impl Default for KAnonymityFirst {
@@ -90,19 +100,23 @@ impl TCloseClusterer for KAnonymityFirst {
         assert!(params.k >= 1, "k must be at least 1");
         let par = self.par;
         let n = m.n_rows();
+        let mut search = NeighborSet::new(m, self.backend, par);
         let mut remaining = IndexPool::full(n);
         let mut clusters: Vec<Vec<usize>> = Vec::new();
 
         while !remaining.is_empty() {
             let xa = centroid_ids(m, remaining.items(), par);
-            let x0 = farthest_from_ids(m, remaining.items(), &xa, par).expect("non-empty");
-            let c = self.generate_cluster(m, conf, params, x0, &mut remaining, par);
+            let x0 = search
+                .farthest_from(remaining.items(), &xa)
+                .expect("non-empty");
+            let c = self.generate_cluster(m, conf, params, x0, &mut remaining, &mut search);
             clusters.push(c);
 
             if !remaining.is_empty() {
-                let x1 =
-                    farthest_from_ids(m, remaining.items(), m.row(x0), par).expect("non-empty");
-                let c = self.generate_cluster(m, conf, params, x1, &mut remaining, par);
+                let x1 = search
+                    .farthest_from(remaining.items(), m.row(x0))
+                    .expect("non-empty");
+                let c = self.generate_cluster(m, conf, params, x1, &mut remaining, &mut search);
                 clusters.push(c);
             }
         }
@@ -131,7 +145,7 @@ impl KAnonymityFirst {
         params: TClosenessParams,
         seed: usize,
         remaining: &mut IndexPool,
-        par: Parallelism,
+        search: &mut NeighborSet<'_>,
     ) -> Vec<usize> {
         let k = params.k;
         // Too few records for two clusters: the tail becomes one cluster.
@@ -139,13 +153,15 @@ impl KAnonymityFirst {
             let members: Vec<usize> = remaining.items().to_vec();
             for &r in &members {
                 remaining.remove(r);
+                search.remove(r);
             }
             return members;
         }
 
-        let mut members = k_nearest_ids(m, remaining.items(), m.row(seed), k, par);
+        let mut members = search.k_nearest(remaining.items(), m.row(seed), k);
         for &r in &members {
             remaining.remove(r);
+            search.remove(r);
         }
 
         let mut hists = conf.histograms(&members);
@@ -192,7 +208,9 @@ impl KAnonymityFirst {
                         hists.add(conf, y);
                         members[best_i] = y;
                         remaining.remove(y);
+                        search.remove(y);
                         remaining.insert(out);
+                        search.insert(out);
                         emd = best_emd;
                     }
                 }
@@ -204,6 +222,7 @@ impl KAnonymityFirst {
                         hists = trial;
                         members.push(y);
                         remaining.remove(y);
+                        search.remove(y);
                         emd = e;
                     }
                 }

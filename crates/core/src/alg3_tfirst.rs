@@ -44,8 +44,8 @@ use crate::confidential::Confidential;
 use crate::params::TClosenessParams;
 use crate::pool::IndexPool;
 use crate::TCloseClusterer;
-use tclose_metrics::distance::{centroid_ids, farthest_from_ids, sq_dist};
-use tclose_microagg::{Clustering, Matrix, Parallelism};
+use tclose_metrics::distance::{centroid_ids, sq_dist};
+use tclose_microagg::{Clustering, Matrix, NeighborBackend, NeighborSet, Parallelism};
 
 /// Where the `n mod k'` surplus records are placed (ablation hook).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -68,6 +68,7 @@ pub struct TClosenessFirst {
     /// confidential values (see the module docs). Default `true`.
     pub verify_fallback: bool,
     par: Parallelism,
+    backend: NeighborBackend,
 }
 
 impl Default for TClosenessFirst {
@@ -76,6 +77,7 @@ impl Default for TClosenessFirst {
             extras: ExtraPlacement::Central,
             verify_fallback: true,
             par: Parallelism::auto(),
+            backend: NeighborBackend::Auto,
         }
     }
 }
@@ -94,6 +96,7 @@ impl TClosenessFirst {
             extras: ExtraPlacement::Central,
             verify_fallback: false,
             par: Parallelism::auto(),
+            backend: NeighborBackend::Auto,
         }
     }
 
@@ -107,6 +110,14 @@ impl TClosenessFirst {
     /// on this — only wall-clock time does.
     pub fn with_parallelism(mut self, par: Parallelism) -> Self {
         self.par = par;
+        self
+    }
+
+    /// Selects the neighbor-search backend of the seed-selection queries
+    /// (default [`NeighborBackend::Auto`]). Backends are exact — the
+    /// clustering never depends on this.
+    pub fn with_backend(mut self, backend: NeighborBackend) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -160,29 +171,35 @@ impl TCloseClusterer for TClosenessFirst {
         }
         debug_assert_eq!(cursor, n);
 
+        let mut search = NeighborSet::new(m, self.backend, par);
         let mut remaining = IndexPool::full(n);
         let mut extras_left = extra_quota;
         let mut clusters: Vec<Vec<usize>> = Vec::with_capacity(base);
 
         while !remaining.is_empty() {
             let xa = centroid_ids(m, remaining.items(), par);
-            let x0 = farthest_from_ids(m, remaining.items(), &xa, par).expect("non-empty");
+            let x0 = search
+                .farthest_from(remaining.items(), &xa)
+                .expect("non-empty");
             clusters.push(build_cluster(
                 m,
                 x0,
                 &mut strata,
                 &mut extras_left,
                 &mut remaining,
+                &mut search,
             ));
             if !remaining.is_empty() {
-                let x1 =
-                    farthest_from_ids(m, remaining.items(), m.row(x0), par).expect("non-empty");
+                let x1 = search
+                    .farthest_from(remaining.items(), m.row(x0))
+                    .expect("non-empty");
                 clusters.push(build_cluster(
                     m,
                     x1,
                     &mut strata,
                     &mut extras_left,
                     &mut remaining,
+                    &mut search,
                 ));
             }
         }
@@ -219,6 +236,7 @@ fn build_cluster(
     strata: &mut [Vec<usize>],
     extras_left: &mut [usize],
     remaining: &mut IndexPool,
+    search: &mut NeighborSet<'_>,
 ) -> Vec<usize> {
     let mut cluster = Vec::with_capacity(strata.len() + 1);
     let mut extra_taken = false;
@@ -226,11 +244,11 @@ fn build_cluster(
         if stratum.is_empty() {
             continue;
         }
-        take_nearest(m, seed, stratum, remaining, &mut cluster);
+        take_nearest(m, seed, stratum, remaining, search, &mut cluster);
         // Take a second record when this stratum still holds surplus records
         // and this cluster has not absorbed one yet.
         if !extra_taken && extras_left[s] > 0 && !stratum.is_empty() {
-            take_nearest(m, seed, stratum, remaining, &mut cluster);
+            take_nearest(m, seed, stratum, remaining, search, &mut cluster);
             extras_left[s] -= 1;
             extra_taken = true;
         }
@@ -244,6 +262,7 @@ fn take_nearest(
     seed: usize,
     stratum: &mut Vec<usize>,
     remaining: &mut IndexPool,
+    search: &mut NeighborSet<'_>,
     cluster: &mut Vec<usize>,
 ) {
     let mut best_pos = 0usize;
@@ -257,6 +276,7 @@ fn take_nearest(
     }
     let r = stratum.swap_remove(best_pos);
     remaining.remove(r);
+    search.remove(r);
     cluster.push(r);
 }
 

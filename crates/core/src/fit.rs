@@ -29,7 +29,7 @@ use crate::params::TClosenessParams;
 use crate::pipeline::{Algorithm, AnonymizationReport, Anonymized, Anonymizer};
 use crate::verify::{verify_k_anonymity, verify_t_closeness_with};
 use tclose_metrics::sse::normalized_sse;
-use tclose_microagg::{aggregate_columns, Matrix, Parallelism};
+use tclose_microagg::{aggregate_columns, Matrix, NeighborBackend, Parallelism};
 use tclose_microdata::{stats, AttributeKind, NormalizeMethod, Schema, Table};
 
 /// Frozen per-attribute affine transform `x ↦ (x − shift) / scale` over the
@@ -337,6 +337,7 @@ pub struct FittedAnonymizer {
     params: TClosenessParams,
     algorithm: Algorithm,
     par: Option<Parallelism>,
+    backend: NeighborBackend,
 }
 
 impl FittedAnonymizer {
@@ -345,12 +346,14 @@ impl FittedAnonymizer {
         params: TClosenessParams,
         algorithm: Algorithm,
         par: Option<Parallelism>,
+        backend: NeighborBackend,
     ) -> Self {
         FittedAnonymizer {
             fit,
             params,
             algorithm,
             par,
+            backend,
         }
     }
 
@@ -387,8 +390,14 @@ impl FittedAnonymizer {
         };
 
         let started = Instant::now();
-        let clustering =
-            Anonymizer::run_clusterer(self.algorithm, self.par, &m, &conf, self.params);
+        let clustering = Anonymizer::run_clusterer(
+            self.algorithm,
+            self.par,
+            self.backend,
+            &m,
+            &conf,
+            self.params,
+        );
         let clustering_time = started.elapsed();
 
         clustering
@@ -620,6 +629,7 @@ mod tests {
             TClosenessParams::new(3, 0.25).unwrap(),
             Algorithm::TClosenessFirst,
             None,
+            NeighborBackend::Auto,
         );
         let out = fitted.apply_shard(&table).unwrap();
         // RunningStats moments differ from the batch ones only in FP noise,

@@ -76,6 +76,7 @@ pub use fit::{FittedAnonymizer, GlobalFit, QiEmbedding};
 pub use models::{verify_l_diversity, verify_p_sensitive};
 pub use params::TClosenessParams;
 pub use pipeline::{Algorithm, AnonymizationReport, Anonymized, Anonymizer};
+pub use tclose_microagg::NeighborBackend;
 pub use verify::{
     equivalence_classes, verify_k_anonymity, verify_t_closeness, verify_t_closeness_with,
 };

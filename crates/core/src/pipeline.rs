@@ -16,7 +16,7 @@ use crate::error::Result;
 use crate::fit::{FittedAnonymizer, GlobalFit, QiEmbedding};
 use crate::params::TClosenessParams;
 use crate::TCloseClusterer;
-use tclose_microagg::{Clustering, Matrix, Parallelism, VMdav};
+use tclose_microagg::{Clustering, Matrix, NeighborBackend, Parallelism, VMdav};
 use tclose_microdata::{NormalizeMethod, Table};
 
 /// Which of the paper's algorithms (or variants) to run.
@@ -132,11 +132,13 @@ pub struct Anonymizer {
     algorithm: Algorithm,
     normalize: NormalizeMethod,
     par: Option<Parallelism>,
+    backend: NeighborBackend,
 }
 
 impl Anonymizer {
     /// An anonymizer for the given `(k, t)` pair, defaulting to the paper's
-    /// best algorithm (t-closeness-first) and z-score QI normalization.
+    /// best algorithm (t-closeness-first), z-score QI normalization, and
+    /// the automatic neighbor-search backend.
     pub fn new(k: usize, t: f64) -> Self {
         Anonymizer {
             k,
@@ -144,6 +146,7 @@ impl Anonymizer {
             algorithm: Algorithm::TClosenessFirst,
             normalize: NormalizeMethod::ZScore,
             par: None,
+            backend: NeighborBackend::Auto,
         }
     }
 
@@ -168,6 +171,17 @@ impl Anonymizer {
         self
     }
 
+    /// Selects the neighbor-search backend of the clustering hot path
+    /// (default [`NeighborBackend::Auto`]: kd-tree for large,
+    /// low-dimensional inputs, flat scans otherwise — resolved per record
+    /// set, so each streamed shard picks for its own size). Backends are
+    /// exact and share one tie-breaking order; the release is
+    /// byte-identical for any choice — only wall-clock time changes.
+    pub fn with_backend(mut self, backend: NeighborBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// Runs the fit pass only: computes the frozen global state (QI
     /// normalization statistics, ordered-EMD domains and global
     /// confidential distributions) and returns an anonymizer bound to it,
@@ -176,7 +190,13 @@ impl Anonymizer {
     pub fn fit(&self, table: &Table) -> Result<FittedAnonymizer> {
         let params = TClosenessParams::new(self.k, self.t)?;
         let fit = GlobalFit::fit(table, self.normalize)?;
-        Ok(FittedAnonymizer::new(fit, params, self.algorithm, self.par))
+        Ok(FittedAnonymizer::new(
+            fit,
+            params,
+            self.algorithm,
+            self.par,
+            self.backend,
+        ))
     }
 
     /// Wraps an already computed [`GlobalFit`] (e.g. assembled from
@@ -184,7 +204,13 @@ impl Anonymizer {
     /// anonymizer's parameters.
     pub fn with_fit(&self, fit: GlobalFit) -> Result<FittedAnonymizer> {
         let params = TClosenessParams::new(self.k, self.t)?;
-        Ok(FittedAnonymizer::new(fit, params, self.algorithm, self.par))
+        Ok(FittedAnonymizer::new(
+            fit,
+            params,
+            self.algorithm,
+            self.par,
+            self.backend,
+        ))
     }
 
     /// Runs the full pipeline on `table`: fit, then apply to the whole
@@ -196,17 +222,23 @@ impl Anonymizer {
     pub(crate) fn run_clusterer(
         algorithm: Algorithm,
         par: Option<Parallelism>,
+        backend: NeighborBackend,
         m: &Matrix,
         conf: &Confidential,
         params: TClosenessParams,
     ) -> Clustering {
         // `None` leaves every algorithm on its default (auto) parallelism —
-        // the exact construction the fused pipeline always used.
+        // the exact construction the fused pipeline always used. The
+        // backend is resolved against `m` inside each algorithm, so every
+        // shard of a sharded run picks for its own size.
         macro_rules! run {
             ($builder:expr) => {
                 match par {
-                    None => $builder.cluster(m, conf, params),
-                    Some(p) => $builder.with_parallelism(p).cluster(m, conf, params),
+                    None => $builder.with_backend(backend).cluster(m, conf, params),
+                    Some(p) => $builder
+                        .with_backend(backend)
+                        .with_parallelism(p)
+                        .cluster(m, conf, params),
                 }
             };
         }

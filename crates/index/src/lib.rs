@@ -1,0 +1,201 @@
+//! # tclose-index
+//!
+//! Exact nearest-neighbor indexing for the microaggregation hot path.
+//!
+//! MDAV-style clustering (Soria-Comas et al., ICDE 2016, Algorithms 1–3;
+//! Domingo-Ferrer & Torra 2005) answers the same three queries over a
+//! shrinking set of unassigned records, thousands of times per run:
+//! *which record is farthest from this point*, *which `k` records are
+//! nearest to this seed*, *which record is nearest to this point*. The
+//! flat kernels of `tclose-metrics` answer each with a full `O(n)` scan,
+//! which makes a partition cost `O(n²/k)` distance evaluations — the known
+//! bottleneck that pre-partitioning approaches (e.g. Abidi et al.,
+//! "Hybrid Microaggregation for Privacy-Preserving Data Mining") attack.
+//!
+//! This crate provides the structural alternative: a bulk-built
+//! [`KdTree`] over the flat row-major [`Matrix`](tclose_metrics::Matrix)
+//! (median split, typed [`RowId`](tclose_metrics::RowId) leaves) with
+//! **tombstone deletion**, so the working set can shrink record by record
+//! without a rebuild, and exact branch-and-bound pruned queries.
+//!
+//! ## The exactness contract
+//!
+//! The tree is an *index*, not an approximation: every query returns
+//! **byte-identical** results to the corresponding flat scan over the same
+//! live set —
+//!
+//! * candidate distances are evaluated with the very same floating-point
+//!   operation sequence ([`sq_dist_dim`](tclose_metrics::distance::sq_dist_dim));
+//! * ties resolve by the same total order (distance, then lowest row id);
+//! * subtree pruning uses bounding-box distance bounds that are
+//!   floating-point-monotone against the point distances, and prunes only
+//!   on *strict* inequality, so a tied candidate behind a bound is never
+//!   lost.
+//!
+//! Swapping backends can therefore never change a partition, a released
+//! table, or an audit — only wall-clock time. `tests/` in this crate
+//! property-check the contract against the naive scans on seeded random
+//! data (including duplicate-point ties); the umbrella
+//! `tests/backend_equivalence.rs` pins it end-to-end through the pipeline.
+//!
+//! ## Choosing a backend
+//!
+//! [`NeighborBackend`] is the user-facing switch (CLI `--backend`,
+//! `Anonymizer::with_backend`): `FlatScan`, `KdTree`, or `Auto`, which
+//! picks the tree when the matrix is large enough to amortize the build
+//! and low-dimensional enough for pruning to bite (see
+//! [`NeighborBackend::resolve`]). [`NeighborSet`] is the working-set type
+//! the clustering loops drive; it dispatches every query to the resolved
+//! backend and keeps the tree's tombstones in lockstep with the caller's
+//! live-id list.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod set;
+mod tree;
+
+pub use set::NeighborSet;
+pub use tree::KdTree;
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Which neighbor-search backend the clustering loops should use.
+///
+/// The choice never affects results — both backends are exact and share
+/// one tie-breaking order — only wall-clock time. `Auto` (the default) is
+/// therefore safe everywhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NeighborBackend {
+    /// Decide per matrix: kd-tree for large, low-dimensional working sets
+    /// (`n ≥ `[`AUTO_MIN_ROWS`] and `1 ≤ dims ≤ `[`AUTO_MAX_DIMS`]), flat
+    /// scans otherwise.
+    #[default]
+    Auto,
+    /// Always the blocked linear-scan kernels of `tclose-metrics` —
+    /// `O(n)` per query, trivially parallel, no build cost.
+    FlatScan,
+    /// Always the pruned [`KdTree`] — `O(n log n)` build once, then far
+    /// sublinear queries on clustered low-dimensional data.
+    KdTree,
+}
+
+/// Minimum row count at which `Auto` switches to the kd-tree (below this
+/// the `O(n log n)` build costs more than the scans it saves). The
+/// `backend_crossover` benchmark (`docs/PERFORMANCE.md`) measures the
+/// tree ≥ 3× ahead from ~512 rows on; 1024 keeps a safety margin for
+/// degenerate shapes while catching every working set where the win is
+/// more than microseconds.
+pub const AUTO_MIN_ROWS: usize = 1024;
+
+/// Maximum dimensionality at which `Auto` uses the kd-tree. Bounding-box
+/// pruning loses its bite as dimensions grow (every box looks equidistant);
+/// QI embeddings in practice have ≤ 8 dimensions, which is also as far as
+/// the specialised distance kernels unroll.
+pub const AUTO_MAX_DIMS: usize = 8;
+
+/// A [`NeighborBackend`] with `Auto` resolved away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResolvedBackend {
+    /// Blocked linear scans.
+    FlatScan,
+    /// Pruned kd-tree queries.
+    KdTree,
+}
+
+impl NeighborBackend {
+    /// Resolves the backend for a matrix of `n_rows` × `n_cols`: explicit
+    /// choices pass through, `Auto` picks [`ResolvedBackend::KdTree`] iff
+    /// `n_rows ≥ `[`AUTO_MIN_ROWS`] and `1 ≤ n_cols ≤ `[`AUTO_MAX_DIMS`].
+    pub fn resolve(self, n_rows: usize, n_cols: usize) -> ResolvedBackend {
+        match self {
+            NeighborBackend::FlatScan => ResolvedBackend::FlatScan,
+            NeighborBackend::KdTree => ResolvedBackend::KdTree,
+            NeighborBackend::Auto => {
+                if n_rows >= AUTO_MIN_ROWS && (1..=AUTO_MAX_DIMS).contains(&n_cols) {
+                    ResolvedBackend::KdTree
+                } else {
+                    ResolvedBackend::FlatScan
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for NeighborBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            NeighborBackend::Auto => "auto",
+            NeighborBackend::FlatScan => "flat",
+            NeighborBackend::KdTree => "kdtree",
+        })
+    }
+}
+
+impl FromStr for NeighborBackend {
+    type Err = String;
+
+    /// Parses the CLI spelling: `auto`, `flat`/`flatscan`/`flat-scan`,
+    /// `kd`/`kdtree`/`kd-tree` (case-insensitive).
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "auto" => Ok(NeighborBackend::Auto),
+            "flat" | "flatscan" | "flat-scan" => Ok(NeighborBackend::FlatScan),
+            "kd" | "kdtree" | "kd-tree" => Ok(NeighborBackend::KdTree),
+            other => Err(format!(
+                "unknown backend {other:?} (expected auto|flat|kdtree)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_resolution_rules() {
+        use ResolvedBackend::*;
+        assert_eq!(NeighborBackend::Auto.resolve(AUTO_MIN_ROWS, 4), KdTree);
+        assert_eq!(
+            NeighborBackend::Auto.resolve(AUTO_MIN_ROWS - 1, 4),
+            FlatScan
+        );
+        assert_eq!(
+            NeighborBackend::Auto.resolve(100_000, AUTO_MAX_DIMS),
+            KdTree
+        );
+        assert_eq!(
+            NeighborBackend::Auto.resolve(100_000, AUTO_MAX_DIMS + 1),
+            FlatScan
+        );
+        assert_eq!(NeighborBackend::Auto.resolve(100_000, 0), FlatScan);
+        // explicit choices ignore the shape
+        assert_eq!(NeighborBackend::KdTree.resolve(2, 100), KdTree);
+        assert_eq!(NeighborBackend::FlatScan.resolve(1_000_000, 2), FlatScan);
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for (s, want) in [
+            ("auto", NeighborBackend::Auto),
+            ("flat", NeighborBackend::FlatScan),
+            ("FlatScan", NeighborBackend::FlatScan),
+            ("flat-scan", NeighborBackend::FlatScan),
+            ("kd", NeighborBackend::KdTree),
+            ("KdTree", NeighborBackend::KdTree),
+            ("kd-tree", NeighborBackend::KdTree),
+        ] {
+            assert_eq!(s.parse::<NeighborBackend>().unwrap(), want, "{s}");
+        }
+        assert!("ball-tree".parse::<NeighborBackend>().is_err());
+        for b in [
+            NeighborBackend::Auto,
+            NeighborBackend::FlatScan,
+            NeighborBackend::KdTree,
+        ] {
+            assert_eq!(b.to_string().parse::<NeighborBackend>().unwrap(), b);
+        }
+    }
+}

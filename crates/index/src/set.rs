@@ -1,0 +1,134 @@
+//! The backend-dispatched neighbor working set the clustering loops drive.
+
+use crate::{KdTree, NeighborBackend, ResolvedBackend};
+use tclose_metrics::distance::{farthest_from_ids, k_nearest_ids, nearest_to_ids};
+use tclose_metrics::matrix::{Matrix, RowId, RowIndex};
+use tclose_parallel::Parallelism;
+
+/// A shrinking working set of matrix rows answering the neighbor queries
+/// of the MDAV-family clustering loops, through whichever backend
+/// [`NeighborBackend::resolve`] picked.
+///
+/// The caller keeps its own live-id list (MDAV's `remaining` vector, the
+/// algorithms' index pools) and passes it to every query; the set mirrors
+/// membership via [`remove`](NeighborSet::remove) /
+/// [`insert`](NeighborSet::insert) so the kd-tree backend's tombstone mask
+/// always matches. Under the `FlatScan` backend queries delegate to the
+/// deterministic blocked kernels of [`tclose_metrics::distance`] over the
+/// caller's list (honoring the worker-count policy); under `KdTree` they
+/// run pruned tree queries. **Both backends return identical results** —
+/// same rows, same order, same tie-breaking by lowest row id.
+///
+/// ```
+/// use tclose_index::{NeighborBackend, NeighborSet};
+/// use tclose_metrics::matrix::{Matrix, RowId};
+/// use tclose_parallel::Parallelism;
+///
+/// let m = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![10.0]]);
+/// let mut live: Vec<RowId> = m.row_ids().collect();
+/// let mut set = NeighborSet::new(&m, NeighborBackend::KdTree, Parallelism::sequential());
+///
+/// assert_eq!(set.farthest_from(&live, &[0.0]), Some(RowId::new(2)));
+/// let pair = set.k_nearest(&live, &[0.2], 2);
+/// assert_eq!(pair, vec![RowId::new(0), RowId::new(1)]);
+///
+/// // Keep the set in lockstep with the caller's live list.
+/// set.remove_all(&pair);
+/// live.retain(|id| !pair.contains(id));
+/// assert_eq!(set.farthest_from(&live, &[0.0]), Some(RowId::new(2)));
+/// ```
+#[derive(Debug)]
+pub struct NeighborSet<'m> {
+    m: &'m Matrix,
+    par: Parallelism,
+    tree: Option<KdTree>,
+}
+
+impl<'m> NeighborSet<'m> {
+    /// A working set initially containing **every** row of `m`, on the
+    /// backend `backend` resolves to for this matrix shape. `par` bounds
+    /// the worker count of the flat-scan kernels (tree queries are
+    /// sequential; they touch too few rows to pay for threads).
+    pub fn new(m: &'m Matrix, backend: NeighborBackend, par: Parallelism) -> Self {
+        let tree = match backend.resolve(m.n_rows(), m.n_cols()) {
+            ResolvedBackend::KdTree => Some(KdTree::build(m)),
+            ResolvedBackend::FlatScan => None,
+        };
+        NeighborSet { m, par, tree }
+    }
+
+    /// Which backend this set runs on.
+    pub fn resolved(&self) -> ResolvedBackend {
+        if self.tree.is_some() {
+            ResolvedBackend::KdTree
+        } else {
+            ResolvedBackend::FlatScan
+        }
+    }
+
+    /// The id among `live` whose row is farthest from `point` (ties toward
+    /// the lowest row id); `None` when `live` is empty.
+    pub fn farthest_from<I: RowIndex>(&self, live: &[I], point: &[f64]) -> Option<I> {
+        match &self.tree {
+            None => farthest_from_ids(self.m, live, point, self.par),
+            Some(t) => {
+                debug_assert_eq!(t.len(), live.len(), "live list out of sync with the tree");
+                t.farthest_from(point)
+                    .map(|id| I::from_row_index(id.index()))
+            }
+        }
+    }
+
+    /// The id among `live` whose row is nearest to `point` (ties toward
+    /// the lowest row id); `None` when `live` is empty.
+    pub fn nearest_to<I: RowIndex>(&self, live: &[I], point: &[f64]) -> Option<I> {
+        match &self.tree {
+            None => nearest_to_ids(self.m, live, point, self.par),
+            Some(t) => {
+                debug_assert_eq!(t.len(), live.len(), "live list out of sync with the tree");
+                t.nearest(point).map(|id| I::from_row_index(id.index()))
+            }
+        }
+    }
+
+    /// The `count` ids among `live` nearest to `point`, ascending under
+    /// the total order (distance, row id). All of `live`, sorted, when
+    /// `count` exceeds the live count.
+    pub fn k_nearest<I: RowIndex>(&self, live: &[I], point: &[f64], count: usize) -> Vec<I> {
+        match &self.tree {
+            None => k_nearest_ids(self.m, live, point, count, self.par),
+            Some(t) => {
+                debug_assert_eq!(t.len(), live.len(), "live list out of sync with the tree");
+                t.k_nearest(point, count)
+                    .into_iter()
+                    .map(|id| I::from_row_index(id.index()))
+                    .collect()
+            }
+        }
+    }
+
+    /// Mirrors the removal of `id` from the caller's live list. No-op on
+    /// the flat backend (the caller's list *is* the state there).
+    pub fn remove<I: RowIndex>(&mut self, id: I) {
+        if let Some(t) = &mut self.tree {
+            t.remove(RowId::new(id.row_index()));
+        }
+    }
+
+    /// [`remove`](NeighborSet::remove) for a batch of ids.
+    pub fn remove_all<I: RowIndex>(&mut self, ids: &[I]) {
+        if let Some(t) = &mut self.tree {
+            for &id in ids {
+                t.remove(RowId::new(id.row_index()));
+            }
+        }
+    }
+
+    /// Mirrors a re-insertion into the caller's live list (Algorithm 2
+    /// returns swapped-out records to the unassigned pool).
+    pub fn insert<I: RowIndex>(&mut self, id: I) {
+        if let Some(t) = &mut self.tree {
+            t.insert(RowId::new(id.row_index()));
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Property tests of the exactness contract: every kd-tree query must
+//! return exactly what the naive flat scan returns over the same live set
+//! — same ids, same order, same tie-breaking — on seeded random matrices,
+//! including heavy duplicate-point ties and shrinking working sets.
+
+use rand::{Rng, SeedableRng};
+use tclose_index::{KdTree, NeighborBackend, NeighborSet};
+use tclose_metrics::distance::{farthest_from_ids, k_nearest_ids, nearest_to_ids};
+use tclose_metrics::matrix::{Matrix, RowId};
+use tclose_parallel::Parallelism;
+
+/// A seeded random matrix. Coordinates snap to a coarse grid so exact
+/// duplicate points (and therefore distance ties) are common.
+fn random_matrix(rng: &mut rand::rngs::StdRng, n: usize, dims: usize, grid: u64) -> Matrix {
+    let data: Vec<f64> = (0..n * dims)
+        .map(|_| rng.gen_range(0..grid) as f64 * 0.25)
+        .collect();
+    Matrix::new(data, n, dims)
+}
+
+fn random_point(rng: &mut rand::rngs::StdRng, dims: usize, grid: u64) -> Vec<f64> {
+    (0..dims)
+        .map(|_| rng.gen_range(0..grid) as f64 * 0.25)
+        .collect()
+}
+
+#[test]
+fn k_nearest_matches_naive_scan_on_random_matrices() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xA11CE);
+    let par = Parallelism::sequential();
+    for &(n, dims, grid) in &[
+        (1usize, 1usize, 4u64),
+        (7, 2, 4),
+        (64, 1, 3),   // 1-D, huge tie mass
+        (200, 2, 6),  // many duplicate points
+        (200, 3, 40), // mostly distinct
+        (500, 5, 8),
+        (300, 4, 2), // almost everything tied
+    ] {
+        let m = random_matrix(&mut rng, n, dims, grid);
+        let tree = KdTree::build(&m);
+        let all: Vec<RowId> = m.row_ids().collect();
+        for _ in 0..20 {
+            let point = random_point(&mut rng, dims, grid);
+            let count = rng.gen_range(0..=n + 2);
+            let naive = k_nearest_ids(&m, &all, &point, count, par);
+            let tree_result = tree.k_nearest(&point, count);
+            assert_eq!(
+                tree_result, naive,
+                "n={n} dims={dims} grid={grid} count={count} point={point:?}"
+            );
+            assert_eq!(tree.nearest(&point), nearest_to_ids(&m, &all, &point, par));
+            assert_eq!(
+                tree.farthest_from(&point),
+                farthest_from_ids(&m, &all, &point, par)
+            );
+        }
+    }
+}
+
+#[test]
+fn queries_match_naive_scan_as_the_working_set_shrinks() {
+    // Mirror how the clustering loops use the tree: remove random batches
+    // (with occasional re-insertions, as Algorithm 2 does) and require
+    // exact agreement with the flat scan over the surviving ids after
+    // every mutation.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7_771);
+    let par = Parallelism::sequential();
+    let (n, dims, grid) = (240usize, 3usize, 5u64);
+    let m = random_matrix(&mut rng, n, dims, grid);
+    let mut tree = KdTree::build(&m);
+    let mut live: Vec<RowId> = m.row_ids().collect();
+
+    while live.len() > 4 {
+        // remove a random batch
+        let batch = rng.gen_range(1..=4.min(live.len() - 1));
+        for _ in 0..batch {
+            let at = rng.gen_range(0..live.len());
+            let id = live.swap_remove(at);
+            tree.remove(id);
+            assert!(!tree.is_live(id));
+        }
+        // occasionally resurrect a removed row
+        if tree.len() < n && rng.gen_bool(0.3) {
+            let dead: Vec<RowId> = m.row_ids().filter(|&id| !tree.is_live(id)).collect();
+            let id = dead[rng.gen_range(0..dead.len())];
+            tree.insert(id);
+            live.push(id);
+        }
+        assert_eq!(tree.len(), live.len());
+
+        let point = random_point(&mut rng, dims, grid);
+        let count = rng.gen_range(1..=live.len());
+        assert_eq!(
+            tree.k_nearest(&point, count),
+            k_nearest_ids(&m, &live, &point, count, par),
+            "{} live rows, count={count}",
+            live.len()
+        );
+        assert_eq!(
+            tree.farthest_from(&point),
+            farthest_from_ids(&m, &live, &point, par)
+        );
+        assert_eq!(tree.nearest(&point), nearest_to_ids(&m, &live, &point, par));
+    }
+}
+
+#[test]
+fn neighbor_set_backends_agree_query_for_query() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let (n, dims, grid) = (150usize, 2usize, 6u64);
+    let m = random_matrix(&mut rng, n, dims, grid);
+    let mut flat = NeighborSet::new(&m, NeighborBackend::FlatScan, Parallelism::sequential());
+    let mut kd = NeighborSet::new(&m, NeighborBackend::KdTree, Parallelism::workers(4));
+    let mut live: Vec<RowId> = m.row_ids().collect();
+
+    while live.len() > 8 {
+        let point = random_point(&mut rng, dims, grid);
+        let count = rng.gen_range(1..=8);
+        let a = flat.k_nearest(&live, &point, count);
+        let b = kd.k_nearest(&live, &point, count);
+        assert_eq!(a, b);
+        assert_eq!(
+            flat.farthest_from(&live, &point),
+            kd.farthest_from(&live, &point)
+        );
+        assert_eq!(flat.nearest_to(&live, &point), kd.nearest_to(&live, &point));
+        flat.remove_all(&a);
+        kd.remove_all(&a);
+        live.retain(|id| !a.contains(id));
+    }
+}
+
+#[test]
+fn degenerate_shapes() {
+    // Empty matrix.
+    let m = Matrix::from_rows(&[]);
+    let tree = KdTree::build(&m);
+    assert!(tree.is_empty());
+    assert_eq!(tree.k_nearest(&[], 3), vec![]);
+    assert_eq!(tree.nearest(&[]), None);
+    assert_eq!(tree.farthest_from(&[]), None);
+
+    // Zero-column rows: every distance is 0, ties resolve by row id.
+    let m = Matrix::new(vec![], 5, 0);
+    let mut tree = KdTree::build(&m);
+    assert_eq!(tree.len(), 5);
+    assert_eq!(tree.nearest(&[]), Some(RowId::new(0)));
+    assert_eq!(tree.farthest_from(&[]), Some(RowId::new(0)));
+    let ids: Vec<usize> = tree.k_nearest(&[], 9).iter().map(|id| id.index()).collect();
+    assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    tree.remove(RowId::new(0));
+    assert_eq!(tree.nearest(&[]), Some(RowId::new(1)));
+
+    // All rows identical: one big tied leaf.
+    let m = Matrix::from_rows(&vec![vec![2.0, 2.0]; 100]);
+    let tree = KdTree::build(&m);
+    let first: Vec<usize> = tree
+        .k_nearest(&[0.0, 0.0], 3)
+        .iter()
+        .map(|id| id.index())
+        .collect();
+    assert_eq!(first, vec![0, 1, 2]);
+
+    // Fully tombstoned tree answers like an empty one.
+    let m = Matrix::from_rows(&[vec![1.0], vec![2.0]]);
+    let mut tree = KdTree::build(&m);
+    tree.remove(RowId::new(0));
+    tree.remove(RowId::new(1));
+    assert!(tree.is_empty());
+    assert_eq!(tree.nearest(&[1.5]), None);
+    assert_eq!(tree.k_nearest(&[1.5], 2), vec![]);
+}
+
+#[test]
+#[should_panic(expected = "already removed")]
+fn double_remove_panics() {
+    let m = Matrix::from_rows(&[vec![1.0]]);
+    let mut tree = KdTree::build(&m);
+    tree.remove(RowId::new(0));
+    tree.remove(RowId::new(0));
+}
+
+#[test]
+#[should_panic(expected = "already live")]
+fn double_insert_panics() {
+    let m = Matrix::from_rows(&[vec![1.0]]);
+    let mut tree = KdTree::build(&m);
+    tree.insert(RowId::new(0));
+}

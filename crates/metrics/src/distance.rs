@@ -60,8 +60,13 @@ fn sq_dist_fixed<const D: usize>(a: &[f64], b: &[f64]) -> f64 {
 /// checks) for the low dimensions every QI embedding in practice has.
 /// The flat kernels call this; its dispatch branch is perfectly predicted
 /// since a scan never changes dimension.
+///
+/// Public because the kd-tree backend (`tclose-index`) must evaluate
+/// candidate distances with **exactly** this operation sequence — the
+/// backends promise bit-identical results, and that promise extends to
+/// the floating-point rounding of every distance.
 #[inline(always)]
-fn sq_dist_dim(a: &[f64], b: &[f64]) -> f64 {
+pub fn sq_dist_dim(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
     match a.len() {
         1 => sq_dist_fixed::<1>(a, b),

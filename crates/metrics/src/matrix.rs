@@ -72,6 +72,12 @@ impl From<RowId> for usize {
 pub trait RowIndex: Copy + Send + Sync {
     /// The row position this index refers to.
     fn row_index(self) -> usize;
+
+    /// An index of this type addressing row `index` — the inverse of
+    /// [`RowIndex::row_index`]. Lets kernels that compute positions
+    /// internally (e.g. the kd-tree backend of `tclose-index`) hand results
+    /// back in whatever index type the caller speaks.
+    fn from_row_index(index: usize) -> Self;
 }
 
 impl RowIndex for RowId {
@@ -79,12 +85,22 @@ impl RowIndex for RowId {
     fn row_index(self) -> usize {
         self.index()
     }
+
+    #[inline]
+    fn from_row_index(index: usize) -> Self {
+        RowId::new(index)
+    }
 }
 
 impl RowIndex for usize {
     #[inline]
     fn row_index(self) -> usize {
         self
+    }
+
+    #[inline]
+    fn from_row_index(index: usize) -> Self {
+        index
     }
 }
 

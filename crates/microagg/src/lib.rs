@@ -51,9 +51,10 @@ pub mod vmdav;
 
 pub use aggregate::{aggregate_columns, cluster_centroid_value};
 pub use cluster::{Clustering, ClusteringError};
-pub use mdav::{mdav_partition, Mdav};
-pub use vmdav::{vmdav_partition, VMdav};
+pub use mdav::{mdav_partition, mdav_partition_with, Mdav};
+pub use vmdav::{vmdav_partition, vmdav_partition_with, VMdav};
 
+pub use tclose_index::{NeighborBackend, NeighborSet};
 pub use tclose_metrics::matrix::{Matrix, RowId, RowIndex};
 pub use tclose_parallel::Parallelism;
 
@@ -70,6 +71,16 @@ pub trait Microaggregator {
     /// Implementations may panic if `k == 0`. If `n < k` the whole data set
     /// becomes a single cluster.
     fn partition_matrix(&self, m: &Matrix, k: usize) -> Clustering;
+
+    /// [`Microaggregator::partition_matrix`] with an explicit
+    /// neighbor-search backend. Backends never change the partition (they
+    /// are exact and share one tie-breaking order), so the default
+    /// implementation ignores the hint; scan-based algorithms (MDAV,
+    /// V-MDAV) override it to route their hot queries through the choice.
+    fn partition_matrix_with(&self, m: &Matrix, k: usize, backend: NeighborBackend) -> Clustering {
+        let _ = backend;
+        self.partition_matrix(m, k)
+    }
 
     /// Boxed-rows convenience: copies `rows` into a [`Matrix`] and calls
     /// [`Microaggregator::partition_matrix`].

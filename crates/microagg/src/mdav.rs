@@ -7,14 +7,19 @@
 //! handled so that every cluster ends up with between `k` and `2k−1`
 //! records. Cost `O(n²/k)` distance evaluations.
 //!
-//! Every scan (centroid, farthest record, k-nearest gathering) is a flat
-//! kernel over the contiguous [`Matrix`] buffer and can run on scoped
-//! threads; see [`mdav_partition`] for the explicit-parallelism entry
-//! point. Results are byte-identical for any worker count.
+//! The bulk centroid pass is a flat kernel over the contiguous [`Matrix`]
+//! buffer and can run on scoped threads; the farthest-record and k-nearest
+//! queries go through a [`NeighborSet`], which answers them either with
+//! the same flat kernels or with pruned kd-tree queries
+//! ([`NeighborBackend`], default [`NeighborBackend::Auto`]). The two
+//! backends are exact and share one tie-breaking order, so the partition
+//! is byte-identical for any backend *and* any worker count; see
+//! [`mdav_partition_with`] for the fully explicit entry point.
 
 use crate::cluster::Clustering;
 use crate::Microaggregator;
-use tclose_metrics::distance::{centroid_ids, farthest_from_ids, k_nearest_ids};
+use tclose_index::{NeighborBackend, NeighborSet};
+use tclose_metrics::distance::centroid_ids;
 use tclose_metrics::matrix::{Matrix, RowId};
 use tclose_parallel::Parallelism;
 
@@ -38,72 +43,152 @@ impl Microaggregator for Mdav {
         mdav_partition(m, k, Parallelism::auto())
     }
 
+    fn partition_matrix_with(&self, m: &Matrix, k: usize, backend: NeighborBackend) -> Clustering {
+        mdav_partition_with(m, k, Parallelism::auto(), backend)
+    }
+
     fn name(&self) -> &'static str {
         "MDAV"
     }
 }
 
 /// MDAV partition of the rows of `m` with minimum cluster size `k`, using
-/// up to `par` worker threads for the flat scans.
+/// up to `par` worker threads for the flat scans and the automatic
+/// neighbor-search backend.
 ///
-/// The clustering does not depend on `par`: all kernels reduce over a
-/// fixed block structure and break ties toward the lowest [`RowId`].
+/// The clustering depends on neither `par` nor the backend: all flat
+/// kernels reduce over a fixed block structure, the kd-tree queries are
+/// exact, and every query breaks ties toward the lowest [`RowId`].
 ///
 /// # Panics
 /// Panics if `k == 0`.
 pub fn mdav_partition(m: &Matrix, k: usize, par: Parallelism) -> Clustering {
+    mdav_partition_with(m, k, par, NeighborBackend::Auto)
+}
+
+/// [`mdav_partition`] with an explicit neighbor-search backend (the
+/// result never depends on it — only wall-clock time does).
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn mdav_partition_with(
+    m: &Matrix,
+    k: usize,
+    par: Parallelism,
+    backend: NeighborBackend,
+) -> Clustering {
     assert!(k >= 1, "k must be at least 1");
     let n = m.n_rows();
-    let mut remaining: Vec<RowId> = m.row_ids().collect();
-    // Membership mask shared across take_cluster calls: O(n) removal of a
-    // freshly gathered cluster instead of O(n·k) `contains` scans.
-    let mut taken = vec![false; n];
+    let mut search = NeighborSet::new(m, backend, par);
+    // Position-tracked pool: removing a freshly gathered cluster is O(k)
+    // swap-removes instead of an O(n) retain pass, which would otherwise
+    // rival the scans themselves once the queries run on the kd-tree.
+    let mut remaining = RowPool::full(n);
     let mut clusters: Vec<Vec<usize>> = Vec::with_capacity(n / k.max(1) + 1);
 
     while remaining.len() >= 3 * k {
-        let c = centroid_ids(m, &remaining, par);
-        let xr = farthest_from_ids(m, &remaining, &c, par).expect("non-empty");
-        take_cluster(m, &mut remaining, &mut taken, xr, k, par, &mut clusters);
+        let c = centroid_ids(m, remaining.items(), par);
+        let xr = search
+            .farthest_from(remaining.items(), &c)
+            .expect("non-empty");
+        take_cluster(m, &mut search, &mut remaining, xr, k, &mut clusters);
         if remaining.is_empty() {
             break;
         }
-        let xs = farthest_from_ids(m, &remaining, m.row(xr), par).expect("non-empty");
-        take_cluster(m, &mut remaining, &mut taken, xs, k, par, &mut clusters);
+        let xs = search
+            .farthest_from(remaining.items(), m.row(xr))
+            .expect("non-empty");
+        take_cluster(m, &mut search, &mut remaining, xs, k, &mut clusters);
     }
 
     if remaining.len() >= 2 * k {
         // Between 2k and 3k−1 left: one cluster around the extreme
         // record, the rest (≥ k) forms the final cluster.
-        let c = centroid_ids(m, &remaining, par);
-        let xr = farthest_from_ids(m, &remaining, &c, par).expect("non-empty");
-        take_cluster(m, &mut remaining, &mut taken, xr, k, par, &mut clusters);
-        clusters.push(remaining.drain(..).map(RowId::index).collect());
+        let c = centroid_ids(m, remaining.items(), par);
+        let xr = search
+            .farthest_from(remaining.items(), &c)
+            .expect("non-empty");
+        take_cluster(m, &mut search, &mut remaining, xr, k, &mut clusters);
+        clusters.push(remaining.drain().map(RowId::index).collect());
     } else if !remaining.is_empty() {
         // Fewer than 2k left (including the n < k corner): one cluster.
-        clusters.push(remaining.drain(..).map(RowId::index).collect());
+        clusters.push(remaining.drain().map(RowId::index).collect());
     }
 
     Clustering::new(clusters, n).expect("MDAV produces a valid partition")
 }
 
 /// Removes the `k` records nearest to `seed` (including `seed` itself) from
-/// `remaining` and pushes them as a new cluster.
+/// `remaining` (and the search set) and pushes them as a new cluster.
 fn take_cluster(
     m: &Matrix,
-    remaining: &mut Vec<RowId>,
-    taken: &mut [bool],
+    search: &mut NeighborSet<'_>,
+    remaining: &mut RowPool,
     seed: RowId,
     k: usize,
-    par: Parallelism,
     clusters: &mut Vec<Vec<usize>>,
 ) {
-    let members = k_nearest_ids(m, remaining, m.row(seed), k, par);
+    let members = search.k_nearest(remaining.items(), m.row(seed), k);
     debug_assert!(members.contains(&seed));
+    search.remove_all(&members);
     for &id in &members {
-        taken[id.index()] = true;
+        remaining.remove(id);
     }
-    remaining.retain(|r| !taken[r.index()]);
     clusters.push(members.into_iter().map(RowId::index).collect());
+}
+
+/// O(1)-removal pool of row ids, iterable as a slice.
+///
+/// The slice order is scrambled by swap-removes. Every query over it is
+/// order-independent anyway: the extreme/k-nearest kernels reduce under
+/// the total order (distance, row id), and the blocked centroid sum is a
+/// deterministic function of the slice — identical across backends and
+/// worker counts because all of them see the same pool history.
+#[derive(Debug)]
+struct RowPool {
+    items: Vec<RowId>,
+    /// `pos[r]` is the index of row `r` inside `items` (`u32::MAX` once
+    /// removed).
+    pos: Vec<u32>,
+}
+
+impl RowPool {
+    fn full(n: usize) -> Self {
+        RowPool {
+            items: (0..n).map(RowId::new).collect(),
+            pos: (0..n as u32).collect(),
+        }
+    }
+
+    fn items(&self) -> &[RowId] {
+        &self.items
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    fn remove(&mut self, id: RowId) {
+        let p = self.pos[id.index()] as usize;
+        debug_assert!(p != u32::MAX as usize, "row {id} removed twice");
+        let last = *self.items.last().expect("non-empty pool");
+        self.items.swap_remove(p);
+        self.pos[id.index()] = u32::MAX;
+        if last != id {
+            self.pos[last.index()] = p as u32;
+        }
+    }
+
+    fn drain(&mut self) -> impl Iterator<Item = RowId> + '_ {
+        for &id in &self.items {
+            self.pos[id.index()] = u32::MAX;
+        }
+        self.items.drain(..)
+    }
 }
 
 #[cfg(test)]
@@ -192,6 +277,23 @@ mod tests {
             Mdav.partition_matrix(&m, 4),
             mdav_partition(&m, 4, Parallelism::sequential())
         );
+    }
+
+    #[test]
+    fn backends_produce_identical_partitions() {
+        // `grid` has tied coordinates (i*i % 17 collides), so this also
+        // exercises tie-breaking through the kd-tree path.
+        let m = Matrix::from_rows(&grid(157));
+        for k in [2usize, 5, 10] {
+            let flat =
+                mdav_partition_with(&m, k, Parallelism::sequential(), NeighborBackend::FlatScan);
+            let kd = mdav_partition_with(&m, k, Parallelism::workers(4), NeighborBackend::KdTree);
+            assert_eq!(flat, kd, "k={k}");
+            assert_eq!(
+                flat,
+                Mdav.partition_matrix_with(&m, k, NeighborBackend::KdTree)
+            );
+        }
     }
 
     #[test]

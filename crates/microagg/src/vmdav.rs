@@ -16,16 +16,19 @@
 //! size adaptivity (the authors recommend γ ≈ 0.2 for scattered data,
 //! γ ≈ 1.1 for clustered data).
 //!
-//! Like MDAV, every scan — including the candidate search of the extension
-//! phase — runs as a flat kernel over the contiguous [`Matrix`] buffer;
-//! [`vmdav_partition`] exposes the worker count, and the clustering is
-//! byte-identical for any choice of it.
+//! Like MDAV, the seed-selection and k-nearest-gathering queries of the
+//! main loop go through a [`NeighborSet`] (flat scans or pruned kd-tree,
+//! [`NeighborBackend::Auto`] by default); the candidate search of the
+//! extension phase — whose tie-breaking is positional, tied to the order
+//! of the `remaining` vector — stays on the flat kernels over the
+//! contiguous [`Matrix`] buffer. [`vmdav_partition_with`] exposes both the
+//! worker count and the backend; the clustering is byte-identical for any
+//! choice of either.
 
 use crate::cluster::Clustering;
 use crate::Microaggregator;
-use tclose_metrics::distance::{
-    centroid_ids, farthest_from_ids, k_nearest_ids, min_sq_dist_excluding, sq_dist,
-};
+use tclose_index::{NeighborBackend, NeighborSet};
+use tclose_metrics::distance::{centroid_ids, min_sq_dist_excluding, sq_dist};
 use tclose_metrics::matrix::{Matrix, RowId};
 use tclose_parallel::{map_blocks, Parallelism};
 
@@ -65,6 +68,10 @@ impl Microaggregator for VMdav {
         vmdav_partition(m, k, self.gamma, Parallelism::auto())
     }
 
+    fn partition_matrix_with(&self, m: &Matrix, k: usize, backend: NeighborBackend) -> Clustering {
+        vmdav_partition_with(m, k, self.gamma, Parallelism::auto(), backend)
+    }
+
     fn name(&self) -> &'static str {
         "V-MDAV"
     }
@@ -72,11 +79,27 @@ impl Microaggregator for VMdav {
 
 /// V-MDAV partition of the rows of `m` with minimum cluster size `k` and
 /// gain factor `gamma`, using up to `par` worker threads for the flat
-/// scans. The clustering does not depend on `par`.
+/// scans and the automatic neighbor-search backend. The clustering
+/// depends on neither `par` nor the backend.
 ///
 /// # Panics
 /// Panics if `k == 0` or `gamma` is negative or non-finite.
 pub fn vmdav_partition(m: &Matrix, k: usize, gamma: f64, par: Parallelism) -> Clustering {
+    vmdav_partition_with(m, k, gamma, par, NeighborBackend::Auto)
+}
+
+/// [`vmdav_partition`] with an explicit neighbor-search backend (the
+/// result never depends on it — only wall-clock time does).
+///
+/// # Panics
+/// Panics if `k == 0` or `gamma` is negative or non-finite.
+pub fn vmdav_partition_with(
+    m: &Matrix,
+    k: usize,
+    gamma: f64,
+    par: Parallelism,
+    backend: NeighborBackend,
+) -> Clustering {
     assert!(k >= 1, "k must be at least 1");
     assert!(
         gamma.is_finite() && gamma >= 0.0,
@@ -90,6 +113,7 @@ pub fn vmdav_partition(m: &Matrix, k: usize, gamma: f64, par: Parallelism) -> Cl
         return Clustering::new(vec![(0..n).collect()], n).expect("single cluster");
     }
 
+    let mut search = NeighborSet::new(m, backend, par);
     let all: Vec<RowId> = m.row_ids().collect();
     let global_centroid = centroid_ids(m, &all, par);
     let mut remaining = all;
@@ -98,9 +122,11 @@ pub fn vmdav_partition(m: &Matrix, k: usize, gamma: f64, par: Parallelism) -> Cl
     let mut taken = vec![false; n];
 
     while remaining.len() >= k {
-        let seed =
-            farthest_from_ids(m, &remaining, &global_centroid, par).expect("non-empty remaining");
-        let mut members = k_nearest_ids(m, &remaining, m.row(seed), k, par);
+        let seed = search
+            .farthest_from(&remaining, &global_centroid)
+            .expect("non-empty remaining");
+        let mut members = search.k_nearest(&remaining, m.row(seed), k);
+        search.remove_all(&members);
         for &id in &members {
             taken[id.index()] = true;
         }
@@ -122,6 +148,7 @@ pub fn vmdav_partition(m: &Matrix, k: usize, gamma: f64, par: Parallelism) -> Cl
             if d_in.sqrt() < gamma * d_out.sqrt() {
                 members.push(cand);
                 remaining.swap_remove(cand_pos);
+                search.remove(cand);
             } else {
                 break;
             }
@@ -268,5 +295,30 @@ mod tests {
             VMdav::new(0.4).partition(&rows, 3),
             vmdav_partition(&m, 3, 0.4, Parallelism::sequential())
         );
+    }
+
+    #[test]
+    fn backends_produce_identical_partitions() {
+        // Duplicate-heavy line (i % 9): kd-tree tie-breaking must match the
+        // flat scans through both the seed and the extension phases.
+        let rows: Vec<Vec<f64>> = (0..140).map(|i| vec![(i % 9) as f64]).collect();
+        let m = Matrix::from_rows(&rows);
+        for gamma in [0.0, 0.4, 1.1] {
+            let flat = vmdav_partition_with(
+                &m,
+                3,
+                gamma,
+                Parallelism::sequential(),
+                NeighborBackend::FlatScan,
+            );
+            let kd = vmdav_partition_with(
+                &m,
+                3,
+                gamma,
+                Parallelism::workers(4),
+                NeighborBackend::KdTree,
+            );
+            assert_eq!(flat, kd, "gamma={gamma}");
+        }
     }
 }

@@ -71,7 +71,9 @@ use std::io::{BufReader, BufWriter};
 use std::path::Path;
 use std::time::Instant;
 
-use tclose_core::{Algorithm, AnonymizationReport, Anonymizer, FittedAnonymizer, GlobalFit};
+use tclose_core::{
+    Algorithm, AnonymizationReport, Anonymizer, FittedAnonymizer, GlobalFit, NeighborBackend,
+};
 use tclose_microdata::csv::{CsvAppendWriter, CsvChunks};
 use tclose_microdata::{AttributeRole, NormalizeMethod, Schema, Table};
 use tclose_parallel::{parallel_map_with, Parallelism};
@@ -89,13 +91,15 @@ pub struct ShardedAnonymizer {
     normalize: NormalizeMethod,
     shard_rows: usize,
     par: Parallelism,
+    backend: NeighborBackend,
     schema: Option<Schema>,
 }
 
 impl ShardedAnonymizer {
     /// An engine for the given `(k, t)` pair with the paper's default
     /// algorithm (t-closeness-first), z-score normalization,
-    /// [`DEFAULT_SHARD_ROWS`] records per shard and one worker per core.
+    /// [`DEFAULT_SHARD_ROWS`] records per shard, one worker per core, and
+    /// the automatic neighbor-search backend.
     pub fn new(k: usize, t: f64) -> Self {
         ShardedAnonymizer {
             k,
@@ -104,6 +108,7 @@ impl ShardedAnonymizer {
             normalize: NormalizeMethod::ZScore,
             shard_rows: DEFAULT_SHARD_ROWS,
             par: Parallelism::auto(),
+            backend: NeighborBackend::Auto,
             schema: None,
         }
     }
@@ -133,6 +138,16 @@ impl ShardedAnonymizer {
     /// the kernels inside each shard). Output is identical for any value.
     pub fn with_parallelism(mut self, par: Parallelism) -> Self {
         self.par = par;
+        self
+    }
+
+    /// Selects the neighbor-search backend of the per-shard clustering
+    /// (default [`NeighborBackend::Auto`], which resolves **per shard**:
+    /// each shard's matrix decides for its own row count, so small tails
+    /// stay on flat scans while full shards use the kd-tree). Backends
+    /// are exact — the release is identical for any choice.
+    pub fn with_backend(mut self, backend: NeighborBackend) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -198,6 +213,7 @@ impl ShardedAnonymizer {
             .algorithm(self.algorithm)
             .normalization(self.normalize)
             .with_parallelism(Parallelism::sequential())
+            .with_backend(self.backend)
             .with_fit(fit)?;
 
         let reports = self.apply_file(&fitted, input, output)?;
@@ -453,6 +469,27 @@ mod tests {
         }
         assert_eq!(outputs[0], outputs[1], "1 vs 2 workers");
         assert_eq!(outputs[0], outputs[2], "1 vs 8 workers");
+    }
+
+    #[test]
+    fn output_is_invariant_to_the_backend() {
+        let input = tmp("backend_in.csv");
+        write_input(&input, 500);
+        let mut outputs = Vec::new();
+        for (name, backend) in [
+            ("flat", NeighborBackend::FlatScan),
+            ("kd", NeighborBackend::KdTree),
+        ] {
+            let output = tmp(&format!("backend_out_{name}.csv"));
+            let report = ShardedAnonymizer::new(3, 0.35)
+                .shard_rows(120)
+                .with_backend(backend)
+                .anonymize_file(&input, &output, &qi(), &conf())
+                .unwrap();
+            assert_eq!(report.n_records, 500);
+            outputs.push(std::fs::read(&output).unwrap());
+        }
+        assert_eq!(outputs[0], outputs[1], "flat vs kd-tree backend");
     }
 
     #[test]

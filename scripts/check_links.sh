@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Markdown link check for the repo's documentation: every relative link
+# in README.md, DESIGN.md, ROADMAP.md and docs/*.md must resolve to an
+# existing file or directory (anchors are stripped; http(s)/mailto links
+# are out of scope for the offline CI).
+#
+# Usage: scripts/check_links.sh   (from the repository root)
+set -euo pipefail
+
+fail=0
+for doc in README.md DESIGN.md ROADMAP.md docs/*.md; do
+    [ -f "$doc" ] || continue
+    dir=$(dirname "$doc")
+    # Extract inline markdown link targets: [text](target)
+    while IFS= read -r target; do
+        case "$target" in
+        http://* | https://* | mailto:*) continue ;;
+        esac
+        path="${target%%#*}" # strip in-page anchors
+        [ -n "$path" ] || continue # pure-anchor link into the same file
+        if [ ! -e "$dir/$path" ]; then
+            echo "BROKEN: $doc -> $target"
+            fail=1
+        fi
+    done < <(grep -o '](\([^)]*\))' "$doc" | sed 's/^](//; s/)$//')
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "markdown link check failed"
+    exit 1
+fi
+echo "markdown link check passed"

@@ -7,8 +7,11 @@
 //! * [`microdata`] — the microdata model (tables, schemas, roles, CSV).
 //! * [`metrics`] — distances and metrics (flat record [`metrics::Matrix`],
 //!   ordered EMD, SSE, disclosure risk).
+//! * [`index`] — exact nearest-neighbor indexing (bulk kd-tree with
+//!   tombstones) behind the [`index::NeighborBackend`] switch.
 //! * [`microagg`] — microaggregation substrate (MDAV, V-MDAV, aggregation)
-//!   over the flat matrix, byte-identical under any worker count.
+//!   over the flat matrix, byte-identical under any worker count and
+//!   neighbor backend.
 //! * [`core`] — the paper's contribution: Algorithms 1–3, bounds, verifiers,
 //!   and the fit/apply split (`GlobalFit` / `FittedAnonymizer`).
 //! * [`stream`] — the sharded streaming engine: two-pass, bounded-memory
@@ -24,6 +27,7 @@ pub use tclose_baselines as baselines;
 pub use tclose_core as core;
 pub use tclose_datasets as datasets;
 pub use tclose_eval as eval;
+pub use tclose_index as index;
 pub use tclose_metrics as metrics;
 pub use tclose_microagg as microagg;
 pub use tclose_microdata as microdata;
@@ -40,7 +44,7 @@ pub mod prelude {
     };
     pub use tclose_metrics::{emd::OrderedEmd, sse::normalized_sse};
     pub use tclose_microagg::{
-        Clustering, Matrix, Mdav, Microaggregator, Parallelism, RowId, VMdav,
+        Clustering, Matrix, Mdav, Microaggregator, NeighborBackend, Parallelism, RowId, VMdav,
     };
     pub use tclose_microdata::{AttributeDef, AttributeKind, AttributeRole, Schema, Table, Value};
     pub use tclose_stream::{ShardedAnonymizer, StreamReport};
