@@ -8,6 +8,7 @@
 //!                  [--workers N] [--backend auto|flat|kdtree]
 //!                  [--stream] [--shard-size N]
 //! tclose audit     --input FILE --qi COLS --confidential COLS [--workers N]
+//! tclose bench     [run|gate|bless|selftest] [--suite smoke|full] …
 //! ```
 //!
 //! `COLS` are comma-separated column names. `anonymize` releases a
@@ -23,6 +24,11 @@
 //! neighbor-search backend of the clustering hot path (flat scans or a
 //! kd-tree; both exact, so the release never depends on the choice —
 //! `auto` picks per record set).
+//!
+//! `bench` mounts the `tclose-perf` harness (machine-readable benchmark
+//! suite plus the noise-aware regression gate); everything after `bench`
+//! follows that tool's grammar — see `tclose bench --help` and
+//! `docs/PERFORMANCE.md` for the methodology.
 //!
 //! The three `--algorithm` choices are Algorithms 1–3 of the source paper
 //! (Soria-Comas et al., ICDE 2016): microaggregation + merging,
@@ -42,6 +48,7 @@ usage:
                    [--workers N] [--backend auto|flat|kdtree] \\
                    [--stream] [--shard-size N]
   tclose audit     --input FILE --qi COLS --confidential COLS [--workers N]
+  tclose bench     [run|gate|bless|selftest] [--suite smoke|full] [...]
 
 algorithms:
   alg1  microaggregation + merging          (guaranteed t-close)
@@ -53,10 +60,20 @@ scaling:
   --backend B     neighbor search: auto|flat|kdtree (exact either way, so the
                   output is identical; auto picks per record set)
   --stream        two-pass sharded engine: bounded memory, any file size
-  --shard-size N  records per shard in --stream mode (default 10000)";
+  --shard-size N  records per shard in --stream mode (default 10000)
+
+benchmarking:
+  tclose bench runs the machine-readable perf suite and regression gate
+  (the tclose-perf harness); see `tclose bench --help`";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    // `bench` has its own grammar (subcommands, flags unknown to this
+    // parser); hand the rest of the argv straight to the perf harness.
+    if argv.first().map(String::as_str) == Some("bench") {
+        let code = tclose_perf::cli::run(&argv[1..]);
+        return ExitCode::from(code.clamp(0, u8::MAX as i32) as u8);
+    }
     let parsed = match args::parse(&argv) {
         Ok(p) => p,
         Err(e) => {

@@ -195,3 +195,24 @@ fn anonymize_rejects_missing_input_file() {
         .unwrap()
         .contains("cannot open"));
 }
+
+#[test]
+fn bench_subcommand_mounts_the_perf_harness() {
+    // Help comes from the perf harness, not the anonymizer usage text.
+    let out = tclose(&["bench", "--help"]);
+    assert!(out.status.success(), "bench --help exited {:?}", out.status);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for needle in ["tclose-perf", "gate", "bless", "selftest", "BENCH_"] {
+        assert!(
+            stdout.contains(needle),
+            "bench help missing {needle:?}:\n{stdout}"
+        );
+    }
+
+    // The gate self-test (synthetic data, no real measurement) must pass
+    // through the subcommand end to end.
+    let out = tclose(&["bench", "selftest"]);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(out.status.success(), "bench selftest failed:\n{stdout}");
+    assert!(stdout.contains("self-test passed"), "{stdout}");
+}

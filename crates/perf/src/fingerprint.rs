@@ -1,0 +1,140 @@
+//! Environment fingerprint: the facts a reader needs to judge whether
+//! two `BENCH_*.json` files were measured under comparable conditions.
+
+use std::process::Command;
+
+use crate::json::Json;
+
+/// Where a report was measured: toolchain, host shape, build profile,
+/// and source revision. Captured once per run and embedded in every
+/// report; [`capture`] is stable within a process (and across re-runs
+/// on an unchanged checkout), which the harness tests pin.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fingerprint {
+    /// `rustc --version` of the toolchain on `PATH` (`unknown` when the
+    /// compiler cannot be invoked at measurement time).
+    pub rustc: String,
+    /// Operating system (`std::env::consts::OS`).
+    pub os: String,
+    /// CPU architecture (`std::env::consts::ARCH`).
+    pub arch: String,
+    /// Build profile of the harness itself (`release` / `debug`) — a
+    /// debug-profile report must never be gated against a release
+    /// baseline.
+    pub profile: String,
+    /// Logical CPUs available to the process.
+    pub cpus: u64,
+    /// Workspace crate version (compile-time `CARGO_PKG_VERSION`).
+    pub pkg_version: String,
+    /// Cargo feature flags in effect (the workspace defines none today;
+    /// recorded so a future feature split cannot silently change what a
+    /// baseline means).
+    pub features: String,
+    /// Short git commit of the working tree (`unknown` outside a git
+    /// checkout).
+    pub commit: String,
+}
+
+/// Captures the fingerprint of the current process/host.
+pub fn capture() -> Fingerprint {
+    Fingerprint {
+        rustc: command_line("rustc", &["--version"]),
+        os: std::env::consts::OS.to_owned(),
+        arch: std::env::consts::ARCH.to_owned(),
+        profile: if cfg!(debug_assertions) {
+            "debug".to_owned()
+        } else {
+            "release".to_owned()
+        },
+        cpus: std::thread::available_parallelism()
+            .map(|n| n.get() as u64)
+            .unwrap_or(1),
+        pkg_version: env!("CARGO_PKG_VERSION").to_owned(),
+        features: "default".to_owned(),
+        commit: command_line("git", &["rev-parse", "--short", "HEAD"]),
+    }
+}
+
+/// First stdout line of a helper command, or `"unknown"` when the
+/// command is unavailable or fails.
+fn command_line(program: &str, args: &[&str]) -> String {
+    Command::new(program)
+        .args(args)
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| {
+            String::from_utf8(out.stdout)
+                .ok()
+                .and_then(|s| s.lines().next().map(|l| l.trim().to_owned()))
+        })
+        .filter(|line| !line.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+impl Fingerprint {
+    /// JSON object representation.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("rustc".into(), Json::Str(self.rustc.clone())),
+            ("os".into(), Json::Str(self.os.clone())),
+            ("arch".into(), Json::Str(self.arch.clone())),
+            ("profile".into(), Json::Str(self.profile.clone())),
+            ("cpus".into(), Json::Num(self.cpus as f64)),
+            ("pkg_version".into(), Json::Str(self.pkg_version.clone())),
+            ("features".into(), Json::Str(self.features.clone())),
+            ("commit".into(), Json::Str(self.commit.clone())),
+        ])
+    }
+
+    /// Parses the object written by [`Fingerprint::to_json`].
+    pub fn from_json(v: &Json) -> Result<Fingerprint, String> {
+        let field = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("fingerprint is missing string field {key:?}"))
+        };
+        Ok(Fingerprint {
+            rustc: field("rustc")?,
+            os: field("os")?,
+            arch: field("arch")?,
+            profile: field("profile")?,
+            cpus: v
+                .get("cpus")
+                .and_then(Json::as_f64)
+                .ok_or("fingerprint is missing numeric field \"cpus\"")? as u64,
+            pkg_version: field("pkg_version")?,
+            features: field("features")?,
+            commit: field("commit")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_is_stable_within_a_process() {
+        assert_eq!(capture(), capture());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let fp = capture();
+        let back = Fingerprint::from_json(&fp.to_json()).unwrap();
+        assert_eq!(back, fp);
+    }
+
+    #[test]
+    fn missing_field_is_reported_by_name() {
+        let err = Fingerprint::from_json(&Json::Obj(vec![])).unwrap_err();
+        assert!(err.contains("rustc"), "{err}");
+    }
+
+    #[test]
+    fn unknown_command_degrades_gracefully() {
+        assert_eq!(command_line("definitely-not-a-real-binary", &[]), "unknown");
+    }
+}

@@ -1,0 +1,369 @@
+//! The noise-aware regression gate: current report vs committed
+//! baseline.
+//!
+//! A case regresses only when **both** of these hold:
+//!
+//! 1. its current median exceeds the baseline median by more than the
+//!    threshold (default 1.25×), and
+//! 2. its current *minimum* exceeds the baseline minimum by the same
+//!    factor (min-of-runs confirmation — the best observed run is the
+//!    least noisy estimate of true cost, so a single slow sample or a
+//!    noisy median alone never fires the gate).
+//!
+//! When both reports carry a calibration time (they always do when this
+//! tool produced them), medians and minimums are first rescaled by the
+//! ratio of calibration times, so a baseline blessed on one machine can
+//! gate runs on another: what is compared is "how many calibration
+//! spins does this case cost", not raw nanoseconds. Calibration
+//! corrects first-order machine-speed differences only — re-bless the
+//! baseline when CI hardware changes generation.
+
+use crate::report::Report;
+use crate::stats::format_ns;
+
+/// Gate policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateConfig {
+    /// Regression threshold on the median (and on the min
+    /// confirmation); 1.25 means "fail at >25% slower".
+    pub threshold: f64,
+    /// Rescale by the calibration-time ratio before comparing
+    /// (cross-machine mode; on by default).
+    pub calibrated: bool,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig {
+            threshold: 1.25,
+            calibrated: true,
+        }
+    }
+}
+
+/// Per-case verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaStatus {
+    /// Within the noise envelope.
+    Ok,
+    /// Faster than baseline by more than the threshold — worth a
+    /// `bless` so future regressions are judged against the new level.
+    Improved,
+    /// Slower than baseline past the threshold, confirmed by
+    /// min-of-runs. Fails the gate.
+    Regressed,
+    /// Present in the baseline but missing from the current report
+    /// (coverage loss). Fails the gate.
+    Missing,
+    /// Present in the current report but not in the baseline
+    /// (new case; informational).
+    New,
+}
+
+impl DeltaStatus {
+    fn label(&self) -> &'static str {
+        match self {
+            DeltaStatus::Ok => "ok",
+            DeltaStatus::Improved => "improved",
+            DeltaStatus::Regressed => "REGRESSED",
+            DeltaStatus::Missing => "MISSING",
+            DeltaStatus::New => "new",
+        }
+    }
+}
+
+/// One row of the delta table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseDelta {
+    /// Case name.
+    pub name: String,
+    /// Baseline median, rescaled to current-machine terms when
+    /// calibration is in effect (absent for [`DeltaStatus::New`]).
+    pub baseline_ns: Option<f64>,
+    /// Current median (absent for [`DeltaStatus::Missing`]).
+    pub current_ns: Option<f64>,
+    /// current / rescaled-baseline median ratio.
+    pub ratio: Option<f64>,
+    /// Verdict.
+    pub status: DeltaStatus,
+}
+
+/// Outcome of gating one report against a baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateOutcome {
+    /// Per-case rows, baseline order first, then new cases.
+    pub deltas: Vec<CaseDelta>,
+    /// The calibration rescale factor applied to baseline times
+    /// (current calibration / baseline calibration; 1.0 when disabled).
+    pub scale: f64,
+    /// Threshold used.
+    pub threshold: f64,
+}
+
+impl GateOutcome {
+    /// True when no case regressed or went missing.
+    pub fn passed(&self) -> bool {
+        !self
+            .deltas
+            .iter()
+            .any(|d| matches!(d.status, DeltaStatus::Regressed | DeltaStatus::Missing))
+    }
+}
+
+/// Compares `current` against `baseline` under `cfg`.
+///
+/// Fails with an error (not a gate verdict) when the reports are not
+/// comparable at all: different suites or a non-positive calibration.
+pub fn gate(baseline: &Report, current: &Report, cfg: &GateConfig) -> Result<GateOutcome, String> {
+    if baseline.suite != current.suite {
+        return Err(format!(
+            "cannot gate suite {:?} against a {:?} baseline",
+            current.suite, baseline.suite
+        ));
+    }
+    // Debug-profile slowdown is non-uniform relative to the calibration
+    // spin, so cross-profile comparison is meaningless in both raw and
+    // calibrated mode.
+    if baseline.fingerprint.profile != current.fingerprint.profile {
+        return Err(format!(
+            "cannot gate a {}-profile report against a {}-profile baseline \
+             (build both with the same profile, e.g. --release)",
+            current.fingerprint.profile, baseline.fingerprint.profile
+        ));
+    }
+    let scale = if cfg.calibrated {
+        if baseline.calibration_ns <= 0.0 || current.calibration_ns <= 0.0 {
+            return Err("calibration times must be positive for calibrated gating".into());
+        }
+        current.calibration_ns / baseline.calibration_ns
+    } else {
+        1.0
+    };
+
+    let mut deltas = Vec::new();
+    for base in &baseline.cases {
+        let scaled_median = base.summary.median_ns * scale;
+        let scaled_min = base.summary.min_ns * scale;
+        match current.case(&base.name) {
+            None => deltas.push(CaseDelta {
+                name: base.name.clone(),
+                baseline_ns: Some(scaled_median),
+                current_ns: None,
+                ratio: None,
+                status: DeltaStatus::Missing,
+            }),
+            Some(cur) => {
+                let ratio = cur.summary.median_ns / scaled_median;
+                let median_regressed = cur.summary.median_ns > scaled_median * cfg.threshold;
+                let min_confirms = cur.summary.min_ns > scaled_min * cfg.threshold;
+                let status = if median_regressed && min_confirms {
+                    DeltaStatus::Regressed
+                } else if ratio < 1.0 / cfg.threshold {
+                    DeltaStatus::Improved
+                } else {
+                    DeltaStatus::Ok
+                };
+                deltas.push(CaseDelta {
+                    name: base.name.clone(),
+                    baseline_ns: Some(scaled_median),
+                    current_ns: Some(cur.summary.median_ns),
+                    ratio: Some(ratio),
+                    status,
+                });
+            }
+        }
+    }
+    for cur in &current.cases {
+        if baseline.case(&cur.name).is_none() {
+            deltas.push(CaseDelta {
+                name: cur.name.clone(),
+                baseline_ns: None,
+                current_ns: Some(cur.summary.median_ns),
+                ratio: None,
+                status: DeltaStatus::New,
+            });
+        }
+    }
+
+    Ok(GateOutcome {
+        deltas,
+        scale,
+        threshold: cfg.threshold,
+    })
+}
+
+/// Renders the per-case delta table plus a one-line verdict.
+pub fn render_table(outcome: &GateOutcome) -> String {
+    let name_width = outcome
+        .deltas
+        .iter()
+        .map(|d| d.name.len())
+        .chain(std::iter::once("case".len()))
+        .max()
+        .unwrap_or(4);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<name_width$}  {:>12}  {:>12}  {:>7}  status\n",
+        "case", "baseline", "current", "ratio"
+    ));
+    for d in &outcome.deltas {
+        let fmt_opt = |v: Option<f64>| v.map(format_ns).unwrap_or_else(|| "—".to_owned());
+        let ratio = d
+            .ratio
+            .map(|r| format!("{r:.2}x"))
+            .unwrap_or_else(|| "—".to_owned());
+        out.push_str(&format!(
+            "{:<name_width$}  {:>12}  {:>12}  {:>7}  {}\n",
+            d.name,
+            fmt_opt(d.baseline_ns),
+            fmt_opt(d.current_ns),
+            ratio,
+            d.status.label()
+        ));
+    }
+    let n_regressed = outcome
+        .deltas
+        .iter()
+        .filter(|d| d.status == DeltaStatus::Regressed)
+        .count();
+    let n_missing = outcome
+        .deltas
+        .iter()
+        .filter(|d| d.status == DeltaStatus::Missing)
+        .count();
+    out.push_str(&format!(
+        "\ngate {} (threshold {:.2}x on median with min-of-runs confirmation, \
+         calibration scale {:.3}): {} regressed, {} missing\n",
+        if outcome.passed() { "PASSED" } else { "FAILED" },
+        outcome.threshold,
+        outcome.scale,
+        n_regressed,
+        n_missing,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint;
+    use crate::report::{CaseResult, SCHEMA_VERSION};
+    use crate::stats::summarize;
+
+    fn report_with(cases: &[(&str, f64)], calibration_ns: f64) -> Report {
+        Report {
+            schema_version: SCHEMA_VERSION,
+            suite: "smoke".into(),
+            fingerprint: fingerprint::capture(),
+            calibration_ns,
+            cases: cases
+                .iter()
+                .map(|(name, base)| {
+                    let samples: Vec<f64> = [1.0, 1.03, 0.97, 1.01, 0.99]
+                        .iter()
+                        .map(|j| base * j)
+                        .collect();
+                    CaseResult {
+                        name: (*name).to_owned(),
+                        warmup: 1,
+                        iters: samples.len(),
+                        summary: summarize(&samples),
+                        samples_ns: samples,
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn unchanged_run_passes() {
+        let base = report_with(&[("a", 1e6), ("b", 5e6)], 1e7);
+        let out = gate(&base, &base, &GateConfig::default()).unwrap();
+        assert!(out.passed());
+        assert!(out.deltas.iter().all(|d| d.status == DeltaStatus::Ok));
+    }
+
+    #[test]
+    fn two_x_slowdown_regresses() {
+        let base = report_with(&[("a", 1e6), ("b", 5e6)], 1e7);
+        let cur = report_with(&[("a", 2e6), ("b", 5e6)], 1e7);
+        let out = gate(&base, &cur, &GateConfig::default()).unwrap();
+        assert!(!out.passed());
+        assert_eq!(out.deltas[0].status, DeltaStatus::Regressed);
+        assert_eq!(out.deltas[1].status, DeltaStatus::Ok);
+        let table = render_table(&out);
+        assert!(table.contains("REGRESSED"), "{table}");
+        assert!(table.contains("FAILED"), "{table}");
+    }
+
+    #[test]
+    fn noisy_median_without_min_confirmation_is_not_a_regression() {
+        let base = report_with(&[("a", 1e6)], 1e7);
+        let mut cur = report_with(&[("a", 1e6)], 1e7);
+        // Median blows past the threshold but the best run is still at
+        // baseline speed: a machine hiccup, not a code regression.
+        cur.cases[0].samples_ns = vec![1.0e6, 2.0e6, 2.0e6, 2.0e6, 2.0e6];
+        cur.cases[0].summary = summarize(&cur.cases[0].samples_ns);
+        let out = gate(&base, &cur, &GateConfig::default()).unwrap();
+        assert!(out.passed(), "min-of-runs must veto the noisy median");
+    }
+
+    #[test]
+    fn calibration_rescales_cross_machine_baselines() {
+        let base = report_with(&[("a", 1e6)], 1e7);
+        // Same workload measured on a machine 2x slower across the
+        // board: calibration doubles too, so the gate passes…
+        let cur = report_with(&[("a", 2e6)], 2e7);
+        let out = gate(&base, &cur, &GateConfig::default()).unwrap();
+        assert!(out.passed());
+        assert!((out.scale - 2.0).abs() < 1e-12);
+        // …but with calibration disabled the same pair fails.
+        let raw = GateConfig {
+            calibrated: false,
+            ..GateConfig::default()
+        };
+        assert!(!gate(&base, &cur, &raw).unwrap().passed());
+    }
+
+    #[test]
+    fn missing_case_fails_and_new_case_informs() {
+        let base = report_with(&[("a", 1e6), ("gone", 1e6)], 1e7);
+        let cur = report_with(&[("a", 1e6), ("added", 1e6)], 1e7);
+        let out = gate(&base, &cur, &GateConfig::default()).unwrap();
+        assert!(!out.passed());
+        let by_name = |n: &str| out.deltas.iter().find(|d| d.name == n).unwrap().status;
+        assert_eq!(by_name("gone"), DeltaStatus::Missing);
+        assert_eq!(by_name("added"), DeltaStatus::New);
+        assert_eq!(by_name("a"), DeltaStatus::Ok);
+    }
+
+    #[test]
+    fn large_improvement_is_flagged_for_bless() {
+        let base = report_with(&[("a", 2e6)], 1e7);
+        let cur = report_with(&[("a", 1e6)], 1e7);
+        let out = gate(&base, &cur, &GateConfig::default()).unwrap();
+        assert!(out.passed());
+        assert_eq!(out.deltas[0].status, DeltaStatus::Improved);
+    }
+
+    #[test]
+    fn profile_mismatch_is_an_error() {
+        let base = report_with(&[("a", 1e6)], 1e7);
+        let mut cur = report_with(&[("a", 1e6)], 1e7);
+        cur.fingerprint.profile = if base.fingerprint.profile == "debug" {
+            "release".into()
+        } else {
+            "debug".into()
+        };
+        let err = gate(&base, &cur, &GateConfig::default()).unwrap_err();
+        assert!(err.contains("profile"), "{err}");
+    }
+
+    #[test]
+    fn suite_mismatch_is_an_error() {
+        let base = report_with(&[("a", 1e6)], 1e7);
+        let mut cur = report_with(&[("a", 1e6)], 1e7);
+        cur.suite = "full".into();
+        assert!(gate(&base, &cur, &GateConfig::default()).is_err());
+    }
+}

@@ -1,0 +1,241 @@
+//! The schema-versioned on-disk report: `BENCH_<suite>.json`.
+//!
+//! A report is the machine-readable output of one suite run — per-case
+//! timing summaries plus raw samples, the environment fingerprint, and
+//! the calibration time that lets the gate compare reports measured on
+//! different hardware. The same format serves as the committed baseline
+//! (`benchmarks/baseline_<suite>.json`): `bless` simply writes a report
+//! to the baseline path, so there is exactly one schema to version.
+
+use std::path::Path;
+
+use crate::fingerprint::Fingerprint;
+use crate::json::Json;
+use crate::stats::Summary;
+
+/// Version of the JSON layout. Bump on any incompatible change; the
+/// loader refuses mismatched versions so the gate can never silently
+/// compare across layouts.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Timing result of one benchmark case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseResult {
+    /// Stable case identifier (`area/variant/workload`).
+    pub name: String,
+    /// Warmup iterations discarded before sampling.
+    pub warmup: usize,
+    /// Timed iterations recorded in `samples_ns`.
+    pub iters: usize,
+    /// Summary statistics over `samples_ns`.
+    pub summary: Summary,
+    /// The raw samples, in measurement order (nanoseconds).
+    pub samples_ns: Vec<f64>,
+}
+
+/// One suite run: fingerprint, calibration, and per-case results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// On-disk layout version ([`SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Suite name (`smoke` / `full`).
+    pub suite: String,
+    /// Where this was measured.
+    pub fingerprint: Fingerprint,
+    /// Median time of the fixed calibration spin (nanoseconds) — the
+    /// machine-speed yardstick the gate uses to normalize baselines
+    /// measured on different hardware.
+    pub calibration_ns: f64,
+    /// Per-case results, in suite order.
+    pub cases: Vec<CaseResult>,
+}
+
+/// Conventional file name for a suite's report at the repo root.
+pub fn bench_file_name(suite: &str) -> String {
+    format!("BENCH_{suite}.json")
+}
+
+impl CaseResult {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("warmup".into(), Json::Num(self.warmup as f64)),
+            ("iters".into(), Json::Num(self.iters as f64)),
+            ("median_ns".into(), Json::Num(self.summary.median_ns)),
+            ("min_ns".into(), Json::Num(self.summary.min_ns)),
+            ("max_ns".into(), Json::Num(self.summary.max_ns)),
+            ("mean_ns".into(), Json::Num(self.summary.mean_ns)),
+            ("iqr_ns".into(), Json::Num(self.summary.iqr_ns)),
+            (
+                "samples_ns".into(),
+                Json::Arr(self.samples_ns.iter().map(|&x| Json::Num(x)).collect()),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<CaseResult, String> {
+        let num = |key: &str| -> Result<f64, String> {
+            v.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("case is missing numeric field {key:?}"))
+        };
+        let name = v
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("case is missing string field \"name\"")?
+            .to_owned();
+        let samples_ns = v
+            .get("samples_ns")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("case {name:?} is missing array field \"samples_ns\""))?
+            .iter()
+            .map(|s| {
+                s.as_f64()
+                    .ok_or_else(|| format!("case {name:?} has a non-numeric sample"))
+            })
+            .collect::<Result<Vec<f64>, String>>()?;
+        Ok(CaseResult {
+            warmup: num("warmup")? as usize,
+            iters: num("iters")? as usize,
+            summary: Summary {
+                median_ns: num("median_ns")?,
+                min_ns: num("min_ns")?,
+                max_ns: num("max_ns")?,
+                mean_ns: num("mean_ns")?,
+                iqr_ns: num("iqr_ns")?,
+            },
+            samples_ns,
+            name,
+        })
+    }
+}
+
+impl Report {
+    /// JSON document representation (what `to_string_pretty` writes).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "schema_version".into(),
+                Json::Num(self.schema_version as f64),
+            ),
+            ("suite".into(), Json::Str(self.suite.clone())),
+            ("fingerprint".into(), self.fingerprint.to_json()),
+            ("calibration_ns".into(), Json::Num(self.calibration_ns)),
+            (
+                "cases".into(),
+                Json::Arr(self.cases.iter().map(CaseResult::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Parses a report document, rejecting schema-version mismatches.
+    pub fn from_json(v: &Json) -> Result<Report, String> {
+        let version = v
+            .get("schema_version")
+            .and_then(Json::as_f64)
+            .ok_or("report is missing \"schema_version\"")? as u64;
+        if version != SCHEMA_VERSION {
+            return Err(format!(
+                "report schema version {version} is not the supported {SCHEMA_VERSION} \
+                 (re-bless the baseline with this tool)"
+            ));
+        }
+        Ok(Report {
+            schema_version: version,
+            suite: v
+                .get("suite")
+                .and_then(Json::as_str)
+                .ok_or("report is missing \"suite\"")?
+                .to_owned(),
+            fingerprint: Fingerprint::from_json(
+                v.get("fingerprint")
+                    .ok_or("report is missing \"fingerprint\"")?,
+            )?,
+            calibration_ns: v
+                .get("calibration_ns")
+                .and_then(Json::as_f64)
+                .ok_or("report is missing \"calibration_ns\"")?,
+            cases: v
+                .get("cases")
+                .and_then(Json::as_arr)
+                .ok_or("report is missing \"cases\"")?
+                .iter()
+                .map(CaseResult::from_json)
+                .collect::<Result<Vec<_>, String>>()?,
+        })
+    }
+
+    /// Serialized document, byte-stable for identical reports.
+    pub fn to_pretty_string(&self) -> String {
+        self.to_json().to_string_pretty()
+    }
+
+    /// Writes the report to `path` (creating parent directories).
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        }
+        std::fs::write(path, self.to_pretty_string())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))
+    }
+
+    /// Loads and validates a report from `path`.
+    pub fn load(path: &Path) -> Result<Report, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let doc =
+            Json::parse(&text).map_err(|e| format!("{} is not valid JSON: {e}", path.display()))?;
+        Report::from_json(&doc).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Looks up a case by name.
+    pub fn case(&self, name: &str) -> Option<&CaseResult> {
+        self.cases.iter().find(|c| c.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selftest::synthetic_report;
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let r = synthetic_report(1.0);
+        let back = Report::from_json(&Json::parse(&r.to_pretty_string()).unwrap()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn serialization_is_byte_stable() {
+        let r = synthetic_report(1.0);
+        assert_eq!(r.to_pretty_string(), r.to_pretty_string());
+        let back = Report::from_json(&Json::parse(&r.to_pretty_string()).unwrap()).unwrap();
+        assert_eq!(back.to_pretty_string(), r.to_pretty_string());
+    }
+
+    #[test]
+    fn schema_version_mismatch_is_rejected() {
+        let mut r = synthetic_report(1.0);
+        r.schema_version = SCHEMA_VERSION + 1;
+        let doc = Json::parse(&r.to_pretty_string()).unwrap();
+        let err = Report::from_json(&doc).unwrap_err();
+        assert!(err.contains("schema version"), "{err}");
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = std::env::temp_dir().join("tclose_perf_report_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_roundtrip.json");
+        let r = synthetic_report(1.0);
+        r.save(&path).unwrap();
+        assert_eq!(Report::load(&path).unwrap(), r);
+    }
+
+    #[test]
+    fn bench_file_name_convention() {
+        assert_eq!(bench_file_name("smoke"), "BENCH_smoke.json");
+    }
+}

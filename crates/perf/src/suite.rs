@@ -1,0 +1,456 @@
+//! The pinned macro-benchmark suite: which cases run, at which sizes,
+//! and how each case is measured (warmup + repeated timed iterations).
+//!
+//! Case names are stable identifiers (`area/variant/workload`) — the
+//! gate matches baseline to current by name, so renaming a case is a
+//! baseline-breaking change and should come with a `bless`.
+//!
+//! Every workload is driven by the seeded generators in
+//! `tclose-datasets` (through the `tclose-bench` [`Problem`] type and
+//! the `tclose-eval` dataset catalog), so the measured work is
+//! identical from run to run and machine to machine; only the clock
+//! varies. All cases pin a single worker thread: the suite tracks
+//! single-thread algorithmic cost, the quantity the paper's complexity
+//! analysis speaks about, while thread-scaling stays with the criterion
+//! benches (`docs/PERFORMANCE.md`).
+
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::str::FromStr;
+use std::time::Instant;
+
+use tclose_bench::{data, Problem};
+use tclose_core::{verify_t_closeness_with, Algorithm, Anonymizer, Confidential};
+use tclose_datasets::patient_discharge;
+use tclose_eval::{Context, Dataset};
+use tclose_microagg::{
+    mdav_partition_with, vmdav_partition_with, Matrix, NeighborBackend, Parallelism,
+};
+use tclose_microdata::csv::{read_csv_auto, write_csv};
+use tclose_microdata::{AttributeRole, Table};
+use tclose_stream::ShardedAnonymizer;
+
+use crate::fingerprint;
+use crate::report::{CaseResult, Report, SCHEMA_VERSION};
+use crate::stats::summarize;
+
+/// The two measurement tiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Suite {
+    /// Small sizes, runs on every push as the CI gate (< 2 minutes).
+    Smoke,
+    /// Paper-scale sizes for trajectory analysis (workflow-dispatch CI
+    /// tier; minutes).
+    Full,
+}
+
+impl Suite {
+    /// Stable lowercase name (`smoke` / `full`), used in file names.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Suite::Smoke => "smoke",
+            Suite::Full => "full",
+        }
+    }
+}
+
+impl FromStr for Suite {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "smoke" => Ok(Suite::Smoke),
+            "full" => Ok(Suite::Full),
+            other => Err(format!("unknown suite {other:?} (expected smoke|full)")),
+        }
+    }
+}
+
+/// Iteration policy for one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunConfig {
+    /// Discarded warmup iterations per case (cache/branch warm-in).
+    pub warmup: usize,
+    /// Timed iterations per case.
+    pub iters: usize,
+}
+
+impl RunConfig {
+    /// Default policy per suite: enough samples for a median and a
+    /// trustworthy min without blowing the smoke-tier time budget.
+    pub fn for_suite(suite: Suite) -> Self {
+        match suite {
+            Suite::Smoke => RunConfig {
+                warmup: 1,
+                iters: 5,
+            },
+            Suite::Full => RunConfig {
+                warmup: 2,
+                iters: 7,
+            },
+        }
+    }
+}
+
+/// Runs `f` `warmup` times untimed, then `iters` times timed; returns
+/// the timed samples in nanoseconds.
+pub fn measure<F: FnMut()>(warmup: usize, iters: usize, mut f: F) -> Vec<f64> {
+    for _ in 0..warmup {
+        f();
+    }
+    (0..iters)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e9
+        })
+        .collect()
+}
+
+/// The fixed calibration workload: a pure-ALU xorshift spin whose work
+/// is identical everywhere. Its measured time is the machine-speed
+/// yardstick that lets the gate compare a report against a baseline
+/// blessed on different hardware (see `gate`).
+pub fn calibration_spin() -> u64 {
+    let mut x = 0x9e37_79b9_7f4a_7c15u64;
+    let mut acc = 0u64;
+    for _ in 0..(1u64 << 24) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        acc = acc.wrapping_add(x);
+    }
+    acc
+}
+
+/// One benchmark case: a stable name plus the prepared closure to time.
+pub struct Case {
+    /// Stable identifier (`area/variant/workload`).
+    pub name: String,
+    run: Box<dyn FnMut()>,
+}
+
+impl Case {
+    fn new(name: impl Into<String>, run: impl FnMut() + 'static) -> Self {
+        Case {
+            name: name.into(),
+            run: Box::new(run),
+        }
+    }
+}
+
+/// Deterministic synthetic rows for the large partition cases (same
+/// integer-hash construction as the `index_scaling` criterion bench, so
+/// the two measurement paths agree on the workload).
+fn synthetic_matrix(n: usize, dims: usize) -> Matrix {
+    let data: Vec<f64> = (0..n * dims)
+        .map(|i| ((i * 2654435761 + (i % dims) * 40503) % 100_003) as f64 * 1e-3)
+        .collect();
+    Matrix::new(data, n, dims)
+}
+
+/// Partition cases: MDAV (and optionally V-MDAV) over `rows`, flat
+/// scan vs kd-tree, single-threaded, `k = n/200` (the `index_scaling`
+/// convention: the outer loop does ~200 clusters at every size, so
+/// sizes differ only in per-query cost). V-MDAV's extension search is
+/// an order of magnitude costlier than MDAV at the same size, so the
+/// largest workloads track MDAV only — V-MDAV stays covered at the
+/// mid-size tiers, which is where a regression in its gain-factor loop
+/// would show anyway.
+fn partition_cases(cases: &mut Vec<Case>, workload: &str, rows: &Matrix, include_vmdav: bool) {
+    let k = (rows.n_rows() / 200).max(5);
+    for (variant, backend) in [
+        ("flat", NeighborBackend::FlatScan),
+        ("kdtree", NeighborBackend::KdTree),
+    ] {
+        let m = rows.clone();
+        cases.push(Case::new(
+            format!("partition/mdav/{variant}/{workload}"),
+            move || {
+                black_box(mdav_partition_with(
+                    black_box(&m),
+                    k,
+                    Parallelism::sequential(),
+                    backend,
+                ));
+            },
+        ));
+        if include_vmdav {
+            let m = rows.clone();
+            cases.push(Case::new(
+                format!("partition/vmdav/{variant}/{workload}"),
+                move || {
+                    black_box(vmdav_partition_with(
+                        black_box(&m),
+                        k,
+                        0.2,
+                        Parallelism::sequential(),
+                        backend,
+                    ));
+                },
+            ));
+        }
+    }
+}
+
+/// End-to-end case: the full anonymization pipeline (normalize, fit,
+/// cluster, aggregate, audit) under one algorithm.
+fn e2e_case(cases: &mut Vec<Case>, algorithm: Algorithm, label: &str, table: Table, t: f64) {
+    let anonymizer = Anonymizer::new(5, t)
+        .algorithm(algorithm)
+        .with_parallelism(Parallelism::sequential());
+    cases.push(Case::new(format!("e2e/{label}"), move || {
+        black_box(
+            anonymizer
+                .anonymize(black_box(&table))
+                .expect("benchmark table anonymizes"),
+        );
+    }));
+}
+
+/// The patient-discharge CSV roles used by every file-based case.
+const PATIENT_QI: [&str; 3] = ["AGE", "ZIP", "STAY_DAYS"];
+const PATIENT_CONF: &str = "CHARGE";
+
+/// Streaming cases: the monolithic in-memory pipeline vs the two-pass
+/// sharded engine, both end-to-end from CSV to CSV through real files
+/// (a scratch directory under the system temp dir).
+fn stream_cases(
+    cases: &mut Vec<Case>,
+    workload: &str,
+    n: usize,
+    shard_rows: usize,
+) -> Result<(), String> {
+    let dir = scratch_dir()?;
+    let input = dir.join(format!("stream_{workload}_in.csv"));
+    let table = patient_discharge(42, n);
+    let file = std::fs::File::create(&input)
+        .map_err(|e| format!("cannot create {}: {e}", input.display()))?;
+    write_csv(&table, std::io::BufWriter::new(file)).map_err(|e| e.to_string())?;
+
+    let qi: Vec<String> = PATIENT_QI.iter().map(|s| s.to_string()).collect();
+    let conf = vec![PATIENT_CONF.to_string()];
+
+    let (input_mono, output_mono) = (
+        input.clone(),
+        dir.join(format!("stream_{workload}_mono.csv")),
+    );
+    let (qi_mono, conf_mono) = (qi.clone(), conf.clone());
+    cases.push(Case::new(
+        format!("stream/monolithic/{workload}"),
+        move || {
+            let file = std::fs::File::open(&input_mono).expect("benchmark input exists");
+            let mut table = read_csv_auto(std::io::BufReader::new(file)).expect("valid CSV");
+            let mut roles: Vec<(&str, AttributeRole)> = Vec::new();
+            for name in &qi_mono {
+                roles.push((name.as_str(), AttributeRole::QuasiIdentifier));
+            }
+            for name in &conf_mono {
+                roles.push((name.as_str(), AttributeRole::Confidential));
+            }
+            table.schema_mut().set_roles(&roles).expect("known columns");
+            let out = Anonymizer::new(5, 0.3)
+                .algorithm(Algorithm::TClosenessFirst)
+                .with_parallelism(Parallelism::sequential())
+                .anonymize(&table)
+                .expect("benchmark table anonymizes");
+            let file = std::fs::File::create(&output_mono).expect("scratch dir writable");
+            write_csv(&out.table, std::io::BufWriter::new(file)).expect("write release");
+            black_box(out.report.sse);
+        },
+    ));
+
+    let output_shard = dir.join(format!("stream_{workload}_shard.csv"));
+    cases.push(Case::new(
+        format!("stream/sharded/{workload}_s{shard_rows}"),
+        move || {
+            let report = ShardedAnonymizer::new(5, 0.3)
+                .algorithm(Algorithm::TClosenessFirst)
+                .shard_rows(shard_rows)
+                .with_parallelism(Parallelism::sequential())
+                .anonymize_file(&input, &output_shard, &qi, &conf)
+                .expect("benchmark file anonymizes");
+            black_box(report.sse);
+        },
+    ));
+    Ok(())
+}
+
+/// Ordered-EMD verification case: audits a released table (anonymized
+/// once during setup) against its global confidential distribution.
+fn verify_case(cases: &mut Vec<Case>, workload: &str, table: Table) {
+    let released = Anonymizer::new(5, 0.3)
+        .algorithm(Algorithm::TClosenessFirst)
+        .with_parallelism(Parallelism::sequential())
+        .anonymize(&table)
+        .expect("benchmark table anonymizes")
+        .table;
+    let conf = Confidential::from_table(&released).expect("confidential column present");
+    cases.push(Case::new(
+        format!("verify/ordered-emd/{workload}"),
+        move || {
+            black_box(
+                verify_t_closeness_with(black_box(&released), &conf, Parallelism::sequential())
+                    .expect("released table verifies"),
+            );
+        },
+    ));
+}
+
+/// Per-process scratch directory for the file-based cases.
+fn scratch_dir() -> Result<PathBuf, String> {
+    let dir = std::env::temp_dir().join(format!("tclose_perf_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    Ok(dir)
+}
+
+/// Builds the case catalog for a suite. Setup work (data generation,
+/// scratch files, the one-off anonymization the verify case audits)
+/// happens here, outside the timed region.
+pub fn catalog(suite: Suite) -> Result<Vec<Case>, String> {
+    let mut cases = Vec::new();
+    let ctx = Context::default();
+    match suite {
+        Suite::Smoke => {
+            partition_cases(
+                &mut cases,
+                "patient4k_d7",
+                &Problem::from_table(&data::patient(4_000)).rows,
+                true,
+            );
+            e2e_case(
+                &mut cases,
+                Algorithm::Merge,
+                "alg1/census-mcd",
+                Dataset::Mcd.table(&ctx),
+                0.2,
+            );
+            e2e_case(
+                &mut cases,
+                Algorithm::KAnonymityFirst,
+                "alg2/census-mcd",
+                Dataset::Mcd.table(&ctx),
+                0.2,
+            );
+            e2e_case(
+                &mut cases,
+                Algorithm::TClosenessFirst,
+                "alg3/census-mcd",
+                Dataset::Mcd.table(&ctx),
+                0.2,
+            );
+            stream_cases(&mut cases, "patient6k", 6_000, 2_000)?;
+            verify_case(&mut cases, "patient6k", patient_discharge(42, 6_000));
+        }
+        Suite::Full => {
+            partition_cases(
+                &mut cases,
+                "patient20k_d7",
+                &Problem::from_table(&data::patient(20_000)).rows,
+                true,
+            );
+            partition_cases(
+                &mut cases,
+                "synth100k_d4",
+                &synthetic_matrix(100_000, 4),
+                false,
+            );
+            e2e_case(
+                &mut cases,
+                Algorithm::Merge,
+                "alg1/census-mcd",
+                Dataset::Mcd.table(&ctx),
+                0.2,
+            );
+            e2e_case(
+                &mut cases,
+                Algorithm::KAnonymityFirst,
+                "alg2/census-mcd",
+                Dataset::Mcd.table(&ctx),
+                0.2,
+            );
+            e2e_case(
+                &mut cases,
+                Algorithm::TClosenessFirst,
+                "alg3/census-mcd",
+                Dataset::Mcd.table(&ctx),
+                0.2,
+            );
+            e2e_case(
+                &mut cases,
+                Algorithm::TClosenessFirst,
+                "alg3/patient23k",
+                patient_discharge(42, tclose_datasets::PATIENT_N),
+                0.2,
+            );
+            stream_cases(&mut cases, "patient50k", 50_000, 10_000)?;
+            verify_case(
+                &mut cases,
+                "patient23k",
+                patient_discharge(42, tclose_datasets::PATIENT_N),
+            );
+        }
+    }
+    Ok(cases)
+}
+
+/// Runs a whole suite: calibration first, then every catalog case under
+/// `cfg`, reporting progress case by case through `progress`.
+pub fn run_suite(
+    suite: Suite,
+    cfg: RunConfig,
+    progress: &mut dyn FnMut(&str),
+) -> Result<Report, String> {
+    progress("calibration/spin");
+    let calibration = summarize(&measure(1, 5, || {
+        black_box(calibration_spin());
+    }));
+
+    let mut results = Vec::new();
+    for mut case in catalog(suite)? {
+        progress(&case.name);
+        let samples = measure(cfg.warmup, cfg.iters, &mut case.run);
+        results.push(CaseResult {
+            name: case.name,
+            warmup: cfg.warmup,
+            iters: cfg.iters,
+            summary: summarize(&samples),
+            samples_ns: samples,
+        });
+    }
+
+    Ok(Report {
+        schema_version: SCHEMA_VERSION,
+        suite: suite.name().to_owned(),
+        fingerprint: fingerprint::capture(),
+        calibration_ns: calibration.median_ns,
+        cases: results,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_names_parse_both_ways() {
+        assert_eq!("smoke".parse::<Suite>().unwrap(), Suite::Smoke);
+        assert_eq!("FULL".parse::<Suite>().unwrap(), Suite::Full);
+        assert!("nightly".parse::<Suite>().is_err());
+        assert_eq!(Suite::Smoke.name(), "smoke");
+    }
+
+    #[test]
+    fn measure_returns_the_requested_sample_count() {
+        let mut calls = 0usize;
+        let samples = measure(2, 3, || calls += 1);
+        assert_eq!(samples.len(), 3);
+        assert_eq!(calls, 5, "warmup iterations run but are not recorded");
+        assert!(samples.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn calibration_spin_is_deterministic() {
+        assert_eq!(calibration_spin(), calibration_spin());
+    }
+}

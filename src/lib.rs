@@ -19,6 +19,8 @@
 //! * [`datasets`] — synthetic evaluation data sets (Census MCD/HCD, Patient).
 //! * [`baselines`] — generalization-based baselines (Mondrian, SABRE).
 //! * [`eval`] — the experiment harness regenerating every table and figure.
+//! * [`perf`] — the machine-readable benchmark suite and the noise-aware
+//!   perf regression gate (`tclose bench` / `tclose-perf`).
 //!
 //! See `README.md` for a quickstart, `DESIGN.md` for the system map, and
 //! `docs/PERFORMANCE.md` for the hot-path layout and thread-scaling model.
@@ -32,6 +34,7 @@ pub use tclose_metrics as metrics;
 pub use tclose_microagg as microagg;
 pub use tclose_microdata as microdata;
 pub use tclose_parallel as parallel;
+pub use tclose_perf as perf;
 pub use tclose_stream as stream;
 
 // Flat re-exports of the most common entry points so applications can write
