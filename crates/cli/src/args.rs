@@ -8,6 +8,9 @@ use std::collections::HashMap;
 pub struct Parsed {
     /// First positional argument (the subcommand).
     pub command: String,
+    /// Second positional argument, only for commands that take one
+    /// (currently `model`, as in `tclose model inspect`).
+    pub subcommand: String,
     /// `--key value` options; bare flags map to "".
     pub options: HashMap<String, String>,
 }
@@ -33,6 +36,12 @@ pub fn parse(args: &[String]) -> Result<Parsed, String> {
             }
         } else if parsed.command.is_empty() {
             parsed.command = a.clone();
+        } else if parsed.command == "model" && parsed.subcommand.is_empty() {
+            parsed.subcommand = a.clone();
+        } else if parsed.command == "model" && !parsed.options.contains_key("model") {
+            // `tclose model inspect model.json` — the bare path is sugar
+            // for `--model model.json`.
+            parsed.options.insert("model".to_owned(), a.clone());
         } else {
             return Err(format!("unexpected positional argument {a:?}"));
         }
@@ -111,6 +120,19 @@ mod tests {
     #[test]
     fn unexpected_positional_is_an_error() {
         assert!(parse(&argv("anonymize extra")).is_err());
+    }
+
+    #[test]
+    fn model_command_takes_a_subcommand_and_path() {
+        let p = parse(&argv("model inspect m.json")).unwrap();
+        assert_eq!(p.command, "model");
+        assert_eq!(p.subcommand, "inspect");
+        assert_eq!(p.require("model").unwrap(), "m.json");
+        // the explicit flag wins over the positional sugar
+        let p = parse(&argv("model inspect --model a.json")).unwrap();
+        assert_eq!(p.require("model").unwrap(), "a.json");
+        // a third positional is still an error
+        assert!(parse(&argv("model inspect a.json b.json")).is_err());
     }
 
     #[test]

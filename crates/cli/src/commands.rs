@@ -5,10 +5,12 @@ use std::io::{BufReader, BufWriter};
 use std::path::Path;
 
 use crate::args::Parsed;
-use tclose_core::{Algorithm, Anonymizer, Confidential, NeighborBackend};
+use tclose_core::{
+    Algorithm, Anonymizer, Confidential, FittedAnonymizer, ModelArtifact, NeighborBackend,
+};
 use tclose_datasets::{census_hcd, census_mcd, patient_discharge, PATIENT_N};
 use tclose_microdata::csv::{read_csv_auto, write_csv};
-use tclose_microdata::{AttributeRole, Table};
+use tclose_microdata::{AttributeRole, NormalizeMethod, Schema, Table};
 use tclose_parallel::Parallelism;
 use tclose_stream::{ShardedAnonymizer, DEFAULT_SHARD_ROWS};
 
@@ -249,6 +251,270 @@ fn cmd_anonymize_stream(
         msg.push_str("\nwarning: the release does NOT meet the requested levels");
     }
     Ok(msg)
+}
+
+/// Loads a CSV with inferred types and applies every role a fitted
+/// model's schema declares — the `apply` path, where roles come from the
+/// artifact instead of `--qi`/`--confidential` flags.
+fn load_with_schema_roles(path: &Path, schema: &Schema) -> Result<Table, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+    let mut table = read_csv_auto(BufReader::new(file)).map_err(|e| e.to_string())?;
+    let roles: Vec<(&str, AttributeRole)> = schema
+        .attributes()
+        .iter()
+        .map(|a| (a.name.as_str(), a.role))
+        .collect();
+    table
+        .schema_mut()
+        .set_roles(&roles)
+        .map_err(|e| format!("input does not match the model's schema: {e}"))?;
+    Ok(table)
+}
+
+/// Parses the `--normalize` option (fit-time only; apply reads the
+/// method back from the artifact).
+fn parse_normalize(p: &Parsed) -> Result<NormalizeMethod, String> {
+    match p.get("normalize") {
+        None => Ok(NormalizeMethod::ZScore),
+        Some(v) => NormalizeMethod::parse(v).ok_or_else(|| {
+            format!("--normalize: unknown method {v:?} (expected zscore|minmax|none)")
+        }),
+    }
+}
+
+/// `tclose fit`: freeze the global state into a versioned model artifact.
+pub fn cmd_fit(p: &Parsed) -> Result<String, String> {
+    let input = Path::new(p.require("input")?);
+    let out_path = Path::new(p.require("out")?);
+    let qi = p.get_list("qi");
+    let confidential = p.get_list("confidential");
+    if qi.is_empty() {
+        return Err("--qi must list at least one quasi-identifier column".into());
+    }
+    if confidential.is_empty() {
+        return Err("--confidential must list at least one column".into());
+    }
+    let k: usize = p.get_parsed("k", 0)?;
+    if k == 0 {
+        return Err("missing or invalid --k (must be ≥ 1)".into());
+    }
+    let t: f64 = p.get_parsed("t", f64::NAN)?;
+    if !t.is_finite() {
+        return Err("missing or invalid --t (must be in (0, 1])".into());
+    }
+    let algorithm = algorithm_by_name(p.get("algorithm").unwrap_or("alg3"))?;
+    let normalize = parse_normalize(p)?;
+
+    let fitted = if p.flag("stream") {
+        // Streaming fit: bounded memory, same accumulators as
+        // `anonymize --stream`'s pass 1 — apply --stream of this model is
+        // byte-identical to the fused streaming run.
+        let shard_rows: usize = p.get_parsed("shard-size", DEFAULT_SHARD_ROWS)?;
+        let fit = ShardedAnonymizer::new(k, t)
+            .algorithm(algorithm)
+            .normalization(normalize)
+            .shard_rows(shard_rows)
+            .fit_file(input, &qi, &confidential)
+            .map_err(|e| e.to_string())?;
+        Anonymizer::new(k, t)
+            .algorithm(algorithm)
+            .normalization(normalize)
+            .with_fit(fit)
+            .map_err(|e| e.to_string())?
+    } else {
+        // In-memory fit: identical statistics to the fused `anonymize`
+        // path, so apply of this model is byte-identical to it.
+        let table = load_with_roles(input, &qi, &confidential)?;
+        Anonymizer::new(k, t)
+            .algorithm(algorithm)
+            .normalization(normalize)
+            .fit(&table)
+            .map_err(|e| e.to_string())?
+    };
+
+    let artifact = ModelArtifact::from_fitted(&fitted);
+    artifact.save(out_path).map_err(|e| e.to_string())?;
+    let fit = artifact.global_fit();
+    Ok(format!(
+        "fitted model on {} records → {}\n\
+         schema_version      {}\n\
+         algorithm           {}\n\
+         params (k, t)       ({}, {})\n\
+         quasi-identifiers   {}\n\
+         emd domains         {}",
+        fit.n_records(),
+        out_path.display(),
+        artifact.schema_version(),
+        artifact.params().algorithm.name(),
+        artifact.params().k,
+        artifact.params().t,
+        qi.join(","),
+        confidential.join(","),
+    ))
+}
+
+/// `tclose apply`: anonymize with a saved model, skipping the fit pass.
+pub fn cmd_apply(p: &Parsed) -> Result<String, String> {
+    let model_path = Path::new(p.require("model")?);
+    let input = Path::new(p.require("input")?);
+    let output = Path::new(p.require("output")?);
+    let workers = parse_workers(p)?;
+    let backend = parse_backend(p)?;
+    let artifact = ModelArtifact::load(model_path).map_err(|e| e.to_string())?;
+    let mp = artifact.params();
+
+    if p.flag("stream") {
+        let shard_rows: usize = p.get_parsed("shard-size", DEFAULT_SHARD_ROWS)?;
+        // Mirror the fused streaming engine's parallelism split: workers
+        // across shards, sequential kernels inside each shard.
+        let fitted = FittedAnonymizer::from_artifact(&artifact)
+            .with_backend(backend)
+            .with_parallelism(Parallelism::sequential());
+        let mut engine = ShardedAnonymizer::new(mp.k, mp.t).shard_rows(shard_rows);
+        if let Some(par) = workers {
+            engine = engine.with_parallelism(par);
+        }
+        let r = engine
+            .apply_file_with(&fitted, input, output)
+            .map_err(|e| e.to_string())?;
+        let mut msg = format!(
+            "released {} records to {} (pre-fitted model, {} shards × ≤{} rows)\n\
+             model               {}\n\
+             algorithm           {}\n\
+             requested (k, t)    ({}, {})\n\
+             achieved k          {} (worst shard)\n\
+             achieved t (EMD)    {:.5} (worst shard, vs global distribution)\n\
+             fit pass            skipped (pre-fitted model)\n\
+             anonymize pass      {:?}",
+            r.n_records,
+            output.display(),
+            r.n_shards,
+            r.shard_rows,
+            model_path.display(),
+            r.algorithm,
+            r.k_requested,
+            r.t_requested,
+            r.min_cluster_size,
+            r.max_emd,
+            r.apply_time,
+        );
+        if !r.satisfies_request() {
+            msg.push_str("\nwarning: the release does NOT meet the requested levels");
+        }
+        return Ok(msg);
+    }
+
+    let mut fitted = FittedAnonymizer::from_artifact(&artifact).with_backend(backend);
+    if let Some(par) = workers {
+        fitted = fitted.with_parallelism(par);
+    }
+    let table = load_with_schema_roles(input, artifact.global_fit().schema())?;
+    let out = fitted.apply_shard(&table).map_err(|e| e.to_string())?;
+    save(
+        &out.table.drop_identifiers().map_err(|e| e.to_string())?,
+        output,
+    )?;
+    let r = &out.report;
+    let mut msg = format!(
+        "released {} records to {} (pre-fitted model)\n\
+         model               {}\n\
+         algorithm           {}\n\
+         requested (k, t)    ({}, {})\n\
+         achieved k          {}\n\
+         achieved t (EMD)    {:.5}\n\
+         equivalence classes {} (sizes min {} / mean {:.1} / max {})\n\
+         normalized SSE      {:.6}\n\
+         clustering time     {:?}",
+        r.n_records,
+        output.display(),
+        model_path.display(),
+        r.algorithm,
+        r.k_requested,
+        r.t_requested,
+        r.min_cluster_size,
+        r.max_emd,
+        r.n_clusters,
+        r.min_cluster_size,
+        r.mean_cluster_size,
+        r.max_cluster_size,
+        r.sse,
+        r.clustering_time,
+    );
+    if !r.satisfies_request() {
+        msg.push_str("\nwarning: the release does NOT meet the requested levels");
+    }
+    Ok(msg)
+}
+
+/// `tclose model <subcommand>`: model-artifact utilities.
+pub fn cmd_model(p: &Parsed) -> Result<String, String> {
+    match p.subcommand.as_str() {
+        "inspect" => cmd_model_inspect(p),
+        "" => Err("missing model subcommand (expected: tclose model inspect MODEL.json)".into()),
+        other => Err(format!(
+            "unknown model subcommand {other:?} (expected inspect)"
+        )),
+    }
+}
+
+/// `tclose model inspect`: print a saved artifact's provenance and parts.
+fn cmd_model_inspect(p: &Parsed) -> Result<String, String> {
+    let path = Path::new(p.require("model")?);
+    let artifact = ModelArtifact::load(path).map_err(|e| e.to_string())?;
+    let fit = artifact.global_fit();
+    let schema = fit.schema();
+    let qi_parts: Vec<String> = fit
+        .qi()
+        .iter()
+        .zip(fit.embedding().params())
+        .map(|(&a, &(shift, scale))| {
+            format!(
+                "{} (shift {shift}, scale {scale})",
+                schema.attributes()[a].name
+            )
+        })
+        .collect();
+    let domain_parts: Vec<String> = schema
+        .confidential()
+        .iter()
+        .zip(fit.confidential().emds())
+        .map(|(&a, emd)| {
+            let (values, _) = emd.to_global_parts();
+            format!(
+                "{}: {} distinct values in [{}, {}]",
+                schema.attributes()[a].name,
+                emd.m(),
+                values.first().unwrap(),
+                values.last().unwrap()
+            )
+        })
+        .collect();
+    let fp = artifact.env_fingerprint();
+    Ok(format!(
+        "model artifact {}\n\
+         schema_version      {}\n\
+         algorithm           {}\n\
+         params (k, t)       ({}, {})\n\
+         normalization       {}\n\
+         fitted records      {}\n\
+         quasi-identifiers   {}\n\
+         emd domains         {}\n\
+         fingerprint         {}; {}/{}; profile {}; commit {}",
+        path.display(),
+        artifact.schema_version(),
+        artifact.params().algorithm.name(),
+        artifact.params().k,
+        artifact.params().t,
+        fit.embedding().method().name(),
+        fit.n_records(),
+        qi_parts.join(", "),
+        domain_parts.join("; "),
+        fp.rustc,
+        fp.os,
+        fp.arch,
+        fp.profile,
+        fp.commit,
+    ))
 }
 
 /// `tclose audit`: verify the k-anonymity / t-closeness of a released CSV.

@@ -7,6 +7,13 @@
 //!                  --k N --t F [--algorithm alg1|alg2|alg3] [--report]
 //!                  [--workers N] [--backend auto|flat|kdtree]
 //!                  [--stream] [--shard-size N]
+//! tclose fit       --input FILE --out MODEL --qi COLS --confidential COLS
+//!                  --k N --t F [--algorithm alg1|alg2|alg3]
+//!                  [--normalize zscore|minmax|none] [--stream] [--shard-size N]
+//! tclose apply     --model MODEL --input FILE --output FILE
+//!                  [--workers N] [--backend auto|flat|kdtree]
+//!                  [--stream] [--shard-size N]
+//! tclose model     inspect MODEL
 //! tclose audit     --input FILE --qi COLS --confidential COLS [--workers N]
 //! tclose bench     [run|gate|bless|selftest] [--suite smoke|full] …
 //! ```
@@ -15,6 +22,14 @@
 //! k-anonymous t-close version of the input (quasi-identifiers replaced by
 //! cluster centroids, confidential columns untouched) and prints an audit
 //! report; `audit` re-checks any released file independently.
+//!
+//! `fit` runs only the global fit pass and freezes the result into a
+//! versioned JSON **model artifact** (`tclose-core`'s `ModelArtifact`):
+//! schema, embedding parameters, global confidential distributions, and an
+//! environment fingerprint. `apply` loads such an artifact and anonymizes a
+//! file against it, skipping the fit pass entirely — byte-identical to the
+//! fused `anonymize` run that would have fitted the same file. `model
+//! inspect` prints an artifact's provenance without touching any data.
 //!
 //! `--stream` switches to the two-pass sharded engine (`tclose-stream`):
 //! pass 1 accumulates the global fit in bounded memory, pass 2 anonymizes
@@ -47,6 +62,13 @@ usage:
                    --k N --t F [--algorithm alg1|alg2|alg3] \\
                    [--workers N] [--backend auto|flat|kdtree] \\
                    [--stream] [--shard-size N]
+  tclose fit       --input FILE --out MODEL.json --qi COLS --confidential COLS \\
+                   --k N --t F [--algorithm alg1|alg2|alg3] \\
+                   [--normalize zscore|minmax|none] [--stream] [--shard-size N]
+  tclose apply     --model MODEL.json --input FILE --output FILE \\
+                   [--workers N] [--backend auto|flat|kdtree] \\
+                   [--stream] [--shard-size N]
+  tclose model     inspect MODEL.json
   tclose audit     --input FILE --qi COLS --confidential COLS [--workers N]
   tclose bench     [run|gate|bless|selftest] [--suite smoke|full] [...]
 
@@ -61,6 +83,14 @@ scaling:
                   output is identical; auto picks per record set)
   --stream        two-pass sharded engine: bounded memory, any file size
   --shard-size N  records per shard in --stream mode (default 10000)
+
+model artifacts:
+  tclose fit freezes the global fit (schema, QI embedding, confidential
+  distributions) into a versioned JSON artifact; tclose apply anonymizes
+  any file against a saved artifact, skipping the fit pass — output is
+  byte-identical to the fused anonymize run on the fitted file. tclose
+  model inspect prints an artifact's provenance (version, fingerprint,
+  domains) without reading any data.
 
 benchmarking:
   tclose bench runs the machine-readable perf suite and regression gate
@@ -88,8 +118,14 @@ fn main() -> ExitCode {
     let result = match parsed.command.as_str() {
         "generate" => commands::cmd_generate(&parsed),
         "anonymize" => commands::cmd_anonymize(&parsed),
+        "fit" => commands::cmd_fit(&parsed),
+        "apply" => commands::cmd_apply(&parsed),
+        "model" => commands::cmd_model(&parsed),
         "audit" => commands::cmd_audit(&parsed),
-        other => Err(format!("unknown command {other:?}")),
+        other => {
+            eprintln!("error: unknown command {other:?}\n\n{HELP}");
+            return ExitCode::FAILURE;
+        }
     };
     match result {
         Ok(msg) => {
@@ -97,7 +133,10 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Err(e) => {
-            eprintln!("error: {e}\n\n{HELP}");
+            // One line, actionable, no usage dump: command-level failures
+            // (bad inputs, unreadable/incompatible model artifacts) already
+            // say what to fix.
+            eprintln!("error: {e}");
             ExitCode::FAILURE
         }
     }

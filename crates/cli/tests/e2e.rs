@@ -196,6 +196,190 @@ fn anonymize_rejects_missing_input_file() {
         .contains("cannot open"));
 }
 
+/// Fits a model on the fixture and returns the artifact path.
+fn fit_fixture_model(name: &str) -> PathBuf {
+    let model = tmp(name);
+    let fixture = fixture();
+    let out = tclose(&[
+        "fit",
+        "--input",
+        fixture.to_str().unwrap(),
+        "--out",
+        model.to_str().unwrap(),
+        "--qi",
+        "age,zip",
+        "--confidential",
+        "income",
+        "--k",
+        "3",
+        "--t",
+        "0.45",
+    ]);
+    let stdout = String::from_utf8(out.stdout.clone()).unwrap();
+    let stderr = String::from_utf8(out.stderr.clone()).unwrap();
+    assert!(out.status.success(), "fit failed:\n{stdout}\n{stderr}");
+    assert!(stdout.contains("fitted model on 12 records"), "{stdout}");
+    model
+}
+
+#[test]
+fn fit_apply_matches_fused_anonymize_byte_for_byte() {
+    let model = fit_fixture_model("tiny_model.json");
+    let fixture = fixture();
+
+    let applied = tmp("tiny_applied.csv");
+    let out = tclose(&[
+        "apply",
+        "--model",
+        model.to_str().unwrap(),
+        "--input",
+        fixture.to_str().unwrap(),
+        "--output",
+        applied.to_str().unwrap(),
+    ]);
+    let stdout = String::from_utf8(out.stdout.clone()).unwrap();
+    let stderr = String::from_utf8(out.stderr.clone()).unwrap();
+    assert!(out.status.success(), "apply failed:\n{stdout}\n{stderr}");
+    assert!(stdout.contains("pre-fitted model"), "{stdout}");
+
+    let fused = tmp("tiny_fused.csv");
+    let out = tclose(&[
+        "anonymize",
+        "--input",
+        fixture.to_str().unwrap(),
+        "--output",
+        fused.to_str().unwrap(),
+        "--qi",
+        "age,zip",
+        "--confidential",
+        "income",
+        "--k",
+        "3",
+        "--t",
+        "0.45",
+    ]);
+    assert!(out.status.success());
+    assert_eq!(
+        std::fs::read(&applied).unwrap(),
+        std::fs::read(&fused).unwrap(),
+        "apply of a saved model diverged from the fused anonymize run"
+    );
+
+    // And the artifact is inspectable without touching any data.
+    let out = tclose(&["model", "inspect", model.to_str().unwrap()]);
+    let stdout = String::from_utf8(out.stdout.clone()).unwrap();
+    assert!(out.status.success(), "inspect failed:\n{stdout}");
+    for needle in [
+        "schema_version      1",
+        "params (k, t)       (3, 0.45)",
+        "fitted records      12",
+        "age",
+        "zip",
+        "income",
+        "fingerprint",
+    ] {
+        assert!(
+            stdout.contains(needle),
+            "inspect missing {needle:?}:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn apply_fails_with_one_line_error_on_missing_model() {
+    let out = tclose(&[
+        "apply",
+        "--model",
+        "/nonexistent/model.json",
+        "--input",
+        fixture().to_str().unwrap(),
+        "--output",
+        tmp("never_applied.csv").to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("cannot access model"), "{stderr}");
+    // actionable one-liner, not a usage dump
+    assert!(!stderr.contains("usage:"), "{stderr}");
+    assert_eq!(stderr.trim().lines().count(), 1, "{stderr}");
+}
+
+#[test]
+fn apply_rejects_a_future_schema_version() {
+    let model = fit_fixture_model("tiny_model_future.json");
+    let text = std::fs::read_to_string(&model).unwrap();
+    assert!(text.contains("\"schema_version\": 1"), "{text}");
+    std::fs::write(
+        &model,
+        text.replace("\"schema_version\": 1", "\"schema_version\": 999"),
+    )
+    .unwrap();
+
+    let out = tclose(&[
+        "apply",
+        "--model",
+        model.to_str().unwrap(),
+        "--input",
+        fixture().to_str().unwrap(),
+        "--output",
+        tmp("never_future.csv").to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("schema_version 999"), "{stderr}");
+    assert!(stderr.contains("re-fit"), "{stderr}");
+    assert!(!stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn apply_rejects_input_that_does_not_match_the_model_schema() {
+    let model = fit_fixture_model("tiny_model_mismatch.json");
+    // A file with entirely different columns than the fitted schema.
+    let other = tmp("patient_for_mismatch.csv");
+    let out = tclose(&[
+        "generate",
+        "--dataset",
+        "patient",
+        "--n",
+        "100",
+        "--seed",
+        "1",
+        "--output",
+        other.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+
+    let out = tclose(&[
+        "apply",
+        "--model",
+        model.to_str().unwrap(),
+        "--input",
+        other.to_str().unwrap(),
+        "--output",
+        tmp("never_mismatch.csv").to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("does not match the model's schema"),
+        "{stderr}"
+    );
+    assert!(!stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn model_inspect_rejects_a_truncated_artifact() {
+    let model = fit_fixture_model("tiny_model_truncated.json");
+    let text = std::fs::read_to_string(&model).unwrap();
+    std::fs::write(&model, &text[..text.len() / 2]).unwrap();
+
+    let out = tclose(&["model", "inspect", model.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("corrupted"), "{stderr}");
+    assert!(stderr.contains("re-run `tclose fit`"), "{stderr}");
+}
+
 #[test]
 fn bench_subcommand_mounts_the_perf_harness() {
     // Help comes from the perf harness, not the anonymizer usage text.

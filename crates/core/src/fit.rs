@@ -104,6 +104,12 @@ impl QiEmbedding {
         &self.params
     }
 
+    /// The embedding as plain data — exactly what
+    /// [`QiEmbedding::from_params`] rebuilds it from.
+    pub fn to_parts(&self) -> (NormalizeMethod, &[(f64, f64)]) {
+        (self.method, &self.params)
+    }
+
     /// Embeds the QI columns of `table` (a shard or the fitting table) as
     /// a flat row-major [`Matrix`] of normalized vectors.
     pub fn embed(&self, table: &Table, qi: &[usize]) -> Result<Matrix> {
@@ -277,6 +283,13 @@ impl GlobalFit {
         self.n_records
     }
 
+    /// The fit as plain-data parts `(schema, embedding, confidential,
+    /// n_records)` — the inverse of [`GlobalFit::from_parts`], used by
+    /// model-artifact serialization.
+    pub fn to_parts(&self) -> (&Schema, &QiEmbedding, &Confidential, usize) {
+        (&self.schema, &self.embedding, &self.conf, self.n_records)
+    }
+
     /// Checks that a shard's schema is structurally compatible with the
     /// fitting schema: same attribute names, kinds and roles, in order.
     ///
@@ -357,9 +370,55 @@ impl FittedAnonymizer {
         }
     }
 
+    /// Reconstructs a fitted anonymizer from a loaded (or freshly
+    /// snapshotted) [`ModelArtifact`](crate::ModelArtifact), with the
+    /// default execution configuration (automatic parallelism and
+    /// neighbor backend — both output-invariant; override with
+    /// [`FittedAnonymizer::with_parallelism`] /
+    /// [`FittedAnonymizer::with_backend`]).
+    ///
+    /// Releases produced through a saved-and-loaded artifact are
+    /// byte-identical to fitting in memory — the artifact serializer
+    /// preserves every `f64` exactly and per-record state is recomputed
+    /// deterministically by [`FittedAnonymizer::apply_shard`]'s rebind.
+    pub fn from_artifact(artifact: &crate::ModelArtifact) -> Self {
+        let p = artifact.params();
+        FittedAnonymizer {
+            fit: artifact.global_fit().clone(),
+            params: TClosenessParams { k: p.k, t: p.t },
+            algorithm: p.algorithm,
+            par: None,
+            backend: NeighborBackend::Auto,
+        }
+    }
+
+    /// Pins the parallelism of [`FittedAnonymizer::apply_shard`]'s
+    /// kernels. Output is identical for any value.
+    pub fn with_parallelism(mut self, par: Parallelism) -> Self {
+        self.par = Some(par);
+        self
+    }
+
+    /// Selects the neighbor-search backend. Backends are exact — output
+    /// is identical for any choice.
+    pub fn with_backend(mut self, backend: NeighborBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// The frozen global state this anonymizer applies.
     pub fn global_fit(&self) -> &GlobalFit {
         &self.fit
+    }
+
+    /// The `(k, t)` pair this anonymizer enforces.
+    pub fn params(&self) -> TClosenessParams {
+        self.params
+    }
+
+    /// The clustering algorithm this anonymizer runs.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
     }
 
     /// Runs cluster → aggregate → verify on one shard (any record subset

@@ -57,6 +57,7 @@
 pub mod alg1_merge;
 pub mod alg2_kfirst;
 pub mod alg3_tfirst;
+pub mod artifact;
 pub mod bounds;
 pub mod confidential;
 pub mod error;
@@ -70,6 +71,7 @@ pub mod verify;
 pub use alg1_merge::MergeAlgorithm;
 pub use alg2_kfirst::{KAnonymityFirst, RefineStrategy};
 pub use alg3_tfirst::TClosenessFirst;
+pub use artifact::{ArtifactError, ModelArtifact, ModelParams, ARTIFACT_SCHEMA_VERSION};
 pub use confidential::Confidential;
 pub use error::{Error, Result};
 pub use fit::{FittedAnonymizer, GlobalFit, QiEmbedding};

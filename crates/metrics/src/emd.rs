@@ -294,6 +294,15 @@ impl OrderedEmd {
         &self.values
     }
 
+    /// The frozen global state as plain data: `(values, global_counts)` —
+    /// exactly the pair [`OrderedEmd::try_from_global`] reconstructs an
+    /// evaluator from. Per-record bins are *not* part of the view; they
+    /// are a binding to one working set and are recomputed by
+    /// [`OrderedEmd::rebind`].
+    pub fn to_global_parts(&self) -> (&[f64], &[u32]) {
+        (&self.values, &self.global_counts)
+    }
+
     /// Bin index of record `r` of the fitting column.
     pub fn bin_of(&self, r: usize) -> usize {
         self.record_bins[r] as usize

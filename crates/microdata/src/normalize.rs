@@ -23,6 +23,27 @@ pub enum NormalizeMethod {
     None,
 }
 
+impl NormalizeMethod {
+    /// Stable lower-case name, used by CLI flags and on-disk artifacts.
+    pub fn name(&self) -> &'static str {
+        match self {
+            NormalizeMethod::ZScore => "zscore",
+            NormalizeMethod::MinMax => "minmax",
+            NormalizeMethod::None => "none",
+        }
+    }
+
+    /// Parses the name written by [`NormalizeMethod::name`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "zscore" | "z-score" => Some(NormalizeMethod::ZScore),
+            "minmax" | "min-max" => Some(NormalizeMethod::MinMax),
+            "none" => Some(NormalizeMethod::None),
+            _ => None,
+        }
+    }
+}
+
 /// Per-attribute affine transform `x ↦ (x − shift) / scale` fitted on a
 /// reference table.
 #[derive(Debug, Clone, PartialEq)]

@@ -30,17 +30,20 @@
 #![warn(missing_docs)]
 
 pub mod cli;
-pub mod fingerprint;
 pub mod gate;
-pub mod json;
 pub mod report;
 pub mod selftest;
 pub mod stats;
 pub mod suite;
 
-pub use fingerprint::Fingerprint;
+// The JSON machinery and environment fingerprint moved to the shared
+// `tclose-ser` crate (model artifacts embed the same fingerprint, so
+// `BENCH_*.json` and model files agree on provenance fields); these
+// re-exports keep every `tclose_perf::json::Json` path compiling.
+pub use tclose_ser::{fingerprint, json};
+
 pub use gate::{gate, CaseDelta, DeltaStatus, GateConfig, GateOutcome};
-pub use json::Json;
 pub use report::{bench_file_name, CaseResult, Report, SCHEMA_VERSION};
 pub use stats::{summarize, Summary};
 pub use suite::{measure, run_suite, RunConfig, Suite};
+pub use tclose_ser::{Fingerprint, Json};

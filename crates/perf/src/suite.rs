@@ -20,7 +20,9 @@ use std::str::FromStr;
 use std::time::Instant;
 
 use tclose_bench::{data, Problem};
-use tclose_core::{verify_t_closeness_with, Algorithm, Anonymizer, Confidential};
+use tclose_core::{
+    verify_t_closeness_with, Algorithm, Anonymizer, Confidential, FittedAnonymizer, ModelArtifact,
+};
 use tclose_datasets::patient_discharge;
 use tclose_eval::{Context, Dataset};
 use tclose_microagg::{
@@ -276,6 +278,39 @@ fn stream_cases(
     Ok(())
 }
 
+/// Model-artifact case: the pre-fitted apply path. The global fit is
+/// frozen to a real artifact file during setup; the timed region loads
+/// it back and anonymizes through `FittedAnonymizer::from_artifact` —
+/// the `tclose apply` hot path, with the fit pass skipped. Parameters
+/// match the `e2e/alg3/*` case on the same workload, so the pair of
+/// numbers is the committed fused-vs-amortized comparison; tracked as
+/// its own case so a regression in artifact parsing or the
+/// rebind-on-apply path can't hide inside fit-time noise.
+fn fit_apply_case(cases: &mut Vec<Case>, workload: &str, table: Table) -> Result<(), String> {
+    let dir = scratch_dir()?;
+    let path = dir.join(format!("fit_apply_{workload}.json"));
+    let fitted = Anonymizer::new(5, 0.2)
+        .algorithm(Algorithm::TClosenessFirst)
+        .with_parallelism(Parallelism::sequential())
+        .fit(&table)
+        .map_err(|e| e.to_string())?;
+    ModelArtifact::from_fitted(&fitted)
+        .save(&path)
+        .map_err(|e| e.to_string())?;
+    cases.push(Case::new(
+        format!("artifact/fit_apply/{workload}"),
+        move || {
+            let artifact = ModelArtifact::load(&path).expect("artifact readable");
+            let out = FittedAnonymizer::from_artifact(&artifact)
+                .with_parallelism(Parallelism::sequential())
+                .apply_shard(black_box(&table))
+                .expect("benchmark table anonymizes");
+            black_box(out.report.sse);
+        },
+    ));
+    Ok(())
+}
+
 /// Ordered-EMD verification case: audits a released table (anonymized
 /// once during setup) against its global confidential distribution.
 fn verify_case(cases: &mut Vec<Case>, workload: &str, table: Table) {
@@ -340,6 +375,7 @@ pub fn catalog(suite: Suite) -> Result<Vec<Case>, String> {
                 0.2,
             );
             stream_cases(&mut cases, "patient6k", 6_000, 2_000)?;
+            fit_apply_case(&mut cases, "census-mcd", Dataset::Mcd.table(&ctx))?;
             verify_case(&mut cases, "patient6k", patient_discharge(42, 6_000));
         }
         Suite::Full => {
@@ -384,6 +420,11 @@ pub fn catalog(suite: Suite) -> Result<Vec<Case>, String> {
                 0.2,
             );
             stream_cases(&mut cases, "patient50k", 50_000, 10_000)?;
+            fit_apply_case(
+                &mut cases,
+                "patient23k",
+                patient_discharge(42, tclose_datasets::PATIENT_N),
+            )?;
             verify_case(
                 &mut cases,
                 "patient23k",

@@ -1,5 +1,7 @@
-//! Environment fingerprint: the facts a reader needs to judge whether
-//! two `BENCH_*.json` files were measured under comparable conditions.
+//! Environment fingerprint: the facts a reader needs to judge where an
+//! on-disk document came from — whether two `BENCH_*.json` files were
+//! measured under comparable conditions, or which toolchain/host
+//! produced a saved model artifact.
 
 use std::process::Command;
 

@@ -1,12 +1,15 @@
-//! Minimal dependency-free JSON: exactly the subset the perf reports
-//! need (objects with insertion-ordered keys, arrays, finite numbers,
-//! strings, booleans, null).
+//! Minimal dependency-free JSON: exactly the subset the workspace's
+//! on-disk documents need (objects with insertion-ordered keys, arrays,
+//! finite numbers, strings, booleans, null).
 //!
 //! The workspace builds offline with no registry access, so this module
 //! plays the role `serde_json` would otherwise play. Serialization is
 //! deterministic — keys keep their insertion order and numbers use
-//! Rust's shortest round-trip `f64` formatting — which is what makes
-//! `bless` idempotent and baseline diffs readable in review.
+//! Rust's shortest round-trip `f64` formatting, so
+//! `parse(serialize(x)) == x` exactly for every finite `f64`. For perf
+//! reports that makes `bless` idempotent and baseline diffs readable;
+//! for model artifacts it makes a saved-then-loaded fit bit-identical
+//! to the in-memory one.
 
 use std::fmt;
 

@@ -1,0 +1,28 @@
+//! # tclose-ser
+//!
+//! The workspace's shared serialization substrate: a dependency-free,
+//! byte-stable JSON value type ([`Json`]) and the environment
+//! [`Fingerprint`] embedded in every on-disk document the workspace
+//! writes.
+//!
+//! Two very different consumers share this crate on purpose:
+//!
+//! * `tclose-perf` writes `BENCH_*.json` reports whose byte-stability
+//!   makes `bless` idempotent and baseline diffs reviewable.
+//! * `tclose-core` writes `ModelArtifact` files whose byte-stability is
+//!   load-bearing for correctness: Rust's shortest round-trip `f64`
+//!   formatting guarantees `parse(serialize(x)) == x` *exactly*, which
+//!   is what makes fit→save→load→apply byte-identical to fitting in
+//!   memory.
+//!
+//! Keeping both on one serializer means provenance fields (`rustc`,
+//! `os`, `commit`, …) agree between benchmark reports and model files.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fingerprint;
+pub mod json;
+
+pub use fingerprint::Fingerprint;
+pub use json::{Json, JsonError};

@@ -69,7 +69,7 @@ pub use report::StreamReport;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::Path;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use tclose_core::{
     Algorithm, AnonymizationReport, Anonymizer, FittedAnonymizer, GlobalFit, NeighborBackend,
@@ -226,6 +226,38 @@ impl ShardedAnonymizer {
         ))
     }
 
+    /// Pass 2 only: applies an already-fitted anonymizer — typically
+    /// reconstructed from a saved
+    /// [`ModelArtifact`](tclose_core::ModelArtifact) via
+    /// [`FittedAnonymizer::from_artifact`](tclose_core::FittedAnonymizer::from_artifact)
+    /// — to `input`, skipping the fit pass entirely.
+    ///
+    /// The privacy parameters, algorithm, and schema all come from
+    /// `fitted`; of this engine's own configuration only `shard_rows` and
+    /// the worker count are used. The returned report has
+    /// [`StreamReport::prefitted`] set, [`StreamReport::fit_time`] zero,
+    /// and output byte-identical to [`ShardedAnonymizer::anonymize_file`]
+    /// with the same fit. For the engine's usual parallelism split
+    /// (workers across shards, sequential kernels inside each — either
+    /// choice is output-invariant), build `fitted` with
+    /// `Parallelism::sequential()`.
+    pub fn apply_file_with(
+        &self,
+        fitted: &FittedAnonymizer,
+        input: &Path,
+        output: &Path,
+    ) -> Result<StreamReport> {
+        if self.shard_rows == 0 {
+            return Err(Error::Config("shard size must be at least 1".into()));
+        }
+        let apply_started = Instant::now();
+        let reports = self.apply_file(fitted, input, output)?;
+        let apply_time = apply_started.elapsed();
+        let mut report = StreamReport::merge(reports, self.shard_rows, Duration::ZERO, apply_time);
+        report.prefitted = true;
+        Ok(report)
+    }
+
     /// Pass 2: chunked re-read, parallel per-shard anonymization, ordered
     /// appends.
     fn apply_file(
@@ -238,8 +270,10 @@ impl ShardedAnonymizer {
         let reader = BufReader::new(open(input)?);
         let chunks = CsvChunks::new(reader, schema.clone(), self.shard_rows)?;
         // Never hand a too-small final shard to the clusterer: below
-        // max(2k, shard/2) records it merges into its predecessor.
-        let tail_min = (2 * self.k).max(self.shard_rows / 2);
+        // max(2k, shard/2) records it merges into its predecessor. k comes
+        // from the fitted anonymizer, which in the pre-fitted path may
+        // differ from this builder's own `k`.
+        let tail_min = (2 * fitted.params().k).max(self.shard_rows / 2);
         let mut shards = MergeTail::new(chunks, self.shard_rows, tail_min);
 
         let release_schema = released_schema(&schema)?;
@@ -554,6 +588,50 @@ mod tests {
             ),
             Err(Error::Io(_))
         ));
+    }
+
+    #[test]
+    fn prefitted_apply_skips_pass_one_with_identical_output() {
+        use tclose_core::{FittedAnonymizer, ModelArtifact};
+
+        let input = tmp("prefit_in.csv");
+        write_input(&input, 500);
+        let engine = ShardedAnonymizer::new(3, 0.35).shard_rows(120);
+
+        // fused two-pass run
+        let fused_out = tmp("prefit_fused.csv");
+        let fused = engine
+            .anonymize_file(&input, &fused_out, &qi(), &conf())
+            .unwrap();
+        assert!(!fused.prefitted);
+
+        // fit once, round-trip through a serialized artifact, apply only
+        let fit = engine.fit_file(&input, &qi(), &conf()).unwrap();
+        let fitted = Anonymizer::new(3, 0.35)
+            .with_parallelism(Parallelism::sequential())
+            .with_fit(fit)
+            .unwrap();
+        let art = ModelArtifact::from_fitted(&fitted);
+        let loaded = ModelArtifact::from_json_str(&art.to_string_pretty()).unwrap();
+        let prefit_out = tmp("prefit_only.csv");
+        let report = engine
+            .apply_file_with(
+                &FittedAnonymizer::from_artifact(&loaded)
+                    .with_parallelism(Parallelism::sequential()),
+                &input,
+                &prefit_out,
+            )
+            .unwrap();
+
+        assert!(report.prefitted, "pass 1 skipped");
+        assert_eq!(report.fit_time, std::time::Duration::ZERO);
+        assert_eq!(report.n_records, fused.n_records);
+        assert_eq!(report.n_shards, fused.n_shards);
+        assert_eq!(
+            std::fs::read(&prefit_out).unwrap(),
+            std::fs::read(&fused_out).unwrap(),
+            "pre-fitted release is byte-identical to the fused two-pass run"
+        );
     }
 
     #[test]

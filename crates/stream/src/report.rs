@@ -49,10 +49,14 @@ pub struct StreamReport {
     pub max_emd: f64,
     /// Record-weighted mean of per-shard normalized SSEs.
     pub sse: f64,
-    /// Wall time of pass 1 (streaming fit).
+    /// Wall time of pass 1 (streaming fit); zero when the run was
+    /// pre-fitted.
     pub fit_time: Duration,
     /// Wall time of pass 2 (sharded anonymize + write).
     pub apply_time: Duration,
+    /// True when the run applied a pre-fitted model (pass 1 skipped
+    /// entirely — see `ShardedAnonymizer::apply_file_with`).
+    pub prefitted: bool,
     /// The per-shard reports, in input order.
     pub shards: Vec<AnonymizationReport>,
 }
@@ -93,6 +97,7 @@ impl StreamReport {
             sse: sse_weighted,
             fit_time,
             apply_time,
+            prefitted: false,
             shards,
         }
     }

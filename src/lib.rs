@@ -42,8 +42,9 @@ pub use tclose_stream as stream;
 pub mod prelude {
     //! One-line import of the types used by virtually every application.
     pub use tclose_core::{
-        Algorithm, AnonymizationReport, Anonymizer, FittedAnonymizer, GlobalFit, KAnonymityFirst,
-        MergeAlgorithm, TClosenessFirst, TClosenessParams,
+        Algorithm, AnonymizationReport, Anonymizer, ArtifactError, FittedAnonymizer, GlobalFit,
+        KAnonymityFirst, MergeAlgorithm, ModelArtifact, ModelParams, TClosenessFirst,
+        TClosenessParams,
     };
     pub use tclose_metrics::{emd::OrderedEmd, sse::normalized_sse};
     pub use tclose_microagg::{

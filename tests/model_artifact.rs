@@ -1,0 +1,142 @@
+//! Cross-crate guarantee of the versioned model artifacts: a fit that is
+//! frozen to disk and loaded back must anonymize **byte-identically** to
+//! the fused `Anonymizer::anonymize` run — for every algorithm, both
+//! neighbor backends, and any worker count — and every way an artifact
+//! file can go bad (corruption, truncation, version skew, schema
+//! mismatch) must surface as a typed [`ArtifactError`], never a panic or
+//! a silently different release.
+
+use std::path::PathBuf;
+
+use tclose::microdata::csv::to_csv_string;
+use tclose::prelude::*;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("tclose_model_artifact_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn save_load_apply_is_byte_identical_to_the_fused_run() {
+    let table = tclose::datasets::census_mcd(42);
+    for alg in [
+        Algorithm::Merge,
+        Algorithm::KAnonymityFirst,
+        Algorithm::TClosenessFirst,
+    ] {
+        // One fused reference release per algorithm (fit + apply in one go).
+        let fused = Anonymizer::new(5, 0.25)
+            .algorithm(alg)
+            .anonymize(&table)
+            .unwrap();
+        let fused_csv = to_csv_string(&fused.table).unwrap();
+
+        // Freeze the fit through a real disk round trip.
+        let fitted = Anonymizer::new(5, 0.25).algorithm(alg).fit(&table).unwrap();
+        let path = tmp(&format!("roundtrip_{}.json", alg.name()));
+        ModelArtifact::from_fitted(&fitted).save(&path).unwrap();
+        let artifact = ModelArtifact::load(&path).unwrap();
+        assert_eq!(artifact.params().k, 5);
+        assert_eq!(artifact.params().algorithm, alg);
+        assert_eq!(artifact.global_fit().n_records(), table.n_rows());
+
+        for backend in [NeighborBackend::FlatScan, NeighborBackend::KdTree] {
+            for workers in [1usize, 4] {
+                let out = FittedAnonymizer::from_artifact(&artifact)
+                    .with_backend(backend)
+                    .with_parallelism(Parallelism::workers(workers))
+                    .apply_shard(&table)
+                    .unwrap();
+                assert_eq!(
+                    to_csv_string(&out.table).unwrap(),
+                    fused_csv,
+                    "{} / {backend:?} / workers={workers}: loaded-artifact \
+                     apply diverged from the fused run",
+                    alg.name()
+                );
+                assert_eq!(out.report.max_emd.to_bits(), fused.report.max_emd.to_bits());
+                assert_eq!(out.report.sse.to_bits(), fused.report.sse.to_bits());
+            }
+        }
+    }
+}
+
+#[test]
+fn artifact_json_round_trip_is_lossless_in_memory() {
+    let table = tclose::datasets::census_hcd(7);
+    let fitted = Anonymizer::new(4, 0.3)
+        .algorithm(Algorithm::TClosenessFirst)
+        .fit(&table)
+        .unwrap();
+    let a = ModelArtifact::from_fitted(&fitted);
+    let b = ModelArtifact::from_json_str(&a.to_string_pretty()).unwrap();
+    // Serializing the re-parsed artifact reproduces the exact same text:
+    // the f64 Display round trip is shortest-exact, so nothing drifts.
+    assert_eq!(a.to_string_pretty(), b.to_string_pretty());
+}
+
+#[test]
+fn corrupted_artifacts_are_rejected_with_typed_errors() {
+    let table = tclose::datasets::census_mcd(3);
+    let fitted = Anonymizer::new(3, 0.4).fit(&table).unwrap();
+    let good = ModelArtifact::from_fitted(&fitted).to_string_pretty();
+
+    // Truncation anywhere in the payload → Corrupted (JSON parse failure).
+    for frac in [4, 2] {
+        let cut = &good[..good.len() / frac];
+        match ModelArtifact::from_json_str(cut) {
+            Err(ArtifactError::Corrupted(_)) => {}
+            other => panic!("truncated payload accepted: {other:?}"),
+        }
+    }
+
+    // Wrong file kind → Corrupted with a pointer at the kind field.
+    match ModelArtifact::from_json_str("{\"kind\": \"something-else\"}") {
+        Err(ArtifactError::Corrupted(detail)) => {
+            assert!(detail.contains("kind"), "{detail}")
+        }
+        other => panic!("wrong kind accepted: {other:?}"),
+    }
+
+    // Future schema version → WrongVersion carrying both versions.
+    let future = good.replace("\"schema_version\": 1", "\"schema_version\": 999");
+    match ModelArtifact::from_json_str(&future) {
+        Err(ArtifactError::WrongVersion { found, supported }) => {
+            assert_eq!(found, 999);
+            assert_eq!(supported, tclose::core::ARTIFACT_SCHEMA_VERSION);
+        }
+        other => panic!("future version accepted: {other:?}"),
+    }
+
+    // Tampered params that no fit could produce → InvalidModel.
+    let bad_t = good.replace("\"t\": 0.4", "\"t\": 7.5");
+    match ModelArtifact::from_json_str(&bad_t) {
+        Err(ArtifactError::InvalidModel(_)) => {}
+        other => panic!("t=7.5 accepted: {other:?}"),
+    }
+
+    // Every rejection renders a one-line actionable message.
+    for text in [
+        good[..good.len() / 2].to_string(),
+        future.clone(),
+        bad_t.clone(),
+    ] {
+        let err = ModelArtifact::from_json_str(&text).unwrap_err();
+        let msg = err.to_string();
+        assert!(!msg.contains('\n'), "multi-line error: {msg}");
+        assert!(!msg.is_empty());
+    }
+}
+
+#[test]
+fn loading_a_missing_path_is_an_io_error_with_the_path() {
+    let path = tmp("does_not_exist.json");
+    let _ = std::fs::remove_file(&path);
+    match ModelArtifact::load(&path) {
+        Err(ArtifactError::Io { path: p, .. }) => {
+            assert!(p.contains("does_not_exist"), "{p}")
+        }
+        other => panic!("missing file accepted: {other:?}"),
+    }
+}
