@@ -20,7 +20,7 @@
 //! loss").
 
 use tclose_core::{Confidential, TCloseClusterer, TClosenessParams};
-use tclose_metrics::distance::{centroid_ids, sq_dist};
+use tclose_metrics::distance::{centroid_ids, k_nearest_ids, sq_dist};
 use tclose_microagg::{Clustering, Matrix, NeighborBackend, NeighborSet, Parallelism};
 
 /// The SABRE-style bucketize-and-redistribute baseline.
@@ -117,8 +117,10 @@ impl TCloseClusterer for SabreLite {
         // Phase 2: assemble classes QI-aware, like the paper's algorithms —
         // seed each class at the record farthest from the centroid of what
         // remains, then draw its quota of QI-nearest records per bucket.
-        // The seed query goes through the neighbor backend; per-bucket
-        // draws stay flat scans (buckets are small and shrink fast).
+        // The seed query goes through the neighbor backend; each bucket's
+        // whole quota comes from one k-nearest kernel call over the bucket
+        // pool (buckets are subsets of the live set, so the tree cannot
+        // answer them, but one blocked scan replaces `want` scans).
         let mut search = NeighborSet::new(m, self.backend, par);
         let mut bucket_pools: Vec<Vec<usize>> = buckets;
         let mut classes: Vec<Vec<usize>> = Vec::with_capacity(n_classes);
@@ -137,20 +139,13 @@ impl TCloseClusterer for SabreLite {
                 } else {
                     quotas[bi][class_idx].min(pool.len())
                 };
-                for _ in 0..want {
-                    let mut best_pos = 0usize;
-                    let mut best_d = f64::INFINITY;
-                    for (pos, &r) in pool.iter().enumerate() {
-                        let d = sq_dist(m.row(r), m.row(seed));
-                        if d < best_d {
-                            best_d = d;
-                            best_pos = pos;
-                        }
-                    }
-                    let drawn = pool.swap_remove(best_pos);
-                    search.remove(drawn);
-                    class.push(drawn);
+                if want == 0 {
+                    continue;
                 }
+                let drawn = k_nearest_ids(m, pool, m.row(seed), want, par);
+                pool.retain(|r| !drawn.contains(r));
+                search.remove_all(&drawn);
+                class.extend(drawn);
             }
             classes.push(class);
         }

@@ -1,0 +1,156 @@
+//! Lane-width scaling of the multi-lane distance kernels and the
+//! amortization of batched kd-tree queries (PR 7's tentpole hardware).
+//!
+//! Three kernel groups sweep every [`KernelPath`] over a 100k-row matrix
+//! so the scalar→lanes4→lanes8 progression is directly readable (the
+//! lane-width table in `docs/PERFORMANCE.md` comes from this target), and
+//! one group compares a shared batched tree traversal against the same
+//! queries answered one traversal at a time.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tclose_metrics::distance::{
+    centroid_ids_path, farthest_from_ids_path, min_sq_dist_excluding_path,
+};
+use tclose_metrics::matrix::{Matrix, RowId};
+use tclose_metrics::sse::column_sq_err_with;
+use tclose_metrics::KernelPath;
+use tclose_microagg::{NeighborBackend, NeighborSet, Parallelism, QueryMode};
+
+/// Deterministic synthetic rows (the `index_scaling` / perf-suite
+/// integer-hash construction, so the workloads line up across harnesses).
+fn synthetic_matrix(n: usize, dims: usize) -> Matrix {
+    let data: Vec<f64> = (0..n * dims)
+        .map(|i| ((i * 2654435761 + (i % dims) * 40503) % 100_003) as f64 * 1e-3)
+        .collect();
+    Matrix::new(data, n, dims)
+}
+
+const N: usize = 100_000;
+const DIMS: usize = 3;
+
+fn bench_sq_dist_scan(c: &mut Criterion) {
+    let m = synthetic_matrix(N, DIMS);
+    let ids: Vec<RowId> = m.row_ids().collect();
+    let point = m.row(N / 2).to_vec();
+    let mut group = c.benchmark_group("kernel_scaling/sq_dist");
+    for path in KernelPath::all() {
+        group.bench_with_input(BenchmarkId::from_parameter(path.name()), &path, |b, &p| {
+            b.iter(|| {
+                black_box(min_sq_dist_excluding_path(
+                    black_box(&m),
+                    &ids,
+                    &point,
+                    0,
+                    Parallelism::sequential(),
+                    p,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_farthest_scan(c: &mut Criterion) {
+    let m = synthetic_matrix(N, DIMS);
+    let ids: Vec<RowId> = m.row_ids().collect();
+    let point = m.row(0).to_vec();
+    let mut group = c.benchmark_group("kernel_scaling/farthest");
+    for path in KernelPath::all() {
+        group.bench_with_input(BenchmarkId::from_parameter(path.name()), &path, |b, &p| {
+            b.iter(|| {
+                black_box(farthest_from_ids_path(
+                    black_box(&m),
+                    &ids,
+                    &point,
+                    Parallelism::sequential(),
+                    p,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_sse_column(c: &mut Criterion) {
+    let orig: Vec<f64> = (0..N)
+        .map(|i| ((i * 2654435761) % 100_003) as f64 * 1e-3)
+        .collect();
+    let anon: Vec<f64> = orig.iter().map(|x| x * 0.75 + 3.0).collect();
+    let mut group = c.benchmark_group("kernel_scaling/sse");
+    for path in KernelPath::all() {
+        group.bench_with_input(BenchmarkId::from_parameter(path.name()), &path, |b, &p| {
+            b.iter(|| {
+                black_box(column_sq_err_with(
+                    black_box(&orig),
+                    &anon,
+                    7.5,
+                    Parallelism::sequential(),
+                    p,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_centroid_sum(c: &mut Criterion) {
+    let m = synthetic_matrix(N, DIMS);
+    let ids: Vec<RowId> = m.row_ids().collect();
+    let mut group = c.benchmark_group("kernel_scaling/centroid");
+    for path in KernelPath::all() {
+        group.bench_with_input(BenchmarkId::from_parameter(path.name()), &path, |b, &p| {
+            b.iter(|| {
+                black_box(centroid_ids_path(
+                    black_box(&m),
+                    &ids,
+                    Parallelism::sequential(),
+                    p,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Two batch workloads bracket the shared-traversal design space:
+/// `clustered` is the workload the batched mode exists for — V-MDAV's
+/// extension scan queries the members of one growing cluster, spatially
+/// co-located rows whose traversals overlap almost entirely — while
+/// `scattered` spreads the 64 queries across the whole data set, the
+/// worst case for a shared walk (a node is pruned only when *every*
+/// active query prunes it, so scattered queries drag each other through
+/// subtrees their solo traversals would skip).
+fn bench_batched_tree_queries(c: &mut Criterion) {
+    let m = synthetic_matrix(N, DIMS);
+    let live: Vec<RowId> = m.row_ids().collect();
+    let probe = NeighborSet::new(&m, NeighborBackend::KdTree, Parallelism::sequential());
+    let clustered: Vec<Vec<f64>> = probe
+        .k_nearest(&live, m.row(N / 2), 64)
+        .into_iter()
+        .map(|id| m.row(id).to_vec())
+        .collect();
+    let scattered: Vec<Vec<f64>> = (0..64).map(|i| m.row(i * 997 % N).to_vec()).collect();
+    for (workload, points) in [("clustered", &clustered), ("scattered", &scattered)] {
+        let refs: Vec<&[f64]> = points.iter().map(Vec::as_slice).collect();
+        let mut group = c.benchmark_group(format!("kernel_scaling/batch64_k8_{workload}"));
+        group.sample_size(20);
+        for mode in [QueryMode::Batched, QueryMode::PerQuery] {
+            let set = NeighborSet::new(&m, NeighborBackend::KdTree, Parallelism::sequential())
+                .with_query_mode(mode);
+            group.bench_with_input(BenchmarkId::from_parameter(mode), &mode, |b, _| {
+                b.iter(|| black_box(set.k_nearest_batch(&live, &refs, 8)));
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_sq_dist_scan,
+    bench_farthest_scan,
+    bench_sse_column,
+    bench_centroid_sum,
+    bench_batched_tree_queries,
+);
+criterion_main!(benches);

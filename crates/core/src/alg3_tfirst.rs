@@ -257,6 +257,14 @@ fn build_cluster(
 }
 
 /// Moves the record of `stratum` nearest to `rows[seed]` into `cluster`.
+///
+/// Deliberately a positional scan over the (swap-remove-scrambled)
+/// stratum vector, *not* the canonical (distance, row id) kernel: under
+/// total QI ties the positional order makes a double-draw (base record +
+/// surplus record) take records from *opposite ends* of the stratum,
+/// which is what keeps the surplus placement EMD-cheap — the central-beats-
+/// tail ablation depends on it. Strata are small (≈ n/k') and disjoint
+/// subsets of the live set, so neither threading nor the tree applies.
 fn take_nearest(
     m: &Matrix,
     seed: usize,

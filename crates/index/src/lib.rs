@@ -48,6 +48,20 @@
 //! the clustering loops drive; it dispatches every query to the resolved
 //! backend and keeps the tree's tombstones in lockstep with the caller's
 //! live-id list.
+//!
+//! ## Batched queries
+//!
+//! Tree construction parallelizes ([`KdTree::build_with`]) and
+//! multi-query requests amortize traversal ([`KdTree::k_nearest_batch`],
+//! [`KdTree::k_nearest_with_far_candidates`]) — both without leaving the
+//! exactness contract: the parallel build produces a tree equal in every
+//! field to the sequential one, and a batched traversal prunes a subtree
+//! only when *every* constituent query would prune it, so each query sees
+//! a superset of its solo visit set and the total-order candidate
+//! filtering returns exactly the solo answers. [`QueryMode`] keeps the
+//! per-query formulation available as a differential reference
+//! (`TCLOSE_QUERY_MODE=per-query`); `docs/ALGORITHMS.md` walks through
+//! the exactness argument.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -60,6 +74,70 @@ pub use tree::KdTree;
 
 use std::fmt;
 use std::str::FromStr;
+
+/// Whether a [`NeighborSet`] on the kd-tree backend serves multi-query
+/// requests through the shared/fused traversals
+/// ([`KdTree::k_nearest_batch`], [`KdTree::k_nearest_with_far_candidates`])
+/// or through one from-the-root traversal per query.
+///
+/// Both modes are exact and share one tie-breaking order, so the choice
+/// can never change a partition or a release — only wall-clock time. The
+/// per-query mode exists for differential testing and perf bisection; the
+/// `TCLOSE_QUERY_MODE` environment variable (`batched` | `per-query`,
+/// checked at [`NeighborSet::new`]) forces it process-wide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueryMode {
+    /// Amortize tree traversal across the whole request (default).
+    #[default]
+    Batched,
+    /// One independent traversal per query point (the pre-batching
+    /// formulation, kept as the differential reference).
+    PerQuery,
+}
+
+impl QueryMode {
+    /// The mode `TCLOSE_QUERY_MODE` requests, defaulting to
+    /// [`QueryMode::Batched`]. Read per call (not cached): the variable
+    /// only steers future [`NeighborSet`] constructions, and both modes
+    /// return identical results anyway.
+    ///
+    /// # Panics
+    /// Panics on an unrecognized value — a misspelled forced mode
+    /// silently falling back would defeat the differential run setting it.
+    pub fn from_env() -> QueryMode {
+        match std::env::var("TCLOSE_QUERY_MODE") {
+            Ok(s) => s
+                .parse()
+                .unwrap_or_else(|e| panic!("invalid TCLOSE_QUERY_MODE: {e}")),
+            Err(_) => QueryMode::default(),
+        }
+    }
+}
+
+impl fmt::Display for QueryMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            QueryMode::Batched => "batched",
+            QueryMode::PerQuery => "per-query",
+        })
+    }
+}
+
+impl FromStr for QueryMode {
+    type Err = String;
+
+    /// Parses `batched` / `per-query` (also `perquery`, `per_query`),
+    /// case-insensitive.
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "batched" | "batch" => Ok(QueryMode::Batched),
+            "per-query" | "perquery" | "per_query" => Ok(QueryMode::PerQuery),
+            other => Err(format!(
+                "unknown query mode {other:?} (expected batched|per-query)"
+            )),
+        }
+    }
+}
 
 /// Which neighbor-search backend the clustering loops should use.
 ///
@@ -174,6 +252,24 @@ mod tests {
         // explicit choices ignore the shape
         assert_eq!(NeighborBackend::KdTree.resolve(2, 100), KdTree);
         assert_eq!(NeighborBackend::FlatScan.resolve(1_000_000, 2), FlatScan);
+    }
+
+    #[test]
+    fn query_mode_parse_and_display_round_trip() {
+        for (s, want) in [
+            ("batched", QueryMode::Batched),
+            ("Batch", QueryMode::Batched),
+            ("per-query", QueryMode::PerQuery),
+            ("PerQuery", QueryMode::PerQuery),
+            ("per_query", QueryMode::PerQuery),
+        ] {
+            assert_eq!(s.parse::<QueryMode>().unwrap(), want, "{s}");
+        }
+        assert!("fused".parse::<QueryMode>().is_err());
+        for m in [QueryMode::Batched, QueryMode::PerQuery] {
+            assert_eq!(m.to_string().parse::<QueryMode>().unwrap(), m);
+        }
+        assert_eq!(QueryMode::default(), QueryMode::Batched);
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! The backend-dispatched neighbor working set the clustering loops drive.
 
-use crate::{KdTree, NeighborBackend, ResolvedBackend};
-use tclose_metrics::distance::{farthest_from_ids, k_nearest_ids, nearest_to_ids};
+use crate::{KdTree, NeighborBackend, QueryMode, ResolvedBackend};
+use tclose_metrics::distance::{
+    farthest_from_ids, k_nearest_ids, k_nearest_with_far_candidates_ids, min_sq_dist_excluding,
+    nearest_to_ids, nearest_to_many_ids, sq_dist_dim,
+};
 use tclose_metrics::matrix::{Matrix, RowId, RowIndex};
 use tclose_parallel::Parallelism;
 
@@ -42,19 +45,35 @@ pub struct NeighborSet<'m> {
     m: &'m Matrix,
     par: Parallelism,
     tree: Option<KdTree>,
+    mode: QueryMode,
 }
 
 impl<'m> NeighborSet<'m> {
     /// A working set initially containing **every** row of `m`, on the
     /// backend `backend` resolves to for this matrix shape. `par` bounds
-    /// the worker count of the flat-scan kernels (tree queries are
-    /// sequential; they touch too few rows to pay for threads).
+    /// the worker count of the flat-scan kernels and of the kd-tree
+    /// *build* (individual tree queries stay sequential; they touch too
+    /// few rows to pay for threads — batching, not threading, is how tree
+    /// queries amortize). The query mode comes from
+    /// [`QueryMode::from_env`]; see [`with_query_mode`](Self::with_query_mode).
     pub fn new(m: &'m Matrix, backend: NeighborBackend, par: Parallelism) -> Self {
         let tree = match backend.resolve(m.n_rows(), m.n_cols()) {
-            ResolvedBackend::KdTree => Some(KdTree::build(m)),
+            ResolvedBackend::KdTree => Some(KdTree::build_with(m, par)),
             ResolvedBackend::FlatScan => None,
         };
-        NeighborSet { m, par, tree }
+        NeighborSet {
+            m,
+            par,
+            tree,
+            mode: QueryMode::from_env(),
+        }
+    }
+
+    /// Overrides the [`QueryMode`] (both modes return identical results;
+    /// this is a differential-testing and perf-bisection hook).
+    pub fn with_query_mode(mut self, mode: QueryMode) -> Self {
+        self.mode = mode;
+        self
     }
 
     /// Which backend this set runs on.
@@ -107,6 +126,131 @@ impl<'m> NeighborSet<'m> {
         }
     }
 
+    /// One fused request answering both halves of an MDAV round over the
+    /// live set: the `near_count` nearest ids (ascending by (distance,
+    /// row id)) and the `far_count` farthest ids (descending by distance,
+    /// ties toward the lowest row id — the sequence repeated
+    /// [`farthest_from`](Self::farthest_from) + removal would extract).
+    ///
+    /// On the flat backend both selections share one distance pass — the
+    /// fusion win that motivates the API (one read of the matrix instead
+    /// of two). On the kd-tree backend the two halves deliberately run as
+    /// *separate* solo traversals on every [`QueryMode`]: a single fused
+    /// walk ([`KdTree::k_nearest_with_far_candidates`]) is exact but
+    /// measured ~5× slower, because the near half wants min-bound-first
+    /// child order while the far half needs max-bound-first to raise its
+    /// pruning threshold early — one traversal order starves the other
+    /// half's pruning (see `docs/PERFORMANCE.md`). All routes return
+    /// identical results.
+    pub fn k_nearest_with_far_candidates<I: RowIndex>(
+        &self,
+        live: &[I],
+        point: &[f64],
+        near_count: usize,
+        far_count: usize,
+    ) -> (Vec<I>, Vec<I>) {
+        match &self.tree {
+            None => k_nearest_with_far_candidates_ids(
+                self.m, live, point, near_count, far_count, self.par,
+            ),
+            Some(t) => {
+                debug_assert_eq!(t.len(), live.len(), "live list out of sync with the tree");
+                let (near, far) = (
+                    t.k_nearest(point, near_count),
+                    t.k_farthest(point, far_count),
+                );
+                (from_row_ids(near), from_row_ids(far))
+            }
+        }
+    }
+
+    /// [`nearest_to`](Self::nearest_to) for a batch of query points
+    /// (V-MDAV's per-member extension scan). Under
+    /// [`QueryMode::Batched`] the flat backend streams the matrix once
+    /// per block instead of once per query, and the kd-tree backend
+    /// shares one traversal across the batch; [`QueryMode::PerQuery`]
+    /// answers one point at a time on both.
+    pub fn nearest_batch<I: RowIndex>(&self, live: &[I], points: &[&[f64]]) -> Vec<Option<I>> {
+        match &self.tree {
+            None => match self.mode {
+                QueryMode::Batched => nearest_to_many_ids(self.m, live, points, self.par),
+                QueryMode::PerQuery => points
+                    .iter()
+                    .map(|p| nearest_to_ids(self.m, live, p, self.par))
+                    .collect(),
+            },
+            Some(t) => {
+                debug_assert_eq!(t.len(), live.len(), "live list out of sync with the tree");
+                match self.mode {
+                    QueryMode::Batched => t
+                        .nearest_batch(points)
+                        .into_iter()
+                        .map(|o| o.map(|id| I::from_row_index(id.index())))
+                        .collect(),
+                    QueryMode::PerQuery => points
+                        .iter()
+                        .map(|p| t.nearest(p).map(|id| I::from_row_index(id.index())))
+                        .collect(),
+                }
+            }
+        }
+    }
+
+    /// [`k_nearest`](Self::k_nearest) for a batch of query points; same
+    /// dispatch as [`nearest_batch`](Self::nearest_batch).
+    pub fn k_nearest_batch<I: RowIndex>(
+        &self,
+        live: &[I],
+        points: &[&[f64]],
+        count: usize,
+    ) -> Vec<Vec<I>> {
+        match &self.tree {
+            None => points
+                .iter()
+                .map(|p| k_nearest_ids(self.m, live, p, count, self.par))
+                .collect(),
+            Some(t) => {
+                debug_assert_eq!(t.len(), live.len(), "live list out of sync with the tree");
+                match self.mode {
+                    QueryMode::Batched => t
+                        .k_nearest_batch(points, count)
+                        .into_iter()
+                        .map(from_row_ids)
+                        .collect(),
+                    QueryMode::PerQuery => points
+                        .iter()
+                        .map(|p| from_row_ids(t.k_nearest(p, count)))
+                        .collect(),
+                }
+            }
+        }
+    }
+
+    /// Smallest squared distance from `point` to any live row other than
+    /// row `exclude` (`f64::INFINITY` when nothing qualifies) — V-MDAV's
+    /// `d_out`. On the kd-tree backend this is a 2-nearest query with the
+    /// excluded row filtered out (it can occupy at most one of the two
+    /// slots), bit-identical to the flat min-scan: both reduce the same
+    /// [`sq_dist_dim`] values, one by argmin, one by min.
+    pub fn min_sq_dist_to_other<I: RowIndex>(
+        &self,
+        live: &[I],
+        point: &[f64],
+        exclude: usize,
+    ) -> f64 {
+        match &self.tree {
+            None => min_sq_dist_excluding(self.m, live, point, exclude, self.par),
+            Some(t) => {
+                debug_assert_eq!(t.len(), live.len(), "live list out of sync with the tree");
+                t.k_nearest(point, 2)
+                    .into_iter()
+                    .find(|id| id.index() != exclude)
+                    .map(|id| sq_dist_dim(self.m.row(id.index()), point))
+                    .unwrap_or(f64::INFINITY)
+            }
+        }
+    }
+
     /// Mirrors the removal of `id` from the caller's live list. No-op on
     /// the flat backend (the caller's list *is* the state there).
     pub fn remove<I: RowIndex>(&mut self, id: I) {
@@ -131,4 +275,11 @@ impl<'m> NeighborSet<'m> {
             t.insert(RowId::new(id.row_index()));
         }
     }
+}
+
+/// Converts tree results back into the caller's id type.
+fn from_row_ids<I: RowIndex>(ids: Vec<RowId>) -> Vec<I> {
+    ids.into_iter()
+        .map(|id| I::from_row_index(id.index()))
+        .collect()
 }

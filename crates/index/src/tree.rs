@@ -14,6 +14,24 @@
 //!   a single point (duplicate-heavy data) become leaves regardless of
 //!   size; their members are tied anyway, and every query resolves ties by
 //!   row id.
+//! * **Parallel build.** [`KdTree::build_with`] distributes the build over
+//!   scoped threads and still produces a tree **equal in every field** to
+//!   the sequential build: the top of the tree is expanded sequentially
+//!   into a skeleton (median splits partition the permutation into
+//!   disjoint ranges, so their results never depend on execution order),
+//!   the frontier subtrees are built concurrently on disjoint
+//!   `split_at_mut` slices, and a sequential pre-order emit pass splices
+//!   the pieces with renumbered child/parent links — reproducing exactly
+//!   the node numbering the single-threaded recursion assigns.
+//! * **Batched queries.** [`KdTree::k_nearest_batch`] answers many
+//!   queries in one traversal: a subtree is pruned only when **every**
+//!   still-active query prunes it, so each query sees a superset of the
+//!   nodes its solo traversal would visit — and since candidates are
+//!   filtered through the same total order (distance, row id), visiting
+//!   more nodes can never change a result, only amortize the walk.
+//!   [`KdTree::k_nearest_with_far_candidates`] fuses a k-nearest and a
+//!   k-farthest query (the two halves of an MDAV round) into one
+//!   traversal under the same all-must-prune rule.
 //! * **Deletion.** [`KdTree::remove`] never restructures: the row is
 //!   tombstoned (`alive` mask) and the live counters on its leaf-to-root
 //!   path are decremented, `O(depth)`. Queries skip dead rows and dead
@@ -29,8 +47,11 @@
 //!   pruned query is *exactly* equivalent to the full scan, not just
 //!   approximately.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use tclose_metrics::distance::sq_dist_dim;
 use tclose_metrics::matrix::{Matrix, RowId};
+use tclose_parallel::Parallelism;
 
 /// Sentinel child/parent index meaning "none".
 const NONE: u32 = u32::MAX;
@@ -40,7 +61,12 @@ const NONE: u32 = u32::MAX;
 /// boxes) stays shallow.
 const LEAF_SIZE: usize = 16;
 
-#[derive(Debug, Clone, Copy)]
+/// Minimum rows per worker before [`KdTree::build_with`] goes parallel —
+/// below this the skeleton expansion and thread spawn cost more than the
+/// concurrent subtree builds save.
+const PARALLEL_BUILD_MIN_ROWS: usize = 8 * 1024;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Node {
     parent: u32,
     /// `NONE` for leaves; inner nodes always have both children.
@@ -83,7 +109,7 @@ struct Node {
 /// assert_eq!(tree.nearest(&[0.1, 0.1]).unwrap().index(), 1);
 /// assert_eq!(tree.farthest_from(&[0.0, 0.0]).unwrap().index(), 3);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KdTree {
     dims: usize,
     nodes: Vec<Node>,
@@ -103,34 +129,58 @@ pub struct KdTree {
 }
 
 impl KdTree {
-    /// Bulk-builds a tree over **all** rows of `m` (`O(n log n)`).
+    /// Bulk-builds a tree over **all** rows of `m` (`O(n log n)`),
+    /// single-threaded.
     ///
     /// The build is deterministic: splits follow the total order
     /// (coordinate, row id), so equal inputs produce equal trees.
     pub fn build(m: &Matrix) -> Self {
+        Self::build_with(m, Parallelism::sequential())
+    }
+
+    /// [`build`](KdTree::build) with the subtree recursion distributed
+    /// over scoped threads.
+    ///
+    /// The result is **equal in every field** to the sequential build —
+    /// same node numbering, same bounding boxes, same permutation (see
+    /// the module docs for why) — so the worker count can never change a
+    /// query answer. Small matrices fall back to the sequential path.
+    pub fn build_with(m: &Matrix, par: Parallelism) -> Self {
         let n = m.n_rows();
         let dims = m.n_cols();
         let mut perm: Vec<u32> = (0..n as u32).collect();
-        let mut tree = KdTree {
+        let mut parts = TreeParts::default();
+        if n > 0 {
+            let workers = par.effective(n, PARALLEL_BUILD_MIN_ROWS);
+            if workers <= 1 {
+                build_subtree(m, &mut perm, 0, NONE, &mut parts);
+            } else {
+                build_parallel(m, &mut perm, workers, &mut parts);
+            }
+        }
+        let mut leaf_of = vec![NONE; n];
+        for (idx, nd) in parts.nodes.iter().enumerate() {
+            if nd.left == NONE {
+                for pos in nd.start..nd.end {
+                    leaf_of[perm[pos as usize] as usize] = idx as u32;
+                }
+            }
+        }
+        let mut coords = Vec::with_capacity(n * dims);
+        for &r in &perm {
+            coords.extend_from_slice(m.row(r as usize));
+        }
+        KdTree {
             dims,
-            nodes: Vec::with_capacity(2 * (n / LEAF_SIZE + 1)),
-            ids: Vec::new(),
-            coords: Vec::new(),
-            bb_lo: Vec::new(),
-            bb_hi: Vec::new(),
-            leaf_of: vec![NONE; n],
+            nodes: parts.nodes,
+            ids: perm.iter().map(|&r| RowId::new(r as usize)).collect(),
+            coords,
+            bb_lo: parts.bb_lo,
+            bb_hi: parts.bb_hi,
+            leaf_of,
             alive: vec![true; n],
             n_live: n,
-        };
-        if n > 0 {
-            build_node(m, &mut perm, 0, n, NONE, &mut tree);
         }
-        tree.ids = perm.iter().map(|&r| RowId::new(r as usize)).collect();
-        tree.coords = Vec::with_capacity(n * dims);
-        for &r in &perm {
-            tree.coords.extend_from_slice(m.row(r as usize));
-        }
-        tree
     }
 
     /// Number of live (non-tombstoned) rows.
@@ -246,6 +296,85 @@ impl KdTree {
         let mut best: Option<(f64, RowId)> = None;
         self.far_visit(0, self.max_sq_dist_to_box(0, point), point, &mut best);
         best.map(|(_, id)| id)
+    }
+
+    /// The `count` live rows farthest from `point`, descending by distance
+    /// (ties toward the lowest row id) — exactly the sequence repeated
+    /// [`farthest_from`](KdTree::farthest_from) + removal would extract.
+    /// Returns all live rows (so ordered) when `count` exceeds the live
+    /// count.
+    pub fn k_farthest(&self, point: &[f64], count: usize) -> Vec<RowId> {
+        debug_assert_eq!(point.len(), self.dims);
+        if count == 0 || self.n_live == 0 {
+            return Vec::new();
+        }
+        let mut best: Vec<(f64, RowId)> = Vec::with_capacity(count.min(self.n_live) + 1);
+        self.k_far_visit(0, point, count, &mut best);
+        best.into_iter().map(|(_, id)| id).collect()
+    }
+
+    /// One traversal answering both halves of an MDAV round: the
+    /// `near_count` nearest **and** the `far_count` farthest live rows
+    /// (each list ordered and tie-broken exactly as
+    /// [`k_nearest`](KdTree::k_nearest) / [`k_farthest`](KdTree::k_farthest)
+    /// would return it). A subtree is pruned only when *both* halves prune
+    /// it; since each half filters candidates through its own total order,
+    /// the fused walk returns exactly what the two separate traversals
+    /// would — it just visits the tree once.
+    pub fn k_nearest_with_far_candidates(
+        &self,
+        point: &[f64],
+        near_count: usize,
+        far_count: usize,
+    ) -> (Vec<RowId>, Vec<RowId>) {
+        debug_assert_eq!(point.len(), self.dims);
+        if self.n_live == 0 || (near_count == 0 && far_count == 0) {
+            return (Vec::new(), Vec::new());
+        }
+        let mut near: Vec<(f64, RowId)> = Vec::with_capacity(near_count.min(self.n_live) + 1);
+        let mut far: Vec<(f64, RowId)> = Vec::with_capacity(far_count.min(self.n_live) + 1);
+        self.near_far_visit(0, point, near_count, far_count, &mut near, &mut far);
+        (
+            near.into_iter().map(|(_, id)| id).collect(),
+            far.into_iter().map(|(_, id)| id).collect(),
+        )
+    }
+
+    /// [`k_nearest`](KdTree::k_nearest) for a batch of query points in a
+    /// **single shared traversal**: a subtree is pruned only when every
+    /// still-active query prunes it, so each query scans a superset of the
+    /// leaves its solo traversal would touch — same answers (candidates are
+    /// filtered through the same total order), one amortized walk instead
+    /// of `points.len()` from-the-root descents.
+    pub fn k_nearest_batch(&self, points: &[&[f64]], count: usize) -> Vec<Vec<RowId>> {
+        let mut best: Vec<Vec<(f64, RowId)>> = points
+            .iter()
+            .map(|_| Vec::with_capacity(count.min(self.n_live.max(1)) + 1))
+            .collect();
+        if count > 0 && self.n_live > 0 && !points.is_empty() {
+            // Segmented stack of (query, box-bound) sets: one allocation
+            // for the whole traversal instead of one `Vec` per visited
+            // node, and every box distance is computed exactly once — at
+            // the parent, where child ordering needs it — then passed
+            // down for the child's prune test.
+            let mut arena: Vec<(u32, f64)> = (0..points.len() as u32)
+                .map(|q| (q, self.min_sq_dist_to_box(0, points[q as usize])))
+                .collect();
+            let mut scratch: Vec<(u32, f64, f64)> = Vec::with_capacity(points.len());
+            self.batch_visit(0, points, count, &mut arena, 0, &mut scratch, &mut best);
+        }
+        best.into_iter()
+            .map(|b| b.into_iter().map(|(_, id)| id).collect())
+            .collect()
+    }
+
+    /// [`nearest`](KdTree::nearest) for a batch of query points in one
+    /// shared traversal (see [`k_nearest_batch`](KdTree::k_nearest_batch)).
+    pub fn nearest_batch(&self, points: &[&[f64]]) -> Vec<Option<RowId>> {
+        self.k_nearest_batch(points, 1)
+            .into_iter()
+            .map(|v| v.into_iter().next())
+            .collect()
     }
 
     /// Smallest possible squared distance from `point` to any point inside
@@ -381,6 +510,188 @@ impl KdTree {
             }
         }
     }
+
+    /// List form of [`far_visit`](KdTree::far_visit): keeps the `count`
+    /// farthest candidates, pruning on a **strict** max-bound comparison
+    /// against the worst kept entry (an equally far row with a lower id
+    /// could still enter the list).
+    fn k_far_visit(&self, node: u32, point: &[f64], count: usize, best: &mut Vec<(f64, RowId)>) {
+        let nd = self.nodes[node as usize];
+        if nd.live == 0 {
+            return;
+        }
+        if best.len() == count {
+            let worst = best[best.len() - 1].0;
+            if self.max_sq_dist_to_box(node, point) < worst {
+                return;
+            }
+        }
+        if nd.left == NONE {
+            for pos in nd.start as usize..nd.end as usize {
+                let id = self.ids[pos];
+                if !self.alive[id.index()] {
+                    continue;
+                }
+                let row = &self.coords[pos * self.dims..(pos + 1) * self.dims];
+                offer_far(best, count, sq_dist_dim(row, point), id);
+            }
+        } else {
+            // Farther child first tightens the worst-kept bound sooner;
+            // visit order never changes the result.
+            let dl = self.max_sq_dist_to_box(nd.left, point);
+            let dr = self.max_sq_dist_to_box(nd.right, point);
+            if dl >= dr {
+                self.k_far_visit(nd.left, point, count, best);
+                self.k_far_visit(nd.right, point, count, best);
+            } else {
+                self.k_far_visit(nd.right, point, count, best);
+                self.k_far_visit(nd.left, point, count, best);
+            }
+        }
+    }
+
+    /// Fused near+far traversal: descends while **either** half still
+    /// needs the subtree, offers every live leaf row to both candidate
+    /// lists. Each half's prune test is exactly its solo traversal's test,
+    /// so visiting a superset of either solo walk cannot change results.
+    fn near_far_visit(
+        &self,
+        node: u32,
+        point: &[f64],
+        near_count: usize,
+        far_count: usize,
+        near: &mut Vec<(f64, RowId)>,
+        far: &mut Vec<(f64, RowId)>,
+    ) {
+        let nd = self.nodes[node as usize];
+        if nd.live == 0 {
+            return;
+        }
+        let near_done = near_count == 0
+            || (near.len() == near_count
+                && self.min_sq_dist_to_box(node, point) > near[near.len() - 1].0);
+        let far_done = far_count == 0
+            || (far.len() == far_count
+                && self.max_sq_dist_to_box(node, point) < far[far.len() - 1].0);
+        if near_done && far_done {
+            return;
+        }
+        if nd.left == NONE {
+            for pos in nd.start as usize..nd.end as usize {
+                let id = self.ids[pos];
+                if !self.alive[id.index()] {
+                    continue;
+                }
+                let row = &self.coords[pos * self.dims..(pos + 1) * self.dims];
+                let d = sq_dist_dim(row, point);
+                if near_count > 0 {
+                    offer(near, near_count, d, id);
+                }
+                offer_far(far, far_count, d, id);
+            }
+        } else {
+            // Near-side ordering (the k-nearest half dominates the work in
+            // the MDAV loop); order is correctness-neutral for both halves.
+            let dl = self.min_sq_dist_to_box(nd.left, point);
+            let dr = self.min_sq_dist_to_box(nd.right, point);
+            if dl <= dr {
+                self.near_far_visit(nd.left, point, near_count, far_count, near, far);
+                self.near_far_visit(nd.right, point, near_count, far_count, near, far);
+            } else {
+                self.near_far_visit(nd.right, point, near_count, far_count, near, far);
+                self.near_far_visit(nd.left, point, near_count, far_count, near, far);
+            }
+        }
+    }
+
+    /// Shared-traversal k-nearest for many queries. On entry this node's
+    /// active set sits at `arena[lo..]` as `(query, this node's box
+    /// min-distance for that query)` pairs — the bound was computed by the
+    /// parent, which needed it for child ordering anyway, so per (query,
+    /// node) the geometry runs exactly once, like a solo traversal. The
+    /// node compacts its segment in place (a query prunes on the same
+    /// strict test its solo traversal uses: list full and bound strictly
+    /// beyond its worst), pushes one child segment per side with freshly
+    /// computed child bounds (`scratch` is a reusable staging buffer, far
+    /// side first so the nearer side is on top and visited first), and
+    /// truncates back to `lo` before returning — one arena allocation for
+    /// the whole traversal. A node is visited only while some query
+    /// survives, so each query scans a superset of its solo leaves; the
+    /// total order on candidates makes that result-neutral.
+    #[allow(clippy::too_many_arguments)] // the traversal state is deliberately flat (hot recursion)
+    fn batch_visit(
+        &self,
+        node: u32,
+        points: &[&[f64]],
+        count: usize,
+        arena: &mut Vec<(u32, f64)>,
+        lo: usize,
+        scratch: &mut Vec<(u32, f64, f64)>,
+        best: &mut [Vec<(f64, RowId)>],
+    ) {
+        let nd = self.nodes[node as usize];
+        let hi = arena.len();
+        if nd.live == 0 {
+            arena.truncate(lo);
+            return;
+        }
+        let mut w = lo;
+        for i in lo..hi {
+            let (q, bound) = arena[i];
+            let b = &best[q as usize];
+            if b.len() == count && bound > b[b.len() - 1].0 {
+                continue;
+            }
+            arena[w] = (q, bound);
+            w += 1;
+        }
+        arena.truncate(w);
+        if w == lo {
+            return;
+        }
+        if nd.left == NONE {
+            for pos in nd.start as usize..nd.end as usize {
+                let id = self.ids[pos];
+                if !self.alive[id.index()] {
+                    continue;
+                }
+                let row = &self.coords[pos * self.dims..(pos + 1) * self.dims];
+                for &(q, _) in &arena[lo..w] {
+                    let d = sq_dist_dim(row, points[q as usize]);
+                    offer(&mut best[q as usize], count, d, id);
+                }
+            }
+        } else {
+            // Child ordering by the tightest surviving-query bound: a
+            // heuristic only — results are visit-order independent.
+            scratch.clear();
+            let (mut dl, mut dr) = (f64::INFINITY, f64::INFINITY);
+            for &(q, _) in &arena[lo..w] {
+                let dlq = self.min_sq_dist_to_box(nd.left, points[q as usize]);
+                let drq = self.min_sq_dist_to_box(nd.right, points[q as usize]);
+                dl = dl.min(dlq);
+                dr = dr.min(drq);
+                scratch.push((q, dlq, drq));
+            }
+            let left_near = dl <= dr;
+            let (near, far) = if left_near {
+                (nd.left, nd.right)
+            } else {
+                (nd.right, nd.left)
+            };
+            let far_lo = arena.len();
+            for &(q, dlq, drq) in scratch.iter() {
+                arena.push((q, if left_near { drq } else { dlq }));
+            }
+            let near_lo = arena.len();
+            for &(q, dlq, drq) in scratch.iter() {
+                arena.push((q, if left_near { dlq } else { drq }));
+            }
+            self.batch_visit(near, points, count, arena, near_lo, scratch, best);
+            self.batch_visit(far, points, count, arena, far_lo, scratch, best);
+        }
+        arena.truncate(lo);
+    }
 }
 
 /// Inserts `(d, id)` into the sorted candidate list if it beats the worst
@@ -399,71 +710,325 @@ fn offer(best: &mut Vec<(f64, RowId)>, count: usize, d: f64, id: RowId) {
     best.insert(at, (d, id));
 }
 
-/// Recursively builds the subtree over `perm[lo..hi]`, returning its node
-/// index.
-fn build_node(
-    m: &Matrix,
-    perm: &mut [u32],
-    lo: usize,
-    hi: usize,
-    parent: u32,
-    t: &mut KdTree,
-) -> u32 {
-    let idx = t.nodes.len() as u32;
-    t.nodes.push(Node {
-        parent,
-        left: NONE,
-        right: NONE,
-        start: lo as u32,
-        end: hi as u32,
-        live: (hi - lo) as u32,
-    });
+/// [`offer`] for the farthest-candidates order: descending distance, ties
+/// toward the **lowest** row id (the sequence repeated farthest-point
+/// extraction produces). The worst kept entry is the last one — smallest
+/// distance, then highest id.
+#[inline]
+fn offer_far(best: &mut Vec<(f64, RowId)>, count: usize, d: f64, id: RowId) {
+    if count == 0 {
+        return;
+    }
+    if best.len() == count {
+        let (wd, wid) = best[best.len() - 1];
+        if d < wd || (d == wd && id > wid) {
+            return;
+        }
+        best.pop();
+    }
+    let at = best.partition_point(|&(bd, bid)| bd > d || (bd == d && bid < id));
+    best.insert(at, (d, id));
+}
 
-    // Bounding box of the subtree (empty dims → empty box slices).
-    let dims = t.dims;
-    let bb_at = idx as usize * dims;
-    t.bb_lo.resize(bb_at + dims, f64::INFINITY);
-    t.bb_hi.resize(bb_at + dims, f64::NEG_INFINITY);
-    for &r in &perm[lo..hi] {
+/// A free-standing piece of tree: nodes numbered from 0 in pre-order with
+/// **global** `start`/`end` ranges, plus the matching bounding boxes. The
+/// sequential build produces one covering the whole tree; the parallel
+/// build produces one per frontier subtree and splices them.
+#[derive(Debug, Default)]
+struct TreeParts {
+    nodes: Vec<Node>,
+    bb_lo: Vec<f64>,
+    bb_hi: Vec<f64>,
+}
+
+/// Bounding box of the rows at `perm`, appended to `lo`/`hi` (`dims`
+/// values each).
+fn push_bbox(m: &Matrix, perm: &[u32], lo: &mut Vec<f64>, hi: &mut Vec<f64>) {
+    let dims = m.n_cols();
+    let at = lo.len();
+    lo.resize(at + dims, f64::INFINITY);
+    hi.resize(at + dims, f64::NEG_INFINITY);
+    for &r in perm {
         for (j, &x) in m.row(r as usize).iter().enumerate() {
-            if x < t.bb_lo[bb_at + j] {
-                t.bb_lo[bb_at + j] = x;
+            if x < lo[at + j] {
+                lo[at + j] = x;
             }
-            if x > t.bb_hi[bb_at + j] {
-                t.bb_hi[bb_at + j] = x;
+            if x > hi[at + j] {
+                hi[at + j] = x;
             }
         }
     }
+}
 
-    // Widest dimension (first on ties); a degenerate box (all rows equal,
-    // or zero columns) terminates the recursion regardless of size.
+/// Widest dimension of the box at `lo`/`hi` (first on ties) and its
+/// width. A degenerate box (all rows equal, or zero columns) reports a
+/// non-positive width, which terminates splitting regardless of size.
+fn widest_dim(lo: &[f64], hi: &[f64]) -> (usize, f64) {
     let mut split_dim = 0usize;
     let mut split_width = f64::NEG_INFINITY;
-    for j in 0..dims {
-        let w = t.bb_hi[bb_at + j] - t.bb_lo[bb_at + j];
+    for (j, (l, h)) in lo.iter().zip(hi).enumerate() {
+        let w = h - l;
         if w > split_width {
             split_width = w;
             split_dim = j;
         }
     }
+    (split_dim, split_width)
+}
 
-    if hi - lo <= LEAF_SIZE || split_width <= 0.0 {
-        for &r in &perm[lo..hi] {
-            t.leaf_of[r as usize] = idx;
-        }
-        return idx;
-    }
-
-    let mid = lo + (hi - lo) / 2;
-    perm[lo..hi].select_nth_unstable_by(mid - lo, |&a, &b| {
+/// Partitions `perm` at its median under the total order (coordinate on
+/// `split_dim`, row id) — the one deterministic split both the sequential
+/// recursion and the parallel skeleton use.
+fn split_at_median(m: &Matrix, perm: &mut [u32], split_dim: usize) -> usize {
+    let mid = perm.len() / 2;
+    perm.select_nth_unstable_by(mid, |&a, &b| {
         m.get(a as usize, split_dim)
             .partial_cmp(&m.get(b as usize, split_dim))
             .expect("finite coordinate")
             .then(a.cmp(&b))
     });
-    let left = build_node(m, perm, lo, mid, idx, t);
-    let right = build_node(m, perm, mid, hi, idx, t);
-    t.nodes[idx as usize].left = left;
-    t.nodes[idx as usize].right = right;
+    mid
+}
+
+/// Recursively builds the subtree over `perm` (which starts at global
+/// position `global_lo` of the full permutation), returning its node index
+/// within `parts`. The subtree root's `parent` is stored verbatim; the
+/// parallel splice rewrites it.
+fn build_subtree(
+    m: &Matrix,
+    perm: &mut [u32],
+    global_lo: usize,
+    parent: u32,
+    parts: &mut TreeParts,
+) -> u32 {
+    let idx = parts.nodes.len() as u32;
+    let len = perm.len();
+    parts.nodes.push(Node {
+        parent,
+        left: NONE,
+        right: NONE,
+        start: global_lo as u32,
+        end: (global_lo + len) as u32,
+        live: len as u32,
+    });
+    push_bbox(m, perm, &mut parts.bb_lo, &mut parts.bb_hi);
+    let dims = m.n_cols();
+    let bb_at = idx as usize * dims;
+    let (split_dim, split_width) = widest_dim(
+        &parts.bb_lo[bb_at..bb_at + dims],
+        &parts.bb_hi[bb_at..bb_at + dims],
+    );
+    if len <= LEAF_SIZE || split_width <= 0.0 {
+        return idx;
+    }
+    let mid = split_at_median(m, perm, split_dim);
+    let (lo_half, hi_half) = perm.split_at_mut(mid);
+    let left = build_subtree(m, lo_half, global_lo, idx, parts);
+    let right = build_subtree(m, hi_half, global_lo + mid, idx, parts);
+    parts.nodes[idx as usize].left = left;
+    parts.nodes[idx as usize].right = right;
     idx
+}
+
+/// One entry of the sequentially expanded top-of-tree skeleton.
+enum SkelEntry {
+    /// An inner node the skeleton split itself: children are skeleton
+    /// indices, the box was computed during expansion.
+    Split {
+        lo: usize,
+        hi: usize,
+        left: usize,
+        right: usize,
+        bb_lo: Vec<f64>,
+        bb_hi: Vec<f64>,
+    },
+    /// A frontier range delegated to a concurrent `build_subtree` task
+    /// (`task` indexes the in-range-order task list).
+    Task { lo: usize, hi: usize, task: usize },
+}
+
+/// Parallel build: sequential skeleton expansion, concurrent frontier
+/// subtree builds on disjoint permutation slices, sequential pre-order
+/// splice. Produces exactly the `TreeParts` of `build_subtree` over the
+/// whole permutation — median splits on disjoint ranges are independent,
+/// and the splice renumbers each piece into the pre-order position the
+/// sequential recursion would have given it.
+fn build_parallel(m: &Matrix, perm: &mut [u32], workers: usize, parts: &mut TreeParts) {
+    let n = perm.len();
+    // Oversplit a little so one slow subtree cannot serialize the build.
+    let target_tasks = workers * 4;
+    let mut skel: Vec<SkelEntry> = vec![SkelEntry::Task {
+        lo: 0,
+        hi: n,
+        task: usize::MAX,
+    }];
+    let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::from([0]);
+    let mut open = 1usize;
+    while let Some(e) = queue.pop_front() {
+        if open >= target_tasks {
+            break;
+        }
+        let (lo, hi) = match skel[e] {
+            SkelEntry::Task { lo, hi, .. } => (lo, hi),
+            SkelEntry::Split { .. } => unreachable!("queued entries are unexpanded"),
+        };
+        let mut bb_lo = Vec::new();
+        let mut bb_hi = Vec::new();
+        push_bbox(m, &perm[lo..hi], &mut bb_lo, &mut bb_hi);
+        let (split_dim, split_width) = widest_dim(&bb_lo, &bb_hi);
+        if hi - lo <= LEAF_SIZE || split_width <= 0.0 {
+            continue; // stays a frontier task (a leaf the task will emit)
+        }
+        let mid = lo + split_at_median(m, &mut perm[lo..hi], split_dim);
+        let left = skel.len();
+        skel.push(SkelEntry::Task {
+            lo,
+            hi: mid,
+            task: usize::MAX,
+        });
+        let right = skel.len();
+        skel.push(SkelEntry::Task {
+            lo: mid,
+            hi,
+            task: usize::MAX,
+        });
+        skel[e] = SkelEntry::Split {
+            lo,
+            hi,
+            left,
+            right,
+            bb_lo,
+            bb_hi,
+        };
+        queue.push_back(left);
+        queue.push_back(right);
+        open += 1;
+    }
+
+    // Frontier tasks in range order tile [0, n); hand each its disjoint
+    // mutable slice of the permutation.
+    let mut frontier: Vec<usize> = (0..skel.len())
+        .filter(|&i| matches!(skel[i], SkelEntry::Task { .. }))
+        .collect();
+    frontier.sort_by_key(|&i| match skel[i] {
+        SkelEntry::Task { lo, .. } => lo,
+        SkelEntry::Split { .. } => unreachable!(),
+    });
+    let mut slices: Vec<(usize, &mut [u32])> = Vec::with_capacity(frontier.len());
+    let mut tail: &mut [u32] = perm;
+    let mut consumed = 0usize;
+    for (t, &f) in frontier.iter().enumerate() {
+        let (lo, hi) = match &mut skel[f] {
+            SkelEntry::Task { lo, hi, task } => {
+                *task = t;
+                (*lo, *hi)
+            }
+            SkelEntry::Split { .. } => unreachable!(),
+        };
+        debug_assert_eq!(lo, consumed, "frontier ranges must tile the permutation");
+        let (piece, rest) = std::mem::take(&mut tail).split_at_mut(hi - lo);
+        slices.push((lo, piece));
+        tail = rest;
+        consumed = hi;
+    }
+    debug_assert_eq!(consumed, n);
+
+    // Scoped worker pool over an atomic task counter (same shape as
+    // tclose_parallel::map_blocks, which cannot be reused here because its
+    // closures take `&I`, not owned mutable slices).
+    let n_tasks = slices.len();
+    type BuildTask<'a> = (usize, &'a mut [u32]);
+    let task_cells: Vec<Mutex<Option<BuildTask>>> =
+        slices.into_iter().map(|s| Mutex::new(Some(s))).collect();
+    let out_cells: Vec<Mutex<Option<TreeParts>>> = (0..n_tasks).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(n_tasks) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n_tasks {
+                    break;
+                }
+                let (global_lo, piece) = task_cells[i]
+                    .lock()
+                    .expect("task lock")
+                    .take()
+                    .expect("each task runs once");
+                let mut local = TreeParts::default();
+                build_subtree(m, piece, global_lo, NONE, &mut local);
+                *out_cells[i].lock().expect("result lock") = Some(local);
+            });
+        }
+    });
+    let mut results: Vec<Option<TreeParts>> = out_cells
+        .into_iter()
+        .map(|c| {
+            Some(
+                c.into_inner()
+                    .expect("result lock")
+                    .expect("task completed"),
+            )
+        })
+        .collect();
+    emit(&skel, 0, NONE, &mut results, parts);
+}
+
+/// Pre-order emit of the skeleton: `Split` entries become nodes in place,
+/// `Task` entries splice their pre-built parts with child/parent indices
+/// shifted to their final positions. Visiting root, then the entire left
+/// subtree, then the right reproduces the sequential numbering exactly.
+fn emit(
+    skel: &[SkelEntry],
+    e: usize,
+    parent: u32,
+    results: &mut [Option<TreeParts>],
+    parts: &mut TreeParts,
+) -> u32 {
+    match &skel[e] {
+        SkelEntry::Split {
+            lo,
+            hi,
+            left,
+            right,
+            bb_lo,
+            bb_hi,
+        } => {
+            let idx = parts.nodes.len() as u32;
+            parts.nodes.push(Node {
+                parent,
+                left: NONE,
+                right: NONE,
+                start: *lo as u32,
+                end: *hi as u32,
+                live: (*hi - *lo) as u32,
+            });
+            parts.bb_lo.extend_from_slice(bb_lo);
+            parts.bb_hi.extend_from_slice(bb_hi);
+            let l = emit(skel, *left, idx, results, parts);
+            let r = emit(skel, *right, idx, results, parts);
+            parts.nodes[idx as usize].left = l;
+            parts.nodes[idx as usize].right = r;
+            idx
+        }
+        SkelEntry::Task { task, .. } => {
+            let piece = results[*task].take().expect("each piece spliced once");
+            let offset = parts.nodes.len() as u32;
+            let shift = |link: u32| if link == NONE { NONE } else { link + offset };
+            for nd in piece.nodes {
+                parts.nodes.push(Node {
+                    parent: if nd.parent == NONE {
+                        parent
+                    } else {
+                        nd.parent + offset
+                    },
+                    left: shift(nd.left),
+                    right: shift(nd.right),
+                    ..nd
+                });
+            }
+            parts.bb_lo.extend(piece.bb_lo);
+            parts.bb_hi.extend(piece.bb_hi);
+            offset
+        }
+    }
 }

@@ -11,12 +11,18 @@
 //!   structure never depends on the worker count, every kernel returns
 //!   bit-identical results for 1 or N workers. Ties in the extreme-point
 //!   and k-nearest queries break toward the **lowest row index**, which
-//!   makes the parallel reduction order-free.
+//!   makes the parallel reduction order-free. Inside each block the work
+//!   runs on a multi-lane kernel path (see [`crate::simd`]); all paths
+//!   are bit-identical, so neither the lane width nor the worker count
+//!   can ever change a result. Every kernel has a `*_path` variant taking
+//!   an explicit [`KernelPath`] for differential tests and benches; the
+//!   plain form uses [`KernelPath::active`].
 //! * The **boxed-rows helpers** over `&[Vec<f64>]` — the seed
 //!   representation, kept as the compatibility/reference path (and as the
 //!   baseline of the `flat_scaling` benchmark).
 
 use crate::matrix::{Matrix, RowIndex};
+use crate::simd::{self, KernelPath};
 use tclose_parallel::{map_blocks, Parallelism};
 
 /// Squared Euclidean distance between two equally long vectors.
@@ -87,21 +93,25 @@ pub fn sq_dist_dim(a: &[f64], b: &[f64]) -> f64 {
 /// Returns the zero vector of the matrix's width for an empty selection so
 /// callers do not need a special case.
 pub fn centroid_ids<I: RowIndex>(m: &Matrix, ids: &[I], par: Parallelism) -> Vec<f64> {
+    centroid_ids_path(m, ids, par, KernelPath::active())
+}
+
+/// [`centroid_ids`] on an explicit kernel path. Every path implements the
+/// same canonical 8-lane reduction DAG per block (see [`crate::simd`]),
+/// so the result is bit-identical whatever `path` (and worker count).
+pub fn centroid_ids_path<I: RowIndex>(
+    m: &Matrix,
+    ids: &[I],
+    par: Parallelism,
+    path: KernelPath,
+) -> Vec<f64> {
     let dim = m.n_cols();
     let mut c = vec![0.0; dim];
     if ids.is_empty() {
         return c;
     }
     let workers = par.effective(ids.len(), tclose_parallel::BLOCK);
-    let partials = map_blocks(ids.len(), workers, |r| {
-        let mut acc = vec![0.0; dim];
-        for &id in &ids[r] {
-            for (a, x) in acc.iter_mut().zip(m.row(id)) {
-                *a += x;
-            }
-        }
-        acc
-    });
+    let partials = map_blocks(ids.len(), workers, |r| simd::centroid_sum(m, &ids[r], path));
     for p in &partials {
         for (a, x) in c.iter_mut().zip(p) {
             *a += x;
@@ -122,7 +132,19 @@ pub fn farthest_from_ids<I: RowIndex>(
     point: &[f64],
     par: Parallelism,
 ) -> Option<I> {
-    extreme_ids(m, ids, point, par, true)
+    extreme_ids(m, ids, point, par, true, KernelPath::active())
+}
+
+/// [`farthest_from_ids`] on an explicit kernel path (bit-identical on
+/// every path; for differential tests and benches).
+pub fn farthest_from_ids_path<I: RowIndex>(
+    m: &Matrix,
+    ids: &[I],
+    point: &[f64],
+    par: Parallelism,
+    path: KernelPath,
+) -> Option<I> {
+    extreme_ids(m, ids, point, par, true, path)
 }
 
 /// The id among `ids` whose row is nearest to `point` (ties toward the
@@ -133,46 +155,90 @@ pub fn nearest_to_ids<I: RowIndex>(
     point: &[f64],
     par: Parallelism,
 ) -> Option<I> {
-    extreme_ids(m, ids, point, par, false)
+    extreme_ids(m, ids, point, par, false, KernelPath::active())
+}
+
+/// [`nearest_to_ids`] on an explicit kernel path (bit-identical on every
+/// path; for differential tests and benches).
+pub fn nearest_to_ids_path<I: RowIndex>(
+    m: &Matrix,
+    ids: &[I],
+    point: &[f64],
+    par: Parallelism,
+    path: KernelPath,
+) -> Option<I> {
+    extreme_ids(m, ids, point, par, false, path)
+}
+
+/// [`nearest_to_ids`] for a batch of query points in one blocked pass:
+/// each fixed block of ids is scanned for every query while its rows are
+/// cache-hot, so the matrix streams from memory once per *block* instead
+/// of once per *query* — this is where batching genuinely pays on the
+/// flat backend (the per-query arithmetic is unchanged; only the memory
+/// traffic amortizes). Per query, block winners reduce in block order
+/// through the same associative (distance, row-index) comparison, so the
+/// result vector is bit-identical to calling [`nearest_to_ids`] once per
+/// point.
+pub fn nearest_to_many_ids<I: RowIndex>(
+    m: &Matrix,
+    ids: &[I],
+    points: &[&[f64]],
+    par: Parallelism,
+) -> Vec<Option<I>> {
+    nearest_to_many_ids_path(m, ids, points, par, KernelPath::active())
+}
+
+/// [`nearest_to_many_ids`] on an explicit kernel path (bit-identical on
+/// every path; for differential tests and benches).
+pub fn nearest_to_many_ids_path<I: RowIndex>(
+    m: &Matrix,
+    ids: &[I],
+    points: &[&[f64]],
+    par: Parallelism,
+    path: KernelPath,
+) -> Vec<Option<I>> {
+    let workers = par.effective(ids.len(), tclose_parallel::BLOCK);
+    let partials = map_blocks(ids.len(), workers, |r| {
+        points
+            .iter()
+            .map(|p| simd::extreme_scan(m, &ids[r.clone()], p, false, path))
+            .collect::<Vec<_>>()
+    });
+    let mut best: Vec<Option<(I, f64)>> = vec![None; points.len()];
+    for block in partials {
+        for (b, cand) in best.iter_mut().zip(block) {
+            if let Some((id, d)) = cand {
+                match *b {
+                    Some((bid, bd))
+                        if !simd::beats(false, d, id.row_index(), bd, bid.row_index()) => {}
+                    _ => *b = Some((id, d)),
+                }
+            }
+        }
+    }
+    best.into_iter().map(|b| b.map(|(id, _)| id)).collect()
 }
 
 /// Shared argmax/argmin scan. Per-block winners are reduced in block
 /// order; the (distance, row-index) comparison is associative, so the
-/// result is independent of both blocking and worker count.
+/// result is independent of blocking, worker count, and lane width.
 fn extreme_ids<I: RowIndex>(
     m: &Matrix,
     ids: &[I],
     point: &[f64],
     par: Parallelism,
     farthest: bool,
+    path: KernelPath,
 ) -> Option<I> {
-    let beats = |d: f64, i: usize, bd: f64, bi: usize| -> bool {
-        if d != bd {
-            if farthest {
-                d > bd
-            } else {
-                d < bd
-            }
-        } else {
-            i < bi
-        }
-    };
     let workers = par.effective(ids.len(), tclose_parallel::BLOCK);
     let partials = map_blocks(ids.len(), workers, |r| {
-        let mut best: Option<(I, f64)> = None;
-        for &id in &ids[r] {
-            let d = sq_dist_dim(m.row(id), point);
-            match best {
-                Some((bid, bd)) if !beats(d, id.row_index(), bd, bid.row_index()) => {}
-                _ => best = Some((id, d)),
-            }
-        }
-        best
+        simd::extreme_scan(m, &ids[r], point, farthest, path)
     });
     let mut best: Option<(I, f64)> = None;
     for cand in partials.into_iter().flatten() {
         match best {
-            Some((bid, bd)) if !beats(cand.1, cand.0.row_index(), bd, bid.row_index()) => {}
+            Some((bid, bd))
+                if !simd::beats(farthest, cand.1, cand.0.row_index(), bd, bid.row_index()) => {}
             _ => best = Some(cand),
         }
     }
@@ -190,21 +256,20 @@ pub fn k_nearest_ids<I: RowIndex>(
     count: usize,
     par: Parallelism,
 ) -> Vec<I> {
-    let workers = par.effective(ids.len(), tclose_parallel::BLOCK);
-    let mut with_d: Vec<(f64, I)> = map_blocks(ids.len(), workers, |r| {
-        ids[r]
-            .iter()
-            .map(|&id| (sq_dist_dim(m.row(id), point), id))
-            .collect::<Vec<_>>()
-    })
-    .into_iter()
-    .flatten()
-    .collect();
-    let cmp = |a: &(f64, I), b: &(f64, I)| {
-        a.0.partial_cmp(&b.0)
-            .expect("finite")
-            .then(a.1.row_index().cmp(&b.1.row_index()))
-    };
+    k_nearest_ids_path(m, ids, point, count, par, KernelPath::active())
+}
+
+/// [`k_nearest_ids`] on an explicit kernel path (bit-identical on every
+/// path; for differential tests and benches).
+pub fn k_nearest_ids_path<I: RowIndex>(
+    m: &Matrix,
+    ids: &[I],
+    point: &[f64],
+    count: usize,
+    par: Parallelism,
+    path: KernelPath,
+) -> Vec<I> {
+    let mut with_d = collect_distances(m, ids, point, par, path);
     // O(n) selection of the `count` smallest under the total order
     // (distance, row index), then an O(k log k) sort of just that prefix —
     // same result as a full sort + truncate, without the n log n cost that
@@ -214,11 +279,119 @@ pub fn k_nearest_ids<I: RowIndex>(
         return Vec::new();
     }
     if cut < with_d.len() {
-        with_d.select_nth_unstable_by(cut - 1, cmp);
+        with_d.select_nth_unstable_by(cut - 1, near_cmp);
         with_d.truncate(cut);
     }
-    with_d.sort_unstable_by(cmp);
+    with_d.sort_unstable_by(near_cmp);
     with_d.into_iter().map(|(_, id)| id).collect()
+}
+
+/// One blocked (and laned) distance pass: `(squared distance, id)` per id,
+/// in id-list order.
+fn collect_distances<I: RowIndex>(
+    m: &Matrix,
+    ids: &[I],
+    point: &[f64],
+    par: Parallelism,
+    path: KernelPath,
+) -> Vec<(f64, I)> {
+    let workers = par.effective(ids.len(), tclose_parallel::BLOCK);
+    map_blocks(ids.len(), workers, |r| {
+        let mut out = Vec::new();
+        simd::distances_into(m, &ids[r], point, path, &mut out);
+        out
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// Ascending (distance, row index) — the k-nearest total order.
+fn near_cmp<I: RowIndex>(a: &(f64, I), b: &(f64, I)) -> std::cmp::Ordering {
+    a.0.partial_cmp(&b.0)
+        .expect("finite")
+        .then(a.1.row_index().cmp(&b.1.row_index()))
+}
+
+/// Descending distance, then ascending row index — the order in which
+/// repeated farthest-point extraction would visit the ids.
+fn far_cmp<I: RowIndex>(a: &(f64, I), b: &(f64, I)) -> std::cmp::Ordering {
+    b.0.partial_cmp(&a.0)
+        .expect("finite")
+        .then(a.1.row_index().cmp(&b.1.row_index()))
+}
+
+/// One fused scan answering both halves of an MDAV round: the `near_count`
+/// ids nearest to `point` (ascending by (distance, row index)) **and** the
+/// `far_count` ids farthest from it (descending by distance, ties toward
+/// the lowest row index — exactly the order repeated
+/// [`farthest_from_ids`] + removal would produce).
+///
+/// MDAV consumes this as "take the k nearest as a cluster, then seed the
+/// next cluster from the first far candidate that survived the removal":
+/// since at most `near_count` ids are removed, passing
+/// `far_count = near_count + 1` guarantees a survivor, and the survivor
+/// equals the farthest point of the post-removal set because removal never
+/// promotes anything in the (distance, row index) order. One distance pass
+/// replaces the two scans of the naive formulation.
+pub fn k_nearest_with_far_candidates_ids<I: RowIndex>(
+    m: &Matrix,
+    ids: &[I],
+    point: &[f64],
+    near_count: usize,
+    far_count: usize,
+    par: Parallelism,
+) -> (Vec<I>, Vec<I>) {
+    k_nearest_with_far_candidates_ids_path(
+        m,
+        ids,
+        point,
+        near_count,
+        far_count,
+        par,
+        KernelPath::active(),
+    )
+}
+
+/// [`k_nearest_with_far_candidates_ids`] on an explicit kernel path
+/// (bit-identical on every path; for differential tests and benches).
+pub fn k_nearest_with_far_candidates_ids_path<I: RowIndex>(
+    m: &Matrix,
+    ids: &[I],
+    point: &[f64],
+    near_count: usize,
+    far_count: usize,
+    par: Parallelism,
+    path: KernelPath,
+) -> (Vec<I>, Vec<I>) {
+    let mut with_d = collect_distances(m, ids, point, par, path);
+    // Both selections run over the same distance buffer; each works on an
+    // arbitrary permutation of it, and (distance, row index) is a total
+    // order, so the far selection permuting the buffer cannot change what
+    // the near selection returns.
+    let fcut = far_count.min(with_d.len());
+    let far: Vec<I> = if fcut == 0 {
+        Vec::new()
+    } else {
+        if fcut < with_d.len() {
+            with_d.select_nth_unstable_by(fcut - 1, far_cmp);
+        }
+        let mut head = with_d[..fcut].to_vec();
+        head.sort_unstable_by(far_cmp);
+        head.into_iter().map(|(_, id)| id).collect()
+    };
+    let ncut = near_count.min(with_d.len());
+    let near: Vec<I> = if ncut == 0 {
+        Vec::new()
+    } else {
+        if ncut < with_d.len() {
+            with_d.select_nth_unstable_by(ncut - 1, near_cmp);
+            with_d.truncate(ncut);
+        }
+        with_d.sort_unstable_by(near_cmp);
+        with_d.into_iter().map(|(_, id)| id).collect()
+    };
+    (near, far)
 }
 
 /// The smallest squared distance from `point` to any row at `ids`, skipping
@@ -231,13 +404,22 @@ pub fn min_sq_dist_excluding<I: RowIndex>(
     exclude: usize,
     par: Parallelism,
 ) -> f64 {
+    min_sq_dist_excluding_path(m, ids, point, exclude, par, KernelPath::active())
+}
+
+/// [`min_sq_dist_excluding`] on an explicit kernel path (bit-identical on
+/// every path; for differential tests and benches).
+pub fn min_sq_dist_excluding_path<I: RowIndex>(
+    m: &Matrix,
+    ids: &[I],
+    point: &[f64],
+    exclude: usize,
+    par: Parallelism,
+    path: KernelPath,
+) -> f64 {
     let workers = par.effective(ids.len(), tclose_parallel::BLOCK);
     map_blocks(ids.len(), workers, |r| {
-        ids[r]
-            .iter()
-            .filter(|id| id.row_index() != exclude)
-            .map(|&id| sq_dist_dim(m.row(id), point))
-            .fold(f64::INFINITY, f64::min)
+        simd::min_sq_dist_scan(m, &ids[r], point, exclude, path)
     })
     .into_iter()
     .fold(f64::INFINITY, f64::min)

@@ -14,6 +14,12 @@
 //!   k-nearest kernels shared by all microaggregation algorithms (MDAV,
 //!   V-MDAV, Algorithms 1–3), in both a flat-matrix form with optional
 //!   scoped-thread parallelism and a boxed-rows compatibility form.
+//! * [`simd`] — hand-unrolled multi-lane (4/8-wide) implementations of the
+//!   hot per-block kernels with a permanent scalar reference path, selected
+//!   by [`KernelPath`] (`TCLOSE_KERNELS` env var). All paths are
+//!   bit-identical by construction: comparison kernels keep per-row
+//!   distance sequences unchanged, sum kernels share one canonical 8-lane
+//!   reduction DAG.
 //! * [`sse`] — the paper's utility metric: normalized Sum of Squared Errors
 //!   (Eq. 5) between an original and an anonymized table.
 //! * [`loss`] — additional utility diagnostics (mean/variance/correlation
@@ -33,10 +39,12 @@ pub mod emd;
 pub mod loss;
 pub mod matrix;
 pub mod risk;
+pub mod simd;
 pub mod sse;
 
 pub use distance::{centroid, dist, farthest_from, nearest_to, sq_dist};
 pub use distance::{centroid_ids, farthest_from_ids, k_nearest_ids, nearest_to_ids};
 pub use emd::{nominal_emd, ClusterHistogram, DomainAccumulator, EmdError, OrderedEmd};
 pub use matrix::{Matrix, RowId, RowIndex};
+pub use simd::KernelPath;
 pub use sse::{normalized_sse, sse_absolute};

@@ -14,10 +14,13 @@
 //! contribute 0 when equal and 1 otherwise.
 //!
 //! Numeric accumulation runs as a chunked loop over fixed-size blocks
-//! (parallelised with scoped threads on long columns); the block structure
-//! is worker-count independent, so the reported SSE is deterministic on any
-//! machine.
+//! (parallelised with scoped threads on long columns); within each block
+//! the squared errors reduce through the canonical 8-lane DAG of
+//! [`crate::simd`]. Neither the block structure nor the lane DAG depends
+//! on the worker count or the selected [`KernelPath`], so the reported
+//! SSE is deterministic on any machine and any configuration.
 
+use crate::simd::{self, KernelPath};
 use tclose_microdata::{stats, AttributeKind, Error, Result, Table};
 use tclose_parallel::{map_blocks, Parallelism};
 
@@ -25,16 +28,22 @@ use tclose_parallel::{map_blocks, Parallelism};
 /// the fixed block structure of [`map_blocks`] so the result is
 /// bit-identical for any worker count (and parallel on long columns).
 fn column_sq_err(orig: &[f64], anon: &[f64], scale: f64) -> f64 {
-    let workers = Parallelism::auto().effective(orig.len(), tclose_parallel::BLOCK);
+    column_sq_err_with(orig, anon, scale, Parallelism::auto(), KernelPath::active())
+}
+
+/// `column_sq_err` with explicit parallelism and kernel path — the SSE
+/// inner loop, exposed for differential tests and the `kernel_scaling`
+/// bench. Bit-identical on every path and worker count.
+pub fn column_sq_err_with(
+    orig: &[f64],
+    anon: &[f64],
+    scale: f64,
+    par: Parallelism,
+    path: KernelPath,
+) -> f64 {
+    let workers = par.effective(orig.len(), tclose_parallel::BLOCK);
     map_blocks(orig.len(), workers, |r| {
-        orig[r.clone()]
-            .iter()
-            .zip(&anon[r])
-            .map(|(x, y)| {
-                let ned = (x - y) / scale;
-                ned * ned
-            })
-            .sum::<f64>()
+        simd::sq_err_sum(&orig[r.clone()], &anon[r], scale, path)
     })
     .iter()
     .sum()

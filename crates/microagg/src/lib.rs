@@ -54,7 +54,7 @@ pub use cluster::{Clustering, ClusteringError};
 pub use mdav::{mdav_partition, mdav_partition_with, Mdav};
 pub use vmdav::{vmdav_partition, vmdav_partition_with, VMdav};
 
-pub use tclose_index::{NeighborBackend, NeighborSet};
+pub use tclose_index::{NeighborBackend, NeighborSet, QueryMode};
 pub use tclose_metrics::matrix::{Matrix, RowId, RowIndex};
 pub use tclose_parallel::Parallelism;
 

@@ -11,14 +11,21 @@
 //! buffer and can run on scoped threads; the farthest-record and k-nearest
 //! queries go through a [`NeighborSet`], which answers them either with
 //! the same flat kernels or with pruned kd-tree queries
-//! ([`NeighborBackend`], default [`NeighborBackend::Auto`]). The two
-//! backends are exact and share one tie-breaking order, so the partition
-//! is byte-identical for any backend *and* any worker count; see
-//! [`mdav_partition_with`] for the fully explicit entry point.
+//! ([`NeighborBackend`], default [`NeighborBackend::Auto`]). On the flat
+//! backend each main round issues one *fused* near+far request: the `k`
+//! cluster members around `x_r` and the `k+1` farthest-from-`x_r`
+//! candidates come back from a single distance pass, and the next seed
+//! `x_s` is the first candidate surviving the cluster removal. On the
+//! kd-tree backend the round instead asks for the single farthest record
+//! *after* the removal — provably the same `x_s`, but answered by a
+//! 1-candidate traversal whose pruning threshold is as tight as it gets.
+//! The two backends are exact and share one tie-breaking order, so the
+//! partition is byte-identical for any backend, query mode, *and* worker
+//! count; see [`mdav_partition_with`] for the fully explicit entry point.
 
 use crate::cluster::Clustering;
 use crate::Microaggregator;
-use tclose_index::{NeighborBackend, NeighborSet};
+use tclose_index::{NeighborBackend, NeighborSet, ResolvedBackend};
 use tclose_metrics::distance::centroid_ids;
 use tclose_metrics::matrix::{Matrix, RowId};
 use tclose_parallel::Parallelism;
@@ -91,13 +98,32 @@ pub fn mdav_partition_with(
         let xr = search
             .farthest_from(remaining.items(), &c)
             .expect("non-empty");
-        take_cluster(m, &mut search, &mut remaining, xr, k, &mut clusters);
-        if remaining.is_empty() {
-            break;
-        }
-        let xs = search
-            .farthest_from(remaining.items(), m.row(xr))
-            .expect("non-empty");
+        // Both branches compute the same seed `x_s`: removing the k
+        // cluster members can knock out at most k of the k+1
+        // farthest-from-`x_r` records, so the first pre-removal candidate
+        // still in the pool is exactly what `farthest_from` returns after
+        // the removal. Which route is *cheaper* differs per backend: the
+        // flat pass hands back the far candidates for free from the single
+        // distance scan it already makes, while on the kd-tree a
+        // (k+1)-farthest list prunes far more weakly than the single
+        // post-removal farthest-point query, so the tree asks afterwards.
+        let xs = match search.resolved() {
+            ResolvedBackend::FlatScan => {
+                let (members, far) =
+                    search.k_nearest_with_far_candidates(remaining.items(), m.row(xr), k, k + 1);
+                commit_cluster(&mut search, &mut remaining, members, &mut clusters);
+                far.into_iter()
+                    .find(|&id| remaining.contains(id))
+                    .expect("k+1 far candidates cannot all sit in a k-cluster")
+            }
+            ResolvedBackend::KdTree => {
+                let members = search.k_nearest(remaining.items(), m.row(xr), k);
+                commit_cluster(&mut search, &mut remaining, members, &mut clusters);
+                search
+                    .farthest_from(remaining.items(), m.row(xr))
+                    .expect("pool keeps at least 2k records here")
+            }
+        };
         take_cluster(m, &mut search, &mut remaining, xs, k, &mut clusters);
     }
 
@@ -130,6 +156,17 @@ fn take_cluster(
 ) {
     let members = search.k_nearest(remaining.items(), m.row(seed), k);
     debug_assert!(members.contains(&seed));
+    commit_cluster(search, remaining, members, clusters);
+}
+
+/// Removes `members` from the pool (and the search set) and pushes them
+/// as a new cluster.
+fn commit_cluster(
+    search: &mut NeighborSet<'_>,
+    remaining: &mut RowPool,
+    members: Vec<RowId>,
+    clusters: &mut Vec<Vec<usize>>,
+) {
     search.remove_all(&members);
     for &id in &members {
         remaining.remove(id);
@@ -170,6 +207,10 @@ impl RowPool {
 
     fn is_empty(&self) -> bool {
         self.items.is_empty()
+    }
+
+    fn contains(&self, id: RowId) -> bool {
+        self.pos[id.index()] != u32::MAX
     }
 
     fn remove(&mut self, id: RowId) {

@@ -16,21 +16,23 @@
 //! size adaptivity (the authors recommend γ ≈ 0.2 for scattered data,
 //! γ ≈ 1.1 for clustered data).
 //!
-//! Like MDAV, the seed-selection and k-nearest-gathering queries of the
-//! main loop go through a [`NeighborSet`] (flat scans or pruned kd-tree,
-//! [`NeighborBackend::Auto`] by default); the candidate search of the
-//! extension phase — whose tie-breaking is positional, tied to the order
-//! of the `remaining` vector — stays on the flat kernels over the
-//! contiguous [`Matrix`] buffer. [`vmdav_partition_with`] exposes both the
-//! worker count and the backend; the clustering is byte-identical for any
-//! choice of either.
+//! Every query — seed selection, k-nearest gathering, *and* the candidate
+//! search of the extension phase — goes through a [`NeighborSet`] (flat
+//! scans or pruned kd-tree, [`NeighborBackend::Auto`] by default). The
+//! extension phase issues one [`NeighborSet::nearest_batch`] request per
+//! round (each cluster member asks for its nearest unassigned record, the
+//! whole batch sharing a single tree traversal) and combines the answers
+//! under the canonical total order (distance, row id), so the candidate
+//! choice no longer depends on the scrambled order of the `remaining`
+//! vector. [`vmdav_partition_with`] exposes both the worker count and the
+//! backend; the clustering is byte-identical for any choice of either.
 
 use crate::cluster::Clustering;
 use crate::Microaggregator;
 use tclose_index::{NeighborBackend, NeighborSet};
-use tclose_metrics::distance::{centroid_ids, min_sq_dist_excluding, sq_dist};
+use tclose_metrics::distance::{centroid_ids, sq_dist, sq_dist_dim};
 use tclose_metrics::matrix::{Matrix, RowId};
-use tclose_parallel::{map_blocks, Parallelism};
+use tclose_parallel::Parallelism;
 
 /// The V-MDAV variable-size microaggregation heuristic.
 ///
@@ -137,15 +139,18 @@ pub fn vmdav_partition_with(
         // least k unassigned so the leftover handling stays simple and
         // no final under-sized cluster can appear.
         while members.len() < 2 * k - 1 && remaining.len() > k {
-            let (cand_pos, d_in) = match nearest_to_cluster(m, &remaining, &members, par) {
+            let (d_in, cand) = match nearest_to_cluster(m, &search, &remaining, &members) {
                 Some(x) => x,
                 None => break,
             };
-            let cand = remaining[cand_pos];
-            let d_out = min_sq_dist_excluding(m, &remaining, m.row(cand), cand.index(), par);
+            let d_out = search.min_sq_dist_to_other(&remaining, m.row(cand), cand.index());
             // Compare true distances; sq_dist is monotone so compare
             // square roots to honour the published criterion d_in < γ·d_out.
             if d_in.sqrt() < gamma * d_out.sqrt() {
+                let cand_pos = remaining
+                    .iter()
+                    .position(|&r| r == cand)
+                    .expect("candidate is unassigned");
                 members.push(cand);
                 remaining.swap_remove(cand_pos);
                 search.remove(cand);
@@ -177,39 +182,35 @@ pub fn vmdav_partition_with(
     Clustering::new(clusters, n).expect("V-MDAV produces a valid partition")
 }
 
-/// Position in `remaining` of the record with the smallest squared distance
-/// to any member of `members`, together with that squared distance.
+/// The unassigned record with the smallest squared distance to any member
+/// of `members`, together with that squared distance.
 ///
-/// The candidate scan runs blocked over `remaining` (parallelisable); ties
-/// break toward the earliest position, reduced in block order, so the
-/// result never depends on the worker count.
+/// One batched nearest-neighbor request: each member queries for its
+/// nearest unassigned record (the batch shares a single traversal on the
+/// kd-tree backend), and the per-member winners reduce under the total
+/// order (distance, row id). The winner of that reduction is exactly the
+/// global (distance, row id) minimum over all (candidate, member) pairs:
+/// any strictly smaller pair at some member would have been that member's
+/// answer. Distances are recomputed with [`sq_dist_dim`] so the value fed
+/// to the γ criterion is bit-identical on every backend.
 fn nearest_to_cluster(
     m: &Matrix,
+    search: &NeighborSet<'_>,
     remaining: &[RowId],
     members: &[RowId],
-    par: Parallelism,
-) -> Option<(usize, f64)> {
-    let workers = par.effective(remaining.len(), tclose_parallel::BLOCK);
-    let partials = map_blocks(remaining.len(), workers, |range| {
-        let mut best: Option<(usize, f64)> = None;
-        for pos in range {
-            let row = m.row(remaining[pos]);
-            let d = members
-                .iter()
-                .map(|&mb| sq_dist(row, m.row(mb)))
-                .fold(f64::INFINITY, f64::min);
-            match best {
-                Some((_, bd)) if d >= bd => {}
-                _ => best = Some((pos, d)),
-            }
-        }
-        best
-    });
-    let mut best: Option<(usize, f64)> = None;
-    for cand in partials.into_iter().flatten() {
+) -> Option<(f64, RowId)> {
+    let member_rows: Vec<&[f64]> = members.iter().map(|&mb| m.row(mb)).collect();
+    let nearest = search.nearest_batch(remaining, &member_rows);
+    let mut best: Option<(f64, RowId)> = None;
+    for (mb_row, cand) in member_rows.iter().zip(nearest) {
+        let c = match cand {
+            Some(c) => c,
+            None => continue,
+        };
+        let d = sq_dist_dim(m.row(c), mb_row);
         match best {
-            Some((_, bd)) if cand.1 >= bd => {}
-            _ => best = Some(cand),
+            Some((bd, bid)) if d > bd || (d == bd && c >= bid) => {}
+            _ => best = Some((d, c)),
         }
     }
     best

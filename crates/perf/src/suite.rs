@@ -25,6 +25,9 @@ use tclose_core::{
 };
 use tclose_datasets::patient_discharge;
 use tclose_eval::{Context, Dataset};
+use tclose_metrics::distance::min_sq_dist_excluding_path;
+use tclose_metrics::sse::column_sq_err_with;
+use tclose_metrics::KernelPath;
 use tclose_microagg::{
     mdav_partition_with, vmdav_partition_with, Matrix, NeighborBackend, Parallelism,
 };
@@ -149,6 +152,57 @@ fn synthetic_matrix(n: usize, dims: usize) -> Matrix {
         .map(|i| ((i * 2654435761 + (i % dims) * 40503) % 100_003) as f64 * 1e-3)
         .collect();
     Matrix::new(data, n, dims)
+}
+
+/// Kernel-scaling cases: the two hottest flat scans (the MDAV-family
+/// min-distance scan and the SSE column pass) at n = 100k, pinned on the
+/// scalar reference path and on the default 8-lane path. The pair of
+/// numbers per kernel is the committed lane-width speedup — the gate
+/// catches both an absolute regression and a silent loss of
+/// vectorization (lanes8 drifting back toward scalar). Each timed
+/// iteration loops the kernel 10× so a sample is milliseconds, not
+/// microseconds.
+fn kernel_cases(cases: &mut Vec<Case>) {
+    let m = synthetic_matrix(100_000, 3);
+    let ids: Vec<tclose_microagg::RowId> = m.row_ids().collect();
+    let point = m.row(50_000).to_vec();
+    let orig: Vec<f64> = (0..100_000)
+        .map(|i| ((i * 2654435761u64 as usize) % 100_003) as f64 * 1e-3)
+        .collect();
+    let anon: Vec<f64> = orig.iter().map(|x| x * 0.75 + 3.0).collect();
+    for path in [KernelPath::Scalar, KernelPath::Lanes8] {
+        let (m, ids, point) = (m.clone(), ids.clone(), point.clone());
+        cases.push(Case::new(
+            format!("kernel/sq_dist/{}/synth100k_d3", path.name()),
+            move || {
+                for _ in 0..10 {
+                    black_box(min_sq_dist_excluding_path(
+                        black_box(&m),
+                        &ids,
+                        &point,
+                        0,
+                        Parallelism::sequential(),
+                        path,
+                    ));
+                }
+            },
+        ));
+        let (orig, anon) = (orig.clone(), anon.clone());
+        cases.push(Case::new(
+            format!("kernel/sse/{}/synth100k", path.name()),
+            move || {
+                for _ in 0..10 {
+                    black_box(column_sq_err_with(
+                        black_box(&orig),
+                        &anon,
+                        7.5,
+                        Parallelism::sequential(),
+                        path,
+                    ));
+                }
+            },
+        ));
+    }
 }
 
 /// Partition cases: MDAV (and optionally V-MDAV) over `rows`, flat
@@ -347,6 +401,7 @@ pub fn catalog(suite: Suite) -> Result<Vec<Case>, String> {
     let ctx = Context::default();
     match suite {
         Suite::Smoke => {
+            kernel_cases(&mut cases);
             partition_cases(
                 &mut cases,
                 "patient4k_d7",

@@ -6,6 +6,8 @@
 //! data goes through the full pipeline under every combination of
 //! 3 algorithms × 2 normalizations × workers {1, 4} × both explicit
 //! backends, and the serialized CSV releases must be byte-identical.
+//! A second sweep swaps the kd-tree query mode (batched shared traversals
+//! vs one traversal per query, `TCLOSE_QUERY_MODE`) into the grid.
 
 use std::path::PathBuf;
 
@@ -51,6 +53,58 @@ fn releases_are_byte_identical_across_backends_and_worker_counts() {
                 );
                 assert_eq!(emd.to_bits(), base_emd.to_bits());
             }
+        }
+    }
+}
+
+#[test]
+fn releases_are_byte_identical_across_query_modes() {
+    // The batched kd-tree traversals (and the fused near+far requests the
+    // clustering loops now issue) must be invisible in the output: forcing
+    // one-traversal-per-query answers via `TCLOSE_QUERY_MODE` cannot
+    // change a release on any backend at any worker count. The env var is
+    // read per `NeighborSet`, and every mode returns identical results, so
+    // mutating it while sibling tests run concurrently is harmless.
+    let table = tclose::datasets::census_mcd(7);
+    for alg in [
+        Algorithm::Merge,
+        Algorithm::KAnonymityFirst,
+        Algorithm::TClosenessFirst,
+    ] {
+        let mut releases: Vec<(String, String, f64)> = Vec::new();
+        for mode in ["batched", "per-query"] {
+            std::env::set_var("TCLOSE_QUERY_MODE", mode);
+            for backend in [NeighborBackend::FlatScan, NeighborBackend::KdTree] {
+                for workers in [1usize, 4] {
+                    let out = Anonymizer::new(4, 0.2)
+                        .algorithm(alg)
+                        .with_parallelism(Parallelism::workers(workers))
+                        .with_backend(backend)
+                        .anonymize(&table)
+                        .unwrap();
+                    releases.push((
+                        format!("mode={mode} backend={backend:?} workers={workers}"),
+                        to_csv_string(&out.table).unwrap(),
+                        out.report.max_emd,
+                    ));
+                }
+            }
+        }
+        std::env::remove_var("TCLOSE_QUERY_MODE");
+        let (base_label, base_csv, base_emd) = &releases[0];
+        for (label, csv, emd) in &releases[1..] {
+            assert_eq!(
+                csv,
+                base_csv,
+                "{}: release differs between {base_label} and {label}",
+                alg.name()
+            );
+            assert_eq!(
+                emd.to_bits(),
+                base_emd.to_bits(),
+                "{}: max_emd differs between {base_label} and {label}",
+                alg.name()
+            );
         }
     }
 }
