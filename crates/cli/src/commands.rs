@@ -64,8 +64,10 @@ pub fn parse_workers(p: &Parsed) -> Result<Option<Parallelism>, String> {
 }
 
 /// Parses the `--backend` option: the neighbor-search backend of the
-/// clustering hot path. The release is identical for any choice (both
-/// backends are exact); only wall-clock time changes.
+/// clustering hot path. `auto`/`flat`/`kdtree` are exact — the release
+/// is identical for any of them; only wall-clock time changes.
+/// `grid`/`hybrid` opt into approximate partitioning for million-row
+/// speed: still deterministic and audited, but a different clustering.
 pub fn parse_backend(p: &Parsed) -> Result<NeighborBackend, String> {
     match p.get("backend") {
         None => Ok(NeighborBackend::Auto),
@@ -226,6 +228,7 @@ fn cmd_anonymize_stream(
          requested (k, t)    ({}, {})\n\
          achieved k          {} (worst shard)\n\
          achieved t (EMD)    {:.5} (worst shard, vs global distribution)\n\
+         t budget spent      {:.1}% (worst EMD / requested t)\n\
          equivalence classes {} (sizes min {} / mean {:.1} / max {})\n\
          normalized SSE      {:.6}\n\
          fit pass            {:?}\n\
@@ -239,6 +242,7 @@ fn cmd_anonymize_stream(
         r.t_requested,
         r.min_cluster_size,
         r.max_emd,
+        r.achieved_t_deviation * 100.0,
         r.n_clusters,
         r.min_cluster_size,
         r.mean_cluster_size,
@@ -532,14 +536,39 @@ pub fn cmd_audit(p: &Parsed) -> Result<String, String> {
     let achieved_t =
         tclose_core::verify_t_closeness_with(&table, &conf, par).map_err(|e| e.to_string())?;
     let achieved_l = tclose_core::verify_l_diversity(&table).map_err(|e| e.to_string())?;
-    Ok(format!(
+    let mut msg = format!(
         "audited {} records from {}\nachieved k (min class size) {}\nachieved t (max class EMD)  {:.5}\nachieved l (min distinct)   {}",
         table.n_rows(),
         input.display(),
         achieved_k,
         achieved_t,
         achieved_l,
-    ))
+    );
+    // With `--t` the audit also grades the release against a requested
+    // level: deviation ≤ 1.0 means the t-budget holds. This is the check
+    // to run after an approximate-backend (`grid`/`hybrid`) release.
+    if let Some(v) = p.get("t") {
+        let t: f64 = v
+            .parse()
+            .map_err(|e| format!("--t: {e}"))
+            .and_then(|t: f64| {
+                if t.is_finite() && t > 0.0 {
+                    Ok(t)
+                } else {
+                    Err("--t must be a finite value > 0".into())
+                }
+            })?;
+        let deviation = achieved_t / t;
+        msg.push_str(&format!(
+            "\nachieved t deviation        {deviation:.4} (achieved / requested {t}{})",
+            if deviation <= 1.0 {
+                ", within budget"
+            } else {
+                ", OVER budget"
+            }
+        ));
+    }
+    Ok(msg)
 }
 
 #[cfg(test)]
@@ -649,7 +678,64 @@ mod tests {
             parse_backend(&argv("anonymize --backend kdtree")).unwrap(),
             NeighborBackend::KdTree
         );
+        assert_eq!(
+            parse_backend(&argv("anonymize --backend grid")).unwrap(),
+            NeighborBackend::Grid
+        );
+        assert_eq!(
+            parse_backend(&argv("anonymize --backend hybrid")).unwrap(),
+            NeighborBackend::Hybrid
+        );
         assert!(parse_backend(&argv("anonymize --backend ball-tree")).is_err());
+    }
+
+    #[test]
+    fn approximate_backends_release_valid_audited_tables() {
+        let data = tmp("census_approx.csv");
+        cmd_generate(&argv(&format!(
+            "generate --dataset census-mcd --seed 17 --output {}",
+            data.display()
+        )))
+        .unwrap();
+
+        for backend in ["grid", "hybrid"] {
+            let released = tmp(&format!("census_anon_approx_{backend}.csv"));
+            let msg = cmd_anonymize(&argv(&format!(
+                "anonymize --input {} --output {} --qi TAXINC,POTHVAL --confidential FEDTAX \
+                 --k 4 --t 0.3 --backend {backend}",
+                data.display(),
+                released.display()
+            )))
+            .unwrap();
+            assert!(!msg.contains("warning"), "{backend}: {msg}");
+
+            let msg = cmd_audit(&argv(&format!(
+                "audit --input {} --qi TAXINC,POTHVAL --confidential FEDTAX --t 0.3",
+                released.display()
+            )))
+            .unwrap();
+            let k_line = msg.lines().find(|l| l.contains("achieved k")).unwrap();
+            let k: usize = k_line.split_whitespace().last().unwrap().parse().unwrap();
+            assert!(k >= 4, "{backend}: audited k = {k}");
+            let dev_line = msg.lines().find(|l| l.contains("deviation")).unwrap();
+            assert!(dev_line.contains("within budget"), "{backend}: {dev_line}");
+        }
+    }
+
+    #[test]
+    fn audit_rejects_an_invalid_t() {
+        let data = tmp("census_audit_t.csv");
+        cmd_generate(&argv(&format!(
+            "generate --dataset census-mcd --seed 3 --output {}",
+            data.display()
+        )))
+        .unwrap();
+        let e = cmd_audit(&argv(&format!(
+            "audit --input {} --qi TAXINC,POTHVAL --confidential FEDTAX --t 0",
+            data.display()
+        )))
+        .unwrap_err();
+        assert!(e.contains("--t"), "{e}");
     }
 
     #[test]

@@ -5,16 +5,16 @@
 //!                  [--seed N] [--n N]
 //! tclose anonymize --input FILE --output FILE --qi COLS --confidential COLS
 //!                  --k N --t F [--algorithm alg1|alg2|alg3] [--report]
-//!                  [--workers N] [--backend auto|flat|kdtree]
+//!                  [--workers N] [--backend auto|flat|kdtree|grid|hybrid]
 //!                  [--stream] [--shard-size N]
 //! tclose fit       --input FILE --out MODEL --qi COLS --confidential COLS
 //!                  --k N --t F [--algorithm alg1|alg2|alg3]
 //!                  [--normalize zscore|minmax|none] [--stream] [--shard-size N]
 //! tclose apply     --model MODEL --input FILE --output FILE
-//!                  [--workers N] [--backend auto|flat|kdtree]
+//!                  [--workers N] [--backend auto|flat|kdtree|grid|hybrid]
 //!                  [--stream] [--shard-size N]
 //! tclose model     inspect MODEL
-//! tclose audit     --input FILE --qi COLS --confidential COLS [--workers N]
+//! tclose audit     --input FILE --qi COLS --confidential COLS [--t F] [--workers N]
 //! tclose bench     [run|gate|bless|selftest] [--suite smoke|full] …
 //! ```
 //!
@@ -36,9 +36,12 @@
 //! shards of `--shard-size` records in parallel and appends them to the
 //! output in input order. `--workers` pins the thread count end-to-end;
 //! output is identical for any value. `--backend` selects the
-//! neighbor-search backend of the clustering hot path (flat scans or a
-//! kd-tree; both exact, so the release never depends on the choice —
-//! `auto` picks per record set).
+//! neighbor-search backend of the clustering hot path: `auto`, `flat`,
+//! and `kdtree` are exact (the release never depends on the choice —
+//! `auto` picks per record set), while `grid` and `hybrid` opt into
+//! *approximate* partitioning for million-row speed; both remain
+//! deterministic and every release still passes the t-closeness audit,
+//! but the clustering may differ from the exact one.
 //!
 //! `bench` mounts the `tclose-perf` harness (machine-readable benchmark
 //! suite plus the noise-aware regression gate); everything after `bench`
@@ -60,16 +63,16 @@ usage:
   tclose generate  --dataset census-mcd|census-hcd|patient --output FILE [--seed N] [--n N]
   tclose anonymize --input FILE --output FILE --qi COLS --confidential COLS \\
                    --k N --t F [--algorithm alg1|alg2|alg3] \\
-                   [--workers N] [--backend auto|flat|kdtree] \\
+                   [--workers N] [--backend auto|flat|kdtree|grid|hybrid] \\
                    [--stream] [--shard-size N]
   tclose fit       --input FILE --out MODEL.json --qi COLS --confidential COLS \\
                    --k N --t F [--algorithm alg1|alg2|alg3] \\
                    [--normalize zscore|minmax|none] [--stream] [--shard-size N]
   tclose apply     --model MODEL.json --input FILE --output FILE \\
-                   [--workers N] [--backend auto|flat|kdtree] \\
+                   [--workers N] [--backend auto|flat|kdtree|grid|hybrid] \\
                    [--stream] [--shard-size N]
   tclose model     inspect MODEL.json
-  tclose audit     --input FILE --qi COLS --confidential COLS [--workers N]
+  tclose audit     --input FILE --qi COLS --confidential COLS [--t F] [--workers N]
   tclose bench     [run|gate|bless|selftest] [--suite smoke|full] [...]
 
 algorithms:
@@ -79,8 +82,10 @@ algorithms:
 
 scaling:
   --workers N     pin the thread count (default: one per core; output identical)
-  --backend B     neighbor search: auto|flat|kdtree (exact either way, so the
-                  output is identical; auto picks per record set)
+  --backend B     neighbor search: auto|flat|kdtree are exact (identical
+                  output; auto picks per record set); grid|hybrid are
+                  approximate opt-ins for million-row speed (deterministic,
+                  audited t-closeness, but a different clustering)
   --stream        two-pass sharded engine: bounded memory, any file size
   --shard-size N  records per shard in --stream mode (default 10000)
 

@@ -399,8 +399,10 @@ impl FittedAnonymizer {
         self
     }
 
-    /// Selects the neighbor-search backend. Backends are exact — output
-    /// is identical for any choice.
+    /// Selects the neighbor-search backend. The exact backends
+    /// (`Auto`/`FlatScan`/`KdTree`) produce identical output; `Grid` and
+    /// `Hybrid` opt into an approximate (deterministic, audited)
+    /// clustering for speed.
     pub fn with_backend(mut self, backend: NeighborBackend) -> Self {
         self.backend = backend;
         self

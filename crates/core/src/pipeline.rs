@@ -174,9 +174,13 @@ impl Anonymizer {
     /// Selects the neighbor-search backend of the clustering hot path
     /// (default [`NeighborBackend::Auto`]: kd-tree for large,
     /// low-dimensional inputs, flat scans otherwise — resolved per record
-    /// set, so each streamed shard picks for its own size). Backends are
-    /// exact and share one tie-breaking order; the release is
-    /// byte-identical for any choice — only wall-clock time changes.
+    /// set, so each streamed shard picks for its own size). The exact
+    /// backends (`Auto`/`FlatScan`/`KdTree`) share one tie-breaking order
+    /// and the release is byte-identical across them — only wall-clock
+    /// time changes. `Grid` and `Hybrid` are approximate opt-ins: still
+    /// deterministic and still k-anonymous/t-close (every release is
+    /// audited), but they trade a different clustering for million-row
+    /// speed.
     pub fn with_backend(mut self, backend: NeighborBackend) -> Self {
         self.backend = backend;
         self

@@ -117,10 +117,63 @@ pub fn clustered_table(seed: u64, n: usize, n_blobs: usize) -> Table {
     numeric_table(&["qi1", "qi2", "conf"], vec![qi1, qi2, conf], 2)
 }
 
+/// One step of the splitmix64 stream — the cheap seeded generator behind
+/// [`frontier_rows`], where a `StdRng` draw per value would dominate the
+/// generation of tens of millions of doubles.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Blob count of [`frontier_rows`]: enough clusters that grid cells and
+/// coreset centers have real structure to find, few enough that every
+/// blob holds thousands of records at the million-row sizes.
+pub const FRONTIER_BLOBS: usize = 32;
+
+/// Flat row-major QI buffer for the approximate-backend frontier runs:
+/// `n` records in `dims` dimensions, clustered around
+/// [`FRONTIER_BLOBS`] seeded centers in `[0, 1000)^dims` with `±25`
+/// uniform jitter. Deterministic per `(seed, n, dims)` on every
+/// platform, and cheap enough (one splitmix64 draw per value) that
+/// generating 10M×4 doubles is a setup cost, not a measurement hazard.
+///
+/// Returned flat (`row i` at `[i*dims .. (i+1)*dims]`) rather than as a
+/// `Table` so the matrix-level partitioners can consume it without a
+/// schema round-trip.
+pub fn frontier_rows(seed: u64, n: usize, dims: usize) -> Vec<f64> {
+    let mut state = seed ^ 0x5DEE_CE66_D1CE_F00D;
+    let centers: Vec<f64> = (0..FRONTIER_BLOBS * dims)
+        .map(|_| (splitmix64(&mut state) % 1_000_000) as f64 * 1e-3)
+        .collect();
+    let mut data = Vec::with_capacity(n * dims);
+    for _ in 0..n {
+        let blob = splitmix64(&mut state) as usize % FRONTIER_BLOBS;
+        for d in 0..dims {
+            let jitter = (splitmix64(&mut state) % 50_000) as f64 * 1e-3 - 25.0;
+            data.push(centers[blob * dims + d] + jitter);
+        }
+    }
+    data
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use tclose_microdata::stats::{correlation, mean, std_dev};
+
+    #[test]
+    fn frontier_rows_are_seeded_and_shaped() {
+        let a = frontier_rows(9, 1000, 3);
+        let b = frontier_rows(9, 1000, 3);
+        let c = frontier_rows(10, 1000, 3);
+        assert_eq!(a.len(), 3000);
+        assert_eq!(a, b, "same seed must reproduce the same buffer");
+        assert_ne!(a, c, "different seeds must differ");
+        assert!(a.iter().all(|v| (-25.0..1025.0).contains(v)));
+    }
 
     #[test]
     fn std_normal_has_right_moments() {

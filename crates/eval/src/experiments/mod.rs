@@ -4,6 +4,7 @@
 //! the paper's layout.
 
 pub mod ablation;
+pub mod approx_frontier;
 pub mod baseline_cmp;
 pub mod cluster_size;
 pub mod runtime;

@@ -17,7 +17,9 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use tclose_core::Algorithm;
-use tclose_eval::experiments::{ablation, baseline_cmp, cluster_size, runtime, surface, utility};
+use tclose_eval::experiments::{
+    ablation, approx_frontier, baseline_cmp, cluster_size, runtime, surface, utility,
+};
 use tclose_eval::render::Grid;
 use tclose_eval::{Context, Dataset};
 
@@ -86,7 +88,10 @@ fn parse_args() -> Result<Args, String> {
 
 const HELP: &str = "repro — regenerate the paper's tables and figures
 usage: repro [--exp LIST] [--quick|--full] [--seed N] [--patient-n N] [--out DIR]
-experiments: table1, table2, table3, fig5, fig6, fig7, baselines, ablation, all";
+experiments: table1, table2, table3, fig5, fig6, fig7, baselines, ablation, all
+             frontier (approximate-backend speed/utility; explicit only —
+             not part of 'all', since the speed sweep partitions 1M rows
+             per backend; --quick shrinks it to 100k)";
 
 fn emit(grid: Grid, slug: &str, out: &Option<PathBuf>) {
     println!("{}", grid.to_ascii());
@@ -111,6 +116,7 @@ const KNOWN_EXPERIMENTS: &[&str] = &[
     "fig7",
     "baselines",
     "ablation",
+    "frontier",
     "all",
 ];
 
@@ -208,6 +214,21 @@ fn main() -> ExitCode {
                 &args.out,
             );
         }
+    }
+
+    // Explicit-only: the full-size speed sweep partitions a million rows
+    // per backend — too heavy to ride along with `--exp all`.
+    if args.experiments.iter().any(|e| e == "frontier") {
+        emit(
+            approx_frontier::frontier_utility_grid(&ctx),
+            "frontier_utility",
+            &args.out,
+        );
+        emit(
+            approx_frontier::frontier_speed_grid(&ctx),
+            "frontier_speed",
+            &args.out,
+        );
     }
 
     if wants(&args.experiments, "ablation") {

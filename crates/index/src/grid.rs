@@ -1,0 +1,601 @@
+//! Uniform-grid approximate neighbor index.
+//!
+//! The kd-tree of this crate is exact: it returns byte-identical answers
+//! to the flat scans, and pays for that with traversals whose pruning
+//! degrades as the working set grows into the millions. [`GridIndex`] is
+//! the deliberate trade in the other direction: it buckets the rows of a
+//! flat [`Matrix`] into a uniform per-dimension cell grid and answers
+//! nearest / k-nearest / farthest queries by **expanding-ring cell
+//! scans** — gather the candidate rows of the Chebyshev cell rings around
+//! the query until enough candidates are in hand, scan one extra ring as
+//! a guard band, then reduce the candidates with the very same SIMD flat
+//! kernels (`tclose_metrics::distance`) the exact backends use.
+//!
+//! ## The approximation contract
+//!
+//! Results are *near*-neighbors, not provably nearest: a true neighbor
+//! more than one full ring beyond the first populated ring is missed.
+//! What **is** guaranteed — and what the clustering loops actually rely
+//! on for structural validity (k-anonymity of every produced cluster):
+//!
+//! * every returned id is live (membership mirrors the caller's
+//!   remove/insert sequence exactly, as with the kd-tree's tombstones);
+//! * [`k_nearest`](GridIndex::k_nearest) returns **exactly
+//!   `min(count, live)`** distinct rows — rings keep expanding through
+//!   empty cells until the count is met or the grid is exhausted;
+//! * [`farthest_from`](GridIndex::farthest_from) returns a live row
+//!   whenever one exists;
+//! * all candidate reductions use the canonical total order (distance,
+//!   lowest row id), so answers are deterministic and independent of
+//!   bucket order, worker count, and removal history.
+//!
+//! ## Exact degradation
+//!
+//! With one cell per dimension ([`GridIndex::build_with_cells`] and
+//! `cells_per_dim == 1`) every row lands in a single bucket, every query
+//! reduces over the whole live set with the same kernels as a flat scan,
+//! and answers become **byte-identical** to the exact backends — the
+//! degradation anchor pinned by `tests/grid.rs`.
+
+use tclose_metrics::distance::{
+    farthest_from_ids, k_nearest_ids, min_sq_dist_excluding, nearest_to_ids, sq_dist_dim,
+};
+use tclose_metrics::matrix::{Matrix, RowId};
+use tclose_parallel::Parallelism;
+
+/// Target mean bucket occupancy the automatic cell-count sizing aims at.
+/// Small enough that a one-ring gather stays a local scan, large enough
+/// that the SIMD kernels have contiguous work per bucket.
+pub const TARGET_CELL_OCCUPANCY: usize = 64;
+
+/// Hard cap on cells along one dimension (keeps worst-case ring
+/// expansion over a nearly empty grid bounded).
+pub const MAX_CELLS_PER_DIM: usize = 256;
+
+/// Hard cap on total cells: the farthest-query scan walks the whole
+/// bucket directory, so it must stay small next to the row count.
+pub const MAX_TOTAL_CELLS: usize = 1 << 16;
+
+/// A uniform cell grid over the rows of a [`Matrix`] with O(1)
+/// swap-remove membership, answering approximate neighbor queries by
+/// expanding-ring candidate gathering (see the module docs).
+#[derive(Debug)]
+pub struct GridIndex {
+    dims: usize,
+    /// Cells along every dimension (same count for all dimensions).
+    cells_per_dim: usize,
+    /// Per-dimension domain minimum.
+    mins: Vec<f64>,
+    /// Per-dimension `cells_per_dim / (max - min)`; `0.0` for a
+    /// degenerate (constant) dimension — everything maps to cell 0.
+    inv_width: Vec<f64>,
+    /// Flattened mixed-radix bucket directory, `cells_per_dim.pow(dims)`
+    /// buckets of live row ids.
+    buckets: Vec<Vec<RowId>>,
+    /// Row index → flat bucket id (fixed at build; survives removal so a
+    /// re-insert lands back in the right bucket).
+    bucket_of: Vec<u32>,
+    /// Row index → position inside its bucket (`u32::MAX` once removed).
+    pos: Vec<u32>,
+    /// Live row count.
+    len: usize,
+}
+
+impl GridIndex {
+    /// Builds a grid over **all** rows of `m`, sizing the cell count for
+    /// [`TARGET_CELL_OCCUPANCY`] rows per bucket (clamped by
+    /// [`MAX_CELLS_PER_DIM`] and [`MAX_TOTAL_CELLS`]).
+    pub fn build(m: &Matrix) -> Self {
+        Self::build_with_cells(m, auto_cells_per_dim(m.n_rows(), m.n_cols()))
+    }
+
+    /// [`build`](GridIndex::build) with an explicit per-dimension cell
+    /// count — the test hook behind the exact-degradation anchor
+    /// (`cells_per_dim == 1` puts every row in one bucket and makes every
+    /// query byte-identical to the flat scans).
+    ///
+    /// # Panics
+    /// Panics if `cells_per_dim == 0` or the total cell count would
+    /// exceed [`MAX_TOTAL_CELLS`].
+    pub fn build_with_cells(m: &Matrix, cells_per_dim: usize) -> Self {
+        assert!(cells_per_dim >= 1, "a grid needs at least one cell");
+        let n = m.n_rows();
+        let dims = m.n_cols();
+        let total = checked_total_cells(cells_per_dim, dims)
+            .filter(|&t| t <= MAX_TOTAL_CELLS)
+            .unwrap_or_else(|| {
+                panic!("{cells_per_dim} cells over {dims} dims exceed the bucket-directory cap")
+            });
+
+        let (mins, maxs) = domain_bounds(m);
+        let inv_width: Vec<f64> = mins
+            .iter()
+            .zip(&maxs)
+            .map(|(&lo, &hi)| {
+                if hi > lo {
+                    cells_per_dim as f64 / (hi - lo)
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+
+        let mut grid = GridIndex {
+            dims,
+            cells_per_dim,
+            mins,
+            inv_width,
+            buckets: vec![Vec::new(); total],
+            bucket_of: Vec::with_capacity(n),
+            pos: Vec::with_capacity(n),
+            len: n,
+        };
+        for i in 0..n {
+            let b = grid.flat_cell(&grid.cell_coords(m.row(i)));
+            grid.bucket_of.push(b as u32);
+            grid.pos.push(grid.buckets[b].len() as u32);
+            grid.buckets[b].push(RowId::new(i));
+        }
+        grid
+    }
+
+    /// Live row count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no rows are live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Cells along each dimension.
+    pub fn cells_per_dim(&self) -> usize {
+        self.cells_per_dim
+    }
+
+    /// Marks row `id` removed (O(1) bucket swap-remove).
+    ///
+    /// # Panics
+    /// Panics (debug) if `id` is already removed.
+    pub fn remove(&mut self, id: RowId) {
+        let b = self.bucket_of[id.index()] as usize;
+        let p = self.pos[id.index()] as usize;
+        debug_assert!(p != u32::MAX as usize, "row {id} removed twice");
+        let bucket = &mut self.buckets[b];
+        let last = *bucket.last().expect("non-empty bucket");
+        bucket.swap_remove(p);
+        self.pos[id.index()] = u32::MAX;
+        if last != id {
+            self.pos[last.index()] = p as u32;
+        }
+        self.len -= 1;
+    }
+
+    /// Re-inserts a previously removed row (Algorithm 2 returns swapped
+    /// records to the unassigned pool).
+    pub fn insert(&mut self, id: RowId) {
+        let b = self.bucket_of[id.index()] as usize;
+        debug_assert!(
+            self.pos[id.index()] == u32::MAX,
+            "row {id} inserted while live"
+        );
+        self.pos[id.index()] = self.buckets[b].len() as u32;
+        self.buckets[b].push(id);
+        self.len += 1;
+    }
+
+    /// The live row nearest to `point` among the first populated cell
+    /// ring plus one guard ring (ties toward the lowest row id); `None`
+    /// when nothing is live.
+    pub fn nearest(&self, m: &Matrix, point: &[f64], par: Parallelism) -> Option<RowId> {
+        let cand = self.gather_near(point, 1);
+        nearest_to_ids(m, &cand, point, par)
+    }
+
+    /// The `count` live rows nearest to `point` among the gathered
+    /// candidate rings, ascending under the total order (distance, row
+    /// id). Always exactly `min(count, live)` rows — rings expand through
+    /// empty cells until the count is met.
+    pub fn k_nearest(
+        &self,
+        m: &Matrix,
+        point: &[f64],
+        count: usize,
+        par: Parallelism,
+    ) -> Vec<RowId> {
+        if count == 0 {
+            return Vec::new();
+        }
+        let cand = self.gather_near(point, count);
+        k_nearest_ids(m, &cand, point, count, par)
+    }
+
+    /// The live row farthest from `point` among the two outermost
+    /// populated cell rings (ties toward the lowest row id); `None` when
+    /// nothing is live.
+    pub fn farthest_from(&self, m: &Matrix, point: &[f64], par: Parallelism) -> Option<RowId> {
+        let cand = self.gather_far(point, 1);
+        farthest_from_ids(m, &cand, point, par)
+    }
+
+    /// The `count` gathered rows farthest from `point`, descending by
+    /// distance with ties toward the lowest row id — the far half of the
+    /// fused MDAV round request.
+    pub fn k_farthest(&self, m: &Matrix, point: &[f64], count: usize) -> Vec<RowId> {
+        if count == 0 {
+            return Vec::new();
+        }
+        let cand = self.gather_far(point, count);
+        let mut scored: Vec<(f64, RowId)> = cand
+            .into_iter()
+            .map(|id| (sq_dist_dim(m.row(id), point), id))
+            .collect();
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        scored.truncate(count);
+        scored.into_iter().map(|(_, id)| id).collect()
+    }
+
+    /// Smallest squared distance from `point` to any gathered live row
+    /// other than row `exclude` (`f64::INFINITY` when nothing qualifies)
+    /// — V-MDAV's `d_out`, over the same candidate rings as
+    /// [`nearest`](GridIndex::nearest) widened to two candidates so the
+    /// excluded row cannot exhaust the gather.
+    pub fn min_sq_dist_excluding(
+        &self,
+        m: &Matrix,
+        point: &[f64],
+        exclude: usize,
+        par: Parallelism,
+    ) -> f64 {
+        let cand = self.gather_near(point, 2);
+        min_sq_dist_excluding(m, &cand, point, exclude, par)
+    }
+
+    /// Candidate gather for the near-side queries: expand Chebyshev cell
+    /// rings around `point`'s cell until at least `want` candidates are
+    /// collected, then scan one extra guard ring. Returns every live row
+    /// when the grid holds fewer than `want`.
+    fn gather_near(&self, point: &[f64], want: usize) -> Vec<RowId> {
+        if self.len == 0 {
+            return Vec::new();
+        }
+        let center = self.cell_coords(point);
+        let max_r = self.max_ring(&center);
+        let mut cand: Vec<RowId> = Vec::with_capacity(want.max(TARGET_CELL_OCCUPANCY));
+        let mut r = 0usize;
+        loop {
+            self.for_shell(&center, r, |bucket| cand.extend_from_slice(bucket));
+            if r >= max_r {
+                break;
+            }
+            if cand.len() >= want {
+                // Guard band: a row one ring further out can still be
+                // geometrically nearer than a just-gathered corner row.
+                self.for_shell(&center, r + 1, |bucket| cand.extend_from_slice(bucket));
+                break;
+            }
+            r += 1;
+        }
+        cand
+    }
+
+    /// Candidate gather for the far-side queries: walk the (bounded)
+    /// bucket directory once, find the outermost populated Chebyshev
+    /// ring, and collect the rows of the two outermost populated rings —
+    /// widening inward if `want` exceeds their population.
+    fn gather_far(&self, point: &[f64], want: usize) -> Vec<RowId> {
+        if self.len == 0 {
+            return Vec::new();
+        }
+        let center = self.cell_coords(point);
+        let mut ringed: Vec<(usize, usize)> = Vec::new(); // (ring, bucket)
+        let mut max_ring = 0usize;
+        for (b, bucket) in self.buckets.iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let ring = self.cell_ring(b, &center);
+            max_ring = max_ring.max(ring);
+            ringed.push((ring, b));
+        }
+        let mut threshold = max_ring.saturating_sub(1);
+        let mut cand: Vec<RowId> = Vec::new();
+        loop {
+            cand.clear();
+            for &(ring, b) in &ringed {
+                if ring >= threshold {
+                    cand.extend_from_slice(&self.buckets[b]);
+                }
+            }
+            if cand.len() >= want || threshold == 0 {
+                return cand;
+            }
+            threshold -= 1;
+        }
+    }
+
+    /// Clamped cell coordinates of an arbitrary point (query points may
+    /// fall outside the build-time domain).
+    fn cell_coords(&self, point: &[f64]) -> Vec<usize> {
+        debug_assert_eq!(point.len(), self.dims, "query dimensionality mismatch");
+        point
+            .iter()
+            .zip(self.mins.iter().zip(&self.inv_width))
+            .map(|(&x, (&lo, &inv))| {
+                let c = ((x - lo) * inv).floor();
+                if c.is_nan() || c < 0.0 {
+                    0
+                } else {
+                    (c as usize).min(self.cells_per_dim - 1)
+                }
+            })
+            .collect()
+    }
+
+    /// Flat bucket id of cell coordinates (mixed radix, dim 0 fastest).
+    fn flat_cell(&self, coords: &[usize]) -> usize {
+        let mut flat = 0usize;
+        for &c in coords.iter().rev() {
+            flat = flat * self.cells_per_dim + c;
+        }
+        flat
+    }
+
+    /// Chebyshev ring of flat bucket `b` around `center`.
+    fn cell_ring(&self, b: usize, center: &[usize]) -> usize {
+        let mut rest = b;
+        let mut ring = 0usize;
+        for &c in center {
+            let coord = rest % self.cells_per_dim;
+            rest /= self.cells_per_dim;
+            ring = ring.max(coord.abs_diff(c));
+        }
+        ring
+    }
+
+    /// Largest Chebyshev ring any in-bounds cell can have around
+    /// `center` — the ring-expansion exhaustion bound.
+    fn max_ring(&self, center: &[usize]) -> usize {
+        center
+            .iter()
+            .map(|&c| c.max(self.cells_per_dim - 1 - c))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Calls `f` with the bucket of every in-bounds cell whose Chebyshev
+    /// distance from `center` is exactly `r`. Enumerates only shell
+    /// cells: interior cells are skipped by forcing the last free
+    /// dimension to its extremes when no earlier dimension sits at
+    /// distance `r`.
+    fn for_shell(&self, center: &[usize], r: usize, mut f: impl FnMut(&[RowId])) {
+        if self.dims == 0 {
+            if r == 0 {
+                f(&self.buckets[0]);
+            }
+            return;
+        }
+        let mut coords = vec![0usize; self.dims];
+        self.shell_rec(center, r, 0, true, &mut coords, &mut f);
+    }
+
+    fn shell_rec(
+        &self,
+        center: &[usize],
+        r: usize,
+        d: usize,
+        need_extreme: bool,
+        coords: &mut Vec<usize>,
+        f: &mut impl FnMut(&[RowId]),
+    ) {
+        let c = center[d];
+        let lo = c.saturating_sub(r);
+        let hi = (c + r).min(self.cells_per_dim - 1);
+        let last = d + 1 == self.dims;
+        let mut visit = |coord: usize, this: &Self, coords: &mut Vec<usize>| {
+            let at_extreme = coord.abs_diff(c) == r;
+            if last && need_extreme && !at_extreme {
+                return;
+            }
+            coords[d] = coord;
+            if last {
+                let bucket = &this.buckets[this.flat_cell(coords)];
+                if !bucket.is_empty() {
+                    f(bucket);
+                }
+            } else {
+                this.shell_rec(center, r, d + 1, need_extreme && !at_extreme, coords, f);
+            }
+        };
+        if last && need_extreme {
+            // Only the (at most two) extreme coordinates can qualify.
+            if c >= r && c - r >= lo {
+                visit(c - r, self, coords);
+            }
+            if r > 0 && c + r <= hi {
+                visit(c + r, self, coords);
+            }
+        } else {
+            for coord in lo..=hi {
+                visit(coord, self, coords);
+            }
+        }
+    }
+}
+
+/// Per-dimension cell count targeting [`TARGET_CELL_OCCUPANCY`] rows per
+/// bucket, clamped to [`MAX_CELLS_PER_DIM`] and [`MAX_TOTAL_CELLS`].
+fn auto_cells_per_dim(n_rows: usize, dims: usize) -> usize {
+    if dims == 0 || n_rows == 0 {
+        return 1;
+    }
+    let target_cells = (n_rows / TARGET_CELL_OCCUPANCY).max(1) as f64;
+    let per_dim = target_cells.powf(1.0 / dims as f64).floor() as usize;
+    let total_cap = (MAX_TOTAL_CELLS as f64).powf(1.0 / dims as f64).floor() as usize;
+    per_dim.clamp(1, MAX_CELLS_PER_DIM.min(total_cap).max(1))
+}
+
+/// `cells_per_dim.pow(dims)` without overflow (`None` on overflow).
+fn checked_total_cells(cells_per_dim: usize, dims: usize) -> Option<usize> {
+    let mut total = 1usize;
+    for _ in 0..dims {
+        total = total.checked_mul(cells_per_dim)?;
+        if total > MAX_TOTAL_CELLS {
+            return None;
+        }
+    }
+    Some(total)
+}
+
+/// Per-dimension (min, max) over all rows.
+fn domain_bounds(m: &Matrix) -> (Vec<f64>, Vec<f64>) {
+    let dims = m.n_cols();
+    let mut mins = vec![f64::INFINITY; dims];
+    let mut maxs = vec![f64::NEG_INFINITY; dims];
+    for i in 0..m.n_rows() {
+        for (d, &x) in m.row(i).iter().enumerate() {
+            if x < mins[d] {
+                mins[d] = x;
+            }
+            if x > maxs[d] {
+                maxs[d] = x;
+            }
+        }
+    }
+    (mins, maxs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_matrix(n: usize, dims: usize) -> Matrix {
+        let data: Vec<f64> = (0..n * dims)
+            .map(|i| ((i * 2654435761 + (i % dims.max(1)) * 40503) % 100_003) as f64 * 1e-3)
+            .collect();
+        Matrix::new(data, n, dims)
+    }
+
+    #[test]
+    fn auto_sizing_respects_caps() {
+        assert_eq!(auto_cells_per_dim(0, 3), 1);
+        assert_eq!(auto_cells_per_dim(10, 0), 1);
+        assert!(auto_cells_per_dim(1_000_000, 1) <= MAX_CELLS_PER_DIM);
+        for dims in 1..=8 {
+            let cpd = auto_cells_per_dim(1_000_000, dims);
+            assert!(checked_total_cells(cpd, dims).unwrap() <= MAX_TOTAL_CELLS);
+        }
+    }
+
+    #[test]
+    fn k_nearest_returns_exactly_min_count_live() {
+        let m = grid_matrix(500, 3);
+        let mut g = GridIndex::build(&m);
+        let q = m.row(7usize).to_vec();
+        for count in [1usize, 5, 64, 499, 500, 600] {
+            let got = g.k_nearest(&m, &q, count, Parallelism::sequential());
+            assert_eq!(got.len(), count.min(500), "count={count}");
+            let mut seen = got.clone();
+            seen.sort();
+            seen.dedup();
+            assert_eq!(seen.len(), got.len(), "duplicates at count={count}");
+        }
+        // Still exact counts after removals.
+        for i in 0..450 {
+            g.remove(RowId::new(i));
+        }
+        let got = g.k_nearest(&m, &q, 64, Parallelism::sequential());
+        assert_eq!(got.len(), 50);
+        assert!(
+            got.iter().all(|id| id.index() >= 450),
+            "returned a dead row"
+        );
+    }
+
+    #[test]
+    fn single_cell_grid_is_byte_identical_to_flat_scans() {
+        use tclose_metrics::distance::{farthest_from_ids, k_nearest_ids, nearest_to_ids};
+        let m = grid_matrix(300, 2);
+        let g = GridIndex::build_with_cells(&m, 1);
+        let live: Vec<RowId> = m.row_ids().collect();
+        let par = Parallelism::sequential();
+        for probe in [0usize, 13, 299] {
+            let q = m.row(probe).to_vec();
+            assert_eq!(g.nearest(&m, &q, par), nearest_to_ids(&m, &live, &q, par));
+            assert_eq!(
+                g.farthest_from(&m, &q, par),
+                farthest_from_ids(&m, &live, &q, par)
+            );
+            assert_eq!(
+                g.k_nearest(&m, &q, 17, par),
+                k_nearest_ids(&m, &live, &q, 17, par)
+            );
+        }
+    }
+
+    #[test]
+    fn nearest_finds_the_true_neighbor_on_separated_blobs() {
+        // Two tight, well-separated blobs: ring expansion must cross the
+        // empty cells between them and still find the true neighbor.
+        let mut rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64 * 0.01, 0.0]).collect();
+        rows.extend((0..50).map(|i| vec![100.0 + i as f64 * 0.01, 50.0]));
+        let m = Matrix::from_rows(&rows);
+        let g = GridIndex::build_with_cells(&m, 16);
+        let par = Parallelism::sequential();
+        assert_eq!(
+            g.nearest(&m, &[99.0, 49.0], par),
+            Some(RowId::new(50)),
+            "nearest must come from the far blob"
+        );
+        assert_eq!(g.farthest_from(&m, &[0.0, 0.0], par), Some(RowId::new(99)));
+    }
+
+    #[test]
+    fn remove_insert_round_trip_keeps_queries_consistent() {
+        let m = grid_matrix(200, 2);
+        let mut g = GridIndex::build(&m);
+        let par = Parallelism::sequential();
+        let q = m.row(0usize).to_vec();
+        let before = g.k_nearest(&m, &q, 10, par);
+        let victim = before[3];
+        g.remove(victim);
+        assert_eq!(g.len(), 199);
+        let after = g.k_nearest(&m, &q, 10, par);
+        assert!(!after.contains(&victim));
+        g.insert(victim);
+        assert_eq!(g.len(), 200);
+        assert_eq!(g.k_nearest(&m, &q, 10, par), before);
+    }
+
+    #[test]
+    fn min_sq_dist_excluding_skips_the_excluded_row() {
+        let m = Matrix::from_rows(&[vec![0.0], vec![0.5], vec![9.0]]);
+        let g = GridIndex::build_with_cells(&m, 4);
+        let par = Parallelism::sequential();
+        let d = g.min_sq_dist_excluding(&m, &[0.0], 0, par);
+        assert!((d - 0.25).abs() < 1e-12, "got {d}");
+    }
+
+    #[test]
+    fn zero_dim_and_tiny_matrices() {
+        let m = Matrix::new(vec![], 0, 2);
+        let g = GridIndex::build(&m);
+        assert!(g.is_empty());
+        assert_eq!(g.nearest(&m, &[0.0, 0.0], Parallelism::sequential()), None);
+
+        let m = Matrix::new(vec![], 3, 0);
+        let g = GridIndex::build(&m);
+        assert_eq!(g.len(), 3);
+        assert_eq!(
+            g.k_nearest(&m, &[], 5, Parallelism::sequential()),
+            vec![RowId::new(0), RowId::new(1), RowId::new(2)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn zero_cells_panics() {
+        GridIndex::build_with_cells(&grid_matrix(10, 2), 0);
+    }
+}

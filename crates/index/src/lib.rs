@@ -49,6 +49,28 @@
 //! backend and keeps the tree's tombstones in lockstep with the caller's
 //! live-id list.
 //!
+//! ## Approximate backends (opt-in)
+//!
+//! The exactness contract above covers `FlatScan`, `KdTree`, and `Auto`.
+//! Two further variants deliberately step outside it for million-row
+//! scale — both **opt-in only** (never chosen by `Auto`):
+//!
+//! * [`NeighborBackend::Grid`] — queries run on a uniform cell grid
+//!   ([`GridIndex`]) via expanding-ring candidate scans: near-neighbor
+//!   answers rather than provably nearest ones, but structurally sound
+//!   (`k_nearest` always returns exactly `min(count, live)` live rows),
+//!   deterministic, and worker-count independent.
+//! * [`NeighborBackend::Hybrid`] — a partition-level coreset mode: the
+//!   MDAV-family partitioners intercept it and run sample-MDAV + blocked
+//!   centroid assignment + exact within-group refinement
+//!   (`tclose-microagg`'s `hybrid` module); any *query-level* use (e.g.
+//!   Algorithm 3's direct working-set scans) resolves to the grid.
+//!
+//! Approximation here only ever moves the *partition search*; the
+//! t-closeness refinement and verification layers above remain exact, so
+//! every released table still passes `verify_t_closeness` — see
+//! `docs/ALGORITHMS.md`.
+//!
 //! ## Batched queries
 //!
 //! Tree construction parallelizes ([`KdTree::build_with`]) and
@@ -66,9 +88,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod grid;
 mod set;
 mod tree;
 
+pub use grid::{GridIndex, MAX_CELLS_PER_DIM, MAX_TOTAL_CELLS, TARGET_CELL_OCCUPANCY};
 pub use set::NeighborSet;
 pub use tree::KdTree;
 
@@ -96,20 +120,36 @@ pub enum QueryMode {
 }
 
 impl QueryMode {
+    /// The mode an optional `TCLOSE_QUERY_MODE` value requests,
+    /// defaulting to [`QueryMode::Batched`] when unset. A set-but-invalid
+    /// value is an error, never a silent fallback — a misspelled forced
+    /// mode falling back to the default would defeat the differential run
+    /// that set it.
+    pub fn from_env_value(value: Option<&str>) -> Result<QueryMode, String> {
+        match value {
+            None => Ok(QueryMode::default()),
+            Some(s) => s
+                .parse()
+                .map_err(|e| format!("invalid TCLOSE_QUERY_MODE: {e}")),
+        }
+    }
+
     /// The mode `TCLOSE_QUERY_MODE` requests, defaulting to
     /// [`QueryMode::Batched`]. Read per call (not cached): the variable
     /// only steers future [`NeighborSet`] constructions, and both modes
     /// return identical results anyway.
     ///
-    /// # Panics
-    /// Panics on an unrecognized value — a misspelled forced mode
-    /// silently falling back would defeat the differential run setting it.
+    /// On an unrecognized value this prints a one-line actionable error
+    /// and exits with status 2, matching the CLI's typed-failure
+    /// convention (see [`QueryMode::from_env_value`] for the pure,
+    /// testable core).
     pub fn from_env() -> QueryMode {
-        match std::env::var("TCLOSE_QUERY_MODE") {
-            Ok(s) => s
-                .parse()
-                .unwrap_or_else(|e| panic!("invalid TCLOSE_QUERY_MODE: {e}")),
-            Err(_) => QueryMode::default(),
+        match Self::from_env_value(std::env::var("TCLOSE_QUERY_MODE").ok().as_deref()) {
+            Ok(mode) => mode,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
         }
     }
 }
@@ -141,14 +181,18 @@ impl FromStr for QueryMode {
 
 /// Which neighbor-search backend the clustering loops should use.
 ///
-/// The choice never affects results — both backends are exact and share
-/// one tie-breaking order — only wall-clock time. `Auto` (the default) is
-/// therefore safe everywhere.
+/// `Auto`, `FlatScan`, and `KdTree` are exact and share one tie-breaking
+/// order — switching among them never affects results, only wall-clock
+/// time, so `Auto` (the default) is safe everywhere. `Grid` and `Hybrid`
+/// are the **opt-in approximate** paths for million-row scale: they can
+/// change the partition (never its validity — clusters stay k-anonymous
+/// and releases stay t-close through the exact refinement layers), and
+/// are therefore never chosen by `Auto`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum NeighborBackend {
     /// Decide per matrix: kd-tree for large, low-dimensional working sets
     /// (`n ≥ `[`AUTO_MIN_ROWS`] and `1 ≤ dims ≤ `[`AUTO_MAX_DIMS`]), flat
-    /// scans otherwise.
+    /// scans otherwise. Never resolves to an approximate backend.
     #[default]
     Auto,
     /// Always the blocked linear-scan kernels of `tclose-metrics` —
@@ -157,6 +201,15 @@ pub enum NeighborBackend {
     /// Always the pruned [`KdTree`] — `O(n log n)` build once, then far
     /// sublinear queries on clustered low-dimensional data.
     KdTree,
+    /// Approximate: uniform-cell [`GridIndex`] with expanding-ring
+    /// candidate scans (near-neighbor answers, structural guarantees
+    /// kept — see the `grid` module docs).
+    Grid,
+    /// Approximate: coreset partitioning — sample-MDAV centroids, blocked
+    /// nearest-centroid assignment, exact within-group refinement.
+    /// Intercepted at the partitioner level by `tclose-microagg`;
+    /// query-level uses resolve to [`ResolvedBackend::Grid`].
+    Hybrid,
 }
 
 /// Minimum row count at which `Auto` switches to the kd-tree (below this
@@ -173,23 +226,30 @@ pub const AUTO_MIN_ROWS: usize = 1024;
 /// the specialised distance kernels unroll.
 pub const AUTO_MAX_DIMS: usize = 8;
 
-/// A [`NeighborBackend`] with `Auto` resolved away.
+/// A [`NeighborBackend`] with `Auto` (and the partition-level `Hybrid`
+/// mode) resolved away to a concrete query engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ResolvedBackend {
-    /// Blocked linear scans.
+    /// Blocked linear scans (exact).
     FlatScan,
-    /// Pruned kd-tree queries.
+    /// Pruned kd-tree queries (exact).
     KdTree,
+    /// Expanding-ring grid scans (approximate, opt-in only).
+    Grid,
 }
 
 impl NeighborBackend {
     /// Resolves the backend for a matrix of `n_rows` × `n_cols`: explicit
-    /// choices pass through, `Auto` picks [`ResolvedBackend::KdTree`] iff
-    /// `n_rows ≥ `[`AUTO_MIN_ROWS`] and `1 ≤ n_cols ≤ `[`AUTO_MAX_DIMS`].
+    /// choices pass through (`Hybrid` resolves to the grid for
+    /// query-level use; its coreset partitioning is intercepted earlier,
+    /// in `tclose-microagg`), `Auto` picks [`ResolvedBackend::KdTree`]
+    /// iff `n_rows ≥ `[`AUTO_MIN_ROWS`] and `1 ≤ n_cols ≤
+    /// `[`AUTO_MAX_DIMS`] — never an approximate backend.
     pub fn resolve(self, n_rows: usize, n_cols: usize) -> ResolvedBackend {
         match self {
             NeighborBackend::FlatScan => ResolvedBackend::FlatScan,
             NeighborBackend::KdTree => ResolvedBackend::KdTree,
+            NeighborBackend::Grid | NeighborBackend::Hybrid => ResolvedBackend::Grid,
             NeighborBackend::Auto => {
                 if n_rows >= AUTO_MIN_ROWS && (1..=AUTO_MAX_DIMS).contains(&n_cols) {
                     ResolvedBackend::KdTree
@@ -199,6 +259,12 @@ impl NeighborBackend {
             }
         }
     }
+
+    /// True for the approximate variants (`Grid`, `Hybrid`) — the ones
+    /// allowed to change a partition (never its validity).
+    pub fn is_approximate(self) -> bool {
+        matches!(self, NeighborBackend::Grid | NeighborBackend::Hybrid)
+    }
 }
 
 impl fmt::Display for NeighborBackend {
@@ -207,6 +273,8 @@ impl fmt::Display for NeighborBackend {
             NeighborBackend::Auto => "auto",
             NeighborBackend::FlatScan => "flat",
             NeighborBackend::KdTree => "kdtree",
+            NeighborBackend::Grid => "grid",
+            NeighborBackend::Hybrid => "hybrid",
         })
     }
 }
@@ -215,14 +283,17 @@ impl FromStr for NeighborBackend {
     type Err = String;
 
     /// Parses the CLI spelling: `auto`, `flat`/`flatscan`/`flat-scan`,
-    /// `kd`/`kdtree`/`kd-tree` (case-insensitive).
+    /// `kd`/`kdtree`/`kd-tree`, `grid`, `hybrid`/`coreset`
+    /// (case-insensitive).
     fn from_str(s: &str) -> Result<Self, String> {
         match s.to_ascii_lowercase().as_str() {
             "auto" => Ok(NeighborBackend::Auto),
             "flat" | "flatscan" | "flat-scan" => Ok(NeighborBackend::FlatScan),
             "kd" | "kdtree" | "kd-tree" => Ok(NeighborBackend::KdTree),
+            "grid" => Ok(NeighborBackend::Grid),
+            "hybrid" | "coreset" => Ok(NeighborBackend::Hybrid),
             other => Err(format!(
-                "unknown backend {other:?} (expected auto|flat|kdtree)"
+                "unknown backend {other:?} (expected auto|flat|kdtree|grid|hybrid)"
             )),
         }
     }
@@ -252,6 +323,26 @@ mod tests {
         // explicit choices ignore the shape
         assert_eq!(NeighborBackend::KdTree.resolve(2, 100), KdTree);
         assert_eq!(NeighborBackend::FlatScan.resolve(1_000_000, 2), FlatScan);
+        // approximate variants are explicit-only and resolve to the grid
+        assert_eq!(NeighborBackend::Grid.resolve(2, 100), Grid);
+        assert_eq!(NeighborBackend::Hybrid.resolve(10_000_000, 2), Grid);
+        assert!(NeighborBackend::Grid.is_approximate());
+        assert!(NeighborBackend::Hybrid.is_approximate());
+        assert!(!NeighborBackend::Auto.is_approximate());
+    }
+
+    #[test]
+    fn query_mode_env_value_errors_instead_of_panicking() {
+        assert_eq!(QueryMode::from_env_value(None).unwrap(), QueryMode::Batched);
+        assert_eq!(
+            QueryMode::from_env_value(Some("per-query")).unwrap(),
+            QueryMode::PerQuery
+        );
+        let err = QueryMode::from_env_value(Some("warp-speed")).unwrap_err();
+        assert!(
+            err.contains("invalid TCLOSE_QUERY_MODE") && err.contains("batched|per-query"),
+            "error must name the variable and the accepted values: {err}"
+        );
     }
 
     #[test]
@@ -282,6 +373,10 @@ mod tests {
             ("kd", NeighborBackend::KdTree),
             ("KdTree", NeighborBackend::KdTree),
             ("kd-tree", NeighborBackend::KdTree),
+            ("grid", NeighborBackend::Grid),
+            ("Grid", NeighborBackend::Grid),
+            ("hybrid", NeighborBackend::Hybrid),
+            ("coreset", NeighborBackend::Hybrid),
         ] {
             assert_eq!(s.parse::<NeighborBackend>().unwrap(), want, "{s}");
         }
@@ -290,6 +385,8 @@ mod tests {
             NeighborBackend::Auto,
             NeighborBackend::FlatScan,
             NeighborBackend::KdTree,
+            NeighborBackend::Grid,
+            NeighborBackend::Hybrid,
         ] {
             assert_eq!(b.to_string().parse::<NeighborBackend>().unwrap(), b);
         }

@@ -67,20 +67,37 @@ pub enum KernelPath {
 }
 
 impl KernelPath {
+    /// The path an optional `TCLOSE_KERNELS` value requests, defaulting
+    /// to [`KernelPath::Lanes8`] when unset. A set-but-invalid value is
+    /// an error, never a silent fallback — a misspelled forced path
+    /// falling back to the default would defeat the differential run
+    /// that set it.
+    pub fn from_env_value(value: Option<&str>) -> Result<KernelPath, String> {
+        match value {
+            None => Ok(KernelPath::default()),
+            Some(s) => s
+                .parse()
+                .map_err(|e| format!("invalid TCLOSE_KERNELS: {e}")),
+        }
+    }
+
     /// The process-wide path: `TCLOSE_KERNELS` (`scalar` | `lanes4` |
     /// `lanes8`), read once, defaulting to [`KernelPath::Lanes8`].
     ///
-    /// # Panics
-    /// Panics on an unrecognized `TCLOSE_KERNELS` value — a misspelled
-    /// forced path silently falling back to the default would defeat the
-    /// differential run that set it.
+    /// On an unrecognized value this prints a one-line actionable error
+    /// and exits with status 2, matching the CLI's typed-failure
+    /// convention (see [`KernelPath::from_env_value`] for the pure,
+    /// testable core).
     pub fn active() -> KernelPath {
         static ACTIVE: OnceLock<KernelPath> = OnceLock::new();
-        *ACTIVE.get_or_init(|| match std::env::var("TCLOSE_KERNELS") {
-            Ok(s) => s
-                .parse()
-                .unwrap_or_else(|e| panic!("invalid TCLOSE_KERNELS: {e}")),
-            Err(_) => KernelPath::default(),
+        *ACTIVE.get_or_init(|| {
+            match Self::from_env_value(std::env::var("TCLOSE_KERNELS").ok().as_deref()) {
+                Ok(path) => path,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }
+            }
         })
     }
 
@@ -540,6 +557,23 @@ mod tests {
         }
         assert!("avx512".parse::<KernelPath>().is_err());
         assert_eq!(KernelPath::default(), KernelPath::Lanes8);
+    }
+
+    #[test]
+    fn kernel_env_value_errors_instead_of_panicking() {
+        assert_eq!(
+            KernelPath::from_env_value(None).unwrap(),
+            KernelPath::Lanes8
+        );
+        assert_eq!(
+            KernelPath::from_env_value(Some("scalar")).unwrap(),
+            KernelPath::Scalar
+        );
+        let err = KernelPath::from_env_value(Some("avx512")).unwrap_err();
+        assert!(
+            err.contains("invalid TCLOSE_KERNELS") && err.contains("scalar|lanes4|lanes8"),
+            "error must name the variable and the accepted values: {err}"
+        );
     }
 
     #[test]

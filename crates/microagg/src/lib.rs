@@ -45,12 +45,14 @@
 
 pub mod aggregate;
 pub mod cluster;
+pub mod hybrid;
 pub mod mdav;
 pub mod univariate;
 pub mod vmdav;
 
 pub use aggregate::{aggregate_columns, cluster_centroid_value};
 pub use cluster::{Clustering, ClusteringError};
+pub use hybrid::{hybrid_partition_with, COARSE_GROUP_TARGET, HYBRID_MIN_ROWS};
 pub use mdav::{mdav_partition, mdav_partition_with, Mdav};
 pub use vmdav::{vmdav_partition, vmdav_partition_with, VMdav};
 

@@ -107,6 +107,11 @@ pub fn vmdav_partition_with(
         gamma.is_finite() && gamma >= 0.0,
         "gamma must be finite and non-negative"
     );
+    if backend == NeighborBackend::Hybrid {
+        return crate::hybrid::hybrid_partition_with(m, k, par, &move |sub, kk, pp| {
+            vmdav_partition_with(sub, kk, gamma, pp, NeighborBackend::Auto)
+        });
+    }
     let n = m.n_rows();
     if n == 0 {
         return Clustering::new(vec![], 0).expect("empty partition is valid");

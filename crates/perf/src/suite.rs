@@ -154,6 +154,17 @@ fn synthetic_matrix(n: usize, dims: usize) -> Matrix {
     Matrix::new(data, n, dims)
 }
 
+/// The seeded blob workload of the approximate-backend frontier (shared
+/// with `tclose-eval`'s `frontier` experiment and the `approx_frontier`
+/// criterion bench, so all three measurement paths time the same data).
+fn frontier_matrix(n: usize, dims: usize) -> Matrix {
+    Matrix::new(
+        tclose_datasets::synthetic::frontier_rows(42, n, dims),
+        n,
+        dims,
+    )
+}
+
 /// Kernel-scaling cases: the two hottest flat scans (the MDAV-family
 /// min-distance scan and the SSE column pass) at n = 100k, pinned on the
 /// scalar reference path and on the default 8-lane path. The pair of
@@ -246,6 +257,35 @@ fn partition_cases(cases: &mut Vec<Case>, workload: &str, rows: &Matrix, include
                 },
             ));
         }
+    }
+}
+
+/// Approximate-backend frontier cases: the exact kd-tree vs the `grid`
+/// and `hybrid` opt-ins on the same seeded blob workload, at the
+/// small-`k` regime (`k = n/10_000`, min 10) where the exact `O(n²/k)`
+/// cost binds — at the suite's usual `k = n/200` the exact loop runs so
+/// few rounds that approximation has nothing to win. The exact row is
+/// part of the case set on purpose: the gate then tracks the committed
+/// speed *gap*, not just each backend in isolation.
+fn approx_partition_cases(cases: &mut Vec<Case>, workload: &str, rows: &Matrix) {
+    let k = (rows.n_rows() / 10_000).max(10);
+    for (variant, backend) in [
+        ("kdtree", NeighborBackend::KdTree),
+        ("grid", NeighborBackend::Grid),
+        ("hybrid", NeighborBackend::Hybrid),
+    ] {
+        let m = rows.clone();
+        cases.push(Case::new(
+            format!("approx/mdav/{variant}/{workload}"),
+            move || {
+                black_box(mdav_partition_with(
+                    black_box(&m),
+                    k,
+                    Parallelism::sequential(),
+                    backend,
+                ));
+            },
+        ));
     }
 }
 
@@ -429,6 +469,7 @@ pub fn catalog(suite: Suite) -> Result<Vec<Case>, String> {
                 Dataset::Mcd.table(&ctx),
                 0.2,
             );
+            approx_partition_cases(&mut cases, "blobs30k_d2", &frontier_matrix(30_000, 2));
             stream_cases(&mut cases, "patient6k", 6_000, 2_000)?;
             fit_apply_case(&mut cases, "census-mcd", Dataset::Mcd.table(&ctx))?;
             verify_case(&mut cases, "patient6k", patient_discharge(42, 6_000));
@@ -446,6 +487,8 @@ pub fn catalog(suite: Suite) -> Result<Vec<Case>, String> {
                 &synthetic_matrix(100_000, 4),
                 false,
             );
+            approx_partition_cases(&mut cases, "blobs200k_d2", &frontier_matrix(200_000, 2));
+            approx_partition_cases(&mut cases, "blobs200k_d4", &frontier_matrix(200_000, 4));
             e2e_case(
                 &mut cases,
                 Algorithm::Merge,

@@ -47,6 +47,11 @@ pub struct StreamReport {
     /// Worst audited class-to-global EMD over all shards (sound upper
     /// bound for the merged release).
     pub max_emd: f64,
+    /// `max_emd / t_requested`: how much of the requested t-budget the
+    /// worst class spends. ≤ 1.0 means the release honors the request;
+    /// with an approximate backend this is the number to watch (0.0 when
+    /// `t_requested` is 0 — nothing to deviate from).
+    pub achieved_t_deviation: f64,
     /// Record-weighted mean of per-shard normalized SSEs.
     pub sse: f64,
     /// Wall time of pass 1 (streaming fit); zero when the run was
@@ -82,6 +87,12 @@ impl StreamReport {
             .map(|r| r.sse * r.n_records as f64)
             .sum::<f64>()
             / n_records as f64;
+        let max_emd = shards.iter().map(|r| r.max_emd).fold(0.0, f64::max);
+        let achieved_t_deviation = if first.t_requested > 0.0 {
+            max_emd / first.t_requested
+        } else {
+            0.0
+        };
         StreamReport {
             algorithm: first.algorithm,
             k_requested: first.k_requested,
@@ -93,7 +104,8 @@ impl StreamReport {
             min_cluster_size: shards.iter().map(|r| r.min_cluster_size).min().unwrap_or(0),
             mean_cluster_size: n_records as f64 / n_clusters as f64,
             max_cluster_size: shards.iter().map(|r| r.max_cluster_size).max().unwrap_or(0),
-            max_emd: shards.iter().map(|r| r.max_emd).fold(0.0, f64::max),
+            max_emd,
+            achieved_t_deviation,
             sse: sse_weighted,
             fit_time,
             apply_time,
@@ -154,6 +166,8 @@ mod tests {
         assert_eq!(merged.min_cluster_size, 3);
         assert_eq!(merged.max_cluster_size, 8);
         assert!((merged.max_emd - 0.19).abs() < 1e-12);
+        // deviation = worst EMD / requested t = 0.19 / 0.2
+        assert!((merged.achieved_t_deviation - 0.95).abs() < 1e-12);
         assert!((merged.mean_cluster_size - 5.0).abs() < 1e-12);
         // record-weighted SSE: (100·0.01 + 50·0.04) / 150 = 0.02
         assert!((merged.sse - 0.02).abs() < 1e-12);
