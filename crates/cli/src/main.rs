@@ -15,6 +15,11 @@
 //!                  [--stream] [--shard-size N]
 //! tclose model     inspect MODEL
 //! tclose audit     --input FILE --qi COLS --confidential COLS [--t F] [--workers N]
+//! tclose serve     --registry DIR [--addr HOST:PORT] [--addr-file FILE]
+//!                  [--workers N] [--backend B] [--queue N]
+//!                  [--timeout-ms N] [--drain-timeout-ms N]
+//! tclose request   --addr HOST:PORT [--op ping|list|anonymize|audit|shutdown]
+//!                  [--model ID] [--input FILE] [--output FILE]
 //! tclose bench     [run|gate|bless|selftest] [--suite smoke|full] …
 //! ```
 //!
@@ -54,6 +59,7 @@
 
 mod args;
 mod commands;
+mod serve;
 
 use std::process::ExitCode;
 
@@ -73,6 +79,11 @@ usage:
                    [--stream] [--shard-size N]
   tclose model     inspect MODEL.json
   tclose audit     --input FILE --qi COLS --confidential COLS [--t F] [--workers N]
+  tclose serve     --registry DIR [--addr HOST:PORT] [--addr-file FILE] \\
+                   [--workers N] [--backend auto|flat|kdtree|grid|hybrid] \\
+                   [--queue N] [--timeout-ms N] [--drain-timeout-ms N]
+  tclose request   --addr HOST:PORT [--op ping|list|anonymize|audit|shutdown] \\
+                   [--model ID] [--input FILE] [--output FILE]
   tclose bench     [run|gate|bless|selftest] [--suite smoke|full] [...]
 
 algorithms:
@@ -88,6 +99,16 @@ scaling:
                   audited t-closeness, but a different clustering)
   --stream        two-pass sharded engine: bounded memory, any file size
   --shard-size N  records per shard in --stream mode (default 10000)
+
+serving:
+  tclose serve keeps a directory of fitted model artifacts resident and
+  answers anonymize/audit requests over a length-prefixed socket
+  protocol — no per-request process startup or model load. The registry
+  hot-reloads artifacts on change (corrupt files are rejected without
+  dropping healthy models), concurrent requests are batched through the
+  shard workers, a bounded queue answers \"busy\" under overload, and
+  shutdown drains every accepted request (nonzero exit if the drain
+  times out). tclose request is the matching one-shot client.
 
 model artifacts:
   tclose fit freezes the global fit (schema, QI embedding, confidential
@@ -127,6 +148,8 @@ fn main() -> ExitCode {
         "apply" => commands::cmd_apply(&parsed),
         "model" => commands::cmd_model(&parsed),
         "audit" => commands::cmd_audit(&parsed),
+        "serve" => serve::cmd_serve(&parsed),
+        "request" => serve::cmd_request(&parsed),
         other => {
             eprintln!("error: unknown command {other:?}\n\n{HELP}");
             return ExitCode::FAILURE;

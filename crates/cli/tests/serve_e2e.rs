@@ -1,0 +1,206 @@
+//! End-to-end serving test through the real binaries: `tclose serve`
+//! spawned as a daemon process, driven entirely with `tclose request`
+//! one-shots, and its released bytes compared against offline
+//! `tclose apply` on the same artifact — the same contract the CI
+//! smoke job scripts in shell.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+fn tclose(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_tclose"))
+        .args(args)
+        .output()
+        .expect("failed to spawn the tclose binary")
+}
+
+fn fixture() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/tiny.csv")
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("tclose_cli_serve_e2e")
+        .join(format!("{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Waits for `tclose serve` to publish its bound address via --addr-file.
+fn wait_for_addr(path: &Path, server: &mut Child) -> String {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok(s) = std::fs::read_to_string(path) {
+            let s = s.trim().to_string();
+            if !s.is_empty() {
+                return s;
+            }
+        }
+        if let Some(status) = server.try_wait().unwrap() {
+            panic!("server exited early with {status:?}");
+        }
+        assert!(
+            Instant::now() < deadline,
+            "server never published its address"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn wait_for_exit(mut server: Child) -> std::process::ExitStatus {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if let Some(status) = server.try_wait().unwrap() {
+            return status;
+        }
+        if Instant::now() >= deadline {
+            let _ = server.kill();
+            panic!("server did not exit after shutdown");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn fit_serve_request_shutdown_is_byte_identical_to_offline_apply() {
+    let dir = tmp_dir("cycle");
+    let registry = dir.join("registry");
+    std::fs::create_dir_all(&registry).unwrap();
+    let fixture = fixture();
+    let fixture_s = fixture.to_str().unwrap();
+
+    // fit: freeze a model into the registry.
+    let model = registry.join("tiny.json");
+    let out = tclose(&[
+        "fit",
+        "--input",
+        fixture_s,
+        "--out",
+        model.to_str().unwrap(),
+        "--qi",
+        "age,zip",
+        "--confidential",
+        "income",
+        "--k",
+        "3",
+        "--t",
+        "0.45",
+    ]);
+    assert!(out.status.success(), "fit failed: {:?}", out);
+
+    // Offline reference: what `tclose apply` writes for the same model.
+    let offline = dir.join("offline.csv");
+    let out = tclose(&[
+        "apply",
+        "--model",
+        model.to_str().unwrap(),
+        "--input",
+        fixture_s,
+        "--output",
+        offline.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "apply failed: {:?}", out);
+
+    // serve: spawn the daemon on an ephemeral port.
+    let addr_file = dir.join("addr");
+    let mut server = Command::new(env!("CARGO_BIN_EXE_tclose"))
+        .args([
+            "serve",
+            "--registry",
+            registry.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--addr-file",
+            addr_file.to_str().unwrap(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("failed to spawn tclose serve");
+    let addr = wait_for_addr(&addr_file, &mut server);
+
+    // list: the registry loaded our model.
+    let out = tclose(&["request", "--addr", &addr, "--op", "list"]);
+    assert!(out.status.success(), "list failed: {:?}", out);
+    let listed = String::from_utf8(out.stdout).unwrap();
+    assert!(listed.contains("tiny"), "list output: {listed}");
+    assert!(listed.contains("k=3"), "list output: {listed}");
+
+    // anonymize through the daemon: byte-identical to offline apply.
+    let served = dir.join("served.csv");
+    let out = tclose(&[
+        "request",
+        "--addr",
+        &addr,
+        "--op",
+        "anonymize",
+        "--model",
+        "tiny",
+        "--input",
+        fixture_s,
+        "--output",
+        served.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "anonymize request failed: {:?}", out);
+    let served_bytes = std::fs::read(&served).unwrap();
+    let offline_bytes = std::fs::read(&offline).unwrap();
+    assert_eq!(
+        served_bytes, offline_bytes,
+        "served release differs from offline apply"
+    );
+
+    // audit the served release through the daemon.
+    let out = tclose(&[
+        "request",
+        "--addr",
+        &addr,
+        "--op",
+        "audit",
+        "--model",
+        "tiny",
+        "--input",
+        served.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "audit request failed: {:?}", out);
+    let audit = String::from_utf8(out.stdout).unwrap();
+    let k: usize = audit
+        .lines()
+        .find(|l| l.contains("achieved k"))
+        .and_then(|l| l.split_whitespace().last())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("no achieved k in: {audit}"));
+    assert!(k >= 3, "audit k={k} < requested 3:\n{audit}");
+
+    // ping for good measure, then clean shutdown.
+    let out = tclose(&["request", "--addr", &addr, "--op", "ping"]);
+    assert!(out.status.success(), "ping failed: {:?}", out);
+    let out = tclose(&["request", "--addr", &addr, "--op", "shutdown"]);
+    assert!(out.status.success(), "shutdown request failed: {:?}", out);
+
+    let status = wait_for_exit(server);
+    assert!(
+        status.success(),
+        "serve exited {status:?} after clean drain"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_refuses_a_missing_registry_directory() {
+    let out = tclose(&["serve", "--registry", "/nonexistent/definitely/not/here"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("not a directory"), "stderr: {stderr}");
+}
+
+#[test]
+fn request_against_a_dead_server_fails_cleanly() {
+    // Port 1 on loopback is essentially never listening.
+    let out = tclose(&["request", "--addr", "127.0.0.1:1", "--op", "ping"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("error:"), "stderr: {stderr}");
+}

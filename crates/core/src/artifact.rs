@@ -69,9 +69,16 @@ pub enum ArtifactError {
     },
     /// The payload is not a well-formed artifact document (invalid JSON,
     /// missing or ill-typed fields, internally inconsistent counts).
-    Corrupted(String),
+    Corrupted {
+        /// Path of the artifact file, when the payload came from disk.
+        path: Option<String>,
+        /// What was malformed.
+        detail: String,
+    },
     /// The document declares a format version this build does not read.
     WrongVersion {
+        /// Path of the artifact file, when the payload came from disk.
+        path: Option<String>,
         /// Version found in the document.
         found: u64,
         /// Version this build reads.
@@ -80,10 +87,82 @@ pub enum ArtifactError {
     /// The document is well-formed but its parts disagree — e.g. the
     /// embedding covers a different number of quasi-identifiers than the
     /// schema declares, or an EMD domain names an unknown attribute.
-    SchemaMismatch(String),
+    SchemaMismatch {
+        /// Path of the artifact file, when the payload came from disk.
+        path: Option<String>,
+        /// Which parts disagree.
+        detail: String,
+    },
     /// A field is well-formed but semantically invalid (out-of-range
     /// privacy parameters, unknown algorithm, zero records).
-    InvalidModel(String),
+    InvalidModel {
+        /// Path of the artifact file, when the payload came from disk.
+        path: Option<String>,
+        /// Which field is invalid.
+        detail: String,
+    },
+}
+
+impl ArtifactError {
+    /// Attaches the on-disk path the document came from, so every variant
+    /// names the offending file. [`ModelArtifact::load`] does this for
+    /// its callers; directory scanners (the serve model registry) rely on
+    /// it to say *which* artifact in a directory was rejected.
+    pub fn with_path(mut self, p: &Path) -> Self {
+        let located = p.display().to_string();
+        match &mut self {
+            ArtifactError::Io { path, .. } => *path = located,
+            ArtifactError::Corrupted { path, .. }
+            | ArtifactError::WrongVersion { path, .. }
+            | ArtifactError::SchemaMismatch { path, .. }
+            | ArtifactError::InvalidModel { path, .. } => *path = Some(located),
+        }
+        self
+    }
+
+    /// The artifact path the error refers to, when known.
+    pub fn path(&self) -> Option<&str> {
+        match self {
+            ArtifactError::Io { path, .. } => Some(path),
+            ArtifactError::Corrupted { path, .. }
+            | ArtifactError::WrongVersion { path, .. }
+            | ArtifactError::SchemaMismatch { path, .. }
+            | ArtifactError::InvalidModel { path, .. } => path.as_deref(),
+        }
+    }
+}
+
+/// A [`ArtifactError::Corrupted`] with no path attached yet.
+fn corrupted(detail: impl Into<String>) -> ArtifactError {
+    ArtifactError::Corrupted {
+        path: None,
+        detail: detail.into(),
+    }
+}
+
+/// A [`ArtifactError::SchemaMismatch`] with no path attached yet.
+fn mismatched(detail: impl Into<String>) -> ArtifactError {
+    ArtifactError::SchemaMismatch {
+        path: None,
+        detail: detail.into(),
+    }
+}
+
+/// An [`ArtifactError::InvalidModel`] with no path attached yet.
+fn invalid(detail: impl Into<String>) -> ArtifactError {
+    ArtifactError::InvalidModel {
+        path: None,
+        detail: detail.into(),
+    }
+}
+
+/// Renders `Some(path)` as ` <path>` and `None` as nothing, keeping every
+/// message one line whether or not the document came from disk.
+fn at(path: &Option<String>) -> String {
+    match path {
+        Some(p) => format!(" {p}"),
+        None => String::new(),
+    }
 }
 
 impl fmt::Display for ArtifactError {
@@ -92,24 +171,30 @@ impl fmt::Display for ArtifactError {
             ArtifactError::Io { path, detail } => {
                 write!(f, "cannot access model {path}: {detail}")
             }
-            ArtifactError::Corrupted(detail) => {
+            ArtifactError::Corrupted { path, detail } => {
                 write!(
                     f,
-                    "model file is corrupted ({detail}); re-run `tclose fit` to regenerate it"
+                    "model file{} is corrupted ({detail}); re-run `tclose fit` to regenerate it",
+                    at(path)
                 )
             }
-            ArtifactError::WrongVersion { found, supported } => {
+            ArtifactError::WrongVersion {
+                path,
+                found,
+                supported,
+            } => {
                 write!(
                     f,
-                    "model has schema_version {found} but this build reads version \
-                     {supported}; re-fit the model with this version"
+                    "model{} has schema_version {found} but this build reads version \
+                     {supported}; re-fit the model with this version",
+                    at(path)
                 )
             }
-            ArtifactError::SchemaMismatch(detail) => {
-                write!(f, "model schema mismatch: {detail}")
+            ArtifactError::SchemaMismatch { path, detail } => {
+                write!(f, "model{} schema mismatch: {detail}", at(path))
             }
-            ArtifactError::InvalidModel(detail) => {
-                write!(f, "model is invalid: {detail}")
+            ArtifactError::InvalidModel { path, detail } => {
+                write!(f, "model{} is invalid: {detail}", at(path))
             }
         }
     }
@@ -271,8 +356,7 @@ impl ModelArtifact {
     /// for the failure taxonomy; validation is strict — every reconstructed
     /// part is re-checked against the schema it claims to cover.
     pub fn from_json_str(s: &str) -> Result<Self, ArtifactError> {
-        let doc =
-            Json::parse(s).map_err(|e| ArtifactError::Corrupted(format!("invalid JSON: {e}")))?;
+        let doc = Json::parse(s).map_err(|e| corrupted(format!("invalid JSON: {e}")))?;
         Self::from_json(&doc)
     }
 
@@ -280,13 +364,14 @@ impl ModelArtifact {
     pub fn from_json(doc: &Json) -> Result<Self, ArtifactError> {
         let kind = doc.get("kind").and_then(Json::as_str).unwrap_or("");
         if kind != ARTIFACT_KIND {
-            return Err(ArtifactError::Corrupted(format!(
+            return Err(corrupted(format!(
                 "not a model artifact (kind {kind:?}, expected {ARTIFACT_KIND:?})"
             )));
         }
         let version = num_field(doc, "schema_version")? as u64;
         if version != ARTIFACT_SCHEMA_VERSION {
             return Err(ArtifactError::WrongVersion {
+                path: None,
                 found: version,
                 supported: ARTIFACT_SCHEMA_VERSION,
             });
@@ -296,13 +381,10 @@ impl ModelArtifact {
         let params = doc.get("params").ok_or_else(|| missing("params"))?;
         let k = num_field(params, "k")?;
         if k < 1.0 || k.fract() != 0.0 {
-            return Err(ArtifactError::InvalidModel(format!(
-                "k must be a positive integer, got {k}"
-            )));
+            return Err(invalid(format!("k must be a positive integer, got {k}")));
         }
         let t = num_field(params, "t")?;
-        let tparams = TClosenessParams::new(k as usize, t)
-            .map_err(|e| ArtifactError::InvalidModel(e.to_string()))?;
+        let tparams = TClosenessParams::new(k as usize, t).map_err(|e| invalid(e.to_string()))?;
         let algorithm = algorithm_from_parts(
             str_field(params, "algorithm")?,
             params.get("gamma").and_then(Json::as_f64),
@@ -314,7 +396,7 @@ impl ModelArtifact {
         // embedding
         let emb = doc.get("embedding").ok_or_else(|| missing("embedding"))?;
         let method = NormalizeMethod::parse(str_field(emb, "method")?).ok_or_else(|| {
-            ArtifactError::InvalidModel(format!(
+            invalid(format!(
                 "unknown normalization method {:?}",
                 emb.get("method").and_then(Json::as_str).unwrap_or("")
             ))
@@ -322,7 +404,7 @@ impl ModelArtifact {
         let shifts = f64_array(emb, "shifts")?;
         let scales = f64_array(emb, "scales")?;
         if shifts.len() != scales.len() {
-            return Err(ArtifactError::Corrupted(format!(
+            return Err(corrupted(format!(
                 "embedding has {} shifts but {} scales",
                 shifts.len(),
                 scales.len()
@@ -337,7 +419,7 @@ impl ModelArtifact {
             .ok_or_else(|| missing("emd_domains"))?;
         let conf_attrs = schema.confidential();
         if domains.len() != conf_attrs.len() {
-            return Err(ArtifactError::SchemaMismatch(format!(
+            return Err(mismatched(format!(
                 "document has {} EMD domains but the schema declares {} confidential \
                  attributes",
                 domains.len(),
@@ -349,7 +431,7 @@ impl ModelArtifact {
             let expected = &schema.attributes()[a].name;
             let named = str_field(domain, "attribute")?;
             if named != expected {
-                return Err(ArtifactError::SchemaMismatch(format!(
+                return Err(mismatched(format!(
                     "EMD domain is for attribute {named:?} but the schema's confidential \
                      attribute in that position is {expected:?}"
                 )));
@@ -357,17 +439,15 @@ impl ModelArtifact {
             let values = f64_array(domain, "values")?;
             let counts = u32_array(domain, "global_counts")?;
             emds.push(
-                OrderedEmd::try_from_global(values, counts).map_err(|e| {
-                    ArtifactError::Corrupted(format!("EMD domain for {named:?}: {e}"))
-                })?,
+                OrderedEmd::try_from_global(values, counts)
+                    .map_err(|e| corrupted(format!("EMD domain for {named:?}: {e}")))?,
             );
         }
-        let conf =
-            Confidential::from_emds(emds).map_err(|e| ArtifactError::Corrupted(e.to_string()))?;
+        let conf = Confidential::from_emds(emds).map_err(|e| corrupted(e.to_string()))?;
 
         let n_records = num_field(doc, "n_records")? as usize;
         if conf.n() != n_records {
-            return Err(ArtifactError::Corrupted(format!(
+            return Err(corrupted(format!(
                 "n_records is {n_records} but the EMD global counts sum to {}",
                 conf.n()
             )));
@@ -377,10 +457,10 @@ impl ModelArtifact {
             doc.get("env_fingerprint")
                 .ok_or_else(|| missing("env_fingerprint"))?,
         )
-        .map_err(ArtifactError::Corrupted)?;
+        .map_err(corrupted)?;
 
         let fit = GlobalFit::from_parts(schema, embedding, conf, n_records)
-            .map_err(|e| ArtifactError::SchemaMismatch(e.to_string()))?;
+            .map_err(|e| mismatched(e.to_string()))?;
 
         Ok(ModelArtifact {
             schema_version: version,
@@ -408,7 +488,7 @@ impl ModelArtifact {
             path: path.display().to_string(),
             detail: e.to_string(),
         })?;
-        Self::from_json_str(&s)
+        Self::from_json_str(&s).map_err(|e| e.with_path(path))
     }
 }
 
@@ -428,18 +508,14 @@ fn algorithm_from_parts(name: &str, gamma: Option<f64>) -> Result<Algorithm, Art
         "Alg1-merge" => Ok(Algorithm::Merge),
         "Alg1-merge(V-MDAV)" => gamma
             .map(|gamma| Algorithm::MergeVMdav { gamma })
-            .ok_or_else(|| {
-                ArtifactError::Corrupted("V-MDAV algorithm without a gamma field".into())
-            }),
+            .ok_or_else(|| corrupted("V-MDAV algorithm without a gamma field")),
         "Alg1-merge(EMD-partner)" => Ok(Algorithm::MergeComplementary),
         "Alg2-kfirst" => Ok(Algorithm::KAnonymityFirst),
         "Alg2-kfirst(no-fallback)" => Ok(Algorithm::KAnonymityFirstNoFallback),
         "Alg2-kfirst(add)" => Ok(Algorithm::KAnonymityFirstAdd),
         "Alg3-tfirst" => Ok(Algorithm::TClosenessFirst),
         "Alg3-tfirst(tail)" => Ok(Algorithm::TClosenessFirstTail),
-        other => Err(ArtifactError::InvalidModel(format!(
-            "unknown algorithm {other:?}"
-        ))),
+        other => Err(invalid(format!("unknown algorithm {other:?}"))),
     }
 }
 
@@ -479,28 +555,26 @@ fn schema_to_json(schema: &Schema) -> Json {
 fn schema_from_json(v: &Json) -> Result<Schema, ArtifactError> {
     let items = v
         .as_arr()
-        .ok_or_else(|| ArtifactError::Corrupted("qi_schema is not an array".into()))?;
+        .ok_or_else(|| corrupted("qi_schema is not an array"))?;
     let mut attrs = Vec::with_capacity(items.len());
     for item in items {
         let name = str_field(item, "name")?;
         let role = str_field(item, "role")?;
         let role = AttributeRole::parse(role)
-            .ok_or_else(|| ArtifactError::Corrupted(format!("unknown attribute role {role:?}")))?;
+            .ok_or_else(|| corrupted(format!("unknown attribute role {role:?}")))?;
         let kind = str_field(item, "kind")?;
         let labels = || -> Result<Vec<String>, ArtifactError> {
             item.get("labels")
                 .and_then(Json::as_arr)
                 .ok_or_else(|| {
-                    ArtifactError::Corrupted(format!(
+                    corrupted(format!(
                         "categorical attribute {name:?} has no labels array"
                     ))
                 })?
                 .iter()
                 .map(|l| {
                     l.as_str().map(str::to_owned).ok_or_else(|| {
-                        ArtifactError::Corrupted(format!(
-                            "attribute {name:?} has a non-string label"
-                        ))
+                        corrupted(format!("attribute {name:?} has a non-string label"))
                     })
                 })
                 .collect::<Result<_, _>>()
@@ -509,40 +583,36 @@ fn schema_from_json(v: &Json) -> Result<Schema, ArtifactError> {
             "numeric" => AttributeDef::numeric(name, role),
             "ordinal" => AttributeDef::ordinal(name, role, labels()?),
             "nominal" => AttributeDef::nominal(name, role, labels()?),
-            other => {
-                return Err(ArtifactError::Corrupted(format!(
-                    "unknown attribute kind {other:?}"
-                )))
-            }
+            other => return Err(corrupted(format!("unknown attribute kind {other:?}"))),
         });
     }
-    Schema::new(attrs).map_err(|e| ArtifactError::Corrupted(e.to_string()))
+    Schema::new(attrs).map_err(|e| corrupted(e.to_string()))
 }
 
 fn missing(field: &str) -> ArtifactError {
-    ArtifactError::Corrupted(format!("missing field {field:?}"))
+    corrupted(format!("missing field {field:?}"))
 }
 
 fn num_field(v: &Json, field: &str) -> Result<f64, ArtifactError> {
     v.get(field)
         .and_then(Json::as_f64)
-        .ok_or_else(|| ArtifactError::Corrupted(format!("missing numeric field {field:?}")))
+        .ok_or_else(|| corrupted(format!("missing numeric field {field:?}")))
 }
 
 fn str_field<'a>(v: &'a Json, field: &str) -> Result<&'a str, ArtifactError> {
     v.get(field)
         .and_then(Json::as_str)
-        .ok_or_else(|| ArtifactError::Corrupted(format!("missing string field {field:?}")))
+        .ok_or_else(|| corrupted(format!("missing string field {field:?}")))
 }
 
 fn f64_array(v: &Json, field: &str) -> Result<Vec<f64>, ArtifactError> {
     v.get(field)
         .and_then(Json::as_arr)
-        .ok_or_else(|| ArtifactError::Corrupted(format!("missing array field {field:?}")))?
+        .ok_or_else(|| corrupted(format!("missing array field {field:?}")))?
         .iter()
         .map(|x| {
             x.as_f64()
-                .ok_or_else(|| ArtifactError::Corrupted(format!("non-numeric entry in {field:?}")))
+                .ok_or_else(|| corrupted(format!("non-numeric entry in {field:?}")))
         })
         .collect()
 }
@@ -554,7 +624,7 @@ fn u32_array(v: &Json, field: &str) -> Result<Vec<u32>, ArtifactError> {
             if x.fract() == 0.0 && (0.0..=u32::MAX as f64).contains(&x) {
                 Ok(x as u32)
             } else {
-                Err(ArtifactError::Corrupted(format!(
+                Err(corrupted(format!(
                     "entry {x} in {field:?} is not a u32 count"
                 )))
             }
@@ -645,7 +715,9 @@ mod tests {
             .to_string_pretty()
             .replace("\"schema_version\": 1", "\"schema_version\": 99");
         match ModelArtifact::from_json_str(&bumped) {
-            Err(ArtifactError::WrongVersion { found, supported }) => {
+            Err(ArtifactError::WrongVersion {
+                found, supported, ..
+            }) => {
                 assert_eq!(found, 99);
                 assert_eq!(supported, ARTIFACT_SCHEMA_VERSION);
             }
@@ -658,24 +730,24 @@ mod tests {
         // not JSON at all
         assert!(matches!(
             ModelArtifact::from_json_str("not json"),
-            Err(ArtifactError::Corrupted(_))
+            Err(ArtifactError::Corrupted { .. })
         ));
         // valid JSON, wrong kind
         assert!(matches!(
             ModelArtifact::from_json_str("{\"kind\": \"something-else\"}"),
-            Err(ArtifactError::Corrupted(_))
+            Err(ArtifactError::Corrupted { .. })
         ));
         // truncated document
         let s = demo_artifact().to_string_pretty();
         assert!(matches!(
             ModelArtifact::from_json_str(&s[..s.len() / 2]),
-            Err(ArtifactError::Corrupted(_))
+            Err(ArtifactError::Corrupted { .. })
         ));
         // tampered counts: n_records no longer matches the global counts
         let tampered = s.replace("\"n_records\": 40", "\"n_records\": 41");
         assert!(matches!(
             ModelArtifact::from_json_str(&tampered),
-            Err(ArtifactError::Corrupted(_))
+            Err(ArtifactError::Corrupted { .. })
         ));
     }
 
@@ -687,7 +759,7 @@ mod tests {
         let s = art.to_string_pretty().replacen("\"wage\"", "\"salary\"", 1);
         assert!(matches!(
             ModelArtifact::from_json_str(&s),
-            Err(ArtifactError::SchemaMismatch(_))
+            Err(ArtifactError::SchemaMismatch { .. })
         ));
     }
 
@@ -697,12 +769,12 @@ mod tests {
         let bad_t = s.replace("\"t\": 0.3", "\"t\": 1.7");
         assert!(matches!(
             ModelArtifact::from_json_str(&bad_t),
-            Err(ArtifactError::InvalidModel(_))
+            Err(ArtifactError::InvalidModel { .. })
         ));
         let bad_alg = s.replace("Alg3-tfirst", "Alg9-imaginary");
         assert!(matches!(
             ModelArtifact::from_json_str(&bad_alg),
-            Err(ArtifactError::InvalidModel(_))
+            Err(ArtifactError::InvalidModel { .. })
         ));
     }
 
@@ -739,5 +811,37 @@ mod tests {
             Err(ArtifactError::Io { path, .. }) => assert!(path.contains("nope.json")),
             other => panic!("expected Io, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn every_load_error_variant_names_the_offending_path() {
+        let dir = std::env::temp_dir().join("tclose_artifact_path_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = demo_artifact().to_string_pretty();
+        // (file name, tampered payload) pairs covering every disk-borne
+        // load-failure variant; each loaded error must carry the path
+        // both in the typed field and in the rendered message.
+        let cases: [(&str, String); 4] = [
+            ("corrupt.json", good[..good.len() / 2].to_string()),
+            (
+                "future.json",
+                good.replace("\"schema_version\": 1", "\"schema_version\": 99"),
+            ),
+            ("mismatch.json", good.replacen("\"wage\"", "\"salary\"", 1)),
+            ("invalid.json", good.replace("\"t\": 0.3", "\"t\": 1.7")),
+        ];
+        for (name, payload) in cases {
+            let path = dir.join(name);
+            std::fs::write(&path, payload).unwrap();
+            let err = ModelArtifact::load(&path).unwrap_err();
+            let p = err.path().unwrap_or_default().to_owned();
+            assert!(p.contains(name), "{name}: path() = {p:?}");
+            let msg = err.to_string();
+            assert!(msg.contains(name), "{name}: message omits path: {msg}");
+            assert!(!msg.contains('\n'), "{name}: multi-line: {msg}");
+        }
+        // In-memory parses keep path() = None (nothing to name).
+        let err = ModelArtifact::from_json_str("not json").unwrap_err();
+        assert_eq!(err.path(), None);
     }
 }

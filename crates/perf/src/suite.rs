@@ -31,8 +31,9 @@ use tclose_metrics::KernelPath;
 use tclose_microagg::{
     mdav_partition_with, vmdav_partition_with, Matrix, NeighborBackend, Parallelism,
 };
-use tclose_microdata::csv::{read_csv_auto, write_csv};
+use tclose_microdata::csv::{read_csv_auto, to_csv_string, write_csv};
 use tclose_microdata::{AttributeRole, Table};
+use tclose_serve::TestServer;
 use tclose_stream::ShardedAnonymizer;
 
 use crate::fingerprint;
@@ -405,6 +406,36 @@ fn fit_apply_case(cases: &mut Vec<Case>, workload: &str, table: Table) -> Result
     Ok(())
 }
 
+/// Serving-path case: one anonymize request round-trip against a
+/// **resident** model in a live `tclose-serve` daemon (loopback socket,
+/// single batch worker, sequential kernels). The comparison partner is
+/// `artifact/fit_apply` (cold artifact load + in-process apply, no
+/// process startup): the difference between the two is the full
+/// serving overhead — CSV over the wire, JSON envelope, queueing —
+/// on top of the same apply, and the gate keeps that overhead from
+/// regressing unnoticed.
+fn serve_request_case(cases: &mut Vec<Case>, workload: &str, table: Table) -> Result<(), String> {
+    let fitted = Anonymizer::new(5, 0.2)
+        .algorithm(Algorithm::TClosenessFirst)
+        .with_parallelism(Parallelism::sequential())
+        .fit(&table)
+        .map_err(|e| e.to_string())?;
+    let artifact = ModelArtifact::from_fitted(&fitted);
+    let csv = to_csv_string(&table).map_err(|e| e.to_string())?;
+    let server = TestServer::with_config(|cfg| cfg.batch_workers = 1);
+    server.install_model("bench", &artifact);
+    let mut client = server.client();
+    cases.push(Case::new(format!("serve/request/{workload}"), move || {
+        // Keep the daemon alive for the case's lifetime.
+        let _keepalive = &server;
+        let (out, _report) = client
+            .anonymize("bench", black_box(&csv))
+            .expect("serve request succeeds");
+        black_box(out.len());
+    }));
+    Ok(())
+}
+
 /// Ordered-EMD verification case: audits a released table (anonymized
 /// once during setup) against its global confidential distribution.
 fn verify_case(cases: &mut Vec<Case>, workload: &str, table: Table) {
@@ -472,6 +503,7 @@ pub fn catalog(suite: Suite) -> Result<Vec<Case>, String> {
             approx_partition_cases(&mut cases, "blobs30k_d2", &frontier_matrix(30_000, 2));
             stream_cases(&mut cases, "patient6k", 6_000, 2_000)?;
             fit_apply_case(&mut cases, "census-mcd", Dataset::Mcd.table(&ctx))?;
+            serve_request_case(&mut cases, "census-mcd", Dataset::Mcd.table(&ctx))?;
             verify_case(&mut cases, "patient6k", patient_discharge(42, 6_000));
         }
         Suite::Full => {

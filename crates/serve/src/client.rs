@@ -1,0 +1,191 @@
+//! Blocking client for the serve wire protocol.
+//!
+//! One TCP connection, synchronous request/response by default, with
+//! split [`send`](Client::send)/[`receive`](Client::receive) halves for
+//! pipelining (the server answers in arrival order, so a pipelining
+//! caller can match responses positionally).
+
+use std::io::BufReader;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{
+    read_frame, write_frame, ApplyReport, AuditReport, ModelSummary, Request, Response,
+    DEFAULT_MAX_FRAME,
+};
+
+/// Errors talking to the server.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or framing failure.
+    Io(String),
+    /// The server's bytes did not parse as a protocol response.
+    Protocol(String),
+    /// The server answered `busy` (bounded queue full; retry later).
+    Busy {
+        /// Server-provided detail.
+        detail: String,
+    },
+    /// The request expired in the server's queue.
+    TimedOut {
+        /// Server-provided detail.
+        detail: String,
+    },
+    /// The server answered with a request-level error.
+    Remote {
+        /// Echoed request id.
+        id: u64,
+        /// Server-provided detail.
+        detail: String,
+    },
+    /// The server answered, but with a response of the wrong kind.
+    Unexpected {
+        /// Debug rendering of what arrived.
+        got: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(d) => write!(f, "connection error: {d}"),
+            ClientError::Protocol(d) => write!(f, "protocol error: {d}"),
+            ClientError::Busy { detail } => write!(f, "server busy: {detail}"),
+            ClientError::TimedOut { detail } => write!(f, "request timed out: {detail}"),
+            ClientError::Remote { id, detail } => write!(f, "request {id} failed: {detail}"),
+            ClientError::Unexpected { got } => write!(f, "unexpected response: {got}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A blocking connection to a running `tclose serve` daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+    max_frame: usize,
+}
+
+impl Client {
+    /// Connects to the server at `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(|e| ClientError::Io(e.to_string()))?;
+        let _ = stream.set_nodelay(true);
+        let writer = stream
+            .try_clone()
+            .map_err(|e| ClientError::Io(e.to_string()))?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+            next_id: 1,
+            max_frame: DEFAULT_MAX_FRAME,
+        })
+    }
+
+    /// Overrides the frame cap (testing hostile-prefix handling).
+    pub fn with_max_frame(mut self, max: usize) -> Client {
+        self.max_frame = max;
+        self
+    }
+
+    /// Allocates the next request id.
+    pub fn next_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Sends a request without waiting for the response (pipelining).
+    pub fn send(&mut self, req: &Request) -> Result<(), ClientError> {
+        write_frame(&mut self.writer, &req.encode(), self.max_frame)
+            .map_err(|e| ClientError::Io(e.to_string()))
+    }
+
+    /// Receives the next response off the connection.
+    pub fn receive(&mut self) -> Result<Response, ClientError> {
+        let payload = read_frame(&mut self.reader, self.max_frame)
+            .map_err(|e| ClientError::Io(e.to_string()))?
+            .ok_or_else(|| ClientError::Io("server closed the connection".into()))?;
+        Response::decode(&payload).map_err(ClientError::Protocol)
+    }
+
+    /// Sends one request and waits for its response.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        self.send(req)?;
+        self.receive()
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        let id = self.next_id();
+        match self.request(&Request::Ping { id })? {
+            Response::Pong { .. } => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Lists the models loaded in the server's registry.
+    pub fn list_models(&mut self) -> Result<Vec<ModelSummary>, ClientError> {
+        let id = self.next_id();
+        match self.request(&Request::ListModels { id })? {
+            Response::Models { models, .. } => Ok(models),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Anonymizes `csv` with the named model; returns the released CSV
+    /// (byte-identical to offline `tclose apply`) and its report.
+    pub fn anonymize(
+        &mut self,
+        model: &str,
+        csv: &str,
+    ) -> Result<(String, ApplyReport), ClientError> {
+        let id = self.next_id();
+        let req = Request::Anonymize {
+            id,
+            model: model.to_string(),
+            csv: csv.to_string(),
+        };
+        match self.request(&req)? {
+            Response::Anonymized { csv, report, .. } => Ok((csv, report)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Audits a released `csv` with the named model's schema roles.
+    pub fn audit(&mut self, model: &str, csv: &str) -> Result<AuditReport, ClientError> {
+        let id = self.next_id();
+        let req = Request::Audit {
+            id,
+            model: model.to_string(),
+            csv: csv.to_string(),
+        };
+        match self.request(&req)? {
+            Response::Audited { report, .. } => Ok(report),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Asks the server to shut down (drain and exit).
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        let id = self.next_id();
+        match self.request(&Request::Shutdown { id })? {
+            Response::ShuttingDown { .. } => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+/// Maps error-ish responses to their `ClientError` variants, anything
+/// else to `Unexpected`.
+fn unexpected(resp: Response) -> ClientError {
+    match resp {
+        Response::Busy { detail, .. } => ClientError::Busy { detail },
+        Response::TimedOut { detail, .. } => ClientError::TimedOut { detail },
+        Response::Error { id, detail } => ClientError::Remote { id, detail },
+        other => ClientError::Unexpected {
+            got: format!("{other:?}"),
+        },
+    }
+}

@@ -1,0 +1,230 @@
+//! Model registry: a directory of versioned artifacts kept hot in memory.
+//!
+//! The registry watches a directory of `*.json` model artifacts (as
+//! written by `tclose fit`). Each file's stem is its **model id**. A
+//! [`scan`](ModelRegistry::scan) reloads any file whose mtime or length
+//! changed since the last look, forgets models whose files vanished,
+//! and records a typed [`ArtifactError`] — with the offending path —
+//! for any file that fails to load. Corrupt files never take down
+//! healthy models: a model that loaded successfully before keeps
+//! serving its last good version even if its file is later overwritten
+//! with garbage.
+
+use std::collections::{HashMap, HashSet};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::SystemTime;
+
+use tclose_core::{ArtifactError, FittedAnonymizer, ModelArtifact, NeighborBackend};
+use tclose_parallel::Parallelism;
+
+use crate::protocol::ModelSummary;
+
+/// A model loaded into the registry, ready to serve requests.
+#[derive(Debug)]
+pub struct LoadedModel {
+    /// Registry id (artifact file stem).
+    pub id: String,
+    /// Path the artifact was loaded from.
+    pub path: PathBuf,
+    /// The parsed artifact (schema, params, frozen global fit).
+    pub artifact: ModelArtifact,
+    /// The resident anonymizer. Built with sequential kernels — the
+    /// server parallelizes *across* queued requests, mirroring the
+    /// streaming engine's workers-across-shards split.
+    pub fitted: FittedAnonymizer,
+}
+
+/// Change-detection stamp for one artifact file.
+///
+/// mtime+length, the same heuristic `make` uses: cheap to read, and a
+/// rewrite that preserves both within the filesystem's mtime
+/// granularity is the only (unrealistic) blind spot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct FileStamp {
+    mtime: Option<SystemTime>,
+    len: u64,
+}
+
+impl FileStamp {
+    fn of(meta: &std::fs::Metadata) -> FileStamp {
+        FileStamp {
+            mtime: meta.modified().ok(),
+            len: meta.len(),
+        }
+    }
+}
+
+/// What one [`ModelRegistry::scan`] changed.
+#[derive(Debug, Default, Clone)]
+pub struct ScanReport {
+    /// Model ids (re)loaded this scan.
+    pub loaded: Vec<String>,
+    /// Files that failed to load, with the typed error naming the path.
+    /// A rejected id that was healthy before keeps its old model.
+    pub rejected: Vec<(String, ArtifactError)>,
+    /// Model ids whose files disappeared and were unloaded.
+    pub removed: Vec<String>,
+}
+
+impl ScanReport {
+    /// True when the scan changed nothing.
+    pub fn is_empty(&self) -> bool {
+        self.loaded.is_empty() && self.rejected.is_empty() && self.removed.is_empty()
+    }
+}
+
+/// Registry over a directory of model artifacts.
+#[derive(Debug)]
+pub struct ModelRegistry {
+    dir: PathBuf,
+    backend: NeighborBackend,
+    models: HashMap<String, Arc<LoadedModel>>,
+    stamps: HashMap<String, FileStamp>,
+    errors: HashMap<String, ArtifactError>,
+}
+
+impl ModelRegistry {
+    /// Opens a registry over `dir` and performs the initial scan.
+    ///
+    /// Fails only if the directory itself cannot be read; individual
+    /// corrupt artifacts are reported in the [`ScanReport`], not here.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        backend: NeighborBackend,
+    ) -> io::Result<(ModelRegistry, ScanReport)> {
+        let mut reg = ModelRegistry {
+            dir: dir.into(),
+            backend,
+            models: HashMap::new(),
+            stamps: HashMap::new(),
+            errors: HashMap::new(),
+        };
+        let report = reg.scan()?;
+        Ok((reg, report))
+    }
+
+    /// Rescans the directory: loads new/changed `*.json` files, unloads
+    /// models whose files vanished, records typed errors for the rest.
+    pub fn scan(&mut self) -> io::Result<ScanReport> {
+        let mut report = ScanReport::default();
+        let mut seen: HashSet<String> = HashSet::new();
+        let mut entries: Vec<(String, PathBuf, FileStamp)> = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                continue;
+            }
+            let Some(id) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            let Ok(meta) = entry.metadata() else {
+                continue;
+            };
+            if !meta.is_file() {
+                continue;
+            }
+            entries.push((id.to_string(), path, FileStamp::of(&meta)));
+        }
+        // Deterministic load/report order regardless of readdir order.
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+
+        for (id, path, stamp) in entries {
+            seen.insert(id.clone());
+            if self.stamps.get(&id) == Some(&stamp) {
+                continue;
+            }
+            match ModelArtifact::load(&path) {
+                Ok(artifact) => {
+                    let fitted = FittedAnonymizer::from_artifact(&artifact)
+                        .with_backend(self.backend)
+                        .with_parallelism(Parallelism::sequential());
+                    self.models.insert(
+                        id.clone(),
+                        Arc::new(LoadedModel {
+                            id: id.clone(),
+                            path,
+                            artifact,
+                            fitted,
+                        }),
+                    );
+                    self.errors.remove(&id);
+                    report.loaded.push(id.clone());
+                }
+                Err(e) => {
+                    // Typed rejection: remember the error (the path is
+                    // inside it), but keep any previously loaded version
+                    // of this model serving.
+                    self.errors.insert(id.clone(), e.clone());
+                    report.rejected.push((id.clone(), e));
+                }
+            }
+            self.stamps.insert(id, stamp);
+        }
+
+        let gone: Vec<String> = self
+            .stamps
+            .keys()
+            .filter(|id| !seen.contains(*id))
+            .cloned()
+            .collect();
+        for id in gone {
+            self.stamps.remove(&id);
+            self.errors.remove(&id);
+            if self.models.remove(&id).is_some() {
+                report.removed.push(id);
+            }
+        }
+        report.removed.sort();
+        Ok(report)
+    }
+
+    /// Looks up a loaded model by id.
+    pub fn get(&self, id: &str) -> Option<Arc<LoadedModel>> {
+        self.models.get(id).cloned()
+    }
+
+    /// The last load error recorded for `id`, if any. Set when the
+    /// file at that id currently fails to load — even if an older,
+    /// healthy version of the model is still serving.
+    pub fn last_error(&self, id: &str) -> Option<&ArtifactError> {
+        self.errors.get(id)
+    }
+
+    /// Summaries of all loaded models, sorted by id.
+    pub fn summaries(&self) -> Vec<ModelSummary> {
+        let mut out: Vec<ModelSummary> = self
+            .models
+            .values()
+            .map(|m| {
+                let p = m.artifact.params();
+                ModelSummary {
+                    id: m.id.clone(),
+                    algorithm: p.algorithm.name().to_string(),
+                    k: p.k,
+                    t: p.t,
+                    n_records: m.artifact.global_fit().n_records(),
+                }
+            })
+            .collect();
+        out.sort_by(|a, b| a.id.cmp(&b.id));
+        out
+    }
+
+    /// Number of loaded models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// True when no models are loaded.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// The directory this registry watches.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}

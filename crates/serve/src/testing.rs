@@ -1,0 +1,110 @@
+//! First-class test harness for the serve daemon.
+//!
+//! [`TestServer`] owns a temp registry directory and a server bound to
+//! an ephemeral loopback port, with the test-only `sleep` op enabled so
+//! backpressure and timeout scenarios are deterministic. Dropping the
+//! fixture shuts the server down (best-effort) and removes the temp
+//! directory; call [`TestServer::shutdown`] to assert on the drain.
+
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use tclose_core::ModelArtifact;
+
+use crate::client::Client;
+use crate::server::{ServeError, ServeStats, Server, ServerConfig, ServerHandle};
+
+static FIXTURE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A running server over a throwaway registry, for tests.
+pub struct TestServer {
+    handle: Option<ServerHandle>,
+    dir: PathBuf,
+}
+
+impl TestServer {
+    /// Starts a server with the fixture defaults: empty temp registry,
+    /// ephemeral port, 4 batch workers, test ops on.
+    pub fn start() -> TestServer {
+        TestServer::with_config(|_| {})
+    }
+
+    /// Starts a server after letting `tweak` adjust the fixture config
+    /// (queue depth, timeout, workers, backend…). The registry
+    /// directory and bind address are fixture-managed and reset after
+    /// the tweak runs.
+    pub fn with_config(tweak: impl FnOnce(&mut ServerConfig)) -> TestServer {
+        let dir = std::env::temp_dir().join(format!(
+            "tclose_serve_fixture_{}_{}",
+            std::process::id(),
+            FIXTURE_SEQ.fetch_add(1, Ordering::SeqCst)
+        ));
+        std::fs::create_dir_all(&dir).expect("fixture: cannot create temp registry dir");
+        let mut cfg = ServerConfig::new(&dir);
+        cfg.enable_test_ops = true;
+        tweak(&mut cfg);
+        cfg.registry_dir = dir.clone();
+        cfg.addr = "127.0.0.1:0".to_string();
+        let handle = Server::start(cfg).expect("fixture: server failed to start");
+        TestServer {
+            handle: Some(handle),
+            dir,
+        }
+    }
+
+    /// The server's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.handle.as_ref().expect("fixture: server gone").addr()
+    }
+
+    /// The temp registry directory the server watches.
+    pub fn registry_dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The underlying handle (stats, scan report).
+    pub fn handle(&self) -> &ServerHandle {
+        self.handle.as_ref().expect("fixture: server gone")
+    }
+
+    /// Saves `artifact` into the registry as `<id>.json` and returns
+    /// its path. The server picks it up on its next scan (before the
+    /// next batch, or on the next `list`).
+    pub fn install_model(&self, id: &str, artifact: &ModelArtifact) -> PathBuf {
+        let path = self.dir.join(format!("{id}.json"));
+        artifact
+            .save(&path)
+            .expect("fixture: cannot write model artifact");
+        path
+    }
+
+    /// Writes raw bytes as `<id>.json` — for corrupt-artifact tests.
+    pub fn install_raw(&self, id: &str, payload: &str) -> PathBuf {
+        let path = self.dir.join(format!("{id}.json"));
+        std::fs::write(&path, payload).expect("fixture: cannot write raw artifact");
+        path
+    }
+
+    /// Connects a fresh client to the server.
+    pub fn client(&self) -> Client {
+        Client::connect(self.addr()).expect("fixture: cannot connect")
+    }
+
+    /// Shuts the server down with a generous drain deadline, returning
+    /// the lifetime stats (or the drain-timeout error).
+    pub fn shutdown(mut self) -> Result<ServeStats, ServeError> {
+        let handle = self.handle.take().expect("fixture: server gone");
+        handle.shutdown(Duration::from_secs(60))
+    }
+}
+
+impl Drop for TestServer {
+    fn drop(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.shutdown(Duration::from_secs(10));
+        }
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}

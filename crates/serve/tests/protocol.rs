@@ -1,0 +1,277 @@
+//! Seeded property tests for the serve wire protocol.
+//!
+//! The codec contract under test: every request/response round-trips
+//! bit-exactly through its frame encoding; truncating a frame at *any*
+//! byte boundary is a typed [`FrameError::Truncated`] (never a panic,
+//! never a short read passed off as success); an oversized length
+//! prefix is rejected from the 4 prefix bytes alone, before any payload
+//! allocation; and pipelined frames survive interleaving and arbitrary
+//! read chunking.
+
+use std::io::{Cursor, Read};
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use tclose_serve::protocol::{
+    read_frame, write_frame, ApplyReport, AuditReport, FrameError, ModelSummary, Request, Response,
+    DEFAULT_MAX_FRAME,
+};
+
+fn random_string(rng: &mut StdRng, max_len: usize) -> String {
+    let len = rng.gen_range(0..=max_len);
+    (0..len)
+        .map(|_| {
+            // Bias toward the characters JSON encoding must escape.
+            match rng.gen_range(0u32..8) {
+                0 => '"',
+                1 => '\\',
+                2 => '\n',
+                3 => ',',
+                _ => char::from_u32(rng.gen_range(0x20u32..0x7f)).unwrap(),
+            }
+        })
+        .collect()
+}
+
+fn random_request(rng: &mut StdRng) -> Request {
+    let id = rng.gen_range(0u64..1 << 40);
+    match rng.gen_range(0u32..6) {
+        0 => Request::Ping { id },
+        1 => Request::ListModels { id },
+        2 => Request::Anonymize {
+            id,
+            model: random_string(rng, 24),
+            csv: random_string(rng, 200),
+        },
+        3 => Request::Audit {
+            id,
+            model: random_string(rng, 24),
+            csv: random_string(rng, 200),
+        },
+        4 => Request::Sleep {
+            id,
+            millis: rng.gen_range(0u64..10_000),
+        },
+        _ => Request::Shutdown { id },
+    }
+}
+
+fn random_response(rng: &mut StdRng) -> Response {
+    let id = rng.gen_range(0u64..1 << 40);
+    match rng.gen_range(0u32..8) {
+        0 => Response::Pong { id },
+        1 => Response::Models {
+            id,
+            models: (0..rng.gen_range(0usize..4))
+                .map(|i| ModelSummary {
+                    id: format!("model-{i}-{}", random_string(rng, 8)),
+                    algorithm: random_string(rng, 16),
+                    k: rng.gen_range(1usize..100),
+                    t: rng.gen_range(0.0f64..1.0),
+                    n_records: rng.gen_range(0usize..1_000_000),
+                })
+                .collect(),
+        },
+        2 => Response::Anonymized {
+            id,
+            csv: random_string(rng, 300),
+            report: ApplyReport {
+                n_records: rng.gen_range(0usize..100_000),
+                n_clusters: rng.gen_range(0usize..1_000),
+                achieved_k: rng.gen_range(0usize..100),
+                max_emd: rng.gen_range(0.0f64..1.0),
+                sse: rng.gen_range(0.0f64..10.0),
+            },
+        },
+        3 => Response::Audited {
+            id,
+            report: AuditReport {
+                n_records: rng.gen_range(0usize..100_000),
+                achieved_k: rng.gen_range(0usize..100),
+                achieved_t: rng.gen_range(0.0f64..1.0),
+                achieved_l: rng.gen_range(0usize..50),
+            },
+        },
+        4 => Response::Busy {
+            id,
+            detail: random_string(rng, 60),
+        },
+        5 => Response::TimedOut {
+            id,
+            detail: random_string(rng, 60),
+        },
+        6 => Response::Error {
+            id,
+            detail: random_string(rng, 60),
+        },
+        _ => Response::ShuttingDown { id },
+    }
+}
+
+#[test]
+fn requests_round_trip_bit_exactly() {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    for _ in 0..500 {
+        let req = random_request(&mut rng);
+        let decoded = Request::decode(&req.encode()).unwrap();
+        assert_eq!(decoded, req);
+    }
+}
+
+#[test]
+fn responses_round_trip_bit_exactly() {
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    for _ in 0..500 {
+        let resp = random_response(&mut rng);
+        let decoded = Response::decode(&resp.encode()).unwrap();
+        assert_eq!(decoded, resp);
+    }
+}
+
+#[test]
+fn frames_round_trip_through_the_codec() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..100 {
+        let payload: Vec<u8> = (0..rng.gen_range(0usize..2048))
+            .map(|_| rng.gen_range(0u32..256) as u8)
+            .collect();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload, DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(wire.len(), 4 + payload.len());
+        let mut cursor = Cursor::new(wire);
+        let got = read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap().unwrap();
+        assert_eq!(got, payload);
+        // The stream is exhausted: the next read is a clean EOF.
+        assert!(read_frame(&mut cursor, DEFAULT_MAX_FRAME)
+            .unwrap()
+            .is_none());
+    }
+}
+
+#[test]
+fn truncation_at_every_byte_boundary_is_a_typed_error() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let req = random_request(&mut rng);
+    let mut wire = Vec::new();
+    write_frame(&mut wire, &req.encode(), DEFAULT_MAX_FRAME).unwrap();
+    for cut in 0..wire.len() {
+        let mut cursor = Cursor::new(&wire[..cut]);
+        match read_frame(&mut cursor, DEFAULT_MAX_FRAME) {
+            // Zero bytes is the one clean way a stream may end.
+            Ok(None) => assert_eq!(cut, 0, "non-empty prefix of {cut} bytes read as clean EOF"),
+            Err(FrameError::Truncated { missing }) => {
+                let expected = if cut < 4 { 4 - cut } else { wire.len() - cut };
+                assert_eq!(missing, expected);
+                assert!(missing > 0);
+            }
+            other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn truncated_error_reports_exact_missing_byte_count() {
+    let payload = vec![0xABu8; 100];
+    let mut wire = Vec::new();
+    write_frame(&mut wire, &payload, DEFAULT_MAX_FRAME).unwrap();
+    // Cut inside the prefix: missing counts prefix bytes.
+    for cut in 1..4 {
+        match read_frame(&mut Cursor::new(&wire[..cut]), DEFAULT_MAX_FRAME) {
+            Err(FrameError::Truncated { missing }) => assert_eq!(missing, 4 - cut),
+            other => panic!("prefix cut {cut}: {other:?}"),
+        }
+    }
+    // Cut inside the payload: missing counts payload bytes.
+    for cut in [4, 5, 50, 103] {
+        match read_frame(&mut Cursor::new(&wire[..cut]), DEFAULT_MAX_FRAME) {
+            Err(FrameError::Truncated { missing }) => assert_eq!(missing, 104 - cut),
+            other => panic!("payload cut {cut}: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected_from_the_prefix_alone() {
+    let max = 1024;
+    let mut rng = StdRng::seed_from_u64(3);
+    for _ in 0..200 {
+        let declared = rng.gen_range(max as u32 + 1..=u32::MAX);
+        // Only the 4 prefix bytes exist — if the codec tried to
+        // allocate or read the payload it would fail differently.
+        let wire = declared.to_be_bytes();
+        match read_frame(&mut Cursor::new(&wire[..]), max) {
+            Err(FrameError::TooLarge {
+                declared: d,
+                max: m,
+            }) => {
+                assert_eq!(d, declared as usize);
+                assert_eq!(m, max);
+            }
+            other => panic!("declared {declared}: expected TooLarge, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn write_frame_refuses_payloads_over_the_cap() {
+    let payload = vec![0u8; 100];
+    let mut wire = Vec::new();
+    match write_frame(&mut wire, &payload, 99) {
+        Err(FrameError::TooLarge { declared, max }) => {
+            assert_eq!(declared, 100);
+            assert_eq!(max, 99);
+            assert!(wire.is_empty(), "nothing may hit the wire on rejection");
+        }
+        other => panic!("expected TooLarge, got {other:?}"),
+    }
+}
+
+/// A reader that yields at most one byte per `read` call — the
+/// worst-case chunking a TCP stream can legally produce.
+struct OneByteReads<R>(R);
+
+impl<R: Read> Read for OneByteReads<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let take = buf.len().min(1);
+        self.0.read(&mut buf[..take])
+    }
+}
+
+#[test]
+fn interleaved_pipelined_frames_survive_any_read_chunking() {
+    let mut rng = StdRng::seed_from_u64(0xDEAD);
+    for _ in 0..20 {
+        // A pipelined burst: several requests back-to-back on one wire.
+        let burst: Vec<Request> = (0..rng.gen_range(2usize..8))
+            .map(|_| random_request(&mut rng))
+            .collect();
+        let mut wire = Vec::new();
+        for req in &burst {
+            write_frame(&mut wire, &req.encode(), DEFAULT_MAX_FRAME).unwrap();
+        }
+        // Read the burst back through worst-case one-byte chunks.
+        let mut reader = OneByteReads(Cursor::new(wire));
+        let mut decoded = Vec::new();
+        while let Some(payload) = read_frame(&mut reader, DEFAULT_MAX_FRAME).unwrap() {
+            decoded.push(Request::decode(&payload).unwrap());
+        }
+        assert_eq!(decoded, burst, "pipelined frames lost order or content");
+    }
+}
+
+#[test]
+fn malformed_payloads_decode_to_errors_not_panics() {
+    for bad in [
+        &b""[..],
+        b"not json",
+        b"{}",
+        b"{\"id\": 1}",
+        b"{\"id\": 1, \"op\": \"no-such-op\"}",
+        b"{\"id\": -4, \"op\": \"ping\"}",
+        b"{\"id\": 1.5, \"op\": \"ping\"}",
+        b"{\"id\": 1, \"op\": \"anonymize\"}",
+        b"\xff\xfe",
+    ] {
+        assert!(Request::decode(bad).is_err());
+        assert!(Response::decode(bad).is_err());
+    }
+}

@@ -16,6 +16,9 @@
 //!   and the fit/apply split (`GlobalFit` / `FittedAnonymizer`).
 //! * [`stream`] — the sharded streaming engine: two-pass, bounded-memory
 //!   anonymization of CSV files that never fit in RAM.
+//! * [`serve`] — the long-lived anonymization daemon: resident model
+//!   registry with hot-reload, bounded-queue request batching over a
+//!   length-prefixed socket protocol, and the `TestServer` harness.
 //! * [`datasets`] — synthetic evaluation data sets (Census MCD/HCD, Patient).
 //! * [`baselines`] — generalization-based baselines (Mondrian, SABRE).
 //! * [`eval`] — the experiment harness regenerating every table and figure.
@@ -35,6 +38,7 @@ pub use tclose_microagg as microagg;
 pub use tclose_microdata as microdata;
 pub use tclose_parallel as parallel;
 pub use tclose_perf as perf;
+pub use tclose_serve as serve;
 pub use tclose_stream as stream;
 
 // Flat re-exports of the most common entry points so applications can write

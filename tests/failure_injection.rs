@@ -230,3 +230,161 @@ fn identifiers_are_droppable_and_never_leak_via_release_helper() {
     assert_eq!(released.n_cols(), 2);
     assert!(released.schema().index_of("ssn").is_err());
 }
+
+// ---------------------------------------------------------------------
+// Serving-path failure injection: everything a hostile or unlucky
+// client (or a corrupted registry) can do to a running `tclose-serve`
+// daemon must leave the server up and subsequent requests succeeding.
+
+mod serve_faults {
+    use std::io::Write;
+    use std::net::TcpStream;
+    use std::time::Duration;
+
+    use tclose::core::{Algorithm, Anonymizer, ModelArtifact};
+    use tclose::microdata::csv::to_csv_string;
+    use tclose::microdata::Table;
+    use tclose::serve::protocol::Request;
+    use tclose::serve::{ClientError, Response, TestServer};
+
+    fn fixture_table() -> Table {
+        tclose::datasets::census::census_sized(11, 120)
+    }
+
+    fn fixture_artifact() -> ModelArtifact {
+        let table = fixture_table();
+        let fitted = Anonymizer::new(3, 0.45)
+            .algorithm(Algorithm::Merge)
+            .fit(&table)
+            .unwrap();
+        ModelArtifact::from_fitted(&fitted)
+    }
+
+    #[test]
+    fn mid_request_client_disconnect_leaves_the_server_up() {
+        let server = TestServer::start();
+        server.install_model("m", &fixture_artifact());
+        let csv = to_csv_string(&fixture_table()).unwrap();
+
+        // Client A sends a request and slams the connection shut before
+        // the response can be written.
+        let mut doomed = server.client();
+        doomed
+            .send(&Request::Anonymize {
+                id: 1,
+                model: "m".into(),
+                csv: csv.clone(),
+            })
+            .unwrap();
+        drop(doomed);
+
+        // Client B half-sends a frame (a truncated prefix) and vanishes
+        // mid-frame.
+        let mut half = TcpStream::connect(server.addr()).unwrap();
+        half.write_all(&[0, 0]).unwrap();
+        drop(half);
+
+        // The server must survive both and keep serving new clients.
+        let mut client = server.client();
+        client.ping().unwrap();
+        let (out, report) = client.anonymize("m", &csv).unwrap();
+        assert!(report.achieved_k >= 3);
+        assert!(!out.is_empty());
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_without_harming_other_connections() {
+        let server = TestServer::start();
+        server.install_model("m", &fixture_artifact());
+
+        // A hostile client declares a frame far past the cap; it gets a
+        // typed error response and its connection is dropped.
+        let mut hostile = TcpStream::connect(server.addr()).unwrap();
+        hostile.write_all(&u32::MAX.to_be_bytes()).unwrap();
+        hostile.flush().unwrap();
+
+        // A well-behaved client on another connection is unaffected.
+        let mut client = server.client();
+        client.ping().unwrap();
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn corrupt_artifact_during_hot_reload_keeps_the_old_model_serving() {
+        let server = TestServer::start();
+        let artifact = fixture_artifact();
+        server.install_model("m", &artifact);
+        let csv = to_csv_string(&fixture_table()).unwrap();
+
+        let mut client = server.client();
+        let (before, _) = client.anonymize("m", &csv).unwrap();
+
+        // Corruption lands in the registry while the server is live.
+        server.install_raw("m", "{ this is no longer an artifact");
+
+        // The previously healthy model keeps serving, byte-identically.
+        let (after, _) = client.anonymize("m", &csv).unwrap();
+        assert_eq!(before, after, "hot-reload corruption changed the release");
+        assert_eq!(client.list_models().unwrap().len(), 1);
+
+        // A *new* id that never loaded cleanly reports its typed error
+        // (with the offending path) instead of serving anything.
+        server.install_raw("broken", "also not an artifact");
+        match client.anonymize("broken", &csv) {
+            Err(ClientError::Remote { detail, .. }) => {
+                assert!(detail.contains("failed to load"), "detail: {detail}");
+                assert!(detail.contains("broken.json"), "detail: {detail}");
+            }
+            other => panic!("expected Remote error, got {other:?}"),
+        }
+
+        // Repairing the file restores service under the same id.
+        server.install_model("broken", &artifact);
+        let (repaired, _) = client.anonymize("broken", &csv).unwrap();
+        assert_eq!(repaired, before);
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn queue_full_backpressure_is_explicit_and_recoverable() {
+        let server = TestServer::with_config(|cfg| {
+            cfg.batch_workers = 1;
+            cfg.queue_depth = 1;
+        });
+        let mut client = server.client();
+
+        // Saturate: one sleep running, one queued, then a burst that
+        // must be refused with explicit Busy responses.
+        client.send(&Request::Sleep { id: 1, millis: 300 }).unwrap();
+        std::thread::sleep(Duration::from_millis(120));
+        client.send(&Request::Sleep { id: 2, millis: 10 }).unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        for id in 3..6u64 {
+            client.send(&Request::Sleep { id, millis: 10 }).unwrap();
+        }
+
+        let mut busy = 0;
+        for _ in 1..6 {
+            match client.receive().unwrap() {
+                Response::Pong { .. } => {}
+                Response::Busy { detail, .. } => {
+                    busy += 1;
+                    assert!(detail.contains("queue full"), "detail: {detail}");
+                }
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+        assert!(busy >= 1, "saturation never produced a Busy response");
+
+        // The overload was transient: the same connection gets served
+        // once the queue drains.
+        client.send(&Request::Sleep { id: 9, millis: 1 }).unwrap();
+        match client.receive().unwrap() {
+            Response::Pong { id } => assert_eq!(id, 9),
+            other => panic!("expected Pong(9), got {other:?}"),
+        }
+        let stats = server.shutdown().unwrap();
+        assert_eq!(stats.busy_rejections, busy);
+    }
+}

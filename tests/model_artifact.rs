@@ -86,14 +86,14 @@ fn corrupted_artifacts_are_rejected_with_typed_errors() {
     for frac in [4, 2] {
         let cut = &good[..good.len() / frac];
         match ModelArtifact::from_json_str(cut) {
-            Err(ArtifactError::Corrupted(_)) => {}
+            Err(ArtifactError::Corrupted { .. }) => {}
             other => panic!("truncated payload accepted: {other:?}"),
         }
     }
 
     // Wrong file kind → Corrupted with a pointer at the kind field.
     match ModelArtifact::from_json_str("{\"kind\": \"something-else\"}") {
-        Err(ArtifactError::Corrupted(detail)) => {
+        Err(ArtifactError::Corrupted { detail, .. }) => {
             assert!(detail.contains("kind"), "{detail}")
         }
         other => panic!("wrong kind accepted: {other:?}"),
@@ -102,7 +102,9 @@ fn corrupted_artifacts_are_rejected_with_typed_errors() {
     // Future schema version → WrongVersion carrying both versions.
     let future = good.replace("\"schema_version\": 1", "\"schema_version\": 999");
     match ModelArtifact::from_json_str(&future) {
-        Err(ArtifactError::WrongVersion { found, supported }) => {
+        Err(ArtifactError::WrongVersion {
+            found, supported, ..
+        }) => {
             assert_eq!(found, 999);
             assert_eq!(supported, tclose::core::ARTIFACT_SCHEMA_VERSION);
         }
@@ -112,7 +114,7 @@ fn corrupted_artifacts_are_rejected_with_typed_errors() {
     // Tampered params that no fit could produce → InvalidModel.
     let bad_t = good.replace("\"t\": 0.4", "\"t\": 7.5");
     match ModelArtifact::from_json_str(&bad_t) {
-        Err(ArtifactError::InvalidModel(_)) => {}
+        Err(ArtifactError::InvalidModel { .. }) => {}
         other => panic!("t=7.5 accepted: {other:?}"),
     }
 

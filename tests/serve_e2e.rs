@@ -1,0 +1,147 @@
+//! End-to-end guarantee of the serving path: a `tclose-serve` daemon's
+//! anonymize responses are **byte-identical** to the offline
+//! `FittedAnonymizer` apply (the `tclose apply` pipeline) on the same
+//! artifact and input — for every paper algorithm, both exact neighbor
+//! backends, and any batch-worker count — and its audit responses agree
+//! with the offline verifiers. Extends the `tests/streaming_engine.rs`
+//! equivalence pattern across the wire.
+
+use tclose::microdata::csv::to_csv_string;
+use tclose::prelude::*;
+use tclose::serve::protocol::Request;
+use tclose::serve::TestServer;
+
+fn fixture_table() -> Table {
+    tclose::datasets::census::census_sized(7, 240)
+}
+
+#[test]
+fn serve_is_byte_identical_to_offline_apply_across_the_matrix() {
+    let table = fixture_table();
+    let input_csv = to_csv_string(&table).unwrap();
+
+    for alg in [
+        Algorithm::Merge,
+        Algorithm::KAnonymityFirst,
+        Algorithm::TClosenessFirst,
+    ] {
+        let fitted = Anonymizer::new(4, 0.35).algorithm(alg).fit(&table).unwrap();
+        let artifact = ModelArtifact::from_fitted(&fitted);
+
+        for backend in [NeighborBackend::FlatScan, NeighborBackend::KdTree] {
+            // The offline reference for this (alg, backend): exactly
+            // what `tclose apply` writes.
+            let offline = FittedAnonymizer::from_artifact(&artifact)
+                .with_backend(backend)
+                .apply_shard(&table)
+                .unwrap();
+            let offline_csv = to_csv_string(&offline.table.drop_identifiers().unwrap()).unwrap();
+
+            for workers in [1usize, 4] {
+                let server = TestServer::with_config(|cfg| {
+                    cfg.backend = backend;
+                    cfg.batch_workers = workers;
+                });
+                server.install_model("m", &artifact);
+                let mut client = server.client();
+
+                // A pipelined burst, so multi-worker servers actually
+                // batch: every response must carry the same bytes.
+                let burst = 3usize;
+                for i in 0..burst {
+                    client
+                        .send(&Request::Anonymize {
+                            id: i as u64,
+                            model: "m".into(),
+                            csv: input_csv.clone(),
+                        })
+                        .unwrap();
+                }
+                for i in 0..burst {
+                    match client.receive().unwrap() {
+                        tclose::serve::Response::Anonymized { id, csv, report } => {
+                            assert_eq!(id, i as u64, "responses out of arrival order");
+                            assert_eq!(
+                                csv,
+                                offline_csv,
+                                "{} / {backend:?} / workers={workers}: serve \
+                                 diverged from offline apply",
+                                alg.name()
+                            );
+                            assert_eq!(report.achieved_k, offline.report.min_cluster_size);
+                            assert_eq!(report.max_emd.to_bits(), offline.report.max_emd.to_bits());
+                            assert_eq!(report.sse.to_bits(), offline.report.sse.to_bits());
+                        }
+                        other => panic!("expected Anonymized, got {other:?}"),
+                    }
+                }
+
+                // Audit over the wire agrees with the offline verifiers
+                // on the released bytes.
+                let audit = client.audit("m", &offline_csv).unwrap();
+                let released = offline.table.drop_identifiers().unwrap();
+                let k = tclose::core::verify_k_anonymity(&released).unwrap();
+                let conf = tclose::core::Confidential::from_table(&released).unwrap();
+                let t = tclose::core::verify_t_closeness(&released, &conf).unwrap();
+                assert_eq!(audit.achieved_k, k);
+                assert_eq!(audit.achieved_t.to_bits(), t.to_bits());
+                assert_eq!(audit.n_records, 240);
+
+                let stats = server.shutdown().unwrap();
+                assert_eq!(stats.served, burst as u64 + 1);
+                assert_eq!(stats.busy_rejections, 0);
+                assert_eq!(stats.timeouts, 0);
+            }
+        }
+    }
+}
+
+#[test]
+fn one_server_serves_many_models_concurrently_and_exactly() {
+    let table = fixture_table();
+    let input_csv = to_csv_string(&table).unwrap();
+
+    // Three models with different algorithms live in one registry.
+    let artifacts: Vec<(String, ModelArtifact)> = [
+        ("alg1", Algorithm::Merge),
+        ("alg2", Algorithm::KAnonymityFirst),
+        ("alg3", Algorithm::TClosenessFirst),
+    ]
+    .into_iter()
+    .map(|(id, alg)| {
+        let fitted = Anonymizer::new(4, 0.35).algorithm(alg).fit(&table).unwrap();
+        (id.to_string(), ModelArtifact::from_fitted(&fitted))
+    })
+    .collect();
+
+    let server = TestServer::with_config(|cfg| cfg.batch_workers = 4);
+    let mut references = Vec::new();
+    for (id, artifact) in &artifacts {
+        server.install_model(id, artifact);
+        let out = FittedAnonymizer::from_artifact(artifact)
+            .apply_shard(&table)
+            .unwrap();
+        references.push((
+            id.clone(),
+            to_csv_string(&out.table.drop_identifiers().unwrap()).unwrap(),
+        ));
+    }
+
+    // Concurrent clients, each hammering a different model: responses
+    // must never cross-contaminate.
+    let addr = server.addr();
+    std::thread::scope(|scope| {
+        for (id, reference) in &references {
+            let input_csv = input_csv.clone();
+            scope.spawn(move || {
+                let mut client = tclose::serve::Client::connect(addr).unwrap();
+                for _ in 0..2 {
+                    let (csv, _report) = client.anonymize(id, &input_csv).unwrap();
+                    assert_eq!(&csv, reference, "model {id}: wrong release");
+                }
+            });
+        }
+    });
+    let stats = server.shutdown().unwrap();
+    assert_eq!(stats.served, 6);
+}
