@@ -16,7 +16,126 @@ pub struct Parsed {
 }
 
 /// Options that are flags (no value follows them).
-const FLAGS: &[&str] = &["help", "report", "stream"];
+const FLAGS: &[&str] = &["help", "report", "stream", "dry-run", "json"];
+
+/// The options each command accepts (`--help` is accepted everywhere).
+/// `validate_options` rejects anything else with a "did you mean"
+/// suggestion, so a typo like `--comppliance` fails loudly instead of
+/// being silently ignored.
+const COMMAND_OPTIONS: &[(&str, &[&str])] = &[
+    ("generate", &["dataset", "seed", "n", "output"]),
+    (
+        "anonymize",
+        &[
+            "input",
+            "output",
+            "qi",
+            "confidential",
+            "k",
+            "t",
+            "algorithm",
+            "workers",
+            "backend",
+            "stream",
+            "shard-size",
+            "report",
+            "compliance",
+            "dry-run",
+        ],
+    ),
+    (
+        "fit",
+        &[
+            "input",
+            "out",
+            "qi",
+            "confidential",
+            "k",
+            "t",
+            "algorithm",
+            "normalize",
+            "stream",
+            "shard-size",
+            "compliance",
+        ],
+    ),
+    (
+        "apply",
+        &[
+            "model",
+            "input",
+            "output",
+            "workers",
+            "backend",
+            "stream",
+            "shard-size",
+            "compliance",
+        ],
+    ),
+    ("model", &["model"]),
+    ("audit", &["input", "qi", "confidential", "t", "workers"]),
+    ("scan", &["input", "compliance", "json"]),
+    (
+        "serve",
+        &[
+            "registry",
+            "addr",
+            "addr-file",
+            "workers",
+            "backend",
+            "queue",
+            "timeout-ms",
+            "drain-timeout-ms",
+        ],
+    ),
+    ("request", &["addr", "op", "model", "input", "output"]),
+];
+
+/// Rejects options the command does not accept, suggesting the closest
+/// accepted spelling (`--comppliance` → "did you mean --compliance?").
+/// Unknown commands pass through — the dispatcher reports those.
+pub fn validate_options(p: &Parsed) -> Result<(), String> {
+    let Some((_, allowed)) = COMMAND_OPTIONS.iter().find(|(c, _)| *c == p.command) else {
+        return Ok(());
+    };
+    let mut keys: Vec<&String> = p.options.keys().collect();
+    keys.sort(); // deterministic error for multi-typo invocations
+    for key in keys {
+        if key == "help" || allowed.contains(&key.as_str()) {
+            continue;
+        }
+        let suggestion = allowed
+            .iter()
+            .map(|a| (levenshtein(key, a), *a))
+            .min()
+            .filter(|&(d, _)| d <= 2)
+            .map(|(_, a)| format!(" (did you mean --{a}?)"))
+            .unwrap_or_default();
+        return Err(format!(
+            "unknown option --{key} for {}{suggestion}",
+            p.command
+        ));
+    }
+    Ok(())
+}
+
+/// Edit distance for the typo suggestions — inputs are option names, so
+/// the O(n·m) two-row form is plenty.
+fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
 
 /// Parses an argument vector (without the program name).
 pub fn parse(args: &[String]) -> Result<Parsed, String> {
@@ -133,6 +252,39 @@ mod tests {
         assert_eq!(p.require("model").unwrap(), "a.json");
         // a third positional is still an error
         assert!(parse(&argv("model inspect a.json b.json")).is_err());
+    }
+
+    #[test]
+    fn typoed_options_fail_with_a_suggestion() {
+        let p = parse(&argv(
+            "anonymize --input a.csv --output b.csv --comppliance c.toml",
+        ))
+        .unwrap();
+        let e = validate_options(&p).unwrap_err();
+        assert!(e.contains("--comppliance"), "{e}");
+        assert!(e.contains("did you mean --compliance?"), "{e}");
+
+        // No close match: plain unknown-option error without a guess.
+        let p = parse(&argv("audit --zzz 1")).unwrap();
+        let e = validate_options(&p).unwrap_err();
+        assert!(e.contains("--zzz") && !e.contains("did you mean"), "{e}");
+
+        // Valid spellings and --help pass; unknown commands pass through.
+        let p = parse(&argv("scan --input a.csv --compliance c.toml --json")).unwrap();
+        assert!(validate_options(&p).is_ok());
+        let p = parse(&argv("anonymize --help")).unwrap();
+        assert!(validate_options(&p).is_ok());
+        let p = parse(&argv("frobnicate --whatever 1")).unwrap();
+        assert!(validate_options(&p).is_ok());
+    }
+
+    #[test]
+    fn levenshtein_distances() {
+        assert_eq!(levenshtein("compliance", "compliance"), 0);
+        assert_eq!(levenshtein("comppliance", "compliance"), 1);
+        assert_eq!(levenshtein("dryrun", "dry-run"), 1);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert!(levenshtein("zzz", "compliance") > 2);
     }
 
     #[test]

@@ -5,10 +5,11 @@ use std::io::{BufReader, BufWriter};
 use std::path::Path;
 
 use crate::args::Parsed;
+use tclose_compliance::{write_audit_log, AuditRecord, ComplianceConfig, ComplianceEngine};
 use tclose_core::{
     Algorithm, Anonymizer, Confidential, FittedAnonymizer, ModelArtifact, NeighborBackend,
 };
-use tclose_datasets::{census_hcd, census_mcd, patient_discharge, PATIENT_N};
+use tclose_datasets::{census_hcd, census_mcd, patient_discharge, pii_patients, PATIENT_N, PII_N};
 use tclose_microdata::csv::{read_csv_auto, write_csv};
 use tclose_microdata::{AttributeRole, NormalizeMethod, Schema, Table};
 use tclose_parallel::Parallelism;
@@ -75,6 +76,72 @@ pub fn parse_backend(p: &Parsed) -> Result<NeighborBackend, String> {
     }
 }
 
+/// Loads the `--compliance` policy, applying `TCLOSE_COMPLIANCE_*`
+/// environment overrides and the `--dry-run` flag on top of the file.
+pub fn parse_compliance(p: &Parsed) -> Result<Option<ComplianceEngine>, String> {
+    let Some(path) = p.get("compliance") else {
+        if p.flag("dry-run") {
+            return Err("--dry-run requires --compliance".into());
+        }
+        return Ok(None);
+    };
+    let mut config = ComplianceConfig::from_path(Path::new(path)).map_err(|e| e.to_string())?;
+    config.apply_env_overrides().map_err(|e| e.to_string())?;
+    if p.flag("dry-run") {
+        config.dry_run = true;
+    }
+    ComplianceEngine::new(config)
+        .map(Some)
+        .map_err(|e| e.to_string())
+}
+
+/// Writes the policy's audit log (when enabled and given a path) and
+/// returns the summary lines appended to a command's report.
+fn compliance_summary(
+    engine: &ComplianceEngine,
+    cells: usize,
+    audits: &[AuditRecord],
+) -> Result<String, String> {
+    let cfg = engine.config();
+    let mut msg = format!(
+        "\ncompliance          profile {} / strategy {} ({} cells scrubbed, {} audit records)\n\
+         compliance fp       {}",
+        cfg.profile.name(),
+        cfg.strategy.name(),
+        cells,
+        audits.len(),
+        engine.fingerprint(),
+    );
+    if cfg.audit_enabled {
+        if let Some(path) = &cfg.audit_path {
+            write_audit_log(Path::new(path), audits).map_err(|e| e.to_string())?;
+            msg.push_str(&format!("\naudit log           {path}"));
+        }
+    }
+    Ok(msg)
+}
+
+/// `tclose scan`: report what a compliance policy would transform,
+/// without writing anything. The text form ends with the exact counts
+/// `scripts/compliance_gate.sh` asserts; `--json` emits the same report
+/// machine-readably.
+pub fn cmd_scan(p: &Parsed) -> Result<String, String> {
+    let input = Path::new(p.require("input")?);
+    let engine = match parse_compliance(p)? {
+        Some(e) => e,
+        // Scanning without a policy file uses the default HIPAA profile.
+        None => ComplianceEngine::new(ComplianceConfig::default()).map_err(|e| e.to_string())?,
+    };
+    let file = File::open(input).map_err(|e| format!("cannot open {}: {e}", input.display()))?;
+    let table = read_csv_auto(BufReader::new(file)).map_err(|e| e.to_string())?;
+    let report = engine.scan_table(&table).map_err(|e| e.to_string())?;
+    if p.flag("json") {
+        Ok(report.to_json().to_string_pretty())
+    } else {
+        Ok(report.render())
+    }
+}
+
 /// Parses the `--algorithm` option.
 pub fn algorithm_by_name(name: &str) -> Result<Algorithm, String> {
     match name.to_ascii_lowercase().as_str() {
@@ -99,9 +166,13 @@ pub fn cmd_generate(p: &Parsed) -> Result<String, String> {
             let n: usize = p.get_parsed("n", PATIENT_N)?;
             patient_discharge(seed, n)
         }
+        "pii" => {
+            let n: usize = p.get_parsed("n", PII_N)?;
+            pii_patients(seed, n)
+        }
         other => {
             return Err(format!(
-                "unknown dataset {other:?} (expected census-mcd|census-hcd|patient)"
+                "unknown dataset {other:?} (expected census-mcd|census-hcd|patient|pii)"
             ))
         }
     };
@@ -137,6 +208,19 @@ pub fn cmd_anonymize(p: &Parsed) -> Result<String, String> {
     let algorithm = algorithm_by_name(p.get("algorithm").unwrap_or("alg3"))?;
     let workers = parse_workers(p)?;
     let backend = parse_backend(p)?;
+    let compliance = parse_compliance(p)?;
+
+    // Dry run: report what the policy would do, write nothing.
+    if let Some(engine) = &compliance {
+        if engine.config().dry_run {
+            let table = load_with_roles(input, &qi, &confidential)?;
+            let report = engine.scan_table(&table).map_err(|e| e.to_string())?;
+            return Ok(format!(
+                "{}\ndry run: no release or audit log written",
+                report.render()
+            ));
+        }
+    }
 
     if p.flag("stream") {
         return cmd_anonymize_stream(
@@ -150,10 +234,20 @@ pub fn cmd_anonymize(p: &Parsed) -> Result<String, String> {
             algorithm,
             workers,
             backend,
+            compliance,
         );
     }
 
     let table = load_with_roles(input, &qi, &confidential)?;
+    // Compliance pre-pass: scrub direct identifiers before clustering —
+    // same order as the streaming engine, so the two paths agree.
+    let (table, scrub) = match &compliance {
+        Some(engine) => {
+            let s = engine.scrub_table(&table, 0).map_err(|e| e.to_string())?;
+            (s.table, Some((s.cells, s.audits)))
+        }
+        None => (table, None),
+    };
     let mut anonymizer = Anonymizer::new(k, t)
         .algorithm(algorithm)
         .with_backend(backend);
@@ -161,10 +255,13 @@ pub fn cmd_anonymize(p: &Parsed) -> Result<String, String> {
         anonymizer = anonymizer.with_parallelism(par);
     }
     let out = anonymizer.anonymize(&table).map_err(|e| e.to_string())?;
-    save(
-        &out.table.drop_identifiers().map_err(|e| e.to_string())?,
-        output,
-    )?;
+    let mut released = out.table.drop_identifiers().map_err(|e| e.to_string())?;
+    if let Some(engine) = &compliance {
+        released = engine
+            .drop_release_columns(&released)
+            .map_err(|e| e.to_string())?;
+    }
+    save(&released, output)?;
 
     let r = &out.report;
     let mut msg = format!(
@@ -190,6 +287,9 @@ pub fn cmd_anonymize(p: &Parsed) -> Result<String, String> {
         r.sse,
         r.clustering_time,
     );
+    if let (Some(engine), Some((cells, audits))) = (&compliance, &scrub) {
+        msg.push_str(&compliance_summary(engine, *cells, audits)?);
+    }
     if !r.satisfies_request() {
         msg.push_str("\nwarning: the release does NOT meet the requested levels");
     }
@@ -209,6 +309,7 @@ fn cmd_anonymize_stream(
     algorithm: Algorithm,
     workers: Option<Parallelism>,
     backend: NeighborBackend,
+    compliance: Option<ComplianceEngine>,
 ) -> Result<String, String> {
     let shard_rows: usize = p.get_parsed("shard-size", DEFAULT_SHARD_ROWS)?;
     let mut engine = ShardedAnonymizer::new(k, t)
@@ -217,6 +318,9 @@ fn cmd_anonymize_stream(
         .with_backend(backend);
     if let Some(par) = workers {
         engine = engine.with_parallelism(par);
+    }
+    if let Some(ce) = &compliance {
+        engine = engine.with_compliance(ce.clone());
     }
     let r = engine
         .anonymize_file(input, output, qi, confidential)
@@ -251,6 +355,13 @@ fn cmd_anonymize_stream(
         r.fit_time,
         r.apply_time,
     );
+    if let Some(ce) = &compliance {
+        msg.push_str(&compliance_summary(
+            ce,
+            r.scrubbed_cells,
+            &r.compliance_audits,
+        )?);
+    }
     if !r.satisfies_request() {
         msg.push_str("\nwarning: the release does NOT meet the requested levels");
     }
@@ -336,10 +447,18 @@ pub fn cmd_fit(p: &Parsed) -> Result<String, String> {
             .map_err(|e| e.to_string())?
     };
 
-    let artifact = ModelArtifact::from_fitted(&fitted);
+    // A fit under a compliance policy binds the model to it: `apply`
+    // refuses to run under a different policy (or none). The fit itself
+    // only reads QI / confidential columns, which the scrub never
+    // touches, so the statistics are identical either way.
+    let compliance = parse_compliance(p)?;
+    let mut artifact = ModelArtifact::from_fitted(&fitted);
+    if let Some(engine) = &compliance {
+        artifact = artifact.with_compliance_fingerprint(engine.fingerprint());
+    }
     artifact.save(out_path).map_err(|e| e.to_string())?;
     let fit = artifact.global_fit();
-    Ok(format!(
+    let mut msg = format!(
         "fitted model on {} records → {}\n\
          schema_version      {}\n\
          algorithm           {}\n\
@@ -354,7 +473,11 @@ pub fn cmd_fit(p: &Parsed) -> Result<String, String> {
         artifact.params().t,
         qi.join(","),
         confidential.join(","),
-    ))
+    );
+    if let Some(fp) = artifact.compliance_fingerprint() {
+        msg.push_str(&format!("\ncompliance fp       {fp}"));
+    }
+    Ok(msg)
 }
 
 /// `tclose apply`: anonymize with a saved model, skipping the fit pass.
@@ -367,6 +490,39 @@ pub fn cmd_apply(p: &Parsed) -> Result<String, String> {
     let artifact = ModelArtifact::load(model_path).map_err(|e| e.to_string())?;
     let mp = artifact.params();
 
+    // Policy binding: a model fitted under a compliance policy may only
+    // be applied under the *same* policy — otherwise a release could
+    // silently skip the scrub (or scrub with different rules/keys) that
+    // the model's provenance promises.
+    let compliance = parse_compliance(p)?;
+    match (artifact.compliance_fingerprint(), &compliance) {
+        (None, None) => {}
+        (Some(fp), Some(engine)) => {
+            let got = engine.fingerprint();
+            if got != fp {
+                return Err(format!(
+                    "compliance policy mismatch: model {} was fitted under policy {fp} but \
+                     --compliance resolves to {got}; pass the policy the model was fitted with",
+                    model_path.display()
+                ));
+            }
+        }
+        (Some(fp), None) => {
+            return Err(format!(
+                "model {} is bound to compliance policy {fp}; pass --compliance with the \
+                 same policy file",
+                model_path.display()
+            ));
+        }
+        (None, Some(_)) => {
+            return Err(format!(
+                "model {} was fitted without a compliance policy; refit with \
+                 `tclose fit --compliance` to bind one",
+                model_path.display()
+            ));
+        }
+    }
+
     if p.flag("stream") {
         let shard_rows: usize = p.get_parsed("shard-size", DEFAULT_SHARD_ROWS)?;
         // Mirror the fused streaming engine's parallelism split: workers
@@ -377,6 +533,9 @@ pub fn cmd_apply(p: &Parsed) -> Result<String, String> {
         let mut engine = ShardedAnonymizer::new(mp.k, mp.t).shard_rows(shard_rows);
         if let Some(par) = workers {
             engine = engine.with_parallelism(par);
+        }
+        if let Some(ce) = &compliance {
+            engine = engine.with_compliance(ce.clone());
         }
         let r = engine
             .apply_file_with(&fitted, input, output)
@@ -402,6 +561,13 @@ pub fn cmd_apply(p: &Parsed) -> Result<String, String> {
             r.max_emd,
             r.apply_time,
         );
+        if let Some(ce) = &compliance {
+            msg.push_str(&compliance_summary(
+                ce,
+                r.scrubbed_cells,
+                &r.compliance_audits,
+            )?);
+        }
         if !r.satisfies_request() {
             msg.push_str("\nwarning: the release does NOT meet the requested levels");
         }
@@ -413,11 +579,21 @@ pub fn cmd_apply(p: &Parsed) -> Result<String, String> {
         fitted = fitted.with_parallelism(par);
     }
     let table = load_with_schema_roles(input, artifact.global_fit().schema())?;
+    let (table, scrub) = match &compliance {
+        Some(engine) => {
+            let s = engine.scrub_table(&table, 0).map_err(|e| e.to_string())?;
+            (s.table, Some((s.cells, s.audits)))
+        }
+        None => (table, None),
+    };
     let out = fitted.apply_shard(&table).map_err(|e| e.to_string())?;
-    save(
-        &out.table.drop_identifiers().map_err(|e| e.to_string())?,
-        output,
-    )?;
+    let mut released = out.table.drop_identifiers().map_err(|e| e.to_string())?;
+    if let Some(engine) = &compliance {
+        released = engine
+            .drop_release_columns(&released)
+            .map_err(|e| e.to_string())?;
+    }
+    save(&released, output)?;
     let r = &out.report;
     let mut msg = format!(
         "released {} records to {} (pre-fitted model)\n\
@@ -444,6 +620,9 @@ pub fn cmd_apply(p: &Parsed) -> Result<String, String> {
         r.sse,
         r.clustering_time,
     );
+    if let (Some(engine), Some((cells, audits))) = (&compliance, &scrub) {
+        msg.push_str(&compliance_summary(engine, *cells, audits)?);
+    }
     if !r.satisfies_request() {
         msg.push_str("\nwarning: the release does NOT meet the requested levels");
     }
@@ -494,6 +673,10 @@ fn cmd_model_inspect(p: &Parsed) -> Result<String, String> {
         })
         .collect();
     let fp = artifact.env_fingerprint();
+    let compliance_line = match artifact.compliance_fingerprint() {
+        Some(cfp) => format!("\ncompliance fp       {cfp}"),
+        None => String::new(),
+    };
     Ok(format!(
         "model artifact {}\n\
          schema_version      {}\n\
@@ -503,7 +686,7 @@ fn cmd_model_inspect(p: &Parsed) -> Result<String, String> {
          fitted records      {}\n\
          quasi-identifiers   {}\n\
          emd domains         {}\n\
-         fingerprint         {}; {}/{}; profile {}; commit {}",
+         fingerprint         {}; {}/{}; profile {}; commit {}{}",
         path.display(),
         artifact.schema_version(),
         artifact.params().algorithm.name(),
@@ -518,6 +701,7 @@ fn cmd_model_inspect(p: &Parsed) -> Result<String, String> {
         fp.arch,
         fp.profile,
         fp.commit,
+        compliance_line,
     ))
 }
 

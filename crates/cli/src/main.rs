@@ -1,18 +1,21 @@
 //! `tclose` — command-line anonymizer for CSV microdata.
 //!
 //! ```text
-//! tclose generate  --dataset census-mcd|census-hcd|patient --output FILE
+//! tclose generate  --dataset census-mcd|census-hcd|patient|pii --output FILE
 //!                  [--seed N] [--n N]
+//! tclose scan      --input FILE [--compliance CONFIG.toml] [--json]
 //! tclose anonymize --input FILE --output FILE --qi COLS --confidential COLS
 //!                  --k N --t F [--algorithm alg1|alg2|alg3] [--report]
 //!                  [--workers N] [--backend auto|flat|kdtree|grid|hybrid]
 //!                  [--stream] [--shard-size N]
+//!                  [--compliance CONFIG.toml] [--dry-run]
 //! tclose fit       --input FILE --out MODEL --qi COLS --confidential COLS
 //!                  --k N --t F [--algorithm alg1|alg2|alg3]
 //!                  [--normalize zscore|minmax|none] [--stream] [--shard-size N]
+//!                  [--compliance CONFIG.toml]
 //! tclose apply     --model MODEL --input FILE --output FILE
 //!                  [--workers N] [--backend auto|flat|kdtree|grid|hybrid]
-//!                  [--stream] [--shard-size N]
+//!                  [--stream] [--shard-size N] [--compliance CONFIG.toml]
 //! tclose model     inspect MODEL
 //! tclose audit     --input FILE --qi COLS --confidential COLS [--t F] [--workers N]
 //! tclose serve     --registry DIR [--addr HOST:PORT] [--addr-file FILE]
@@ -48,6 +51,16 @@
 //! deterministic and every release still passes the t-closeness audit,
 //! but the clustering may differ from the exact one.
 //!
+//! `--compliance` mounts the identifier-column compliance layer
+//! (`tclose-compliance`): the TOML policy names a rule profile
+//! (HIPAA/GDPR/custom), a transform strategy (redact / tokenize / hash),
+//! and optional column drops. `scan` reports what would be transformed
+//! without writing anything; `anonymize --compliance` scrubs matching
+//! cells *before* clustering and can write a hashed audit log (one JSON
+//! line per transformed cell, never plaintext); `--dry-run` previews the
+//! scrub. `fit --compliance` binds the model to the policy fingerprint,
+//! and `apply` refuses to run under a different policy (or none).
+//!
 //! `bench` mounts the `tclose-perf` harness (machine-readable benchmark
 //! suite plus the noise-aware regression gate); everything after `bench`
 //! follows that tool's grammar — see `tclose bench --help` and
@@ -66,17 +79,20 @@ use std::process::ExitCode;
 const HELP: &str = "tclose — k-anonymous t-closeness through microaggregation
 
 usage:
-  tclose generate  --dataset census-mcd|census-hcd|patient --output FILE [--seed N] [--n N]
+  tclose generate  --dataset census-mcd|census-hcd|patient|pii --output FILE [--seed N] [--n N]
+  tclose scan      --input FILE [--compliance CONFIG.toml] [--json]
   tclose anonymize --input FILE --output FILE --qi COLS --confidential COLS \\
                    --k N --t F [--algorithm alg1|alg2|alg3] \\
                    [--workers N] [--backend auto|flat|kdtree|grid|hybrid] \\
-                   [--stream] [--shard-size N]
+                   [--stream] [--shard-size N] \\
+                   [--compliance CONFIG.toml] [--dry-run]
   tclose fit       --input FILE --out MODEL.json --qi COLS --confidential COLS \\
                    --k N --t F [--algorithm alg1|alg2|alg3] \\
-                   [--normalize zscore|minmax|none] [--stream] [--shard-size N]
+                   [--normalize zscore|minmax|none] [--stream] [--shard-size N] \\
+                   [--compliance CONFIG.toml]
   tclose apply     --model MODEL.json --input FILE --output FILE \\
                    [--workers N] [--backend auto|flat|kdtree|grid|hybrid] \\
-                   [--stream] [--shard-size N]
+                   [--stream] [--shard-size N] [--compliance CONFIG.toml]
   tclose model     inspect MODEL.json
   tclose audit     --input FILE --qi COLS --confidential COLS [--t F] [--workers N]
   tclose serve     --registry DIR [--addr HOST:PORT] [--addr-file FILE] \\
@@ -110,6 +126,20 @@ serving:
   shutdown drains every accepted request (nonzero exit if the drain
   times out). tclose request is the matching one-shot client.
 
+compliance:
+  --compliance CONFIG.toml mounts the identifier-column compliance layer:
+  a [compliance] profile (hipaa|gdpr|custom) of detection rules (SSNs,
+  emails, phones, MRNs, names, …), a transform strategy (redact |
+  tokenize | hash), and optional drop_columns removed from the release.
+  Matching cells are scrubbed BEFORE clustering; the scrub is a pure
+  per-cell function, so streamed and monolithic runs agree byte for
+  byte. tclose scan previews the hit counts; --dry-run previews a run
+  without writing anything; audit_path writes one salted-hash JSON line
+  per transformed cell (never plaintext). TCLOSE_COMPLIANCE_* variables
+  override the file (PROFILE, STRATEGY, KEY, DRY_RUN, DISABLE, AUDIT,
+  AUDIT_PATH, SALT). fit --compliance binds the model to the policy
+  fingerprint; apply refuses a bound model under any other policy.
+
 model artifacts:
   tclose fit freezes the global fit (schema, QI embedding, confidential
   distributions) into a versioned JSON artifact; tclose apply anonymizes
@@ -141,8 +171,15 @@ fn main() -> ExitCode {
         println!("{HELP}");
         return ExitCode::SUCCESS;
     }
+    if let Err(e) = args::validate_options(&parsed) {
+        // One line, nonzero exit: a typoed option must never be
+        // silently ignored (it could disable a compliance policy).
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
     let result = match parsed.command.as_str() {
         "generate" => commands::cmd_generate(&parsed),
+        "scan" => commands::cmd_scan(&parsed),
         "anonymize" => commands::cmd_anonymize(&parsed),
         "fit" => commands::cmd_fit(&parsed),
         "apply" => commands::cmd_apply(&parsed),

@@ -381,6 +381,315 @@ fn model_inspect_rejects_a_truncated_artifact() {
 }
 
 #[test]
+fn typoed_options_fail_with_a_did_you_mean_one_liner() {
+    // A misspelled option must never be silently ignored: on real intake
+    // data, a dropped `--compliance` would ship plaintext identifiers.
+    let out = tclose(&[
+        "anonymize",
+        "--input",
+        fixture().to_str().unwrap(),
+        "--output",
+        tmp("never_typo.csv").to_str().unwrap(),
+        "--qi",
+        "age,zip",
+        "--confidential",
+        "income",
+        "--k",
+        "3",
+        "--t",
+        "0.45",
+        "--comppliance",
+        "policy.toml",
+    ]);
+    assert!(!out.status.success(), "typoed option exited zero");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("did you mean --compliance?"),
+        "no suggestion:\n{stderr}"
+    );
+    // one actionable line, not a usage dump
+    assert!(!stderr.contains("usage:"), "{stderr}");
+    assert_eq!(stderr.trim().lines().count(), 1, "{stderr}");
+
+    // and nothing was written
+    assert!(!tmp("never_typo.csv").exists());
+}
+
+#[test]
+fn typo_suggestions_are_per_command() {
+    // `--out` belongs to fit; on scan the nearest valid option differs.
+    let out = tclose(&["scan", "--inptu", "x.csv"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("did you mean --input?"), "{stderr}");
+}
+
+/// Writes a compliance policy TOML and returns its path.
+fn write_policy(name: &str, body: &str) -> PathBuf {
+    let path = tmp(name);
+    std::fs::write(&path, body).unwrap();
+    path
+}
+
+/// Generates the planted-PII fixture and returns its path.
+fn pii_fixture(name: &str, n: usize) -> PathBuf {
+    let data = tmp(name);
+    let out = tclose(&[
+        "generate",
+        "--dataset",
+        "pii",
+        "--n",
+        &n.to_string(),
+        "--seed",
+        "11",
+        "--output",
+        data.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    data
+}
+
+#[test]
+fn scan_reports_exact_planted_counts() {
+    let data = pii_fixture("pii_scan.csv", 150);
+    // No --compliance: scanning defaults to the HIPAA profile.
+    let out = tclose(&["scan", "--input", data.to_str().unwrap()]);
+    let stdout = String::from_utf8(out.stdout.clone()).unwrap();
+    assert!(out.status.success(), "scan failed:\n{stdout}");
+    for needle in [
+        "compliance scan: profile=hipaa",
+        "  name: 150",
+        "  ssn: 150",
+        "  email: 300", // EMAIL column + one embedded per NOTES cell
+        "  phone: 150",
+        "total matched cells 750",
+        "cells pending transform 750",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle:?}:\n{stdout}");
+    }
+
+    // --json mirrors the same totals machine-readably.
+    let out = tclose(&["scan", "--input", data.to_str().unwrap(), "--json"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"pending_transform\": 750"), "{stdout}");
+}
+
+#[test]
+fn anonymize_with_compliance_scrubs_the_streamed_release() {
+    let data = pii_fixture("pii_anon.csv", 400);
+    let audit = tmp("pii_anon_audit.jsonl");
+    let _ = std::fs::remove_file(&audit);
+    let policy = write_policy(
+        "pii_anon_policy.toml",
+        &format!(
+            "[compliance]\nprofile = \"hipaa\"\nstrategy = \"tokenize\"\nkey = \"e2e-key\"\n\
+             drop_columns = [\"RECORD_ID\"]\n\n\
+             [compliance.audit]\nenabled = true\npath = \"{}\"\nsalt = \"e2e-salt\"\n",
+            audit.display()
+        ),
+    );
+
+    let released = tmp("pii_anon_out.csv");
+    let out = tclose(&[
+        "anonymize",
+        "--input",
+        data.to_str().unwrap(),
+        "--output",
+        released.to_str().unwrap(),
+        "--qi",
+        "AGE,ZIP,STAY_DAYS",
+        "--confidential",
+        "CHARGE",
+        "--k",
+        "4",
+        "--t",
+        "0.35",
+        "--stream",
+        "--shard-size",
+        "100",
+        "--compliance",
+        policy.to_str().unwrap(),
+    ]);
+    let stdout = String::from_utf8(out.stdout.clone()).unwrap();
+    let stderr = String::from_utf8(out.stderr.clone()).unwrap();
+    assert!(
+        out.status.success(),
+        "anonymize failed:\n{stdout}\n{stderr}"
+    );
+    assert!(
+        stdout.contains("profile hipaa / strategy tokenize"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("audit log"), "{stdout}");
+
+    let text = std::fs::read_to_string(&released).unwrap();
+    // Planted identifiers are gone, tokens are present, RECORD_ID dropped.
+    assert!(!text.contains("@example.com"), "plaintext email leaked");
+    assert!(!text.contains("@mail.example.org"), "embedded email leaked");
+    assert!(text.contains("TOK_EMAIL_"), "no email tokens in release");
+    assert!(text.contains("TOK_SSN_"), "no ssn tokens in release");
+    let header = text.lines().next().unwrap();
+    assert!(
+        !header.contains("RECORD_ID"),
+        "dropped column kept: {header}"
+    );
+
+    // One audit line per scrubbed cell (5 hits per row), no plaintext.
+    let log = std::fs::read_to_string(&audit).unwrap();
+    assert_eq!(log.lines().count(), 5 * 400, "audit line count");
+    assert!(!log.contains("@example.com"), "audit log leaks plaintext");
+}
+
+#[test]
+fn dry_run_previews_without_writing_anything() {
+    let data = pii_fixture("pii_dry.csv", 80);
+    let audit = tmp("pii_dry_audit.jsonl");
+    let _ = std::fs::remove_file(&audit);
+    let policy = write_policy(
+        "pii_dry_policy.toml",
+        &format!(
+            "[compliance]\nprofile = \"hipaa\"\n\n\
+             [compliance.audit]\nenabled = true\npath = \"{}\"\n",
+            audit.display()
+        ),
+    );
+    let released = tmp("pii_dry_out.csv");
+    let _ = std::fs::remove_file(&released);
+
+    let out = tclose(&[
+        "anonymize",
+        "--input",
+        data.to_str().unwrap(),
+        "--output",
+        released.to_str().unwrap(),
+        "--qi",
+        "AGE,ZIP,STAY_DAYS",
+        "--confidential",
+        "CHARGE",
+        "--k",
+        "3",
+        "--t",
+        "0.4",
+        "--compliance",
+        policy.to_str().unwrap(),
+        "--dry-run",
+    ]);
+    let stdout = String::from_utf8(out.stdout.clone()).unwrap();
+    assert!(out.status.success(), "dry run failed:\n{stdout}");
+    assert!(stdout.contains("cells pending transform 400"), "{stdout}");
+    assert!(
+        stdout.contains("dry run: no release or audit log written"),
+        "{stdout}"
+    );
+    assert!(!released.exists(), "dry run wrote the release");
+    assert!(!audit.exists(), "dry run wrote the audit log");
+
+    // --dry-run without a policy is a contradiction, not a no-op.
+    let out = tclose(&["scan", "--input", data.to_str().unwrap(), "--dry-run"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn apply_refuses_a_model_under_the_wrong_policy() {
+    let data = pii_fixture("pii_bind.csv", 120);
+    let policy = write_policy(
+        "pii_bind_policy.toml",
+        "[compliance]\nprofile = \"hipaa\"\nkey = \"bind-key\"\n\n\
+         [compliance.audit]\nenabled = false\n",
+    );
+    let model = tmp("pii_bound_model.json");
+    let out = tclose(&[
+        "fit",
+        "--input",
+        data.to_str().unwrap(),
+        "--out",
+        model.to_str().unwrap(),
+        "--qi",
+        "AGE,ZIP,STAY_DAYS",
+        "--confidential",
+        "CHARGE",
+        "--k",
+        "4",
+        "--t",
+        "0.4",
+        "--compliance",
+        policy.to_str().unwrap(),
+    ]);
+    let stdout = String::from_utf8(out.stdout.clone()).unwrap();
+    let stderr = String::from_utf8(out.stderr.clone()).unwrap();
+    assert!(out.status.success(), "fit failed:\n{stdout}\n{stderr}");
+    assert!(stdout.contains("compliance fp"), "{stdout}");
+
+    // The binding is part of the artifact's provenance.
+    let out = tclose(&["model", "inspect", model.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("compliance fp"), "{stdout}");
+
+    // apply without --compliance: refused with the remedy in one line.
+    let out = tclose(&[
+        "apply",
+        "--model",
+        model.to_str().unwrap(),
+        "--input",
+        data.to_str().unwrap(),
+        "--output",
+        tmp("never_bound.csv").to_str().unwrap(),
+    ]);
+    assert!(
+        !out.status.success(),
+        "unbound apply of a bound model passed"
+    );
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("bound to compliance policy"), "{stderr}");
+    assert!(stderr.contains("--compliance"), "{stderr}");
+
+    // apply under a *different* policy: also refused.
+    let other = write_policy(
+        "pii_bind_other.toml",
+        "[compliance]\nprofile = \"gdpr\"\nkey = \"bind-key\"\n",
+    );
+    let out = tclose(&[
+        "apply",
+        "--model",
+        model.to_str().unwrap(),
+        "--input",
+        data.to_str().unwrap(),
+        "--output",
+        tmp("never_bound2.csv").to_str().unwrap(),
+        "--compliance",
+        other.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("compliance policy mismatch"), "{stderr}");
+
+    // apply under the fitted policy: succeeds and scrubs.
+    let released = tmp("pii_bound_out.csv");
+    let out = tclose(&[
+        "apply",
+        "--model",
+        model.to_str().unwrap(),
+        "--input",
+        data.to_str().unwrap(),
+        "--output",
+        released.to_str().unwrap(),
+        "--compliance",
+        policy.to_str().unwrap(),
+    ]);
+    let stdout = String::from_utf8(out.stdout.clone()).unwrap();
+    let stderr = String::from_utf8(out.stderr.clone()).unwrap();
+    assert!(
+        out.status.success(),
+        "bound apply failed:\n{stdout}\n{stderr}"
+    );
+    let text = std::fs::read_to_string(&released).unwrap();
+    assert!(!text.contains("@example.com"), "plaintext email leaked");
+    assert!(text.contains("TOK_EMAIL_"), "no tokens in bound release");
+}
+
+#[test]
 fn bench_subcommand_mounts_the_perf_harness() {
     // Help comes from the perf harness, not the anonymizer usage text.
     let out = tclose(&["bench", "--help"]);

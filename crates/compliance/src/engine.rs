@@ -1,0 +1,774 @@
+//! The compliance engine: scan (detect + report) and scrub (transform +
+//! audit) over microdata tables.
+//!
+//! Scrubbing only ever rewrites **categorical** columns whose role is
+//! `Identifier` or `NonConfidential`. Quasi-identifiers and confidential
+//! attributes are deliberately untouched — rewriting them would change
+//! the fit and the t-closeness guarantee — which is also what makes the
+//! streamed scrub byte-identical to the monolithic one: the scrub is a
+//! pure per-cell function, independent of clustering.
+//!
+//! Scan and scrub share one per-cell detection pass, so a scan's
+//! "cells pending transform" count is exactly the number of audit
+//! records a scrub of the same table produces.
+
+use tclose_microdata::{AttributeDef, AttributeRole, Column, Dictionary, Schema, Table};
+use tclose_ser::Json;
+
+use crate::audit::AuditRecord;
+use crate::config::{ComplianceConfig, Strategy};
+use crate::rules::Rule;
+use crate::sha256::{hex, hmac_sha256};
+use crate::ComplianceError;
+
+/// Max sampled matches per (column, rule) in scan reports.
+const MAX_SAMPLES: usize = 3;
+
+/// A configured detector + transformer.
+#[derive(Debug, Clone)]
+pub struct ComplianceEngine {
+    config: ComplianceConfig,
+    rules: Vec<Rule>,
+}
+
+/// Hit counts for one rule in one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleHits {
+    /// Rule id.
+    pub rule: String,
+    /// Cells with at least one accepted match.
+    pub cells: usize,
+    /// Accepted match spans (≥ `cells`).
+    pub spans: usize,
+    /// Up to `MAX_SAMPLES` matched texts (plaintext — scan reports
+    /// are operator previews, unlike the audit log).
+    pub samples: Vec<String>,
+}
+
+/// Scan result for one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnScan {
+    /// Column name.
+    pub column: String,
+    /// Whether a scrub would rewrite this column (categorical with an
+    /// `Identifier`/`NonConfidential` role). Hits in non-transformable
+    /// columns are report-only findings.
+    pub transformable: bool,
+    /// Distinct cells with at least one hit from any rule.
+    pub matched_cells: usize,
+    /// Per-rule hit counts, in rule order.
+    pub hits: Vec<RuleHits>,
+}
+
+/// A full scan report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanReport {
+    /// Active profile name.
+    pub profile: String,
+    /// Configured transform strategy.
+    pub strategy: String,
+    /// Rows scanned.
+    pub n_rows: usize,
+    /// Per-column results (every column appears, hits or not).
+    pub columns: Vec<ColumnScan>,
+}
+
+/// Result of scrubbing one table (or shard).
+#[derive(Debug, Clone)]
+pub struct ScrubOutcome {
+    /// The scrubbed table (same schema shape; rewritten dictionaries).
+    pub table: Table,
+    /// One record per (cell, rule) transformed, ordered by (row, column).
+    pub audits: Vec<AuditRecord>,
+    /// Distinct cells transformed.
+    pub cells: usize,
+}
+
+/// Per-cell detection outcome shared by scan and scrub.
+struct CellHits {
+    /// `(rule index, accepted spans)`, in rule order. For a whole-cell
+    /// rule the single span covers the entire cell.
+    by_rule: Vec<(usize, Vec<(usize, usize)>)>,
+}
+
+impl ComplianceEngine {
+    /// Builds an engine, compiling the config's active rules.
+    pub fn new(config: ComplianceConfig) -> Result<ComplianceEngine, ComplianceError> {
+        let rules = config.compile_rules()?;
+        Ok(ComplianceEngine { config, rules })
+    }
+
+    /// The policy this engine enforces.
+    pub fn config(&self) -> &ComplianceConfig {
+        &self.config
+    }
+
+    /// The compiled active rules.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// The policy fingerprint (see [`ComplianceConfig::fingerprint`]).
+    pub fn fingerprint(&self) -> String {
+        self.config.fingerprint()
+    }
+
+    /// True when `cell` is the output of a previous scrub — such cells
+    /// are skipped by both scan and scrub, which is what makes
+    /// scrubbing idempotent.
+    pub fn is_scrub_output(cell: &str) -> bool {
+        cell.starts_with("TOK_") || cell.starts_with("[REDACTED:") || cell.starts_with("HASH_")
+    }
+
+    /// True when a scrub would rewrite the column: categorical, and the
+    /// role is not part of the t-closeness computation.
+    fn transformable(attr: &AttributeDef) -> bool {
+        attr.kind.is_categorical()
+            && matches!(
+                attr.role,
+                AttributeRole::Identifier | AttributeRole::NonConfidential
+            )
+    }
+
+    /// Detects matches in one cell: whole-cell rules win outright;
+    /// otherwise span rules claim non-overlapping spans in rule order.
+    fn detect_cell(&self, applicable: &[usize], chars: &[char]) -> Option<CellHits> {
+        if chars.is_empty() {
+            return None;
+        }
+        let cell: String = chars.iter().collect();
+        if Self::is_scrub_output(&cell) {
+            return None;
+        }
+        for &ri in applicable {
+            let rule = &self.rules[ri];
+            if rule.whole_cell && rule.pattern.is_match(&cell) {
+                return Some(CellHits {
+                    by_rule: vec![(ri, vec![(0, chars.len())])],
+                });
+            }
+        }
+        let mut claimed = vec![false; chars.len()];
+        let mut by_rule = Vec::new();
+        for &ri in applicable {
+            let rule = &self.rules[ri];
+            if rule.whole_cell {
+                continue;
+            }
+            let spans: Vec<(usize, usize)> = rule
+                .pattern
+                .find_all_chars(chars)
+                .into_iter()
+                .filter(|&(s, e)| !claimed[s..e].iter().any(|&c| c))
+                .collect();
+            if spans.is_empty() {
+                continue;
+            }
+            for &(s, e) in &spans {
+                claimed[s..e].iter_mut().for_each(|c| *c = true);
+            }
+            by_rule.push((ri, spans));
+        }
+        if by_rule.is_empty() {
+            None
+        } else {
+            Some(CellHits { by_rule })
+        }
+    }
+
+    /// Rule indices applicable to a column, in rule order.
+    fn applicable(&self, column: &str) -> Vec<usize> {
+        (0..self.rules.len())
+            .filter(|&i| self.rules[i].applies_to(column))
+            .collect()
+    }
+
+    /// Cell text for scanning: categorical label, or the CSV rendering
+    /// of a numeric value.
+    fn cell_text(attr: &AttributeDef, column: &Column, row: usize) -> String {
+        match column {
+            Column::F64(values) => format_numeric(values[row]),
+            Column::Cat(codes) => attr
+                .dictionary
+                .label(codes[row])
+                .unwrap_or_default()
+                .to_owned(),
+        }
+    }
+
+    /// Scans every column of `table`, counting matches without
+    /// transforming anything.
+    pub fn scan_table(&self, table: &Table) -> Result<ScanReport, ComplianceError> {
+        let mut columns = Vec::with_capacity(table.n_cols());
+        for c in 0..table.n_cols() {
+            let attr = table.schema().attribute(c).map_err(data_err)?;
+            let column = table.column(c).map_err(data_err)?;
+            let applicable = self.applicable(&attr.name);
+            let mut hits: Vec<RuleHits> = Vec::new();
+            let mut matched_cells = 0;
+            if !applicable.is_empty() {
+                for r in 0..table.n_rows() {
+                    let chars: Vec<char> = Self::cell_text(attr, column, r).chars().collect();
+                    let Some(cell_hits) = self.detect_cell(&applicable, &chars) else {
+                        continue;
+                    };
+                    matched_cells += 1;
+                    for (ri, spans) in cell_hits.by_rule {
+                        let id = &self.rules[ri].id;
+                        let entry = match hits.iter_mut().find(|h| &h.rule == id) {
+                            Some(e) => e,
+                            None => {
+                                hits.push(RuleHits {
+                                    rule: id.clone(),
+                                    cells: 0,
+                                    spans: 0,
+                                    samples: Vec::new(),
+                                });
+                                hits.last_mut().expect("just pushed")
+                            }
+                        };
+                        entry.cells += 1;
+                        entry.spans += spans.len();
+                        for &(s, e) in &spans {
+                            if entry.samples.len() >= MAX_SAMPLES {
+                                break;
+                            }
+                            entry.samples.push(chars[s..e].iter().collect());
+                        }
+                    }
+                }
+            }
+            columns.push(ColumnScan {
+                column: attr.name.clone(),
+                transformable: Self::transformable(attr),
+                matched_cells,
+                hits,
+            });
+        }
+        Ok(ScanReport {
+            profile: self.config.profile.name().to_owned(),
+            strategy: self.config.strategy.name().to_owned(),
+            n_rows: table.n_rows(),
+            columns,
+        })
+    }
+
+    /// Scrubs `table`: rewrites matching cells in transformable columns
+    /// and returns the new table plus audit records. `row_offset` is
+    /// added to local row indices so shard-level scrubs audit global
+    /// row numbers.
+    pub fn scrub_table(
+        &self,
+        table: &Table,
+        row_offset: usize,
+    ) -> Result<ScrubOutcome, ComplianceError> {
+        let mut attrs: Vec<AttributeDef> = table.schema().attributes().to_vec();
+        let mut columns: Vec<Column> = Vec::with_capacity(table.n_cols());
+        let mut audits: Vec<AuditRecord> = Vec::new();
+        let mut cells = 0;
+
+        for (c, attr_slot) in attrs.iter_mut().enumerate() {
+            let attr = table.schema().attribute(c).map_err(data_err)?;
+            let column = table.column(c).map_err(data_err)?;
+            let applicable = self.applicable(&attr.name);
+            if !Self::transformable(attr) || applicable.is_empty() {
+                columns.push(column.clone());
+                continue;
+            }
+            let codes = match column {
+                Column::Cat(codes) => codes,
+                Column::F64(_) => unreachable!("transformable implies categorical"),
+            };
+            let mut dict = Dictionary::new();
+            let mut new_codes = Vec::with_capacity(codes.len());
+            for (r, &code) in codes.iter().enumerate() {
+                let label = attr.dictionary.label(code).unwrap_or_default();
+                let chars: Vec<char> = label.chars().collect();
+                match self.detect_cell(&applicable, &chars) {
+                    None => new_codes.push(dict.intern(label)),
+                    Some(cell_hits) => {
+                        cells += 1;
+                        let scrubbed = self.rewrite(&chars, &cell_hits);
+                        new_codes.push(dict.intern(&scrubbed));
+                        for (ri, _) in &cell_hits.by_rule {
+                            audits.push(AuditRecord::new(
+                                row_offset + r,
+                                &attr.name,
+                                &self.rules[*ri].id,
+                                self.config.strategy,
+                                &self.config.salt,
+                                label,
+                            ));
+                        }
+                    }
+                }
+            }
+            *attr_slot = AttributeDef {
+                name: attr.name.clone(),
+                kind: attr.kind,
+                role: attr.role,
+                dictionary: dict,
+            };
+            columns.push(Column::Cat(new_codes));
+        }
+
+        audits.sort_by_key(|a| a.row);
+        let schema = Schema::new(attrs).map_err(data_err)?;
+        let table = Table::from_columns(schema, columns).map_err(data_err)?;
+        Ok(ScrubOutcome {
+            table,
+            audits,
+            cells,
+        })
+    }
+
+    /// Rewrites one cell, replacing accepted spans (right-to-left so
+    /// earlier indices stay valid) with the configured strategy's text.
+    fn rewrite(&self, chars: &[char], hits: &CellHits) -> String {
+        let mut spans: Vec<(usize, usize, usize)> = hits
+            .by_rule
+            .iter()
+            .flat_map(|(ri, spans)| spans.iter().map(move |&(s, e)| (s, e, *ri)))
+            .collect();
+        spans.sort_by_key(|&(s, ..)| s);
+        let mut out = String::new();
+        let mut pos = 0;
+        for (s, e, ri) in spans {
+            out.extend(&chars[pos..s]);
+            let matched: String = chars[s..e].iter().collect();
+            out.push_str(&self.replacement(&self.rules[ri], &matched));
+            pos = e;
+        }
+        out.extend(&chars[pos..]);
+        out
+    }
+
+    /// The replacement text for one matched span under the configured
+    /// strategy.
+    fn replacement(&self, rule: &Rule, matched: &str) -> String {
+        match self.config.strategy {
+            Strategy::Redact => format!("[REDACTED:{}]", rule.id),
+            Strategy::Tokenize => format!(
+                "TOK_{}_{}",
+                rule.id.to_uppercase(),
+                keyed_hex16(&self.config.key, matched)
+            ),
+            Strategy::Hash => format!("HASH_{}", keyed_hex16(&self.config.key, matched)),
+        }
+    }
+
+    /// Removes `drop_columns` from a table (names not present are
+    /// ignored — a shared policy file may name columns this dataset
+    /// does not have).
+    pub fn drop_release_columns(&self, table: &Table) -> Result<Table, ComplianceError> {
+        if self.config.drop_columns.is_empty() {
+            return Ok(table.clone());
+        }
+        let keep: Vec<usize> = (0..table.n_cols())
+            .filter(|&c| {
+                let name = &table.schema().attributes()[c].name;
+                !self.config.drop_columns.contains(name)
+            })
+            .collect();
+        if keep.len() == table.n_cols() {
+            return Ok(table.clone());
+        }
+        table.project(&keep).map_err(data_err)
+    }
+
+    /// Column names surviving [`ComplianceEngine::drop_release_columns`].
+    pub fn kept_columns<'a>(&self, names: &[&'a str]) -> Vec<&'a str> {
+        names
+            .iter()
+            .copied()
+            .filter(|n| !self.config.drop_columns.iter().any(|d| d == n))
+            .collect()
+    }
+}
+
+/// First 16 hex chars of HMAC-SHA256(key, text) — the token/hash tail.
+fn keyed_hex16(key: &str, text: &str) -> String {
+    let mac = hmac_sha256(key.as_bytes(), text.as_bytes());
+    hex(&mac[..8])
+}
+
+/// Numeric cell rendering matching the CSV writer: integral values have
+/// no trailing `.0`.
+fn format_numeric(x: f64) -> String {
+    if x.fract() == 0.0 && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+fn data_err(e: tclose_microdata::Error) -> ComplianceError {
+    ComplianceError::Data(e.to_string())
+}
+
+impl ScanReport {
+    /// Total cells matched per rule, sorted by rule id.
+    pub fn rule_totals(&self) -> Vec<(String, usize)> {
+        let mut totals: Vec<(String, usize)> = Vec::new();
+        for col in &self.columns {
+            for h in &col.hits {
+                match totals.iter_mut().find(|(id, _)| id == &h.rule) {
+                    Some((_, n)) => *n += h.cells,
+                    None => totals.push((h.rule.clone(), h.cells)),
+                }
+            }
+        }
+        totals.sort();
+        totals
+    }
+
+    /// Distinct matched cells across all columns.
+    pub fn total_matched_cells(&self) -> usize {
+        self.columns.iter().map(|c| c.matched_cells).sum()
+    }
+
+    /// Predicted audit-record count: (cell, rule) pairs in transformable
+    /// columns. A scrub of the same table emits exactly this many lines.
+    pub fn pending_transform(&self) -> usize {
+        self.columns
+            .iter()
+            .filter(|c| c.transformable)
+            .flat_map(|c| c.hits.iter())
+            .map(|h| h.cells)
+            .sum()
+    }
+
+    /// Stable plain-text rendering (the `tclose scan` output). Lines
+    /// like `rule totals:` / `total matched cells N` are relied on by
+    /// `scripts/compliance_gate.sh` — change them in both places.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "compliance scan: profile={} strategy={} rows={}\n",
+            self.profile, self.strategy, self.n_rows
+        ));
+        for col in &self.columns {
+            if col.hits.is_empty() {
+                continue;
+            }
+            let tag = if col.transformable {
+                "transform"
+            } else {
+                "report-only"
+            };
+            out.push_str(&format!(
+                "column {} [{}]: {} matched cells\n",
+                col.column, tag, col.matched_cells
+            ));
+            for h in &col.hits {
+                out.push_str(&format!(
+                    "  rule {}: cells={} spans={}",
+                    h.rule, h.cells, h.spans
+                ));
+                if !h.samples.is_empty() {
+                    out.push_str(&format!(" samples: {}", h.samples.join(" | ")));
+                }
+                out.push('\n');
+            }
+        }
+        out.push_str("rule totals:\n");
+        for (rule, n) in self.rule_totals() {
+            out.push_str(&format!("  {rule}: {n}\n"));
+        }
+        out.push_str(&format!(
+            "total matched cells {}\n",
+            self.total_matched_cells()
+        ));
+        out.push_str(&format!(
+            "cells pending transform {}\n",
+            self.pending_transform()
+        ));
+        out
+    }
+
+    /// Structured rendering for `tclose scan --out`.
+    pub fn to_json(&self) -> Json {
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| {
+                let hits = c
+                    .hits
+                    .iter()
+                    .map(|h| {
+                        Json::Obj(vec![
+                            ("rule".to_owned(), Json::Str(h.rule.clone())),
+                            ("cells".to_owned(), Json::Num(h.cells as f64)),
+                            ("spans".to_owned(), Json::Num(h.spans as f64)),
+                            (
+                                "samples".to_owned(),
+                                Json::Arr(h.samples.iter().cloned().map(Json::Str).collect()),
+                            ),
+                        ])
+                    })
+                    .collect();
+                Json::Obj(vec![
+                    ("column".to_owned(), Json::Str(c.column.clone())),
+                    ("transformable".to_owned(), Json::Bool(c.transformable)),
+                    (
+                        "matched_cells".to_owned(),
+                        Json::Num(c.matched_cells as f64),
+                    ),
+                    ("hits".to_owned(), Json::Arr(hits)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("profile".to_owned(), Json::Str(self.profile.clone())),
+            ("strategy".to_owned(), Json::Str(self.strategy.clone())),
+            ("n_rows".to_owned(), Json::Num(self.n_rows as f64)),
+            (
+                "total_matched_cells".to_owned(),
+                Json::Num(self.total_matched_cells() as f64),
+            ),
+            (
+                "pending_transform".to_owned(),
+                Json::Num(self.pending_transform() as f64),
+            ),
+            ("columns".to_owned(), Json::Arr(columns)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 4-row table: NAME (identifier), NOTES (non-confidential, with
+    /// embedded PII), AGE (QI numeric), DIAG (confidential categorical).
+    fn sample_table() -> Table {
+        let names = [
+            "Ada Lovelace",
+            "Grace Hopper",
+            "Alan Turing",
+            "Edsger Dijkstra",
+        ];
+        let notes = [
+            "call 555-210-4477 re: visit",
+            "email grace@navy.mil asap",
+            "ssn on file: 123-45-6789",
+            "no contact info",
+        ];
+        let diags = ["flu", "flu", "cold", "cold"];
+        let attrs = vec![
+            AttributeDef::nominal("NAME", AttributeRole::Identifier, names),
+            AttributeDef::nominal("NOTES", AttributeRole::NonConfidential, notes),
+            AttributeDef::numeric("AGE", AttributeRole::QuasiIdentifier),
+            AttributeDef::nominal("DIAG", AttributeRole::Confidential, ["flu", "cold"]),
+        ];
+        let name_codes: Vec<u32> = (0..4).collect();
+        let note_codes: Vec<u32> = (0..4).collect();
+        let diag_codes: Vec<u32> = diags
+            .iter()
+            .map(|d| attrs[3].dictionary.code(d).unwrap())
+            .collect();
+        let schema = Schema::new(attrs).unwrap();
+        Table::from_columns(
+            schema,
+            vec![
+                Column::Cat(name_codes),
+                Column::Cat(note_codes),
+                Column::F64(vec![34.0, 45.0, 41.0, 56.0]),
+                Column::Cat(diag_codes),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn engine(cfg: ComplianceConfig) -> ComplianceEngine {
+        ComplianceEngine::new(cfg).unwrap()
+    }
+
+    #[test]
+    fn scan_counts_and_report_shape() {
+        let e = engine(ComplianceConfig::default());
+        let report = e.scan_table(&sample_table()).unwrap();
+        assert_eq!(report.n_rows, 4);
+        let totals = report.rule_totals();
+        assert_eq!(
+            totals,
+            vec![
+                ("email".to_owned(), 1),
+                ("name".to_owned(), 4),
+                ("phone".to_owned(), 1),
+                ("ssn".to_owned(), 1),
+            ]
+        );
+        assert_eq!(report.total_matched_cells(), 7);
+        assert_eq!(report.pending_transform(), 7);
+        let text = report.render();
+        assert!(text.contains("rule totals:"));
+        assert!(text.contains("  name: 4"));
+        assert!(text.contains("total matched cells 7"));
+        assert!(text.contains("cells pending transform 7"));
+        // JSON mirror carries the same numbers
+        let json = report.to_json();
+        assert_eq!(json.get("pending_transform").unwrap().as_f64(), Some(7.0));
+    }
+
+    #[test]
+    fn scrub_tokenize_replaces_and_audits() {
+        let e = engine(ComplianceConfig::default());
+        let table = sample_table();
+        let out = e.scrub_table(&table, 100).unwrap();
+        assert_eq!(out.cells, 7);
+        assert_eq!(out.audits.len(), 7);
+        // audits carry global rows and never plaintext
+        assert!(out.audits.iter().all(|a| (100..104).contains(&a.row)));
+        for a in &out.audits {
+            assert!(!a.to_jsonl().contains("Lovelace"));
+            assert!(!a.to_jsonl().contains("555-210-4477"));
+        }
+        // NAME cells became whole-cell tokens; NOTES kept surrounding text
+        let name_attr = &out.table.schema().attributes()[0];
+        let code = out.table.categorical_column(0).unwrap()[0];
+        let tok = name_attr.dictionary.label(code).unwrap();
+        assert!(tok.starts_with("TOK_NAME_"), "{tok}");
+        let notes_attr = &out.table.schema().attributes()[1];
+        let ncode = out.table.categorical_column(1).unwrap()[0];
+        let note = notes_attr.dictionary.label(ncode).unwrap();
+        assert!(note.starts_with("call TOK_PHONE_"), "{note}");
+        assert!(note.ends_with(" re: visit"), "{note}");
+        // QI and confidential columns are untouched
+        assert_eq!(
+            out.table.numeric_column(2).unwrap(),
+            table.numeric_column(2).unwrap()
+        );
+        assert_eq!(
+            out.table.categorical_column(3).unwrap(),
+            table.categorical_column(3).unwrap()
+        );
+    }
+
+    #[test]
+    fn tokenize_is_deterministic_and_key_sensitive() {
+        let e1 = engine(ComplianceConfig::default());
+        let e2 = engine(ComplianceConfig::default());
+        let e3 = engine(ComplianceConfig {
+            key: "different".into(),
+            ..ComplianceConfig::default()
+        });
+        let rule = &e1.rules()[0];
+        let t1 = e1.replacement(rule, "123-45-6789");
+        assert_eq!(t1, e2.replacement(rule, "123-45-6789"));
+        assert_ne!(t1, e3.replacement(rule, "123-45-6789"));
+        // same input in two different cells yields the same token: joins survive
+        assert_eq!(t1, e1.replacement(rule, "123-45-6789"));
+    }
+
+    #[test]
+    fn scrub_is_idempotent() {
+        for strategy in [Strategy::Tokenize, Strategy::Redact, Strategy::Hash] {
+            let e = engine(ComplianceConfig {
+                strategy,
+                ..ComplianceConfig::default()
+            });
+            let once = e.scrub_table(&sample_table(), 0).unwrap();
+            let twice = e.scrub_table(&once.table, 0).unwrap();
+            assert_eq!(twice.cells, 0, "{strategy:?} re-scrubbed");
+            assert!(twice.audits.is_empty());
+            // byte-identical dictionaries
+            for c in [0usize, 1, 3] {
+                let a = &once.table.schema().attributes()[c];
+                let b = &twice.table.schema().attributes()[c];
+                let codes_a = once.table.categorical_column(c).unwrap();
+                let codes_b = twice.table.categorical_column(c).unwrap();
+                let labels_a: Vec<&str> = codes_a
+                    .iter()
+                    .map(|&k| a.dictionary.label(k).unwrap())
+                    .collect();
+                let labels_b: Vec<&str> = codes_b
+                    .iter()
+                    .map(|&k| b.dictionary.label(k).unwrap())
+                    .collect();
+                assert_eq!(labels_a, labels_b, "{strategy:?} column {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn redact_and_hash_formats() {
+        let e = engine(ComplianceConfig {
+            strategy: Strategy::Redact,
+            ..ComplianceConfig::default()
+        });
+        let out = e.scrub_table(&sample_table(), 0).unwrap();
+        let notes = &out.table.schema().attributes()[1];
+        let code = out.table.categorical_column(1).unwrap()[2];
+        let cell = notes.dictionary.label(code).unwrap();
+        assert_eq!(cell, "ssn on file: [REDACTED:ssn]");
+
+        let e = engine(ComplianceConfig {
+            strategy: Strategy::Hash,
+            ..ComplianceConfig::default()
+        });
+        let out = e.scrub_table(&sample_table(), 0).unwrap();
+        let notes = &out.table.schema().attributes()[1];
+        let code = out.table.categorical_column(1).unwrap()[2];
+        let cell = notes.dictionary.label(code).unwrap();
+        assert!(cell.starts_with("ssn on file: HASH_"), "{cell}");
+    }
+
+    #[test]
+    fn disabled_rules_do_not_fire() {
+        let e = engine(ComplianceConfig {
+            disabled: vec!["ssn".into(), "phone".into()],
+            ..ComplianceConfig::default()
+        });
+        let report = e.scan_table(&sample_table()).unwrap();
+        let totals = report.rule_totals();
+        assert!(totals.iter().all(|(id, _)| id != "ssn" && id != "phone"));
+        assert_eq!(report.pending_transform(), 5); // 4 names + 1 email
+    }
+
+    #[test]
+    fn drop_columns_are_projected_out() {
+        let e = engine(ComplianceConfig {
+            drop_columns: vec!["NOTES".into(), "MISSING".into()],
+            ..ComplianceConfig::default()
+        });
+        let dropped = e.drop_release_columns(&sample_table()).unwrap();
+        let names: Vec<&str> = dropped
+            .schema()
+            .attributes()
+            .iter()
+            .map(|a| a.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["NAME", "AGE", "DIAG"]);
+        assert_eq!(
+            e.kept_columns(&["NAME", "NOTES", "AGE"]),
+            vec!["NAME", "AGE"]
+        );
+    }
+
+    #[test]
+    fn tokens_do_not_collide_over_10k_distinct_inputs() {
+        let e = engine(ComplianceConfig::default());
+        let rule = &e.rules()[0];
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000 {
+            let token = e.replacement(rule, &format!("input-{i}"));
+            assert!(seen.insert(token), "collision at input {i}");
+        }
+    }
+
+    #[test]
+    fn numeric_columns_are_scanned_but_never_rewritten() {
+        let e = engine(ComplianceConfig::default());
+        let table = sample_table();
+        let report = e.scan_table(&table).unwrap();
+        let age = report.columns.iter().find(|c| c.column == "AGE").unwrap();
+        assert!(!age.transformable);
+        assert_eq!(age.matched_cells, 0);
+        let out = e.scrub_table(&table, 0).unwrap();
+        assert_eq!(
+            out.table.numeric_column(2).unwrap(),
+            table.numeric_column(2).unwrap()
+        );
+    }
+}

@@ -1,0 +1,589 @@
+//! A small backtracking regex engine — exactly the subset the detector
+//! rules need, dependency-free in the same spirit as `tclose_ser::Json`.
+//!
+//! Supported syntax:
+//!
+//! * literals, `.` (any char), escaped metacharacters (`\.` `\(` …)
+//! * perl classes `\d \D \w \W \s \S` and the word boundary `\b` / `\B`
+//! * character classes `[a-z0-9_]` with ranges, negation (`[^…]`), and
+//!   embedded perl classes
+//! * groups `(…)` (non-capturing), alternation `|`
+//! * greedy quantifiers `*` `+` `?` `{m}` `{m,}` `{m,n}`
+//! * anchors `^` and `$`
+//!
+//! Matching is leftmost-first with greedy quantifiers (the usual
+//! backtracking semantics). Spans are **char indices**, not byte offsets
+//! — the scrub engine rebuilds cells from `Vec<char>`, so char spans
+//! compose without UTF-8 bookkeeping. Patterns are authored in the rule
+//! registry or user config and are a few dozen chars long; cells are
+//! short; no attempt is made to guard against pathological backtracking.
+
+use std::fmt;
+
+/// A compile error with the offset (in chars) where it happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternError {
+    /// Char offset into the pattern source.
+    pub pos: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pattern error at char {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for PatternError {}
+
+/// One perl shorthand class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PerlClass {
+    Digit,
+    Word,
+    Space,
+}
+
+impl PerlClass {
+    fn matches(self, c: char) -> bool {
+        match self {
+            PerlClass::Digit => c.is_ascii_digit(),
+            PerlClass::Word => c.is_ascii_alphanumeric() || c == '_',
+            PerlClass::Space => c.is_whitespace(),
+        }
+    }
+}
+
+/// Contents of a `[…]` class.
+#[derive(Debug, Clone, PartialEq)]
+struct CharClass {
+    negated: bool,
+    singles: Vec<char>,
+    ranges: Vec<(char, char)>,
+    perl: Vec<(PerlClass, bool)>, // (class, negated-within-class)
+}
+
+impl CharClass {
+    fn matches(&self, c: char) -> bool {
+        let hit = self.singles.contains(&c)
+            || self.ranges.iter().any(|&(lo, hi)| lo <= c && c <= hi)
+            || self.perl.iter().any(|&(p, neg)| p.matches(c) != neg);
+        hit != self.negated
+    }
+}
+
+/// One matchable element.
+#[derive(Debug, Clone, PartialEq)]
+enum Elem {
+    Char(char),
+    Any,
+    Perl(PerlClass, bool), // (class, negated)
+    Class(CharClass),
+    Boundary(bool), // \b (true) / \B (false) — zero-width
+    Start,          // ^ — zero-width
+    End,            // $ — zero-width
+    Group(Box<Ast>),
+}
+
+/// An element with its quantifier.
+#[derive(Debug, Clone, PartialEq)]
+struct Piece {
+    elem: Elem,
+    min: u32,
+    max: Option<u32>, // None = unbounded
+}
+
+/// Alternation of concatenations.
+#[derive(Debug, Clone, PartialEq)]
+struct Ast {
+    alts: Vec<Vec<Piece>>,
+}
+
+/// A compiled pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regex {
+    ast: Ast,
+    source: String,
+}
+
+impl Regex {
+    /// Compiles `pattern`.
+    pub fn parse(pattern: &str) -> Result<Regex, PatternError> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut p = Parser { chars, pos: 0 };
+        let ast = p.alternation()?;
+        if p.pos != p.chars.len() {
+            return Err(p.err("unbalanced ')'"));
+        }
+        Ok(Regex {
+            ast,
+            source: pattern.to_owned(),
+        })
+    }
+
+    /// The pattern source this regex was compiled from.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// True when the pattern matches anywhere in `text`.
+    pub fn is_match(&self, text: &str) -> bool {
+        let chars: Vec<char> = text.chars().collect();
+        (0..=chars.len()).any(|start| self.match_end(&chars, start).is_some())
+    }
+
+    /// All non-overlapping matches in `text`, leftmost-first, as
+    /// **char-index** `(start, end)` spans. Zero-width matches are
+    /// skipped (a rule that matches nothing scrubs nothing).
+    pub fn find_all(&self, text: &str) -> Vec<(usize, usize)> {
+        let chars: Vec<char> = text.chars().collect();
+        self.find_all_chars(&chars)
+    }
+
+    /// [`Regex::find_all`] over an already-decoded char buffer.
+    pub fn find_all_chars(&self, chars: &[char]) -> Vec<(usize, usize)> {
+        let mut spans = Vec::new();
+        let mut start = 0;
+        while start < chars.len() {
+            match self.match_end(chars, start) {
+                Some(end) if end > start => {
+                    spans.push((start, end));
+                    start = end;
+                }
+                _ => start += 1,
+            }
+        }
+        spans
+    }
+
+    /// End (exclusive, char index) of the leftmost-first match starting
+    /// exactly at `start`, if any.
+    fn match_end(&self, chars: &[char], start: usize) -> Option<usize> {
+        let mut end = None;
+        match_ast(&self.ast, chars, start, &mut |e| {
+            end = Some(e);
+            true
+        });
+        end
+    }
+}
+
+/// Matches the alternation at `pos`, invoking `k` with the end position
+/// of each candidate parse (preferred order) until `k` returns true.
+fn match_ast(ast: &Ast, chars: &[char], pos: usize, k: &mut dyn FnMut(usize) -> bool) -> bool {
+    for seq in &ast.alts {
+        if match_seq(seq, chars, pos, k) {
+            return true;
+        }
+    }
+    false
+}
+
+fn match_seq(seq: &[Piece], chars: &[char], pos: usize, k: &mut dyn FnMut(usize) -> bool) -> bool {
+    match seq.split_first() {
+        None => k(pos),
+        Some((piece, rest)) => match_piece(piece, 0, chars, pos, &mut |end| {
+            match_seq(rest, chars, end, k)
+        }),
+    }
+}
+
+/// Greedy quantified match: consume as many repetitions as possible
+/// first, backing off one at a time on failure.
+fn match_piece(
+    piece: &Piece,
+    count: u32,
+    chars: &[char],
+    pos: usize,
+    k: &mut dyn FnMut(usize) -> bool,
+) -> bool {
+    let can_repeat = piece.max.is_none_or(|m| count < m);
+    if can_repeat {
+        let matched = match_elem(&piece.elem, chars, pos, &mut |end| {
+            if end == pos {
+                // Zero-width repetition makes no progress; accept the
+                // minimum and hand over rather than recursing forever.
+                count + 1 >= piece.min && k(end)
+            } else {
+                match_piece(piece, count + 1, chars, end, k)
+            }
+        });
+        if matched {
+            return true;
+        }
+    }
+    count >= piece.min && k(pos)
+}
+
+fn match_elem(elem: &Elem, chars: &[char], pos: usize, k: &mut dyn FnMut(usize) -> bool) -> bool {
+    match elem {
+        Elem::Char(c) => pos < chars.len() && chars[pos] == *c && k(pos + 1),
+        Elem::Any => pos < chars.len() && k(pos + 1),
+        Elem::Perl(p, neg) => pos < chars.len() && (p.matches(chars[pos]) != *neg) && k(pos + 1),
+        Elem::Class(cc) => pos < chars.len() && cc.matches(chars[pos]) && k(pos + 1),
+        Elem::Boundary(want) => (at_word_boundary(chars, pos) == *want) && k(pos),
+        Elem::Start => pos == 0 && k(pos),
+        Elem::End => pos == chars.len() && k(pos),
+        Elem::Group(ast) => match_ast(ast, chars, pos, k),
+    }
+}
+
+fn is_word(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+fn at_word_boundary(chars: &[char], pos: usize) -> bool {
+    let before = pos > 0 && is_word(chars[pos - 1]);
+    let after = pos < chars.len() && is_word(chars[pos]);
+    before != after
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn err(&self, msg: impl Into<String>) -> PatternError {
+        PatternError {
+            pos: self.pos,
+            msg: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn alternation(&mut self) -> Result<Ast, PatternError> {
+        let mut alts = vec![self.sequence()?];
+        while self.peek() == Some('|') {
+            self.pos += 1;
+            alts.push(self.sequence()?);
+        }
+        Ok(Ast { alts })
+    }
+
+    fn sequence(&mut self) -> Result<Vec<Piece>, PatternError> {
+        let mut pieces = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let elem = self.atom()?;
+            let (min, max) = self.quantifier(&elem)?;
+            pieces.push(Piece { elem, min, max });
+        }
+        Ok(pieces)
+    }
+
+    fn atom(&mut self) -> Result<Elem, PatternError> {
+        match self.bump().expect("sequence checked peek") {
+            '.' => Ok(Elem::Any),
+            '^' => Ok(Elem::Start),
+            '$' => Ok(Elem::End),
+            '(' => {
+                let inner = self.alternation()?;
+                if self.bump() != Some(')') {
+                    return Err(self.err("unclosed group"));
+                }
+                Ok(Elem::Group(Box::new(inner)))
+            }
+            '[' => Ok(Elem::Class(self.char_class()?)),
+            '\\' => self.escape(),
+            c @ ('*' | '+' | '?') => Err(self.err(format!("dangling quantifier {c:?}"))),
+            c => Ok(Elem::Char(c)),
+        }
+    }
+
+    fn escape(&mut self) -> Result<Elem, PatternError> {
+        match self.bump() {
+            None => Err(self.err("trailing backslash")),
+            Some('d') => Ok(Elem::Perl(PerlClass::Digit, false)),
+            Some('D') => Ok(Elem::Perl(PerlClass::Digit, true)),
+            Some('w') => Ok(Elem::Perl(PerlClass::Word, false)),
+            Some('W') => Ok(Elem::Perl(PerlClass::Word, true)),
+            Some('s') => Ok(Elem::Perl(PerlClass::Space, false)),
+            Some('S') => Ok(Elem::Perl(PerlClass::Space, true)),
+            Some('b') => Ok(Elem::Boundary(true)),
+            Some('B') => Ok(Elem::Boundary(false)),
+            Some('n') => Ok(Elem::Char('\n')),
+            Some('t') => Ok(Elem::Char('\t')),
+            Some(c) if !c.is_ascii_alphanumeric() => Ok(Elem::Char(c)),
+            Some(c) => Err(self.err(format!("unknown escape \\{c}"))),
+        }
+    }
+
+    fn char_class(&mut self) -> Result<CharClass, PatternError> {
+        let mut cc = CharClass {
+            negated: false,
+            singles: Vec::new(),
+            ranges: Vec::new(),
+            perl: Vec::new(),
+        };
+        if self.peek() == Some('^') {
+            cc.negated = true;
+            self.pos += 1;
+        }
+        // A leading ']' is a literal member, as usual.
+        let mut first = true;
+        loop {
+            let c = match self.bump() {
+                None => return Err(self.err("unclosed character class")),
+                Some(']') if !first => break,
+                Some(c) => c,
+            };
+            first = false;
+            let lo = if c == '\\' {
+                match self.bump() {
+                    None => return Err(self.err("trailing backslash in class")),
+                    Some('d') => {
+                        cc.perl.push((PerlClass::Digit, false));
+                        continue;
+                    }
+                    Some('D') => {
+                        cc.perl.push((PerlClass::Digit, true));
+                        continue;
+                    }
+                    Some('w') => {
+                        cc.perl.push((PerlClass::Word, false));
+                        continue;
+                    }
+                    Some('W') => {
+                        cc.perl.push((PerlClass::Word, true));
+                        continue;
+                    }
+                    Some('s') => {
+                        cc.perl.push((PerlClass::Space, false));
+                        continue;
+                    }
+                    Some('S') => {
+                        cc.perl.push((PerlClass::Space, true));
+                        continue;
+                    }
+                    Some('n') => '\n',
+                    Some('t') => '\t',
+                    Some(e) if !e.is_ascii_alphanumeric() => e,
+                    Some(e) => return Err(self.err(format!("unknown class escape \\{e}"))),
+                }
+            } else {
+                c
+            };
+            // `a-z` range, unless the '-' is last (then it's a literal).
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                self.pos += 1; // consume '-'
+                let hi = match self.bump() {
+                    None => return Err(self.err("unclosed character class")),
+                    Some('\\') => self
+                        .bump()
+                        .ok_or_else(|| self.err("trailing backslash in class"))?,
+                    Some(h) => h,
+                };
+                if hi < lo {
+                    return Err(self.err(format!("inverted range {lo}-{hi}")));
+                }
+                cc.ranges.push((lo, hi));
+            } else {
+                cc.singles.push(lo);
+            }
+        }
+        Ok(cc)
+    }
+
+    /// Parses the optional quantifier following an atom.
+    fn quantifier(&mut self, elem: &Elem) -> Result<(u32, Option<u32>), PatternError> {
+        let (min, max) = match self.peek() {
+            Some('*') => {
+                self.pos += 1;
+                (0, None)
+            }
+            Some('+') => {
+                self.pos += 1;
+                (1, None)
+            }
+            Some('?') => {
+                self.pos += 1;
+                (0, Some(1))
+            }
+            Some('{') => {
+                self.pos += 1;
+                let min = self.number()?;
+                match self.bump() {
+                    Some('}') => (min, Some(min)),
+                    Some(',') => {
+                        if self.peek() == Some('}') {
+                            self.pos += 1;
+                            (min, None)
+                        } else {
+                            let max = self.number()?;
+                            if self.bump() != Some('}') {
+                                return Err(self.err("unclosed {m,n} quantifier"));
+                            }
+                            if max < min {
+                                return Err(self.err(format!("inverted bound {{{min},{max}}}")));
+                            }
+                            (min, Some(max))
+                        }
+                    }
+                    _ => return Err(self.err("unclosed {m} quantifier")),
+                }
+            }
+            _ => return Ok((1, Some(1))),
+        };
+        if matches!(elem, Elem::Start | Elem::End | Elem::Boundary(_)) {
+            return Err(self.err("quantifier on a zero-width assertion"));
+        }
+        Ok((min, max))
+    }
+
+    fn number(&mut self) -> Result<u32, PatternError> {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected a number"));
+        }
+        let digits: String = self.chars[start..self.pos].iter().collect();
+        digits
+            .parse()
+            .map_err(|_| self.err(format!("quantifier bound {digits} out of range")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spans(pat: &str, text: &str) -> Vec<(usize, usize)> {
+        Regex::parse(pat).unwrap().find_all(text)
+    }
+
+    fn matched(pat: &str, text: &str) -> Vec<String> {
+        let chars: Vec<char> = text.chars().collect();
+        spans(pat, text)
+            .into_iter()
+            .map(|(s, e)| chars[s..e].iter().collect())
+            .collect()
+    }
+
+    #[test]
+    fn literals_and_dot() {
+        assert!(Regex::parse("abc").unwrap().is_match("xxabcxx"));
+        assert!(!Regex::parse("abc").unwrap().is_match("ab"));
+        assert_eq!(matched("a.c", "abc adc a c"), vec!["abc", "adc", "a c"]);
+    }
+
+    #[test]
+    fn perl_classes_and_boundaries() {
+        assert_eq!(matched(r"\d+", "a12 b345"), vec!["12", "345"]);
+        assert_eq!(matched(r"\b\d{2}\b", "12 345 67"), vec!["12", "67"]);
+        assert!(Regex::parse(r"\w+").unwrap().is_match("under_score9"));
+        assert!(Regex::parse(r"\s").unwrap().is_match("a b"));
+        assert!(!Regex::parse(r"\S").unwrap().is_match("  \t"));
+        // \b does not fire between two word chars
+        assert_eq!(matched(r"\b\d{4}\b", "TOK_X_1234"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn classes_ranges_and_negation() {
+        assert_eq!(matched("[a-c]+", "abcd"), vec!["abc"]);
+        assert_eq!(matched("[^0-9]+", "ab12cd"), vec!["ab", "cd"]);
+        assert_eq!(matched(r"[\d.-]+", "a1.2-3b"), vec!["1.2-3"]);
+        assert_eq!(matched("[]a]+", "]a]b"), vec!["]a]"]);
+        assert_eq!(matched("[a-]+", "a-b"), vec!["a-"]);
+    }
+
+    #[test]
+    fn quantifiers() {
+        assert_eq!(matched("ab*c", "ac abc abbbc"), vec!["ac", "abc", "abbbc"]);
+        assert_eq!(matched("ab+c", "ac abc"), vec!["abc"]);
+        assert_eq!(matched("ab?c", "ac abc abbc"), vec!["ac", "abc"]);
+        assert_eq!(
+            matched(r"\d{2,3}", "1 22 333 4444"),
+            vec!["22", "333", "444"]
+        );
+        assert_eq!(matched(r"a{2}", "a aa aaa"), vec!["aa", "aa"]);
+        assert_eq!(matched(r"\d{3,}", "12 1234567"), vec!["1234567"]);
+    }
+
+    #[test]
+    fn groups_and_alternation() {
+        assert_eq!(matched("(ab)+", "ababab ab"), vec!["ababab", "ab"]);
+        assert_eq!(matched("cat|dog", "a cat and a dog"), vec!["cat", "dog"]);
+        assert_eq!(
+            matched(r"(\d{3}[-. ])?\d{4}", "555-1234 and 9876"),
+            vec!["555-1234", "9876"]
+        );
+        // leftmost-first: the first alternative wins
+        assert_eq!(matched("a|ab", "ab"), vec!["a"]);
+    }
+
+    #[test]
+    fn anchors() {
+        assert!(Regex::parse("^abc$").unwrap().is_match("abc"));
+        assert!(!Regex::parse("^abc$").unwrap().is_match("xabc"));
+        assert_eq!(matched("^a", "aaa"), vec!["a"]);
+    }
+
+    #[test]
+    fn realistic_pii_patterns() {
+        let ssn = r"\b\d{3}-\d{2}-\d{4}\b";
+        assert_eq!(matched(ssn, "ssn 123-45-6789."), vec!["123-45-6789"]);
+        assert!(!Regex::parse(ssn).unwrap().is_match("1234-45-6789"));
+        assert!(!Regex::parse(ssn).unwrap().is_match("(555) 210-4477"));
+
+        let email = r"\b[A-Za-z0-9._%+-]+@[A-Za-z0-9.-]+\.[A-Za-z]{2,}\b";
+        assert_eq!(
+            matched(email, "mail a.b+c@ex-1.example.com now"),
+            vec!["a.b+c@ex-1.example.com"]
+        );
+
+        let phone = r"(\(\d{3}\)[ -]?|\b\d{3}[-. ])\d{3}[-. ]\d{4}\b";
+        assert_eq!(
+            matched(phone, "call (555) 210-4477"),
+            vec!["(555) 210-4477"]
+        );
+        assert_eq!(matched(phone, "or 555.210.4477 ok"), vec!["555.210.4477"]);
+        assert!(!Regex::parse(phone).unwrap().is_match("123-45-6789"));
+
+        let ip = r"\b\d{1,3}\.\d{1,3}\.\d{1,3}\.\d{1,3}\b";
+        assert_eq!(matched(ip, "from 10.0.255.1:80"), vec!["10.0.255.1"]);
+    }
+
+    #[test]
+    fn non_overlapping_leftmost_scan() {
+        assert_eq!(spans(r"\d\d", "12345"), vec![(0, 2), (2, 4)]);
+        // char-index spans survive non-ASCII prefixes
+        assert_eq!(matched(r"\d+", "déjà 42"), vec!["42"]);
+        assert_eq!(spans(r"\d+", "déjà 42"), vec![(5, 7)]);
+    }
+
+    #[test]
+    fn zero_width_matches_are_skipped() {
+        assert_eq!(spans("a*", "bbb"), Vec::<(usize, usize)>::new());
+        assert_eq!(matched("a*", "baab"), vec!["aa"]);
+        // zero-width-capable group under an unbounded quantifier terminates
+        assert_eq!(matched("(a?)*b", "aab"), vec!["aab"]);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        for bad in [
+            "a(", "a)", "[abc", "a**", "*a", r"\q", "a{2,1}", "a{", "^*", r"\",
+        ] {
+            assert!(Regex::parse(bad).is_err(), "{bad:?} should not compile");
+        }
+        let e = Regex::parse("[z-a]").unwrap_err();
+        assert!(e.to_string().contains("inverted range"), "{e}");
+    }
+}

@@ -1,0 +1,355 @@
+//! A minimal TOML reader, in the same spirit as `perf::json`: just the
+//! subset the compliance config needs, dependency-free.
+//!
+//! Supported: `[section]` and `[section.sub]` headers, `key = value`
+//! with string / bool / integer / float / array-of-string values,
+//! `#` comments, and basic string escapes (`\\ \" \n \t`). Keys are
+//! stored flattened as `section.sub.key`, which makes lookups and
+//! "all keys under this prefix" queries trivial.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A scalar or array value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TomlValue {
+    /// A quoted string.
+    Str(String),
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// An array of quoted strings (the only array shape the config uses).
+    Arr(Vec<String>),
+}
+
+impl TomlValue {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            TomlValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The bool payload, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            TomlValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            TomlValue::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The string-array payload, if this is an array.
+    pub fn as_arr(&self) -> Option<&[String]> {
+        match self {
+            TomlValue::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// A parse error with its 1-based line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TomlError {
+    /// 1-based line the error was found on.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for TomlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "toml error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for TomlError {}
+
+/// A parsed document: dotted keys → values, in sorted key order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TomlDoc {
+    entries: BTreeMap<String, TomlValue>,
+}
+
+impl TomlDoc {
+    /// Parses a TOML document from source text.
+    pub fn parse(src: &str) -> Result<TomlDoc, TomlError> {
+        let mut entries = BTreeMap::new();
+        let mut section = String::new();
+        for (idx, raw) in src.lines().enumerate() {
+            let lineno = idx + 1;
+            let err = |msg: String| TomlError { line: lineno, msg };
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('[') {
+                let name = rest
+                    .strip_suffix(']')
+                    .ok_or_else(|| err("unclosed section header".into()))?
+                    .trim();
+                if name.is_empty() {
+                    return Err(err("empty section header".into()));
+                }
+                if !name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.')
+                {
+                    return Err(err(format!("invalid section name {name:?}")));
+                }
+                section = name.to_owned();
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| err(format!("expected `key = value`, got {line:?}")))?;
+            let key = key.trim();
+            if key.is_empty()
+                || !key
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+            {
+                return Err(err(format!("invalid key {key:?}")));
+            }
+            let value = parse_value(value.trim()).map_err(&err)?;
+            let full = if section.is_empty() {
+                key.to_owned()
+            } else {
+                format!("{section}.{key}")
+            };
+            if entries.insert(full.clone(), value).is_some() {
+                return Err(err(format!("duplicate key {full:?}")));
+            }
+        }
+        Ok(TomlDoc { entries })
+    }
+
+    /// Looks up a flattened dotted key (`"compliance.profile"`).
+    pub fn get(&self, key: &str) -> Option<&TomlValue> {
+        self.entries.get(key)
+    }
+
+    /// All `(suffix, value)` pairs whose key starts with `prefix.`,
+    /// in sorted order. Used to enumerate custom rule sections.
+    pub fn keys_under(&self, prefix: &str) -> Vec<(&str, &TomlValue)> {
+        let dotted = format!("{prefix}.");
+        self.entries
+            .iter()
+            .filter_map(|(k, v)| k.strip_prefix(dotted.as_str()).map(|s| (s, v)))
+            .collect()
+    }
+
+    /// Sub-section names one level under `prefix` (deduplicated, sorted).
+    pub fn sections_under(&self, prefix: &str) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .keys_under(prefix)
+            .into_iter()
+            .filter_map(|(suffix, _)| suffix.split_once('.').map(|(head, _)| head.to_owned()))
+            .collect();
+        names.dedup();
+        names
+    }
+}
+
+/// Drops a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+fn parse_value(s: &str) -> Result<TomlValue, String> {
+    if s.is_empty() {
+        return Err("missing value".into());
+    }
+    if s == "true" {
+        return Ok(TomlValue::Bool(true));
+    }
+    if s == "false" {
+        return Ok(TomlValue::Bool(false));
+    }
+    if s.starts_with('"') {
+        let (parsed, rest) = parse_string(s)?;
+        if !rest.trim().is_empty() {
+            return Err(format!("trailing content after string: {rest:?}"));
+        }
+        return Ok(TomlValue::Str(parsed));
+    }
+    if s.starts_with('[') {
+        let inner = s
+            .strip_prefix('[')
+            .and_then(|t| t.strip_suffix(']'))
+            .ok_or_else(|| format!("unclosed array {s:?}"))?;
+        let mut items = Vec::new();
+        let mut rest = inner.trim();
+        while !rest.is_empty() {
+            if !rest.starts_with('"') {
+                return Err(format!("arrays hold quoted strings only, got {rest:?}"));
+            }
+            let (item, tail) = parse_string(rest)?;
+            items.push(item);
+            rest = tail.trim();
+            if let Some(t) = rest.strip_prefix(',') {
+                rest = t.trim();
+            } else if !rest.is_empty() {
+                return Err(format!("expected ',' in array, got {rest:?}"));
+            }
+        }
+        return Ok(TomlValue::Arr(items));
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        return Ok(TomlValue::Int(i));
+    }
+    if let Ok(f) = s.parse::<f64>() {
+        return Ok(TomlValue::Float(f));
+    }
+    Err(format!("unrecognized value {s:?}"))
+}
+
+/// Parses a leading quoted string, returning `(value, rest)`.
+fn parse_string(s: &str) -> Result<(String, &str), String> {
+    let mut out = String::new();
+    let mut chars = s.char_indices();
+    match chars.next() {
+        Some((_, '"')) => {}
+        _ => return Err(format!("expected string, got {s:?}")),
+    }
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Ok((out, &s[i + 1..])),
+            '\\' => match chars.next() {
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, '"')) => out.push('"'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, e)) => return Err(format!("unknown string escape \\{e}")),
+                None => return Err("unterminated string".into()),
+            },
+            c => out.push(c),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_scalars_and_arrays() {
+        let doc = TomlDoc::parse(
+            r#"
+# a comment
+top = "level"
+
+[compliance]
+profile = "hipaa"   # trailing comment
+strategy = "tokenize"
+dry_run = false
+sample = 3
+threshold = 0.5
+drop_columns = ["SSN", "MRN"]
+
+[compliance.audit]
+enabled = true
+path = "audit.jsonl"
+"#,
+        )
+        .unwrap();
+        assert_eq!(doc.get("top").unwrap().as_str(), Some("level"));
+        assert_eq!(
+            doc.get("compliance.profile").unwrap().as_str(),
+            Some("hipaa")
+        );
+        assert_eq!(
+            doc.get("compliance.dry_run").unwrap().as_bool(),
+            Some(false)
+        );
+        assert_eq!(doc.get("compliance.sample").unwrap().as_int(), Some(3));
+        assert_eq!(
+            doc.get("compliance.threshold"),
+            Some(&TomlValue::Float(0.5))
+        );
+        assert_eq!(
+            doc.get("compliance.drop_columns").unwrap().as_arr(),
+            Some(&["SSN".to_owned(), "MRN".to_owned()][..])
+        );
+        assert_eq!(
+            doc.get("compliance.audit.enabled").unwrap().as_bool(),
+            Some(true)
+        );
+        assert_eq!(doc.get("missing"), None);
+    }
+
+    #[test]
+    fn string_escapes_and_embedded_hash() {
+        let doc = TomlDoc::parse(r#"s = "a#b \"q\" \\ \n \t""#).unwrap();
+        assert_eq!(doc.get("s").unwrap().as_str(), Some("a#b \"q\" \\ \n \t"));
+    }
+
+    #[test]
+    fn keys_under_and_sections_under() {
+        let doc = TomlDoc::parse(
+            r#"
+[compliance.rule.badge]
+pattern = "B-\\d{4}"
+[compliance.rule.case]
+pattern = "C\\d{6}"
+description = "case number"
+"#,
+        )
+        .unwrap();
+        let names = doc.sections_under("compliance.rule");
+        assert_eq!(names, vec!["badge".to_owned(), "case".to_owned()]);
+        assert_eq!(
+            doc.get("compliance.rule.badge.pattern").unwrap().as_str(),
+            Some("B-\\d{4}")
+        );
+        assert_eq!(doc.keys_under("compliance.rule.case").len(), 2);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        for (src, needle) in [
+            ("[open", "unclosed section"),
+            ("[]", "empty section"),
+            ("novalue", "key = value"),
+            ("k = ", "missing value"),
+            ("k = nope", "unrecognized"),
+            ("k = \"open", "unterminated"),
+            ("k = [\"a\"", "unclosed array"),
+            ("k = [1, 2]", "quoted strings only"),
+            ("bad key = \"v\"", "invalid key"),
+        ] {
+            let e = TomlDoc::parse(src).unwrap_err();
+            assert!(e.msg.contains(needle), "{src:?} -> {e}");
+            assert_eq!(e.line, 1);
+        }
+        let e = TomlDoc::parse("a = 1\na = 2").unwrap_err();
+        assert!(e.msg.contains("duplicate"), "{e}");
+        assert_eq!(e.line, 2);
+    }
+}

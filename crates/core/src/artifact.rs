@@ -24,6 +24,7 @@
 //! | `emd_domains` | per confidential attribute: sorted distinct values + global bin counts |
 //! | `n_records` | record count of the fitting data |
 //! | `env_fingerprint` | toolchain/host/commit provenance, shared verbatim with `BENCH_*.json` |
+//! | `compliance_fingerprint` | *(optional)* digest of the compliance scrub policy the model was fitted under |
 //!
 //! ## Versioning policy
 //!
@@ -227,6 +228,7 @@ pub struct ModelArtifact {
     params: ModelParams,
     fit: GlobalFit,
     env_fingerprint: Fingerprint,
+    compliance_fingerprint: Option<String>,
 }
 
 impl ModelArtifact {
@@ -242,7 +244,24 @@ impl ModelArtifact {
             },
             fit: fitted.global_fit().clone(),
             env_fingerprint: fingerprint::capture(),
+            compliance_fingerprint: None,
         }
+    }
+
+    /// Records the fingerprint of the compliance scrub policy the
+    /// training data was scrubbed under (see
+    /// `tclose_compliance::ComplianceConfig::fingerprint`). `apply`
+    /// refuses to pair this model with a different policy — or with no
+    /// policy at all — so a model fitted on scrubbed data can never
+    /// silently produce an unscrubbed release.
+    pub fn with_compliance_fingerprint(mut self, fingerprint: impl Into<String>) -> Self {
+        self.compliance_fingerprint = Some(fingerprint.into());
+        self
+    }
+
+    /// The compliance policy fingerprint recorded at fit time, if any.
+    pub fn compliance_fingerprint(&self) -> Option<&str> {
+        self.compliance_fingerprint.as_deref()
     }
 
     /// Format version of the document this artifact was loaded from
@@ -303,7 +322,7 @@ impl ModelArtifact {
                 ])
             })
             .collect();
-        Json::Obj(vec![
+        let mut fields = vec![
             ("kind".into(), Json::Str(ARTIFACT_KIND.to_owned())),
             (
                 "schema_version".into(),
@@ -343,7 +362,13 @@ impl ModelArtifact {
             ("emd_domains".into(), Json::Arr(emd_domains)),
             ("n_records".into(), Json::Num(self.fit.n_records() as f64)),
             ("env_fingerprint".into(), self.env_fingerprint.to_json()),
-        ])
+        ];
+        // Optional trailing field: artifacts fitted without a compliance
+        // policy serialize byte-identically to pre-compliance builds.
+        if let Some(fp) = &self.compliance_fingerprint {
+            fields.push(("compliance_fingerprint".into(), Json::Str(fp.clone())));
+        }
+        Json::Obj(fields)
     }
 
     /// The serialized document (two-space indented JSON with a trailing
@@ -462,6 +487,15 @@ impl ModelArtifact {
         let fit = GlobalFit::from_parts(schema, embedding, conf, n_records)
             .map_err(|e| mismatched(e.to_string()))?;
 
+        let compliance_fingerprint = match doc.get("compliance_fingerprint") {
+            None => None,
+            Some(v) => Some(
+                v.as_str()
+                    .ok_or_else(|| corrupted("compliance_fingerprint is not a string"))?
+                    .to_owned(),
+            ),
+        };
+
         Ok(ModelArtifact {
             schema_version: version,
             params: ModelParams {
@@ -471,6 +505,7 @@ impl ModelArtifact {
             },
             fit,
             env_fingerprint,
+            compliance_fingerprint,
         })
     }
 
@@ -706,6 +741,33 @@ mod tests {
         assert_eq!(out.table, fused.table);
         assert_eq!(out.report.max_emd.to_bits(), fused.report.max_emd.to_bits());
         assert_eq!(out.report.sse.to_bits(), fused.report.sse.to_bits());
+    }
+
+    #[test]
+    fn compliance_fingerprint_round_trips_and_defaults_to_none() {
+        let art = demo_artifact();
+        assert_eq!(art.compliance_fingerprint(), None);
+        let plain = art.to_string_pretty();
+        assert!(!plain.contains("compliance_fingerprint"));
+        assert_eq!(
+            ModelArtifact::from_json_str(&plain)
+                .unwrap()
+                .compliance_fingerprint(),
+            None
+        );
+
+        let stamped = demo_artifact().with_compliance_fingerprint("ab12cd34");
+        let s = stamped.to_string_pretty();
+        assert!(s.contains("\"compliance_fingerprint\": \"ab12cd34\""));
+        let back = ModelArtifact::from_json_str(&s).unwrap();
+        assert_eq!(back.compliance_fingerprint(), Some("ab12cd34"));
+        assert_eq!(back.to_string_pretty(), s, "byte-stable with the field");
+
+        let tampered = s.replace("\"ab12cd34\"", "42");
+        assert!(matches!(
+            ModelArtifact::from_json_str(&tampered),
+            Err(ArtifactError::Corrupted { .. })
+        ));
     }
 
     #[test]

@@ -30,7 +30,7 @@ use crate::pipeline::{Algorithm, AnonymizationReport, Anonymized, Anonymizer};
 use crate::verify::{verify_k_anonymity, verify_t_closeness_with};
 use tclose_metrics::sse::normalized_sse;
 use tclose_microagg::{aggregate_columns, Matrix, NeighborBackend, Parallelism};
-use tclose_microdata::{stats, AttributeKind, NormalizeMethod, Schema, Table};
+use tclose_microdata::{stats, AttributeKind, AttributeRole, NormalizeMethod, Schema, Table};
 
 /// Frozen per-attribute affine transform `x ↦ (x − shift) / scale` over the
 /// quasi-identifier columns, fitted once on the global data.
@@ -293,13 +293,17 @@ impl GlobalFit {
     /// Checks that a shard's schema is structurally compatible with the
     /// fitting schema: same attribute names, kinds and roles, in order.
     ///
-    /// For categorical attributes the shard's dictionary must be a prefix
-    /// of (or equal to) the fitted one — codes are positional, so a shard
-    /// whose labels were interned in a different order would silently map
-    /// code `c` to the wrong category in the embedding and the EMD
-    /// rebinding. Shards produced from the fitting data (via
-    /// `Table::take_rows` or the chunked reader seeded with the fitted
-    /// schema) satisfy this by construction.
+    /// For categorical quasi-identifier and confidential attributes the
+    /// shard's dictionary must be a prefix of (or equal to) the fitted
+    /// one — those codes are positional, so a shard whose labels were
+    /// interned in a different order would silently map code `c` to the
+    /// wrong category in the embedding and the EMD rebinding. Shards
+    /// produced from the fitting data (via `Table::take_rows` or the
+    /// chunked reader seeded with the fitted schema) satisfy this by
+    /// construction. Pass-through categorical columns (identifier /
+    /// non-confidential) are exempt: the fit never interprets their
+    /// codes, each shard's own dictionary travels with it end to end,
+    /// and a compliance scrub legitimately re-interns them.
     fn check_shard_schema(&self, shard: &Table) -> Result<()> {
         let a = self.schema.attributes();
         let b = shard.schema().attributes();
@@ -318,7 +322,11 @@ impl GlobalFit {
                     y.name, y.kind, y.role, x.name, x.kind, x.role
                 )));
             }
-            if x.kind.is_categorical() {
+            let interpreted = matches!(
+                x.role,
+                AttributeRole::QuasiIdentifier | AttributeRole::Confidential
+            );
+            if x.kind.is_categorical() && interpreted {
                 let fit_labels = x.dictionary.labels();
                 let shard_labels = y.dictionary.labels();
                 let prefix_ok = shard_labels.len() <= fit_labels.len()

@@ -11,6 +11,9 @@
 //! * [`patient`] — a Patient-Discharge-like data set (default 23,435
 //!   records, 7 quasi-identifiers, one confidential hospital-charge
 //!   attribute with weak QI correlation R ≈ 0.129).
+//! * [`pii`] — a planted-PII fixture (names, SSNs, emails, phones, and
+//!   a notes field with an embedded email) with exact per-rule counts,
+//!   used by the compliance layer's tests and the CI compliance gate.
 //! * [`synthetic`] — the underlying generator toolkit (single-factor
 //!   Gaussian latents, monotone income-shaped marginals) plus generic
 //!   uniform/clustered generators for stress tests.
@@ -26,6 +29,7 @@
 pub mod calibration;
 pub mod census;
 pub mod patient;
+pub mod pii;
 pub mod synthetic;
 
 pub use calibration::multiple_correlation;
@@ -33,3 +37,4 @@ pub use census::{
     census_hcd, census_mcd, census_table, census_tied_hcd, census_tied_mcd, CENSUS_N,
 };
 pub use patient::{patient_discharge, PATIENT_N};
+pub use pii::{pii_patients, PII_N};

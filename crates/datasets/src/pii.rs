@@ -1,0 +1,258 @@
+//! A planted-PII evaluation fixture for the compliance layer.
+//!
+//! Patient-discharge-shaped microdata that *also* carries the direct
+//! identifiers real intake data has: a name, an SSN, an email, a phone
+//! number, and a free-text notes field embedding a second email. Counts
+//! are exact by construction, so a compliance scan of the default
+//! `PII_N`-row table must report:
+//!
+//! * `name`: `PII_N` (whole-cell hits in `NAME`)
+//! * `ssn`: `PII_N` (in `SSN`)
+//! * `email`: `2 * PII_N` (`EMAIL` plus one embedded per `NOTES` cell)
+//! * `phone`: `PII_N` (in `PHONE`)
+//!
+//! and nothing else — the numeric QI/confidential columns are built to
+//! stay clear of every digit-run detector. `scripts/compliance_gate.sh`
+//! asserts these counts against `tclose scan` output.
+
+use crate::synthetic::{normal_vec, round_to, std_normal};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tclose_microdata::{
+    AttributeDef, AttributeKind, AttributeRole, Column, Dictionary, Schema, Table,
+};
+
+/// Default number of records; small enough that CI scans in milliseconds.
+pub const PII_N: usize = 400;
+
+const FIRST_NAMES: &[&str] = &[
+    "Ada",
+    "Grace",
+    "Alan",
+    "Edsger",
+    "Barbara",
+    "Donald",
+    "Frances",
+    "John",
+    "Margaret",
+    "Claude",
+    "Katherine",
+    "Dennis",
+    "Radia",
+    "Ken",
+    "Adele",
+    "Niklaus",
+    "Jean",
+    "Tony",
+    "Lynn",
+    "Edgar",
+];
+
+const LAST_NAMES: &[&str] = &[
+    "Lovelace", "Hopper", "Turing", "Dijkstra", "Liskov", "Knuth", "Allen", "Backus", "Hamilton",
+    "Shannon", "Johnson", "Ritchie", "Perlman", "Thompson", "Goldberg", "Wirth", "Bartik", "Hoare",
+    "Conway", "Codd",
+];
+
+/// Generates the planted-PII table with `n` records.
+///
+/// Columns: `RECORD_ID` (numeric), `NAME`/`SSN`/`EMAIL`/`PHONE`/`NOTES`
+/// (nominal, non-confidential so they pass through anonymization into
+/// the release unless a compliance policy scrubs them), `AGE`/`ZIP`/
+/// `STAY_DAYS` (numeric quasi-identifiers), `CHARGE` (confidential).
+pub fn pii_patients(seed: u64, n: usize) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut record_id = Vec::with_capacity(n);
+    let mut names = Vec::with_capacity(n);
+    let mut ssns = Vec::with_capacity(n);
+    let mut emails = Vec::with_capacity(n);
+    let mut phones = Vec::with_capacity(n);
+    let mut notes = Vec::with_capacity(n);
+    let mut age = Vec::with_capacity(n);
+    let mut zip = Vec::with_capacity(n);
+    let mut stay = Vec::with_capacity(n);
+
+    for i in 0..n {
+        record_id.push((i + 1) as f64);
+        let first = FIRST_NAMES[rng.gen_range(0u32..FIRST_NAMES.len() as u32) as usize];
+        let last = LAST_NAMES[rng.gen_range(0u32..LAST_NAMES.len() as u32) as usize];
+        names.push(format!("{first} {last}"));
+        // SSN: 3-2-4 digit groups; area kept in 100–772 like real ones.
+        ssns.push(format!(
+            "{:03}-{:02}-{:04}",
+            rng.gen_range(100u32..773),
+            rng.gen_range(1u32..100),
+            rng.gen_range(1u32..10_000)
+        ));
+        // The row index in the local part keeps addresses distinct while
+        // staying short of any digit-run detector (≤ 3 digits).
+        let lower = format!("{}.{}", first.to_lowercase(), last.to_lowercase());
+        emails.push(format!("{lower}{i}@example.com"));
+        phones.push(format!(
+            "({:03}) {:03}-{:04}",
+            rng.gen_range(200u32..1000),
+            rng.gen_range(200u32..1000),
+            rng.gen_range(0u32..10_000)
+        ));
+        // Free text with one embedded email and no other detectable PII.
+        notes.push(format!(
+            "prefers contact at {}{}@mail.example.org after hours",
+            last.to_lowercase(),
+            i
+        ));
+        age.push((18.0 + 82.0 * rng.gen::<f64>().powf(0.8)).floor());
+        zip.push(90_000.0 + (rng.gen_range(0u32..248) * 25) as f64);
+        stay.push(
+            (1.0 + (0.9 * std_normal(&mut rng)).exp() * 2.0)
+                .min(60.0)
+                .round()
+                .max(1.0),
+        );
+    }
+
+    let charge_z = normal_vec(&mut rng, n);
+    let charge: Vec<f64> = charge_z
+        .iter()
+        .map(|&z| 18_000.0 * (0.8 * z).exp() + 1_500.0)
+        .collect();
+    let charge = round_to(&charge, 100.0);
+
+    let (name_attr, name_col) = nominal("NAME", &names);
+    let (ssn_attr, ssn_col) = nominal("SSN", &ssns);
+    let (email_attr, email_col) = nominal("EMAIL", &emails);
+    let (phone_attr, phone_col) = nominal("PHONE", &phones);
+    let (notes_attr, notes_col) = nominal("NOTES", &notes);
+
+    let attrs = vec![
+        AttributeDef::numeric("RECORD_ID", AttributeRole::NonConfidential),
+        name_attr,
+        ssn_attr,
+        email_attr,
+        phone_attr,
+        notes_attr,
+        AttributeDef::numeric("AGE", AttributeRole::QuasiIdentifier),
+        AttributeDef::numeric("ZIP", AttributeRole::QuasiIdentifier),
+        AttributeDef::numeric("STAY_DAYS", AttributeRole::QuasiIdentifier),
+        AttributeDef::numeric("CHARGE", AttributeRole::Confidential),
+    ];
+    let columns = vec![
+        Column::F64(record_id),
+        name_col,
+        ssn_col,
+        email_col,
+        phone_col,
+        notes_col,
+        Column::F64(age),
+        Column::F64(zip),
+        Column::F64(stay),
+        Column::F64(charge),
+    ];
+    Table::from_columns(
+        Schema::new(attrs).expect("fixture schema is valid"),
+        columns,
+    )
+    .expect("fixture columns match the schema")
+}
+
+/// Builds a nominal non-confidential column by interning row values.
+fn nominal(name: &str, values: &[String]) -> (AttributeDef, Column) {
+    let mut dictionary = Dictionary::new();
+    let codes: Vec<u32> = values.iter().map(|v| dictionary.intern(v)).collect();
+    (
+        AttributeDef {
+            name: name.to_owned(),
+            kind: AttributeKind::NominalCategorical,
+            role: AttributeRole::NonConfidential,
+            dictionary,
+        },
+        Column::Cat(codes),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_roles() {
+        let t = pii_patients(1, 100);
+        assert_eq!(t.n_rows(), 100);
+        assert_eq!(t.n_cols(), 10);
+        assert_eq!(t.schema().quasi_identifiers().len(), 3);
+        assert_eq!(t.schema().confidential(), vec![9]);
+        assert!(t.schema().identifiers().is_empty());
+        for c in [1usize, 2, 3, 4, 5] {
+            assert!(t.schema().attributes()[c].kind.is_categorical());
+        }
+    }
+
+    #[test]
+    fn planted_values_have_the_expected_shapes() {
+        let t = pii_patients(2, 50);
+        let attr = |c: usize| &t.schema().attributes()[c];
+        for r in 0..50 {
+            let ssn = attr(2)
+                .dictionary
+                .label(t.categorical_column(2).unwrap()[r])
+                .unwrap();
+            assert_eq!(ssn.len(), 11, "{ssn}");
+            assert_eq!(&ssn[3..4], "-");
+            assert_eq!(&ssn[6..7], "-");
+            let email = attr(3)
+                .dictionary
+                .label(t.categorical_column(3).unwrap()[r])
+                .unwrap();
+            assert!(email.ends_with("@example.com"), "{email}");
+            let phone = attr(4)
+                .dictionary
+                .label(t.categorical_column(4).unwrap()[r])
+                .unwrap();
+            assert!(phone.starts_with('('), "{phone}");
+            let note = attr(5)
+                .dictionary
+                .label(t.categorical_column(5).unwrap()[r])
+                .unwrap();
+            assert!(note.contains("@mail.example.org"), "{note}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(pii_patients(9, 200), pii_patients(9, 200));
+        assert_ne!(pii_patients(9, 200), pii_patients(10, 200));
+    }
+
+    #[test]
+    fn hipaa_scan_counts_are_exact_by_construction() {
+        use tclose_compliance::{ComplianceConfig, ComplianceEngine};
+        let t = pii_patients(7, PII_N);
+        let engine = ComplianceEngine::new(ComplianceConfig::default()).unwrap();
+        let report = engine.scan_table(&t).unwrap();
+        assert_eq!(
+            report.rule_totals(),
+            vec![
+                ("email".to_owned(), 2 * PII_N),
+                ("name".to_owned(), PII_N),
+                ("phone".to_owned(), PII_N),
+                ("ssn".to_owned(), PII_N),
+            ],
+            "planted counts drifted — scripts/compliance_gate.sh asserts these"
+        );
+        assert_eq!(report.total_matched_cells(), 5 * PII_N);
+        assert_eq!(report.pending_transform(), 5 * PII_N);
+    }
+
+    #[test]
+    fn numeric_columns_stay_clear_of_digit_detectors() {
+        // No numeric value may render with enough digits to trip the
+        // 13-digit card detector, and none are formatted with separators.
+        let t = pii_patients(3, PII_N);
+        for c in [0usize, 6, 7, 8, 9] {
+            for &x in t.numeric_column(c).unwrap() {
+                assert!(x.abs() < 1e12, "column {c} value {x}");
+                assert_eq!(x.fract(), 0.0, "column {c} value {x}");
+            }
+        }
+    }
+}

@@ -73,6 +73,47 @@ impl Json {
         out
     }
 
+    /// Serializes on a single line with no whitespace and no trailing
+    /// newline — the shape JSONL consumers (e.g. the compliance audit
+    /// log) expect, with the same deterministic key order and number
+    /// formatting as [`Json::to_string_pretty`].
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => write_num(out, *x),
+            Json::Str(s) => write_string(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(out, key);
+                    out.push(':');
+                    value.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -457,6 +498,23 @@ mod tests {
         assert_eq!(parsed.to_string_pretty(), s1, "serialization is stable");
         // Insertion order is preserved (no alphabetical sorting).
         assert!(s1.find("\"z\"").unwrap() < s1.find("\"a\"").unwrap());
+    }
+
+    #[test]
+    fn compact_serialization_is_single_line_and_round_trips() {
+        let v = Json::Obj(vec![
+            ("row".into(), Json::Num(7.0)),
+            ("col".into(), Json::Str("SSN".into())),
+            (
+                "arr".into(),
+                Json::Arr(vec![Json::Num(1.0), Json::Bool(true)]),
+            ),
+            ("empty".into(), Json::Obj(vec![])),
+        ]);
+        let s = v.to_string_compact();
+        assert_eq!(s, r#"{"row":7,"col":"SSN","arr":[1,true],"empty":{}}"#);
+        assert!(!s.contains('\n'));
+        assert_eq!(Json::parse(&s).unwrap(), v);
     }
 
     #[test]

@@ -136,7 +136,23 @@ impl ModelRegistry {
             if self.stamps.get(&id) == Some(&stamp) {
                 continue;
             }
-            match ModelArtifact::load(&path) {
+            match ModelArtifact::load(&path).and_then(|artifact| {
+                // A policy-bound model may only be applied through a path
+                // that scrubs inputs first; the daemon has no compliance
+                // engine, so serving it would release unscrubbed
+                // identifiers under a policy that promises otherwise.
+                match artifact.compliance_fingerprint() {
+                    Some(fp) => Err(ArtifactError::InvalidModel {
+                        path: Some(path.display().to_string()),
+                        detail: format!(
+                            "model is bound to compliance policy {fp}; \
+                             tclose-serve cannot enforce identifier scrubbing — \
+                             apply it offline with `tclose apply --compliance`"
+                        ),
+                    }),
+                    None => Ok(artifact),
+                }
+            }) {
                 Ok(artifact) => {
                     let fitted = FittedAnonymizer::from_artifact(&artifact)
                         .with_backend(self.backend)

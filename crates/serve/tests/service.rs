@@ -363,6 +363,39 @@ fn registry_scan_reports_are_typed_and_path_bearing() {
 }
 
 #[test]
+fn registry_refuses_compliance_bound_models() {
+    let dir = std::env::temp_dir().join(format!(
+        "tclose_serve_registry_compliance_{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // The daemon has no compliance engine: a model fitted under a
+    // compliance policy must not serve, or releases would skip the
+    // scrub the policy promises.
+    let bound = fixture_artifact(3, 0.45).with_compliance_fingerprint("a".repeat(64));
+    bound.save(&dir.join("bound.json")).unwrap();
+    fixture_artifact(3, 0.45)
+        .save(&dir.join("free.json"))
+        .unwrap();
+
+    let (registry, report) = ModelRegistry::open(&dir, tclose_core::NeighborBackend::Auto).unwrap();
+    assert_eq!(report.loaded, vec!["free".to_string()]);
+    assert_eq!(report.rejected.len(), 1);
+    let (id, err) = &report.rejected[0];
+    assert_eq!(id, "bound");
+    let msg = err.to_string();
+    assert!(msg.contains("compliance policy"), "message: {msg}");
+    assert!(msg.contains("bound.json"), "message: {msg}");
+    assert!(registry.get("bound").is_none());
+    assert!(registry.get("free").is_some());
+    assert_eq!(registry.last_error("bound"), Some(err));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn sleep_op_is_rejected_when_test_ops_are_disabled() {
     let server = TestServer::with_config(|cfg| {
         cfg.enable_test_ops = false;

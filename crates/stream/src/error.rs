@@ -22,6 +22,9 @@ pub enum Error {
     },
     /// An error bubbled up from the core pipeline (clustering, audits).
     Core(String),
+    /// An error bubbled up from the compliance layer (identifier
+    /// scrubbing, policy config).
+    Compliance(String),
     /// An error bubbled up from the microdata layer (CSV parsing, typed
     /// column access).
     Microdata(tclose_microdata::Error),
@@ -43,6 +46,7 @@ impl fmt::Display for Error {
                 write!(f, "cannot anonymize input: {detail}")
             }
             Error::Core(d) => write!(f, "anonymization failed: {d}"),
+            Error::Compliance(d) => write!(f, "{d}"),
             Error::Microdata(e) => write!(f, "{e}"),
             Error::Io(d) => write!(f, "I/O error: {d}"),
         }
@@ -60,6 +64,12 @@ impl From<tclose_microdata::Error> for Error {
 impl From<tclose_core::Error> for Error {
     fn from(e: tclose_core::Error) -> Self {
         Error::Core(e.to_string())
+    }
+}
+
+impl From<tclose_compliance::ComplianceError> for Error {
+    fn from(e: tclose_compliance::ComplianceError) -> Self {
+        Error::Compliance(e.to_string())
     }
 }
 

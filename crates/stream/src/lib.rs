@@ -27,6 +27,13 @@
 //!    through [`CsvAppendWriter`].
 //!    Peak residency is `O(workers × shard_rows)` records.
 //!
+//! With a compliance policy installed
+//! ([`ShardedAnonymizer::with_compliance`]), each shard is additionally
+//! scrubbed of direct identifiers (SSNs, emails, phone numbers, …)
+//! *before* anonymization. The scrub is a pure per-cell function of the
+//! policy, so the release stays invariant to shard size and worker count,
+//! and byte-identical to scrubbing the file monolithically.
+//!
 //! Every shard is audited against the **global** confidential
 //! distribution, so each released equivalence class is t-close in the
 //! sense that matters. Because the ordered EMD is jointly convex, classes
@@ -71,6 +78,7 @@ use std::io::{BufReader, BufWriter};
 use std::path::Path;
 use std::time::{Duration, Instant};
 
+use tclose_compliance::{AuditRecord, ComplianceEngine};
 use tclose_core::{
     Algorithm, AnonymizationReport, Anonymizer, FittedAnonymizer, GlobalFit, NeighborBackend,
 };
@@ -93,6 +101,7 @@ pub struct ShardedAnonymizer {
     par: Parallelism,
     backend: NeighborBackend,
     schema: Option<Schema>,
+    compliance: Option<ComplianceEngine>,
 }
 
 impl ShardedAnonymizer {
@@ -110,6 +119,7 @@ impl ShardedAnonymizer {
             par: Parallelism::auto(),
             backend: NeighborBackend::Auto,
             schema: None,
+            compliance: None,
         }
     }
 
@@ -156,6 +166,22 @@ impl ShardedAnonymizer {
     /// only way to stream ordinal QI / confidential attributes.
     pub fn with_schema(mut self, schema: Schema) -> Self {
         self.schema = Some(schema);
+        self
+    }
+
+    /// Installs a compliance policy: every shard is scrubbed through
+    /// `engine` **before** anonymization, so direct identifiers (SSNs,
+    /// emails, …) in categorical pass-through columns never reach the
+    /// release, and the policy's `drop_columns` are removed from the
+    /// output alongside schema identifiers.
+    ///
+    /// Scrubbing is a pure per-cell function of the policy, so the
+    /// release stays byte-identical across shard sizes and worker counts,
+    /// and identical to scrubbing the whole file monolithically. Audit
+    /// records carry **global** input row numbers and are returned on
+    /// [`StreamReport::compliance_audits`] in row order.
+    pub fn with_compliance(mut self, engine: ComplianceEngine) -> Self {
+        self.compliance = Some(engine);
         self
     }
 
@@ -216,14 +242,12 @@ impl ShardedAnonymizer {
             .with_backend(self.backend)
             .with_fit(fit)?;
 
-        let reports = self.apply_file(&fitted, input, output)?;
+        let pass2 = self.apply_file(&fitted, input, output)?;
         let apply_time = apply_started.elapsed();
-        Ok(StreamReport::merge(
-            reports,
-            self.shard_rows,
-            fit_time,
-            apply_time,
-        ))
+        let mut report = StreamReport::merge(pass2.reports, self.shard_rows, fit_time, apply_time);
+        report.scrubbed_cells = pass2.scrubbed_cells;
+        report.compliance_audits = pass2.audits;
+        Ok(report)
     }
 
     /// Pass 2 only: applies an already-fitted anonymizer — typically
@@ -251,21 +275,19 @@ impl ShardedAnonymizer {
             return Err(Error::Config("shard size must be at least 1".into()));
         }
         let apply_started = Instant::now();
-        let reports = self.apply_file(fitted, input, output)?;
+        let pass2 = self.apply_file(fitted, input, output)?;
         let apply_time = apply_started.elapsed();
-        let mut report = StreamReport::merge(reports, self.shard_rows, Duration::ZERO, apply_time);
+        let mut report =
+            StreamReport::merge(pass2.reports, self.shard_rows, Duration::ZERO, apply_time);
         report.prefitted = true;
+        report.scrubbed_cells = pass2.scrubbed_cells;
+        report.compliance_audits = pass2.audits;
         Ok(report)
     }
 
-    /// Pass 2: chunked re-read, parallel per-shard anonymization, ordered
-    /// appends.
-    fn apply_file(
-        &self,
-        fitted: &FittedAnonymizer,
-        input: &Path,
-        output: &Path,
-    ) -> Result<Vec<AnonymizationReport>> {
+    /// Pass 2: chunked re-read, per-shard compliance scrub (when a policy
+    /// is installed), parallel per-shard anonymization, ordered appends.
+    fn apply_file(&self, fitted: &FittedAnonymizer, input: &Path, output: &Path) -> Result<Pass2> {
         let schema = fitted.global_fit().schema().clone();
         let reader = BufReader::new(open(input)?);
         let chunks = CsvChunks::new(reader, schema.clone(), self.shard_rows)?;
@@ -276,31 +298,47 @@ impl ShardedAnonymizer {
         let tail_min = (2 * fitted.params().k).max(self.shard_rows / 2);
         let mut shards = MergeTail::new(chunks, self.shard_rows, tail_min);
 
-        let release_schema = released_schema(&schema)?;
+        let release_schema = self.released_schema(&schema)?;
         let out = File::create(output)
             .map_err(|e| Error::Io(format!("cannot create {}: {e}", output.display())))?;
         let mut writer = CsvAppendWriter::new(BufWriter::new(out), &release_schema)?;
 
         // Process up to `workers` shards at a time: bounded residency,
-        // input-order writes.
+        // input-order writes. Each shard carries its global starting row
+        // so compliance audits report input-file row numbers.
         let workers = self.par.worker_count().max(1);
         let mut reports = Vec::new();
+        let mut audits: Vec<AuditRecord> = Vec::new();
+        let mut scrubbed_cells = 0usize;
+        let mut next_row = 0usize;
         loop {
-            let mut batch: Vec<Table> = Vec::with_capacity(workers);
+            let mut batch: Vec<(Table, usize)> = Vec::with_capacity(workers);
             while batch.len() < workers {
                 match shards.next()? {
-                    Some(t) => batch.push(t),
+                    Some(t) => {
+                        let offset = next_row;
+                        next_row += t.n_rows();
+                        batch.push((t, offset));
+                    }
                     None => break,
                 }
             }
             if batch.is_empty() {
                 break;
             }
-            let outs = parallel_map_with(batch, self.par, |shard| fitted.apply_shard(shard));
+            let outs = parallel_map_with(batch, self.par, |(shard, offset)| {
+                self.scrub_and_apply(fitted, shard, *offset)
+            });
             for anon in outs {
-                let anon = anon?;
-                writer.append(&anon.table.drop_identifiers()?)?;
+                let (anon, shard_audits, cells) = anon?;
+                let mut released = anon.table.drop_identifiers()?;
+                if let Some(engine) = &self.compliance {
+                    released = engine.drop_release_columns(&released)?;
+                }
+                writer.append(&released)?;
                 reports.push(anon.report);
+                audits.extend(shard_audits);
+                scrubbed_cells += cells;
             }
         }
         if reports.is_empty() {
@@ -310,8 +348,59 @@ impl ShardedAnonymizer {
             });
         }
         writer.finish()?;
-        Ok(reports)
+        Ok(Pass2 {
+            reports,
+            audits,
+            scrubbed_cells,
+        })
     }
+
+    /// Scrubs one shard through the compliance policy (if any), then
+    /// anonymizes it. Pure per shard, so it runs inside the worker pool;
+    /// shards arrive with their global starting row for audit numbering.
+    fn scrub_and_apply(
+        &self,
+        fitted: &FittedAnonymizer,
+        shard: &Table,
+        offset: usize,
+    ) -> Result<(tclose_core::Anonymized, Vec<AuditRecord>, usize)> {
+        match &self.compliance {
+            Some(engine) => {
+                let scrubbed = engine.scrub_table(shard, offset)?;
+                let anon = fitted.apply_shard(&scrubbed.table)?;
+                Ok((anon, scrubbed.audits, scrubbed.cells))
+            }
+            None => Ok((fitted.apply_shard(shard)?, Vec::new(), 0)),
+        }
+    }
+
+    /// The release schema: every non-identifier attribute, minus the
+    /// compliance policy's dropped columns, in order.
+    fn released_schema(&self, schema: &Schema) -> Result<Schema> {
+        let keep: Vec<usize> = (0..schema.n_attributes())
+            .filter(|&i| {
+                schema
+                    .attribute(i)
+                    .map(|a| {
+                        a.role != AttributeRole::Identifier
+                            && self
+                                .compliance
+                                .as_ref()
+                                .map(|e| !e.config().drop_columns.contains(&a.name))
+                                .unwrap_or(true)
+                    })
+                    .unwrap_or(true)
+            })
+            .collect();
+        Ok(schema.project(&keep)?)
+    }
+}
+
+/// Everything pass 2 produces besides the output file itself.
+struct Pass2 {
+    reports: Vec<AnonymizationReport>,
+    audits: Vec<AuditRecord>,
+    scrubbed_cells: usize,
 }
 
 /// One-chunk-lookahead adapter merging a too-small final chunk into its
@@ -380,19 +469,6 @@ fn concat(a: &Table, b: &Table) -> Result<Table> {
         out.push_row(&row)?;
     }
     Ok(out)
-}
-
-/// The release schema: every non-identifier attribute, in order.
-fn released_schema(schema: &Schema) -> Result<Schema> {
-    let keep: Vec<usize> = (0..schema.n_attributes())
-        .filter(|&i| {
-            schema
-                .attribute(i)
-                .map(|a| a.role != AttributeRole::Identifier)
-                .unwrap_or(true)
-        })
-        .collect();
-    Ok(schema.project(&keep)?)
 }
 
 /// Applies QI / confidential roles by column name (confidential wins on a
@@ -632,6 +708,133 @@ mod tests {
             std::fs::read(&fused_out).unwrap(),
             "pre-fitted release is byte-identical to the fused two-pass run"
         );
+    }
+
+    /// Like [`write_input`] but with a planted-PII email column that the
+    /// auto-inferred schema treats as a nominal pass-through.
+    fn write_pii_input(path: &Path, n: usize) {
+        let mut f = std::fs::File::create(path).unwrap();
+        writeln!(f, "age,zip,email,wage").unwrap();
+        for i in 0..n {
+            writeln!(
+                f,
+                "{},{},user{}@example.com,{}",
+                20 + (i * 7) % 50,
+                1000 + (i * 37) % 200,
+                i,
+                100 * ((i * 13) % 11)
+            )
+            .unwrap();
+        }
+    }
+
+    fn hipaa_engine() -> tclose_compliance::ComplianceEngine {
+        tclose_compliance::ComplianceEngine::new(tclose_compliance::ComplianceConfig::default())
+            .unwrap()
+    }
+
+    #[test]
+    fn compliance_scrub_removes_planted_pii_from_the_release() {
+        let input = tmp("pii_in.csv");
+        let output = tmp("pii_out.csv");
+        write_pii_input(&input, 300);
+        let report = ShardedAnonymizer::new(3, 0.4)
+            .shard_rows(100)
+            .with_compliance(hipaa_engine())
+            .anonymize_file(&input, &output, &qi(), &conf())
+            .unwrap();
+        assert!(report.satisfies_request());
+        assert_eq!(report.scrubbed_cells, 300, "every email cell rewritten");
+        assert_eq!(report.compliance_audits.len(), 300);
+
+        let released = std::fs::read_to_string(&output).unwrap();
+        assert!(!released.contains("@example.com"), "planted PII leaked");
+        assert!(released.contains("TOK_EMAIL_"), "tokens present");
+
+        // Audits carry global row numbers in order, never plaintext.
+        let rows: Vec<usize> = report.compliance_audits.iter().map(|a| a.row).collect();
+        assert_eq!(rows, (0..300).collect::<Vec<_>>());
+        for a in &report.compliance_audits {
+            assert_eq!(a.rule, "email");
+            assert_eq!(a.hash.len(), 64);
+        }
+    }
+
+    /// The scrubbed pass-through column of a release, in row order.
+    fn email_column(path: &Path) -> Vec<String> {
+        let t = read_csv_auto(std::fs::File::open(path).unwrap()).unwrap();
+        let c = t.schema().index_of("email").unwrap();
+        let attr = &t.schema().attributes()[c];
+        t.categorical_column(c)
+            .unwrap()
+            .iter()
+            .map(|&code| attr.dictionary.label(code).unwrap().to_owned())
+            .collect()
+    }
+
+    #[test]
+    fn streamed_scrub_is_byte_identical_to_monolithic_at_any_worker_count() {
+        let input = tmp("pii_inv_in.csv");
+        write_pii_input(&input, 500);
+
+        // Monolithic baseline: one shard holds the whole file.
+        let mono_out = tmp("pii_inv_mono.csv");
+        let mono = ShardedAnonymizer::new(3, 0.4)
+            .shard_rows(10_000)
+            .with_compliance(hipaa_engine())
+            .anonymize_file(&input, &mono_out, &qi(), &conf())
+            .unwrap();
+        assert_eq!(mono.n_shards, 1);
+        let mono_emails = email_column(&mono_out);
+
+        for shard_rows in [120usize, 250] {
+            // Worker-count invariance: the *whole release* is
+            // byte-identical at a fixed shard size.
+            let mut releases = Vec::new();
+            for workers in [1usize, 4] {
+                let out = tmp(&format!("pii_inv_{shard_rows}_{workers}.csv"));
+                let report = ShardedAnonymizer::new(3, 0.4)
+                    .shard_rows(shard_rows)
+                    .with_parallelism(Parallelism::workers(workers))
+                    .with_compliance(hipaa_engine())
+                    .anonymize_file(&input, &out, &qi(), &conf())
+                    .unwrap();
+                // Shard-size invariance of the *scrub*: chunk boundaries
+                // never change what a cell becomes or what gets audited.
+                assert_eq!(
+                    email_column(&out),
+                    mono_emails,
+                    "shard_rows={shard_rows} workers={workers}"
+                );
+                assert_eq!(report.compliance_audits, mono.compliance_audits);
+                assert_eq!(report.scrubbed_cells, mono.scrubbed_cells);
+                releases.push(std::fs::read(&out).unwrap());
+            }
+            assert_eq!(
+                releases[0], releases[1],
+                "1 vs 4 workers at shard_rows={shard_rows}"
+            );
+        }
+    }
+
+    #[test]
+    fn compliance_drop_columns_leave_the_release() {
+        let input = tmp("pii_drop_in.csv");
+        let output = tmp("pii_drop_out.csv");
+        write_pii_input(&input, 150);
+        let cfg = tclose_compliance::ComplianceConfig {
+            drop_columns: vec!["email".into()],
+            ..tclose_compliance::ComplianceConfig::default()
+        };
+        let engine = tclose_compliance::ComplianceEngine::new(cfg).unwrap();
+        ShardedAnonymizer::new(3, 0.4)
+            .shard_rows(60)
+            .with_compliance(engine)
+            .anonymize_file(&input, &output, &qi(), &conf())
+            .unwrap();
+        let released = read_csv_auto(std::fs::File::open(&output).unwrap()).unwrap();
+        assert_eq!(released.n_cols(), 3, "email column dropped");
+        assert!(released.schema().index_of("email").is_err());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use std::time::Duration;
 
+use tclose_compliance::AuditRecord;
 use tclose_core::AnonymizationReport;
 
 /// Merged audit of one streaming anonymization run: the per-shard
@@ -62,6 +63,13 @@ pub struct StreamReport {
     /// True when the run applied a pre-fitted model (pass 1 skipped
     /// entirely — see `ShardedAnonymizer::apply_file_with`).
     pub prefitted: bool,
+    /// Distinct cells rewritten by the compliance pre-pass (0 when no
+    /// compliance policy was configured).
+    pub scrubbed_cells: usize,
+    /// Compliance audit records for the whole run, in global row order
+    /// (empty when no compliance policy was configured). Row indices are
+    /// global input rows, not shard-local ones.
+    pub compliance_audits: Vec<AuditRecord>,
     /// The per-shard reports, in input order.
     pub shards: Vec<AnonymizationReport>,
 }
@@ -110,6 +118,8 @@ impl StreamReport {
             fit_time,
             apply_time,
             prefitted: false,
+            scrubbed_cells: 0,
+            compliance_audits: Vec::new(),
             shards,
         }
     }

@@ -16,6 +16,11 @@
 //!   and the fit/apply split (`GlobalFit` / `FittedAnonymizer`).
 //! * [`stream`] — the sharded streaming engine: two-pass, bounded-memory
 //!   anonymization of CSV files that never fit in RAM.
+//! * [`compliance`] — the identifier-column compliance layer: HIPAA/GDPR
+//!   rule profiles, pluggable transform strategies (redact / tokenize /
+//!   hash / drop), scan reports, and hashed audit logs.
+//! * [`ser`] — the dependency-free JSON substrate shared by model
+//!   artifacts, perf reports, scan reports, and audit logs.
 //! * [`serve`] — the long-lived anonymization daemon: resident model
 //!   registry with hot-reload, bounded-queue request batching over a
 //!   length-prefixed socket protocol, and the `TestServer` harness.
@@ -29,6 +34,7 @@
 //! `docs/PERFORMANCE.md` for the hot-path layout and thread-scaling model.
 
 pub use tclose_baselines as baselines;
+pub use tclose_compliance as compliance;
 pub use tclose_core as core;
 pub use tclose_datasets as datasets;
 pub use tclose_eval as eval;
@@ -38,6 +44,7 @@ pub use tclose_microagg as microagg;
 pub use tclose_microdata as microdata;
 pub use tclose_parallel as parallel;
 pub use tclose_perf as perf;
+pub use tclose_ser as ser;
 pub use tclose_serve as serve;
 pub use tclose_stream as stream;
 
@@ -45,6 +52,7 @@ pub use tclose_stream as stream;
 // `use tclose::prelude::*;`.
 pub mod prelude {
     //! One-line import of the types used by virtually every application.
+    pub use tclose_compliance::{ComplianceConfig, ComplianceEngine, ScanReport, Strategy};
     pub use tclose_core::{
         Algorithm, AnonymizationReport, Anonymizer, ArtifactError, FittedAnonymizer, GlobalFit,
         KAnonymityFirst, MergeAlgorithm, ModelArtifact, ModelParams, TClosenessFirst,

@@ -1,0 +1,223 @@
+//! Cross-crate guarantees of the compliance layer.
+//!
+//! Pins the acceptance properties of the identifier-column scrub as one
+//! pipeline, through the public umbrella API:
+//!
+//! 1. A compliant streamed release of the planted-PII fixture carries
+//!    **zero** planted identifiers while still auditing k-anonymous and
+//!    t-close — the scrub closes the direct-identifier gap without
+//!    touching the paper's guarantee.
+//! 2. The audit log is exactly one JSONL line per transformed cell
+//!    (equal to the scan's "cells pending transform"), parses with the
+//!    shared JSON reader, and never contains plaintext.
+//! 3. Scrubbing is a pure per-cell function: chunked scrubs concatenate
+//!    to the monolithic scrub for any chunk size.
+//! 4. The policy fingerprint survives the model-artifact JSON round trip
+//!    and separates policies, so `apply` can refuse a mismatch.
+
+use std::path::PathBuf;
+
+use tclose::compliance::{write_audit_log, ComplianceConfig, ComplianceEngine};
+use tclose::core::{verify_k_anonymity, verify_t_closeness, Confidential};
+use tclose::datasets::{pii_patients, PII_N};
+use tclose::microdata::csv::{read_csv_auto, write_csv};
+use tclose::microdata::AttributeRole;
+use tclose::prelude::*;
+use tclose::ser::Json;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("tclose_compliance_pipeline_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn hipaa() -> ComplianceEngine {
+    ComplianceEngine::new(ComplianceConfig::default()).unwrap()
+}
+
+const QI: [&str; 3] = ["AGE", "ZIP", "STAY_DAYS"];
+
+#[test]
+fn compliant_streamed_release_is_tclose_with_zero_planted_identifiers() {
+    let table = pii_patients(5, PII_N);
+    let input = tmp("pii_pipeline.csv");
+    write_csv(&table, std::fs::File::create(&input).unwrap()).unwrap();
+
+    let output = tmp("pii_pipeline_anon.csv");
+    let qi: Vec<String> = QI.iter().map(|s| (*s).to_owned()).collect();
+    let report = ShardedAnonymizer::new(4, 0.35)
+        .shard_rows(100)
+        .with_compliance(hipaa())
+        .anonymize_file(&input, &output, &qi, &["CHARGE".to_owned()])
+        .unwrap();
+    assert_eq!(report.n_records, PII_N);
+    // 5 planted hits per row: NAME, SSN, EMAIL, PHONE, NOTES-embedded email.
+    assert_eq!(report.scrubbed_cells, 5 * PII_N);
+    assert_eq!(report.compliance_audits.len(), 5 * PII_N);
+
+    // No planted identifier survives, in any column, in any form.
+    let text = std::fs::read_to_string(&output).unwrap();
+    assert!(!text.contains("@example.com"), "EMAIL column leaked");
+    assert!(!text.contains("@mail.example.org"), "NOTES email leaked");
+    assert!(text.contains("TOK_"), "no tokens — was anything scrubbed?");
+
+    // Re-scanning the release finds nothing left to transform.
+    let released = read_csv_auto(std::io::Cursor::new(text.as_bytes())).unwrap();
+    let rescan = hipaa().scan_table(&released).unwrap();
+    assert_eq!(
+        rescan.pending_transform(),
+        0,
+        "release still has pending PII:\n{}",
+        rescan.render()
+    );
+
+    // And the release still audits k-anonymous and t-close.
+    let mut released = released;
+    released
+        .schema_mut()
+        .set_roles(&[
+            ("AGE", AttributeRole::QuasiIdentifier),
+            ("ZIP", AttributeRole::QuasiIdentifier),
+            ("STAY_DAYS", AttributeRole::QuasiIdentifier),
+            ("CHARGE", AttributeRole::Confidential),
+        ])
+        .unwrap();
+    let k = verify_k_anonymity(&released).unwrap();
+    assert!(k >= 4, "audited k = {k}");
+    let conf = Confidential::from_table(&table).unwrap();
+    let t = verify_t_closeness(&released, &conf).unwrap();
+    assert!(t <= 0.35 + 1e-9, "audited t = {t}");
+}
+
+#[test]
+fn audit_log_matches_the_scan_and_never_leaks_plaintext() {
+    let table = pii_patients(6, 200);
+    let engine = hipaa();
+
+    // Scan and scrub share one detection pass, so the scan's pending
+    // count *is* the audit-record count.
+    let scan = engine.scan_table(&table).unwrap();
+    let scrub = engine.scrub_table(&table, 0).unwrap();
+    assert_eq!(scan.pending_transform(), scrub.audits.len());
+    assert_eq!(scrub.cells, scrub.audits.len());
+
+    let path = tmp("pipeline_audit.jsonl");
+    write_audit_log(&path, &scrub.audits).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(text.lines().count(), scrub.audits.len());
+
+    let mut last_row = 0usize;
+    for line in text.lines() {
+        let json = Json::parse(line).unwrap_or_else(|e| panic!("bad JSONL {line:?}: {e}"));
+        let row = json.get("row").unwrap().as_f64().unwrap() as usize;
+        assert!(row >= last_row, "audit rows out of order");
+        last_row = row;
+        let hash = json.get("hash").unwrap().as_str().unwrap();
+        assert_eq!(hash.len(), 64);
+        assert!(hash.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+    // The log names columns and rules, never cell contents.
+    assert!(
+        !text.contains("@example.com"),
+        "plaintext email in audit log"
+    );
+    assert!(!text.contains("(555)"), "plaintext phone in audit log");
+    for needle in [
+        "\"column\":\"EMAIL\"",
+        "\"rule\":\"ssn\"",
+        "\"strategy\":\"tokenize\"",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?}");
+    }
+}
+
+#[test]
+fn chunked_scrub_concatenates_to_the_monolithic_scrub() {
+    // The streaming engine relies on the scrub being a pure per-cell
+    // function: scrubbing chunk [offset..offset+len) must agree with the
+    // same rows of a whole-table scrub, for any chunking.
+    let table = pii_patients(8, 120);
+    let engine = hipaa();
+    let whole = engine.scrub_table(&table, 0).unwrap();
+
+    for chunk_rows in [1usize, 3, 7, 50, 119, 120] {
+        let mut audits = Vec::new();
+        let mut cells = 0;
+        let mut offset = 0;
+        while offset < table.n_rows() {
+            let rows: Vec<usize> = (offset..(offset + chunk_rows).min(table.n_rows())).collect();
+            let chunk = table.take_rows(&rows).unwrap();
+            let scrub = engine.scrub_table(&chunk, offset).unwrap();
+            // Cell-for-cell identical to the same slice of the whole scrub.
+            for c in 0..chunk.n_cols() {
+                let attr = &scrub.table.schema().attributes()[c];
+                if !attr.kind.is_categorical() {
+                    continue;
+                }
+                for (i, &code) in scrub
+                    .table
+                    .categorical_column(c)
+                    .unwrap()
+                    .iter()
+                    .enumerate()
+                {
+                    let got = attr.dictionary.label(code).unwrap();
+                    let whole_attr = &whole.table.schema().attributes()[c];
+                    let want = whole_attr
+                        .dictionary
+                        .label(whole.table.categorical_column(c).unwrap()[offset + i])
+                        .unwrap();
+                    assert_eq!(got, want, "chunk {chunk_rows}, col {c}, row {}", offset + i);
+                }
+            }
+            audits.extend(scrub.audits);
+            cells += scrub.cells;
+            offset += chunk_rows;
+        }
+        assert_eq!(audits, whole.audits, "chunk size {chunk_rows}");
+        assert_eq!(cells, whole.cells, "chunk size {chunk_rows}");
+    }
+}
+
+#[test]
+fn policy_fingerprint_round_trips_through_the_model_artifact() {
+    let table = pii_patients(9, 150);
+    let qi: Vec<(&str, AttributeRole)> = QI
+        .iter()
+        .map(|s| (*s, AttributeRole::QuasiIdentifier))
+        .chain(std::iter::once(("CHARGE", AttributeRole::Confidential)))
+        .collect();
+    let mut table = table;
+    table.schema_mut().set_roles(&qi).unwrap();
+
+    let fitted = Anonymizer::new(4, 0.4).fit(&table).unwrap();
+    let engine = hipaa();
+    let artifact =
+        ModelArtifact::from_fitted(&fitted).with_compliance_fingerprint(engine.fingerprint());
+
+    let path = tmp("pipeline_bound_model.json");
+    artifact.save(&path).unwrap();
+    let loaded = ModelArtifact::load(&path).unwrap();
+    assert_eq!(
+        loaded.compliance_fingerprint(),
+        Some(engine.fingerprint().as_str()),
+        "fingerprint lost in the JSON round trip"
+    );
+
+    // A different policy yields a different fingerprint — the mismatch
+    // `apply` refuses on — while an unbound artifact stays unbound.
+    let gdpr_cfg = ComplianceConfig {
+        profile: tclose::compliance::Profile::Gdpr,
+        ..Default::default()
+    };
+    let gdpr = ComplianceEngine::new(gdpr_cfg).unwrap();
+    assert_ne!(gdpr.fingerprint(), engine.fingerprint());
+
+    let unbound = ModelArtifact::from_fitted(&fitted);
+    let path = tmp("pipeline_unbound_model.json");
+    unbound.save(&path).unwrap();
+    assert_eq!(
+        ModelArtifact::load(&path).unwrap().compliance_fingerprint(),
+        None
+    );
+}
